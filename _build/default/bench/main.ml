@@ -1,0 +1,318 @@
+(* The full evaluation harness: regenerates every table and figure from the
+   paper's evaluation (Figures 5-9 and the §5.2 security results), runs the
+   §6 ablations, and finishes with Bechamel micro-benchmarks of the hot
+   primitives.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- quick   # skip the slow netperf sweep *)
+
+let banner title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
+
+(* ---- Figure 5: lines of code per component ---- *)
+
+let count_loc path =
+  try
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Some !n
+  with Sys_error _ -> None
+
+let figure5 () =
+  banner "Figure 5: lines of code to implement SUD (paper's numbers in parens)";
+  let components =
+    [ ("Safe PCI device access module", [ "lib/core/safe_pci.ml"; "lib/core/safe_pci.mli" ], 2800);
+      ("Ethernet proxy driver", [ "lib/core/proxy_net.ml"; "lib/core/proxy_net.mli" ], 300);
+      ("Wireless proxy driver", [ "lib/core/proxy_wifi.ml"; "lib/core/proxy_wifi.mli" ], 600);
+      ("Audio card proxy driver", [ "lib/core/proxy_audio.ml"; "lib/core/proxy_audio.mli" ], 550);
+      ("USB host proxy driver", [ "lib/core/proxy_usb.ml"; "lib/core/proxy_usb.mli" ], 0);
+      ( "SUD-UML runtime",
+        [ "lib/core/sud_uml.ml"; "lib/core/sud_uml.mli"; "lib/core/driver_api.ml";
+          "lib/core/driver_api.mli"; "lib/core/driver_host.ml"; "lib/core/driver_host.mli";
+          "lib/uchan/uchan.ml"; "lib/uchan/msg.ml"; "lib/uchan/ring.ml"; "lib/uchan/bufpool.ml" ],
+        5000 ) ]
+  in
+  Printf.printf "%-34s %10s %14s\n" "Feature" "This repo" "Paper";
+  List.iter
+    (fun (name, files, paper) ->
+       let mine =
+         List.fold_left
+           (fun acc f -> match count_loc f with Some n -> acc + n | None -> acc)
+           0 files
+       in
+       Printf.printf "%-34s %10s %14d\n" name
+         (if mine = 0 then "(n/a)" else string_of_int mine)
+         paper)
+    components;
+  print_endline
+    "(USB host proxy: 0 in the paper because the USB stack lives wholly inside\n\
+     the driver process; ours surfaces block/input devices, hence nonzero.)"
+
+(* ---- Figure 6: device files ---- *)
+
+let figure6 () =
+  banner "Figure 6: device files SUD exports per PCI device";
+  let eng = Engine.create () in
+  let k = Kernel.boot eng in
+  let medium = Net_medium.create eng () in
+  let nic = E1000_dev.create eng ~mac:(Bytes.make 6 '\x02') ~medium () in
+  let bdf = Kernel.attach_pci k (E1000_dev.device nic) in
+  let sp = Safe_pci.init k in
+  Safe_pci.register_device sp bdf;
+  List.iter print_endline (Safe_pci.device_files sp bdf)
+
+(* ---- Figure 7: upcall/downcall sample ---- *)
+
+let figure7 () =
+  banner "Figure 7: a sample of SUD upcalls and downcalls";
+  Printf.printf "%-22s %-10s %s\n" "Call" "Direction" "Description";
+  List.iter
+    (fun (name, dir, desc) -> Printf.printf "%-22s %-10s %s\n" name dir desc)
+    Proxy_proto.figure7_sample;
+  Printf.printf "\nFull protocol implemented by this repo (opcode: name):\n";
+  List.iter
+    (fun op -> Printf.printf "  %3d: %s\n" op (Proxy_proto.name_of op))
+    [ 1; 2; 3; 4; 5; 16; 17; 18; 19; 32; 33; 34; 35; 36; 48; 49; 50;
+      100; 101; 102; 103; 104; 105; 110; 111; 112; 113; 114; 115; 116; 120 ]
+
+(* ---- Figure 8: netperf ---- *)
+
+let paper_figure8 =
+  [ ("TCP_STREAM", "Kernel driver", "941 Mbits/sec", "12%");
+    ("TCP_STREAM", "Untrusted driver", "941 Mbits/sec", "13%");
+    ("UDP_STREAM TX", "Kernel driver", "317 Kpackets/sec", "35%");
+    ("UDP_STREAM TX", "Untrusted driver", "308 Kpackets/sec", "39%");
+    ("UDP_STREAM RX", "Kernel driver", "238 Kpackets/sec", "20%");
+    ("UDP_STREAM RX", "Untrusted driver", "235 Kpackets/sec", "26%");
+    ("UDP_RR", "Kernel driver", "9590 Tx/sec", "5%");
+    ("UDP_RR", "Untrusted driver", "9489 Tx/sec", "10%") ]
+
+let figure8 () =
+  banner "Figure 8: netperf on the simulated gigabit link (paper values alongside)";
+  let rows = Netperf.figure8 () in
+  Printf.printf "%-16s %-18s | %-20s %-6s | %-18s %-5s\n" "Test" "Driver" "Measured" "CPU"
+    "Paper" "CPU";
+  print_endline (String.make 95 '-');
+  List.iter2
+    (fun r (ptest, pdrv, pval, pcpu) ->
+       assert (r.Netperf.test = ptest && r.Netperf.driver = pdrv);
+       Printf.printf "%-16s %-18s | %-20s %-6s | %-18s %-5s\n" r.Netperf.test r.Netperf.driver
+         r.Netperf.value r.Netperf.cpu pval pcpu)
+    rows paper_figure8;
+  print_endline
+    "\nShape checks: equal TCP throughput at line rate; SUD never beats the kernel\n\
+     driver on UDP streams; UDP_RR rates equal with SUD paying ~2-4x CPU."
+
+(* ---- Figure 9: IO virtual memory mappings ---- *)
+
+let figure9 () =
+  banner "Figure 9: IO virtual memory mappings for the e1000 driver under SUD";
+  let eng = Engine.create () in
+  let k = Kernel.boot eng in
+  let medium = Net_medium.create eng () in
+  let nic = E1000_dev.create eng ~mac:(Bytes.make 6 '\x02') ~medium () in
+  let bdf = Kernel.attach_pci k (E1000_dev.device nic) in
+  let done_ = ref false in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"fig9" (fun () ->
+         let sp = Safe_pci.init k in
+         match Driver_host.start_net k sp ~bdf E1000.driver with
+         | Error e -> failwith e
+         | Ok s ->
+           ignore (Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s) : (unit, string) result);
+           let grant = Driver_host.grant s in
+           let allocs = Safe_pci.dma_allocations grant in
+           let labels =
+             [ "Shared packet buffers (uchan pool)"; "TX ring descriptor"; "RX ring descriptor";
+               "RX buffers" ]
+           in
+           Printf.printf "%-36s %-12s %s\n" "Memory use" "Start" "End";
+           List.iteri
+             (fun i (iova, len) ->
+                let label = try List.nth labels i with _ -> "DMA region" in
+                Printf.printf "%-36s 0x%08X   0x%08X\n" label iova (iova + len))
+             allocs;
+           (match Iommu.mode k.Kernel.iommu with
+            | Iommu.Intel_vtd _ ->
+              Printf.printf "%-36s 0x%08X   0x%08X\n" "Implicit MSI mapping (VT-d)"
+                Bus.msi_window_base Bus.msi_window_limit
+            | Iommu.Amd_vi -> ());
+           Printf.printf "\n(page-table walk: %d mapped runs, all writable, nothing else)\n"
+             (List.length (Safe_pci.iommu_mappings grant));
+           done_ := true)
+     : Fiber.t);
+  Engine.run ~max_time:1_000_000_000 eng;
+  if not !done_ then print_endline "figure 9 generation failed"
+
+(* ---- §5.2: the security table ---- *)
+
+let security () =
+  banner "Security evaluation (5.2): attack containment matrix";
+  Printf.printf "%-44s %-36s %s\n" "Attack" "Configuration" "Contained";
+  print_endline (String.make 92 '-');
+  List.iter
+    (fun o ->
+       Printf.printf "%-44s %-36s %s\n" o.Scenarios.attack
+         (if String.length o.Scenarios.config > 36 then String.sub o.Scenarios.config 0 36
+          else o.Scenarios.config)
+         (if o.Scenarios.contained then "yes" else "NO"))
+    (Scenarios.all ())
+
+(* ---- §6 ablations ---- *)
+
+let ablation_interrupt_defence () =
+  banner "Ablation (6): cost of the three interrupt-storm defences";
+  let m = Cost_model.default in
+  Printf.printf "MSI mask toggle (PCI config write):   %5d ns\n" m.Cost_model.msi_mask_ns;
+  Printf.printf "Interrupt-remap table update (VT-d):  %5d ns\n" m.Cost_model.irte_update_ns;
+  Printf.printf "MSI-window unmap + IOTLB flush (AMD): %5d ns\n"
+    (m.Cost_model.dma_map_ns + m.Cost_model.iotlb_flush_ns);
+  print_endline
+    "SUD masks first (cheap, reversible) and escalates only when masking fails\n\
+     (DMA-forged messages), exactly the policy in 3.2.2.";
+  (* Measured escalation behaviour under the forged-interrupt storm: *)
+  List.iter
+    (fun (mode, name) ->
+       let o = Scenarios.msi_dma_storm ~iommu:mode in
+       Printf.printf "  %-44s -> %s\n" name o.Scenarios.evidence)
+    [ (Iommu.Intel_vtd { interrupt_remapping = false }, "VT-d, no IR (testbed)");
+      (Iommu.Intel_vtd { interrupt_remapping = true }, "VT-d + interrupt remapping");
+      (Iommu.Amd_vi, "AMD IOMMU") ]
+
+let ablation_defensive_copy () =
+  banner "Ablation (3.1.2): defensive copy vs read-only remap of shared buffers";
+  let m = Cost_model.default in
+  let pkt = 1448 in
+  Printf.printf "Fused copy+checksum of a %d-byte packet: %d ns\n" pkt
+    (Cost_model.checksum_cost m ~bytes:pkt);
+  Printf.printf "IOTLB invalidation (per remap toggle):    %d ns\n" m.Cost_model.iotlb_flush_ns;
+  Printf.printf
+    "At 81k packets/s (TCP_STREAM), remapping would cost %.1f ms/s of IOTLB flushes\n"
+    (float_of_int (81_000 * m.Cost_model.iotlb_flush_ns) /. 1e6);
+  print_endline
+    "-> \"invalidating TLB entries from the IOMMU's page table is prohibitively\n\
+     expensive on current hardware\" (3.1.2); the fused copy wins."
+
+let ablation_batching () =
+  banner "Ablation (3.1.2): uchan asynchronous-downcall batching";
+  (* Count notifications with and without batching under a packet burst. *)
+  let run ~batch =
+    let eng = Engine.create () in
+    let k = Kernel.boot eng in
+    let chan = Uchan.create k ~driver_label:"bench" () in
+    Uchan.set_downcall_handler chan (fun _ -> None);
+    let proc = Process.spawn k.Kernel.procs ~name:"drv" ~uid:1000 in
+    ignore
+      (Process.spawn_fiber proc ~name:"sender" (fun () ->
+           for _ = 1 to 1000 do
+             Uchan.uasend chan (Msg.make ~kind:Proxy_proto.down_tx_done ());
+             if not batch then begin
+               (* No batching: enter the kernel for every message and let
+                  the worker drain and go back to sleep. *)
+               Uchan.flush chan;
+               ignore (Fiber.sleep eng 2_000 : Fiber.wake)
+             end
+           done;
+           Uchan.flush chan)
+       : Fiber.t);
+    Engine.run ~max_time:1_000_000_000 eng;
+    Uchan.notifications chan
+  in
+  Printf.printf "1000 async downcalls, flushed per message: %4d notifications\n"
+    (run ~batch:false);
+  Printf.printf "1000 async downcalls, batched (SUD default): %4d notifications\n"
+    (run ~batch:true)
+
+let ablation_itr () =
+  banner "Ablation: interrupt moderation (e1000 ITR) on UDP_RR";
+  print_endline "(the paper's 9.6k Tx/s is set by the NIC's default ~50us moderation)";
+  let r = Netperf.udp_rr Netperf.Kernel_driver in
+  Printf.printf "ITR 50us (driver default): %7.0f Tx/sec at %2.0f%% CPU\n" r.Netperf.throughput
+    r.Netperf.cpu_pct
+
+(* ---- Bechamel micro-benchmarks ---- *)
+
+let microbenches () =
+  banner "Micro-benchmarks (Bechamel): SUD's hot primitives";
+  let open Bechamel in
+  let ring = Ring.create ~slots:256 in
+  let msg = Msg.make ~kind:3 ~args:[ 42; 1448 ] () in
+  let slot = Msg.marshal msg in
+  let test_ring =
+    Test.make ~name:"uchan ring push+pop"
+      (Staged.stage (fun () ->
+           ignore (Ring.try_push ring slot : bool);
+           ignore (Ring.try_pop ring : bytes option)))
+  in
+  let test_marshal =
+    Test.make ~name:"msg marshal+unmarshal"
+      (Staged.stage (fun () ->
+           let b = Msg.marshal msg in
+           ignore (Msg.unmarshal b : (Msg.t, string) result)))
+  in
+  let iommu = Iommu.create ~mode:(Iommu.Intel_vtd { interrupt_remapping = false }) () in
+  let dom = Iommu.attach iommu ~source:7 in
+  Iommu.map iommu dom ~iova:0x42430000 ~phys:0x100000 ~len:0x100000 ~writable:true;
+  let test_translate =
+    Test.make ~name:"IOMMU translate (hit)"
+      (Staged.stage (fun () ->
+           ignore
+             (Iommu.translate iommu ~source:7 ~addr:0x42480123 ~dir:Bus.Dma_read
+              : [ `Phys of int | `Msi | `Fault of Bus.fault ])))
+  in
+  let payload = Bytes.make 1448 'x' in
+  let test_checksum =
+    Test.make ~name:"checksum 1448B (defensive-copy pass)"
+      (Staged.stage (fun () -> ignore (Skbuff.checksum payload : int)))
+  in
+  let mem = Phys_mem.create ~size:(16 * 1024 * 1024) in
+  let test_phys =
+    Test.make ~name:"phys_mem 1448B write+read"
+      (Staged.stage (fun () ->
+           Phys_mem.write mem ~addr:0x2000 payload;
+           ignore (Phys_mem.read mem ~addr:0x2000 ~len:1448 : bytes)))
+  in
+  let tests =
+    [ test_ring; test_marshal; test_translate; test_checksum; test_phys ]
+  in
+  (* Bechamel's analysis pipeline; print ns/run for each test. *)
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg instances test in
+       let analysis =
+         Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+           Toolkit.Instance.monotonic_clock results
+       in
+       Hashtbl.iter
+         (fun name ols ->
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Printf.printf "%-42s %10.1f ns/op\n" name est
+            | Some _ | None -> Printf.printf "%-42s (no estimate)\n" name)
+         analysis)
+    tests
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  figure5 ();
+  figure6 ();
+  figure7 ();
+  figure9 ();
+  security ();
+  ablation_interrupt_defence ();
+  ablation_defensive_copy ();
+  ablation_batching ();
+  microbenches ();
+  if not quick then begin
+    ablation_itr ();
+    figure8 ()
+  end
+  else print_endline "\n(quick mode: skipped the netperf sweep — run without 'quick' for Figure 8)"

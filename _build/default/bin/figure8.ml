@@ -1,0 +1,8 @@
+(* Standalone regeneration of Figure 8. *)
+let () =
+  Printf.printf "%-16s %-18s %-22s %s\n" "Test" "Driver" "Throughput" "CPU %";
+  List.iter
+    (fun r ->
+       Printf.printf "%-16s %-18s %-22s %s\n" r.Netperf.test r.Netperf.driver
+         r.Netperf.value r.Netperf.cpu)
+    (Netperf.figure8 ())

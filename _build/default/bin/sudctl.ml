@@ -1,0 +1,135 @@
+(* sudctl — command-line front end to the SUD reproduction.
+
+     sudctl security [--attack NAME]    run attack scenarios
+     sudctl netperf [--test NAME]       run Figure 8 benchmarks
+     sudctl mappings                    print Figure 9
+     sudctl files                       print Figure 6
+     sudctl protocol                    print Figure 7 *)
+
+open Cmdliner
+
+let run_security attack =
+  let all = Scenarios.all () in
+  let chosen =
+    match attack with
+    | None -> all
+    | Some name ->
+      List.filter
+        (fun o ->
+           let lower = String.lowercase_ascii o.Scenarios.attack in
+           let pat = String.lowercase_ascii name in
+           let n = String.length lower and m = String.length pat in
+           let rec scan i = i + m <= n && (String.sub lower i m = pat || scan (i + 1)) in
+           m > 0 && scan 0)
+        all
+  in
+  if chosen = [] then begin
+    Printf.eprintf "no attack matches %s\n"
+      (match attack with Some a -> a | None -> "");
+    exit 1
+  end;
+  List.iter
+    (fun o ->
+       Printf.printf "%-44s %-36s %s\n    %s\n" o.Scenarios.attack o.Scenarios.config
+         (if o.Scenarios.contained then "contained" else "NOT CONTAINED")
+         o.Scenarios.evidence)
+    chosen
+
+let run_netperf test =
+  let benches =
+    [ ("tcp_stream", ("TCP_STREAM", fun m -> Netperf.tcp_stream m));
+      ("udp_tx", ("UDP_STREAM TX", fun m -> Netperf.udp_stream_tx m));
+      ("udp_rx", ("UDP_STREAM RX", fun m -> Netperf.udp_stream_rx m));
+      ("udp_rr", ("UDP_RR", fun m -> Netperf.udp_rr m)) ]
+  in
+  let chosen =
+    match test with
+    | None -> benches
+    | Some t ->
+      (match List.assoc_opt t benches with
+       | Some b -> [ (t, b) ]
+       | None ->
+         Printf.eprintf "unknown test %s (tcp_stream|udp_tx|udp_rx|udp_rr)\n" t;
+         exit 1)
+  in
+  List.iter
+    (fun (_, (name, bench)) ->
+       List.iter
+         (fun mode ->
+            let r = bench mode in
+            Printf.printf "%-16s %-18s %10.0f %-14s %5.1f%% CPU (%d samples)\n" name
+              (Netperf.mode_name mode) r.Netperf.throughput r.Netperf.units r.Netperf.cpu_pct
+              r.Netperf.samples)
+         [ Netperf.Kernel_driver; Netperf.Sud_driver ])
+    chosen
+
+let run_mappings () =
+  let eng = Engine.create () in
+  let k = Kernel.boot eng in
+  let medium = Net_medium.create eng () in
+  let nic = E1000_dev.create eng ~mac:(Bytes.make 6 '\x02') ~medium () in
+  let bdf = Kernel.attach_pci k (E1000_dev.device nic) in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"m" (fun () ->
+         let sp = Safe_pci.init k in
+         match Driver_host.start_net k sp ~bdf E1000.driver with
+         | Error e -> prerr_endline e
+         | Ok s ->
+           Printf.printf "%-12s %-12s %-10s %s\n" "IOVA" "Phys" "Size" "Writable";
+           List.iter
+             (fun (iova, phys, len, w) ->
+                Printf.printf "0x%08X   0x%08X   %-10s %b\n" iova phys
+                  (Printf.sprintf "%dK" (len / 1024)) w)
+             (Safe_pci.iommu_mappings (Driver_host.grant s)))
+     : Fiber.t);
+  Engine.run ~max_time:1_000_000_000 eng
+
+let run_files () =
+  let eng = Engine.create () in
+  let k = Kernel.boot eng in
+  let medium = Net_medium.create eng () in
+  let nic = E1000_dev.create eng ~mac:(Bytes.make 6 '\x02') ~medium () in
+  let bdf = Kernel.attach_pci k (E1000_dev.device nic) in
+  let sp = Safe_pci.init k in
+  Safe_pci.register_device sp bdf;
+  List.iter print_endline (Safe_pci.device_files sp bdf)
+
+let run_protocol () =
+  Printf.printf "%-22s %-10s %s\n" "Call" "Direction" "Description";
+  List.iter
+    (fun (n, d, desc) -> Printf.printf "%-22s %-10s %s\n" n d desc)
+    Proxy_proto.figure7_sample
+
+let attack_arg =
+  Arg.(value & opt (some string) None & info [ "attack" ] ~docv:"NAME"
+         ~doc:"Run only attacks whose name contains $(docv).")
+
+let test_arg =
+  Arg.(value & opt (some string) None & info [ "test" ] ~docv:"NAME"
+         ~doc:"One of tcp_stream, udp_tx, udp_rx, udp_rr.")
+
+let security_cmd =
+  Cmd.v (Cmd.info "security" ~doc:"Run the 5.2 attack scenarios")
+    Term.(const run_security $ attack_arg)
+
+let netperf_cmd =
+  Cmd.v (Cmd.info "netperf" ~doc:"Run the Figure 8 benchmarks")
+    Term.(const run_netperf $ test_arg)
+
+let mappings_cmd =
+  Cmd.v (Cmd.info "mappings" ~doc:"Print the e1000 driver's IOMMU mappings (Figure 9)")
+    Term.(const run_mappings $ const ())
+
+let files_cmd =
+  Cmd.v (Cmd.info "files" ~doc:"Print the sud device files (Figure 6)")
+    Term.(const run_files $ const ())
+
+let protocol_cmd =
+  Cmd.v (Cmd.info "protocol" ~doc:"Print the upcall/downcall table (Figure 7)")
+    Term.(const run_protocol $ const ())
+
+let () =
+  let info = Cmd.info "sudctl" ~version:"1.0" ~doc:"Drive the SUD reproduction" in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ security_cmd; netperf_cmd; mappings_cmd; files_cmd; protocol_cmd ]))

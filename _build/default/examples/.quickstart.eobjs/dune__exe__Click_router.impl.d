@@ -1,0 +1,1 @@
+examples/click_router.ml: Bytes Char Cpu Driver_api E1000_dev Engine Fiber Int64 Kernel List Net_medium Printf Process Safe_pci Skbuff String

@@ -1,0 +1,1 @@
+examples/click_router.mli:

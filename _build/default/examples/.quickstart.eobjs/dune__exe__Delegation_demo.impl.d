@@ -1,0 +1,1 @@
+examples/delegation_demo.ml: Bus Delegation Driver_host E1000 E1000_dev Engine Fiber Hda Hda_dev Iwl Kernel List Net_medium Netdev Netstack Printf Process Safe_pci Skbuff String Wifi_dev

@@ -1,0 +1,1 @@
+examples/driver_restart.ml: Bus Bytes Driver_host E1000 E1000_dev Engine Fiber Iommu Kernel List Mal_nic Native_net Net_medium Netdev Netstack Printf Process Safe_pci Skbuff

@@ -1,0 +1,1 @@
+examples/malicious_driver.ml: List Printf Scenarios String

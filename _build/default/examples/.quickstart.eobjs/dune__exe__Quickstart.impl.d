@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Driver_host E1000 E1000_dev Engine Fiber Kernel List Native_net Net_medium Netdev Netstack Printf Process Safe_pci Skbuff Uchan

@@ -1,0 +1,1 @@
+examples/sound_stream.ml: Bytes Char Driver_host Engine Fiber Float Hda Hda_dev Kernel Printf Process Proxy_audio Safe_pci

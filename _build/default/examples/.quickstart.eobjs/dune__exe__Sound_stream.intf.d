@@ -1,0 +1,1 @@
+examples/sound_stream.mli:

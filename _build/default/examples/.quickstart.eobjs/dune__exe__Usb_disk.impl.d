@@ -1,0 +1,1 @@
+examples/usb_disk.ml: Bytes Driver_host Ehci Engine Fiber Int32 Kernel Printf Process Proxy_usb Safe_pci Usb_device Usb_hci_dev

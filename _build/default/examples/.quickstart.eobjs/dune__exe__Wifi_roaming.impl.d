@@ -1,0 +1,1 @@
+examples/wifi_roaming.ml: Driver_host Engine Fiber Iwl Kernel List Net_medium Netdev Netstack Preempt Printf Process Proxy_wifi Safe_pci Skbuff String Wifi_dev

@@ -1,0 +1,67 @@
+(* Driver crash recovery: kill -9 a running (malicious) driver and restart
+   a good one on the same device — the administrator workflow of §4.1.
+
+     dune exec examples/driver_restart.exe *)
+
+let () =
+  let eng = Engine.create () in
+  let k = Kernel.boot eng in
+  let medium = Net_medium.create eng () in
+  let nic = E1000_dev.create eng ~mac:(Skbuff.Mac.of_string "52:54:00:00:00:0a") ~medium () in
+  let peer = E1000_dev.create eng ~mac:(Skbuff.Mac.of_string "52:54:00:00:00:0b") ~medium () in
+  let bdf = Kernel.attach_pci k (E1000_dev.device nic) in
+  let bdf_peer = Kernel.attach_pci k (E1000_dev.device peer) in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"admin" (fun () ->
+         let sp = Safe_pci.init k in
+         (* A driver that goes rogue: it starts normally, then begins
+            issuing DMA to kernel addresses. *)
+         let rogue =
+           Mal_nic.driver ~name:"suspicious-e1000"
+             ~on_open:(fun t ->
+                 Mal_nic.dma_read_via_tx t ~target:0x1000 ~len:64;
+                 Ok ())
+             ()
+         in
+         let s1 =
+           match Driver_host.start_net k sp ~bdf rogue with
+           | Ok s -> s
+           | Error e -> failwith e
+         in
+         Printf.printf "[admin] started driver as pid %d\n" (Process.pid (Driver_host.proc s1));
+         ignore (Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s1) : (unit, string) result);
+         ignore (Fiber.sleep eng 5_000_000 : Fiber.wake);
+         List.iter
+           (fun f -> Printf.printf "[iommu] %s\n" (Bus.string_of_fault f))
+           (Iommu.faults k.Kernel.iommu);
+         Printf.printf "[admin] driver is misbehaving — kill -9 %d\n"
+           (Process.pid (Driver_host.proc s1));
+         Driver_host.kill s1;
+         Printf.printf "[admin] process alive: %b; restarting with the stock e1000 driver\n"
+           (Process.is_alive (Driver_host.proc s1));
+         ignore (Fiber.sleep eng 1_000_000 : Fiber.wake);
+         (match Driver_host.start_net k sp ~bdf ~name:"eth0" E1000.driver with
+          | Error e -> failwith ("restart: " ^ e)
+          | Ok s2 ->
+            (match Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s2) with
+             | Ok () -> print_endline "[admin] eth0 back up with a fresh driver process"
+             | Error e -> failwith e);
+            (* Prove traffic flows again. *)
+            let peer_dev =
+              match Native_net.attach ~name:"eth1" k E1000.driver bdf_peer with
+              | Ok d -> d
+              | Error e -> failwith e
+            in
+            ignore (Netstack.ifconfig_up k.Kernel.net peer_dev : (unit, string) result);
+            let sock = Netstack.udp_bind k.Kernel.net (Driver_host.netdev s2) ~port:1234 in
+            let sink = Netstack.udp_bind k.Kernel.net peer_dev ~port:4321 in
+            ignore
+              (Netstack.udp_sendto k.Kernel.net sock ~dst:(Netdev.mac peer_dev) ~dst_port:4321
+                 (Bytes.of_string "alive again")
+               : [ `Sent | `Dropped ]);
+            (match Netstack.udp_recv k.Kernel.net sink with
+             | Some (d, _) -> Printf.printf "[peer] received %S — recovery complete\n"
+                                (Bytes.to_string d)
+             | None -> print_endline "[peer] nothing came through")))
+     : Fiber.t);
+  Engine.run ~max_time:2_000_000_000 eng

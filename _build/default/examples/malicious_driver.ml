@@ -1,0 +1,24 @@
+(* The security story (paper §5.2), end to end: run every attack from the
+   sud_attacks library and print the containment table.
+
+     dune exec examples/malicious_driver.exe *)
+
+let () =
+  print_endline "SUD security evaluation — each row is a malicious-driver scenario";
+  print_endline (String.make 100 '-');
+  Printf.printf "%-42s %-34s %-9s\n" "Attack" "Configuration" "Contained";
+  print_endline (String.make 100 '-');
+  List.iter
+    (fun o ->
+       Printf.printf "%-42s %-34s %-9s\n" o.Scenarios.attack
+         (if String.length o.Scenarios.config > 34 then
+            String.sub o.Scenarios.config 0 31 ^ "..."
+          else o.Scenarios.config)
+         (if o.Scenarios.contained then "yes" else "NO");
+       Printf.printf "    %s\n" o.Scenarios.evidence)
+    (Scenarios.all ());
+  print_endline (String.make 100 '-');
+  print_endline
+    "NO rows are expected: the trusted-driver baseline, disabled protections (ACS off,\n\
+     no source validation, zero-copy delivery) and the paper's own testbed gap (VT-d\n\
+     without interrupt remapping cannot stop DMA-forged interrupt storms, 5.2)."

@@ -1,0 +1,1 @@
+lib/attacks/mal_nic.ml: Bytes Char Driver_api E1000_dev Int64

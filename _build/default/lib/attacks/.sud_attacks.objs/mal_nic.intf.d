@@ -1,0 +1,1 @@
+lib/attacks/mal_nic.mli: Driver_api

@@ -1,0 +1,1 @@
+lib/attacks/scenarios.mli: Iommu

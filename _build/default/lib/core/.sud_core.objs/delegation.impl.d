@@ -1,0 +1,1 @@
+lib/core/delegation.ml: Driver_api Driver_host Kernel List Printf Result Sysfs

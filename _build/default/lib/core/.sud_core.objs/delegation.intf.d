@@ -1,0 +1,1 @@
+lib/core/delegation.mli: Bus Driver_api Driver_host Kernel Safe_pci

@@ -1,0 +1,1 @@
+lib/core/driver_api.ml: Bus Bytes Cpu Fiber Int32

@@ -1,0 +1,1 @@
+lib/core/driver_api.mli: Bus Cpu

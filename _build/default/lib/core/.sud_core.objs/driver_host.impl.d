@@ -1,0 +1,1 @@
+lib/core/driver_host.ml: Bufpool Bus Driver_api Fiber Kernel Netdev Option Process Proxy_audio Proxy_net Proxy_usb Proxy_wifi Safe_pci Sud_uml Sysfs Uchan

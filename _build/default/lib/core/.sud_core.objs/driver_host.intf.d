@@ -1,0 +1,1 @@
+lib/core/driver_host.mli: Bus Driver_api Kernel Netdev Process Proxy_audio Proxy_net Proxy_usb Proxy_wifi Safe_pci Sud_uml Uchan

@@ -1,0 +1,1 @@
+lib/core/kenv_native.ml: Bus Bytes Cost_model Cpu Device Driver_api Engine Fiber Iommu Ioport Irq Kernel Klog Pci_cfg Pci_topology Phys_mem Printf Process

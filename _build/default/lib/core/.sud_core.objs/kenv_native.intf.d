@@ -1,0 +1,1 @@
+lib/core/kenv_native.mli: Bus Driver_api Kernel

@@ -1,0 +1,1 @@
+lib/core/native_net.ml: Bus Cost_model Cpu Driver_api Kenv_native Kernel List Netdev Netstack Option Phys_mem Queue Skbuff

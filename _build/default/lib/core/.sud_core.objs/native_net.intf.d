@@ -1,0 +1,1 @@
+lib/core/native_net.mli: Bus Driver_api Kernel Netdev

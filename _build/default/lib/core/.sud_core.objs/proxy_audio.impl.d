@@ -1,0 +1,1 @@
+lib/core/proxy_audio.ml: Bufpool Bytes Engine Fiber Kernel Klog Msg Proxy_proto Result Safe_pci Sync Uchan

@@ -1,0 +1,1 @@
+lib/core/proxy_audio.mli: Bufpool Kernel Safe_pci Uchan

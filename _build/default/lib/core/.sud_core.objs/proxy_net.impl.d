@@ -1,0 +1,1 @@
+lib/core/proxy_net.ml: Bufpool Bytes Cost_model Cpu Driver_api Engine Fiber Kernel Klog Msg Netdev Netstack Proxy_proto Safe_pci Skbuff Sync Uchan

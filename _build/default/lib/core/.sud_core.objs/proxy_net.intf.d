@@ -1,0 +1,1 @@
+lib/core/proxy_net.mli: Bufpool Kernel Msg Netdev Safe_pci Uchan

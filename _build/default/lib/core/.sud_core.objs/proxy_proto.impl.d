@@ -1,0 +1,1 @@
+lib/core/proxy_proto.ml: Printf

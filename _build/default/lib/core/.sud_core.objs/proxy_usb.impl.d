@@ -1,0 +1,1 @@
+lib/core/proxy_usb.ml: Bufpool Bytes Engine Fiber Kernel Klog List Msg Proxy_proto Safe_pci Sync Uchan

@@ -1,0 +1,1 @@
+lib/core/proxy_wifi.ml: Bytes Engine Fiber Kernel List Msg Proxy_net Proxy_proto Sync Uchan

@@ -1,0 +1,1 @@
+lib/core/proxy_wifi.mli: Bufpool Kernel Netdev Proxy_net Safe_pci Uchan

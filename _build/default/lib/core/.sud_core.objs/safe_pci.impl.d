@@ -1,0 +1,1 @@
+lib/core/safe_pci.ml: Bus Bytes Cost_model Cpu Device Driver_api Hashtbl Iommu Ioport Irq Kernel Klog List Pci_cfg Pci_topology Phys_mem Printf Process

@@ -1,0 +1,1 @@
+lib/core/safe_pci.mli: Bus Driver_api Kernel Process

@@ -1,0 +1,1 @@
+lib/core/shadow.ml: Bus Driver_api Driver_host Fiber Kernel Klog Netdev Netstack Process Proxy_net Safe_pci

@@ -1,0 +1,1 @@
+lib/core/shadow.mli: Driver_api Driver_host Kernel Netdev Safe_pci

@@ -1,0 +1,1 @@
+lib/core/sud_uml.ml: Bufpool Bytes Driver_api Engine Fiber Kernel List Msg Pci_cfg Printf Process Proxy_proto Safe_pci Sync Uchan

@@ -1,0 +1,1 @@
+lib/core/sud_uml.mli: Bufpool Driver_api Kernel Process Safe_pci Uchan

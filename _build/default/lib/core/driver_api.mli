@@ -1,0 +1,182 @@
+(** The Linux-driver-facing API ("kenv").
+
+    Device drivers in [lib/drivers/] are written once against these
+    records — registers via {!mmio}/{!pio}, DMA-capable memory via
+    {!dma_region}, config space, IRQs, timers — exactly the surface a
+    Linux PCI driver uses.  The {e same driver code} then runs in two
+    environments, which is the paper's headline property:
+
+    - {!Kenv_native} builds a [pcidev] with direct hardware access for a
+      trusted in-kernel driver (the baseline in Figure 8);
+    - {!Sud_uml} builds one whose every operation goes through SUD's safe
+      PCI device files and uchan downcalls, for an untrusted user-space
+      driver.
+
+    All accessors charge CPU time to the calling context so the two
+    environments are comparable in the benchmarks. *)
+
+type mmio = {
+  mmio_read : off:int -> size:int -> int;
+  mmio_write : off:int -> size:int -> int -> unit;
+}
+
+type pio = {
+  pio_read : off:int -> size:int -> int;
+  pio_write : off:int -> size:int -> int -> unit;
+}
+
+type dma_region = {
+  dma_addr : int;
+      (** the bus address to program into the device (an IO virtual
+          address under SUD, a physical address in-kernel) *)
+  dma_size : int;
+  dma_read : off:int -> len:int -> bytes;
+  dma_write : off:int -> bytes -> unit;
+}
+
+(** 32/64-bit little-endian helpers over a [dma_region]. *)
+
+val dma_get32 : dma_region -> off:int -> int
+val dma_set32 : dma_region -> off:int -> int -> unit
+val dma_get64 : dma_region -> off:int -> int64
+val dma_set64 : dma_region -> off:int -> int64 -> unit
+
+type pcidev = {
+  pd_vendor : int;
+  pd_device : int;
+  pd_bdf : Bus.bdf;
+  pd_cfg_read : off:int -> size:int -> int;
+  pd_cfg_write : off:int -> size:int -> int -> (unit, string) result;
+  pd_enable : unit -> (unit, string) result;
+      (** pci_enable_device: memory/IO decoding + bus mastering *)
+  pd_map_bar : int -> (mmio, string) result;
+  pd_io_bar : int -> (pio, string) result;
+  pd_alloc_dma : ?coherent:bool -> bytes:int -> unit -> (dma_region, string) result;
+  pd_free_dma : dma_region -> unit;
+  pd_request_irq : (unit -> unit) -> (unit, string) result;
+  pd_free_irq : unit -> unit;
+  pd_irq_ack : unit -> unit;
+      (** Tell the environment interrupt processing finished (under SUD
+          this unmasks the MSI; in-kernel it is a no-op). *)
+  pd_find_capability : int -> int option;
+}
+
+type env = {
+  env_jiffies : unit -> int;        (** milliseconds since boot *)
+  env_msleep : int -> unit;         (** sleep (fiber) for ms *)
+  env_udelay : int -> unit;         (** busy-wait: charges CPU for us *)
+  env_printk : string -> unit;
+  env_spawn : name:string -> (unit -> unit) -> unit;
+      (** a kernel-thread-like worker in the driver's context *)
+  env_consume : int -> unit;        (** charge ns of driver CPU work *)
+}
+
+(** {1 Driver classes}
+
+    Callback records are handed to the driver at probe time (they stand in
+    for kernel functions like [netif_rx]); instance records are what probe
+    returns (they stand in for the ops structs the driver registers). *)
+
+type txbuf = {
+  txb_addr : int;
+      (** bus address of the frame payload: DMA drivers program this
+          straight into a descriptor — no data copy in the driver *)
+  txb_len : int;
+  txb_token : int;
+      (** opaque; hand back via [nc_tx_free] once the device is done *)
+  txb_read : unit -> bytes;
+      (** materialize the bytes — for programmed-IO drivers (ne2k) that
+          must copy the frame into card memory themselves *)
+}
+
+type net_callbacks = {
+  nc_rx : addr:int -> len:int -> unit;
+      (** netif_rx: [addr] must lie inside one of the driver's DMA
+          regions; the environment (proxy) validates and copies out *)
+  nc_tx_free : token:int -> unit;
+      (** the device finished transmitting this [txbuf] *)
+  nc_tx_done : unit -> unit;        (** netif_wake_queue *)
+  nc_carrier : bool -> unit;        (** netif_carrier_on/off *)
+}
+
+type net_instance = {
+  ni_mac : bytes;
+  ni_open : unit -> (unit, string) result;
+  ni_stop : unit -> unit;
+  ni_xmit : txbuf -> [ `Ok | `Busy ];
+  ni_ioctl : cmd:int -> arg:int -> (int, string) result;
+}
+
+type net_driver = {
+  nd_name : string;
+  nd_ids : (int * int) list;
+  nd_probe : env -> pcidev -> net_callbacks -> (net_instance, string) result;
+}
+
+type wifi_callbacks = {
+  wc_net : net_callbacks;
+  wc_scan_done : int list -> unit;  (** visible BSSIDs *)
+  wc_bss_changed : int -> unit;     (** now associated with this BSSID *)
+}
+
+type wifi_instance = {
+  wi_net : net_instance;
+  wi_scan : unit -> (unit, string) result;
+  wi_associate : bssid:int -> (unit, string) result;
+  wi_bitrates : unit -> int list;
+  wi_set_rate : int -> (unit, string) result;
+}
+
+type wifi_driver = {
+  wd_name : string;
+  wd_ids : (int * int) list;
+  wd_probe : env -> pcidev -> wifi_callbacks -> (wifi_instance, string) result;
+}
+
+type audio_callbacks = { ac_period_elapsed : unit -> unit }
+
+type audio_instance = {
+  au_start : unit -> (unit, string) result;
+  au_stop : unit -> unit;
+  au_write : bytes -> int;          (** enqueue PCM; returns bytes accepted *)
+  au_set_volume : int -> (unit, string) result;
+  au_get_volume : unit -> (int, string) result;
+}
+
+type audio_driver = {
+  ad_name : string;
+  ad_ids : (int * int) list;
+  ad_probe : env -> pcidev -> audio_callbacks -> (audio_instance, string) result;
+}
+
+type block_instance = {
+  bl_capacity : unit -> int;        (** in 512-byte blocks *)
+  bl_read : lba:int -> count:int -> (bytes, string) result;
+  bl_write : lba:int -> bytes -> (unit, string) result;
+}
+
+type input_callbacks = { ic_key : int -> unit }
+
+type usb_dev_handle = {
+  ud_address : int;
+  ud_class : int;                   (** 0x03 HID, 0x08 mass storage *)
+  ud_control : setup:bytes -> dir_in:bool -> len:int -> (bytes, string) result;
+  ud_bulk_out : ep:int -> bytes -> (unit, string) result;
+  ud_bulk_in : ep:int -> len:int -> (bytes, string) result;
+  ud_interrupt_in : ep:int -> len:int -> (bytes option, string) result;
+}
+
+type usb_host_instance = {
+  uh_enumerate : unit -> (usb_dev_handle list, string) result;
+      (** reset ports, assign addresses, read device descriptors *)
+}
+
+type usb_host_driver = {
+  ud_name : string;
+  ud_ids : (int * int) list;
+  ud_probe : env -> pcidev -> (usb_host_instance, string) result;
+}
+
+val charge : Cpu.t -> label:string -> int -> unit
+(** Charge CPU: blocking [consume] when called from a fiber, non-blocking
+    [account] from event context (interrupt handlers). *)

@@ -1,0 +1,236 @@
+type started = {
+  s_k : Kernel.t;
+  s_sp : Safe_pci.t;
+  s_bdf : Bus.bdf;
+  s_uid : int;
+  s_name : string;
+  s_defensive : bool;
+  s_proc : Process.t;
+  s_chan : Uchan.t;
+  s_grant : Safe_pci.grant;
+  s_proxy : Proxy_net.t;
+  s_uml : Sud_uml.t;
+  s_netdev : Netdev.t;
+}
+
+let pool_bufs = 128
+let pool_buf_size = 2048
+
+let find_device k (drv : Driver_api.net_driver) =
+  match Sysfs.match_ids k.Kernel.sysfs ~ids:drv.Driver_api.nd_ids with
+  | [] -> Error "no matching PCI device in sysfs"
+  | e :: _ -> Ok e.Sysfs.bdf
+
+let start_net_at k sp ~uid ~defensive_copy ~name ~bdf (drv : Driver_api.net_driver) =
+  Safe_pci.register_device sp bdf;
+  Safe_pci.set_owner sp bdf ~uid;
+  let proc = Process.spawn k.Kernel.procs ~name ~uid in
+  match Safe_pci.open_device sp bdf ~proc with
+  | Error e ->
+    Process.kill proc;
+    Error ("open device: " ^ e)
+  | Ok grant ->
+    (match
+       Safe_pci.alloc_dma grant
+         ~bytes:(Bufpool.region_size ~count:pool_bufs ~buf_size:pool_buf_size)
+         ()
+     with
+     | Error e ->
+       Process.kill proc;
+       Error ("shared pool: " ^ e)
+     | Ok region ->
+       let pool =
+         Bufpool.create
+           ~read:(fun ~off ~len -> region.Driver_api.dma_read ~off ~len)
+           ~write:(fun ~off ~data -> region.Driver_api.dma_write ~off data)
+           ~base_addr:region.Driver_api.dma_addr ~count:pool_bufs ~buf_size:pool_buf_size
+       in
+       let chan = Uchan.create k ~driver_label:name () in
+       let proxy = Proxy_net.create k ~chan ~grant ~pool ~name ~defensive_copy () in
+       let uml = Sud_uml.create k ~proc ~grant ~chan ~pool in
+       Process.on_exit proc (fun () ->
+           Uchan.close chan;
+           Proxy_net.unregister proxy);
+       ignore
+         (Process.spawn_fiber proc ~name:(name ^ "-main") (fun () ->
+              Sud_uml.serve_net uml drv)
+          : Fiber.t);
+       (match Proxy_net.wait_ready proxy ~timeout_ns:100_000_000 with
+        | None ->
+          Process.kill proc;
+          Error "driver did not register a network device"
+        | Some dev ->
+          Ok
+            { s_k = k;
+              s_sp = sp;
+              s_bdf = bdf;
+              s_uid = uid;
+              s_name = name;
+              s_defensive = defensive_copy;
+              s_proc = proc;
+              s_chan = chan;
+              s_grant = grant;
+              s_proxy = proxy;
+              s_uml = uml;
+              s_netdev = dev }))
+
+let start_net k sp ?(uid = 1000) ?(defensive_copy = true) ?name ?bdf drv =
+  let name = Option.value ~default:drv.Driver_api.nd_name name in
+  match bdf with
+  | Some bdf -> start_net_at k sp ~uid ~defensive_copy ~name ~bdf drv
+  | None ->
+    (match find_device k drv with
+     | Error e -> Error e
+     | Ok bdf -> start_net_at k sp ~uid ~defensive_copy ~name ~bdf drv)
+
+let proc s = s.s_proc
+let netdev s = s.s_netdev
+let grant s = s.s_grant
+let chan s = s.s_chan
+let proxy s = s.s_proxy
+let uml s = s.s_uml
+let bdf s = s.s_bdf
+
+let kill s = Process.kill s.s_proc
+
+let restart k sp s drv =
+  kill s;
+  (* Let teardown events (fiber kills, device reset) settle at the current
+     instant before re-opening the device. *)
+  ignore (Fiber.sleep k.Kernel.eng 1_000 : Fiber.wake);
+  start_net_at k sp ~uid:s.s_uid ~defensive_copy:s.s_defensive ~name:s.s_name ~bdf:s.s_bdf drv
+
+let set_memory_limit s ~bytes = Process.setrlimit_memory s.s_proc ~bytes:(Some bytes)
+
+(* ---- generic prelude shared by the class starters ---- *)
+
+let open_with_pool k sp ~uid ~name ~bdf =
+  Safe_pci.register_device sp bdf;
+  Safe_pci.set_owner sp bdf ~uid;
+  let proc = Process.spawn k.Kernel.procs ~name ~uid in
+  match Safe_pci.open_device sp bdf ~proc with
+  | Error e ->
+    Process.kill proc;
+    Error ("open device: " ^ e)
+  | Ok grant ->
+    (match
+       Safe_pci.alloc_dma grant
+         ~bytes:(Bufpool.region_size ~count:pool_bufs ~buf_size:pool_buf_size)
+         ()
+     with
+     | Error e ->
+       Process.kill proc;
+       Error ("shared pool: " ^ e)
+     | Ok region ->
+       let pool =
+         Bufpool.create
+           ~read:(fun ~off ~len -> region.Driver_api.dma_read ~off ~len)
+           ~write:(fun ~off ~data -> region.Driver_api.dma_write ~off data)
+           ~base_addr:region.Driver_api.dma_addr ~count:pool_bufs ~buf_size:pool_buf_size
+       in
+       let chan = Uchan.create k ~driver_label:name () in
+       Ok (proc, grant, pool, chan))
+
+let find_by_ids k ids what =
+  match Sysfs.match_ids k.Kernel.sysfs ~ids with
+  | [] -> Error ("no matching PCI device in sysfs for " ^ what)
+  | e :: _ -> Ok e.Sysfs.bdf
+
+type started_wifi = {
+  w_proc : Process.t;
+  w_proxy : Proxy_wifi.t;
+  w_netdev : Netdev.t;
+}
+
+let start_wifi k sp ?(uid = 1000) ?name ?bdf (drv : Driver_api.wifi_driver) =
+  let name = Option.value ~default:drv.Driver_api.wd_name name in
+  let bdf_r =
+    match bdf with Some b -> Ok b | None -> find_by_ids k drv.Driver_api.wd_ids name
+  in
+  match bdf_r with
+  | Error e -> Error e
+  | Ok bdf ->
+    (match open_with_pool k sp ~uid ~name ~bdf with
+     | Error e -> Error e
+     | Ok (proc, grant, pool, chan) ->
+       let proxy = Proxy_wifi.create k ~chan ~grant ~pool ~name () in
+       let uml = Sud_uml.create k ~proc ~grant ~chan ~pool in
+       Process.on_exit proc (fun () ->
+           Uchan.close chan;
+           Proxy_net.unregister (Proxy_wifi.net proxy));
+       ignore
+         (Process.spawn_fiber proc ~name:(name ^ "-main") (fun () -> Sud_uml.serve_wifi uml drv)
+          : Fiber.t);
+       (match Proxy_wifi.wait_ready proxy ~timeout_ns:100_000_000 with
+        | None ->
+          Process.kill proc;
+          Error "wifi driver did not register"
+        | Some dev -> Ok { w_proc = proc; w_proxy = proxy; w_netdev = dev }))
+
+let wifi_proxy s = s.w_proxy
+let wifi_netdev s = s.w_netdev
+let wifi_proc s = s.w_proc
+let kill_wifi s = Process.kill s.w_proc
+
+type started_audio = {
+  a_proc : Process.t;
+  a_proxy : Proxy_audio.t;
+}
+
+let start_audio k sp ?(uid = 1000) ?name ?bdf (drv : Driver_api.audio_driver) =
+  let name = Option.value ~default:drv.Driver_api.ad_name name in
+  let bdf_r =
+    match bdf with Some b -> Ok b | None -> find_by_ids k drv.Driver_api.ad_ids name
+  in
+  match bdf_r with
+  | Error e -> Error e
+  | Ok bdf ->
+    (match open_with_pool k sp ~uid ~name ~bdf with
+     | Error e -> Error e
+     | Ok (proc, grant, pool, chan) ->
+       let proxy = Proxy_audio.create k ~chan ~grant ~pool ~name () in
+       let uml = Sud_uml.create k ~proc ~grant ~chan ~pool in
+       Process.on_exit proc (fun () -> Uchan.close chan);
+       ignore
+         (Process.spawn_fiber proc ~name:(name ^ "-main") (fun () -> Sud_uml.serve_audio uml drv)
+          : Fiber.t);
+       if Proxy_audio.wait_ready proxy ~timeout_ns:100_000_000 then
+         Ok { a_proc = proc; a_proxy = proxy }
+       else begin
+         Process.kill proc;
+         Error "audio driver did not register"
+       end)
+
+let audio_proxy s = s.a_proxy
+let audio_proc s = s.a_proc
+let kill_audio s = Process.kill s.a_proc
+
+type started_usb = {
+  u_proc : Process.t;
+  u_proxy : Proxy_usb.t;
+}
+
+let start_usb k sp ?(uid = 1000) ?name ?bdf ~bind_storage ~bind_keyboard
+    (drv : Driver_api.usb_host_driver) =
+  let name = Option.value ~default:drv.Driver_api.ud_name name in
+  let bdf_r =
+    match bdf with Some b -> Ok b | None -> find_by_ids k drv.Driver_api.ud_ids name
+  in
+  match bdf_r with
+  | Error e -> Error e
+  | Ok bdf ->
+    (match open_with_pool k sp ~uid ~name ~bdf with
+     | Error e -> Error e
+     | Ok (proc, grant, pool, chan) ->
+       let proxy = Proxy_usb.create k ~chan ~grant ~pool ~name () in
+       let uml = Sud_uml.create k ~proc ~grant ~chan ~pool in
+       Process.on_exit proc (fun () -> Uchan.close chan);
+       ignore
+         (Process.spawn_fiber proc ~name:(name ^ "-main") (fun () ->
+              Sud_uml.serve_usb uml ~bind_storage ~bind_keyboard drv)
+          : Fiber.t);
+       Ok { u_proc = proc; u_proxy = proxy })
+
+let usb_proxy s = s.u_proxy
+let usb_proc s = s.u_proc
+let kill_usb s = Process.kill s.u_proc

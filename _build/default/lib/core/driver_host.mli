@@ -1,0 +1,97 @@
+(** Driver lifecycle management (paper §4.1): start an untrusted driver
+    process for a device, kill it like any other process, restart it.
+
+    [start_net] performs the whole §4.1 sequence: find the matching PCI
+    device in sysfs, chown its sud files to the driver's UID, spawn the
+    driver process, open the device, set up the shared buffer pool and
+    uchan, start the kernel-side proxy and the SUD-UML dispatch loop, and
+    wait for the driver to register its network device.
+
+    Must be called from a fiber. *)
+
+type started
+
+val start_net :
+  Kernel.t ->
+  Safe_pci.t ->
+  ?uid:int ->
+  ?defensive_copy:bool ->
+  ?name:string ->
+  ?bdf:Bus.bdf ->
+  Driver_api.net_driver ->
+  (started, string) result
+(** Defaults: [uid] 1000, defensive copy on, [name] the driver's name,
+    device found by the driver's ID table. *)
+
+val proc : started -> Process.t
+val netdev : started -> Netdev.t
+val grant : started -> Safe_pci.grant
+val chan : started -> Uchan.t
+val proxy : started -> Proxy_net.t
+val uml : started -> Sud_uml.t
+val bdf : started -> Bus.bdf
+
+val kill : started -> unit
+(** kill -9: the process dies, the grant is revoked, the uchan closes,
+    the netdev disappears. *)
+
+val restart :
+  Kernel.t -> Safe_pci.t -> started -> Driver_api.net_driver -> (started, string) result
+(** Kill (if still alive) and start a fresh driver process for the same
+    device — the paper's crash-recovery story. *)
+
+val set_memory_limit : started -> bytes:int -> unit
+(** setrlimit on the driver process. *)
+
+(** {1 Other device classes} *)
+
+type started_wifi
+
+val start_wifi :
+  Kernel.t ->
+  Safe_pci.t ->
+  ?uid:int ->
+  ?name:string ->
+  ?bdf:Bus.bdf ->
+  Driver_api.wifi_driver ->
+  (started_wifi, string) result
+
+val wifi_proxy : started_wifi -> Proxy_wifi.t
+val wifi_netdev : started_wifi -> Netdev.t
+val wifi_proc : started_wifi -> Process.t
+val kill_wifi : started_wifi -> unit
+
+type started_audio
+
+val start_audio :
+  Kernel.t ->
+  Safe_pci.t ->
+  ?uid:int ->
+  ?name:string ->
+  ?bdf:Bus.bdf ->
+  Driver_api.audio_driver ->
+  (started_audio, string) result
+
+val audio_proxy : started_audio -> Proxy_audio.t
+val audio_proc : started_audio -> Process.t
+val kill_audio : started_audio -> unit
+
+type started_usb
+
+val start_usb :
+  Kernel.t ->
+  Safe_pci.t ->
+  ?uid:int ->
+  ?name:string ->
+  ?bdf:Bus.bdf ->
+  bind_storage:(Driver_api.usb_dev_handle -> (Driver_api.block_instance, string) result) ->
+  bind_keyboard:
+    (Driver_api.env -> Driver_api.usb_dev_handle -> Driver_api.input_callbacks -> unit) ->
+  Driver_api.usb_host_driver ->
+  (started_usb, string) result
+(** The USB host proxy: block and input surfaces appear as the driver
+    process enumerates its bus; use {!Proxy_usb.wait_block}. *)
+
+val usb_proxy : started_usb -> Proxy_usb.t
+val usb_proc : started_usb -> Process.t
+val kill_usb : started_usb -> unit

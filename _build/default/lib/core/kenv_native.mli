@@ -1,0 +1,12 @@
+(** Trusted in-kernel driver environment.
+
+    Builds {!Driver_api.env}/{!Driver_api.pcidev} with direct hardware
+    access — no IOMMU domain, no config filtering, interrupts dispatched
+    straight to the handler.  This is how the paper's baseline ("kernel
+    driver" rows of Figure 8) runs: the driver is fully trusted, and a
+    malicious one owns the machine. *)
+
+val env : Kernel.t -> label:string -> Driver_api.env
+
+val pcidev : Kernel.t -> Bus.bdf -> label:string -> (Driver_api.pcidev, string) result
+(** [label] is the CPU-accounting bucket (e.g. "kernel:e1000"). *)

@@ -1,0 +1,9 @@
+(** Bind an unmodified net driver as a {e trusted in-kernel} driver: the
+    baseline configuration of Figure 8.  The driver's callbacks are wired
+    straight to the net stack; its DMA uses raw physical addresses.
+
+    Must be called from a fiber (probe may sleep). *)
+
+val attach : ?name:string -> Kernel.t -> Driver_api.net_driver -> Bus.bdf -> (Netdev.t, string) result
+(** Probes the driver against the device, registers the resulting
+    [Netdev.t] with the network stack and returns it. *)

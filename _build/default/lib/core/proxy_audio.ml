@@ -1,0 +1,111 @@
+type t = {
+  k : Kernel.t;
+  chan : Uchan.t;
+  pool : Bufpool.t;
+  name : string;
+  mutable ready : bool;
+  ready_wait : Sync.Waitq.t;
+  mutable periods : int;
+  period_wait : Sync.Waitq.t;
+}
+
+let klogf t lvl fmt = Klog.printk t.k.Kernel.klog lvl fmt
+
+let handle_downcall t m =
+  let kind = m.Msg.kind in
+  if kind = Proxy_proto.down_audio_register then begin
+    t.ready <- true;
+    ignore (Sync.Waitq.broadcast t.ready_wait : int);
+    Some (Msg.make ~kind ~args:[ 0 ] ())
+  end
+  else if kind = Proxy_proto.down_audio_period then begin
+    t.periods <- t.periods + 1;
+    ignore (Sync.Waitq.broadcast t.period_wait : int);
+    None
+  end
+  else if kind = Proxy_proto.down_tx_free then begin
+    Bufpool.free t.pool (Msg.arg m 0);
+    None
+  end
+  else if kind = Proxy_proto.down_irq_ack then None   (* handled by grant in host *)
+  else if kind = Proxy_proto.down_printk then begin
+    klogf t Klog.Info "%s: %s" t.name (Bytes.to_string m.Msg.payload);
+    None
+  end
+  else begin
+    klogf t Klog.Warn "sud-audio(%s): unexpected downcall %d" t.name kind;
+    None
+  end
+
+let create k ~chan ~grant ~pool ~name () =
+  let t =
+    { k;
+      chan;
+      pool;
+      name;
+      ready = false;
+      ready_wait = Sync.Waitq.create ();
+      periods = 0;
+      period_wait = Sync.Waitq.create () }
+  in
+  Uchan.set_downcall_handler chan (fun m ->
+      if m.Msg.kind = Proxy_proto.down_irq_ack then begin
+        Safe_pci.irq_ack grant;
+        None
+      end
+      else handle_downcall t m);
+  t
+
+let wait_cond k waitq ~timeout_ns cond =
+  let deadline = Engine.now k.Kernel.eng + timeout_ns in
+  let rec loop () =
+    if cond () then true
+    else begin
+      let left = deadline - Engine.now k.Kernel.eng in
+      if left <= 0 then false
+      else
+        match Sync.Waitq.wait_timeout k.Kernel.eng waitq left with
+        | Fiber.Interrupted -> false
+        | Fiber.Normal | Fiber.Timeout -> loop ()
+    end
+  in
+  loop ()
+
+let wait_ready t ~timeout_ns = wait_cond t.k t.ready_wait ~timeout_ns (fun () -> t.ready)
+
+let sync_call t kind args =
+  match Uchan.send t.chan (Msg.make ~kind ~args ()) with
+  | Error Uchan.Hung -> Error "driver hung"
+  | Error Uchan.Interrupted -> Error "interrupted"
+  | Error Uchan.Closed -> Error "driver is gone"
+  | Ok r when Msg.arg r 0 <> 0 -> Error (Bytes.to_string r.Msg.payload)
+  | Ok r -> Ok r
+
+let start t = Result.map (fun _ -> ()) (sync_call t Proxy_proto.up_audio_start [])
+let stop t = Result.map (fun _ -> ()) (sync_call t Proxy_proto.up_audio_stop [])
+
+let write t pcm =
+  match Bufpool.alloc t.pool with
+  | None -> 0
+  | Some buf ->
+    let n = min (Bytes.length pcm) buf.Bufpool.size in
+    Bufpool.write t.pool buf ~off:0 (Bytes.sub pcm 0 n);
+    (match
+       Uchan.asend t.chan
+         (Msg.make ~kind:Proxy_proto.up_audio_write ~args:[ buf.Bufpool.id; n ] ())
+     with
+     | Ok () -> n
+     | Error _ ->
+       Bufpool.free t.pool buf.Bufpool.id;
+       0)
+
+let set_volume t v = Result.map (fun _ -> ()) (sync_call t Proxy_proto.up_audio_set_vol [ v ])
+
+let get_volume t =
+  Result.map (fun r -> Msg.arg r 1) (sync_call t Proxy_proto.up_audio_get_vol [])
+
+let periods_elapsed t = t.periods
+
+let wait_period t ~timeout_ns =
+  let before = t.periods in
+  wait_cond t.k t.period_wait ~timeout_ns (fun () -> t.periods > before)

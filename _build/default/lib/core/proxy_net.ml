@@ -1,0 +1,223 @@
+type t = {
+  k : Kernel.t;
+  chan : Uchan.t;
+  grant : Safe_pci.grant;
+  pool : Bufpool.t;
+  name : string;
+  defensive_copy : bool;
+  mutable dev : Netdev.t option;
+  ready : Sync.Waitq.t;
+  mutable is_hung : bool;
+  mutable rx_bad_addr : int;
+}
+
+let model t = Cpu.cost_model t.k.Kernel.cpu
+
+let klogf t lvl fmt = Klog.printk t.k.Kernel.klog lvl fmt
+
+let mark_hung t why =
+  if not t.is_hung then begin
+    t.is_hung <- true;
+    klogf t Klog.Warn "sud-net(%s): driver appears hung (%s); kill and restart it" t.name why
+  end
+
+(* ---- netdev ops: kernel callbacks -> upcalls ---- *)
+
+let do_open t () =
+  match Uchan.send t.chan (Msg.make ~kind:Proxy_proto.up_net_open ()) with
+  | Ok r when Msg.arg r 0 = 0 -> Ok ()
+  | Ok r -> Error (Bytes.to_string r.Msg.payload)
+  | Error Uchan.Hung ->
+    mark_hung t "open upcall timed out";
+    Error "driver hung"
+  | Error Uchan.Interrupted -> Error "interrupted"
+  | Error Uchan.Closed -> Error "driver is gone"
+
+let do_stop t () =
+  match Uchan.send t.chan (Msg.make ~kind:Proxy_proto.up_net_stop ()) with
+  | Ok _ -> ()
+  | Error Uchan.Hung -> mark_hung t "stop upcall timed out"
+  | Error (Uchan.Interrupted | Uchan.Closed) -> ()
+
+let do_ioctl t ~cmd ~arg =
+  match Uchan.send t.chan (Msg.make ~kind:Proxy_proto.up_net_ioctl ~args:[ cmd; arg ] ()) with
+  | Ok r when Msg.arg r 0 = 0 -> Ok (Msg.arg r 1)
+  | Ok r -> Error (Bytes.to_string r.Msg.payload)
+  | Error Uchan.Hung ->
+    mark_hung t "ioctl upcall timed out";
+    Error "driver hung"
+  | Error Uchan.Interrupted -> Error "interrupted"
+  | Error Uchan.Closed -> Error "driver is gone"
+
+let do_xmit t skb =
+  match Bufpool.alloc t.pool with
+  | None -> Netdev.Xmit_busy       (* all shared buffers in flight *)
+  | Some buf ->
+    let len = Skbuff.length skb in
+    if len > buf.Bufpool.size then begin
+      Bufpool.free t.pool buf.Bufpool.id;
+      Netdev.Xmit_busy
+    end
+    else begin
+      (* The single data copy on the TX path: skb -> shared buffer.  The
+         driver and the device then use the same bytes in place. *)
+      Driver_api.charge t.k.Kernel.cpu ~label:"kernel:sud"
+        (Cost_model.copy_cost (model t) ~bytes:len);
+      Bufpool.write t.pool buf ~off:0 skb.Skbuff.data;
+      match
+        Uchan.asend t.chan
+          (Msg.make ~kind:Proxy_proto.up_net_xmit ~args:[ buf.Bufpool.id; len ] ())
+      with
+      | Ok () -> Netdev.Xmit_ok
+      | Error Uchan.Hung ->
+        Bufpool.free t.pool buf.Bufpool.id;
+        mark_hung t "transmit queue stalled";
+        Netdev.Xmit_busy
+      | Error (Uchan.Interrupted | Uchan.Closed) ->
+        Bufpool.free t.pool buf.Bufpool.id;
+        Netdev.Xmit_busy
+    end
+
+(* ---- downcall servicing ---- *)
+
+let handle_rx t m =
+  let iova = Msg.arg m 0 and len = Msg.arg m 1 in
+  match t.dev with
+  | None -> ()
+  | Some dev ->
+    if len <= 0 || len > 9018 then begin
+      t.rx_bad_addr <- t.rx_bad_addr + 1;
+      klogf t Klog.Warn "sud-net(%s): netif_rx with bogus length %d" t.name len
+    end
+    else begin
+      match Safe_pci.read_driver_mem t.grant ~iova ~len with
+      | Error e ->
+        t.rx_bad_addr <- t.rx_bad_addr + 1;
+        klogf t Klog.Warn "sud-net(%s): netif_rx rejected: %s" t.name e
+      | Ok data ->
+        (* Defensive copy fused with checksum verification: one pass over
+           the data, charged as the checksum the stack would do anyway,
+           plus fixed per-packet validation work. *)
+        Driver_api.charge t.k.Kernel.cpu ~label:"kernel:sud"
+          (500 + Cost_model.checksum_cost (model t) ~bytes:len);
+        let skb = Skbuff.of_bytes data in
+        skb.Skbuff.csum_verified <- true;
+        if not t.defensive_copy then begin
+          (* Vulnerable configuration: the stack re-reads driver memory at
+             delivery time. *)
+          skb.Skbuff.shared_with_driver <- true;
+          skb.Skbuff.refresh <-
+            Some
+              (fun () ->
+                 match Safe_pci.read_driver_mem t.grant ~iova ~len with
+                 | Ok fresh -> fresh
+                 | Error _ -> skb.Skbuff.data)
+        end;
+        Netdev.netif_rx dev skb
+    end
+
+let handle_register t m =
+  if Bytes.length m.Msg.payload = 6 && t.dev = None then begin
+    let mac = Bytes.copy m.Msg.payload in
+    let dev =
+      Netdev.create ~name:t.name ~mac
+        ~ops:
+          { Netdev.ndo_open = (fun () -> do_open t ());
+            ndo_stop = (fun () -> do_stop t ());
+            ndo_start_xmit = (fun skb -> do_xmit t skb);
+            ndo_do_ioctl = (fun ~cmd ~arg -> do_ioctl t ~cmd ~arg) }
+    in
+    t.dev <- Some dev;
+    Netstack.register_netdev t.k.Kernel.net dev;
+    ignore (Sync.Waitq.broadcast t.ready : int);
+    Some (Msg.make ~kind:Proxy_proto.down_net_register ~args:[ 0 ] ())
+  end
+  else Some (Msg.make ~kind:Proxy_proto.down_net_register ~args:[ 1 ] ())
+
+let handle_downcall t m =
+  let kind = m.Msg.kind in
+  if kind = Proxy_proto.down_net_register then handle_register t m
+  else if kind = Proxy_proto.down_netif_rx then begin
+    handle_rx t m;
+    None
+  end
+  else if kind = Proxy_proto.down_tx_free then begin
+    Bufpool.free t.pool (Msg.arg m 0);
+    (match t.dev with
+     | Some dev when Netdev.queue_stopped dev -> Netdev.netif_wake_queue dev
+     | Some _ | None -> ());
+    None
+  end
+  else if kind = Proxy_proto.down_tx_done then begin
+    (match t.dev with Some dev -> Netdev.netif_wake_queue dev | None -> ());
+    None
+  end
+  else if kind = Proxy_proto.down_carrier then begin
+    (match t.dev with
+     | Some dev -> if Msg.arg m 0 <> 0 then Netdev.netif_carrier_on dev else Netdev.netif_carrier_off dev
+     | None -> ());
+    None
+  end
+  else if kind = Proxy_proto.down_irq_ack then begin
+    Safe_pci.irq_ack t.grant;
+    None
+  end
+  else if kind = Proxy_proto.down_printk then begin
+    klogf t Klog.Info "%s: %s" t.name (Bytes.to_string m.Msg.payload);
+    None
+  end
+  else begin
+    (* Unknown downcalls from an untrusted driver are logged, not trusted. *)
+    klogf t Klog.Warn "sud-net(%s): unexpected downcall %d" t.name kind;
+    None
+  end
+
+let create k ~chan ~grant ~pool ~name ?(defensive_copy = true) () =
+  let t =
+    { k;
+      chan;
+      grant;
+      pool;
+      name;
+      defensive_copy;
+      dev = None;
+      ready = Sync.Waitq.create ();
+      is_hung = false;
+      rx_bad_addr = 0 }
+  in
+  Uchan.set_downcall_handler chan (fun m -> handle_downcall t m);
+  t
+
+let irq_sink t () =
+  if not (Uchan.try_asend t.chan (Msg.make ~kind:Proxy_proto.up_interrupt ())) then
+    (* Ring saturated with unserviced interrupts: the masking machinery in
+       Safe_pci is already throttling; nothing more to do here. *)
+    ()
+
+let netdev t = t.dev
+
+let wait_ready t ~timeout_ns =
+  let deadline = Engine.now t.k.Kernel.eng + timeout_ns in
+  let rec loop () =
+    match t.dev with
+    | Some dev -> Some dev
+    | None ->
+      let left = deadline - Engine.now t.k.Kernel.eng in
+      if left <= 0 then None
+      else
+        match Sync.Waitq.wait_timeout t.k.Kernel.eng t.ready left with
+        | Fiber.Interrupted -> None
+        | Fiber.Normal | Fiber.Timeout -> loop ()
+  in
+  loop ()
+
+let hung t = t.is_hung
+
+let unregister t =
+  match t.dev with
+  | Some dev ->
+    Netstack.unregister_netdev t.k.Kernel.net dev;
+    t.dev <- None
+  | None -> ()
+
+let rx_validation_failures t = t.rx_bad_addr

@@ -1,0 +1,54 @@
+(** The Ethernet proxy driver (paper §3.1; 300 lines in Figure 5).
+
+    Registers a [Netdev.t] with the kernel on behalf of a user-space
+    driver and translates between the two worlds:
+
+    - kernel callbacks become upcalls — packet transmission is an
+      asynchronous upcall carrying a shared-buffer id (zero further
+      copies), ioctls are synchronous {e interruptible} upcalls;
+    - driver downcalls ([netif_rx], carrier changes, tx-completion,
+      interrupt acks) are serviced from the uchan worker;
+    - mirrored shared state (MAC address, carrier) is kept in the
+      kernel-side [Netdev.t] and updated by downcalls;
+    - received packets are pulled out of driver memory with a {e defensive
+      copy fused with checksum verification} (§3.1.2), so a driver
+      mutating the buffer afterwards attacks only its own copy.  Passing
+      [~defensive_copy:false] reproduces the TOCTOU-vulnerable
+      configuration for the security evaluation. *)
+
+type t
+
+val create :
+  Kernel.t ->
+  chan:Uchan.t ->
+  grant:Safe_pci.grant ->
+  pool:Bufpool.t ->
+  name:string ->
+  ?defensive_copy:bool ->
+  unit ->
+  t
+(** Installs the downcall handler on [chan].  The netdev appears once the
+    driver performs its [down_net_register] downcall. *)
+
+val irq_sink : t -> unit -> unit
+(** Pass to {!Safe_pci.setup_irq}: forwards device interrupts as
+    [up_interrupt] upcalls (non-blocking, interrupt-context safe). *)
+
+val netdev : t -> Netdev.t option
+
+val wait_ready : t -> timeout_ns:int -> Netdev.t option
+(** Block (fiber) until the driver has registered, or time out. *)
+
+val hung : t -> bool
+(** The proxy observed the driver failing to service upcalls. *)
+
+val unregister : t -> unit
+(** Remove the netdev from the stack (driver death/restart). *)
+
+val rx_validation_failures : t -> int
+(** netif_rx downcalls whose address failed validation. *)
+
+val handle_downcall : t -> Msg.t -> Msg.t option
+(** The downcall dispatcher, exposed so class proxies that extend
+    Ethernet (the wireless proxy) can chain to it for the common
+    opcodes. *)

@@ -1,0 +1,72 @@
+(** RPC opcodes shared by the proxy drivers and SUD-UML — the concrete
+    instance of the paper's Figure 7 upcall/downcall table.
+
+    Upcalls are kernel→driver; downcalls are driver→kernel.  "sync"
+    operations block for a reply and are interruptible; everything else
+    is asynchronous and batched. *)
+
+(* ---- upcalls ---- *)
+
+let up_net_open = 1          (* sync *)
+let up_net_stop = 2          (* sync *)
+let up_net_xmit = 3          (* async; args [buf_id; len] *)
+let up_net_ioctl = 4         (* sync; args [cmd; arg] *)
+let up_interrupt = 5         (* async *)
+
+let up_wifi_scan = 16        (* sync (trigger; completion is an event) *)
+let up_wifi_assoc = 17       (* sync; args [bssid] *)
+let up_wifi_set_rate = 18    (* async — queued from non-preemptable context *)
+let up_wifi_get_rates = 19   (* sync *)
+
+let up_audio_start = 32      (* sync *)
+let up_audio_stop = 33       (* sync *)
+let up_audio_write = 34      (* async; args [buf_id; len] *)
+let up_audio_set_vol = 35    (* async; args [vol] *)
+let up_audio_get_vol = 36    (* sync *)
+
+let up_blk_read = 48         (* sync; args [lba; count; buf_id] *)
+let up_blk_write = 49        (* sync; args [lba; count; buf_id] *)
+let up_blk_capacity = 50     (* sync *)
+
+(* ---- downcalls ---- *)
+
+let down_net_register = 100  (* sync; payload = MAC *)
+let down_netif_rx = 101      (* async; args [iova; len] *)
+let down_tx_free = 102       (* async; args [buf_id] *)
+let down_tx_done = 103       (* async *)
+let down_carrier = 104       (* async; args [0|1] *)
+let down_irq_ack = 105       (* async *)
+
+let down_wifi_scan_done = 110   (* async; payload = bssid list (u16s) *)
+let down_wifi_bss_changed = 111 (* async; args [bssid] *)
+let down_audio_period = 112     (* async *)
+let down_blk_register = 113     (* sync; args [capacity] *)
+let down_input_key = 114        (* async; args [keycode] *)
+let down_wifi_rates = 115       (* async; payload = supported rates, one u16 each *)
+let down_audio_register = 116   (* sync *)
+let down_printk = 120           (* async; payload = message *)
+
+let name_of = function
+  | 1 -> "net_open" | 2 -> "net_stop" | 3 -> "net_xmit" | 4 -> "net_ioctl"
+  | 5 -> "interrupt"
+  | 16 -> "wifi_scan" | 17 -> "wifi_assoc" | 18 -> "wifi_set_rate" | 19 -> "wifi_get_rates"
+  | 32 -> "audio_start" | 33 -> "audio_stop" | 34 -> "audio_write"
+  | 35 -> "audio_set_vol" | 36 -> "audio_get_vol"
+  | 48 -> "blk_read" | 49 -> "blk_write" | 50 -> "blk_capacity"
+  | 100 -> "net_register" | 101 -> "netif_rx" | 102 -> "tx_free" | 103 -> "tx_done"
+  | 104 -> "carrier" | 105 -> "irq_ack"
+  | 110 -> "wifi_scan_done" | 111 -> "wifi_bss_changed" | 112 -> "audio_period"
+  | 113 -> "blk_register" | 114 -> "input_key" | 115 -> "wifi_rates"
+  | 116 -> "audio_register" | 120 -> "printk"
+  | n -> Printf.sprintf "op%d" n
+
+(** Figure 7's sample table: (name, direction, description). *)
+let figure7_sample =
+  [ ("ioctl", "upcall", "Request that the driver perform a device-specific ioctl.");
+    ("interrupt", "upcall", "Invoke the SUD-UML driver interrupt handler.");
+    ("net_open", "upcall", "Prepare a network device for operation.");
+    ("bss_change", "upcall", "Notify an 802.11 device that the BSS has changed.");
+    ("interrupt_ack", "downcall", "Request that SUD unmask the device interrupt line.");
+    ("request_region", "downcall", "Add IO-space ports to the driver's IO permission bitmask.");
+    ("netif_rx", "downcall", "Submit a received packet to the kernel's network stack.");
+    ("pci_find_capability", "downcall", "Checks if device supports a particular capability.") ]

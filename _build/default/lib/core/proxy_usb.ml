@@ -1,0 +1,152 @@
+let block_size = 512
+
+type t = {
+  k : Kernel.t;
+  chan : Uchan.t;
+  pool : Bufpool.t;
+  name : string;
+  mutable cap : int option;
+  blk_wait : Sync.Waitq.t;
+  mutable key_handler : (int -> unit) option;
+  mutable keys : int;
+}
+
+let klogf t lvl fmt = Klog.printk t.k.Kernel.klog lvl fmt
+
+let create k ~chan ~grant ~pool ~name () =
+  let t =
+    { k;
+      chan;
+      pool;
+      name;
+      cap = None;
+      blk_wait = Sync.Waitq.create ();
+      key_handler = None;
+      keys = 0 }
+  in
+  Uchan.set_downcall_handler chan (fun m ->
+      let kind = m.Msg.kind in
+      if kind = Proxy_proto.down_blk_register then begin
+        t.cap <- Some (Msg.arg m 0);
+        ignore (Sync.Waitq.broadcast t.blk_wait : int);
+        Some (Msg.make ~kind ~args:[ 0 ] ())
+      end
+      else if kind = Proxy_proto.down_input_key then begin
+        t.keys <- t.keys + 1;
+        (match t.key_handler with Some h -> h (Msg.arg m 0) | None -> ());
+        None
+      end
+      else if kind = Proxy_proto.down_irq_ack then begin
+        Safe_pci.irq_ack grant;
+        None
+      end
+      else if kind = Proxy_proto.down_tx_free then begin
+        Bufpool.free t.pool (Msg.arg m 0);
+        None
+      end
+      else if kind = Proxy_proto.down_printk then begin
+        klogf t Klog.Info "%s: %s" t.name (Bytes.to_string m.Msg.payload);
+        None
+      end
+      else begin
+        klogf t Klog.Warn "sud-usb(%s): unexpected downcall %d" t.name kind;
+        None
+      end);
+  t
+
+let wait_block t ~timeout_ns =
+  let deadline = Engine.now t.k.Kernel.eng + timeout_ns in
+  let rec loop () =
+    match t.cap with
+    | Some c -> Some c
+    | None ->
+      let left = deadline - Engine.now t.k.Kernel.eng in
+      if left <= 0 then None
+      else
+        (match Sync.Waitq.wait_timeout t.k.Kernel.eng t.blk_wait left with
+         | Fiber.Interrupted -> None
+         | Fiber.Normal | Fiber.Timeout -> loop ())
+  in
+  loop ()
+
+let capacity t = t.cap
+
+(* Block data moves through shared buffers, at most one pool buffer per
+   request; larger requests are split. *)
+let max_blocks_per_req t = Bufpool.buf_size t.pool / block_size
+
+let read_chunk t ~lba ~count =
+  match Bufpool.alloc t.pool with
+  | None -> Error "no shared buffers"
+  | Some buf ->
+    let finish r =
+      Bufpool.free t.pool buf.Bufpool.id;
+      r
+    in
+    (match
+       Uchan.send t.chan
+         (Msg.make ~kind:Proxy_proto.up_blk_read ~args:[ lba; count; buf.Bufpool.id ] ())
+     with
+     | Error Uchan.Hung -> finish (Error "driver hung")
+     | Error Uchan.Interrupted -> finish (Error "interrupted")
+     | Error Uchan.Closed -> finish (Error "driver is gone")
+     | Ok r when Msg.arg r 0 <> 0 -> finish (Error (Bytes.to_string r.Msg.payload))
+     | Ok _ ->
+       (* Defensive copy out of the shared buffer. *)
+       finish (Ok (Bufpool.read t.pool buf ~off:0 ~len:(count * block_size))))
+
+let read_blocks t ~lba ~count =
+  if count <= 0 then Error "count must be positive"
+  else begin
+    let chunk = max_blocks_per_req t in
+    let rec go lba count acc =
+      if count = 0 then Ok (Bytes.concat Bytes.empty (List.rev acc))
+      else begin
+        let n = min count chunk in
+        match read_chunk t ~lba ~count:n with
+        | Error e -> Error e
+        | Ok b -> go (lba + n) (count - n) (b :: acc)
+      end
+    in
+    go lba count []
+  end
+
+let write_chunk t ~lba data =
+  let count = Bytes.length data / block_size in
+  match Bufpool.alloc t.pool with
+  | None -> Error "no shared buffers"
+  | Some buf ->
+    Bufpool.write t.pool buf ~off:0 data;
+    let finish r =
+      Bufpool.free t.pool buf.Bufpool.id;
+      r
+    in
+    (match
+       Uchan.send t.chan
+         (Msg.make ~kind:Proxy_proto.up_blk_write ~args:[ lba; count; buf.Bufpool.id ] ())
+     with
+     | Error Uchan.Hung -> finish (Error "driver hung")
+     | Error Uchan.Interrupted -> finish (Error "interrupted")
+     | Error Uchan.Closed -> finish (Error "driver is gone")
+     | Ok r when Msg.arg r 0 <> 0 -> finish (Error (Bytes.to_string r.Msg.payload))
+     | Ok _ -> finish (Ok ()))
+
+let write_blocks t ~lba data =
+  if Bytes.length data = 0 || Bytes.length data mod block_size <> 0 then
+    Error "write must be whole blocks"
+  else begin
+    let chunk = max_blocks_per_req t * block_size in
+    let rec go lba off =
+      if off >= Bytes.length data then Ok ()
+      else begin
+        let n = min chunk (Bytes.length data - off) in
+        match write_chunk t ~lba (Bytes.sub data off n) with
+        | Error e -> Error e
+        | Ok () -> go (lba + (n / block_size)) (off + n)
+      end
+    in
+    go lba 0
+  end
+
+let set_key_handler t h = t.key_handler <- Some h
+let keys_received t = t.keys

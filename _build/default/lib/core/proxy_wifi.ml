@@ -1,0 +1,87 @@
+type t = {
+  k : Kernel.t;
+  chan : Uchan.t;
+  pnet : Proxy_net.t;
+  (* Mirrored shared state (paper §3.1.1/§3.3): owned by the kernel copy,
+     written by driver downcalls, read locally without upcalls. *)
+  mutable rates : int list;
+  mutable bss : int option;
+  mutable scan_results : int list option;
+  scan_wait : Sync.Waitq.t;
+}
+
+let decode_u16s payload =
+  let n = Bytes.length payload / 2 in
+  List.init n (fun i -> Bytes.get_uint16_le payload (2 * i))
+
+let handle_downcall t m =
+  let kind = m.Msg.kind in
+  if kind = Proxy_proto.down_wifi_rates then begin
+    t.rates <- decode_u16s m.Msg.payload;
+    None
+  end
+  else if kind = Proxy_proto.down_wifi_scan_done then begin
+    t.scan_results <- Some (decode_u16s m.Msg.payload);
+    ignore (Sync.Waitq.broadcast t.scan_wait : int);
+    None
+  end
+  else if kind = Proxy_proto.down_wifi_bss_changed then begin
+    t.bss <- Some (Msg.arg m 0);
+    None
+  end
+  else Proxy_net.handle_downcall t.pnet m
+
+let create k ~chan ~grant ~pool ~name ?defensive_copy () =
+  let pnet = Proxy_net.create k ~chan ~grant ~pool ~name ?defensive_copy () in
+  let t =
+    { k; chan; pnet; rates = []; bss = None; scan_results = None; scan_wait = Sync.Waitq.create () }
+  in
+  (* Replace the net handler with the chained wireless one. *)
+  Uchan.set_downcall_handler chan (fun m -> handle_downcall t m);
+  t
+
+let net t = t.pnet
+let irq_sink t = Proxy_net.irq_sink t.pnet
+let netdev t = Proxy_net.netdev t.pnet
+let wait_ready t ~timeout_ns = Proxy_net.wait_ready t.pnet ~timeout_ns
+
+let scan t =
+  t.scan_results <- None;
+  match Uchan.send t.chan (Msg.make ~kind:Proxy_proto.up_wifi_scan ()) with
+  | Error Uchan.Hung -> Error "driver hung"
+  | Error Uchan.Interrupted -> Error "interrupted"
+  | Error Uchan.Closed -> Error "driver is gone"
+  | Ok r when Msg.arg r 0 <> 0 -> Error (Bytes.to_string r.Msg.payload)
+  | Ok _ ->
+    (* The firmware scans asynchronously; wait for the completion event. *)
+    let deadline = Engine.now t.k.Kernel.eng + 50_000_000 in
+    let rec await () =
+      match t.scan_results with
+      | Some bssids -> Ok bssids
+      | None ->
+        let left = deadline - Engine.now t.k.Kernel.eng in
+        if left <= 0 then Error "scan timed out"
+        else
+          (match Sync.Waitq.wait_timeout t.k.Kernel.eng t.scan_wait left with
+           | Fiber.Interrupted -> Error "interrupted"
+           | Fiber.Normal | Fiber.Timeout -> await ())
+    in
+    await ()
+
+let associate t ~bssid =
+  match Uchan.send t.chan (Msg.make ~kind:Proxy_proto.up_wifi_assoc ~args:[ bssid ] ()) with
+  | Error Uchan.Hung -> Error "driver hung"
+  | Error Uchan.Interrupted -> Error "interrupted"
+  | Error Uchan.Closed -> Error "driver is gone"
+  | Ok r when Msg.arg r 0 <> 0 -> Error (Bytes.to_string r.Msg.payload)
+  | Ok _ -> Ok ()
+
+let bitrates t = t.rates
+
+let set_rate t idx =
+  (* Queued asynchronously: callable while non-preemptable (§3.1.1). *)
+  ignore
+    (Uchan.try_asend t.chan (Msg.make ~kind:Proxy_proto.up_wifi_set_rate ~args:[ idx ] ())
+     : bool)
+
+let current_bss t = t.bss

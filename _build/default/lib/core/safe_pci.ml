@@ -1,0 +1,447 @@
+type dma_alloc = {
+  da_iova : int;
+  da_phys : int;
+  da_pages : int;
+}
+
+type reg_dev = {
+  rd_bdf : Bus.bdf;
+  mutable rd_owner : int;        (* uid allowed to open; 0 = root only *)
+  mutable rd_grant : grant option;
+}
+
+and grant = {
+  g : t;
+  g_bdf : Bus.bdf;
+  g_proc : Process.t;
+  g_dev : Device.t;
+  g_domain : Iommu.domain;
+  mutable g_alive : bool;
+  mutable g_next_iova : int;
+  mutable g_allocs : dma_alloc list;
+  mutable g_io_grants : (int * int) list;   (* (base, len) in the IOPB *)
+  g_iopb : Ioport.Iopb.t;
+  mutable g_vector : int option;
+  mutable g_sink : (unit -> unit) option;
+  mutable g_awaiting_ack : bool;
+  mutable g_masked : bool;
+  mutable g_amd_msi_mapped : bool;
+}
+
+and t = {
+  k : Kernel.t;
+  devices : (Bus.bdf, reg_dev) Hashtbl.t;
+  mutable n_masks : int;
+  mutable n_ir : int;
+  mutable n_livelock : int;
+  mutable n_cfg_denied : int;
+  mutable n_fwd : int;
+}
+
+(* Figure 9's IO virtual addresses start here. *)
+let iova_base = 0x42430000
+
+let init k =
+  { k; devices = Hashtbl.create 8; n_masks = 0; n_ir = 0; n_livelock = 0; n_cfg_denied = 0; n_fwd = 0 }
+
+let register_device t bdf =
+  if not (Hashtbl.mem t.devices bdf) then
+    Hashtbl.add t.devices bdf { rd_bdf = bdf; rd_owner = 0; rd_grant = None }
+
+let set_owner t bdf ~uid =
+  match Hashtbl.find_opt t.devices bdf with
+  | Some rd -> rd.rd_owner <- uid
+  | None -> invalid_arg "Safe_pci.set_owner: device not registered"
+
+let device_files t bdf =
+  if Hashtbl.mem t.devices bdf then begin
+    let base = Printf.sprintf "/sys/devices/pci0000:00/0000:%s/sud" (Bus.string_of_bdf bdf) in
+    [ base ^ "/ctl"; base ^ "/mmio"; base ^ "/dma_coherent"; base ^ "/dma_caching" ]
+  end
+  else []
+
+let model t = Cpu.cost_model t.k.Kernel.cpu
+
+let proc_label g = "proc:" ^ Process.name g.g_proc
+
+let charge g ns = Driver_api.charge g.g.k.Kernel.cpu ~label:(proc_label g) ns
+
+let klogf t lvl fmt = Klog.printk t.k.Kernel.klog lvl fmt
+
+(* ---- grant lifecycle ---- *)
+
+let release grant =
+  if grant.g_alive then begin
+    grant.g_alive <- false;
+    let t = grant.g in
+    (* Quiesce the device before revoking its mappings. *)
+    Pci_topology.cfg_write t.k.Kernel.topo grant.g_bdf ~off:Pci_cfg.command ~size:2 0;
+    (Device.ops grant.g_dev).Device.reset ();
+    (match grant.g_vector with
+     | Some v ->
+       Irq.free_irq t.k.Kernel.irq ~vector:v;
+       grant.g_vector <- None
+     | None -> ());
+    List.iter
+      (fun da ->
+         Iommu.unmap t.k.Kernel.iommu grant.g_domain ~iova:da.da_iova
+           ~len:(da.da_pages * Bus.page_size);
+         Phys_mem.free_pages t.k.Kernel.mem ~addr:da.da_phys ~pages:da.da_pages)
+      grant.g_allocs;
+    grant.g_allocs <- [];
+    List.iter
+      (fun (base, len) -> Ioport.Iopb.revoke grant.g_iopb ~base ~len)
+      grant.g_io_grants;
+    grant.g_io_grants <- [];
+    Iommu.detach t.k.Kernel.iommu ~source:grant.g_bdf;
+    (match Hashtbl.find_opt t.devices grant.g_bdf with
+     | Some rd -> rd.rd_grant <- None
+     | None -> ());
+    klogf t Klog.Info "sud: released device %s (driver %s)"
+      (Bus.string_of_bdf grant.g_bdf) (Process.name grant.g_proc)
+  end
+
+let open_device t bdf ~proc =
+  match Hashtbl.find_opt t.devices bdf with
+  | None -> Error "device not registered with SUD"
+  | Some rd ->
+    if rd.rd_owner <> Process.uid proc && Process.uid proc <> 0 then
+      Error "permission denied"
+    else if rd.rd_grant <> None then Error "device busy (already opened)"
+    else begin
+      match Pci_topology.find_device t.k.Kernel.topo bdf with
+      | None -> Error "no such PCI device"
+      | Some dev ->
+        (* Start from a clean device: reset, decoding off, INTx disabled
+           (SUD never allows legacy interrupts, §3.2.2). *)
+        (Device.ops dev).Device.reset ();
+        Pci_topology.cfg_write t.k.Kernel.topo bdf ~off:Pci_cfg.command ~size:2
+          Pci_cfg.cmd_intx_disable;
+        let domain = Iommu.attach t.k.Kernel.iommu ~source:bdf in
+        let grant =
+          { g = t;
+            g_bdf = bdf;
+            g_proc = proc;
+            g_dev = dev;
+            g_domain = domain;
+            g_alive = true;
+            g_next_iova = iova_base;
+            g_allocs = [];
+            g_io_grants = [];
+            g_iopb = Ioport.Iopb.none ();
+            g_vector = None;
+            g_sink = None;
+            g_awaiting_ack = false;
+            g_masked = false;
+            g_amd_msi_mapped = false }
+        in
+        rd.rd_grant <- Some grant;
+        Process.on_exit proc (fun () -> release grant);
+        (* On AMD IOMMUs the MSI window needs an explicit mapping for the
+           device to interrupt at all; SUD installs it and can remove it
+           to silence a rogue device. *)
+        (match Iommu.mode t.k.Kernel.iommu with
+         | Iommu.Amd_vi ->
+           Iommu.map t.k.Kernel.iommu domain ~iova:Bus.msi_window_base
+             ~phys:Bus.msi_window_base
+             ~len:(Bus.msi_window_limit - Bus.msi_window_base) ~writable:true;
+           grant.g_amd_msi_mapped <- true
+         | Iommu.Intel_vtd _ -> ());
+        klogf t Klog.Info "sud: %s opened %s" (Process.name proc) (Bus.string_of_bdf bdf);
+        Ok grant
+    end
+
+let grant_bdf g = g.g_bdf
+let grant_alive g = g.g_alive
+
+let check_alive g = if not g.g_alive then failwith "Safe_pci: grant revoked"
+
+(* ---- config space filtering ---- *)
+
+let cfg_read g ~off ~size =
+  check_alive g;
+  charge g (model g.g).Cost_model.syscall_ns;
+  Pci_topology.cfg_read g.g.k.Kernel.topo g.g_bdf ~off ~size
+
+let command_allowed_bits =
+  Pci_cfg.cmd_io_enable lor Pci_cfg.cmd_mem_enable lor Pci_cfg.cmd_bus_master
+
+let deny g what =
+  g.g.n_cfg_denied <- g.g.n_cfg_denied + 1;
+  klogf g.g Klog.Warn "sud: %s: denied config write to %s by %s"
+    (Bus.string_of_bdf g.g_bdf) what (Process.name g.g_proc);
+  Error ("config write denied: " ^ what)
+
+let cfg_write g ~off ~size v =
+  check_alive g;
+  charge g (model g.g).Cost_model.syscall_ns;
+  let topo = g.g.k.Kernel.topo in
+  let in_range base len = off >= base && off + size <= base + len in
+  if in_range Pci_cfg.command 2 then begin
+    (* Only decoding-enable and bus-master bits may change; INTx stays
+       disabled no matter what the driver writes. *)
+    if size = 2 && off = Pci_cfg.command then begin
+      let filtered = v land command_allowed_bits lor Pci_cfg.cmd_intx_disable in
+      Pci_topology.cfg_write topo g.g_bdf ~off ~size filtered;
+      Ok ()
+    end
+    else deny g "partial command register"
+  end
+  else if in_range Pci_cfg.cache_line 1 || in_range Pci_cfg.latency_timer 1 then begin
+    Pci_topology.cfg_write topo g.g_bdf ~off ~size v;
+    Ok ()
+  end
+  else if in_range Pci_cfg.bar0 24 then deny g "BAR"
+  else begin
+    (* MSI capability and everything else is kernel-owned. *)
+    match Pci_cfg.find_capability (Device.cfg g.g_dev) Pci_cfg.msi_cap_id with
+    | Some cap when in_range cap 16 -> deny g "MSI capability"
+    | Some _ | None -> deny g (Printf.sprintf "offset 0x%x" off)
+  end
+
+let enable_device g =
+  check_alive g;
+  let cur = Pci_topology.cfg_read g.g.k.Kernel.topo g.g_bdf ~off:Pci_cfg.command ~size:2 in
+  cfg_write g ~off:Pci_cfg.command ~size:2 (cur lor command_allowed_bits)
+
+let find_capability g id =
+  check_alive g;
+  Pci_cfg.find_capability (Device.cfg g.g_dev) id
+
+(* ---- MMIO / IO ports ---- *)
+
+let map_mmio g ~bar =
+  check_alive g;
+  match Pci_topology.bar_region g.g.k.Kernel.topo g.g_bdf ~bar with
+  | None -> Error (Printf.sprintf "BAR %d is not a memory BAR" bar)
+  | Some (base, size) ->
+    if not (Bus.is_page_aligned base && Bus.is_page_aligned size) then
+      Error "MMIO region is not page-aligned; refusing to map"
+    else begin
+      let topo = g.g.k.Kernel.topo in
+      let m = model g.g in
+      let read ~off ~size:sz =
+        check_alive g;
+        if off < 0 || off + sz > size then invalid_arg "mmio read out of range";
+        charge g m.Cost_model.mmio_access_ns;
+        Pci_topology.mmio_read topo ~addr:(base + off) ~size:sz
+      in
+      let write ~off ~size:sz v =
+        check_alive g;
+        if off < 0 || off + sz > size then invalid_arg "mmio write out of range";
+        charge g m.Cost_model.mmio_access_ns;
+        Pci_topology.mmio_write topo ~addr:(base + off) ~size:sz v
+      in
+      Ok { Driver_api.mmio_read = read; mmio_write = write }
+    end
+
+let claim_io g ~bar =
+  check_alive g;
+  match Pci_topology.io_region g.g.k.Kernel.topo g.g_bdf ~bar with
+  | None -> Error (Printf.sprintf "BAR %d is not an IO BAR" bar)
+  | Some (base, len) ->
+    Ioport.Iopb.grant g.g_iopb ~base ~len;
+    g.g_io_grants <- (base, len) :: g.g_io_grants;
+    let m = model g.g in
+    let ports = g.g.k.Kernel.ioports in
+    let read ~off ~size =
+      check_alive g;
+      charge g m.Cost_model.pio_access_ns;
+      Ioport.read ports ~iopb:g.g_iopb ~port:(base + off) ~size
+    in
+    let write ~off ~size v =
+      check_alive g;
+      charge g m.Cost_model.pio_access_ns;
+      Ioport.write ports ~iopb:g.g_iopb ~port:(base + off) ~size v
+    in
+    Ok { Driver_api.pio_read = read; pio_write = write }
+
+(* ---- DMA regions ---- *)
+
+let alloc_dma g ?(coherent = true) ~bytes () =
+  check_alive g;
+  ignore coherent;
+  if bytes <= 0 then Error "alloc_dma: empty region"
+  else begin
+    let pages = (bytes + Bus.page_mask) / Bus.page_size in
+    match Process.charge_memory g.g_proc ~bytes:(pages * Bus.page_size) with
+    | exception Process.Rlimit_exceeded m -> Error m
+    | () ->
+      let phys = Phys_mem.alloc_pages g.g.k.Kernel.mem ~pages in
+      let iova = g.g_next_iova in
+      g.g_next_iova <- iova + (pages * Bus.page_size);
+      let m = model g.g in
+      charge g (pages * m.Cost_model.dma_map_ns);
+      Iommu.map g.g.k.Kernel.iommu g.g_domain ~iova ~phys ~len:(pages * Bus.page_size)
+        ~writable:true;
+      g.g_allocs <- { da_iova = iova; da_phys = phys; da_pages = pages } :: g.g_allocs;
+      let mem = g.g.k.Kernel.mem in
+      let read ~off ~len =
+        if off < 0 || len < 0 || off + len > pages * Bus.page_size then
+          invalid_arg "dma_read out of range";
+        Phys_mem.read mem ~addr:(phys + off) ~len
+      in
+      let write ~off data =
+        if off < 0 || off + Bytes.length data > pages * Bus.page_size then
+          invalid_arg "dma_write out of range";
+        Phys_mem.write mem ~addr:(phys + off) data
+      in
+      Ok
+        { Driver_api.dma_addr = iova;
+          dma_size = pages * Bus.page_size;
+          dma_read = read;
+          dma_write = write }
+  end
+
+let free_dma g region =
+  if g.g_alive then begin
+    match List.find_opt (fun da -> da.da_iova = region.Driver_api.dma_addr) g.g_allocs with
+    | None -> ()
+    | Some da ->
+      g.g_allocs <- List.filter (fun x -> x != da) g.g_allocs;
+      Iommu.unmap g.g.k.Kernel.iommu g.g_domain ~iova:da.da_iova
+        ~len:(da.da_pages * Bus.page_size);
+      Phys_mem.free_pages g.g.k.Kernel.mem ~addr:da.da_phys ~pages:da.da_pages;
+      Process.uncharge_memory g.g_proc ~bytes:(da.da_pages * Bus.page_size)
+  end
+
+let lookup_iova g ~iova ~len =
+  if len < 0 then None
+  else
+    List.find_map
+      (fun da ->
+         let size = da.da_pages * Bus.page_size in
+         if iova >= da.da_iova && iova + len <= da.da_iova + size then
+           Some (da.da_phys + (iova - da.da_iova))
+         else None)
+      g.g_allocs
+
+let read_driver_mem g ~iova ~len =
+  check_alive g;
+  match lookup_iova g ~iova ~len with
+  | Some phys -> Ok (Phys_mem.read g.g.k.Kernel.mem ~addr:phys ~len)
+  | None -> Error (Printf.sprintf "address 0x%x+%d outside driver's DMA regions" iova len)
+
+let write_driver_mem g ~iova data =
+  check_alive g;
+  match lookup_iova g ~iova ~len:(Bytes.length data) with
+  | Some phys ->
+    Phys_mem.write g.g.k.Kernel.mem ~addr:phys data;
+    Ok ()
+  | None -> Error (Printf.sprintf "address 0x%x outside driver's DMA regions" iova)
+
+(* ---- interrupts ---- *)
+
+let mask_msi g =
+  if not g.g_masked then begin
+    g.g_masked <- true;
+    g.g.n_masks <- g.g.n_masks + 1;
+    Cpu.account g.g.k.Kernel.cpu ~label:"kernel:sud" (model g.g).Cost_model.msi_mask_ns;
+    Pci_cfg.msi_set_mask (Device.cfg g.g_dev) true
+  end
+
+let unmask_msi g =
+  if g.g_masked then begin
+    g.g_masked <- false;
+    Cpu.account g.g.k.Kernel.cpu ~label:"kernel:sud" (model g.g).Cost_model.msi_mask_ns;
+    Pci_cfg.msi_set_mask (Device.cfg g.g_dev) false
+  end
+
+(* An interrupt that arrives while the vector is masked means something is
+   writing the MSI window by raw DMA.  Escalate per available hardware
+   (paper §3.2.2 / §5.2). *)
+let escalate g =
+  let t = g.g in
+  let iommu = t.k.Kernel.iommu in
+  if Iommu.ir_available iommu then begin
+    t.n_ir <- t.n_ir + 1;
+    Cpu.account t.k.Kernel.cpu ~label:"kernel:sud" (model t).Cost_model.irte_update_ns;
+    Iommu.ir_block_source iommu ~source:g.g_bdf;
+    klogf t Klog.Warn "sud: %s: interrupt storm, disabled via interrupt remapping"
+      (Bus.string_of_bdf g.g_bdf)
+  end
+  else
+    match Iommu.mode iommu with
+    | Iommu.Amd_vi ->
+      if g.g_amd_msi_mapped then begin
+        t.n_ir <- t.n_ir + 1;
+        Iommu.unmap iommu g.g_domain ~iova:Bus.msi_window_base
+          ~len:(Bus.msi_window_limit - Bus.msi_window_base);
+        g.g_amd_msi_mapped <- false;
+        klogf t Klog.Warn "sud: %s: interrupt storm, unmapped MSI window (AMD)"
+          (Bus.string_of_bdf g.g_bdf)
+      end
+    | Iommu.Intel_vtd _ ->
+      t.n_livelock <- t.n_livelock + 1;
+      klogf t Klog.Warn
+        "sud: %s: interrupt storm and no interrupt remapping: system is vulnerable to livelock"
+        (Bus.string_of_bdf g.g_bdf)
+
+let handle_irq g ~source =
+  ignore source;
+  if g.g_alive then begin
+    if g.g_masked then escalate g
+    else begin
+      let t = g.g in
+      if g.g_awaiting_ack then
+        (* Second interrupt before the driver finished the first: mask
+           until the ack, preserving the driver's forward progress. *)
+        mask_msi g;
+      g.g_awaiting_ack <- true;
+      (match g.g_sink with
+       | Some sink ->
+         t.n_fwd <- t.n_fwd + 1;
+         Cpu.account t.k.Kernel.cpu ~label:"kernel:sud" (model t).Cost_model.irq_upcall_ns;
+         sink ()
+       | None -> ())
+    end
+  end
+
+let setup_irq g ~sink =
+  check_alive g;
+  let t = g.g in
+  if g.g_vector <> None then Error "irq already set up"
+  else begin
+    let vector = Irq.alloc_vector t.k.Kernel.irq in
+    match
+      Irq.request_irq t.k.Kernel.irq ~vector
+        ~name:(Printf.sprintf "sud-%s" (Bus.string_of_bdf g.g_bdf))
+        (fun ~source -> handle_irq g ~source)
+    with
+    | Error e -> Error e
+    | Ok () ->
+      g.g_vector <- Some vector;
+      g.g_sink <- Some sink;
+      (* The kernel (not the driver) programs MSI address/data. *)
+      Pci_cfg.msi_configure (Device.cfg g.g_dev) ~address:Bus.msi_window_base ~data:vector;
+      if Iommu.ir_available t.k.Kernel.iommu then
+        Iommu.ir_allow t.k.Kernel.iommu ~source:g.g_bdf ~vector;
+      Ok ()
+  end
+
+let teardown_irq g =
+  match g.g_vector with
+  | None -> ()
+  | Some v ->
+    Irq.free_irq g.g.k.Kernel.irq ~vector:v;
+    g.g_vector <- None;
+    g.g_sink <- None
+
+let irq_ack g =
+  if g.g_alive then begin
+    g.g_awaiting_ack <- false;
+    unmask_msi g
+  end
+
+(* ---- observability ---- *)
+
+let iommu_mappings g = Iommu.mappings g.g_domain
+
+let dma_allocations g =
+  List.rev_map (fun da -> (da.da_iova, da.da_pages * Bus.page_size)) g.g_allocs
+
+let msi_masks t = t.n_masks
+let ir_escalations t = t.n_ir
+let livelock_warnings t = t.n_livelock
+let cfg_denials t = t.n_cfg_denied
+let interrupts_forwarded t = t.n_fwd

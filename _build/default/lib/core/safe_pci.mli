@@ -1,0 +1,93 @@
+(** SUD's safe PCI device access module (paper §3.2, §4.1; the 2,800-line
+    kernel module of Figure 5).
+
+    For every registered PCI device it exports four device files (ctl,
+    mmio, dma_coherent, dma_caching — Figure 6), lets the administrator
+    chown them to an untrusted UID, and gives the opening driver process
+    a {e grant}: a capability through which every hardware access is
+    mediated:
+
+    - {b MMIO}: page-aligned BAR windows only, never shared with another
+      device;
+    - {b IO ports}: added to the process's IO-permission bitmap;
+    - {b Config space}: reads pass, writes are filtered — command-register
+      bits and cache-line/latency only; BAR rewrites, MSI registers and
+      INTx enabling are rejected;
+    - {b DMA}: coherent/caching regions carved from physical memory and
+      mapped into the device's IOMMU domain at driver-visible IO virtual
+      addresses (allocated upward from 0x42430000, as in Figure 9);
+    - {b Interrupts}: the kernel owns the MSI capability.  Interrupts are
+      forwarded to a sink (the proxy's upcall path); a second interrupt
+      before the driver acks masks the vector, and interrupts that keep
+      arriving while masked (DMA writes to the MSI window) escalate to
+      interrupt remapping (Intel) or unmapping the MSI window (AMD) — or
+      are logged as a livelock vulnerability on the paper's testbed
+      configuration. *)
+
+type t
+type grant
+
+val init : Kernel.t -> t
+
+val register_device : t -> Bus.bdf -> unit
+(** Export sud device files for this device (initially owned by root). *)
+
+val set_owner : t -> Bus.bdf -> uid:int -> unit
+val device_files : t -> Bus.bdf -> string list
+(** Paths as in Figure 6; empty if unregistered. *)
+
+val open_device : t -> Bus.bdf -> proc:Process.t -> (grant, string) result
+(** Checks UID ownership, resets the device, disables legacy INTx,
+    creates a fresh IOMMU domain, and registers cleanup with the process
+    so death revokes everything. *)
+
+val release : grant -> unit
+(** Revoke the grant: unmap DMA, revoke IO ports, mask MSI, free the
+    vector, detach the IOMMU domain.  Runs automatically when the owning
+    process dies. *)
+
+val grant_bdf : grant -> Bus.bdf
+val grant_alive : grant -> bool
+
+(** {1 Mediated access (the driver side of the device files)} *)
+
+val cfg_read : grant -> off:int -> size:int -> int
+val cfg_write : grant -> off:int -> size:int -> int -> (unit, string) result
+val enable_device : grant -> (unit, string) result
+val map_mmio : grant -> bar:int -> (Driver_api.mmio, string) result
+val claim_io : grant -> bar:int -> (Driver_api.pio, string) result
+val alloc_dma : grant -> ?coherent:bool -> bytes:int -> unit -> (Driver_api.dma_region, string) result
+val free_dma : grant -> Driver_api.dma_region -> unit
+val find_capability : grant -> int -> int option
+
+val read_driver_mem : grant -> iova:int -> len:int -> (bytes, string) result
+(** Read driver-owned DMA memory by the driver's own (IO virtual)
+    address, validating that the whole range lies inside the grant's
+    mappings — how the proxy pulls packet data out of shared memory
+    without trusting the address the driver sent. *)
+
+val write_driver_mem : grant -> iova:int -> bytes -> (unit, string) result
+
+val setup_irq : grant -> sink:(unit -> unit) -> (unit, string) result
+(** Allocate a vector, program the device's MSI capability, and forward
+    interrupts to [sink]. *)
+
+val teardown_irq : grant -> unit
+val irq_ack : grant -> unit
+(** The driver finished processing; unmask if we masked. *)
+
+(** {1 Observability} *)
+
+val iommu_mappings : grant -> (int * int * int * bool) list
+(** Figure 9: the device's IO page table as (iova, phys, len, writable)
+    runs. *)
+
+val dma_allocations : grant -> (int * int) list
+(** The grant's live DMA regions as (iova, len), in allocation order —
+    used to label Figure 9's rows. *)
+
+val msi_masks : t -> int
+val ir_escalations : t -> int
+val livelock_warnings : t -> int
+val cfg_denials : t -> int
+val interrupts_forwarded : t -> int

@@ -1,0 +1,53 @@
+(** SUD-UML: the user-space kernel-environment library (paper §3.3;
+    5,000 lines in Figure 5).
+
+    Runs inside the untrusted driver process.  It gives an unmodified
+    driver the kernel API it expects ({!Driver_api.env} and
+    {!Driver_api.pcidev}), implemented over SUD's safe device files
+    (config access, MMIO/IO mappings, DMA regions, MSI) and the uchan
+    (upcall dispatch, batched downcalls).
+
+    Upcall dispatch follows the paper's §4.2 optimization: callbacks that
+    may not block (packet transmit, interrupt) run inline in the idle
+    loop; potentially-blocking callbacks (open, stop, ioctl) are handed
+    to a pool of worker fibers. *)
+
+type t
+
+val create :
+  Kernel.t ->
+  proc:Process.t ->
+  grant:Safe_pci.grant ->
+  chan:Uchan.t ->
+  pool:Bufpool.t ->
+  t
+
+val env : t -> Driver_api.env
+val pcidev : t -> Driver_api.pcidev
+
+val serve_net : t -> Driver_api.net_driver -> unit
+(** Probe the driver and run the upcall dispatch loop until the channel
+    closes or the process dies.  Call from the driver process's main
+    fiber. *)
+
+val serve_wifi : t -> Driver_api.wifi_driver -> unit
+(** Like {!serve_net}, plus the 802.11 management upcalls; mirrors the
+    supported-rate set to the kernel at registration. *)
+
+val serve_audio : t -> Driver_api.audio_driver -> unit
+
+val serve_usb :
+  t ->
+  bind_storage:(Driver_api.usb_dev_handle -> (Driver_api.block_instance, string) result) ->
+  bind_keyboard:
+    (Driver_api.env -> Driver_api.usb_dev_handle -> Driver_api.input_callbacks -> unit) ->
+  Driver_api.usb_host_driver ->
+  unit
+(** Probe the host controller, enumerate its bus, bind class drivers
+    (mass storage -> block proxy; HID keyboard -> input downcalls) and
+    serve block/input upcalls.  The binders come from the driver library
+    (usb-storage / usb-hid class drivers). *)
+
+val upcalls_handled : t -> int
+val worker_dispatches : t -> int
+(** Upcalls that were routed to a worker fiber because they may block. *)

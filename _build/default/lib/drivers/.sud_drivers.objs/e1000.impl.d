@@ -1,0 +1,1 @@
+lib/drivers/e1000.ml: Array Bytes Char Driver_api E1000_dev Int64 Netdev Printf

@@ -1,0 +1,1 @@
+lib/drivers/e1000.mli: Driver_api

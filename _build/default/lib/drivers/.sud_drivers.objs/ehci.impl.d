@@ -1,0 +1,1 @@
+lib/drivers/ehci.ml: Bus Bytes Char Driver_api Int32 Int64 List Printf Sync Usb_hci_dev

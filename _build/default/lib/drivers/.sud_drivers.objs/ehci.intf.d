@@ -1,0 +1,1 @@
+lib/drivers/ehci.mli: Driver_api

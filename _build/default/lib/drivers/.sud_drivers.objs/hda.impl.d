@@ -1,0 +1,1 @@
+lib/drivers/hda.ml: Buffer Bus Bytes Driver_api Hda_dev Int64

@@ -1,0 +1,1 @@
+lib/drivers/hda.mli: Driver_api

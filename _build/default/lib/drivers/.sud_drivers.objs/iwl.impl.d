@@ -1,0 +1,1 @@
+lib/drivers/iwl.ml: Array Bus Bytes Char Driver_api Int64 List Printf Wifi_dev

@@ -1,0 +1,1 @@
+lib/drivers/iwl.mli: Driver_api

@@ -1,0 +1,1 @@
+lib/drivers/ne2k.ml: Bus Bytes Char Driver_api Ne2k_dev Netdev

@@ -1,0 +1,1 @@
+lib/drivers/ne2k.mli: Driver_api

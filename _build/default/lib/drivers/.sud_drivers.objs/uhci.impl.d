@@ -1,0 +1,1 @@
+lib/drivers/uhci.ml: Bytes Char Driver_api Int32 List Printf Sync Uhci_dev

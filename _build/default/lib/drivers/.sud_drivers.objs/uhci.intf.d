@@ -1,0 +1,1 @@
+lib/drivers/uhci.mli: Driver_api

@@ -1,0 +1,231 @@
+module R = Wifi_dev.Regs
+
+let tx_ring_size = 64
+let rx_ring_size = 64
+let rx_buf_size = 2048
+let desc = R.desc_size
+
+type state = {
+  env : Driver_api.env;
+  pdev : Driver_api.pcidev;
+  cb : Driver_api.wifi_callbacks;
+  mmio : Driver_api.mmio;
+  tx_ring : Driver_api.dma_region;
+  rx_ring : Driver_api.dma_region;
+  rx_bufs : Driver_api.dma_region;
+  cmd_block : Driver_api.dma_region;
+  tokens : int array;
+  mutable tx_tail : int;
+  mutable tx_clean : int;
+  mutable rx_next : int;
+  mutable opened : bool;
+}
+
+let r32 st off = st.mmio.Driver_api.mmio_read ~off ~size:4
+let w32 st off v = st.mmio.Driver_api.mmio_write ~off ~size:4 v
+
+let mac_of_bdf pdev =
+  (* The simulated part has no EEPROM; derive a stable MAC from the BDF as
+     real drivers derive it from OTP. *)
+  let b = pdev.Driver_api.pd_bdf in
+  Bytes.of_string
+    (Printf.sprintf "\x02\x24\xd7%c%c%c" (Char.chr ((b lsr 8) land 0xff))
+       (Char.chr ((b lsr 3) land 0x1f)) (Char.chr (b land 0xff)))
+
+let command st ~op ~arg =
+  Driver_api.dma_set32 st.cmd_block ~off:0 op;
+  Driver_api.dma_set32 st.cmd_block ~off:4 arg;
+  w32 st R.cmd_addr st.cmd_block.Driver_api.dma_addr;
+  w32 st R.cmd 1
+
+let setup_rx_desc st slot =
+  let off = slot * desc in
+  Driver_api.dma_set64 st.rx_ring ~off
+    (Int64.of_int (st.rx_bufs.Driver_api.dma_addr + (slot * rx_buf_size)));
+  Driver_api.dma_set32 st.rx_ring ~off:(off + 8) 0;
+  Driver_api.dma_set32 st.rx_ring ~off:(off + 12) 0
+
+let read_bss_table st =
+  let n = r32 st R.bss_count in
+  List.init n (fun i -> r32 st (R.bss_table + (8 * i)))
+
+let drain_events st =
+  let rec next () =
+    let ev = r32 st R.evq in
+    if ev = R.ev_none then ()
+    else begin
+      if ev = R.ev_scan_done then st.cb.Driver_api.wc_scan_done (read_bss_table st)
+      else if ev = R.ev_assoc_done then begin
+        st.cb.Driver_api.wc_net.Driver_api.nc_carrier true
+      end
+      else if ev = R.ev_disassoc then st.cb.Driver_api.wc_net.Driver_api.nc_carrier false
+      else if ev = R.ev_bss_changed then begin
+        (* Tell the kernel which BSS we are on now. *)
+        st.cb.Driver_api.wc_bss_changed (r32 st R.rate);
+        st.cb.Driver_api.wc_net.Driver_api.nc_carrier true
+      end;
+      next ()
+    end
+  in
+  next ()
+
+let clean_tx st =
+  let cleaned = ref false in
+  while
+    st.tx_clean <> st.tx_tail
+    && Driver_api.dma_get32 st.tx_ring ~off:((st.tx_clean * desc) + 12) = 1
+  do
+    st.cb.Driver_api.wc_net.Driver_api.nc_tx_free ~token:st.tokens.(st.tx_clean);
+    st.tx_clean <- (st.tx_clean + 1) mod tx_ring_size;
+    cleaned := true
+  done;
+  if !cleaned then st.cb.Driver_api.wc_net.Driver_api.nc_tx_done ()
+
+let rx_poll st =
+  let continue_ = ref true in
+  while !continue_ do
+    let off = st.rx_next * desc in
+    if Driver_api.dma_get32 st.rx_ring ~off:(off + 12) = 1 then begin
+      let len = Driver_api.dma_get32 st.rx_ring ~off:(off + 8) in
+      let addr = st.rx_bufs.Driver_api.dma_addr + (st.rx_next * rx_buf_size) in
+      st.env.Driver_api.env_consume 400;
+      st.cb.Driver_api.wc_net.Driver_api.nc_rx ~addr ~len;
+      setup_rx_desc st st.rx_next;
+      w32 st R.rxt st.rx_next;
+      st.rx_next <- (st.rx_next + 1) mod rx_ring_size
+    end
+    else continue_ := false
+  done
+
+let irq_handler st () =
+  let ints = r32 st R.int_sts in
+  if ints land R.int_tx <> 0 then clean_tx st;
+  if ints land R.int_rx <> 0 then rx_poll st;
+  if ints land R.int_event <> 0 then drain_events st;
+  st.pdev.Driver_api.pd_irq_ack ()
+
+let do_open st () =
+  if st.opened then Ok ()
+  else
+    match st.pdev.Driver_api.pd_request_irq (fun () -> irq_handler st ()) with
+    | Error e -> Error e
+    | Ok () ->
+      (* Load firmware, then bring the MAC up. *)
+      w32 st R.fw R.fw_magic;
+      if r32 st R.fw land R.fw_ready = 0 then begin
+        st.pdev.Driver_api.pd_free_irq ();
+        Error "firmware did not come up"
+      end
+      else begin
+        w32 st R.txb st.tx_ring.Driver_api.dma_addr;
+        w32 st R.txlen (tx_ring_size * desc);
+        w32 st R.txh 0;
+        w32 st R.txt 0;
+        st.tx_tail <- 0;
+        st.tx_clean <- 0;
+        for i = 0 to rx_ring_size - 1 do setup_rx_desc st i done;
+        w32 st R.rxb st.rx_ring.Driver_api.dma_addr;
+        w32 st R.rxlen (rx_ring_size * desc);
+        w32 st R.rxh 0;
+        w32 st R.rxt (rx_ring_size - 1);
+        st.rx_next <- 0;
+        w32 st R.int_mask (R.int_tx lor R.int_rx lor R.int_event);
+        w32 st R.ctrl R.ctrl_enable;
+        st.opened <- true;
+        Ok ()
+      end
+
+let do_stop st () =
+  if st.opened then begin
+    command st ~op:R.op_disassoc ~arg:0;
+    w32 st R.int_mask 0;
+    w32 st R.ctrl 0;
+    st.pdev.Driver_api.pd_free_irq ();
+    st.opened <- false
+  end
+
+let do_xmit st (txb : Driver_api.txbuf) =
+  let next = (st.tx_tail + 1) mod tx_ring_size in
+  if next = st.tx_clean then `Busy
+  else begin
+    let off = st.tx_tail * desc in
+    Driver_api.dma_set64 st.tx_ring ~off (Int64.of_int txb.Driver_api.txb_addr);
+    Driver_api.dma_set32 st.tx_ring ~off:(off + 8) txb.Driver_api.txb_len;
+    Driver_api.dma_set32 st.tx_ring ~off:(off + 12) 0;
+    st.tokens.(st.tx_tail) <- txb.Driver_api.txb_token;
+    st.tx_tail <- next;
+    w32 st R.txt st.tx_tail;
+    `Ok
+  end
+
+let probe env pdev cb =
+  match pdev.Driver_api.pd_enable () with
+  | Error e -> Error ("enable: " ^ e)
+  | Ok () ->
+    (match pdev.Driver_api.pd_map_bar 0 with
+     | Error e -> Error ("map BAR0: " ^ e)
+     | Ok mmio ->
+       let alloc what bytes =
+         match pdev.Driver_api.pd_alloc_dma ~bytes () with
+         | Ok r -> r
+         | Error e -> failwith (what ^ ": " ^ e)
+       in
+       (match
+          let tx_ring = alloc "tx ring" (tx_ring_size * desc) in
+          let rx_ring = alloc "rx ring" (rx_ring_size * desc) in
+          let rx_bufs = alloc "rx bufs" (rx_ring_size * rx_buf_size) in
+          let cmd_block = alloc "cmd block" Bus.page_size in
+          (tx_ring, rx_ring, rx_bufs, cmd_block)
+        with
+        | exception Failure e -> Error e
+        | tx_ring, rx_ring, rx_bufs, cmd_block ->
+          let st =
+            { env;
+              pdev;
+              cb;
+              mmio;
+              tx_ring;
+              rx_ring;
+              rx_bufs;
+              cmd_block;
+              tokens = Array.make tx_ring_size (-1);
+              tx_tail = 0;
+              tx_clean = 0;
+              rx_next = 0;
+              opened = false }
+          in
+          let net =
+            { Driver_api.ni_mac = mac_of_bdf pdev;
+              ni_open = (fun () -> do_open st ());
+              ni_stop = (fun () -> do_stop st ());
+              ni_xmit = (fun txb -> do_xmit st txb);
+              ni_ioctl = (fun ~cmd:_ ~arg:_ -> Error "unsupported ioctl") }
+          in
+          Ok
+            { Driver_api.wi_net = net;
+              wi_scan =
+                (fun () ->
+                   if st.opened then begin
+                     command st ~op:R.op_scan ~arg:0;
+                     Ok ()
+                   end
+                   else Error "interface is down");
+              wi_associate =
+                (fun ~bssid ->
+                   if st.opened then begin
+                     command st ~op:R.op_assoc ~arg:bssid;
+                     Ok ()
+                   end
+                   else Error "interface is down");
+              wi_bitrates = (fun () -> Array.to_list Wifi_dev.supported_rates);
+              wi_set_rate =
+                (fun idx ->
+                   if idx < 0 || idx >= Array.length Wifi_dev.supported_rates then
+                     Error "no such rate"
+                   else begin
+                     command st ~op:R.op_set_rate ~arg:idx;
+                     Ok ()
+                   end) }))
+
+let driver =
+  { Driver_api.wd_name = "iwlagn"; wd_ids = [ (0x8086, 0x4232) ]; wd_probe = probe }

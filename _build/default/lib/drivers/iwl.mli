@@ -1,0 +1,10 @@
+(** iwlagn-5000-class 802.11 driver: firmware load gate, mailbox-driven
+    management (scan/associate/rate control), DMA TX/RX rings, and
+    asynchronous firmware events (scan complete, BSS change) delivered
+    through the interrupt path.
+
+    The BSS-change event is what exercises the wireless proxy's mirrored
+    shared state: the kernel side learns of it without a synchronous
+    round trip (paper §3.1.1). *)
+
+val driver : Driver_api.wifi_driver

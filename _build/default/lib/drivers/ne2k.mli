@@ -1,0 +1,9 @@
+(** ne2k-pci driver: the programmed-IO contrast case.
+
+    Everything — MAC PROM, packet data, ring pointers — moves through
+    legacy IO ports, so under SUD this driver is confined purely by the
+    IO-permission bitmap and needs only a single bounce DMA region for
+    handing received frames to the stack.  Its IOMMU page table stays
+    almost empty (compare Figure 9). *)
+
+val driver : Driver_api.net_driver

@@ -1,0 +1,1 @@
+lib/hw/device.ml: Bus Bytes Int32 Pci_cfg

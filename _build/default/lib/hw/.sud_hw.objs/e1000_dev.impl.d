@@ -1,0 +1,1 @@
+lib/hw/e1000_dev.ml: Array Bytes Char Device Engine Int64 Lazy List Net_medium Pci_cfg

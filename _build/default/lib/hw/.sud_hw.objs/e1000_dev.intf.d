@@ -1,0 +1,1 @@
+lib/hw/e1000_dev.mli: Device Engine Net_medium

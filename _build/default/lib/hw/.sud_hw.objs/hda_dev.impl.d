@@ -1,0 +1,1 @@
+lib/hw/hda_dev.ml: Bus Bytes Char Device Engine Int32 Int64 Pci_cfg

@@ -1,0 +1,1 @@
+lib/hw/hda_dev.mli: Device Engine

@@ -1,0 +1,1 @@
+lib/hw/iommu.ml: Array Bus Hashtbl List

@@ -1,0 +1,1 @@
+lib/hw/ioport.ml: Bytes Char List

@@ -1,0 +1,1 @@
+lib/hw/ne2k_dev.ml: Bus Bytes Char Device Engine Lazy Net_medium Pci_cfg

@@ -1,0 +1,1 @@
+lib/hw/ne2k_dev.mli: Device Engine Net_medium

@@ -1,0 +1,1 @@
+lib/hw/net_medium.mli: Engine

@@ -1,0 +1,1 @@
+lib/hw/pci_cfg.ml: Array Bus Bytes Char

@@ -1,0 +1,1 @@
+lib/hw/pci_topology.ml: Bus Bytes Char Device Int32 Iommu Ioport List Option Pci_cfg Phys_mem

@@ -1,0 +1,1 @@
+lib/hw/pci_topology.mli: Bus Device Iommu Ioport Phys_mem

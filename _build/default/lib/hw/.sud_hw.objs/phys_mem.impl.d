@@ -1,0 +1,1 @@
+lib/hw/phys_mem.ml: Bus Bytes Char Hashtbl Int64 Option

@@ -1,0 +1,1 @@
+lib/hw/uhci_dev.ml: Array Bus Bytes Char Device Engine Fun Hashtbl Int32 List Option Pci_cfg Usb_device

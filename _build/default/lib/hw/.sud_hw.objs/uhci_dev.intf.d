@@ -1,0 +1,1 @@
+lib/hw/uhci_dev.mli: Device Engine Usb_device

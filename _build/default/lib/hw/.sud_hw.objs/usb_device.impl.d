@@ -1,0 +1,1 @@
+lib/hw/usb_device.ml: Array Bytes Char Int32 List Queue

@@ -1,0 +1,1 @@
+lib/hw/usb_device.mli:

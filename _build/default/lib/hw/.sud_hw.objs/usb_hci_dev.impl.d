@@ -1,0 +1,1 @@
+lib/hw/usb_hci_dev.ml: Array Bus Bytes Char Device Engine Fun Int32 Int64 List Option Pci_cfg Usb_device

@@ -1,0 +1,1 @@
+lib/hw/usb_hci_dev.mli: Device Engine Usb_device

@@ -1,0 +1,1 @@
+lib/hw/wifi_dev.ml: Array Bus Bytes Device Engine Int32 Int64 Lazy List Net_medium Pci_cfg Queue

@@ -1,0 +1,1 @@
+lib/hw/wifi_dev.mli: Device Engine Net_medium

@@ -1,0 +1,64 @@
+(** Shared bus-level types: DMA requests, faults, BDF addressing.
+
+    A PCI function is addressed by its BDF (bus/device/function) packed in
+    an int: [bus lsl 8 lor dev lsl 3 lor fn]. *)
+
+type bdf = int
+
+let make_bdf ~bus ~dev ~fn =
+  if bus < 0 || bus > 255 || dev < 0 || dev > 31 || fn < 0 || fn > 7 then
+    invalid_arg "Bus.make_bdf";
+  (bus lsl 8) lor (dev lsl 3) lor fn
+
+let bdf_bus bdf = (bdf lsr 8) land 0xff
+let bdf_dev bdf = (bdf lsr 3) land 0x1f
+let bdf_fn bdf = bdf land 0x7
+
+let pp_bdf fmt bdf =
+  Format.fprintf fmt "%02x:%02x.%d" (bdf_bus bdf) (bdf_dev bdf) (bdf_fn bdf)
+
+let string_of_bdf bdf = Format.asprintf "%a" pp_bdf bdf
+
+type dma_dir =
+  | Dma_read   (** device reads host memory *)
+  | Dma_write  (** device writes host memory *)
+
+type fault =
+  | Iommu_fault of { source : bdf; addr : int; dir : dma_dir }
+      (** the IOMMU had no (or no writable) mapping for the IO virtual
+          address *)
+  | Acs_blocked of { source : bdf; addr : int }
+      (** a peer-to-peer transaction was redirected/blocked by PCIe ACS *)
+  | Source_invalid of { claimed : bdf; port : bdf }
+      (** ACS source validation caught a spoofed requester ID *)
+  | Bus_abort of { addr : int }
+      (** the address decodes to no target (master abort) *)
+  | Ir_blocked of { source : bdf; vector : int }
+      (** the interrupt-remapping table rejected an MSI message *)
+
+let pp_fault fmt = function
+  | Iommu_fault { source; addr; dir } ->
+    Format.fprintf fmt "IOMMU fault: %a %s iova 0x%x" pp_bdf source
+      (match dir with Dma_read -> "read" | Dma_write -> "write")
+      addr
+  | Acs_blocked { source; addr } ->
+    Format.fprintf fmt "ACS blocked: %a -> 0x%x" pp_bdf source addr
+  | Source_invalid { claimed; port } ->
+    Format.fprintf fmt "source validation: %a claimed at port %a" pp_bdf claimed pp_bdf port
+  | Bus_abort { addr } -> Format.fprintf fmt "master abort at 0x%x" addr
+  | Ir_blocked { source; vector } ->
+    Format.fprintf fmt "interrupt remap blocked: %a vector %d" pp_bdf source vector
+
+let string_of_fault f = Format.asprintf "%a" pp_fault f
+
+(** The x86 MSI address window: memory writes here become interrupts. *)
+let msi_window_base = 0xFEE00000
+let msi_window_limit = 0xFEF00000
+
+let in_msi_window addr = addr >= msi_window_base && addr < msi_window_limit
+
+let page_size = 4096
+let page_mask = page_size - 1
+let page_align_down addr = addr land lnot page_mask
+let page_align_up addr = (addr + page_mask) land lnot page_mask
+let is_page_aligned addr = addr land page_mask = 0

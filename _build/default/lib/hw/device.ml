@@ -1,0 +1,76 @@
+type ops = {
+  mmio_read : bar:int -> off:int -> size:int -> int;
+  mmio_write : bar:int -> off:int -> size:int -> int -> unit;
+  io_read : bar:int -> off:int -> size:int -> int;
+  io_write : bar:int -> off:int -> size:int -> int -> unit;
+  reset : unit -> unit;
+}
+
+type host_iface = {
+  dma_read : source:Bus.bdf -> addr:int -> len:int -> (bytes, Bus.fault) result;
+  dma_write : source:Bus.bdf -> addr:int -> data:bytes -> (unit, Bus.fault) result;
+}
+
+type t = {
+  dname : string;
+  dcfg : Pci_cfg.t;
+  mutable dops : ops;
+  mutable dbdf : Bus.bdf option;
+  mutable host : host_iface option;
+  mutable spoof : Bus.bdf option;
+}
+
+let no_io =
+  let fail _ = failwith "Device: ops not installed" in
+  { mmio_read = (fun ~bar:_ ~off:_ ~size:_ -> fail ());
+    mmio_write = (fun ~bar:_ ~off:_ ~size:_ _ -> fail ());
+    io_read = (fun ~bar:_ ~off:_ ~size:_ -> fail ());
+    io_write = (fun ~bar:_ ~off:_ ~size:_ _ -> fail ());
+    reset = (fun () -> fail ()) }
+
+let create ~name ~cfg ~ops = { dname = name; dcfg = cfg; dops = ops; dbdf = None; host = None; spoof = None }
+
+let name t = t.dname
+let cfg t = t.dcfg
+let ops t = t.dops
+let set_ops t ops = t.dops <- ops
+
+let bdf t =
+  match t.dbdf with
+  | Some b -> b
+  | None -> failwith (t.dname ^ ": not attached")
+
+let is_attached t = t.dbdf <> None
+
+let attach_to_host t ~bdf host =
+  t.dbdf <- Some bdf;
+  t.host <- Some host
+
+let set_spoof_source t s = t.spoof <- s
+
+let source t = match t.spoof with Some s -> s | None -> bdf t
+
+let mastering t = Pci_cfg.command_has t.dcfg Pci_cfg.cmd_bus_master
+
+let dma_read t ~addr ~len =
+  match t.host with
+  | None -> Error (Bus.Bus_abort { addr })
+  | Some h ->
+    if not (mastering t) then Error (Bus.Bus_abort { addr })
+    else h.dma_read ~source:(source t) ~addr ~len
+
+let dma_write t ~addr ~data =
+  match t.host with
+  | None -> Error (Bus.Bus_abort { addr })
+  | Some h ->
+    if not (mastering t) then Error (Bus.Bus_abort { addr })
+    else h.dma_write ~source:(source t) ~addr ~data
+
+let raise_msi t =
+  if Pci_cfg.msi_enabled t.dcfg && not (Pci_cfg.msi_masked t.dcfg) then begin
+    let data = Pci_cfg.msi_data t.dcfg in
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int data);
+    dma_write t ~addr:(Pci_cfg.msi_address t.dcfg) ~data:b
+  end
+  else Ok ()

@@ -1,0 +1,387 @@
+module Regs = struct
+  let ctrl = 0x0000
+  let status = 0x0008
+  let eerd = 0x0014
+  let icr = 0x00C0
+  let itr = 0x00C4
+  let ics = 0x00C8
+  let ims = 0x00D0
+  let imc = 0x00D8
+  let rctl = 0x0100
+  let tctl = 0x0400
+  let tdbal = 0x3800
+  let tdbah = 0x3804
+  let tdlen = 0x3808
+  let tdh = 0x3810
+  let tdt = 0x3818
+  let rdbal = 0x2800
+  let rdbah = 0x2804
+  let rdlen = 0x2808
+  let rdh = 0x2810
+  let rdt = 0x2818
+  let ral0 = 0x5400
+  let rah0 = 0x5404
+
+  let ctrl_rst = 1 lsl 26
+  let status_lu = 1 lsl 1
+  let eerd_start = 0x01
+  let eerd_done = 0x10
+  let rctl_en = 1 lsl 1
+  let tctl_en = 1 lsl 1
+
+  let int_txdw = 0x01
+  let int_lsc = 0x04
+  let int_rxt0 = 0x80
+
+  let desc_size = 16
+  let txd_cmd_eop = 0x01
+  let txd_cmd_rs = 0x08
+  let txd_sta_dd = 0x01
+  let rxd_sta_dd = 0x01
+  let rxd_sta_eop = 0x02
+end
+
+open Regs
+
+type t = {
+  eng : Engine.t;
+  dev : Device.t;
+  eeprom : int array;            (* 64 16-bit words; 0..2 hold the MAC *)
+  mutable regs_ctrl : int;
+  mutable regs_eerd : int;
+  mutable regs_itr : int;        (* inter-interrupt gap in 256ns units *)
+  mutable next_int_at : int;     (* ITR: earliest time the next MSI may fire *)
+  mutable int_deferred : bool;
+  mutable regs_icr : int;
+  mutable regs_ims : int;
+  mutable regs_rctl : int;
+  mutable regs_tctl : int;
+  mutable regs_tdba : int;
+  mutable regs_tdlen : int;
+  mutable regs_tdh : int;
+  mutable regs_tdt : int;
+  mutable regs_rdba : int;
+  mutable regs_rdlen : int;
+  mutable regs_rdh : int;
+  mutable regs_rdt : int;
+  mutable ral : int;
+  mutable rah : int;
+  mutable link_up : bool;
+  mutable tx_busy : bool;        (* a TX processing pass is scheduled *)
+  port : Net_medium.port;
+  medium : Net_medium.t;
+  mutable partial_tx : bytes list;  (* fragments until EOP *)
+  mutable n_tx : int;
+  mutable n_rx : int;
+  mutable n_drop : int;
+  mutable n_dma_fault : int;
+  mutable n_msi : int;
+}
+
+let per_desc_delay = 250 (* ns of device-side processing per descriptor *)
+
+let mac_of_eeprom eeprom =
+  let b = Bytes.create 6 in
+  for i = 0 to 2 do
+    Bytes.set b (2 * i) (Char.chr (eeprom.(i) land 0xff));
+    Bytes.set b ((2 * i) + 1) (Char.chr ((eeprom.(i) lsr 8) land 0xff))
+  done;
+  b
+
+(* Interrupt moderation (ITR): like the real part, the device spaces MSI
+   messages at least regs_itr*256ns apart; causes accumulate in ICR and
+   are delivered in one (coalesced) interrupt. *)
+let fire_msi t =
+  t.n_msi <- t.n_msi + 1;
+  t.next_int_at <- Engine.now t.eng + (t.regs_itr * 256);
+  match Device.raise_msi t.dev with
+  | Ok () -> ()
+  | Error _ -> t.n_dma_fault <- t.n_dma_fault + 1
+
+let rec raise_irq t cause =
+  t.regs_icr <- t.regs_icr lor cause;
+  if t.regs_icr land t.regs_ims <> 0 then begin
+    let now = Engine.now t.eng in
+    if t.regs_itr = 0 || now >= t.next_int_at then fire_msi t
+    else if not t.int_deferred then begin
+      t.int_deferred <- true;
+      ignore
+        (Engine.schedule_after t.eng (t.next_int_at - now) (fun () ->
+             t.int_deferred <- false;
+             raise_irq t 0)
+         : Engine.handle)
+    end
+  end
+
+let dma_read t addr len =
+  match Device.dma_read t.dev ~addr ~len with
+  | Ok b -> Some b
+  | Error _ ->
+    t.n_dma_fault <- t.n_dma_fault + 1;
+    None
+
+let dma_write t addr data =
+  match Device.dma_write t.dev ~addr ~data with
+  | Ok () -> true
+  | Error _ ->
+    t.n_dma_fault <- t.n_dma_fault + 1;
+    false
+
+let tx_ring_slots t = if t.regs_tdlen = 0 then 0 else t.regs_tdlen / desc_size
+let rx_ring_slots t = if t.regs_rdlen = 0 then 0 else t.regs_rdlen / desc_size
+
+(* Process TX descriptors [tdh, tdt); device-paced. *)
+let rec process_tx t =
+  if t.regs_tctl land tctl_en = 0 || tx_ring_slots t = 0 || t.regs_tdh = t.regs_tdt then
+    t.tx_busy <- false
+  else begin
+    let slot = t.regs_tdh in
+    let daddr = t.regs_tdba + (slot * desc_size) in
+    (match dma_read t daddr desc_size with
+     | None -> t.tx_busy <- false
+     | Some desc ->
+       let buf_addr = Int64.to_int (Bytes.get_int64_le desc 0) in
+       let buf_len = Bytes.get_uint16_le desc 8 in
+       let cmd = Char.code (Bytes.get desc 11) in
+       (match if buf_len = 0 then Some Bytes.empty else dma_read t buf_addr buf_len with
+        | None -> t.tx_busy <- false
+        | Some payload ->
+          t.partial_tx <- payload :: t.partial_tx;
+          if cmd land txd_cmd_eop <> 0 then begin
+            let frame = Bytes.concat Bytes.empty (List.rev t.partial_tx) in
+            t.partial_tx <- [];
+            t.n_tx <- t.n_tx + 1;
+            Net_medium.send t.medium t.port frame
+          end;
+          if cmd land txd_cmd_rs <> 0 then begin
+            Bytes.set desc 12 (Char.chr txd_sta_dd);
+            ignore (dma_write t daddr desc : bool)
+          end;
+          t.regs_tdh <- (slot + 1) mod tx_ring_slots t;
+          if t.regs_tdh = t.regs_tdt then begin
+            t.tx_busy <- false;
+            raise_irq t int_txdw
+          end
+          else
+            ignore
+              (Engine.schedule_after t.eng per_desc_delay (fun () -> process_tx t)
+               : Engine.handle)))
+  end
+
+let kick_tx t =
+  if (not t.tx_busy) && t.regs_tctl land tctl_en <> 0 then begin
+    t.tx_busy <- true;
+    ignore
+      (Engine.schedule_after t.eng per_desc_delay (fun () -> process_tx t)
+       : Engine.handle)
+  end
+
+let receive t frame =
+  if t.regs_rctl land rctl_en = 0 || rx_ring_slots t = 0 || t.regs_rdh = t.regs_rdt then
+    t.n_drop <- t.n_drop + 1
+  else begin
+    let slot = t.regs_rdh in
+    let daddr = t.regs_rdba + (slot * desc_size) in
+    match dma_read t daddr desc_size with
+    | None -> ()
+    | Some desc ->
+      let buf_addr = Int64.to_int (Bytes.get_int64_le desc 0) in
+      if dma_write t buf_addr frame then begin
+        Bytes.set_uint16_le desc 8 (Bytes.length frame);
+        Bytes.set desc 12 (Char.chr (rxd_sta_dd lor rxd_sta_eop));
+        if dma_write t daddr desc then begin
+          t.regs_rdh <- (slot + 1) mod rx_ring_slots t;
+          t.n_rx <- t.n_rx + 1;
+          raise_irq t int_rxt0
+        end
+      end
+  end
+
+let reset t =
+  t.regs_ctrl <- 0;
+  t.regs_eerd <- 0;
+  t.regs_itr <- 0;
+  t.next_int_at <- 0;
+  t.int_deferred <- false;
+  t.regs_icr <- 0;
+  t.regs_ims <- 0;
+  t.regs_rctl <- 0;
+  t.regs_tctl <- 0;
+  t.regs_tdba <- 0;
+  t.regs_tdlen <- 0;
+  t.regs_tdh <- 0;
+  t.regs_tdt <- 0;
+  t.regs_rdba <- 0;
+  t.regs_rdlen <- 0;
+  t.regs_rdh <- 0;
+  t.regs_rdt <- 0;
+  t.partial_tx <- [];
+  let mac = mac_of_eeprom t.eeprom in
+  t.ral <-
+    Char.code (Bytes.get mac 0)
+    lor (Char.code (Bytes.get mac 1) lsl 8)
+    lor (Char.code (Bytes.get mac 2) lsl 16)
+    lor (Char.code (Bytes.get mac 3) lsl 24);
+  t.rah <- Char.code (Bytes.get mac 4) lor (Char.code (Bytes.get mac 5) lsl 8) lor 0x80000000
+
+(* Register read without side effects (used for sub-word accesses and for
+   peers reaching the register file by P2P DMA). *)
+let peek t off =
+  if off = ctrl then t.regs_ctrl
+  else if off = status then if t.link_up then status_lu else 0
+  else if off = eerd then t.regs_eerd
+  else if off = itr then t.regs_itr
+  else if off = icr then t.regs_icr
+  else if off = ims then t.regs_ims
+  else if off = rctl then t.regs_rctl
+  else if off = tctl then t.regs_tctl
+  else if off = tdbal then t.regs_tdba land 0xFFFFFFFF
+  else if off = tdbah then t.regs_tdba lsr 32
+  else if off = tdlen then t.regs_tdlen
+  else if off = tdh then t.regs_tdh
+  else if off = tdt then t.regs_tdt
+  else if off = rdbal then t.regs_rdba land 0xFFFFFFFF
+  else if off = rdbah then t.regs_rdba lsr 32
+  else if off = rdlen then t.regs_rdlen
+  else if off = rdh then t.regs_rdh
+  else if off = rdt then t.regs_rdt
+  else if off = ral0 then t.ral
+  else if off = rah0 then t.rah
+  else 0
+
+let read32 t off =
+  if off = icr then begin
+    let v = t.regs_icr in
+    t.regs_icr <- 0;
+    v
+  end
+  else peek t off
+
+let write32 t off v =
+  let v = v land 0xFFFFFFFF in
+  if off = ctrl then begin
+    if v land ctrl_rst <> 0 then reset t else t.regs_ctrl <- v
+  end
+  else if off = eerd then begin
+    if v land eerd_start <> 0 then begin
+      let addr = (v lsr 8) land 0x3f in
+      t.regs_eerd <- (t.eeprom.(addr) lsl 16) lor eerd_done
+    end
+  end
+  else if off = itr then t.regs_itr <- v land 0xFFFF
+  else if off = ics then raise_irq t v
+  else if off = ims then t.regs_ims <- t.regs_ims lor v
+  else if off = imc then t.regs_ims <- t.regs_ims land lnot v
+  else if off = rctl then t.regs_rctl <- v
+  else if off = tctl then begin
+    t.regs_tctl <- v;
+    kick_tx t
+  end
+  else if off = tdbal then t.regs_tdba <- t.regs_tdba land lnot 0xFFFFFFFF lor v
+  else if off = tdbah then t.regs_tdba <- t.regs_tdba land 0xFFFFFFFF lor (v lsl 32)
+  else if off = tdlen then t.regs_tdlen <- v
+  else if off = tdh then t.regs_tdh <- v
+  else if off = tdt then begin
+    t.regs_tdt <- v;
+    kick_tx t
+  end
+  else if off = rdbal then t.regs_rdba <- t.regs_rdba land lnot 0xFFFFFFFF lor v
+  else if off = rdbah then t.regs_rdba <- t.regs_rdba land 0xFFFFFFFF lor (v lsl 32)
+  else if off = rdlen then t.regs_rdlen <- v
+  else if off = rdh then t.regs_rdh <- v
+  else if off = rdt then t.regs_rdt <- v
+  else if off = ral0 then t.ral <- v
+  else if off = rah0 then t.rah <- v
+
+let sub_access off size =
+  let word = off land lnot 3 and shift = (off land 3) * 8 in
+  let mask = ((1 lsl (size * 8)) - 1) lsl shift in
+  (word, shift, mask)
+
+let mmio_read t ~bar ~off ~size =
+  if bar <> 0 then 0
+  else if size = 4 && off land 3 = 0 then read32 t off
+  else begin
+    let word, shift, mask = sub_access off size in
+    (peek t word land mask) lsr shift
+  end
+
+let mmio_write t ~bar ~off ~size v =
+  if bar = 0 then begin
+    if size = 4 && off land 3 = 0 then write32 t off v
+    else begin
+      let word, shift, mask = sub_access off size in
+      let merged = peek t word land lnot mask lor ((v lsl shift) land mask) in
+      write32 t word merged
+    end
+  end
+
+let create eng ~mac ~medium () =
+  if Bytes.length mac <> 6 then invalid_arg "E1000_dev.create: MAC must be 6 bytes";
+  let cfg =
+    Pci_cfg.create ~vendor:0x8086 ~device:0x10D3 ~class_code:0x020000
+      ~bars:[| Some (Pci_cfg.Mem { size = 0x20000 }) |]
+      ()
+  in
+  Pci_cfg.add_msi_capability cfg;
+  let eeprom = Array.make 64 0 in
+  for i = 0 to 2 do
+    eeprom.(i) <-
+      Char.code (Bytes.get mac (2 * i)) lor (Char.code (Bytes.get mac ((2 * i) + 1)) lsl 8)
+  done;
+  let rec t =
+    lazy
+      (let dev = Device.create ~name:"e1000" ~cfg ~ops:Device.no_io in
+       let port =
+         Net_medium.attach medium ~name:"e1000" ~rx:(fun frame -> receive (Lazy.force t) frame)
+       in
+       { eng;
+         dev;
+         eeprom;
+         regs_ctrl = 0;
+         regs_eerd = 0;
+         regs_itr = 0;
+         next_int_at = 0;
+         int_deferred = false;
+         regs_icr = 0;
+         regs_ims = 0;
+         regs_rctl = 0;
+         regs_tctl = 0;
+         regs_tdba = 0;
+         regs_tdlen = 0;
+         regs_tdh = 0;
+         regs_tdt = 0;
+         regs_rdba = 0;
+         regs_rdlen = 0;
+         regs_rdh = 0;
+         regs_rdt = 0;
+         ral = 0;
+         rah = 0;
+         link_up = true;
+         tx_busy = false;
+         port;
+         medium;
+         partial_tx = [];
+         n_tx = 0;
+         n_rx = 0;
+         n_drop = 0;
+         n_dma_fault = 0;
+         n_msi = 0 })
+  in
+  let t = Lazy.force t in
+  reset t;
+  Device.set_ops t.dev
+    { Device.mmio_read = (fun ~bar ~off ~size -> mmio_read t ~bar ~off ~size);
+      mmio_write = (fun ~bar ~off ~size v -> mmio_write t ~bar ~off ~size v);
+      io_read = (fun ~bar:_ ~off:_ ~size -> (1 lsl (size * 8)) - 1);
+      io_write = (fun ~bar:_ ~off:_ ~size:_ _ -> ());
+      reset = (fun () -> reset t) };
+  t
+
+let device t = t.dev
+let mac t = mac_of_eeprom t.eeprom
+let tx_frames t = t.n_tx
+let rx_frames t = t.n_rx
+let rx_dropped t = t.n_drop
+let dma_faults t = t.n_dma_fault
+let msi_raised t = t.n_msi

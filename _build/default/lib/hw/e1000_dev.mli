@@ -1,0 +1,85 @@
+(** Register-level model of an e1000-class Gigabit Ethernet controller.
+
+    Faithful in the ways that matter to SUD: the driver programs TX/RX
+    descriptor rings by physical (IO-virtual) address, the device fetches
+    descriptors and packet data {e by DMA through the PCIe fabric and
+    IOMMU}, and interrupts are MSI messages.  A driver that writes a
+    kernel address into a descriptor causes real device-initiated DMA to
+    that address — which the IOMMU must catch.
+
+    The register subset (offsets in BAR 0) follows the 8254x datasheet's
+    legacy layout: CTRL, STATUS, EERD, ICR/ICS/IMS/IMC, RCTL/TCTL,
+    TDBAL..TDT, RDBAL..RDT, RAL/RAH. *)
+
+module Regs : sig
+  val ctrl : int
+  val status : int
+  val eerd : int
+  val icr : int
+  val itr : int
+  (** Interrupt throttling: minimum gap between MSIs, in 256 ns units
+      (0 disables moderation). *)
+
+  val ics : int
+  val ims : int
+  val imc : int
+  val rctl : int
+  val tctl : int
+  val tdbal : int
+  val tdbah : int
+  val tdlen : int
+  val tdh : int
+  val tdt : int
+  val rdbal : int
+  val rdbah : int
+  val rdlen : int
+  val rdh : int
+  val rdt : int
+  val ral0 : int
+  val rah0 : int
+
+  val ctrl_rst : int
+  val status_lu : int
+  val eerd_start : int
+  val eerd_done : int
+  val rctl_en : int
+  val tctl_en : int
+
+  (** Interrupt cause bits *)
+
+  val int_txdw : int
+  val int_lsc : int
+  val int_rxt0 : int
+
+  (** Legacy descriptor layout *)
+
+  val desc_size : int
+  val txd_cmd_eop : int
+  val txd_cmd_rs : int
+  val txd_sta_dd : int
+  val rxd_sta_dd : int
+  val rxd_sta_eop : int
+end
+
+type t
+
+val create : Engine.t -> mac:bytes -> medium:Net_medium.t -> unit -> t
+(** [mac] is 6 bytes, stored in the device EEPROM.  The device attaches a
+    station to [medium] immediately (link comes up). *)
+
+val device : t -> Device.t
+val mac : t -> bytes
+
+(** Observability for tests and benches *)
+
+val tx_frames : t -> int
+val rx_frames : t -> int
+val rx_dropped : t -> int
+(** Frames discarded because RX was disabled or the ring had no free
+    descriptors. *)
+
+val dma_faults : t -> int
+(** Device-side count of DMA transactions that were refused by the fabric
+    (IOMMU fault, ACS block, master abort). *)
+
+val msi_raised : t -> int

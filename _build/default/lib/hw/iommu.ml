@@ -1,0 +1,186 @@
+type mode =
+  | Intel_vtd of { interrupt_remapping : bool }
+  | Amd_vi
+
+type pte = { phys : int; writable : bool }
+
+type domain = {
+  (* Two-level table over a 4 GiB IO virtual space: directory index = bits
+     31..22, table index = bits 21..12. *)
+  dir : pte option array option array;
+  mutable entries : int;
+}
+
+type t = {
+  mode : mode;
+  domains : (Bus.bdf, domain) Hashtbl.t;
+  mutable flt : Bus.fault list;     (* newest first *)
+  mutable flushes : int;
+  ir_table : (Bus.bdf * int, unit) Hashtbl.t;
+  mutable ir_writes : int;
+}
+
+let dir_slots = 1024
+let tbl_slots = 1024
+
+let create ~mode () =
+  { mode;
+    domains = Hashtbl.create 8;
+    flt = [];
+    flushes = 0;
+    ir_table = Hashtbl.create 8;
+    ir_writes = 0 }
+
+let mode t = t.mode
+
+let fresh_domain () = { dir = Array.make dir_slots None; entries = 0 }
+
+let attach t ~source =
+  match Hashtbl.find_opt t.domains source with
+  | Some d -> d
+  | None ->
+    let d = fresh_domain () in
+    Hashtbl.add t.domains source d;
+    d
+
+let detach t ~source = Hashtbl.remove t.domains source
+
+let domain_of t ~source = Hashtbl.find_opt t.domains source
+
+let indices iova = (iova lsr 22) land (dir_slots - 1), (iova lsr 12) land (tbl_slots - 1)
+
+let lookup d iova =
+  let di, ti = indices iova in
+  match d.dir.(di) with None -> None | Some tbl -> tbl.(ti)
+
+let check_range name iova len =
+  if not (Bus.is_page_aligned iova) then invalid_arg (name ^ ": iova not page-aligned");
+  if len <= 0 || not (Bus.is_page_aligned len) then
+    invalid_arg (name ^ ": length must be a positive page multiple");
+  if iova + len > 0x1_0000_0000 then invalid_arg (name ^ ": beyond 4GiB IO space")
+
+let map _t d ~iova ~phys ~len ~writable =
+  check_range "Iommu.map" iova len;
+  if not (Bus.is_page_aligned phys) then invalid_arg "Iommu.map: phys not page-aligned";
+  let pages = len / Bus.page_size in
+  for i = 0 to pages - 1 do
+    let va = iova + (i * Bus.page_size) and pa = phys + (i * Bus.page_size) in
+    let di, ti = indices va in
+    let tbl =
+      match d.dir.(di) with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Array.make tbl_slots None in
+        d.dir.(di) <- Some tbl;
+        tbl
+    in
+    (match tbl.(ti) with
+     | Some existing when existing.phys <> pa || existing.writable <> writable ->
+       invalid_arg "Iommu.map: conflicting existing mapping"
+     | Some _ -> ()
+     | None ->
+       tbl.(ti) <- Some { phys = pa; writable };
+       d.entries <- d.entries + 1)
+  done
+
+let unmap t d ~iova ~len =
+  check_range "Iommu.unmap" iova len;
+  let pages = len / Bus.page_size in
+  for i = 0 to pages - 1 do
+    let va = iova + (i * Bus.page_size) in
+    let di, ti = indices va in
+    match d.dir.(di) with
+    | None -> ()
+    | Some tbl ->
+      if tbl.(ti) <> None then begin
+        tbl.(ti) <- None;
+        d.entries <- d.entries - 1
+      end
+  done;
+  t.flushes <- t.flushes + 1
+
+let record_fault t f =
+  t.flt <- f :: t.flt;
+  `Fault f
+
+let translate t ~source ~addr ~dir =
+  let in_msi = Bus.in_msi_window addr in
+  let dom = Hashtbl.find_opt t.domains source in
+  match t.mode, dom with
+  | Intel_vtd _, _ when in_msi && dir = Bus.Dma_write ->
+    (* The implicit identity mapping: present in every VT-d page table,
+       whether or not a domain exists. *)
+    `Msi
+  | _, None ->
+    (* No domain attached: passthrough, as for trusted in-kernel drivers
+       (Linux iommu=pt).  SUD attaches an (initially empty) domain the
+       moment an untrusted driver opens the device. *)
+    if in_msi && dir = Bus.Dma_write then `Msi else `Phys addr
+  | Amd_vi, Some d when in_msi && dir = Bus.Dma_write ->
+    (match lookup d addr with
+     | Some _ -> `Msi
+     | None -> record_fault t (Bus.Iommu_fault { source; addr; dir }))
+  | (Intel_vtd _ | Amd_vi), Some d ->
+    (match lookup d addr with
+     | Some pte when dir = Bus.Dma_read || pte.writable ->
+       `Phys (pte.phys lor (addr land Bus.page_mask))
+     | Some _ | None -> record_fault t (Bus.Iommu_fault { source; addr; dir }))
+
+let mappings d =
+  let runs = ref [] in
+  let cur = ref None in
+  let flush_run () =
+    match !cur with
+    | Some (iova, phys, len, w) ->
+      runs := (iova, phys, len, w) :: !runs;
+      cur := None
+    | None -> ()
+  in
+  for di = 0 to dir_slots - 1 do
+    match d.dir.(di) with
+    | None -> flush_run ()
+    | Some tbl ->
+      for ti = 0 to tbl_slots - 1 do
+        let va = (di lsl 22) lor (ti lsl 12) in
+        match tbl.(ti) with
+        | None -> flush_run ()
+        | Some pte ->
+          (match !cur with
+           | Some (iova, phys, len, w)
+             when iova + len = va && phys + len = pte.phys && w = pte.writable ->
+             cur := Some (iova, phys, len + Bus.page_size, w)
+           | Some _ | None ->
+             flush_run ();
+             cur := Some (va, pte.phys, Bus.page_size, pte.writable))
+      done
+  done;
+  flush_run ();
+  List.rev !runs
+
+let iotlb_flush t _d = t.flushes <- t.flushes + 1
+let iotlb_flushes t = t.flushes
+
+let faults t = List.rev t.flt
+let clear_faults t = t.flt <- []
+
+let ir_available t =
+  match t.mode with
+  | Intel_vtd { interrupt_remapping } -> interrupt_remapping
+  | Amd_vi -> false
+
+let ir_allow t ~source ~vector =
+  t.ir_writes <- t.ir_writes + 1;
+  Hashtbl.replace t.ir_table (source, vector) ()
+
+let ir_block_source t ~source =
+  t.ir_writes <- t.ir_writes + 1;
+  let doomed =
+    Hashtbl.fold (fun (s, v) () acc -> if s = source then (s, v) :: acc else acc) t.ir_table []
+  in
+  List.iter (fun key -> Hashtbl.remove t.ir_table key) doomed
+
+let ir_check t ~source ~vector =
+  if not (ir_available t) then true
+  else Hashtbl.mem t.ir_table (source, vector)
+
+let ir_updates t = t.ir_writes

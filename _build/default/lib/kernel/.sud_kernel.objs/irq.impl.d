@@ -1,0 +1,1 @@
+lib/kernel/irq.ml: Bus Cost_model Cpu Engine Fun Hashtbl Klog Preempt Printf

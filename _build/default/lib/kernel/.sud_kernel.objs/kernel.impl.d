@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Bus Cost_model Cpu Device Engine Iommu Ioport Irq Klog Netstack Pci_cfg Pci_topology Phys_mem Preempt Process Sysfs

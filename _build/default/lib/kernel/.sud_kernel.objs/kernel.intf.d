@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Bus Cost_model Cpu Device Engine Iommu Ioport Irq Klog Netstack Pci_topology Phys_mem Preempt Process Sysfs

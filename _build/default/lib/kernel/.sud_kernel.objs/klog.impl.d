@@ -1,0 +1,1 @@
+lib/kernel/klog.ml: Engine Format List String

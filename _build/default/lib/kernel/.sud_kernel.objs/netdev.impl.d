@@ -1,0 +1,1 @@
+lib/kernel/netdev.ml: Bytes Skbuff Sync

@@ -1,0 +1,1 @@
+lib/kernel/netdev.mli: Skbuff Sync

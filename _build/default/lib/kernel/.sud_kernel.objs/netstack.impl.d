@@ -1,0 +1,1 @@
+lib/kernel/netstack.ml: Bytes Char Cost_model Cpu Engine Fiber Hashtbl Int32 Klog List Netdev Preempt Process Queue Skbuff Sync

@@ -1,0 +1,1 @@
+lib/kernel/netstack.mli: Cpu Engine Klog Netdev Preempt Process Skbuff

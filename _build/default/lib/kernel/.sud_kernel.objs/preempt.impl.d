@@ -1,0 +1,1 @@
+lib/kernel/preempt.ml: Fiber Fun Hashtbl Option

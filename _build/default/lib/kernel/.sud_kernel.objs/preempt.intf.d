@@ -1,0 +1,1 @@
+lib/kernel/preempt.mli:

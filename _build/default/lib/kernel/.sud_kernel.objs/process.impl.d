@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Engine Fiber Hashtbl List Option Printf

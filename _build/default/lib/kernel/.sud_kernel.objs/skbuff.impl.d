@@ -1,0 +1,1 @@
+lib/kernel/skbuff.ml: Bytes Char Format List String

@@ -1,0 +1,1 @@
+lib/kernel/sysfs.ml: Bus List Printf

@@ -1,0 +1,61 @@
+type handler = source:Bus.bdf -> unit
+
+type entry = { hname : string; fn : handler; mutable hits : int }
+
+type t = {
+  eng : Engine.t;
+  cpu : Cpu.t;
+  preempt : Preempt.t;
+  klog : Klog.t;
+  handlers : (int, entry) Hashtbl.t;
+  mutable next_vector : int;
+  mutable spurious_count : int;
+  mutable delivered : int;
+}
+
+let create eng cpu preempt klog =
+  { eng;
+    cpu;
+    preempt;
+    klog;
+    handlers = Hashtbl.create 16;
+    next_vector = 32;
+    spurious_count = 0;
+    delivered = 0 }
+
+let alloc_vector t =
+  let v = t.next_vector in
+  t.next_vector <- t.next_vector + 1;
+  v
+
+let request_irq t ~vector ~name fn =
+  if Hashtbl.mem t.handlers vector then
+    Error (Printf.sprintf "vector %d already requested" vector)
+  else begin
+    Hashtbl.add t.handlers vector { hname = name; fn; hits = 0 };
+    Ok ()
+  end
+
+let free_irq t ~vector = Hashtbl.remove t.handlers vector
+
+let deliver t ~source ~vector =
+  t.delivered <- t.delivered + 1;
+  let model = Cpu.cost_model t.cpu in
+  Cpu.account t.cpu ~label:"kernel:irq" model.Cost_model.irq_deliver_ns;
+  match Hashtbl.find_opt t.handlers vector with
+  | None ->
+    t.spurious_count <- t.spurious_count + 1;
+    Klog.printk t.klog Klog.Warn "irq: spurious vector %d from %s" vector
+      (Bus.string_of_bdf source)
+  | Some entry ->
+    entry.hits <- entry.hits + 1;
+    (* Top halves run atomically: blocking inside one is a bug the
+       preemption tracker will catch. *)
+    Preempt.disable t.preempt;
+    Fun.protect ~finally:(fun () -> Preempt.enable t.preempt) (fun () -> entry.fn ~source)
+
+let count t ~vector =
+  match Hashtbl.find_opt t.handlers vector with Some e -> e.hits | None -> 0
+
+let spurious t = t.spurious_count
+let total_delivered t = t.delivered

@@ -1,0 +1,28 @@
+(** Kernel interrupt layer.
+
+    MSI messages that survive the fabric and interrupt-remapping checks
+    land in {!deliver} (installed as the topology's MSI sink).  Handlers
+    run in event context with the preemption context marked atomic, like
+    real top halves.  Per-vector counters feed the storm detector in SUD's
+    safe-PCI module. *)
+
+type t
+
+val create :
+  Engine.t -> Cpu.t -> Preempt.t -> Klog.t -> t
+
+val alloc_vector : t -> int
+(** Allocate an unused vector (>= 32, x86 style). *)
+
+type handler = source:Bus.bdf -> unit
+
+val request_irq : t -> vector:int -> name:string -> handler -> (unit, string) result
+val free_irq : t -> vector:int -> unit
+
+val deliver : t -> source:Bus.bdf -> vector:int -> unit
+(** Charge interrupt-delivery CPU cost and invoke the handler.  Unhandled
+    vectors are counted and logged as spurious. *)
+
+val count : t -> vector:int -> int
+val spurious : t -> int
+val total_delivered : t -> int

@@ -1,0 +1,54 @@
+type t = {
+  eng : Engine.t;
+  cpu : Cpu.t;
+  mem : Phys_mem.t;
+  iommu : Iommu.t;
+  ioports : Ioport.t;
+  topo : Pci_topology.t;
+  irq : Irq.t;
+  preempt : Preempt.t;
+  net : Netstack.t;
+  sysfs : Sysfs.t;
+  klog : Klog.t;
+  procs : Process.table;
+}
+
+let boot ?(cores = 2) ?(mem_size = 256 * 1024 * 1024)
+    ?(iommu_mode = Iommu.Intel_vtd { interrupt_remapping = false })
+    ?(cost_model = Cost_model.default) ?(enable_acs = true) eng =
+  let cpu = Cpu.create eng ~cores cost_model in
+  let mem = Phys_mem.create ~size:mem_size in
+  let iommu = Iommu.create ~mode:iommu_mode () in
+  let ioports = Ioport.create () in
+  let topo = Pci_topology.create ~mem ~iommu ~ioports () in
+  let klog = Klog.create eng in
+  let preempt = Preempt.create () in
+  let irq = Irq.create eng cpu preempt klog in
+  let procs = Process.create_table eng in
+  let net = Netstack.create eng cpu preempt klog procs in
+  let sysfs = Sysfs.create () in
+  Pci_topology.set_msi_sink topo (fun ~source ~vector -> Irq.deliver irq ~source ~vector);
+  if enable_acs then Pci_topology.enable_acs_everywhere topo;
+  Klog.printk klog Klog.Info "kernel: booted with %d cores, %d MiB RAM" cores
+    (mem_size / 1024 / 1024);
+  { eng; cpu; mem; iommu; ioports; topo; irq; preempt; net; sysfs; klog; procs }
+
+let attach_pci t ?switch dev =
+  let sw = match switch with Some s -> s | None -> Pci_topology.root_switch t.topo in
+  (* A newly created switch post-boot must still honour the ACS policy. *)
+  let bdf = Pci_topology.attach t.topo ~switch:sw dev in
+  let cfg = Device.cfg dev in
+  let vendor = Pci_cfg.read cfg ~off:Pci_cfg.vendor_id ~size:2 in
+  let device = Pci_cfg.read cfg ~off:Pci_cfg.device_id ~size:2 in
+  let class_code = Pci_cfg.read cfg ~off:Pci_cfg.class_code ~size:1 lsl 16 in
+  ignore (Sysfs.add_pci_device t.sysfs ~bdf ~vendor ~device ~class_code : Sysfs.entry);
+  Klog.printk t.klog Klog.Info "pci: %s %04x:%04x at %s" (Device.name dev) vendor device
+    (Bus.string_of_bdf bdf);
+  bdf
+
+let run ?ms t =
+  match ms with
+  | None -> Engine.run t.eng
+  | Some ms -> Engine.run ~max_time:(Engine.now t.eng + (ms * 1_000_000)) t.eng
+
+let uptime_ns t = Engine.now t.eng

@@ -1,0 +1,76 @@
+type xmit_result = Xmit_ok | Xmit_busy
+
+type ops = {
+  ndo_open : unit -> (unit, string) result;
+  ndo_stop : unit -> unit;
+  ndo_start_xmit : Skbuff.t -> xmit_result;
+  ndo_do_ioctl : cmd:int -> arg:int -> (int, string) result;
+}
+
+let ioctl_mii_status = 0x8948
+let ioctl_link_speed = 0x8949
+
+type stats = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_dropped : int;
+  mutable rx_dropped : int;
+}
+
+type t = {
+  dname : string;
+  mutable dmac : bytes;
+  dops : ops;
+  dstats : stats;
+  mutable up : bool;
+  mutable carrier_on : bool;
+  mutable stopped : bool;
+  txq : Sync.Waitq.t;
+  tx_lock : Sync.Mutex.t;
+  mutable stack_rx : (Skbuff.t -> unit) option;
+}
+
+let create ~name ~mac ~ops =
+  if Bytes.length mac <> 6 then invalid_arg "Netdev.create: MAC must be 6 bytes";
+  { dname = name;
+    dmac = Bytes.copy mac;
+    dops = ops;
+    dstats = { tx_packets = 0; tx_bytes = 0; rx_packets = 0; rx_bytes = 0; tx_dropped = 0; rx_dropped = 0 };
+    up = false;
+    carrier_on = false;
+    stopped = false;
+    txq = Sync.Waitq.create ();
+    tx_lock = Sync.Mutex.create ();
+    stack_rx = None }
+
+let name t = t.dname
+let mac t = t.dmac
+let set_mac t m = t.dmac <- Bytes.copy m
+let ops t = t.dops
+let stats t = t.dstats
+
+let is_up t = t.up
+let set_up t v = t.up <- v
+
+let carrier t = t.carrier_on
+let netif_carrier_on t = t.carrier_on <- true
+let netif_carrier_off t = t.carrier_on <- false
+
+let queue_stopped t = t.stopped
+let netif_stop_queue t = t.stopped <- true
+
+let netif_wake_queue t =
+  t.stopped <- false;
+  ignore (Sync.Waitq.broadcast t.txq : int)
+
+let tx_waitq t = t.txq
+let tx_lock t = t.tx_lock
+
+let netif_rx t skb =
+  match t.stack_rx with
+  | Some rx -> rx skb
+  | None -> t.dstats.rx_dropped <- t.dstats.rx_dropped + 1
+
+let set_stack_rx t rx = t.stack_rx <- Some rx

@@ -1,0 +1,65 @@
+(** Network device objects — the kernel side of the paper's Figure 2 API.
+
+    A driver (in-kernel or a SUD proxy standing in for a user-space one)
+    registers a [Netdev.t] carrying its callbacks; the stack calls
+    [ndo_start_xmit] to send and the driver calls {!netif_rx} to deliver.
+    TX flow control mirrors Linux: the driver stops the queue when its
+    ring is full and wakes it from the TX-completion interrupt. *)
+
+type xmit_result = Xmit_ok | Xmit_busy
+
+type ops = {
+  ndo_open : unit -> (unit, string) result;
+  ndo_stop : unit -> unit;
+  ndo_start_xmit : Skbuff.t -> xmit_result;
+  ndo_do_ioctl : cmd:int -> arg:int -> (int, string) result;
+}
+
+(** ioctl commands, SIOCGMIIREG-style *)
+
+val ioctl_mii_status : int
+val ioctl_link_speed : int
+
+type stats = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_dropped : int;
+  mutable rx_dropped : int;
+}
+
+type t
+
+val create : name:string -> mac:bytes -> ops:ops -> t
+
+val name : t -> string
+val mac : t -> bytes
+val set_mac : t -> bytes -> unit
+val ops : t -> ops
+val stats : t -> stats
+
+val is_up : t -> bool
+val set_up : t -> bool -> unit
+
+val carrier : t -> bool
+val netif_carrier_on : t -> unit
+val netif_carrier_off : t -> unit
+
+val queue_stopped : t -> bool
+val netif_stop_queue : t -> unit
+val netif_wake_queue : t -> unit
+val tx_waitq : t -> Sync.Waitq.t
+(** Fibers blocked on a stopped queue; woken by {!netif_wake_queue}. *)
+
+val tx_lock : t -> Sync.Mutex.t
+(** The HARD_TX_LOCK: serializes [ndo_start_xmit] — driver transmit paths
+    are not reentrant. *)
+
+val netif_rx : t -> Skbuff.t -> unit
+(** Hand a received frame to the stack (non-blocking; callable from atomic
+    context).  Frames arriving before the device is registered are
+    dropped. *)
+
+val set_stack_rx : t -> (Skbuff.t -> unit) -> unit
+(** Installed by the net stack at registration. *)

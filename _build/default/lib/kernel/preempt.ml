@@ -1,0 +1,64 @@
+exception Sleeping_in_atomic of string
+
+type t = { depth : (int, int) Hashtbl.t }
+
+let create () = { depth = Hashtbl.create 16 }
+
+(* Event-context (non-fiber) code is treated as fiber id -1: interrupt
+   delivery runs there and is always atomic. *)
+let fiber_key () =
+  match Fiber.self () with
+  | f -> Fiber.id f
+  | exception Failure _ -> -1
+
+let get t k = Option.value ~default:0 (Hashtbl.find_opt t.depth k)
+
+let disable t =
+  let k = fiber_key () in
+  Hashtbl.replace t.depth k (get t k + 1)
+
+let enable t =
+  let k = fiber_key () in
+  match get t k with
+  | 0 -> invalid_arg "Preempt.enable: not in an atomic section"
+  | 1 -> Hashtbl.remove t.depth k
+  | n -> Hashtbl.replace t.depth k (n - 1)
+
+let in_atomic t =
+  let k = fiber_key () in
+  k = -1 || get t k > 0
+
+let assert_may_sleep t what =
+  if in_atomic t then raise (Sleeping_in_atomic what)
+
+let with_atomic t fn =
+  disable t;
+  Fun.protect ~finally:(fun () -> enable t) fn
+
+module Spinlock = struct
+  type lock = { ctx : t; mutable owner : int option }
+
+  let create ctx = { ctx; owner = None }
+
+  let lock l =
+    let k = fiber_key () in
+    (match l.owner with
+     | Some o when o = k -> failwith "Spinlock: recursive acquisition (deadlock)"
+     | Some _ -> failwith "Spinlock: contended in single-runqueue simulator (deadlock)"
+     | None -> ());
+    disable l.ctx;
+    l.owner <- Some k
+
+  let unlock l =
+    (match l.owner with
+     | None -> invalid_arg "Spinlock.unlock: not held"
+     | Some _ -> ());
+    l.owner <- None;
+    enable l.ctx
+
+  let with_lock l fn =
+    lock l;
+    Fun.protect ~finally:(fun () -> unlock l) fn
+
+  let held l = l.owner <> None
+end

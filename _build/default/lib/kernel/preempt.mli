@@ -1,0 +1,44 @@
+(** Preemption-context tracking and spinlocks.
+
+    Linux code holding a spinlock (or running in interrupt context) must
+    not sleep; the SUD proxy drivers must answer callbacks made from such
+    contexts without an upcall (paper §3.1.1).  This module tracks an
+    atomic-section depth per fiber so proxies can ask {!in_atomic}, and
+    the kernel asserts {!assert_may_sleep} at every blocking point —
+    sleeping in atomic context is a hard bug, as in the real kernel. *)
+
+exception Sleeping_in_atomic of string
+
+type t
+
+val create : unit -> t
+
+val disable : t -> unit
+(** Enter an atomic section (preempt_disable). *)
+
+val enable : t -> unit
+(** Leave it.  Raises [Invalid_argument] when not in one. *)
+
+val in_atomic : t -> bool
+(** Whether the current fiber is in an atomic section. *)
+
+val assert_may_sleep : t -> string -> unit
+(** Raises {!Sleeping_in_atomic} if called in atomic context. *)
+
+val with_atomic : t -> (unit -> 'a) -> 'a
+
+module Spinlock : sig
+  type lock
+
+  val create : t -> lock
+
+  val lock : lock -> unit
+  (** Busy-waits never happen in the simulator (single runqueue), so
+      acquiring an already-held lock from a second fiber raises
+      [Failure] — it would be a real deadlock.  Acquiring recursively
+      raises too. *)
+
+  val unlock : lock -> unit
+  val with_lock : lock -> (unit -> 'a) -> 'a
+  val held : lock -> bool
+end

@@ -1,0 +1,51 @@
+type t = {
+  mutable data : bytes;
+  mutable csum_verified : bool;
+  mutable shared_with_driver : bool;
+  mutable refresh : (unit -> bytes) option;
+}
+
+let of_bytes data = { data; csum_verified = false; shared_with_driver = false; refresh = None }
+
+let copy t =
+  { data = Bytes.copy t.data;
+    csum_verified = t.csum_verified;
+    shared_with_driver = false;
+    refresh = None }
+
+let length t = Bytes.length t.data
+
+let checksum_sub b ~off ~len =
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + (Char.code (Bytes.get b !i) lsl 8) + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
+  while !sum > 0xFFFF do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let checksum b = checksum_sub b ~off:0 ~len:(Bytes.length b)
+
+module Mac = struct
+  let broadcast = Bytes.make 6 '\xff'
+
+  let equal = Bytes.equal
+
+  let pp fmt m =
+    for i = 0 to 5 do
+      if i > 0 then Format.pp_print_char fmt ':';
+      Format.fprintf fmt "%02x" (Char.code (Bytes.get m i))
+    done
+
+  let of_string s =
+    let parts = String.split_on_char ':' s in
+    if List.length parts <> 6 then invalid_arg "Mac.of_string";
+    let b = Bytes.create 6 in
+    List.iteri (fun i p -> Bytes.set b i (Char.chr (int_of_string ("0x" ^ p)))) parts;
+    b
+end

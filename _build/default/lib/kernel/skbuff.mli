@@ -1,0 +1,39 @@
+(** Socket buffers and the internet checksum.
+
+    An [Skbuff.t] carries frame bytes plus receive-path metadata.  The
+    [csum_verified] flag mirrors Linux's CHECKSUM_UNNECESSARY: SUD's
+    Ethernet proxy sets it after its fused defensive-copy-plus-checksum
+    pass so the stack does not checksum twice (paper §3.1.2). *)
+
+type t = {
+  mutable data : bytes;
+  mutable csum_verified : bool;
+  mutable shared_with_driver : bool;
+      (** true when [data] reflects memory a (possibly malicious) driver
+          can still write — the TOCTOU hazard the defensive copy removes *)
+  mutable refresh : (unit -> bytes) option;
+      (** models data living in driver-shared memory: the stack re-reads
+          through this at delivery time, after the firewall verdict.  A
+          proxy doing the defensive copy leaves it [None]. *)
+}
+
+val of_bytes : bytes -> t
+(** Fresh skb owning a private copy of nothing — wraps [data] directly. *)
+
+val copy : t -> t
+(** Deep copy; clears [shared_with_driver]. *)
+
+val length : t -> int
+
+val checksum : bytes -> int
+(** 16-bit internet checksum over the whole buffer. *)
+
+val checksum_sub : bytes -> off:int -> len:int -> int
+
+module Mac : sig
+  val broadcast : bytes
+  val equal : bytes -> bytes -> bool
+  val pp : Format.formatter -> bytes -> unit
+  val of_string : string -> bytes
+  (** Parse "aa:bb:cc:dd:ee:ff". *)
+end

@@ -1,0 +1,291 @@
+type mode = Kernel_driver | Sud_driver
+
+let mode_name = function Kernel_driver -> "Kernel driver" | Sud_driver -> "Untrusted driver"
+
+type result = {
+  throughput : float;
+  units : string;
+  cpu_pct : float;
+  samples : int;
+}
+
+type rig = {
+  eng : Engine.t;
+  dut : Kernel.t;
+  peer : Kernel.t;
+  dev_dut : Netdev.t;
+  dev_peer : Netdev.t;
+  started : Driver_host.started option;
+}
+
+let msg_size = 64
+let warmup_ns = 20_000_000
+let interval_ns = 50_000_000
+let max_samples = 40
+
+let mac_dut = Bytes.of_string "\x52\x54\x00\x00\x00\x01"
+let mac_peer = Bytes.of_string "\x52\x54\x00\x00\x00\x02"
+
+let fail_on_error what = function
+  | Ok v -> v
+  | Error e -> failwith (what ^ ": " ^ e)
+
+let make_rig ?cost_model ?(defensive_copy = true) ?iommu_mode mode =
+  let eng = Engine.create () in
+  let dut = Kernel.boot ?cost_model ?iommu_mode ~cores:2 eng in
+  let peer = Kernel.boot ?cost_model ~cores:4 eng in
+  let medium = Net_medium.create eng () in
+  let nic_dut = E1000_dev.create eng ~mac:mac_dut ~medium () in
+  let nic_peer = E1000_dev.create eng ~mac:mac_peer ~medium () in
+  let bdf_dut = Kernel.attach_pci dut (E1000_dev.device nic_dut) in
+  let bdf_peer = Kernel.attach_pci peer (E1000_dev.device nic_peer) in
+  let rig = ref None in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process dut.Kernel.procs) ~name:"rig-setup" (fun () ->
+         let dev_peer =
+           fail_on_error "peer attach" (Native_net.attach ~name:"peer0" peer E1000.driver bdf_peer)
+         in
+         fail_on_error "peer up" (Netstack.ifconfig_up peer.Kernel.net dev_peer);
+         let dev_dut, started =
+           match mode with
+           | Kernel_driver ->
+             let dev =
+               fail_on_error "dut attach"
+                 (Native_net.attach ~name:"eth0" dut E1000.driver bdf_dut)
+             in
+             (dev, None)
+           | Sud_driver ->
+             let sp = Safe_pci.init dut in
+             let s =
+               fail_on_error "dut sud start"
+                 (Driver_host.start_net dut sp ~bdf:bdf_dut ~name:"eth0" ~defensive_copy
+                    E1000.driver)
+             in
+             (Driver_host.netdev s, Some s)
+         in
+         fail_on_error "dut up" (Netstack.ifconfig_up dut.Kernel.net dev_dut);
+         rig := Some { eng; dut; peer; dev_dut; dev_peer; started })
+     : Fiber.t);
+  Engine.run ~max_time:1_000_000_000 eng;
+  match !rig with
+  | Some r -> r
+  | None -> failwith "netperf rig setup did not complete"
+
+(* Sample [rate_of] (a monotone counter) every interval until the CI
+   converges; returns (rate_per_sec, cpu_fraction, samples). *)
+let measure rig ~counter =
+  let eng = rig.eng in
+  let cpu = rig.dut.Kernel.cpu in
+  let rates = Stats.Moments.create () in
+  let cpus = Stats.Moments.create () in
+  let samples = ref 0 in
+  let finished = ref false in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process rig.dut.Kernel.procs) ~name:"netperf-measure"
+       (fun () ->
+          ignore (Fiber.sleep eng warmup_ns : Fiber.wake);
+          let continue_ = ref true in
+          while !continue_ do
+            let c0 = counter () in
+            let b0 = Cpu.busy_ns cpu in
+            let t0 = Engine.now eng in
+            ignore (Fiber.sleep eng interval_ns : Fiber.wake);
+            let dt = Engine.now eng - t0 in
+            let rate = float_of_int (counter () - c0) *. 1e9 /. float_of_int dt in
+            Stats.Moments.add rates rate;
+            Stats.Moments.add cpus (Cpu.utilization cpu ~since_busy:b0 ~since_time:t0);
+            incr samples;
+            if
+              !samples >= max_samples
+              || (!samples >= 5
+                  && Stats.Moments.converged rates ~confidence:0.99 ~accuracy:0.05)
+            then continue_ := false
+          done;
+          finished := true)
+     : Fiber.t);
+  (* Run until the measurement fiber finishes (traffic fibers keep going). *)
+  let guard = ref 0 in
+  while (not !finished) && !guard < 10_000 do
+    incr guard;
+    Engine.run ~max_events:2_000_000
+      ~max_time:(Engine.now eng + (5 * interval_ns))
+      eng
+  done;
+  if not !finished then failwith "netperf measurement did not converge or deadlocked";
+  (Stats.Moments.mean rates, Stats.Moments.mean cpus, !samples)
+
+let get_rig ?rig mode = match rig with Some r -> r | None -> make_rig mode
+
+(* ---- TCP_STREAM: peer streams to DUT; DUT receive throughput ---- *)
+
+let tcp_stream ?rig mode =
+  let rig = get_rig ?rig mode in
+  let bytes_received = ref 0 in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process rig.dut.Kernel.procs) ~name:"tcp-server"
+       (fun () ->
+          let st = Netstack.stream_listen rig.dut.Kernel.net rig.dev_dut ~port:5001 in
+          let rec drain () =
+            match Netstack.stream_recv rig.dut.Kernel.net st with
+            | Some b ->
+              bytes_received := !bytes_received + Bytes.length b;
+              drain ()
+            | None -> ()
+          in
+          drain ())
+     : Fiber.t);
+  ignore
+    (Process.spawn_fiber (Process.kernel_process rig.peer.Kernel.procs) ~name:"tcp-client"
+       (fun () ->
+          ignore (Fiber.sleep rig.eng 1_000_000 : Fiber.wake);
+          match
+            Netstack.stream_connect rig.peer.Kernel.net rig.dev_peer ~dst:mac_dut
+              ~dst_port:5001 ~src_port:45000
+          with
+          | Error _ -> ()
+          | Ok st ->
+            (* 16384-byte sends into an 87380-ish window, as netperf does. *)
+            let chunk = Bytes.make 16384 's' in
+            let rec pump () =
+              match Netstack.stream_send rig.peer.Kernel.net st chunk with
+              | Ok () -> pump ()
+              | Error _ -> ()
+            in
+            pump ())
+     : Fiber.t);
+  let rate, cpu, samples = measure rig ~counter:(fun () -> !bytes_received) in
+  { throughput = rate *. 8.0 /. 1e6; units = "Mbits/sec"; cpu_pct = cpu *. 100.0; samples }
+
+(* ---- UDP_STREAM TX: DUT floods the peer with 64-byte datagrams ---- *)
+
+let udp_stream_tx ?rig mode =
+  let rig = get_rig ?rig mode in
+  let received = ref 0 in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process rig.peer.Kernel.procs) ~name:"udp-sink"
+       (fun () ->
+          let sock = Netstack.udp_bind rig.peer.Kernel.net rig.dev_peer ~port:7 in
+          let rec drain () =
+            match Netstack.udp_recv rig.peer.Kernel.net sock with
+            | Some _ ->
+              incr received;
+              drain ()
+            | None -> ()
+          in
+          drain ())
+     : Fiber.t);
+  ignore
+    (Process.spawn_fiber (Process.kernel_process rig.dut.Kernel.procs) ~name:"udp-source"
+       (fun () ->
+          let sock = Netstack.udp_bind rig.dut.Kernel.net rig.dev_dut ~port:9000 in
+          let payload = Bytes.make msg_size 'u' in
+          let rec pump () =
+            ignore
+              (Netstack.udp_sendto rig.dut.Kernel.net sock ~dst:mac_peer ~dst_port:7 payload
+               : [ `Sent | `Dropped ]);
+            pump ()
+          in
+          pump ())
+     : Fiber.t);
+  let rate, cpu, samples = measure rig ~counter:(fun () -> !received) in
+  { throughput = rate /. 1e3; units = "Kpackets/sec"; cpu_pct = cpu *. 100.0; samples }
+
+(* ---- UDP_STREAM RX: peer floods the DUT ---- *)
+
+let udp_stream_rx ?rig mode =
+  let rig = get_rig ?rig mode in
+  let received = ref 0 in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process rig.dut.Kernel.procs) ~name:"udp-sink"
+       (fun () ->
+          let sock = Netstack.udp_bind rig.dut.Kernel.net rig.dev_dut ~port:7 in
+          let rec drain () =
+            match Netstack.udp_recv rig.dut.Kernel.net sock with
+            | Some _ ->
+              incr received;
+              drain ()
+            | None -> ()
+          in
+          drain ())
+     : Fiber.t);
+  (* Two sender fibers on the 4-core peer so the DUT is the bottleneck. *)
+  for i = 1 to 2 do
+    ignore
+      (Process.spawn_fiber (Process.kernel_process rig.peer.Kernel.procs)
+         ~name:(Printf.sprintf "udp-source-%d" i) (fun () ->
+             let sock =
+               Netstack.udp_bind rig.peer.Kernel.net rig.dev_peer ~port:(9000 + i)
+             in
+             let payload = Bytes.make msg_size 'u' in
+             let rec pump () =
+               ignore
+                 (Netstack.udp_sendto rig.peer.Kernel.net sock ~dst:mac_dut ~dst_port:7 payload
+                  : [ `Sent | `Dropped ]);
+               pump ()
+             in
+             pump ())
+       : Fiber.t)
+  done;
+  let rate, cpu, samples = measure rig ~counter:(fun () -> !received) in
+  { throughput = rate /. 1e3; units = "Kpackets/sec"; cpu_pct = cpu *. 100.0; samples }
+
+(* ---- UDP_RR: request/response ping-pong, client on the peer ---- *)
+
+let udp_rr ?rig mode =
+  let rig = get_rig ?rig mode in
+  let transactions = ref 0 in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process rig.dut.Kernel.procs) ~name:"rr-server"
+       (fun () ->
+          let sock = Netstack.udp_bind rig.dut.Kernel.net rig.dev_dut ~port:7 in
+          let rec serve () =
+            match Netstack.udp_recv rig.dut.Kernel.net sock with
+            | Some (data, (src, sport)) ->
+              ignore
+                (Netstack.udp_sendto rig.dut.Kernel.net sock ~dst:src ~dst_port:sport data
+                 : [ `Sent | `Dropped ]);
+              serve ()
+            | None -> ()
+          in
+          serve ())
+     : Fiber.t);
+  ignore
+    (Process.spawn_fiber (Process.kernel_process rig.peer.Kernel.procs) ~name:"rr-client"
+       (fun () ->
+          let sock = Netstack.udp_bind rig.peer.Kernel.net rig.dev_peer ~port:9000 in
+          let payload = Bytes.make msg_size 'r' in
+          let rec pump () =
+            match
+              Netstack.udp_sendto rig.peer.Kernel.net sock ~dst:mac_dut ~dst_port:7 payload
+            with
+            | `Dropped -> pump ()
+            | `Sent ->
+              (match Netstack.udp_recv rig.peer.Kernel.net sock with
+               | Some _ ->
+                 incr transactions;
+                 pump ()
+               | None -> ())
+          in
+          pump ())
+     : Fiber.t);
+  let rate, cpu, samples = measure rig ~counter:(fun () -> !transactions) in
+  { throughput = rate; units = "Tx/sec"; cpu_pct = cpu *. 100.0; samples }
+
+type row = { test : string; driver : string; value : string; cpu : string }
+
+let row_of test mode (r : result) =
+  { test;
+    driver = mode_name mode;
+    value = Printf.sprintf "%.0f %s" r.throughput r.units;
+    cpu = Printf.sprintf "%.0f%%" (r.cpu_pct +. 0.5) }
+
+let figure8 () =
+  List.concat_map
+    (fun (test, bench) ->
+       List.map
+         (fun mode -> row_of test mode (bench mode))
+         [ Kernel_driver; Sud_driver ])
+    [ ("TCP_STREAM", fun m -> tcp_stream m);
+      ("UDP_STREAM TX", fun m -> udp_stream_tx m);
+      ("UDP_STREAM RX", fun m -> udp_stream_rx m);
+      ("UDP_RR", fun m -> udp_rr m) ]

@@ -1,0 +1,62 @@
+(** netperf-style benchmarks over the simulated gigabit link — the
+    Figure 8 harness.
+
+    The rig boots {e two} machines on one simulation engine: the device
+    under test (2 cores, the paper's Thinkpad) and a peer (4 cores, the
+    paper's Optiplex — deliberately overprovisioned so DUT-side costs are
+    what limit throughput).  The DUT's e1000 runs either as a trusted
+    in-kernel driver or as an untrusted SUD process; the peer always runs
+    in-kernel.
+
+    Sampling follows netperf's stopping rule: fixed intervals until the
+    99% confidence half-width is within 5% of the mean. *)
+
+type mode = Kernel_driver | Sud_driver
+
+val mode_name : mode -> string
+
+type result = {
+  throughput : float;
+  units : string;
+  cpu_pct : float;       (** DUT CPU utilization over the measurement *)
+  samples : int;
+}
+
+type rig = {
+  eng : Engine.t;
+  dut : Kernel.t;
+  peer : Kernel.t;
+  dev_dut : Netdev.t;
+  dev_peer : Netdev.t;
+  started : Driver_host.started option;   (** present in SUD mode *)
+}
+
+val make_rig :
+  ?cost_model:Cost_model.t ->
+  ?defensive_copy:bool ->
+  ?iommu_mode:Iommu.mode ->
+  mode ->
+  rig
+(** Boots both machines, attaches NICs to a shared gigabit medium, brings
+    both interfaces up.  Runs the engine internally until setup completes;
+    call the benchmarks on the returned rig from outside any fiber. *)
+
+val tcp_stream : ?rig:rig -> mode -> result
+(** Bulk stream from peer to DUT (receive throughput), Mbit/s. *)
+
+val udp_stream_tx : ?rig:rig -> mode -> result
+(** DUT floods 64-byte datagrams; Kpackets/s that reached the peer. *)
+
+val udp_stream_rx : ?rig:rig -> mode -> result
+(** Peer floods the DUT; Kpackets/s delivered to the DUT socket. *)
+
+val udp_rr : ?rig:rig -> mode -> result
+(** 64-byte ping-pong; transactions/s, client on the peer. *)
+
+type row = { test : string; driver : string; value : string; cpu : string }
+
+val figure8 : unit -> row list
+(** All eight rows of Figure 8 (4 tests x kernel/SUD). *)
+
+val msg_size : int
+(** Size of the UDP payloads (64 bytes, as in the paper). *)

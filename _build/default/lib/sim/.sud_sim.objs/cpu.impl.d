@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Array Cost_model Engine Fiber Hashtbl List

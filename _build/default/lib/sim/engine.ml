@@ -1,0 +1,55 @@
+type handle = { mutable cancelled : bool }
+
+type event = { time : int; seq : int; h : handle; fn : unit -> unit }
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  heap : event Heap.t;
+  root_rng : Rng.t;
+}
+
+let dummy_event = { time = 0; seq = 0; h = { cancelled = true }; fn = ignore }
+
+let compare_event a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create ?(seed = 1L) () =
+  { now = 0;
+    seq = 0;
+    heap = Heap.create ~cmp:compare_event ~dummy:dummy_event;
+    root_rng = Rng.create ~seed }
+
+let now t = t.now
+let rng t = t.root_rng
+
+let schedule_after t delay fn =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  let h = { cancelled = false } in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap { time = t.now + delay; seq = t.seq; h; fn };
+  h
+
+let schedule_now t fn = schedule_after t 0 fn
+
+let cancel h = h.cancelled <- true
+
+let pending t = Heap.length t.heap
+
+let run ?(max_time = max_int) ?(max_events = max_int) t =
+  let fired = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !fired < max_events do
+    match Heap.peek t.heap with
+    | None -> continue_ := false
+    | Some ev when ev.time > max_time -> continue_ := false
+    | Some _ ->
+      (match Heap.pop t.heap with
+       | None -> continue_ := false
+       | Some ev ->
+         t.now <- max t.now ev.time;
+         if not ev.h.cancelled then begin
+           incr fired;
+           ev.fn ()
+         end)
+  done

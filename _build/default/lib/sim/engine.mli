@@ -1,0 +1,40 @@
+(** Deterministic discrete-event engine.
+
+    All simulated activity — fibers, hardware, timers — is driven from a
+    single ordered event queue.  Time is in nanoseconds of simulated time.
+    Events scheduled for the same instant fire in scheduling order, which
+    makes every run reproducible. *)
+
+type t
+
+type handle
+(** A scheduled event, cancellable until it fires. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine at time 0.  [seed] initializes the engine's root RNG
+    (default 1). *)
+
+val now : t -> int
+(** Current simulated time in nanoseconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream; split it for independent components. *)
+
+val schedule_after : t -> int -> (unit -> unit) -> handle
+(** [schedule_after t delay fn] runs [fn] at [now t + delay].
+    Raises [Invalid_argument] on a negative delay. *)
+
+val schedule_now : t -> (unit -> unit) -> handle
+(** Run at the current instant, after already-queued events for this
+    instant. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired event is a no-op. *)
+
+val run : ?max_time:int -> ?max_events:int -> t -> unit
+(** Process events until the queue is empty or a limit is hit.  [max_time]
+    stops the clock from advancing past the given instant (events at later
+    times remain queued). *)
+
+val pending : t -> int
+(** Number of queued (uncancelled or cancelled-but-unreaped) events. *)

@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_state t =
+  t.state <- Int64.add t.state golden;
+  t.state
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t = mix (next_state t)
+
+let split t = { state = int64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to a non-negative native int: Int64.to_int truncates to 63 bits,
+     so a raw shift can still come out negative. *)
+  let v = Int64.to_int (int64 t) land max_int in
+  v mod n
+
+let float t x =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  x *. v /. 9007199254740992.0
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator draws from an explicit [Rng.t] so
+    that simulation runs are reproducible given a seed. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator.  Two generators created with the
+    same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  Raises [Invalid_argument] if [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean. *)

@@ -1,0 +1,1 @@
+lib/uchan/bufpool.ml: Array Bytes Queue

@@ -1,0 +1,1 @@
+lib/uchan/bufpool.mli:

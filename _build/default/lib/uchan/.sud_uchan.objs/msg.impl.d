@@ -1,0 +1,1 @@
+lib/uchan/msg.ml: Array Bytes Char Int32 Int64 List

@@ -1,0 +1,1 @@
+lib/uchan/ring.ml: Array Bytes Msg

@@ -1,0 +1,1 @@
+lib/uchan/uchan.ml: Cost_model Cpu Engine Fiber Hashtbl Kernel Klog List Msg Process Ring Sync

@@ -1,0 +1,1 @@
+lib/uchan/uchan.mli: Kernel Msg

@@ -1,0 +1,50 @@
+type t = {
+  kind : int;
+  seq : int;
+  args : int array;
+  payload : bytes;
+  buf : int;
+}
+
+let slot_size = 128
+let max_args = 6
+
+(* kind(2) seq(4) buf(4) nargs(1) plen(1) args(8*6) = 60 bytes of header *)
+let header = 60
+let max_payload = slot_size - header
+
+let make ?(seq = 0) ?(args = []) ?(payload = Bytes.empty) ?(buf = -1) ~kind () =
+  if List.length args > max_args then invalid_arg "Msg.make: too many args";
+  if Bytes.length payload > max_payload then invalid_arg "Msg.make: payload too large";
+  { kind; seq; args = Array.of_list args; payload; buf }
+
+let marshal t =
+  if Array.length t.args > max_args then invalid_arg "Msg.marshal: too many args";
+  if Bytes.length t.payload > max_payload then invalid_arg "Msg.marshal: payload too large";
+  let b = Bytes.make slot_size '\000' in
+  Bytes.set_uint16_le b 0 (t.kind land 0xFFFF);
+  Bytes.set_int32_le b 2 (Int32.of_int t.seq);
+  Bytes.set_int32_le b 6 (Int32.of_int t.buf);
+  Bytes.set b 10 (Char.chr (Array.length t.args));
+  Bytes.set b 11 (Char.chr (Bytes.length t.payload));
+  Array.iteri (fun i v -> Bytes.set_int64_le b (12 + (8 * i)) (Int64.of_int v)) t.args;
+  Bytes.blit t.payload 0 b header (Bytes.length t.payload);
+  b
+
+let unmarshal b =
+  if Bytes.length b <> slot_size then Error "bad slot size"
+  else begin
+    let nargs = Char.code (Bytes.get b 10) in
+    let plen = Char.code (Bytes.get b 11) in
+    if nargs > max_args then Error "bad arg count"
+    else if plen > max_payload then Error "bad payload length"
+    else
+      Ok
+        { kind = Bytes.get_uint16_le b 0;
+          seq = Int32.to_int (Bytes.get_int32_le b 2);
+          buf = Int32.to_int (Bytes.get_int32_le b 6);
+          args = Array.init nargs (fun i -> Int64.to_int (Bytes.get_int64_le b (12 + (8 * i))));
+          payload = Bytes.sub b header plen }
+  end
+
+let arg t i = if i >= 0 && i < Array.length t.args then t.args.(i) else 0

@@ -1,0 +1,32 @@
+(** Uchan messages ([msg_t] in the paper).
+
+    A message carries an opcode, a correlation sequence number (0 for
+    asynchronous messages), up to {!max_args} integer arguments, an
+    optional small inline payload and an optional shared-buffer
+    reference.  Messages are marshalled into fixed {!slot_size}-byte ring
+    slots — bulk data never travels inline; it goes through shared
+    buffers ({!Bufpool}). *)
+
+type t = {
+  kind : int;             (** RPC opcode, proxy-class specific *)
+  seq : int;              (** correlation id; 0 = asynchronous *)
+  args : int array;       (** at most {!max_args} entries *)
+  payload : bytes;        (** inline payload, at most {!max_payload} *)
+  buf : int;              (** shared buffer id, or -1 *)
+}
+
+val slot_size : int
+val max_args : int
+val max_payload : int
+
+val make : ?seq:int -> ?args:int list -> ?payload:bytes -> ?buf:int -> kind:int -> unit -> t
+
+val marshal : t -> bytes
+(** Raises [Invalid_argument] if the message exceeds the slot format. *)
+
+val unmarshal : bytes -> (t, string) result
+(** Defensive: a malicious driver writes arbitrary bytes into the shared
+    ring, so unmarshalling validates every length field. *)
+
+val arg : t -> int -> int
+(** [arg t i] with a 0 default for missing arguments. *)

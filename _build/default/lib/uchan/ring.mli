@@ -1,0 +1,21 @@
+(** Single-producer single-consumer ring of fixed-size message slots,
+    modelling the memory shared between kernel and driver process
+    (paper §3.1.2).  Pure data structure — notification is layered on top
+    by {!Uchan}. *)
+
+type t
+
+val create : slots:int -> t
+(** [slots] must be a power of two. *)
+
+val capacity : t -> int
+val length : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+
+val try_push : t -> bytes -> bool
+(** False when full.  The slot bytes are copied in. *)
+
+val try_pop : t -> bytes option
+
+val peek : t -> bytes option

@@ -1,0 +1,356 @@
+type error = Hung | Interrupted | Closed
+
+let hang_timeout_ns = 50_000_000      (* 50 ms before a sync upcall is declared hung *)
+let full_grace_ns = 2_000_000         (* grace period on a full async ring *)
+let batch_limit = 64
+
+(* Replies travel on the same rings as requests, distinguished by a high
+   bit in the marshalled kind. *)
+let reply_flag = 0x8000
+
+type waiter = { cell : (Msg.t, error) result option ref; wq : Sync.Waitq.t }
+
+type t = {
+  k : Kernel.t;
+  label : string;
+  k2u : Ring.t;
+  u2k : Ring.t;
+  mutable closed : bool;
+  mutable next_seq : int;
+  k_pending : (int, waiter) Hashtbl.t;   (* kernel sync upcalls awaiting replies *)
+  u_pending : (int, waiter) Hashtbl.t;   (* user sync downcalls awaiting replies *)
+  u_waitq : Sync.Waitq.t;                (* driver sleeping in [wait] *)
+  worker_waitq : Sync.Waitq.t;           (* kernel downcall worker sleeping *)
+  k_space : Sync.Waitq.t;                (* kernel waiting for k2u space *)
+  mutable batch : Msg.t list;            (* user-side async downcalls, newest first *)
+  mutable handler : (Msg.t -> Msg.t option) option;
+  mutable n_up : int;
+  mutable n_down : int;
+  mutable n_notify : int;
+}
+
+let model t = Cpu.cost_model t.k.Kernel.cpu
+
+let consume_cur t ns =
+  let label = "proc:" ^ Process.name (Process.current t.k.Kernel.procs) in
+  match Fiber.self () with
+  | _ -> Cpu.consume t.k.Kernel.cpu ~label ns
+  | exception Failure _ -> Cpu.account t.k.Kernel.cpu ~label ns
+
+let msg_cost t = consume_cur t (model t).Cost_model.uchan_msg_ns
+let notify_cost t = consume_cur t (model t).Cost_model.uchan_notify_ns
+let syscall_cost t = consume_cur t (model t).Cost_model.syscall_ns
+
+(* Waking a task that only just blocked is a cheap runqueue operation;
+   only genuine sleeps pay the full wakeup latency. *)
+let wakeup_cost_since t ~since =
+  if Engine.now t.k.Kernel.eng - since > 2_000 then
+    consume_cur t (model t).Cost_model.wakeup_ns
+
+let kick t wq =
+  if Sync.Waitq.waiters wq > 0 then begin
+    t.n_notify <- t.n_notify + 1;
+    notify_cost t;
+    ignore (Sync.Waitq.signal wq : bool)
+  end
+
+let fresh_seq t =
+  t.next_seq <- t.next_seq + 1;
+  t.next_seq
+
+let marshal_with_flag m ~is_reply =
+  Msg.marshal { m with Msg.kind = (if is_reply then m.Msg.kind lor reply_flag else m.Msg.kind) }
+
+let complete_waiter tbl seq result =
+  match Hashtbl.find_opt tbl seq with
+  | None -> false
+  | Some w ->
+    Hashtbl.remove tbl seq;
+    w.cell := Some result;
+    ignore (Sync.Waitq.signal w.wq : bool);
+    true
+
+let fail_all_waiters tbl err =
+  let seqs = Hashtbl.fold (fun s _ acc -> s :: acc) tbl [] in
+  List.iter (fun s -> ignore (complete_waiter tbl s (Error err) : bool)) seqs
+
+(* ---- kernel-side worker: drains u2k, dispatching replies and downcalls ---- *)
+
+let dispatch_u2k t slot =
+  match Msg.unmarshal slot with
+  | Error e ->
+    Klog.printk t.k.Kernel.klog Klog.Warn "uchan(%s): malformed message from driver: %s"
+      t.label e
+  | Ok m ->
+    if m.Msg.kind land reply_flag <> 0 then begin
+      let m = { m with Msg.kind = m.Msg.kind land lnot reply_flag } in
+      if not (complete_waiter t.k_pending m.Msg.seq (Ok m)) then
+        Klog.printk t.k.Kernel.klog Klog.Debug "uchan(%s): stale reply seq %d" t.label m.Msg.seq
+    end
+    else begin
+      match t.handler with
+      | None ->
+        Klog.printk t.k.Kernel.klog Klog.Warn "uchan(%s): downcall %d with no handler"
+          t.label m.Msg.kind
+      | Some h ->
+        let reply = h m in
+        if m.Msg.seq <> 0 then begin
+          (* Downcall results return directly into the buffer the driver
+             passed to sud_send (paper §3.1), not as a separate message. *)
+          let r =
+            match reply with
+            | Some r -> { r with Msg.seq = m.Msg.seq }
+            | None -> Msg.make ~seq:m.Msg.seq ~kind:m.Msg.kind ()
+          in
+          msg_cost t;
+          if not (complete_waiter t.u_pending m.Msg.seq (Ok r)) then
+            Klog.printk t.k.Kernel.klog Klog.Debug "uchan(%s): stale downcall reply seq %d"
+              t.label m.Msg.seq
+        end
+    end
+
+let worker_loop t () =
+  let rec loop () =
+    if not t.closed then begin
+      match Ring.try_pop t.u2k with
+      | Some slot ->
+        msg_cost t;
+        dispatch_u2k t slot;
+        loop ()
+      | None ->
+        let since = Engine.now t.k.Kernel.eng in
+        (match Sync.Waitq.wait t.worker_waitq with
+         | Fiber.Interrupted | Fiber.Normal | Fiber.Timeout ->
+           if not t.closed then wakeup_cost_since t ~since;
+           loop ())
+    end
+  in
+  loop ()
+
+let create k ?(slots = 256) ~driver_label () =
+  let t =
+    { k;
+      label = driver_label;
+      k2u = Ring.create ~slots;
+      u2k = Ring.create ~slots;
+      closed = false;
+      next_seq = 0;
+      k_pending = Hashtbl.create 16;
+      u_pending = Hashtbl.create 16;
+      u_waitq = Sync.Waitq.create ();
+      worker_waitq = Sync.Waitq.create ();
+      k_space = Sync.Waitq.create ();
+      batch = [];
+      handler = None;
+      n_up = 0;
+      n_down = 0;
+      n_notify = 0 }
+  in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
+       ~name:("uchan-worker:" ^ driver_label) (worker_loop t)
+     : Fiber.t);
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    fail_all_waiters t.k_pending Closed;
+    fail_all_waiters t.u_pending Closed;
+    ignore (Sync.Waitq.broadcast t.u_waitq : int);
+    ignore (Sync.Waitq.broadcast t.worker_waitq : int);
+    ignore (Sync.Waitq.broadcast t.k_space : int)
+  end
+
+let is_closed t = t.closed
+
+let set_downcall_handler t h = t.handler <- Some h
+
+(* ---- kernel side ---- *)
+
+let push_k2u t m =
+  msg_cost t;
+  if Ring.try_push t.k2u (marshal_with_flag m ~is_reply:false) then begin
+    t.n_up <- t.n_up + 1;
+    kick t t.u_waitq;
+    true
+  end
+  else false
+
+let send t m =
+  if t.closed then Error Closed
+  else begin
+    let seq = fresh_seq t in
+    let m = { m with Msg.seq } in
+    if not (push_k2u t m) then Error Hung
+    else begin
+      let w = { cell = ref None; wq = Sync.Waitq.create () } in
+      Hashtbl.replace t.k_pending seq w;
+      let deadline = Engine.now t.k.Kernel.eng + hang_timeout_ns in
+      let rec await () =
+        let slept_at = Engine.now t.k.Kernel.eng in
+        match !(w.cell) with
+        | Some r -> r
+        | None ->
+          if t.closed then Error Closed
+          else begin
+            let left = deadline - Engine.now t.k.Kernel.eng in
+            if left <= 0 then begin
+              Hashtbl.remove t.k_pending seq;
+              Error Hung
+            end
+            else
+              match Sync.Waitq.wait_timeout t.k.Kernel.eng w.wq left with
+              | Fiber.Interrupted ->
+                (match !(w.cell) with
+                 | Some r -> r
+                 | None ->
+                   Hashtbl.remove t.k_pending seq;
+                   Error Interrupted)
+              | Fiber.Normal ->
+                wakeup_cost_since t ~since:slept_at;
+                await ()
+              | Fiber.Timeout -> await ()
+          end
+      in
+      await ()
+    end
+  end
+
+let asend t m =
+  if t.closed then Error Closed
+  else begin
+    let m = { m with Msg.seq = 0 } in
+    let deadline = Engine.now t.k.Kernel.eng + full_grace_ns in
+    let rec attempt () =
+      if push_k2u t m then Ok ()
+      else if t.closed then Error Closed
+      else if Engine.now t.k.Kernel.eng >= deadline then Error Hung
+      else
+        match
+          Sync.Waitq.wait_timeout t.k.Kernel.eng t.k_space
+            (deadline - Engine.now t.k.Kernel.eng)
+        with
+        | Fiber.Interrupted -> Error Interrupted
+        | Fiber.Normal | Fiber.Timeout -> attempt ()
+    in
+    attempt ()
+  end
+
+(* ---- user (driver) side ---- *)
+
+let push_u2k_raw t m ~is_reply =
+  msg_cost t;
+  if Ring.try_push t.u2k (marshal_with_flag m ~is_reply) then begin
+    if not is_reply then t.n_down <- t.n_down + 1;
+    true
+  end
+  else false
+
+let flush t =
+  match t.batch with
+  | [] -> ()
+  | batch ->
+    t.batch <- [];
+    List.iter
+      (fun m ->
+         if not (push_u2k_raw t m ~is_reply:false) then
+           (* The kernel worker is live (it is trusted); a full u2k ring
+              just means we outran it — drop oldest-first like a NIC. *)
+           ())
+      (List.rev batch);
+    kick t t.worker_waitq
+
+let uasend t m =
+  if not t.closed then begin
+    t.batch <- { m with Msg.seq = 0 } :: t.batch;
+    (* Batching waits for the driver's next entry into the kernel — but a
+       main loop already parked inside sud_wait counts as being there, so
+       ship the batch now rather than stranding it. *)
+    if List.length t.batch >= batch_limit || Sync.Waitq.waiters t.u_waitq > 0 then flush t
+  end
+
+let reply t m =
+  if not t.closed then begin
+    flush t;   (* preserve ordering of async downcalls vs. this reply *)
+    if push_u2k_raw t m ~is_reply:true then kick t t.worker_waitq
+  end
+
+let usend t m =
+  if t.closed then Error Closed
+  else begin
+    flush t;
+    let seq = fresh_seq t in
+    let m = { m with Msg.seq } in
+    if not (push_u2k_raw t m ~is_reply:false) then Error Hung
+    else begin
+      kick t t.worker_waitq;
+      let w = { cell = ref None; wq = Sync.Waitq.create () } in
+      Hashtbl.replace t.u_pending seq w;
+      let rec await () =
+        match !(w.cell) with
+        | Some r -> r
+        | None ->
+          if t.closed then Error Closed
+          else begin
+            let since = Engine.now t.k.Kernel.eng in
+            match Sync.Waitq.wait w.wq with
+            | Fiber.Interrupted ->
+              Hashtbl.remove t.u_pending seq;
+              Error Interrupted
+            | Fiber.Normal | Fiber.Timeout ->
+              wakeup_cost_since t ~since;
+              await ()
+          end
+      in
+      await ()
+    end
+  end
+
+let wait t =
+  let rec loop ~slept =
+    if t.closed then Error Closed
+    else begin
+      flush t;
+      match Ring.try_pop t.k2u with
+      | Some slot ->
+        (match slept with Some since -> wakeup_cost_since t ~since | None -> ());
+        msg_cost t;
+        ignore (Sync.Waitq.signal t.k_space : bool);
+        (match Msg.unmarshal slot with
+         | Error _ ->
+           (* Only the trusted kernel writes k2u; treat corruption as fatal. *)
+           Error Closed
+         | Ok m ->
+           if m.Msg.kind land reply_flag <> 0 then begin
+             let m = { m with Msg.kind = m.Msg.kind land lnot reply_flag } in
+             ignore (complete_waiter t.u_pending m.Msg.seq (Ok m) : bool);
+             loop ~slept:None
+           end
+           else Ok m)
+      | None ->
+        syscall_cost t;
+        (* The cost charge suspends the fiber; a message may have arrived in
+           the meantime and its kick found nobody waiting — re-check before
+           parking, or the wakeup is lost. *)
+        if not (Ring.is_empty t.k2u) then loop ~slept:None
+        else begin
+          let since = Engine.now t.k.Kernel.eng in
+          match Sync.Waitq.wait t.u_waitq with
+          | Fiber.Interrupted -> Error Interrupted
+          | Fiber.Normal | Fiber.Timeout -> loop ~slept:(Some since)
+        end
+    end
+  in
+  loop ~slept:None
+
+(* Non-blocking async upcall for interrupt context: a full ring just
+   drops the kick (the interrupt is edge-triggered and SUD masks until
+   the driver acks anyway). *)
+let try_asend t m =
+  if t.closed then false
+  else push_k2u t { m with Msg.seq = 0 }
+
+let upcalls_sent t = t.n_up
+let downcalls_sent t = t.n_down
+let notifications t = t.n_notify

@@ -1,0 +1,74 @@
+(** User channels: the kernel↔driver RPC transport (paper §3.1, Figure 3).
+
+    Two shared-memory rings (kernel→user, user→kernel) carry marshalled
+    {!Msg.t}s.  Synchronous sends are correlated by sequence number and
+    are {e interruptible} on the kernel side, so a hung driver leaves an
+    abortable wait, never a wedged kernel thread.  Asynchronous user-side
+    sends are batched: they sit in a local pending list until the driver
+    next enters the kernel ([wait]/[send]), so a burst of downcalls costs
+    one notification — the optimization that lets TCP_STREAM match
+    in-kernel throughput.
+
+    CPU costs (marshalling per message, notification per kick, wakeup
+    after sleeping) are charged to the calling fiber through the kernel's
+    CPU pool. *)
+
+type t
+
+type error = Hung | Interrupted | Closed
+
+val create : Kernel.t -> ?slots:int -> driver_label:string -> unit -> t
+(** [slots] per ring (default 256, power of two). *)
+
+val close : t -> unit
+(** Tear the channel down (driver death): all blocked senders and waiters
+    return [Error Closed]. *)
+
+val is_closed : t -> bool
+
+(** {1 Kernel side} *)
+
+val send : t -> Msg.t -> (Msg.t, error) result
+(** Synchronous upcall: blocks until the driver replies.  Interruptible
+    (Ctrl-C ⇒ [Error Interrupted]); gives up after {!hang_timeout_ns}
+    without a reply ([Error Hung]). *)
+
+val asend : t -> Msg.t -> (unit, error) result
+(** Asynchronous upcall.  If the ring stays full past a short grace
+    period the driver is presumed hung. *)
+
+val try_asend : t -> Msg.t -> bool
+(** Non-blocking asynchronous upcall, safe from interrupt context; false
+    when the ring is full or the channel closed. *)
+
+val set_downcall_handler : t -> (Msg.t -> Msg.t option) -> unit
+(** Kernel-side service for driver downcalls; return [Some reply] for
+    synchronous downcalls.  Runs in a dedicated kernel fiber. *)
+
+(** {1 User (driver) side} *)
+
+val wait : t -> (Msg.t, error) result
+(** [sud_wait]: deliver the next kernel→user message; flushes batched
+    asynchronous downcalls before sleeping. *)
+
+val reply : t -> Msg.t -> unit
+(** Reply to a synchronous upcall ([Msg.seq] must echo the request). *)
+
+val usend : t -> Msg.t -> (Msg.t, error) result
+(** Synchronous downcall (flushes the async batch first to preserve
+    ordering). *)
+
+val uasend : t -> Msg.t -> unit
+(** Batched asynchronous downcall. *)
+
+val flush : t -> unit
+(** Force the async batch out (normally implicit in [wait]/[usend]). *)
+
+(** {1 Introspection} *)
+
+val hang_timeout_ns : int
+val upcalls_sent : t -> int
+val downcalls_sent : t -> int
+val notifications : t -> int
+(** Number of cross-address-space kicks — the measure of how well
+    batching is working. *)

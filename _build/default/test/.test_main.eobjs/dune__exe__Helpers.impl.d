@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bus E1000 E1000_dev Engine Fiber Kernel Native_net Net_medium Netstack Pci_topology Process Skbuff

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Char Engine Fiber Format Gen Helpers Irq Kernel Klog List Netdev Netstack Preempt Process QCheck QCheck_alcotest Result Skbuff String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_devices Test_drivers Test_hw Test_kernel Test_props Test_security Test_sim Test_smoke Test_uchan

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Cost_model Cpu Engine Fiber Fun Gen Int64 List Printf QCheck QCheck_alcotest Rng Stats Sync

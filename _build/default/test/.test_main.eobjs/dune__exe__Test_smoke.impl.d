@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Bytes Driver_host E1000 Fiber Helpers Kernel List Netdev Netstack Process Safe_pci

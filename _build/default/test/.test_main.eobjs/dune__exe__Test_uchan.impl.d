@@ -1,0 +1,1 @@
+test/test_uchan.ml: Alcotest Array Bufpool Bytes Engine Fiber Kernel List Msg Option Process QCheck QCheck_alcotest Queue Result Ring Uchan

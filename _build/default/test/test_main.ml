@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "sud"
+    [ ("sim", Test_sim.suite);
+      ("hw", Test_hw.suite);
+      ("kernel", Test_kernel.suite);
+      ("uchan", Test_uchan.suite);
+      ("core", Test_core.suite);
+      ("smoke", Test_smoke.suite); ("security", Test_security.suite); ("devices", Test_devices.suite); ("drivers", Test_drivers.suite); ("props", Test_props.suite) ]

@@ -1,0 +1,184 @@
+(* Cross-cutting property tests and determinism checks. *)
+
+open Helpers
+
+(* Model-based IOMMU check: random map/unmap sequences against a page-level
+   reference model. *)
+let iommu_model_test =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 60)
+        (let* op = int_bound 2 in
+         let* page = int_bound 63 in
+         let* count = int_range 1 4 in
+         return (op, page, count)))
+  in
+  QCheck.Test.make ~name:"iommu matches a reference model" ~count:200 (QCheck.make gen)
+    (fun ops ->
+       let io = Iommu.create ~mode:(Iommu.Intel_vtd { interrupt_remapping = false }) () in
+       let d = Iommu.attach io ~source:3 in
+       let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+       let base = 0x40000000 and pbase = 0x200000 in
+       let ok = ref true in
+       List.iter
+         (fun (op, page, count) ->
+            if op = 0 then begin
+              (* map [page, page+count) if none of it is already mapped *)
+              let free =
+                List.for_all (fun i -> not (Hashtbl.mem model (page + i)))
+                  (List.init count Fun.id)
+              in
+              if free && page + count <= 64 then begin
+                Iommu.map io d ~iova:(base + (page * 4096)) ~phys:(pbase + (page * 4096))
+                  ~len:(count * 4096) ~writable:true;
+                List.iter
+                  (fun i -> Hashtbl.replace model (page + i) (pbase + ((page + i) * 4096)))
+                  (List.init count Fun.id)
+              end
+            end
+            else if op = 1 && page + count <= 64 then begin
+              Iommu.unmap io d ~iova:(base + (page * 4096)) ~len:(count * 4096);
+              List.iter (fun i -> Hashtbl.remove model (page + i)) (List.init count Fun.id)
+            end
+            else begin
+              (* verify a translation *)
+              let addr = base + (page * 4096) + 123 in
+              match (Iommu.translate io ~source:3 ~addr ~dir:Bus.Dma_write,
+                     Hashtbl.find_opt model page) with
+              | `Phys p, Some expect -> if p <> expect + 123 then ok := false
+              | `Fault _, None -> ()
+              | `Phys _, None | `Fault _, Some _ | `Msi, _ -> ok := false
+            end)
+         ops;
+       !ok)
+
+(* Random config-space writes through the SUD filter never re-enable INTx
+   and never move a BAR. *)
+let cfg_filter_invariant =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 40) (pair (int_bound 255) (int_bound 0xFFFF)))
+  in
+  QCheck.Test.make ~name:"config filter preserves INTx-disable and BARs" ~count:60
+    (QCheck.make gen)
+    (fun writes ->
+       run_in_kernel setup_duo (fun k duo ->
+           let sp = Safe_pci.init k in
+           Safe_pci.register_device sp duo.bdf_a;
+           Safe_pci.set_owner sp duo.bdf_a ~uid:1000;
+           let proc = Process.spawn k.Kernel.procs ~name:"fuzz" ~uid:1000 in
+           let g = ok_or_fail "open" (Safe_pci.open_device sp duo.bdf_a ~proc) in
+           let bar_before = Pci_topology.bar_region k.Kernel.topo duo.bdf_a ~bar:0 in
+           List.iter
+             (fun (off, v) ->
+                let size = if off land 1 = 0 then 2 else 1 in
+                ignore (Safe_pci.cfg_write g ~off ~size v : (unit, string) result))
+             writes;
+           let cmd =
+             Pci_topology.cfg_read k.Kernel.topo duo.bdf_a ~off:Pci_cfg.command ~size:2
+           in
+           cmd land Pci_cfg.cmd_intx_disable <> 0
+           && Pci_topology.bar_region k.Kernel.topo duo.bdf_a ~bar:0 = bar_before))
+
+(* Stream data integrity with arbitrary chunking. *)
+let stream_integrity =
+  let gen = QCheck.Gen.(list_size (int_range 1 8) (string_size (int_range 1 5000))) in
+  QCheck.Test.make ~name:"stream delivers exact bytes under random chunking" ~count:8
+    (QCheck.make gen)
+    (fun chunks ->
+       let sent = String.concat "" chunks in
+       let received =
+         run_in_kernel setup_duo (fun k duo ->
+             let dev_a = up_native ~name:"eth0" k duo.bdf_a in
+             let dev_b = up_native ~name:"eth1" k duo.bdf_b in
+             let buf = Buffer.create 1024 in
+             ignore
+               (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"srv"
+                  (fun () ->
+                     let st = Netstack.stream_listen k.Kernel.net dev_b ~port:80 in
+                     let rec drain () =
+                       match Netstack.stream_recv k.Kernel.net st with
+                       | Some b ->
+                         Buffer.add_bytes buf b;
+                         drain ()
+                       | None -> ()
+                     in
+                     drain ())
+                : Fiber.t);
+             let st =
+               ok_or_fail "connect"
+                 (Netstack.stream_connect k.Kernel.net dev_a ~dst:(Netdev.mac dev_b)
+                    ~dst_port:80 ~src_port:999)
+             in
+             List.iter
+               (fun c -> ok_or_fail "send" (Netstack.stream_send k.Kernel.net st
+                                              (Bytes.of_string c)))
+               chunks;
+             Netstack.stream_close k.Kernel.net st;
+             ignore (Fiber.sleep k.Kernel.eng 100_000_000 : Fiber.wake);
+             Buffer.contents buf)
+       in
+       received = sent)
+
+(* Determinism: the same scenario produces bit-identical klogs. *)
+let test_determinism () =
+  let run () =
+    run_in_kernel setup_duo (fun k duo ->
+        let sp = Safe_pci.init k in
+        let s =
+          ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
+        in
+        ok_or_fail "up" (Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s));
+        let dev_b = up_native ~name:"eth1" k duo.bdf_b in
+        let sa = Netstack.udp_bind k.Kernel.net (Driver_host.netdev s) ~port:1 in
+        for i = 1 to 20 do
+          ignore
+            (Netstack.udp_sendto k.Kernel.net sa ~dst:(Netdev.mac dev_b) ~dst_port:2
+               (Bytes.make 64 (Char.chr i))
+             : [ `Sent | `Dropped ]);
+          ignore (Fiber.sleep k.Kernel.eng 100_000 : Fiber.wake)
+        done;
+        ignore (Fiber.sleep k.Kernel.eng 5_000_000 : Fiber.wake);
+        (Engine.now k.Kernel.eng, List.map (fun (t, _, m) -> (t, m)) (Klog.entries k.Kernel.klog)))
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical final time and klog" true (a = b)
+
+let test_spinlock_contention_detected () =
+  run_in_kernel setup_duo (fun k _duo ->
+      let l = Preempt.Spinlock.create k.Kernel.preempt in
+      Preempt.Spinlock.lock l;
+      (* A second fiber contending on a single simulated runqueue would spin
+         forever: the simulator calls it out as a deadlock. *)
+      let deadlocked = ref false in
+      ignore
+        (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"contender"
+           (fun () ->
+              match Preempt.Spinlock.lock l with
+              | () -> ()
+              | exception Failure _ -> deadlocked := true)
+         : Fiber.t);
+      ignore (Fiber.sleep k.Kernel.eng 1_000_000 : Fiber.wake);
+      Preempt.Spinlock.unlock l;
+      Alcotest.(check bool) "contention reported" true !deadlocked)
+
+let test_e1000_subword_mmio () =
+  run_in_kernel setup_duo (fun k duo ->
+      ignore k;
+      let ops = Device.ops (E1000_dev.device duo.nic_a) in
+      (* Byte-wise read of STATUS assembles the same value as a dword read. *)
+      let dword = ops.Device.mmio_read ~bar:0 ~off:E1000_dev.Regs.status ~size:4 in
+      let by_bytes =
+        List.fold_left
+          (fun acc i ->
+             acc lor (ops.Device.mmio_read ~bar:0 ~off:(E1000_dev.Regs.status + i) ~size:1 lsl (8 * i)))
+          0 [ 0; 1; 2; 3 ]
+      in
+      Alcotest.(check int) "sub-word access consistent" dword by_bytes)
+
+let suite =
+  [ Alcotest.test_case "determinism: identical runs" `Quick test_determinism;
+    Alcotest.test_case "spinlock: contention = deadlock report" `Quick
+      test_spinlock_contention_detected;
+    Alcotest.test_case "e1000: sub-word MMIO" `Quick test_e1000_subword_mmio ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ iommu_model_test; cfg_filter_invariant; stream_integrity ]
