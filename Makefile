@@ -1,0 +1,20 @@
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full evaluation: microbenches + Figure-8 netperf sweep, JSON baseline.
+bench:
+	dune exec bench/main.exe -- --json
+
+# CI smoke: whole test suite plus a quick JSON bench (no Figure-8 sweep).
+bench-smoke:
+	dune runtest && dune exec bench/main.exe -- quick --json
+
+clean:
+	dune clean

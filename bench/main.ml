@@ -3,8 +3,14 @@
    §6 ablations, and finishes with Bechamel micro-benchmarks of the hot
    primitives.
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- quick   # skip the slow netperf sweep *)
+     dune exec bench/main.exe                    # everything
+     dune exec bench/main.exe -- quick           # skip the slow netperf sweep
+     dune exec bench/main.exe -- --json          # also write BENCH_1.json
+     dune exec bench/main.exe -- quick --json    # both (the CI smoke target)
+
+   --json writes a machine-readable baseline (micro-bench ns/op plus the
+   Figure 8 rows when the sweep ran) so future PRs can diff hot-path
+   performance against this one; see DESIGN.md "The fast path". *)
 
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
@@ -108,7 +114,8 @@ let figure8 () =
     rows paper_figure8;
   print_endline
     "\nShape checks: equal TCP throughput at line rate; SUD never beats the kernel\n\
-     driver on UDP streams; UDP_RR rates equal with SUD paying ~2-4x CPU."
+     driver on UDP streams; UDP_RR rates equal with SUD paying ~2-4x CPU.";
+  rows
 
 (* ---- Figure 9: IO virtual memory mappings ---- *)
 
@@ -239,69 +246,163 @@ let ablation_itr () =
 
 (* ---- Bechamel micro-benchmarks ---- *)
 
-let microbenches () =
-  banner "Micro-benchmarks (Bechamel): SUD's hot primitives";
-  let open Bechamel in
+(* (json key, display name, closure) for each hot primitive.  The ring and
+   translate benches measure what the datapath actually does since the
+   zero-copy/IOTLB work: borrowed-slot marshalling and cached translation.
+   The copying variants stay measured so the delta is visible. *)
+let microbench_cases () =
   let ring = Ring.create ~slots:256 in
+  let ring_copy = Ring.create ~slots:256 in
   let msg = Msg.make ~kind:3 ~args:[ 42; 1448 ] () in
   let slot = Msg.marshal msg in
-  let test_ring =
-    Test.make ~name:"uchan ring push+pop"
-      (Staged.stage (fun () ->
-           ignore (Ring.try_push ring slot : bool);
-           ignore (Ring.try_pop ring : bytes option)))
-  in
-  let test_marshal =
-    Test.make ~name:"msg marshal+unmarshal"
-      (Staged.stage (fun () ->
-           let b = Msg.marshal msg in
-           ignore (Msg.unmarshal b : (Msg.t, string) result)))
-  in
+  (* IOTLB hit: same page every time (first access warms the cache). *)
   let iommu = Iommu.create ~mode:(Iommu.Intel_vtd { interrupt_remapping = false }) () in
   let dom = Iommu.attach iommu ~source:7 in
   Iommu.map iommu dom ~iova:0x42430000 ~phys:0x100000 ~len:0x100000 ~writable:true;
-  let test_translate =
-    Test.make ~name:"IOMMU translate (hit)"
-      (Staged.stage (fun () ->
-           ignore
-             (Iommu.translate iommu ~source:7 ~addr:0x42480123 ~dir:Bus.Dma_read
-              : [ `Phys of int | `Msi | `Fault of Bus.fault ])))
-  in
+  (* IOTLB miss: sweep 1024 pages through a 64-entry direct-mapped cache so
+     every access pays the two-level walk. *)
+  let iommu_m = Iommu.create ~mode:(Iommu.Intel_vtd { interrupt_remapping = false }) () in
+  let dom_m = Iommu.attach iommu_m ~source:7 in
+  Iommu.map iommu_m dom_m ~iova:0x50000000 ~phys:0x400000 ~len:(1024 * 4096) ~writable:true;
+  let sweep = ref 0 in
   let payload = Bytes.make 1448 'x' in
-  let test_checksum =
-    Test.make ~name:"checksum 1448B (defensive-copy pass)"
-      (Staged.stage (fun () -> ignore (Skbuff.checksum payload : int)))
-  in
   let mem = Phys_mem.create ~size:(16 * 1024 * 1024) in
-  let test_phys =
-    Test.make ~name:"phys_mem 1448B write+read"
-      (Staged.stage (fun () ->
-           Phys_mem.write mem ~addr:0x2000 payload;
-           ignore (Phys_mem.read mem ~addr:0x2000 ~len:1448 : bytes)))
-  in
-  let tests =
-    [ test_ring; test_marshal; test_translate; test_checksum; test_phys ]
-  in
-  (* Bechamel's analysis pipeline; print ns/run for each test. *)
+  let sink = ref 0 in
+  [ ( "ring_push_pop",
+      "uchan ring push+pop",
+      (* The borrowed-slot ring: transport is index arithmetic, the copies
+         the old API forced are gone (marshalling is measured separately
+         and by the msg_through_ring pair). *)
+      fun () ->
+        ignore (Ring.push_inplace ring ignore : bool);
+        ignore (Ring.pop_inplace ring (fun slot -> sink := !sink + Bytes.length slot)
+                : unit option) );
+    ( "ring_push_pop_copying",
+      "uchan ring push+pop (legacy copying API)",
+      fun () ->
+        ignore (Ring.try_push ring_copy slot : bool);
+        ignore (Ring.try_pop ring_copy : bytes option) );
+    ( "msg_through_ring",
+      "msg through ring, zero-copy (datapath)",
+      fun () ->
+        ignore (Ring.push_inplace ring (Msg.marshal_into msg) : bool);
+        ignore (Ring.pop_inplace ring Msg.unmarshal_view : (Msg.t, string) result option) );
+    ( "msg_through_ring_copying",
+      "msg through ring, copying (old datapath)",
+      fun () ->
+        ignore (Ring.try_push ring_copy (Msg.marshal msg) : bool);
+        (match Ring.try_pop ring_copy with
+         | Some b -> ignore (Msg.unmarshal b : (Msg.t, string) result)
+         | None -> ()) );
+    ( "msg_marshal_unmarshal",
+      "msg marshal+unmarshal",
+      fun () ->
+        let b = Msg.marshal msg in
+        ignore (Msg.unmarshal b : (Msg.t, string) result) );
+    ( "iommu_translate_hit",
+      "IOMMU translate (IOTLB hit)",
+      fun () ->
+        ignore
+          (Iommu.translate iommu ~source:7 ~addr:0x42480123 ~dir:Bus.Dma_read
+           : [ `Phys of int | `Msi | `Fault of Bus.fault ]) );
+    ( "iommu_translate_miss",
+      "IOMMU translate (miss: table walk)",
+      fun () ->
+        let addr = 0x50000000 + ((!sweep land 1023) * 4096) in
+        incr sweep;
+        ignore
+          (Iommu.translate iommu_m ~source:7 ~addr ~dir:Bus.Dma_read
+           : [ `Phys of int | `Msi | `Fault of Bus.fault ]) );
+    ( "checksum_1448B",
+      "checksum 1448B (defensive-copy pass)",
+      fun () -> ignore (Skbuff.checksum payload : int) );
+    ( "phys_mem_1448B_write_read",
+      "phys_mem 1448B write+read",
+      fun () ->
+        Phys_mem.write mem ~addr:0x2000 payload;
+        ignore (Phys_mem.read mem ~addr:0x2000 ~len:1448 : bytes) ) ]
+
+(* Run the Bechamel pipeline; returns (key, name, ns/op) with ns/op = nan
+   when no estimate was produced. *)
+let microbenches () =
+  banner "Micro-benchmarks (Bechamel): SUD's hot primitives";
+  let open Bechamel in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  List.iter
-    (fun test ->
+  List.map
+    (fun (key, name, fn) ->
+       let test = Test.make ~name (Staged.stage fn) in
        let results = Benchmark.all cfg instances test in
        let analysis =
          Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
            Toolkit.Instance.monotonic_clock results
        in
+       let est = ref nan in
        Hashtbl.iter
-         (fun name ols ->
+         (fun _ ols ->
             match Analyze.OLS.estimates ols with
-            | Some [ est ] -> Printf.printf "%-42s %10.1f ns/op\n" name est
-            | Some _ | None -> Printf.printf "%-42s (no estimate)\n" name)
-         analysis)
-    tests
+            | Some [ e ] -> est := e
+            | Some _ | None -> ())
+         analysis;
+       if Float.is_nan !est then Printf.printf "%-42s (no estimate)\n" name
+       else Printf.printf "%-42s %10.1f ns/op\n" name !est;
+       (key, name, !est))
+    (microbench_cases ())
+
+(* ---- machine-readable baseline (BENCH_*.json) ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json ~path ~mode ~micro ~figure8_rows =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"sud-bench/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string b "  \"units\": \"ns_per_op\",\n";
+  Buffer.add_string b "  \"micro\": {\n";
+  let n = List.length micro in
+  List.iteri
+    (fun i (key, name, ns) ->
+       Buffer.add_string b
+         (Printf.sprintf "    \"%s\": { \"name\": \"%s\", \"ns_per_op\": %s }%s\n"
+            (json_escape key) (json_escape name)
+            (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+            (if i < n - 1 then "," else "")))
+    micro;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"figure8\": [\n";
+  let nr = List.length figure8_rows in
+  List.iteri
+    (fun i r ->
+       Buffer.add_string b
+         (Printf.sprintf
+            "    { \"test\": \"%s\", \"driver\": \"%s\", \"value\": \"%s\", \"cpu\": \"%s\" }%s\n"
+            (json_escape r.Netperf.test) (json_escape r.Netperf.driver)
+            (json_escape r.Netperf.value) (json_escape r.Netperf.cpu)
+            (if i < nr - 1 then "," else "")))
+    figure8_rows;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let () =
-  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let json = List.mem "--json" args in
   figure5 ();
   figure6 ();
   figure7 ();
@@ -310,9 +411,18 @@ let () =
   ablation_interrupt_defence ();
   ablation_defensive_copy ();
   ablation_batching ();
-  microbenches ();
-  if not quick then begin
-    ablation_itr ();
-    figure8 ()
-  end
-  else print_endline "\n(quick mode: skipped the netperf sweep — run without 'quick' for Figure 8)"
+  let micro = microbenches () in
+  let figure8_rows =
+    if not quick then begin
+      ablation_itr ();
+      figure8 ()
+    end
+    else begin
+      print_endline
+        "\n(quick mode: skipped the netperf sweep — run without 'quick' for Figure 8)";
+      []
+    end
+  in
+  if json then
+    write_bench_json ~path:"BENCH_1.json" ~mode:(if quick then "quick" else "full")
+      ~micro ~figure8_rows

@@ -9,11 +9,29 @@ type domain = {
      31..22, table index = bits 21..12. *)
   dir : pte option array option array;
   mutable entries : int;
+  dom_source : Bus.bdf;             (* requester this domain translates for *)
 }
+
+(* One cached translation: the IOTLB caches the pte {e with} its permission
+   bits, so a write to a read-only page faults without a walk — and so a
+   stale entry surviving an unmap would be a genuine containment hole, which
+   is why every unmap/detach/flush scrubs the cache below. *)
+type iotlb_entry = {
+  e_source : Bus.bdf;
+  e_vpage : int;                    (* iova lsr 12 *)
+  e_ppage : int;                    (* page-aligned physical base *)
+  e_writable : bool;
+}
+
+type iotlb_stats = { hits : int; misses : int; evictions : int }
 
 type t = {
   mode : mode;
   domains : (Bus.bdf, domain) Hashtbl.t;
+  iotlb : iotlb_entry option array; (* direct-mapped on (source, vpage) *)
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable tlb_evictions : int;
   mutable flt : Bus.fault list;     (* newest first *)
   mutable flushes : int;
   ir_table : (Bus.bdf * int, unit) Hashtbl.t;
@@ -22,10 +40,15 @@ type t = {
 
 let dir_slots = 1024
 let tbl_slots = 1024
+let iotlb_slots = 64
 
 let create ~mode () =
   { mode;
     domains = Hashtbl.create 8;
+    iotlb = Array.make iotlb_slots None;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    tlb_evictions = 0;
     flt = [];
     flushes = 0;
     ir_table = Hashtbl.create 8;
@@ -33,17 +56,41 @@ let create ~mode () =
 
 let mode t = t.mode
 
-let fresh_domain () = { dir = Array.make dir_slots None; entries = 0 }
+let iotlb_stats t =
+  { hits = t.tlb_hits; misses = t.tlb_misses; evictions = t.tlb_evictions }
+
+let iotlb_slot source vpage = (vpage lxor (source * 7919)) land (iotlb_slots - 1)
+
+let iotlb_drop_page t ~source ~vpage =
+  let i = iotlb_slot source vpage in
+  match t.iotlb.(i) with
+  | Some e when e.e_source = source && e.e_vpage = vpage -> t.iotlb.(i) <- None
+  | Some _ | None -> ()
+
+let iotlb_drop_source t ~source =
+  for i = 0 to iotlb_slots - 1 do
+    match t.iotlb.(i) with
+    | Some e when e.e_source = source -> t.iotlb.(i) <- None
+    | Some _ | None -> ()
+  done
+
+let fresh_domain ~source = { dir = Array.make dir_slots None; entries = 0; dom_source = source }
 
 let attach t ~source =
   match Hashtbl.find_opt t.domains source with
   | Some d -> d
   | None ->
-    let d = fresh_domain () in
+    let d = fresh_domain ~source in
     Hashtbl.add t.domains source d;
+    (* Defensive: a translation cached while the device ran in passthrough
+       must not outlive the confinement decision (we never cache the
+       passthrough path, but scrubbing here keeps the invariant local). *)
+    iotlb_drop_source t ~source;
     d
 
-let detach t ~source = Hashtbl.remove t.domains source
+let detach t ~source =
+  Hashtbl.remove t.domains source;
+  iotlb_drop_source t ~source
 
 let domain_of t ~source = Hashtbl.find_opt t.domains source
 
@@ -88,6 +135,7 @@ let unmap t d ~iova ~len =
   let pages = len / Bus.page_size in
   for i = 0 to pages - 1 do
     let va = iova + (i * Bus.page_size) in
+    iotlb_drop_page t ~source:d.dom_source ~vpage:(va lsr 12);
     let di, ti = indices va in
     match d.dir.(di) with
     | None -> ()
@@ -103,28 +151,65 @@ let record_fault t f =
   t.flt <- f :: t.flt;
   `Fault f
 
-let translate t ~source ~addr ~dir =
+(* The two-level walk plus IOTLB fill, on a cache miss. *)
+let walk_and_fill t d ~source ~addr ~dir =
+  match lookup d addr with
+  | Some pte ->
+    let vpage = addr lsr 12 in
+    let i = iotlb_slot source vpage in
+    (match t.iotlb.(i) with
+     | Some e when not (e.e_source = source && e.e_vpage = vpage) ->
+       t.tlb_evictions <- t.tlb_evictions + 1
+     | Some _ | None -> ());
+    t.iotlb.(i) <- Some { e_source = source; e_vpage = vpage; e_ppage = pte.phys;
+                          e_writable = pte.writable };
+    if dir = Bus.Dma_read || pte.writable then `Phys (pte.phys lor (addr land Bus.page_mask))
+    else record_fault t (Bus.Iommu_fault { source; addr; dir })
+  | None -> record_fault t (Bus.Iommu_fault { source; addr; dir })
+
+(* Everything off the IOTLB fast path: MSI-window writes, passthrough,
+   and cache misses. *)
+let translate_slow t ~source ~addr ~dir =
   let in_msi = Bus.in_msi_window addr in
   let dom = Hashtbl.find_opt t.domains source in
   match t.mode, dom with
   | Intel_vtd _, _ when in_msi && dir = Bus.Dma_write ->
     (* The implicit identity mapping: present in every VT-d page table,
        whether or not a domain exists. *)
-    `Msi
+    (`Msi, `Bypass)
   | _, None ->
     (* No domain attached: passthrough, as for trusted in-kernel drivers
        (Linux iommu=pt).  SUD attaches an (initially empty) domain the
-       moment an untrusted driver opens the device. *)
-    if in_msi && dir = Bus.Dma_write then `Msi else `Phys addr
+       moment an untrusted driver opens the device.  Never cached: the
+       moment a domain appears, these identity translations must die. *)
+    ((if in_msi && dir = Bus.Dma_write then `Msi else `Phys addr), `Bypass)
   | Amd_vi, Some d when in_msi && dir = Bus.Dma_write ->
     (match lookup d addr with
-     | Some _ -> `Msi
-     | None -> record_fault t (Bus.Iommu_fault { source; addr; dir }))
+     | Some _ -> (`Msi, `Walk)
+     | None -> (record_fault t (Bus.Iommu_fault { source; addr; dir }), `Walk))
   | (Intel_vtd _ | Amd_vi), Some d ->
-    (match lookup d addr with
-     | Some pte when dir = Bus.Dma_read || pte.writable ->
-       `Phys (pte.phys lor (addr land Bus.page_mask))
-     | Some _ | None -> record_fault t (Bus.Iommu_fault { source; addr; dir }))
+    t.tlb_misses <- t.tlb_misses + 1;
+    (walk_and_fill t d ~source ~addr ~dir, `Walk)
+
+let translate_info t ~source ~addr ~dir =
+  (* IOTLB first, before the domain hashtable is even touched.  Sound
+     because only successful walks of an attached domain are ever inserted,
+     MSI-window writes are diverted before the cache can answer (an AMD
+     domain may legitimately map the window as [`Phys] for reads), and
+     unmap/detach/flush scrub their entries. *)
+  if Bus.in_msi_window addr && dir = Bus.Dma_write then translate_slow t ~source ~addr ~dir
+  else begin
+    let vpage = addr lsr 12 in
+    match t.iotlb.(iotlb_slot source vpage) with
+    | Some e when e.e_source = source && e.e_vpage = vpage ->
+      t.tlb_hits <- t.tlb_hits + 1;
+      if dir = Bus.Dma_read || e.e_writable then
+        (`Phys (e.e_ppage lor (addr land Bus.page_mask)), `Hit)
+      else (record_fault t (Bus.Iommu_fault { source; addr; dir }), `Hit)
+    | Some _ | None -> translate_slow t ~source ~addr ~dir
+  end
+
+let translate t ~source ~addr ~dir = fst (translate_info t ~source ~addr ~dir)
 
 let mappings d =
   let runs = ref [] in
@@ -157,7 +242,10 @@ let mappings d =
   flush_run ();
   List.rev !runs
 
-let iotlb_flush t _d = t.flushes <- t.flushes + 1
+let iotlb_flush t d =
+  iotlb_drop_source t ~source:d.dom_source;
+  t.flushes <- t.flushes + 1
+
 let iotlb_flushes t = t.flushes
 
 let faults t = List.rev t.flt

@@ -48,6 +48,29 @@ val translate : t -> source:Bus.bdf -> addr:int -> dir:Bus.dma_dir -> [ `Phys of
     the write landed in the MSI window and should be handed to the
     interrupt controller (subject to remapping). *)
 
+val translate_info :
+  t -> source:Bus.bdf -> addr:int -> dir:Bus.dma_dir ->
+  [ `Phys of int | `Msi | `Fault of Bus.fault ] * [ `Hit | `Walk | `Bypass ]
+(** {!translate} plus how the answer was produced, for cost accounting:
+    [`Hit] came from the IOTLB, [`Walk] paid the two-level table walk,
+    [`Bypass] skipped translation entirely (passthrough / implicit MSI). *)
+
+(** {1 IOTLB}
+
+    A direct-mapped software IOTLB of {!iotlb_slots} entries keyed on
+    [(source, iova_page)], consulted before the page-table walk.  Entries
+    cache the pte {e including} its writable bit.  The cache is scrubbed on
+    {!unmap}, {!detach} and {!iotlb_flush} — a hit after any of those would
+    be a stale translation, i.e. a containment hole (the stale-translation
+    window the driver-isolation SoK warns about). *)
+
+val iotlb_slots : int
+
+type iotlb_stats = { hits : int; misses : int; evictions : int }
+
+val iotlb_stats : t -> iotlb_stats
+(** Cumulative hit/miss/conflict-eviction counters since creation. *)
+
 val mappings : domain -> (int * int * int * bool) list
 (** [(iova, phys, len, writable)] runs, contiguous entries merged, sorted
     by iova — the paper's Figure 9 listing.  The Intel implicit MSI mapping

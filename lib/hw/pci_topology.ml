@@ -27,6 +27,7 @@ type t = {
   mutable next_mmio : int;
   mutable next_io : int;
   mutable msi_sink : (source:Bus.bdf -> vector:int -> unit) option;
+  mutable dma_charge : ([ `Hit | `Walk | `Bypass ] -> unit) option;
   mutable flt : Bus.fault list;   (* newest first *)
   mutable p2p_count : int;
   mutable msi_count : int;
@@ -50,6 +51,7 @@ let create ~mem ~iommu ~ioports () =
     next_mmio = mmio_window_base;
     next_io = io_window_base;
     msi_sink = None;
+    dma_charge = None;
     flt = [];
     p2p_count = 0;
     msi_count = 0;
@@ -84,6 +86,7 @@ let device_switch t bdf =
   | None -> invalid_arg "Pci_topology.device_switch: unknown device"
 
 let set_msi_sink t sink = t.msi_sink <- Some sink
+let set_dma_charge t f = t.dma_charge <- Some f
 
 let record_fault t f = t.flt <- f :: t.flt
 
@@ -156,12 +159,21 @@ let p2p_victim t requester addr =
      | Some _ | None -> None)
   | Some _ | None -> None
 
+(* Every DMA that reaches the root complex pays for its translation: an
+   IOTLB hit is nearly free, a page-table walk is not, passthrough costs
+   nothing extra.  The sink (installed by the kernel) maps the outcome to
+   Cost_model charges, so Figure 8 reflects the cache. *)
+let translate_charged t ~source ~addr ~dir =
+  let result, how = Iommu.translate_info t.iommu ~source ~addr ~dir in
+  (match t.dma_charge with Some f -> f how | None -> ());
+  result
+
 let dma_common t ~source ~addr ~dir k_peer k_phys k_msi =
   match find_attached t source with
   | None ->
     (* A spoofed requester ID that got past validation: translate under the
        claimed source's IOMMU domain. *)
-    (match Iommu.translate t.iommu ~source ~addr ~dir with
+    (match translate_charged t ~source ~addr ~dir with
      | `Phys p -> k_phys p
      | `Msi -> k_msi ()
      | `Fault f -> Error f)
@@ -171,7 +183,7 @@ let dma_common t ~source ~addr ~dir k_peer k_phys k_msi =
        t.p2p_count <- t.p2p_count + 1;
        k_peer victim bar off
      | None ->
-       (match Iommu.translate t.iommu ~source ~addr ~dir with
+       (match translate_charged t ~source ~addr ~dir with
         | `Phys p -> k_phys p
         | `Msi -> k_msi ()
         | `Fault f -> Error f))

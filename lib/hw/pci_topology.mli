@@ -51,6 +51,12 @@ val set_msi_sink : t -> (source:Bus.bdf -> vector:int -> unit) -> unit
 (** Install the interrupt controller; MSI messages that pass interrupt
     remapping arrive here. *)
 
+val set_dma_charge : t -> ([ `Hit | `Walk | `Bypass ] -> unit) -> unit
+(** Install the cost sink for DMA address translation.  Called once per
+    device-initiated DMA with how the IOMMU produced the answer ([`Hit] =
+    IOTLB, [`Walk] = two-level table walk, [`Bypass] = passthrough or
+    implicit MSI); the kernel maps these to {!Cost_model} charges. *)
+
 (** {1 CPU-initiated access} *)
 
 val cfg_read : t -> Bus.bdf -> off:int -> size:int -> int

@@ -6,6 +6,12 @@ type t = {
   mutable bump : int;           (* next never-allocated page index *)
   free_runs : (int, int list) Hashtbl.t;  (* run length -> start pages *)
   mutable outstanding : int;
+  (* One-entry page cache: DMA is overwhelmingly sequential (descriptor
+     rings, packet buffers), so the last page touched answers the next
+     access without a Hashtbl lookup.  Pages are never removed from the
+     table once materialized, so the cached bytes can never go stale. *)
+  mutable last_idx : int;
+  mutable last_page : bytes;
 }
 
 let create ~size =
@@ -14,7 +20,8 @@ let create ~size =
   (* The first 64 KiB stay unallocated, like the reserved low memory of a
      real machine — so no DMA structure ever lands at address 0, which
      device schedules use as a null link. *)
-  { size; pages = Hashtbl.create 1024; bump = 16; free_runs = Hashtbl.create 8; outstanding = 0 }
+  { size; pages = Hashtbl.create 1024; bump = 16; free_runs = Hashtbl.create 8; outstanding = 0;
+    last_idx = -1; last_page = Bytes.empty }
 
 let size t = t.size
 
@@ -23,36 +30,55 @@ let check t addr len =
     raise (Bus_error addr)
 
 let page t idx =
-  match Hashtbl.find_opt t.pages idx with
-  | Some p -> p
-  | None ->
-    let p = Bytes.make Bus.page_size '\000' in
-    Hashtbl.add t.pages idx p;
+  if idx = t.last_idx then t.last_page
+  else begin
+    let p =
+      match Hashtbl.find_opt t.pages idx with
+      | Some p -> p
+      | None ->
+        let p = Bytes.make Bus.page_size '\000' in
+        Hashtbl.add t.pages idx p;
+        p
+    in
+    t.last_idx <- idx;
+    t.last_page <- p;
     p
+  end
 
 let blit_out t ~addr ~dst ~dst_off ~len =
   check t addr len;
-  let pos = ref addr and off = ref dst_off and left = ref len in
-  while !left > 0 do
-    let idx = !pos / Bus.page_size and in_page = !pos land Bus.page_mask in
-    let chunk = min !left (Bus.page_size - in_page) in
-    Bytes.blit (page t idx) in_page dst !off chunk;
-    pos := !pos + chunk;
-    off := !off + chunk;
-    left := !left - chunk
-  done
+  let in_page = addr land Bus.page_mask in
+  if in_page + len <= Bus.page_size then
+    (* Single-page fast path: one blit, no loop state. *)
+    Bytes.blit (page t (addr / Bus.page_size)) in_page dst dst_off len
+  else begin
+    let pos = ref addr and off = ref dst_off and left = ref len in
+    while !left > 0 do
+      let idx = !pos / Bus.page_size and in_page = !pos land Bus.page_mask in
+      let chunk = min !left (Bus.page_size - in_page) in
+      Bytes.blit (page t idx) in_page dst !off chunk;
+      pos := !pos + chunk;
+      off := !off + chunk;
+      left := !left - chunk
+    done
+  end
 
 let blit_in t ~addr ~src ~src_off ~len =
   check t addr len;
-  let pos = ref addr and off = ref src_off and left = ref len in
-  while !left > 0 do
-    let idx = !pos / Bus.page_size and in_page = !pos land Bus.page_mask in
-    let chunk = min !left (Bus.page_size - in_page) in
-    Bytes.blit src !off (page t idx) in_page chunk;
-    pos := !pos + chunk;
-    off := !off + chunk;
-    left := !left - chunk
-  done
+  let in_page = addr land Bus.page_mask in
+  if in_page + len <= Bus.page_size then
+    Bytes.blit src src_off (page t (addr / Bus.page_size)) in_page len
+  else begin
+    let pos = ref addr and off = ref src_off and left = ref len in
+    while !left > 0 do
+      let idx = !pos / Bus.page_size and in_page = !pos land Bus.page_mask in
+      let chunk = min !left (Bus.page_size - in_page) in
+      Bytes.blit src !off (page t idx) in_page chunk;
+      pos := !pos + chunk;
+      off := !off + chunk;
+      left := !left - chunk
+    done
+  end
 
 let read t ~addr ~len =
   let b = Bytes.create len in
@@ -69,25 +95,69 @@ let write8 t addr v =
   check t addr 1;
   Bytes.set (page t (addr / Bus.page_size)) (addr land Bus.page_mask) (Char.chr (v land 0xff))
 
-let read16 t addr = read8 t addr lor (read8 t (addr + 1) lsl 8)
-let read32 t addr = read16 t addr lor (read16 t (addr + 2) lsl 16)
+(* Scalar accessors: when the access sits inside one page (the common case
+   — descriptors are naturally aligned), use the runtime's little-endian
+   primitives on the page directly; fall back to byte assembly only when
+   straddling a page boundary. *)
+
+let fits_in_page addr n = addr land Bus.page_mask <= Bus.page_size - n
+
+let read16 t addr =
+  if fits_in_page addr 2 then begin
+    check t addr 2;
+    Bytes.get_uint16_le (page t (addr / Bus.page_size)) (addr land Bus.page_mask)
+  end
+  else read8 t addr lor (read8 t (addr + 1) lsl 8)
+
+let read32 t addr =
+  if fits_in_page addr 4 then begin
+    check t addr 4;
+    Int32.to_int (Bytes.get_int32_le (page t (addr / Bus.page_size)) (addr land Bus.page_mask))
+    land 0xFFFFFFFF
+  end
+  else read16 t addr lor (read16 t (addr + 2) lsl 16)
 
 let read64 t addr =
-  Int64.logor
-    (Int64.of_int (read32 t addr))
-    (Int64.shift_left (Int64.of_int (read32 t (addr + 4))) 32)
+  if fits_in_page addr 8 then begin
+    check t addr 8;
+    Bytes.get_int64_le (page t (addr / Bus.page_size)) (addr land Bus.page_mask)
+  end
+  else
+    Int64.logor
+      (Int64.of_int (read32 t addr))
+      (Int64.shift_left (Int64.of_int (read32 t (addr + 4))) 32)
 
 let write16 t addr v =
-  write8 t addr v;
-  write8 t (addr + 1) (v lsr 8)
+  if fits_in_page addr 2 then begin
+    check t addr 2;
+    Bytes.set_uint16_le (page t (addr / Bus.page_size)) (addr land Bus.page_mask)
+      (v land 0xFFFF)
+  end
+  else begin
+    write8 t addr v;
+    write8 t (addr + 1) (v lsr 8)
+  end
 
 let write32 t addr v =
-  write16 t addr v;
-  write16 t (addr + 2) (v lsr 16)
+  if fits_in_page addr 4 then begin
+    check t addr 4;
+    Bytes.set_int32_le (page t (addr / Bus.page_size)) (addr land Bus.page_mask)
+      (Int32.of_int v)
+  end
+  else begin
+    write16 t addr v;
+    write16 t (addr + 2) (v lsr 16)
+  end
 
 let write64 t addr v =
-  write32 t addr (Int64.to_int (Int64.logand v 0xFFFFFFFFL));
-  write32 t (addr + 4) (Int64.to_int (Int64.shift_right_logical v 32))
+  if fits_in_page addr 8 then begin
+    check t addr 8;
+    Bytes.set_int64_le (page t (addr / Bus.page_size)) (addr land Bus.page_mask) v
+  end
+  else begin
+    write32 t addr (Int64.to_int (Int64.logand v 0xFFFFFFFFL));
+    write32 t (addr + 4) (Int64.to_int (Int64.shift_right_logical v 32))
+  end
 
 let fill t ~addr ~len c =
   check t addr len;

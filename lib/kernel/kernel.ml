@@ -28,6 +28,16 @@ let boot ?(cores = 2) ?(mem_size = 256 * 1024 * 1024)
   let net = Netstack.create eng cpu preempt klog procs in
   let sysfs = Sysfs.create () in
   Pci_topology.set_msi_sink topo (fun ~source ~vector -> Irq.deliver irq ~source ~vector);
+  (* DMA translation is device-side work: account it against utilization
+     without blocking any fiber (devices run in pure event callbacks). *)
+  Pci_topology.set_dma_charge topo (fun how ->
+      let ns =
+        match how with
+        | `Hit -> cost_model.Cost_model.iotlb_hit_ns
+        | `Walk -> cost_model.Cost_model.iommu_walk_ns
+        | `Bypass -> 0
+      in
+      if ns > 0 then Cpu.account cpu ~label:"hw:iommu" ns);
   if enable_acs then Pci_topology.enable_acs_everywhere topo;
   Klog.printk klog Klog.Info "kernel: booted with %d cores, %d MiB RAM" cores
     (mem_size / 1024 / 1024);

@@ -11,6 +11,8 @@ type t = {
   mmio_access_ns : int;
   pio_access_ns : int;
   dma_map_ns : int;
+  iotlb_hit_ns : int;
+  iommu_walk_ns : int;
   iotlb_flush_ns : int;
   msi_mask_ns : int;
   irte_update_ns : int;
@@ -33,6 +35,8 @@ let default =
     mmio_access_ns = 250;
     pio_access_ns = 400;
     dma_map_ns = 180;
+    iotlb_hit_ns = 15;
+    iommu_walk_ns = 150;
     iotlb_flush_ns = 2_500;
     msi_mask_ns = 600;
     irte_update_ns = 1_800;

@@ -19,6 +19,8 @@ type t = {
   mmio_access_ns : int;       (** one uncached MMIO register read/write *)
   pio_access_ns : int;        (** one legacy IO-port access *)
   dma_map_ns : int;           (** inserting one IOMMU mapping *)
+  iotlb_hit_ns : int;         (** DMA translation served from the IOTLB *)
+  iommu_walk_ns : int;        (** DMA translation paying the two-level walk *)
   iotlb_flush_ns : int;       (** IOTLB invalidation (paper: prohibitive) *)
   msi_mask_ns : int;          (** toggling the MSI mask bit via PCI config *)
   irte_update_ns : int;       (** rewriting an interrupt-remapping entry *)

@@ -18,21 +18,32 @@ let make ?(seq = 0) ?(args = []) ?(payload = Bytes.empty) ?(buf = -1) ~kind () =
   if Bytes.length payload > max_payload then invalid_arg "Msg.make: payload too large";
   { kind; seq; args = Array.of_list args; payload; buf }
 
-let marshal t =
+(* Marshal into a caller-supplied slot (e.g. a ring slot borrowed via
+   {!Ring.push_inplace}) without allocating.  Only the bytes the format
+   says are live get written: a reused slot may keep stale garbage past
+   [plen] and [nargs], which [unmarshal]/[unmarshal_view] never read. *)
+let marshal_into t b =
   if Array.length t.args > max_args then invalid_arg "Msg.marshal: too many args";
   if Bytes.length t.payload > max_payload then invalid_arg "Msg.marshal: payload too large";
-  let b = Bytes.make slot_size '\000' in
+  if Bytes.length b < slot_size then invalid_arg "Msg.marshal_into: slot too small";
   Bytes.set_uint16_le b 0 (t.kind land 0xFFFF);
   Bytes.set_int32_le b 2 (Int32.of_int t.seq);
   Bytes.set_int32_le b 6 (Int32.of_int t.buf);
   Bytes.set b 10 (Char.chr (Array.length t.args));
   Bytes.set b 11 (Char.chr (Bytes.length t.payload));
   Array.iteri (fun i v -> Bytes.set_int64_le b (12 + (8 * i)) (Int64.of_int v)) t.args;
-  Bytes.blit t.payload 0 b header (Bytes.length t.payload);
+  Bytes.blit t.payload 0 b header (Bytes.length t.payload)
+
+let marshal t =
+  let b = Bytes.make slot_size '\000' in
+  marshal_into t b;
   b
 
-let unmarshal b =
-  if Bytes.length b <> slot_size then Error "bad slot size"
+(* Decode from a borrowed slot.  The payload is still copied out (the slot
+   is recycled under us), but the empty-payload common case allocates no
+   payload at all and the caller skips the 128-byte slot copy. *)
+let unmarshal_view b =
+  if Bytes.length b < slot_size then Error "bad slot size"
   else begin
     let nargs = Char.code (Bytes.get b 10) in
     let plen = Char.code (Bytes.get b 11) in
@@ -44,7 +55,10 @@ let unmarshal b =
           seq = Int32.to_int (Bytes.get_int32_le b 2);
           buf = Int32.to_int (Bytes.get_int32_le b 6);
           args = Array.init nargs (fun i -> Int64.to_int (Bytes.get_int64_le b (12 + (8 * i))));
-          payload = Bytes.sub b header plen }
+          payload = (if plen = 0 then Bytes.empty else Bytes.sub b header plen) }
   end
+
+let unmarshal b =
+  if Bytes.length b <> slot_size then Error "bad slot size" else unmarshal_view b
 
 let arg t i = if i >= 0 && i < Array.length t.args then t.args.(i) else 0

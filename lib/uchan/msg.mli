@@ -24,9 +24,23 @@ val make : ?seq:int -> ?args:int list -> ?payload:bytes -> ?buf:int -> kind:int 
 val marshal : t -> bytes
 (** Raises [Invalid_argument] if the message exceeds the slot format. *)
 
+val marshal_into : t -> bytes -> unit
+(** Zero-copy variant: marshal into the first {!slot_size} bytes of a
+    caller-supplied buffer (typically a ring slot borrowed through
+    {!Ring.push_inplace}), allocating nothing.  Stale bytes beyond the
+    encoded payload/args are left in place — the unmarshallers never read
+    them.  Raises [Invalid_argument] if the message exceeds the slot
+    format or the buffer is shorter than {!slot_size}. *)
+
 val unmarshal : bytes -> (t, string) result
 (** Defensive: a malicious driver writes arbitrary bytes into the shared
     ring, so unmarshalling validates every length field. *)
+
+val unmarshal_view : bytes -> (t, string) result
+(** Like {!unmarshal} but for a borrowed slot (from {!Ring.pop_inplace}):
+    accepts any buffer of at least {!slot_size} bytes and copies only the
+    live payload out, sharing the empty payload when there is none.  The
+    returned message owns no part of [b]. *)
 
 val arg : t -> int -> int
 (** [arg t i] with a 0 default for missing arguments. *)

@@ -24,12 +24,28 @@ let try_push t b =
     true
   end
 
+let push_inplace t writer =
+  if is_full t then false
+  else begin
+    writer t.slots.(t.head land t.mask);
+    t.head <- t.head + 1;
+    true
+  end
+
 let try_pop t =
   if is_empty t then None
   else begin
     let slot = Bytes.copy t.slots.(t.tail land t.mask) in
     t.tail <- t.tail + 1;
     Some slot
+  end
+
+let pop_inplace t reader =
+  if is_empty t then None
+  else begin
+    let v = reader t.slots.(t.tail land t.mask) in
+    t.tail <- t.tail + 1;
+    Some v
   end
 
 let peek t = if is_empty t then None else Some (Bytes.copy t.slots.(t.tail land t.mask))

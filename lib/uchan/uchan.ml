@@ -23,10 +23,12 @@ type t = {
   worker_waitq : Sync.Waitq.t;           (* kernel downcall worker sleeping *)
   k_space : Sync.Waitq.t;                (* kernel waiting for k2u space *)
   mutable batch : Msg.t list;            (* user-side async downcalls, newest first *)
+  mutable batch_len : int;               (* |batch|, so uasend stays O(1) *)
   mutable handler : (Msg.t -> Msg.t option) option;
   mutable n_up : int;
   mutable n_down : int;
   mutable n_notify : int;
+  mutable n_dropped : int;               (* async downcalls lost to a full u2k ring *)
 }
 
 let model t = Cpu.cost_model t.k.Kernel.cpu
@@ -58,8 +60,10 @@ let fresh_seq t =
   t.next_seq <- t.next_seq + 1;
   t.next_seq
 
-let marshal_with_flag m ~is_reply =
-  Msg.marshal { m with Msg.kind = (if is_reply then m.Msg.kind lor reply_flag else m.Msg.kind) }
+(* Marshal straight into the ring slot — no per-message 128-byte buffer. *)
+let push_flagged ring m ~is_reply =
+  let m = if is_reply then { m with Msg.kind = m.Msg.kind lor reply_flag } else m in
+  Ring.push_inplace ring (Msg.marshal_into m)
 
 let complete_waiter tbl seq result =
   match Hashtbl.find_opt tbl seq with
@@ -76,8 +80,8 @@ let fail_all_waiters tbl err =
 
 (* ---- kernel-side worker: drains u2k, dispatching replies and downcalls ---- *)
 
-let dispatch_u2k t slot =
-  match Msg.unmarshal slot with
+let dispatch_u2k t decoded =
+  match decoded with
   | Error e ->
     Klog.printk t.k.Kernel.klog Klog.Warn "uchan(%s): malformed message from driver: %s"
       t.label e
@@ -112,10 +116,10 @@ let dispatch_u2k t slot =
 let worker_loop t () =
   let rec loop () =
     if not t.closed then begin
-      match Ring.try_pop t.u2k with
-      | Some slot ->
+      match Ring.pop_inplace t.u2k Msg.unmarshal_view with
+      | Some decoded ->
         msg_cost t;
-        dispatch_u2k t slot;
+        dispatch_u2k t decoded;
         loop ()
       | None ->
         let since = Engine.now t.k.Kernel.eng in
@@ -141,10 +145,12 @@ let create k ?(slots = 256) ~driver_label () =
       worker_waitq = Sync.Waitq.create ();
       k_space = Sync.Waitq.create ();
       batch = [];
+      batch_len = 0;
       handler = None;
       n_up = 0;
       n_down = 0;
-      n_notify = 0 }
+      n_notify = 0;
+      n_dropped = 0 }
   in
   ignore
     (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
@@ -170,7 +176,7 @@ let set_downcall_handler t h = t.handler <- Some h
 
 let push_k2u t m =
   msg_cost t;
-  if Ring.try_push t.k2u (marshal_with_flag m ~is_reply:false) then begin
+  if push_flagged t.k2u m ~is_reply:false then begin
     t.n_up <- t.n_up + 1;
     kick t t.u_waitq;
     true
@@ -241,7 +247,7 @@ let asend t m =
 
 let push_u2k_raw t m ~is_reply =
   msg_cost t;
-  if Ring.try_push t.u2k (marshal_with_flag m ~is_reply) then begin
+  if push_flagged t.u2k m ~is_reply then begin
     if not is_reply then t.n_down <- t.n_down + 1;
     true
   end
@@ -252,22 +258,25 @@ let flush t =
   | [] -> ()
   | batch ->
     t.batch <- [];
+    t.batch_len <- 0;
     List.iter
       (fun m ->
          if not (push_u2k_raw t m ~is_reply:false) then
            (* The kernel worker is live (it is trusted); a full u2k ring
-              just means we outran it — drop oldest-first like a NIC. *)
-           ())
+              just means we outran it — drop oldest-first like a NIC, but
+              count the loss so it shows up next to the send counters. *)
+           t.n_dropped <- t.n_dropped + 1)
       (List.rev batch);
     kick t t.worker_waitq
 
 let uasend t m =
   if not t.closed then begin
     t.batch <- { m with Msg.seq = 0 } :: t.batch;
+    t.batch_len <- t.batch_len + 1;
     (* Batching waits for the driver's next entry into the kernel — but a
        main loop already parked inside sud_wait counts as being there, so
        ship the batch now rather than stranding it. *)
-    if List.length t.batch >= batch_limit || Sync.Waitq.waiters t.u_waitq > 0 then flush t
+    if t.batch_len >= batch_limit || Sync.Waitq.waiters t.u_waitq > 0 then flush t
   end
 
 let reply t m =
@@ -312,12 +321,12 @@ let wait t =
     if t.closed then Error Closed
     else begin
       flush t;
-      match Ring.try_pop t.k2u with
-      | Some slot ->
+      match Ring.pop_inplace t.k2u Msg.unmarshal_view with
+      | Some decoded ->
         (match slept with Some since -> wakeup_cost_since t ~since | None -> ());
         msg_cost t;
         ignore (Sync.Waitq.signal t.k_space : bool);
-        (match Msg.unmarshal slot with
+        (match decoded with
          | Error _ ->
            (* Only the trusted kernel writes k2u; treat corruption as fatal. *)
            Error Closed
@@ -354,3 +363,4 @@ let try_asend t m =
 let upcalls_sent t = t.n_up
 let downcalls_sent t = t.n_down
 let notifications t = t.n_notify
+let dropped t = t.n_dropped

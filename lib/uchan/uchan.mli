@@ -72,3 +72,8 @@ val downcalls_sent : t -> int
 val notifications : t -> int
 (** Number of cross-address-space kicks — the measure of how well
     batching is working. *)
+
+val dropped : t -> int
+(** Batched asynchronous downcalls lost because the u2k ring was full at
+    {!flush} time.  Nonzero means the driver outran the kernel worker;
+    silent before, now visible next to the send counters. *)

@@ -155,6 +155,90 @@ let test_iommu_unmap_flush () =
   | `Fault _ -> ()
   | `Phys _ | `Msi -> Alcotest.fail "unmapped address must fault"
 
+let test_iotlb_counters () =
+  let io = Iommu.create ~mode:mode_vtd () in
+  let d = Iommu.attach io ~source:5 in
+  Iommu.map io d ~iova:0x10000 ~phys:0x20000 ~len:8192 ~writable:true;
+  let s0 = Iommu.iotlb_stats io in
+  Alcotest.(check (list int)) "cold cache" [ 0; 0 ] [ s0.Iommu.hits; s0.Iommu.misses ];
+  (* Scripted pattern: miss, hit, miss (new page), hit, hit. *)
+  List.iter
+    (fun addr ->
+       match Iommu.translate io ~source:5 ~addr ~dir:Bus.Dma_read with
+       | `Phys _ -> ()
+       | `Msi | `Fault _ -> Alcotest.fail "expected translation")
+    [ 0x10123; 0x10456; 0x11000; 0x11abc; 0x10789 ];
+  let s1 = Iommu.iotlb_stats io in
+  Alcotest.(check (list int)) "2 walks, 3 hits" [ 3; 2 ] [ s1.Iommu.hits; s1.Iommu.misses ];
+  (* A fault on an unmapped page pays a walk, not a hit. *)
+  (match Iommu.translate io ~source:5 ~addr:0x40000 ~dir:Bus.Dma_read with
+   | `Fault _ -> ()
+   | `Phys _ | `Msi -> Alcotest.fail "expected fault");
+  let s2 = Iommu.iotlb_stats io in
+  Alcotest.(check (list int)) "fault counted as miss" [ 3; 3 ] [ s2.Iommu.hits; s2.Iommu.misses ]
+
+let test_iotlb_conflict_eviction () =
+  let io = Iommu.create ~mode:mode_vtd () in
+  let d = Iommu.attach io ~source:5 in
+  (* Pages v and v + iotlb_slots index into the same direct-mapped slot. *)
+  let stride = Iommu.iotlb_slots * 4096 in
+  Iommu.map io d ~iova:0x100000 ~phys:0x200000 ~len:4096 ~writable:true;
+  Iommu.map io d ~iova:(0x100000 + stride) ~phys:0x300000 ~len:4096 ~writable:true;
+  ignore (Iommu.translate io ~source:5 ~addr:0x100000 ~dir:Bus.Dma_read);
+  ignore (Iommu.translate io ~source:5 ~addr:(0x100000 + stride) ~dir:Bus.Dma_read);
+  let s = Iommu.iotlb_stats io in
+  Alcotest.(check int) "conflict evicts" 1 s.Iommu.evictions;
+  (* The evicted page still translates correctly (via a fresh walk). *)
+  match Iommu.translate io ~source:5 ~addr:0x100123 ~dir:Bus.Dma_read with
+  | `Phys p -> Alcotest.(check int) "re-walk correct" 0x200123 p
+  | `Msi | `Fault _ -> Alcotest.fail "expected translation"
+
+let test_iotlb_no_stale_after_unmap () =
+  let io = Iommu.create ~mode:mode_vtd () in
+  let d = Iommu.attach io ~source:5 in
+  Iommu.map io d ~iova:0x10000 ~phys:0x20000 ~len:4096 ~writable:true;
+  (* Warm the IOTLB, then unmap: a subsequent hit would be a containment
+     hole (the device could still reach the old physical page). *)
+  ignore (Iommu.translate io ~source:5 ~addr:0x10000 ~dir:Bus.Dma_write);
+  ignore (Iommu.translate io ~source:5 ~addr:0x10004 ~dir:Bus.Dma_write);
+  Iommu.unmap io d ~iova:0x10000 ~len:4096;
+  (match Iommu.translate io ~source:5 ~addr:0x10008 ~dir:Bus.Dma_write with
+   | `Fault _ -> ()
+   | `Phys _ | `Msi -> Alcotest.fail "stale IOTLB entry survived unmap");
+  (* Same for the writable bit: remap read-only, the cached writable pte
+     must not resurrect write access. *)
+  Iommu.map io d ~iova:0x10000 ~phys:0x20000 ~len:4096 ~writable:false;
+  ignore (Iommu.translate io ~source:5 ~addr:0x10000 ~dir:Bus.Dma_read);
+  (match Iommu.translate io ~source:5 ~addr:0x10000 ~dir:Bus.Dma_write with
+   | `Fault _ -> ()
+   | `Phys _ | `Msi -> Alcotest.fail "stale writable bit survived remap");
+  (* And detach: the passthrough identity path must not leak cached pages
+     of the dead domain. *)
+  Iommu.map io d ~iova:0x30000 ~phys:0x50000 ~len:4096 ~writable:true;
+  ignore (Iommu.translate io ~source:5 ~addr:0x30000 ~dir:Bus.Dma_read);
+  Iommu.detach io ~source:5;
+  (match Iommu.translate io ~source:5 ~addr:0x30000 ~dir:Bus.Dma_read with
+   | `Phys p -> Alcotest.(check int) "identity after detach, not cached phys" 0x30000 p
+   | `Msi | `Fault _ -> Alcotest.fail "expected passthrough after detach");
+  (* Re-attach: an empty domain faults everywhere, cache included. *)
+  let d2 = Iommu.attach io ~source:5 in
+  ignore (d2 : Iommu.domain);
+  match Iommu.translate io ~source:5 ~addr:0x30000 ~dir:Bus.Dma_read with
+  | `Fault _ -> ()
+  | `Phys _ | `Msi -> Alcotest.fail "stale entry survived detach/attach"
+
+let test_iotlb_flush_scrubs () =
+  let io = Iommu.create ~mode:mode_vtd () in
+  let d = Iommu.attach io ~source:5 in
+  Iommu.map io d ~iova:0x10000 ~phys:0x20000 ~len:4096 ~writable:true;
+  ignore (Iommu.translate io ~source:5 ~addr:0x10000 ~dir:Bus.Dma_read);
+  let s0 = Iommu.iotlb_stats io in
+  Iommu.iotlb_flush io d;
+  ignore (Iommu.translate io ~source:5 ~addr:0x10000 ~dir:Bus.Dma_read);
+  let s1 = Iommu.iotlb_stats io in
+  Alcotest.(check int) "flush forces a re-walk" (s0.Iommu.misses + 1) s1.Iommu.misses;
+  Alcotest.(check int) "no phantom hit" s0.Iommu.hits s1.Iommu.hits
+
 let test_iommu_mappings_merge () =
   let io = Iommu.create ~mode:mode_vtd () in
   let d = Iommu.attach io ~source:5 in
@@ -531,6 +615,11 @@ let suite =
     Alcotest.test_case "iommu: write protection" `Quick test_iommu_write_protection;
     Alcotest.test_case "iommu: MSI quirks (Intel vs AMD)" `Quick test_iommu_msi_quirk;
     Alcotest.test_case "iommu: unmap + IOTLB flush" `Quick test_iommu_unmap_flush;
+    Alcotest.test_case "iommu: IOTLB hit/miss counters" `Quick test_iotlb_counters;
+    Alcotest.test_case "iommu: IOTLB conflict eviction" `Quick test_iotlb_conflict_eviction;
+    Alcotest.test_case "iommu: no stale IOTLB after unmap/detach" `Quick
+      test_iotlb_no_stale_after_unmap;
+    Alcotest.test_case "iommu: iotlb_flush scrubs cache" `Quick test_iotlb_flush_scrubs;
     Alcotest.test_case "iommu: mappings merge" `Quick test_iommu_mappings_merge;
     Alcotest.test_case "iommu: interrupt remapping" `Quick test_iommu_ir;
     Alcotest.test_case "ioport: IOPB" `Quick test_iopb;

@@ -52,6 +52,80 @@ let iommu_model_test =
          ops;
        !ok)
 
+(* IOTLB invalidation: random map/unmap/flush/detach sequences with a
+   translation probe after every step.  A probe that returns a physical
+   address the reference model doesn't sanction means a stale cached
+   translation survived an invalidation — exactly the containment hole the
+   mandatory scrubbing in unmap/detach/iotlb_flush exists to prevent. *)
+let iotlb_invalidation_test =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 80)
+        (let* op = int_bound 4 in
+         let* page = int_bound 63 in
+         let* count = int_range 1 4 in
+         let* writable = bool in
+         return (op, page, count, writable)))
+  in
+  QCheck.Test.make ~name:"no stale IOTLB translation survives invalidation" ~count:300
+    (QCheck.make gen)
+    (fun ops ->
+       let io = Iommu.create ~mode:(Iommu.Intel_vtd { interrupt_remapping = false }) () in
+       let source = 3 in
+       let d = ref (Iommu.attach io ~source) in
+       (* page -> (phys, writable) *)
+       let model : (int, int * bool) Hashtbl.t = Hashtbl.create 64 in
+       let base = 0x40000000 and pbase = 0x200000 in
+       let ok = ref true in
+       let probe page =
+         let addr = base + (page * 4096) + 123 in
+         let expect = Hashtbl.find_opt model page in
+         (match (Iommu.translate io ~source ~addr ~dir:Bus.Dma_read, expect) with
+          | `Phys p, Some (phys, _) -> if p <> phys + 123 then ok := false
+          | `Fault _, None -> ()
+          | `Phys _, None | `Fault _, Some _ | `Msi, _ -> ok := false);
+         match (Iommu.translate io ~source ~addr ~dir:Bus.Dma_write, expect) with
+         | `Phys p, Some (phys, true) -> if p <> phys + 123 then ok := false
+         | `Fault _, (None | Some (_, false)) -> ()
+         | `Phys _, (None | Some (_, false)) | `Fault _, Some (_, true) | `Msi, _ ->
+           ok := false
+       in
+       List.iter
+         (fun (op, page, count, writable) ->
+            (match op with
+             | 0 ->
+               let free =
+                 List.for_all (fun i -> not (Hashtbl.mem model (page + i)))
+                   (List.init count Fun.id)
+               in
+               if free && page + count <= 64 then begin
+                 Iommu.map io !d ~iova:(base + (page * 4096)) ~phys:(pbase + (page * 4096))
+                   ~len:(count * 4096) ~writable;
+                 List.iter
+                   (fun i ->
+                      Hashtbl.replace model (page + i)
+                        (pbase + ((page + i) * 4096), writable))
+                   (List.init count Fun.id)
+               end
+             | 1 ->
+               if page + count <= 64 then begin
+                 Iommu.unmap io !d ~iova:(base + (page * 4096)) ~len:(count * 4096);
+                 List.iter (fun i -> Hashtbl.remove model (page + i)) (List.init count Fun.id)
+               end
+             | 2 -> ()  (* probe only *)
+             | 3 -> Iommu.iotlb_flush io !d
+             | _ ->
+               (* Detach and re-attach: every mapping (and every cached
+                  translation) of the old domain must die with it. *)
+               Iommu.detach io ~source;
+               Hashtbl.reset model;
+               d := Iommu.attach io ~source);
+            probe page)
+         ops;
+       (* Counter sanity: every translation either hit or missed. *)
+       let s = Iommu.iotlb_stats io in
+       !ok && s.Iommu.hits >= 0 && s.Iommu.misses > 0)
+
 (* Random config-space writes through the SUD filter never re-enable INTx
    and never move a BAR. *)
 let cfg_filter_invariant =
@@ -181,4 +255,4 @@ let suite =
       test_spinlock_contention_detected;
     Alcotest.test_case "e1000: sub-word MMIO" `Quick test_e1000_subword_mmio ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ iommu_model_test; cfg_filter_invariant; stream_integrity ]
+      [ iommu_model_test; iotlb_invalidation_test; cfg_filter_invariant; stream_integrity ]
