@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke clean
+.PHONY: all build test bench bench-smoke soak clean
 
 all: build
 
@@ -15,6 +15,12 @@ bench:
 # CI smoke: whole test suite plus a quick JSON bench (no Figure-8 sweep).
 bench-smoke:
 	dune runtest && dune exec bench/main.exe -- quick --json
+
+# Supervision soak: per-fault-class recovery latencies, then a fixed-seed
+# storm of ~200 faults under live traffic plus a forced crash loop.
+# Exits nonzero if any containment invariant breaks.
+soak:
+	dune exec bench/main.exe -- soak
 
 clean:
 	dune clean

@@ -5,12 +5,15 @@
 
      dune exec bench/main.exe                    # everything
      dune exec bench/main.exe -- quick           # skip the slow netperf sweep
-     dune exec bench/main.exe -- --json          # also write BENCH_1.json
+     dune exec bench/main.exe -- --json          # also write BENCH_2.json
      dune exec bench/main.exe -- quick --json    # both (the CI smoke target)
+     dune exec bench/main.exe -- soak            # supervision soak only (make soak)
 
-   --json writes a machine-readable baseline (micro-bench ns/op plus the
-   Figure 8 rows when the sweep ran) so future PRs can diff hot-path
-   performance against this one; see DESIGN.md "The fast path". *)
+   --json writes a machine-readable baseline (micro-bench ns/op, the
+   Figure 8 rows when the sweep ran, plus per-fault-class supervision
+   recovery latencies) so future PRs can diff hot-path performance and
+   recovery behaviour against this one; see DESIGN.md "The fast path" and
+   "Driver supervision". *)
 
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
@@ -349,6 +352,62 @@ let microbenches () =
        (key, name, !est))
     (microbench_cases ())
 
+(* ---- supervision: per-fault-class recovery latency ---- *)
+
+let recovery_latencies () =
+  banner "Driver supervision: detection and recovery latency per fault class";
+  Printf.printf "%-18s %14s %14s\n" "Fault" "detect (us)" "outage (us)";
+  print_endline (String.make 48 '-');
+  List.map
+    (fun fault ->
+       let s = Fault_inject.measure_recovery fault in
+       Printf.printf "%-18s %14d %14d\n" s.Fault_inject.rs_fault
+         (s.Fault_inject.rs_detect_ns / 1_000)
+         (s.Fault_inject.rs_outage_ns / 1_000);
+       s)
+    Fault_inject.all_faults
+
+(* ---- supervision soak: the crash-loop harness (make soak) ---- *)
+
+let soak_seed = 0x5EEDL
+
+let run_soak () =
+  banner
+    (Printf.sprintf "Supervision soak: seeded fault storm (seed 0x%LX)" soak_seed);
+  let r = Fault_inject.soak ~seed:soak_seed ~n_faults:200 ~duration_ms:4_000 () in
+  Printf.printf "faults planned/applied/skipped: %d / %d / %d\n" r.Fault_inject.sr_planned
+    r.Fault_inject.sr_applied r.Fault_inject.sr_skipped;
+  List.iter
+    (fun (cls, n) -> Printf.printf "  %-16s %d\n" cls n)
+    r.Fault_inject.sr_by_class;
+  Printf.printf "detections: %d   restarts: %d   deaths checked: %d\n"
+    r.Fault_inject.sr_detections r.Fault_inject.sr_restarts r.Fault_inject.sr_deaths;
+  Printf.printf "traffic: %d offered, %d sent, %d dropped; %d frames on the wire\n"
+    r.Fault_inject.sr_offered r.Fault_inject.sr_sent r.Fault_inject.sr_dropped
+    r.Fault_inject.sr_wire_frames;
+  let bl = r.Fault_inject.sr_backlog in
+  Printf.printf "backlog: offered %d = queued %d + dropped %d + replayed %d\n"
+    bl.Netdev.bl_offered bl.Netdev.bl_queued bl.Netdev.bl_dropped bl.Netdev.bl_replayed;
+  Printf.printf "worst outage: %d us\n" (r.Fault_inject.sr_max_outage_ns / 1_000);
+  (match r.Fault_inject.sr_violations with
+   | [] -> print_endline "invariants: all held"
+   | vs ->
+     Printf.printf "INVARIANT VIOLATIONS (%d):\n" (List.length vs);
+     List.iter (fun v -> print_endline ("  " ^ v)) vs);
+  let qr = Fault_inject.crash_loop ~max_restarts:3 () in
+  Printf.printf
+    "crash loop: %d restarts then quarantined=%b, netdev removed=%b, sud_state=%S\n"
+    qr.Fault_inject.qr_restarts qr.Fault_inject.qr_quarantined
+    qr.Fault_inject.qr_netdev_removed qr.Fault_inject.qr_sysfs_state;
+  let ok =
+    r.Fault_inject.sr_violations = []
+    && r.Fault_inject.sr_state = Supervisor.Running
+    && r.Fault_inject.sr_detections > 0
+    && qr.Fault_inject.qr_quarantined && qr.Fault_inject.qr_netdev_removed
+  in
+  print_endline (if ok then "\nSOAK PASSED" else "\nSOAK FAILED");
+  (r, ok)
+
 (* ---- machine-readable baseline (BENCH_*.json) ---- *)
 
 let json_escape s =
@@ -364,10 +423,10 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json ~path ~mode ~micro ~figure8_rows =
+let write_bench_json ~path ~mode ~micro ~figure8_rows ~recovery =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"sud-bench/1\",\n";
+  Buffer.add_string b "  \"schema\": \"sud-bench/2\",\n";
   Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string b "  \"units\": \"ns_per_op\",\n";
   Buffer.add_string b "  \"micro\": {\n";
@@ -392,6 +451,18 @@ let write_bench_json ~path ~mode ~micro ~figure8_rows =
             (json_escape r.Netperf.value) (json_escape r.Netperf.cpu)
             (if i < nr - 1 then "," else "")))
     figure8_rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"recovery\": [\n";
+  let nrec = List.length recovery in
+  List.iteri
+    (fun i s ->
+       Buffer.add_string b
+         (Printf.sprintf
+            "    { \"fault\": \"%s\", \"detect_ns\": %d, \"outage_ns\": %d }%s\n"
+            (json_escape s.Fault_inject.rs_fault) s.Fault_inject.rs_detect_ns
+            s.Fault_inject.rs_outage_ns
+            (if i < nrec - 1 then "," else "")))
+    recovery;
   Buffer.add_string b "  ]\n";
   Buffer.add_string b "}\n";
   let oc = open_out path in
@@ -403,6 +474,11 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
   let json = List.mem "--json" args in
+  if List.mem "soak" args then begin
+    ignore (recovery_latencies () : Fault_inject.recovery_sample list);
+    let _, ok = run_soak () in
+    exit (if ok then 0 else 1)
+  end;
   figure5 ();
   figure6 ();
   figure7 ();
@@ -423,6 +499,7 @@ let () =
       []
     end
   in
+  let recovery = recovery_latencies () in
   if json then
-    write_bench_json ~path:"BENCH_1.json" ~mode:(if quick then "quick" else "full")
-      ~micro ~figure8_rows
+    write_bench_json ~path:"BENCH_2.json" ~mode:(if quick then "quick" else "full")
+      ~micro ~figure8_rows ~recovery

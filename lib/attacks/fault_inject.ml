@@ -1,0 +1,461 @@
+(* Seeded deterministic fault injection against a supervised driver, and
+   the crash-loop soak harness that exercises the supervisor's
+   detect → contain → recover loop hundreds of times under live traffic
+   while checking the containment invariants at every driver death. *)
+
+type fault = Crash | Hang | Corrupt_reply | Drop_reply | Dma_violation
+
+let all_faults = [ Crash; Hang; Corrupt_reply; Drop_reply; Dma_violation ]
+
+let fault_name = function
+  | Crash -> "crash"
+  | Hang -> "hang"
+  | Corrupt_reply -> "corrupt_reply"
+  | Drop_reply -> "drop_reply"
+  | Dma_violation -> "dma_violation"
+
+type injection = { at_ns : int; fault : fault }
+type plan = injection list
+
+let random_plan ~seed ~duration_ns ~n ?(faults = all_faults) () =
+  if n < 0 || duration_ns <= 0 then invalid_arg "Fault_inject.random_plan";
+  let rng = Rng.create ~seed in
+  let arr = Array.of_list faults in
+  List.init n (fun _ ->
+      { at_ns = Rng.int rng duration_ns; fault = arr.(Rng.int rng (Array.length arr)) })
+  |> List.sort (fun a b -> compare a.at_ns b.at_ns)
+
+type injector_stats = {
+  mutable inj_applied : int;
+  mutable inj_skipped : int;
+  inj_by_class : (string, int) Hashtbl.t;
+}
+
+let new_injector_stats () =
+  { inj_applied = 0; inj_skipped = 0; inj_by_class = Hashtbl.create 8 }
+
+let by_class st =
+  List.map
+    (fun f -> (fault_name f, Option.value ~default:0 (Hashtbl.find_opt st.inj_by_class (fault_name f))))
+    all_faults
+
+(* Apply one fault to the supervisor's current driver generation.
+   Injections only make sense against a Running driver; while the
+   supervisor is mid-recovery there is nothing to sabotage. *)
+let inject ~sv ?dma_violate fault =
+  if Supervisor.state sv <> Supervisor.Running then false
+  else
+    match fault with
+    | Crash ->
+      (match Supervisor.proc sv with
+       | Some p when Process.is_alive p ->
+         Process.kill p;
+         true
+       | Some _ | None -> false)
+    | Hang ->
+      (match Supervisor.chan sv with
+       | Some chan when not (Uchan.is_closed chan) ->
+         Uchan.wedge chan;
+         true
+       | Some _ | None -> false)
+    | Corrupt_reply ->
+      (match Supervisor.chan sv with
+       | Some chan when not (Uchan.is_closed chan) ->
+         Uchan.inject_corrupt_replies chan 1;
+         true
+       | Some _ | None -> false)
+    | Drop_reply ->
+      (match Supervisor.chan sv with
+       | Some chan when not (Uchan.is_closed chan) ->
+         Uchan.inject_drop_replies chan 1;
+         true
+       | Some _ | None -> false)
+    | Dma_violation ->
+      (match dma_violate with
+       | Some f ->
+         f ();
+         true
+       | None -> false)
+
+(* Walk a plan in order, sleeping to each injection instant (relative to
+   the fiber's start).  After injecting, wait for the supervisor to come
+   back to Running before the next one so every planned fault lands on a
+   live driver (injections against a recovering driver are no-ops). *)
+let run_plan k ~sv ?dma_violate ?(stats = new_injector_stats ()) plan =
+  let eng = k.Kernel.eng in
+  let t0 = Engine.now eng in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"fault-injector"
+       (fun () ->
+          List.iter
+            (fun { at_ns; fault } ->
+               let dt = t0 + at_ns - Engine.now eng in
+               if dt > 0 then ignore (Fiber.sleep eng dt : Fiber.wake);
+               let rec wait_running budget =
+                 if budget > 0 && Supervisor.state sv = Supervisor.Recovering then begin
+                   ignore (Fiber.sleep eng 1_000_000 : Fiber.wake);
+                   wait_running (budget - 1)
+                 end
+               in
+               wait_running 1_000;
+               if inject ~sv ?dma_violate fault then begin
+                 stats.inj_applied <- stats.inj_applied + 1;
+                 let n = fault_name fault in
+                 Hashtbl.replace stats.inj_by_class n
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt stats.inj_by_class n))
+               end
+               else stats.inj_skipped <- stats.inj_skipped + 1)
+            plan)
+     : Fiber.t);
+  stats
+
+(* ---- the soak world ---- *)
+
+type world = {
+  eng : Engine.t;
+  k : Kernel.t;
+  sp : Safe_pci.t;
+  medium : Net_medium.t;
+  nic : E1000_dev.t;
+  bdf : Bus.bdf;
+  wire : int ref;          (* frames observed on the medium *)
+}
+
+let make_world () =
+  let eng = Engine.create () in
+  let k = Kernel.boot eng in
+  let medium = Net_medium.create eng () in
+  let wire = ref 0 in
+  ignore (Net_medium.attach medium ~name:"snoop" ~rx:(fun _ -> incr wire) : Net_medium.port);
+  let nic = E1000_dev.create eng ~mac:(Bytes.of_string "\x02\x00\x00\x00\x00\x01") ~medium () in
+  let bdf = Kernel.attach_pci k (E1000_dev.device nic) in
+  let sp = Safe_pci.init k in
+  { eng; k; sp; medium; nic; bdf; wire }
+
+let in_world ?(max_ms = 30_000) w main =
+  let result = ref None in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process w.k.Kernel.procs) ~name:"soak" (fun () ->
+         result := Some (main ()))
+     : Fiber.t);
+  Engine.run ~max_time:(Engine.now w.eng + (max_ms * 1_000_000)) w.eng;
+  match !result with Some r -> r | None -> failwith "soak did not complete"
+
+let secret = "SOAK-SECRET-0xFEEDFACE"
+
+(* Fast supervision policy so a multi-hundred-fault soak converges in
+   bounded simulated time. *)
+let soak_policy ~max_restarts =
+  { Supervisor.default_policy with
+    Supervisor.tick_ns = 1_000_000;
+    hang_timeout_ns = 10_000_000;
+    backoff_initial_ns = 500_000;
+    backoff_max_ns = 10_000_000;
+    max_restarts;
+    restart_window_ns = 2_000_000_000;
+    backlog_limit = 128 }
+
+(* Containment invariants, checked at every driver death.  The snapshot
+   is taken at Fault_detected (the dying generation is still current);
+   the checks run at Driver_killed (process dead, grant revoked, device
+   reset). *)
+type invariant_ctx = {
+  iv_w : world;
+  iv_secret_addr : int;
+  mutable iv_snapshot : (Safe_pci.grant * int list) option;  (* grant, mapped iovas *)
+  mutable iv_violations : string list;
+  mutable iv_deaths : int;
+}
+
+let violate ctx fmt =
+  Printf.ksprintf (fun s -> ctx.iv_violations <- s :: ctx.iv_violations) fmt
+
+let install_invariants w sv ~secret_addr =
+  let ctx =
+    { iv_w = w; iv_secret_addr = secret_addr; iv_snapshot = None; iv_violations = []; iv_deaths = 0 }
+  in
+  Supervisor.on_event sv (function
+      | Supervisor.Fault_detected _ ->
+        (match Supervisor.grant sv with
+         | Some g ->
+           let iovas =
+             List.concat_map
+               (fun (iova, _phys, len, _w) ->
+                  List.init (len / Bus.page_size) (fun i -> iova + (i * Bus.page_size)))
+               (Safe_pci.iommu_mappings g)
+           in
+           ctx.iv_snapshot <- Some (g, iovas)
+         | None -> ctx.iv_snapshot <- None)
+      | Supervisor.Driver_killed ->
+        ctx.iv_deaths <- ctx.iv_deaths + 1;
+        let iommu = w.k.Kernel.iommu in
+        (* Kernel memory is untouched by anything the dying driver did. *)
+        let now =
+          Phys_mem.read w.k.Kernel.mem ~addr:ctx.iv_secret_addr ~len:(String.length secret)
+        in
+        if Bytes.to_string now <> secret then
+          violate ctx "death %d: kernel secret page corrupted" ctx.iv_deaths;
+        (* The dead generation's grant is revoked and its IOMMU domain
+           detached. *)
+        (match ctx.iv_snapshot with
+         | None -> violate ctx "death %d: no grant snapshot at detection time" ctx.iv_deaths
+         | Some (g, iovas) ->
+           if Safe_pci.grant_alive g then
+             violate ctx "death %d: grant still alive after driver death" ctx.iv_deaths;
+           if Iommu.domain_of iommu ~source:w.bdf <> None then
+             violate ctx "death %d: IOMMU domain still attached" ctx.iv_deaths;
+           (* No stale IOTLB entry: probing any previously-mapped iova must
+              not answer from the cache.  (With the domain detached the
+              probe reports passthrough [`Bypass]; a [`Hit] here would be
+              the stale-translation containment hole.) *)
+           List.iter
+             (fun iova ->
+                match Iommu.translate_info iommu ~source:w.bdf ~addr:iova ~dir:Bus.Dma_read with
+                | _, `Hit ->
+                  violate ctx "death %d: stale IOTLB entry for iova 0x%x" ctx.iv_deaths iova
+                | _, (`Walk | `Bypass) -> ())
+             iovas;
+           ctx.iv_snapshot <- None)
+      | Supervisor.Driver_restarted _ | Supervisor.Driver_quarantined _ -> ());
+  ctx
+
+(* Continuous netperf-style UDP traffic through the supervised netdev. *)
+type traffic = {
+  mutable tr_offered : int;
+  mutable tr_sent : int;
+  mutable tr_dropped : int;
+  mutable tr_stop : bool;
+}
+
+let start_traffic w dev ~gap_ns =
+  let tr = { tr_offered = 0; tr_sent = 0; tr_dropped = 0; tr_stop = false } in
+  let sock = Netstack.udp_bind w.k.Kernel.net dev ~port:7000 in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process w.k.Kernel.procs) ~name:"traffic" (fun () ->
+         let payload = Bytes.make 128 'x' in
+         let rec loop () =
+           if not tr.tr_stop then begin
+             tr.tr_offered <- tr.tr_offered + 1;
+             (match
+                Netstack.udp_sendto w.k.Kernel.net sock ~dst:Skbuff.Mac.broadcast
+                  ~dst_port:7000 payload
+              with
+              | `Sent -> tr.tr_sent <- tr.tr_sent + 1
+              | `Dropped -> tr.tr_dropped <- tr.tr_dropped + 1);
+             ignore (Fiber.sleep w.eng gap_ns : Fiber.wake);
+             loop ()
+           end
+         in
+         loop ())
+     : Fiber.t);
+  tr
+
+let dma_violate w () =
+  (* Device-level DMA to an address the driver never mapped: the IOMMU
+     must fault and attribute it to this device's BDF. *)
+  ignore (Device.dma_read (E1000_dev.device w.nic) ~addr:0x6000 ~len:64 : (bytes, Bus.fault) result)
+
+let honest_factory ~attempt:_ = E1000.driver
+
+(* ---- the soak itself ---- *)
+
+type soak_report = {
+  sr_seed : int64;
+  sr_planned : int;
+  sr_applied : int;
+  sr_skipped : int;
+  sr_by_class : (string * int) list;
+  sr_detections : int;
+  sr_restarts : int;
+  sr_deaths : int;
+  sr_state : Supervisor.state;
+  sr_offered : int;
+  sr_sent : int;
+  sr_dropped : int;
+  sr_wire_frames : int;
+  sr_backlog : Netdev.backlog_stats;
+  sr_max_outage_ns : int;
+  sr_violations : string list;
+}
+
+(* An outage longer than this (simulated time) means recovery is not
+   "bounded" in any useful sense: with a 10 ms hang timeout, a 1 ms tick
+   and sub-ms backoff, healthy recoveries complete well under it. *)
+let outage_bound_ns = 500_000_000
+
+let soak ?(seed = 42L) ?(n_faults = 200) ?(duration_ms = 4_000) () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let secret_addr = Phys_mem.alloc_pages w.k.Kernel.mem ~pages:1 in
+      Phys_mem.write w.k.Kernel.mem ~addr:secret_addr (Bytes.of_string secret);
+      let sv =
+        match
+          Supervisor.start w.k w.sp ~policy:(soak_policy ~max_restarts:max_int) ~bdf:w.bdf
+            honest_factory
+        with
+        | Ok sv -> sv
+        | Error e -> failwith ("soak: supervised start failed: " ^ e)
+      in
+      let ctx = install_invariants w sv ~secret_addr in
+      let max_outage = ref 0 in
+      Supervisor.on_event sv (function
+          | Supervisor.Driver_restarted { outage_ns; _ } ->
+            if outage_ns > !max_outage then max_outage := outage_ns;
+            if outage_ns > outage_bound_ns then
+              violate ctx "recovery outage %d ms exceeds bound" (outage_ns / 1_000_000)
+          | _ -> ());
+      let dev = Supervisor.netdev sv in
+      (match Netstack.ifconfig_up w.k.Kernel.net dev with
+       | Ok () -> ()
+       | Error e -> failwith ("soak: ifconfig up: " ^ e));
+      let tr = start_traffic w dev ~gap_ns:200_000 in
+      let plan = random_plan ~seed ~duration_ns:(duration_ms * 1_000_000) ~n:n_faults () in
+      let stats = run_plan w.k ~sv ~dma_violate:(dma_violate w) plan in
+      (* Let the plan run out, then let the last recovery settle. *)
+      ignore (Fiber.sleep w.eng ((duration_ms + 200) * 1_000_000) : Fiber.wake);
+      let rec drain budget =
+        if budget > 0 && Supervisor.state sv = Supervisor.Recovering then begin
+          ignore (Fiber.sleep w.eng 10_000_000 : Fiber.wake);
+          drain (budget - 1)
+        end
+      in
+      drain 200;
+      tr.tr_stop <- true;
+      ignore (Fiber.sleep w.eng 10_000_000 : Fiber.wake);
+      (* Post-soak invariants. *)
+      let st = Supervisor.stats sv in
+      if Supervisor.state sv <> Supervisor.Running then
+        violate ctx "soak ended with supervisor %s, expected Running"
+          (match Supervisor.state sv with
+           | Supervisor.Running -> "running"
+           | Supervisor.Recovering -> "recovering"
+           | Supervisor.Quarantined -> "quarantined"
+           | Supervisor.Stopped -> "stopped");
+      let bl = Netdev.backlog_stats dev in
+      if bl.Netdev.bl_offered <> bl.Netdev.bl_queued + bl.Netdev.bl_dropped + bl.Netdev.bl_replayed
+      then
+        violate ctx "backlog accounting broken: offered %d <> queued %d + dropped %d + replayed %d"
+          bl.Netdev.bl_offered bl.Netdev.bl_queued bl.Netdev.bl_dropped bl.Netdev.bl_replayed;
+      if ctx.iv_deaths <> st.Supervisor.st_detections then
+        violate ctx "detections %d but deaths %d" st.Supervisor.st_detections ctx.iv_deaths;
+      { sr_seed = seed;
+        sr_planned = n_faults;
+        sr_applied = stats.inj_applied;
+        sr_skipped = stats.inj_skipped;
+        sr_by_class = by_class stats;
+        sr_detections = st.Supervisor.st_detections;
+        sr_restarts = st.Supervisor.st_restarts;
+        sr_deaths = ctx.iv_deaths;
+        sr_state = Supervisor.state sv;
+        sr_offered = tr.tr_offered;
+        sr_sent = tr.tr_sent;
+        sr_dropped = tr.tr_dropped;
+        sr_wire_frames = !(w.wire);
+        sr_backlog = bl;
+        sr_max_outage_ns = !max_outage;
+        sr_violations = List.rev ctx.iv_violations })
+
+(* ---- single-fault recovery latency, for the bench harness ---- *)
+
+type recovery_sample = {
+  rs_fault : string;
+  rs_detect_ns : int;
+  rs_outage_ns : int;
+}
+
+let measure_recovery ?seed:_ fault =
+  let w = make_world () in
+  in_world w (fun () ->
+      let sv =
+        match
+          Supervisor.start w.k w.sp ~policy:(soak_policy ~max_restarts:10) ~bdf:w.bdf
+            honest_factory
+        with
+        | Ok sv -> sv
+        | Error e -> failwith ("measure_recovery: " ^ e)
+      in
+      let dev = Supervisor.netdev sv in
+      (match Netstack.ifconfig_up w.k.Kernel.net dev with
+       | Ok () -> ()
+       | Error e -> failwith ("measure_recovery: ifconfig up: " ^ e));
+      let tr = start_traffic w dev ~gap_ns:200_000 in
+      let restored = ref None in
+      Supervisor.on_event sv (function
+          | Supervisor.Driver_restarted { outage_ns; _ } when !restored = None ->
+            restored := Some outage_ns
+          | _ -> ());
+      ignore (Fiber.sleep w.eng 5_000_000 : Fiber.wake);
+      if not (inject ~sv ~dma_violate:(dma_violate w) fault) then
+        failwith ("measure_recovery: injection not applied: " ^ fault_name fault);
+      let rec wait budget =
+        match !restored with
+        | Some _ -> ()
+        | None when budget = 0 -> ()
+        | None ->
+          ignore (Fiber.sleep w.eng 1_000_000 : Fiber.wake);
+          wait (budget - 1)
+      in
+      wait 2_000;
+      tr.tr_stop <- true;
+      let st = Supervisor.stats sv in
+      match !restored with
+      | None -> failwith ("measure_recovery: no recovery observed for " ^ fault_name fault)
+      | Some outage ->
+        { rs_fault = fault_name fault;
+          rs_detect_ns = st.Supervisor.st_last_detect_latency_ns;
+          rs_outage_ns = outage })
+
+(* ---- forced crash-loop: the restart budget must quarantine ---- *)
+
+type quarantine_report = {
+  qr_restarts : int;
+  qr_quarantined : bool;
+  qr_netdev_removed : bool;
+  qr_sysfs_state : string;
+}
+
+let crash_loop ?(max_restarts = 3) () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let sv =
+        match
+          Supervisor.start w.k w.sp ~policy:(soak_policy ~max_restarts) ~bdf:w.bdf
+            honest_factory
+        with
+        | Ok sv -> sv
+        | Error e -> failwith ("crash_loop: " ^ e)
+      in
+      let dev = Supervisor.netdev sv in
+      (match Netstack.ifconfig_up w.k.Kernel.net dev with
+       | Ok () -> ()
+       | Error e -> failwith ("crash_loop: ifconfig up: " ^ e));
+      (* Kill every fresh generation as soon as it comes up. *)
+      ignore
+        (Process.spawn_fiber (Process.kernel_process w.k.Kernel.procs) ~name:"crash-looper"
+           (fun () ->
+              let rec loop () =
+                if Supervisor.state sv <> Supervisor.Quarantined then begin
+                  ignore (inject ~sv Crash : bool);
+                  ignore (Fiber.sleep w.eng 2_000_000 : Fiber.wake);
+                  loop ()
+                end
+              in
+              loop ())
+         : Fiber.t);
+      let rec wait budget =
+        if budget > 0 && Supervisor.state sv <> Supervisor.Quarantined then begin
+          ignore (Fiber.sleep w.eng 10_000_000 : Fiber.wake);
+          wait (budget - 1)
+        end
+      in
+      wait 1_000;
+      let st = Supervisor.stats sv in
+      let sysfs_state =
+        match Sysfs.find_bdf w.k.Kernel.sysfs w.bdf with
+        | Some e -> Option.value ~default:"" (Sysfs.attr e "sud_state")
+        | None -> ""
+      in
+      { qr_restarts = st.Supervisor.st_restarts;
+        qr_quarantined = Supervisor.state sv = Supervisor.Quarantined;
+        qr_netdev_removed = Netstack.find_netdev w.k.Kernel.net (Netdev.name dev) = None;
+        qr_sysfs_state = sysfs_state })

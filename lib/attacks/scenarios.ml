@@ -543,7 +543,45 @@ let allocation_bomb () =
         evidence =
           Printf.sprintf "driver allocated %d KiB before hitting RLIMIT" (!allocated / 1024) })
 
-(* ---- 11. kill and restart ---- *)
+(* ---- 11. kill and restart (supervised) ---- *)
+
+(* Fast supervision policy so scenarios converge in a few simulated ms. *)
+let fast_policy =
+  { Supervisor.default_policy with
+    Supervisor.tick_ns = 1_000_000;
+    hang_timeout_ns = 10_000_000;
+    backoff_initial_ns = 500_000;
+    backoff_max_ns = 10_000_000 }
+
+let wait_recovered w sv =
+  let rec loop budget =
+    if budget > 0 && (Supervisor.stats sv).Supervisor.st_restarts = 0 then begin
+      settle w 2;
+      loop (budget - 1)
+    end
+  in
+  loop 200
+
+(* One probe frame through the (possibly fresh) driver; true if it
+   reached the wire. *)
+let traffic_flows w dev ~port =
+  let sock = Netstack.udp_bind w.k.Kernel.net dev ~port in
+  let before = List.length !(w.snoop) in
+  ignore
+    (Netstack.udp_sendto w.k.Kernel.net sock ~dst:Skbuff.Mac.broadcast ~dst_port:port
+       (Bytes.of_string "recovered")
+     : [ `Sent | `Dropped ]);
+  settle w 5;
+  Netstack.udp_close w.k.Kernel.net sock;
+  List.length !(w.snoop) > before
+
+let supervised_evidence sv ~extra =
+  let st = Supervisor.stats sv in
+  Printf.sprintf "detected %S in %d us; traffic restored %d us after detection (restart #%d)%s"
+    (Option.value ~default:"?" st.Supervisor.st_last_reason)
+    (st.Supervisor.st_last_detect_latency_ns / 1_000)
+    (st.Supervisor.st_last_recovery_ns / 1_000)
+    st.Supervisor.st_restarts extra
 
 let kill_and_restart () =
   let w = make_world () in
@@ -556,37 +594,90 @@ let kill_and_restart () =
               Ok ())
           ()
       in
-      let s = start_mal w mal in
-      ignore (Netstack.ifconfig_up w.k.Kernel.net (Driver_host.netdev s) : (unit, string) result);
-      settle w 5;
-      (* kill -9, then start the honest driver on the same device. *)
-      Driver_host.kill s;
-      settle w 1;
-      match Driver_host.start_net w.k w.sp ~bdf:w.bdf ~name:"eth0" E1000.driver with
+      (* Generation 0 is the malicious driver; the supervisor's restart
+         hands the device to the honest one. *)
+      let factory ~attempt = if attempt = 0 then mal else E1000.driver in
+      match Supervisor.start w.k w.sp ~policy:fast_policy ~name:"eth0" ~bdf:w.bdf factory with
       | Error e ->
         { attack = "kill -9 and restart";
-          config = "SUD driver lifecycle";
+          config = "SUD driver supervisor";
           contained = false;
-          evidence = "restart failed: " ^ e }
-      | Ok s2 ->
-        let dev = Driver_host.netdev s2 in
-        let up = Netstack.ifconfig_up w.k.Kernel.net dev in
-        (* Send one frame and observe it on the wire. *)
-        let sock = Netstack.udp_bind w.k.Kernel.net dev ~port:5353 in
-        let before = List.length !(w.snoop) in
-        ignore
-          (Netstack.udp_sendto w.k.Kernel.net sock ~dst:Skbuff.Mac.broadcast ~dst_port:5353
-             (Bytes.of_string "recovered")
-           : [ `Sent | `Dropped ]);
+          evidence = "supervised start failed: " ^ e }
+      | Ok sv ->
+        let old_proc = Supervisor.proc sv in
+        let dev = Supervisor.netdev sv in
+        ignore (Netstack.ifconfig_up w.k.Kernel.net dev : (unit, string) result);
+        (* The malicious open fires DMA at the secret; the watchdog sees
+           the IOMMU fault, kills the driver and restarts autonomously. *)
+        wait_recovered w sv;
         settle w 5;
-        let works = List.length !(w.snoop) > before in
+        let st = Supervisor.stats sv in
+        let works = traffic_flows w dev ~port:5353 in
+        let old_dead =
+          match old_proc with Some p -> not (Process.is_alive p) | None -> true
+        in
         { attack = "kill -9 and restart";
-          config = "SUD driver lifecycle";
-          contained = Result.is_ok up && works && not (Process.is_alive (Driver_host.proc s));
+          config = "SUD driver supervisor (autonomous)";
+          contained =
+            st.Supervisor.st_restarts >= 1
+            && Supervisor.state sv = Supervisor.Running
+            && works && old_dead
+            && not (leaked w);
           evidence =
-            Printf.sprintf "old process dead: %b; replacement driver up: %b; traffic flows: %b"
-              (not (Process.is_alive (Driver_host.proc s)))
-              (Result.is_ok up) works })
+            supervised_evidence sv
+              ~extra:
+                (Printf.sprintf "; malicious process dead: %b; traffic flows: %b; secret leaked: %b"
+                   old_dead works (leaked w)) })
+
+(* ---- 11b. hang, detected by the heartbeat, recovered ---- *)
+
+let driver_hang_recovery () =
+  let w = make_world () in
+  in_world w (fun () ->
+      match
+        Supervisor.start w.k w.sp ~policy:fast_policy ~name:"eth0" ~bdf:w.bdf
+          (fun ~attempt:_ -> E1000.driver)
+      with
+      | Error e ->
+        { attack = "driver hang, supervised recovery";
+          config = "SUD driver supervisor, heartbeat";
+          contained = false;
+          evidence = "supervised start failed: " ^ e }
+      | Ok sv ->
+        let dev = Supervisor.netdev sv in
+        ignore (Netstack.ifconfig_up w.k.Kernel.net dev : (unit, string) result);
+        settle w 3;
+        (* Wedge the driver's main upcall loop: no crash, no fault — only
+           the heartbeat ping can notice. *)
+        let applied = Fault_inject.inject ~sv Fault_inject.Hang in
+        wait_recovered w sv;
+        settle w 5;
+        let st = Supervisor.stats sv in
+        let works = traffic_flows w dev ~port:5354 in
+        { attack = "driver hang, supervised recovery";
+          config = "SUD driver supervisor, heartbeat";
+          contained =
+            applied && st.Supervisor.st_restarts >= 1
+            && Supervisor.state sv = Supervisor.Running
+            && works;
+          evidence =
+            supervised_evidence sv
+              ~extra:(Printf.sprintf "; traffic flows after recovery: %b" works) })
+
+(* ---- 11c. crash loop exhausts the restart budget ---- *)
+
+let crash_loop_quarantine () =
+  let qr = Fault_inject.crash_loop ~max_restarts:3 () in
+  { attack = "crash-looping driver";
+    config = "SUD driver supervisor, restart budget 3/window";
+    contained =
+      qr.Fault_inject.qr_quarantined && qr.Fault_inject.qr_netdev_removed
+      && qr.Fault_inject.qr_sysfs_state = "quarantined";
+    evidence =
+      Printf.sprintf
+        "%d restarts, then quarantined: %b; netdev removed: %b; sysfs sud_state=%S"
+        qr.Fault_inject.qr_restarts qr.Fault_inject.qr_quarantined
+        qr.Fault_inject.qr_netdev_removed qr.Fault_inject.qr_sysfs_state }
 
 (* ---- 12. IO-port scanning from a PIO driver ---- *)
 
@@ -703,4 +794,6 @@ let all () =
     allocation_bomb ();
     io_port_scan ();
     downcall_flood ();
-    kill_and_restart () ]
+    kill_and_restart ();
+    driver_hang_recovery ();
+    crash_loop_quarantine () ]

@@ -21,7 +21,8 @@ let find_device k (drv : Driver_api.net_driver) =
   | [] -> Error "no matching PCI device in sysfs"
   | e :: _ -> Ok e.Sysfs.bdf
 
-let start_net_at k sp ~uid ~defensive_copy ~name ~bdf (drv : Driver_api.net_driver) =
+let start_net_at k sp ?hang_timeout_ns ?adopt_netdev ?(unregister_on_exit = true)
+    ~uid ~defensive_copy ~name ~bdf (drv : Driver_api.net_driver) =
   Safe_pci.register_device sp bdf;
   Safe_pci.set_owner sp bdf ~uid;
   let proc = Process.spawn k.Kernel.procs ~name ~uid in
@@ -45,12 +46,16 @@ let start_net_at k sp ~uid ~defensive_copy ~name ~bdf (drv : Driver_api.net_driv
            ~write:(fun ~off ~data -> region.Driver_api.dma_write ~off data)
            ~base_addr:region.Driver_api.dma_addr ~count:pool_bufs ~buf_size:pool_buf_size
        in
-       let chan = Uchan.create k ~driver_label:name () in
-       let proxy = Proxy_net.create k ~chan ~grant ~pool ~name ~defensive_copy () in
+       let chan = Uchan.create k ?hang_timeout_ns ~driver_label:name () in
+       let proxy =
+         Proxy_net.create k ~chan ~grant ~pool ~name ~defensive_copy ?adopt:adopt_netdev ()
+       in
        let uml = Sud_uml.create k ~proc ~grant ~chan ~pool in
        Process.on_exit proc (fun () ->
            Uchan.close chan;
-           Proxy_net.unregister proxy);
+           (* A supervised device keeps its netdev across driver deaths;
+              the supervisor owns (un)registration in that case. *)
+           if unregister_on_exit then Proxy_net.unregister proxy);
        ignore
          (Process.spawn_fiber proc ~name:(name ^ "-main") (fun () ->
               Sud_uml.serve_net uml drv)
@@ -74,14 +79,16 @@ let start_net_at k sp ~uid ~defensive_copy ~name ~bdf (drv : Driver_api.net_driv
               s_uml = uml;
               s_netdev = dev }))
 
-let start_net k sp ?(uid = 1000) ?(defensive_copy = true) ?name ?bdf drv =
+let start_net k sp ?(uid = 1000) ?(defensive_copy = true) ?name ?bdf ?hang_timeout_ns
+    ?adopt_netdev ?unregister_on_exit drv =
   let name = Option.value ~default:drv.Driver_api.nd_name name in
+  let go bdf =
+    start_net_at k sp ?hang_timeout_ns ?adopt_netdev ?unregister_on_exit ~uid
+      ~defensive_copy ~name ~bdf drv
+  in
   match bdf with
-  | Some bdf -> start_net_at k sp ~uid ~defensive_copy ~name ~bdf drv
-  | None ->
-    (match find_device k drv with
-     | Error e -> Error e
-     | Ok bdf -> start_net_at k sp ~uid ~defensive_copy ~name ~bdf drv)
+  | Some bdf -> go bdf
+  | None -> (match find_device k drv with Error e -> Error e | Ok bdf -> go bdf)
 
 let proc s = s.s_proc
 let netdev s = s.s_netdev

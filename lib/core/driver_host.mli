@@ -18,10 +18,17 @@ val start_net :
   ?defensive_copy:bool ->
   ?name:string ->
   ?bdf:Bus.bdf ->
+  ?hang_timeout_ns:int ->
+  ?adopt_netdev:Netdev.t ->
+  ?unregister_on_exit:bool ->
   Driver_api.net_driver ->
   (started, string) result
 (** Defaults: [uid] 1000, defensive copy on, [name] the driver's name,
-    device found by the driver's ID table. *)
+    device found by the driver's ID table.  [hang_timeout_ns] tunes the
+    uchan's sync-upcall deadline.  The supervisor passes [adopt_netdev]
+    (reuse a surviving netdev instead of registering a new one) and
+    [unregister_on_exit:false] (it owns the netdev's lifecycle; process
+    death must not tear the interface down). *)
 
 val proc : started -> Process.t
 val netdev : started -> Netdev.t

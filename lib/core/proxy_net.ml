@@ -5,6 +5,7 @@ type t = {
   pool : Bufpool.t;
   name : string;
   defensive_copy : bool;
+  adopt : Netdev.t option;       (* surviving netdev from a prior driver generation *)
   mutable dev : Netdev.t option;
   ready : Sync.Waitq.t;
   mutable is_hung : bool;
@@ -119,16 +120,29 @@ let handle_rx t m =
 let handle_register t m =
   if Bytes.length m.Msg.payload = 6 && t.dev = None then begin
     let mac = Bytes.copy m.Msg.payload in
+    let ops =
+      { Netdev.ndo_open = (fun () -> do_open t ());
+        ndo_stop = (fun () -> do_stop t ());
+        ndo_start_xmit = (fun skb -> do_xmit t skb);
+        ndo_do_ioctl = (fun ~cmd ~arg -> do_ioctl t ~cmd ~arg) }
+    in
     let dev =
-      Netdev.create ~name:t.name ~mac
-        ~ops:
-          { Netdev.ndo_open = (fun () -> do_open t ());
-            ndo_stop = (fun () -> do_stop t ());
-            ndo_start_xmit = (fun skb -> do_xmit t skb);
-            ndo_do_ioctl = (fun ~cmd ~arg -> do_ioctl t ~cmd ~arg) }
+      match t.adopt with
+      | Some dev ->
+        (* Supervised restart: the netdev survived the previous driver's
+           death; the fresh generation takes it over in place instead of
+           registering a new one. *)
+        Netdev.set_mac dev mac;
+        Netdev.set_ops dev ops;
+        if Netstack.find_netdev t.k.Kernel.net (Netdev.name dev) = None then
+          Netstack.register_netdev t.k.Kernel.net dev;
+        dev
+      | None ->
+        let dev = Netdev.create ~name:t.name ~mac ~ops in
+        Netstack.register_netdev t.k.Kernel.net dev;
+        dev
     in
     t.dev <- Some dev;
-    Netstack.register_netdev t.k.Kernel.net dev;
     ignore (Sync.Waitq.broadcast t.ready : int);
     Some (Msg.make ~kind:Proxy_proto.down_net_register ~args:[ 0 ] ())
   end
@@ -172,7 +186,7 @@ let handle_downcall t m =
     None
   end
 
-let create k ~chan ~grant ~pool ~name ?(defensive_copy = true) () =
+let create k ~chan ~grant ~pool ~name ?(defensive_copy = true) ?adopt () =
   let t =
     { k;
       chan;
@@ -180,6 +194,7 @@ let create k ~chan ~grant ~pool ~name ?(defensive_copy = true) () =
       pool;
       name;
       defensive_copy;
+      adopt;
       dev = None;
       ready = Sync.Waitq.create ();
       is_hung = false;

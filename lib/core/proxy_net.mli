@@ -25,10 +25,15 @@ val create :
   pool:Bufpool.t ->
   name:string ->
   ?defensive_copy:bool ->
+  ?adopt:Netdev.t ->
   unit ->
   t
 (** Installs the downcall handler on [chan].  The netdev appears once the
-    driver performs its [down_net_register] downcall. *)
+    driver performs its [down_net_register] downcall.  With [adopt], the
+    proxy does not create a fresh netdev at registration: it takes over
+    the given one — swapping in its own ops and MAC, re-registering it
+    with the stack only if it is absent — so a supervised device keeps
+    one netdev identity across driver restarts. *)
 
 val irq_sink : t -> unit -> unit
 (** Pass to {!Safe_pci.setup_irq}: forwards device interrupts as

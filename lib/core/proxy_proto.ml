@@ -12,6 +12,7 @@ let up_net_stop = 2          (* sync *)
 let up_net_xmit = 3          (* async; args [buf_id; len] *)
 let up_net_ioctl = 4         (* sync; args [cmd; arg] *)
 let up_interrupt = 5         (* async *)
+let up_ping = 6              (* sync; supervisor heartbeat, empty reply *)
 
 let up_wifi_scan = 16        (* sync (trigger; completion is an event) *)
 let up_wifi_assoc = 17       (* sync; args [bssid] *)
@@ -48,7 +49,7 @@ let down_printk = 120           (* async; payload = message *)
 
 let name_of = function
   | 1 -> "net_open" | 2 -> "net_stop" | 3 -> "net_xmit" | 4 -> "net_ioctl"
-  | 5 -> "interrupt"
+  | 5 -> "interrupt" | 6 -> "ping"
   | 16 -> "wifi_scan" | 17 -> "wifi_assoc" | 18 -> "wifi_set_rate" | 19 -> "wifi_get_rates"
   | 32 -> "audio_start" | 33 -> "audio_stop" | 34 -> "audio_write"
   | 35 -> "audio_set_vol" | 36 -> "audio_get_vol"

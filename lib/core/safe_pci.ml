@@ -26,6 +26,7 @@ and grant = {
   mutable g_awaiting_ack : bool;
   mutable g_masked : bool;
   mutable g_amd_msi_mapped : bool;
+  mutable g_storms : int;          (* interrupt-while-masked escalations *)
 }
 
 and t = {
@@ -133,7 +134,8 @@ let open_device t bdf ~proc =
             g_sink = None;
             g_awaiting_ack = false;
             g_masked = false;
-            g_amd_msi_mapped = false }
+            g_amd_msi_mapped = false;
+            g_storms = 0 }
         in
         rd.rd_grant <- Some grant;
         Process.on_exit proc (fun () -> release grant);
@@ -153,6 +155,28 @@ let open_device t bdf ~proc =
 
 let grant_bdf g = g.g_bdf
 let grant_alive g = g.g_alive
+let grant_storms g = g.g_storms
+
+(* Function-level reset of a registered device that no driver currently
+   owns — the supervisor's recovery step between killing one driver
+   generation and starting the next.  Device model [reset] stands in for
+   real PCIe FLR (see DESIGN.md); decoding stays off and INTx disabled
+   until the next open. *)
+let reset_device t bdf =
+  match Hashtbl.find_opt t.devices bdf with
+  | None -> Error "device not registered with SUD"
+  | Some rd ->
+    (match rd.rd_grant with
+     | Some _ -> Error "device busy (grant outstanding)"
+     | None ->
+       (match Pci_topology.find_device t.k.Kernel.topo bdf with
+        | None -> Error "no such PCI device"
+        | Some dev ->
+          (Device.ops dev).Device.reset ();
+          Pci_topology.cfg_write t.k.Kernel.topo bdf ~off:Pci_cfg.command ~size:2
+            Pci_cfg.cmd_intx_disable;
+          klogf t Klog.Info "sud: function-level reset of %s" (Bus.string_of_bdf bdf);
+          Ok ()))
 
 let check_alive g = if not g.g_alive then failwith "Safe_pci: grant revoked"
 
@@ -352,6 +376,7 @@ let unmask_msi g =
    (paper §3.2.2 / §5.2). *)
 let escalate g =
   let t = g.g in
+  g.g_storms <- g.g_storms + 1;
   let iommu = t.k.Kernel.iommu in
   if Iommu.ir_available iommu then begin
     t.n_ir <- t.n_ir + 1;

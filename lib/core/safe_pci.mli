@@ -49,6 +49,17 @@ val release : grant -> unit
 val grant_bdf : grant -> Bus.bdf
 val grant_alive : grant -> bool
 
+val grant_storms : grant -> int
+(** Interrupt-storm escalations attributed to this grant (interrupts
+    that kept arriving while the vector was masked).  The supervisor
+    polls this: growth means the device is being driven maliciously. *)
+
+val reset_device : t -> Bus.bdf -> (unit, string) result
+(** Function-level reset of a registered device with {e no} outstanding
+    grant — the recovery step between driver generations.  Stands in for
+    PCIe FLR: device model reset, decoding off, INTx disabled.  Fails if
+    a live grant still owns the device. *)
+
 (** {1 Mediated access (the driver side of the device files)} *)
 
 val cfg_read : grant -> off:int -> size:int -> int

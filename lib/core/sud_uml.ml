@@ -169,6 +169,10 @@ let dispatch_net t st m =
        kernel unmasks the vector. *)
     Uchan.uasend t.chan (Msg.make ~kind:Proxy_proto.down_irq_ack ())
   end
+  else if kind = Proxy_proto.up_ping then
+    (* Supervisor heartbeat: answered inline, so a reply proves the main
+       upcall loop is alive, not merely a worker fiber. *)
+    reply_ok t m ()
   else if kind = Proxy_proto.up_net_open then
     to_worker t (fun () ->
         match st.inst.Driver_api.ni_open () with

@@ -1,0 +1,339 @@
+(* Kernel-side driver supervisor: closes the paper's detect -> contain ->
+   recover loop automatically instead of leaving kill/restart to the
+   administrator (§4.1, §5.2).  One supervisor per supervised device; a
+   kernel watchdog fiber polls the misbehavior signals and a heartbeat,
+   and on detection kills the driver, resets the device and restarts the
+   driver with exponential backoff under a restart budget.  Crash-looping
+   past the budget quarantines the device. *)
+
+type policy = {
+  tick_ns : int;
+  heartbeat : bool;
+  hang_timeout_ns : int;
+  backoff_initial_ns : int;
+  backoff_max_ns : int;
+  max_restarts : int;
+  restart_window_ns : int;
+  backlog_limit : int;
+  flood_threshold : int;
+}
+
+let default_policy =
+  { tick_ns = 5_000_000;
+    heartbeat = true;
+    hang_timeout_ns = 20_000_000;
+    backoff_initial_ns = 2_000_000;
+    backoff_max_ns = 200_000_000;
+    max_restarts = 5;
+    restart_window_ns = 2_000_000_000;
+    backlog_limit = 256;
+    flood_threshold = 512 }
+
+type state = Running | Recovering | Quarantined | Stopped
+
+type event =
+  | Fault_detected of string
+  | Driver_killed
+  | Driver_restarted of { restarts : int; outage_ns : int }
+  | Driver_quarantined of string
+
+type stats = {
+  st_state : state;
+  st_restarts : int;
+  st_detections : int;
+  st_last_reason : string option;
+  st_last_detect_latency_ns : int;
+  st_last_recovery_ns : int;
+}
+
+type t = {
+  k : Kernel.t;
+  sp : Safe_pci.t;
+  bdf : Bus.bdf;
+  name : string;
+  uid : int;
+  defensive : bool;
+  policy : policy;
+  factory : attempt:int -> Driver_api.net_driver;
+  netdev : Netdev.t;
+  kickq : Sync.Waitq.t;
+  mutable state : state;
+  mutable cur : Driver_host.started option;
+  mutable listeners : (event -> unit) list;
+  mutable restarts : int;
+  mutable detections : int;
+  mutable last_reason : string option;
+  mutable last_detect_latency : int;
+  mutable last_recovery : int;
+  mutable restart_times : int list;     (* attempt timestamps, newest first *)
+  mutable last_ok : int;                (* last instant every check passed *)
+  mutable gen : int;                    (* driver generation; guards exit hooks *)
+  mutable was_up : bool;
+  (* per-generation signal baselines *)
+  mutable base_malformed : int;
+  mutable base_storms : int;
+  mutable base_faults : int;
+  mutable last_dropped : int;
+}
+
+let now t = Engine.now t.k.Kernel.eng
+
+let klogf t lvl fmt = Klog.printk t.k.Kernel.klog lvl fmt
+
+let emit t ev = List.iter (fun f -> f ev) (List.rev t.listeners)
+
+let on_event t f = t.listeners <- f :: t.listeners
+
+let set_sysfs_state t v =
+  match Sysfs.find_bdf t.k.Kernel.sysfs t.bdf with
+  | Some e -> Sysfs.set_attr e "sud_state" v
+  | None -> ()
+
+(* IOMMU faults attributed to this device since boot. *)
+let count_faults t =
+  List.fold_left
+    (fun acc f ->
+       match f with
+       | Bus.Iommu_fault { source; _ } when source = t.bdf -> acc + 1
+       | _ -> acc)
+    0
+    (Iommu.faults t.k.Kernel.iommu)
+
+(* Adopt a fresh driver generation: record it, rebase the signal
+   baselines, and arm a death-kick so the watchdog reacts to process
+   exit immediately rather than on the next tick. *)
+let install t s =
+  t.cur <- Some s;
+  t.gen <- t.gen + 1;
+  let gen = t.gen in
+  t.base_malformed <- Uchan.malformed (Driver_host.chan s);
+  t.last_dropped <- Uchan.dropped (Driver_host.chan s);
+  t.base_storms <- Safe_pci.grant_storms (Driver_host.grant s);
+  t.base_faults <- count_faults t;
+  Process.on_exit (Driver_host.proc s) (fun () ->
+      if t.gen = gen && t.state = Running then
+        ignore (Sync.Waitq.signal t.kickq : bool))
+
+(* One pass over every misbehavior signal; [None] means healthy. *)
+let health_check t =
+  match t.cur with
+  | None -> Some "no driver process"
+  | Some s ->
+    let chan = Driver_host.chan s in
+    if not (Process.is_alive (Driver_host.proc s)) then Some "driver process died"
+    else if Uchan.is_closed chan then Some "uchan closed"
+    else if count_faults t > t.base_faults then Some "DMA violation (IOMMU fault)"
+    else if Safe_pci.grant_storms (Driver_host.grant s) > t.base_storms then
+      Some "interrupt storm escalation"
+    else if Uchan.malformed chan > t.base_malformed then Some "malformed uchan message"
+    else if Uchan.dropped chan - t.last_dropped >= t.policy.flood_threshold then
+      Some "uchan ring flood"
+    else if Proxy_net.hung (Driver_host.proxy s) then Some "upcall hung"
+    else begin
+      t.last_dropped <- Uchan.dropped chan;
+      if not t.policy.heartbeat then None
+      else
+        (* The ping is answered inline by the driver's main upcall loop,
+           bounded by the channel's hang timeout — the heartbeat deadline. *)
+        match Uchan.send chan (Msg.make ~kind:Proxy_proto.up_ping ()) with
+        | Ok _ -> None
+        | Error Uchan.Hung -> Some "heartbeat missed"
+        | Error Uchan.Closed -> Some "uchan closed"
+        | Error Uchan.Interrupted -> None
+    end
+
+(* During recovery the netdev degrades instead of vanishing: frames land
+   in the bounded backlog and replay once the fresh driver registers. *)
+let backlog_ops t =
+  { Netdev.ndo_open = (fun () -> Ok ());
+    ndo_stop = (fun () -> ());
+    ndo_start_xmit = (fun skb -> Netdev.backlog_xmit t.netdev ~limit:t.policy.backlog_limit skb);
+    ndo_do_ioctl = (fun ~cmd:_ ~arg:_ -> Error "device recovering") }
+
+let replay_backlog t =
+  let rec go n =
+    match Netdev.backlog_take t.netdev with
+    | None -> n
+    | Some skb ->
+      ignore (Netstack.dev_xmit t.k.Kernel.net t.netdev skb : [ `Sent | `Dropped ]);
+      go (n + 1)
+  in
+  go 0
+
+let unregister_netdev t =
+  match Netstack.find_netdev t.k.Kernel.net (Netdev.name t.netdev) with
+  | Some d when d == t.netdev -> Netstack.unregister_netdev t.k.Kernel.net t.netdev
+  | Some _ | None -> ()
+
+let quarantine t reason =
+  t.state <- Quarantined;
+  let dropped = Netdev.backlog_flush_drop t.netdev in
+  Netdev.netif_carrier_off t.netdev;
+  Netdev.set_up t.netdev false;
+  unregister_netdev t;
+  set_sysfs_state t "quarantined";
+  klogf t Klog.Err
+    "sud: supervisor(%s): quarantined after %d restarts (%s); netdev removed, %d backlogged frames dropped"
+    t.name t.restarts reason dropped;
+  emit t (Driver_quarantined reason)
+
+let start_generation t =
+  let attempt = t.restarts + 1 in
+  Driver_host.start_net t.k t.sp ~uid:t.uid ~defensive_copy:t.defensive ~name:t.name
+    ~bdf:t.bdf ~hang_timeout_ns:t.policy.hang_timeout_ns ~adopt_netdev:t.netdev
+    ~unregister_on_exit:false
+    (t.factory ~attempt)
+
+let recover t reason =
+  let detect_t = now t in
+  t.detections <- t.detections + 1;
+  t.last_reason <- Some reason;
+  t.last_detect_latency <- detect_t - t.last_ok;
+  klogf t Klog.Warn "sud: supervisor(%s): detected fault (%s); recovering" t.name reason;
+  emit t (Fault_detected reason);
+  t.state <- Recovering;
+  set_sysfs_state t "recovering";
+  (* Contain: degrade the netdev, kill the driver, reset the device. *)
+  t.was_up <- Netdev.is_up t.netdev;
+  Netdev.netif_carrier_off t.netdev;
+  Netdev.set_ops t.netdev (backlog_ops t);
+  (* Senders parked on the stopped queue must fall through to the backlog. *)
+  Netdev.netif_wake_queue t.netdev;
+  (match t.cur with
+   | Some s ->
+     Process.kill (Driver_host.proc s);     (* grant revoked via exit hooks *)
+     t.cur <- None
+   | None -> ());
+  (match Safe_pci.reset_device t.sp t.bdf with
+   | Ok () -> ()
+   | Error e -> klogf t Klog.Warn "sud: supervisor(%s): reset failed: %s" t.name e);
+  emit t Driver_killed;
+  (* Recover: restart with exponential backoff under the restart budget. *)
+  let rec attempt_start backoff_exp =
+    let n = now t in
+    let window_start = n - t.policy.restart_window_ns in
+    t.restart_times <- List.filter (fun ts -> ts >= window_start) t.restart_times;
+    if List.length t.restart_times >= t.policy.max_restarts then
+      quarantine t (Printf.sprintf "restart budget exhausted (%d in window); last fault: %s"
+                      (List.length t.restart_times) reason)
+    else begin
+      t.restart_times <- n :: t.restart_times;
+      let delay =
+        min (t.policy.backoff_initial_ns * (1 lsl min backoff_exp 16)) t.policy.backoff_max_ns
+      in
+      ignore (Fiber.sleep t.k.Kernel.eng delay : Fiber.wake);
+      match start_generation t with
+      | Error e ->
+        klogf t Klog.Warn "sud: supervisor(%s): restart attempt failed: %s" t.name e;
+        attempt_start (backoff_exp + 1)
+      | Ok s ->
+        install t s;
+        t.restarts <- t.restarts + 1;
+        (if t.was_up then
+           match Netstack.ifconfig_up t.k.Kernel.net t.netdev with
+           | Ok () -> ()
+           | Error e ->
+             klogf t Klog.Warn "sud: supervisor(%s): reopen failed: %s" t.name e);
+        let replayed = replay_backlog t in
+        t.state <- Running;
+        set_sysfs_state t "running";
+        let outage = now t - detect_t in
+        t.last_recovery <- outage;
+        t.last_ok <- now t;
+        klogf t Klog.Info
+          "sud: supervisor(%s): driver restarted (gen %d) after %d us outage, %d frames replayed"
+          t.name t.restarts (outage / 1_000) replayed;
+        emit t (Driver_restarted { restarts = t.restarts; outage_ns = outage })
+    end
+  in
+  attempt_start 0
+
+let rec watchdog t () =
+  match t.state with
+  | Quarantined | Stopped -> ()
+  | Running | Recovering ->
+    ignore (Sync.Waitq.wait_timeout t.k.Kernel.eng t.kickq t.policy.tick_ns : Fiber.wake);
+    (match t.state with
+     | Running ->
+       (match health_check t with
+        | None -> t.last_ok <- now t
+        | Some reason -> recover t reason)
+     | Recovering | Quarantined | Stopped -> ());
+    watchdog t ()
+
+let start k sp ?(policy = default_policy) ?(uid = 1000) ?(defensive_copy = true) ?name
+    ~bdf factory =
+  let drv = factory ~attempt:0 in
+  let name = Option.value ~default:drv.Driver_api.nd_name name in
+  match
+    Driver_host.start_net k sp ~uid ~defensive_copy ~name ~bdf
+      ~hang_timeout_ns:policy.hang_timeout_ns ~unregister_on_exit:false drv
+  with
+  | Error e -> Error e
+  | Ok s ->
+    let t =
+      { k;
+        sp;
+        bdf;
+        name;
+        uid;
+        defensive = defensive_copy;
+        policy;
+        factory;
+        netdev = Driver_host.netdev s;
+        kickq = Sync.Waitq.create ();
+        state = Running;
+        cur = None;
+        listeners = [];
+        restarts = 0;
+        detections = 0;
+        last_reason = None;
+        last_detect_latency = 0;
+        last_recovery = 0;
+        restart_times = [];
+        last_ok = Engine.now k.Kernel.eng;
+        gen = 0;
+        was_up = false;
+        base_malformed = 0;
+        base_storms = 0;
+        base_faults = 0;
+        last_dropped = 0 }
+    in
+    install t s;
+    set_sysfs_state t "running";
+    ignore
+      (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
+         ~name:("supervisor:" ^ name) (watchdog t)
+       : Fiber.t);
+    Ok t
+
+let stop t =
+  match t.state with
+  | Stopped | Quarantined -> ()
+  | Running | Recovering ->
+    t.state <- Stopped;
+    (match t.cur with
+     | Some s ->
+       Process.kill (Driver_host.proc s);
+       t.cur <- None
+     | None -> ());
+    unregister_netdev t;
+    set_sysfs_state t "stopped";
+    ignore (Sync.Waitq.signal t.kickq : bool)
+
+let state t = t.state
+let netdev t = t.netdev
+let bdf t = t.bdf
+let name t = t.name
+let current t = t.cur
+let proc t = Option.map Driver_host.proc t.cur
+let chan t = Option.map Driver_host.chan t.cur
+let grant t = Option.map Driver_host.grant t.cur
+
+let stats t =
+  { st_state = t.state;
+    st_restarts = t.restarts;
+    st_detections = t.detections;
+    st_last_reason = t.last_reason;
+    st_last_detect_latency_ns = t.last_detect_latency;
+    st_last_recovery_ns = t.last_recovery }

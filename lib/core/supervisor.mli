@@ -1,0 +1,110 @@
+(** Kernel-side driver supervisor: automatic detect → contain → recover.
+
+    The paper (§4.1, §5.2) shows a SUD driver being killed with [kill -9]
+    and restarted by the administrator with no kernel damage.  The
+    supervisor closes that loop autonomously.  A kernel watchdog fiber
+    (one per supervised device) polls every misbehavior signal the kernel
+    already collects —
+
+    - driver process death (also kicked immediately via an exit hook),
+    - uchan closed, malformed user→kernel slots, downcall-ring floods,
+    - upcalls timing out ([Proxy_net.hung], heartbeat below),
+    - IOMMU faults attributed to the device's BDF,
+    - interrupt-storm escalations counted by the grant —
+
+    and each tick sends an [up_ping] heartbeat the driver's main upcall
+    loop must answer inline within the channel's hang timeout, so a
+    wedged main loop is caught even when no other traffic is flowing.
+
+    On detection the supervisor kills the driver process (revoking the
+    grant and detaching the IOMMU domain via the normal death path),
+    function-level-resets the device ({!Safe_pci.reset_device}), and
+    restarts the driver with exponential backoff.  While recovering, the
+    netdev does not vanish: carrier goes off and transmits land in a
+    bounded backlog that is replayed once the fresh driver registers and
+    reopens.  A driver that crash-loops past [max_restarts] within
+    [restart_window_ns] is quarantined: netdev unregistered, backlog
+    dropped, sysfs [sud_state] set to ["quarantined"], no further
+    restarts. *)
+
+type policy = {
+  tick_ns : int;  (** watchdog polling period *)
+  heartbeat : bool;  (** send [up_ping] each healthy tick *)
+  hang_timeout_ns : int;
+      (** uchan sync-upcall deadline for this device — also the heartbeat
+          deadline *)
+  backoff_initial_ns : int;  (** delay before the first restart *)
+  backoff_max_ns : int;  (** cap on the doubled backoff *)
+  max_restarts : int;  (** restart budget within the window *)
+  restart_window_ns : int;
+  backlog_limit : int;  (** frames buffered while recovering *)
+  flood_threshold : int;
+      (** dropped async downcalls per tick treated as a ring flood *)
+}
+
+val default_policy : policy
+(** 5 ms tick, heartbeat on, 20 ms hang timeout, 2 ms initial backoff
+    capped at 200 ms, 5 restarts per 2 s window, 256-frame backlog,
+    flood at 512 drops/tick. *)
+
+type state = Running | Recovering | Quarantined | Stopped
+
+type event =
+  | Fault_detected of string  (** reason, at detection time *)
+  | Driver_killed
+      (** process dead, grant revoked, device reset — the instant
+          containment invariants must hold *)
+  | Driver_restarted of { restarts : int; outage_ns : int }
+      (** fresh generation serving; [outage_ns] = detection → traffic
+          restored *)
+  | Driver_quarantined of string
+
+type stats = {
+  st_state : state;
+  st_restarts : int;
+  st_detections : int;
+  st_last_reason : string option;
+  st_last_detect_latency_ns : int;
+      (** detection instant − last instant every check passed *)
+  st_last_recovery_ns : int;  (** outage of the most recent recovery *)
+}
+
+type t
+
+val start :
+  Kernel.t ->
+  Safe_pci.t ->
+  ?policy:policy ->
+  ?uid:int ->
+  ?defensive_copy:bool ->
+  ?name:string ->
+  bdf:Bus.bdf ->
+  (attempt:int -> Driver_api.net_driver) ->
+  (t, string) result
+(** Start the driver under supervision and spawn the watchdog.  The
+    factory is called with [~attempt:0] for the initial start and
+    [~attempt:n] (n ≥ 1) for the n-th restart, so tests can hand the
+    supervisor a malicious driver first and an honest one after
+    recovery.  Must be called from a fiber. *)
+
+val stop : t -> unit
+(** Administrative stop: kill the current driver, unregister the netdev,
+    end the watchdog.  No restart. *)
+
+val state : t -> state
+val netdev : t -> Netdev.t
+(** The persistent netdev — same identity across driver generations. *)
+
+val bdf : t -> Bus.bdf
+val name : t -> string
+
+val current : t -> Driver_host.started option
+val proc : t -> Process.t option
+val chan : t -> Uchan.t option
+val grant : t -> Safe_pci.grant option
+
+val on_event : t -> (event -> unit) -> unit
+(** Subscribe to lifecycle events (delivered synchronously, in
+    subscription order, from the watchdog fiber). *)
+
+val stats : t -> stats

@@ -19,10 +19,17 @@ type stats = {
   mutable rx_dropped : int;
 }
 
+type backlog_stats = {
+  bl_offered : int;
+  bl_queued : int;
+  bl_dropped : int;
+  bl_replayed : int;
+}
+
 type t = {
   dname : string;
   mutable dmac : bytes;
-  dops : ops;
+  mutable dops : ops;
   dstats : stats;
   mutable up : bool;
   mutable carrier_on : bool;
@@ -30,6 +37,14 @@ type t = {
   txq : Sync.Waitq.t;
   tx_lock : Sync.Mutex.t;
   mutable stack_rx : (Skbuff.t -> unit) option;
+  (* Recovery backlog: while the owning driver is being restarted the
+     supervisor parks outbound frames here instead of letting the netdev
+     vanish; bounded, with a drop counter once full. *)
+  backlog : Skbuff.t Queue.t;
+  mutable backlog_limit : int;
+  mutable n_bl_offered : int;
+  mutable n_bl_dropped : int;
+  mutable n_bl_replayed : int;
 }
 
 let create ~name ~mac ~ops =
@@ -43,12 +58,18 @@ let create ~name ~mac ~ops =
     stopped = false;
     txq = Sync.Waitq.create ();
     tx_lock = Sync.Mutex.create ();
-    stack_rx = None }
+    stack_rx = None;
+    backlog = Queue.create ();
+    backlog_limit = 0;
+    n_bl_offered = 0;
+    n_bl_dropped = 0;
+    n_bl_replayed = 0 }
 
 let name t = t.dname
 let mac t = t.dmac
 let set_mac t m = t.dmac <- Bytes.copy m
 let ops t = t.dops
+let set_ops t ops = t.dops <- ops
 let stats t = t.dstats
 
 let is_up t = t.up
@@ -67,6 +88,41 @@ let netif_wake_queue t =
 
 let tx_waitq t = t.txq
 let tx_lock t = t.tx_lock
+
+(* ---- recovery backlog ---- *)
+
+let backlog_xmit t ~limit skb =
+  t.backlog_limit <- limit;
+  t.n_bl_offered <- t.n_bl_offered + 1;
+  if Queue.length t.backlog < limit then Queue.push skb t.backlog
+  else begin
+    t.n_bl_dropped <- t.n_bl_dropped + 1;
+    t.dstats.tx_dropped <- t.dstats.tx_dropped + 1
+  end;
+  (* Always [Xmit_ok]: the frame was accepted (or accounted as dropped);
+     returning busy would just park senders on a queue nobody will wake
+     until the fresh driver arrives. *)
+  Xmit_ok
+
+let backlog_take t =
+  match Queue.take_opt t.backlog with
+  | None -> None
+  | Some skb ->
+    t.n_bl_replayed <- t.n_bl_replayed + 1;
+    Some skb
+
+let backlog_flush_drop t =
+  let n = Queue.length t.backlog in
+  Queue.clear t.backlog;
+  t.n_bl_dropped <- t.n_bl_dropped + n;
+  t.dstats.tx_dropped <- t.dstats.tx_dropped + n;
+  n
+
+let backlog_stats t =
+  { bl_offered = t.n_bl_offered;
+    bl_queued = Queue.length t.backlog;
+    bl_dropped = t.n_bl_dropped;
+    bl_replayed = t.n_bl_replayed }
 
 let netif_rx t skb =
   match t.stack_rx with

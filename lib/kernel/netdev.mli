@@ -37,6 +37,12 @@ val name : t -> string
 val mac : t -> bytes
 val set_mac : t -> bytes -> unit
 val ops : t -> ops
+
+val set_ops : t -> ops -> unit
+(** Swap the driver callbacks.  Used by the supervisor to keep one netdev
+    alive across driver generations: during recovery the ops point at the
+    backlog, then at the fresh proxy once it registers. *)
+
 val stats : t -> stats
 
 val is_up : t -> bool
@@ -55,6 +61,32 @@ val tx_waitq : t -> Sync.Waitq.t
 val tx_lock : t -> Sync.Mutex.t
 (** The HARD_TX_LOCK: serializes [ndo_start_xmit] — driver transmit paths
     are not reentrant. *)
+
+(** {1 Recovery backlog}
+
+    While a supervised driver is down, its netdev degrades instead of
+    vanishing: outbound frames are parked in a bounded FIFO and replayed
+    to the fresh driver.  Invariant: [offered = queued + dropped +
+    replayed] at all times. *)
+
+type backlog_stats = {
+  bl_offered : int;   (** frames handed to the backlog since creation *)
+  bl_queued : int;    (** currently parked *)
+  bl_dropped : int;   (** rejected because the FIFO was full (or flushed) *)
+  bl_replayed : int;  (** handed back for retransmission after recovery *)
+}
+
+val backlog_xmit : t -> limit:int -> Skbuff.t -> xmit_result
+(** Park one frame (dropping and counting it if [limit] frames are
+    already queued).  Always returns [Xmit_ok]. *)
+
+val backlog_take : t -> Skbuff.t option
+(** Pop the oldest parked frame for replay, counting it as replayed. *)
+
+val backlog_flush_drop : t -> int
+(** Drop everything still parked (quarantine path); returns the count. *)
+
+val backlog_stats : t -> backlog_stats
 
 val netif_rx : t -> Skbuff.t -> unit
 (** Hand a received frame to the stack (non-blocking; callable from atomic

@@ -61,6 +61,7 @@ type t = {
   mutable fw_drops : int;
   mutable bl_drops : int;
   mutable cs_drops : int;
+  mutable tx_drops : int;
 }
 
 let model t = Cpu.cost_model t.cpu
@@ -90,30 +91,57 @@ let build_frame ~dst ~src ~payload =
   Bytes.blit payload 0 b eth_hdr (Bytes.length payload);
   b
 
-(* Blocking xmit with Linux-style queue flow control. *)
-let rec dev_xmit t dev skb =
-  if Netdev.queue_stopped dev then begin
-    Preempt.assert_may_sleep t.preempt "dev_xmit";
-    (match Sync.Waitq.wait_timeout t.eng (Netdev.tx_waitq dev) 10_000_000 with
-     | Fiber.Interrupted -> `Dropped
-     | Fiber.Normal | Fiber.Timeout -> dev_xmit t dev skb)
-  end
-  else begin
+(* Blocking xmit with Linux-style queue flow control.  Retries are
+   bounded: a queue that stays stopped — a dead or wedged driver never
+   waking it — used to park the sender in a silent infinite retry loop.
+   Now the packet is dropped and counted after [tx_retry_limit] rounds.
+   The drop path deliberately charges no wakeup: a sender whose packet
+   went nowhere is not billed the scheduling latency of a delivery. *)
+let tx_retry_limit = 64
+
+let dev_xmit t dev skb =
+  let drop () =
+    t.tx_drops <- t.tx_drops + 1;
     let stats = Netdev.stats dev in
-    (* HARD_TX_LOCK: the driver's transmit path is not reentrant. *)
-    let r =
-      Sync.Mutex.with_lock (Netdev.tx_lock dev) (fun () ->
-          (Netdev.ops dev).Netdev.ndo_start_xmit skb)
-    in
-    match r with
-    | Netdev.Xmit_ok ->
-      stats.Netdev.tx_packets <- stats.Netdev.tx_packets + 1;
-      stats.Netdev.tx_bytes <- stats.Netdev.tx_bytes + Skbuff.length skb;
-      `Sent
-    | Netdev.Xmit_busy ->
-      Netdev.netif_stop_queue dev;
-      dev_xmit t dev skb
-  end
+    stats.Netdev.tx_dropped <- stats.Netdev.tx_dropped + 1;
+    `Dropped
+  in
+  let rec go ~retries ~slept =
+    if Netdev.queue_stopped dev then begin
+      Preempt.assert_may_sleep t.preempt "dev_xmit";
+      if retries >= tx_retry_limit then drop ()
+      else begin
+        let since = Engine.now t.eng in
+        match Sync.Waitq.wait_timeout t.eng (Netdev.tx_waitq dev) 10_000_000 with
+        | Fiber.Interrupted -> drop ()
+        | Fiber.Normal ->
+          go ~retries:(retries + 1)
+            ~slept:(match slept with None -> Some since | s -> s)
+        | Fiber.Timeout -> go ~retries:(retries + 1) ~slept
+      end
+    end
+    else begin
+      let stats = Netdev.stats dev in
+      (* HARD_TX_LOCK: the driver's transmit path is not reentrant. *)
+      let r =
+        Sync.Mutex.with_lock (Netdev.tx_lock dev) (fun () ->
+            (Netdev.ops dev).Netdev.ndo_start_xmit skb)
+      in
+      match r with
+      | Netdev.Xmit_ok ->
+        (match slept with Some since -> charge_wakeup_since t ~since | None -> ());
+        stats.Netdev.tx_packets <- stats.Netdev.tx_packets + 1;
+        stats.Netdev.tx_bytes <- stats.Netdev.tx_bytes + Skbuff.length skb;
+        `Sent
+      | Netdev.Xmit_busy ->
+        if retries >= tx_retry_limit then drop ()
+        else begin
+          Netdev.netif_stop_queue dev;
+          go ~retries:(retries + 1) ~slept
+        end
+    end
+  in
+  go ~retries:0 ~slept:None
 
 (* ---- receive processing (softirq) ---- *)
 
@@ -296,7 +324,8 @@ let create eng cpu preempt klog procs =
       firewall = None;
       fw_drops = 0;
       bl_drops = 0;
-      cs_drops = 0 }
+      cs_drops = 0;
+      tx_drops = 0 }
   in
   let kernel = Process.kernel_process procs in
   ignore
@@ -356,6 +385,7 @@ let set_firewall t fw = t.firewall <- fw
 let firewall_drops t = t.fw_drops
 let backlog_drops t = t.bl_drops
 let csum_drops t = t.cs_drops
+let tx_drops t = t.tx_drops
 
 (* ---- UDP API ---- *)
 

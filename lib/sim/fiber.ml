@@ -20,6 +20,9 @@ and t = {
   mutable state : state;
   mutable pending_kill : bool;
   mutable exits : (unit -> unit) list;
+  (* Bumped at every suspension.  A timer armed for one suspension must not
+     wake a later one: wakers capture the epoch and compare before waking. *)
+  mutable epoch : int;
 }
 
 type _ Effect.t += Suspend : (t -> unit) -> wake Effect.t
@@ -85,13 +88,16 @@ let handler engine t =
                                 enter t (fun () -> discontinue k Killed))
                             : Engine.handle)) }
                 in
+                t.epoch <- t.epoch + 1;
                 t.state <- Suspended susp;
                 register t)
          | _ -> None) }
 
 let spawn engine ?name:(fname = "fiber") main =
   incr next_id;
-  let t = { fid = !next_id; fname; state = Ready; pending_kill = false; exits = [] } in
+  let t =
+    { fid = !next_id; fname; state = Ready; pending_kill = false; exits = []; epoch = 0 }
+  in
   ignore
     (Engine.schedule_now engine (fun () ->
          if t.pending_kill then finish t
@@ -140,6 +146,14 @@ let yield engine =
   in
   ignore (w : wake)
 
+let epoch t = t.epoch
+
+let wake_epoch t ~epoch w = if t.epoch = epoch then wake t w else false
+
 let sleep engine ns =
   suspend (fun fiber ->
-      ignore (Engine.schedule_after engine ns (fun () -> ignore (wake fiber Normal)) : Engine.handle))
+      let epoch = fiber.epoch in
+      ignore
+        (Engine.schedule_after engine ns (fun () ->
+             ignore (wake_epoch fiber ~epoch Normal : bool))
+         : Engine.handle))

@@ -39,6 +39,16 @@ val wake : t -> wake -> bool
 (** Resume a suspended fiber (via the engine queue).  Returns false if the
     fiber was not suspended or was already woken — stale wakes are safe. *)
 
+val epoch : t -> int
+(** The fiber's suspension counter, bumped at every suspension.  A waker
+    armed for one particular wait (e.g. a timeout timer) must capture the
+    epoch at arm time and wake through {!wake_epoch}, otherwise a timer
+    that lost its race wakes whatever the fiber is waiting on {e next}. *)
+
+val wake_epoch : t -> epoch:int -> wake -> bool
+(** {!wake}, but a no-op unless the fiber is still in the suspension the
+    epoch was captured in. *)
+
 val kill : t -> unit
 (** Kill the fiber: if suspended, it is resumed with {!Killed}; if it has a
     wake already in flight, it dies at its next step.  Killing a dead fiber

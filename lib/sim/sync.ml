@@ -8,9 +8,13 @@ module Waitq = struct
   let wait_timeout engine t ns =
     Fiber.suspend (fun fiber ->
         Queue.push fiber t.q;
+        (* Capture the suspension epoch: if the fiber is signalled (or
+           interrupted) before the deadline, this timer must die with the
+           wait instead of waking the fiber's next suspension. *)
+        let epoch = Fiber.epoch fiber in
         ignore
           (Engine.schedule_after engine ns (fun () ->
-               ignore (Fiber.wake fiber Fiber.Timeout))
+               ignore (Fiber.wake_epoch fiber ~epoch Fiber.Timeout : bool))
            : Engine.handle))
 
   (* Entries whose fiber was already woken elsewhere (kill, timeout) are

@@ -15,6 +15,7 @@ type t = {
   label : string;
   k2u : Ring.t;
   u2k : Ring.t;
+  hang_timeout_ns : int;                 (* per-channel sync-upcall deadline *)
   mutable closed : bool;
   mutable next_seq : int;
   k_pending : (int, waiter) Hashtbl.t;   (* kernel sync upcalls awaiting replies *)
@@ -29,6 +30,13 @@ type t = {
   mutable n_down : int;
   mutable n_notify : int;
   mutable n_dropped : int;               (* async downcalls lost to a full u2k ring *)
+  mutable n_malformed : int;             (* undecodable u2k slots from the driver *)
+  (* Fault injection (lib/attacks): a wedged channel parks the driver's
+     main loop; corrupt/drop counters garble or swallow the next driver
+     replies at the transport, before the kernel worker sees them. *)
+  mutable wedged : bool;
+  mutable corrupt_next : int;
+  mutable drop_next : int;
 }
 
 let model t = Cpu.cost_model t.k.Kernel.cpu
@@ -83,6 +91,7 @@ let fail_all_waiters tbl err =
 let dispatch_u2k t decoded =
   match decoded with
   | Error e ->
+    t.n_malformed <- t.n_malformed + 1;
     Klog.printk t.k.Kernel.klog Klog.Warn "uchan(%s): malformed message from driver: %s"
       t.label e
   | Ok m ->
@@ -131,12 +140,13 @@ let worker_loop t () =
   in
   loop ()
 
-let create k ?(slots = 256) ~driver_label () =
+let create k ?(slots = 256) ?hang_timeout_ns:(hto = hang_timeout_ns) ~driver_label () =
   let t =
     { k;
       label = driver_label;
       k2u = Ring.create ~slots;
       u2k = Ring.create ~slots;
+      hang_timeout_ns = hto;
       closed = false;
       next_seq = 0;
       k_pending = Hashtbl.create 16;
@@ -150,7 +160,11 @@ let create k ?(slots = 256) ~driver_label () =
       n_up = 0;
       n_down = 0;
       n_notify = 0;
-      n_dropped = 0 }
+      n_dropped = 0;
+      n_malformed = 0;
+      wedged = false;
+      corrupt_next = 0;
+      drop_next = 0 }
   in
   ignore
     (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
@@ -192,7 +206,7 @@ let send t m =
     else begin
       let w = { cell = ref None; wq = Sync.Waitq.create () } in
       Hashtbl.replace t.k_pending seq w;
-      let deadline = Engine.now t.k.Kernel.eng + hang_timeout_ns in
+      let deadline = Engine.now t.k.Kernel.eng + t.hang_timeout_ns in
       let rec await () =
         let slept_at = Engine.now t.k.Kernel.eng in
         match !(w.cell) with
@@ -247,7 +261,22 @@ let asend t m =
 
 let push_u2k_raw t m ~is_reply =
   msg_cost t;
-  if push_flagged t.u2k m ~is_reply then begin
+  if is_reply && t.drop_next > 0 then begin
+    (* Injected fault: the reply evaporates in transit.  The driver
+       believes it answered; the kernel's sync send times out Hung. *)
+    t.drop_next <- t.drop_next - 1;
+    true
+  end
+  else if is_reply && t.corrupt_next > 0 then begin
+    (* Injected fault: garble the slot.  0xFF everywhere guarantees the
+       kernel worker's unmarshal rejects it (arg count out of range). *)
+    t.corrupt_next <- t.corrupt_next - 1;
+    ignore
+      (Ring.push_inplace t.u2k (fun slot -> Bytes.fill slot 0 (Bytes.length slot) '\xff')
+       : bool);
+    true
+  end
+  else if push_flagged t.u2k m ~is_reply then begin
     if not is_reply then t.n_down <- t.n_down + 1;
     true
   end
@@ -319,6 +348,13 @@ let usend t m =
 let wait t =
   let rec loop ~slept =
     if t.closed then Error Closed
+    else if t.wedged then begin
+      (* Injected fault: the driver main loop is wedged — it neither
+         services the ring nor flushes batches until the wedge lifts or
+         the process is killed out from under it. *)
+      ignore (Sync.Waitq.wait_timeout t.k.Kernel.eng t.u_waitq 1_000_000 : Fiber.wake);
+      loop ~slept
+    end
     else begin
       flush t;
       match Ring.pop_inplace t.k2u Msg.unmarshal_view with
@@ -364,3 +400,20 @@ let upcalls_sent t = t.n_up
 let downcalls_sent t = t.n_down
 let notifications t = t.n_notify
 let dropped t = t.n_dropped
+let malformed t = t.n_malformed
+let hang_timeout t = t.hang_timeout_ns
+
+(* ---- fault injection (lib/attacks) ---- *)
+
+let wedge t =
+  t.wedged <- true
+
+let unwedge t =
+  if t.wedged then begin
+    t.wedged <- false;
+    ignore (Sync.Waitq.broadcast t.u_waitq : int)
+  end
+
+let is_wedged t = t.wedged
+let inject_corrupt_replies t n = t.corrupt_next <- t.corrupt_next + n
+let inject_drop_replies t n = t.drop_next <- t.drop_next + n

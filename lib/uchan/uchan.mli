@@ -17,8 +17,12 @@ type t
 
 type error = Hung | Interrupted | Closed
 
-val create : Kernel.t -> ?slots:int -> driver_label:string -> unit -> t
-(** [slots] per ring (default 256, power of two). *)
+val create :
+  Kernel.t -> ?slots:int -> ?hang_timeout_ns:int -> driver_label:string -> unit -> t
+(** [slots] per ring (default 256, power of two).  [hang_timeout_ns]
+    bounds every synchronous upcall on this channel (default
+    {!hang_timeout_ns}); the supervisor shrinks it to tighten hang
+    detection latency. *)
 
 val close : t -> unit
 (** Tear the channel down (driver death): all blocked senders and waiters
@@ -30,8 +34,8 @@ val is_closed : t -> bool
 
 val send : t -> Msg.t -> (Msg.t, error) result
 (** Synchronous upcall: blocks until the driver replies.  Interruptible
-    (Ctrl-C ⇒ [Error Interrupted]); gives up after {!hang_timeout_ns}
-    without a reply ([Error Hung]). *)
+    (Ctrl-C ⇒ [Error Interrupted]); gives up after the channel's hang
+    timeout without a reply ([Error Hung]). *)
 
 val asend : t -> Msg.t -> (unit, error) result
 (** Asynchronous upcall.  If the ring stays full past a short grace
@@ -67,6 +71,12 @@ val flush : t -> unit
 (** {1 Introspection} *)
 
 val hang_timeout_ns : int
+(** Default sync-upcall deadline (50 ms), used when [create] is not given
+    one. *)
+
+val hang_timeout : t -> int
+(** This channel's effective sync-upcall deadline. *)
+
 val upcalls_sent : t -> int
 val downcalls_sent : t -> int
 val notifications : t -> int
@@ -77,3 +87,31 @@ val dropped : t -> int
 (** Batched asynchronous downcalls lost because the u2k ring was full at
     {!flush} time.  Nonzero means the driver outran the kernel worker;
     silent before, now visible next to the send counters. *)
+
+val malformed : t -> int
+(** Undecodable user→kernel slots discarded by the kernel worker.  The
+    supervisor reads this: a growing count means the driver is writing
+    garbage into its ring. *)
+
+(** {1 Fault injection}
+
+    Hooks for [lib/attacks]: they act on the {e driver} side of the
+    transport, modelling a driver that has gone wrong, and never touch
+    kernel-side state. *)
+
+val wedge : t -> unit
+(** Park the driver main loop: [wait] stops servicing the ring (and stops
+    flushing batches) until {!unwedge} or process death.  Sync upcalls
+    from the kernel subsequently time out [Hung]. *)
+
+val unwedge : t -> unit
+val is_wedged : t -> bool
+
+val inject_corrupt_replies : t -> int -> unit
+(** Garble the next [n] driver replies: the slot is filled with 0xFF so
+    the kernel worker counts it in {!malformed} and the waiting sender
+    times out. *)
+
+val inject_drop_replies : t -> int -> unit
+(** Swallow the next [n] driver replies in transit; the waiting sender
+    times out [Hung]. *)

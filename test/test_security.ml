@@ -52,4 +52,8 @@ let suite =
     Alcotest.test_case "downcall flood stays schedulable" `Quick
       (fun () -> check (downcall_flood ()) ());
     Alcotest.test_case "kill -9 and restart recovers" `Quick
-      (fun () -> check (kill_and_restart ()) ()) ]
+      (fun () -> check (kill_and_restart ()) ());
+    Alcotest.test_case "hung driver detected by heartbeat and restarted" `Quick
+      (fun () -> check (driver_hang_recovery ()) ());
+    Alcotest.test_case "crash loop ends in quarantine" `Quick
+      (fun () -> check (crash_loop_quarantine ()) ()) ]
