@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke soak clean
+.PHONY: all build test bench bench-smoke soak trace-smoke clean
 
 all: build
 
@@ -21,6 +21,12 @@ bench-smoke:
 # Exits nonzero if any containment invariant breaks.
 soak:
 	dune exec bench/main.exe -- soak
+
+# Observability smoke: run a traced DMA-violation recovery and require the
+# exported JSONL to contain the full uchan rpc -> iommu fault -> supervisor
+# detect -> kill -> restart causal chain.
+trace-smoke:
+	dune exec bin/sudctl.exe -- trace-smoke
 
 clean:
 	dune clean

@@ -4,7 +4,10 @@
      sudctl netperf [--test NAME]       run Figure 8 benchmarks
      sudctl mappings                    print Figure 9
      sudctl files                       print Figure 6
-     sudctl protocol                    print Figure 7 *)
+     sudctl protocol                    print Figure 7
+     sudctl metrics [--json]            run a workload, dump /sys/kernel/sud_metrics
+     sudctl trace-smoke [--out FILE]    traced DMA-violation recovery, verify the
+                                        causal span chain in the JSONL export *)
 
 open Cmdliner
 
@@ -94,6 +97,107 @@ let run_files () =
   Safe_pci.register_device sp bdf;
   List.iter print_endline (Safe_pci.device_files sp bdf)
 
+(* Boot a machine, echo UDP through two full driver stacks (one SUD, one
+   native) so every subsystem has something to count, then read the
+   registry back the way an administrator would: through sysfs. *)
+let run_metrics json =
+  let eng = Engine.create () in
+  let k = Kernel.boot eng in
+  let medium = Net_medium.create eng () in
+  let nic_a = E1000_dev.create eng ~mac:(Skbuff.Mac.of_string "52:54:00:00:00:0a") ~medium () in
+  let nic_b = E1000_dev.create eng ~mac:(Skbuff.Mac.of_string "52:54:00:00:00:0b") ~medium () in
+  let bdf_a = Kernel.attach_pci k (E1000_dev.device nic_a) in
+  let bdf_b = Kernel.attach_pci k (E1000_dev.device nic_b) in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"main" (fun () ->
+         let sp = Safe_pci.init k in
+         let started =
+           match Driver_host.start_net k sp ~bdf:bdf_a ~name:"eth0" E1000.driver with
+           | Ok s -> s
+           | Error e -> failwith e
+         in
+         let eth0 = Driver_host.netdev started in
+         (match Netstack.ifconfig_up k.Kernel.net eth0 with
+          | Ok () -> ()
+          | Error e -> failwith e);
+         let eth1 =
+           match Native_net.attach ~name:"eth1" k E1000.driver bdf_b with
+           | Ok d -> d
+           | Error e -> failwith e
+         in
+         ignore (Netstack.ifconfig_up k.Kernel.net eth1 : (unit, string) result);
+         let server = Netstack.udp_bind k.Kernel.net eth1 ~port:7 in
+         ignore
+           (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"echo" (fun () ->
+                let rec loop () =
+                  match Netstack.udp_recv k.Kernel.net server with
+                  | Some (data, (src, sport)) ->
+                    ignore
+                      (Netstack.udp_sendto k.Kernel.net server ~dst:src ~dst_port:sport data
+                       : [ `Sent | `Dropped ]);
+                    loop ()
+                  | None -> ()
+                in
+                loop ())
+            : Fiber.t);
+         let client = Netstack.udp_bind k.Kernel.net eth0 ~port:9999 in
+         for i = 1 to 20 do
+           ignore
+             (Netstack.udp_sendto k.Kernel.net client ~dst:(Netdev.mac eth1) ~dst_port:7
+                (Bytes.of_string (Printf.sprintf "ping %d" i))
+              : [ `Sent | `Dropped ]);
+           ignore (Netstack.udp_recv k.Kernel.net client : (bytes * (bytes * int)) option)
+         done;
+         let path =
+           if json then "/sys/kernel/sud_metrics.json" else "/sys/kernel/sud_metrics"
+         in
+         match Sysfs.read_file k.Kernel.sysfs ~path with
+         | Some body -> print_string body
+         | None -> failwith (path ^ ": no such sysfs node"))
+     : Fiber.t);
+  Engine.run ~max_time:2_000_000_000 eng
+
+(* The observability layer's end-to-end check: trace one injected DMA
+   violation through detection and recovery, export the span ring, and
+   verify the causal chain survives a round-trip through JSONL. *)
+let run_trace_smoke out =
+  (* Size the ring for the whole run: the interesting spans happen in the
+     first couple of simulated milliseconds and must survive the seconds
+     of post-recovery traffic that follow. *)
+  Sud_obs.Trace.set_capacity (1 lsl 19);
+  Sud_obs.Trace.set_enabled true;
+  let r = Fault_inject.(measure_recovery Dma_violation) in
+  Sud_obs.Trace.set_enabled false;
+  let n = Sud_obs.Trace.write_jsonl ~path:out in
+  let spans =
+    let ic = open_in out in
+    let acc = ref [] in
+    (try
+       while true do
+         match Sud_obs.Trace.span_of_line (input_line ic) with
+         | Some sp -> acc := sp :: !acc
+         | None -> failwith "trace-smoke: unparseable JSONL line"
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !acc
+  in
+  Printf.printf "fault %s: detected in %d us, outage %d us
+" r.Fault_inject.rs_fault
+    (r.Fault_inject.rs_detect_ns / 1000) (r.Fault_inject.rs_outage_ns / 1000);
+  Printf.printf "%d spans exported to %s, %d parsed back
+" n out (List.length spans);
+  let chain =
+    [ ("uchan", "rpc"); ("iommu", "fault"); ("sup", "detect"); ("sup", "kill");
+      ("sup", "restart") ]
+  in
+  let ok = List.length spans = n && Sud_obs.Trace.chain_exists spans chain in
+  Printf.printf "causal chain %s: %s
+"
+    (String.concat " -> " (List.map (fun (c, nm) -> c ^ "/" ^ nm) chain))
+    (if ok then "found" else "MISSING");
+  if not ok then exit 1
+
 let run_protocol () =
   Printf.printf "%-22s %-10s %s\n" "Call" "Direction" "Description";
   List.iter
@@ -128,8 +232,27 @@ let protocol_cmd =
   Cmd.v (Cmd.info "protocol" ~doc:"Print the upcall/downcall table (Figure 7)")
     Term.(const run_protocol $ const ())
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Dump the machine-readable registry snapshot.")
+
+let out_arg =
+  Arg.(value & opt string "trace_smoke.jsonl" & info [ "out" ] ~docv:"FILE"
+         ~doc:"Where to write the exported span JSONL.")
+
+let metrics_cmd =
+  Cmd.v (Cmd.info "metrics" ~doc:"Run a workload and read /sys/kernel/sud_metrics")
+    Term.(const run_metrics $ json_arg)
+
+let trace_smoke_cmd =
+  Cmd.v
+    (Cmd.info "trace-smoke"
+       ~doc:"Trace an injected DMA violation end to end and verify the span chain")
+    Term.(const run_trace_smoke $ out_arg)
+
 let () =
   let info = Cmd.info "sudctl" ~version:"1.0" ~doc:"Drive the SUD reproduction" in
   exit
     (Cmd.eval
-       (Cmd.group info [ security_cmd; netperf_cmd; mappings_cmd; files_cmd; protocol_cmd ]))
+       (Cmd.group info
+          [ security_cmd; netperf_cmd; mappings_cmd; files_cmd; protocol_cmd;
+            metrics_cmd; trace_smoke_cmd ]))

@@ -73,9 +73,10 @@ let () =
            (fun (iova, _phys, len, _w) ->
               Printf.printf "  0x%08x - 0x%08x (%d KiB)\n" iova (iova + len) (len / 1024))
            (Safe_pci.iommu_mappings (Driver_host.grant started));
+         let um = Uchan.metrics (Driver_host.chan started) in
          Printf.printf "\nuchan: %d upcalls, %d downcalls, %d notifications\n"
-           (Uchan.upcalls_sent (Driver_host.chan started))
-           (Uchan.downcalls_sent (Driver_host.chan started))
-           (Uchan.notifications (Driver_host.chan started)))
+           (Sud_obs.Metrics.get um.Uchan.um_up)
+           (Sud_obs.Metrics.get um.Uchan.um_down)
+           (Sud_obs.Metrics.get um.Uchan.um_notify))
      : Fiber.t);
   Engine.run ~max_time:2_000_000_000 eng

@@ -331,7 +331,13 @@ let soak ?(seed = 42L) ?(n_faults = 200) ?(duration_ms = 4_000) () =
            | Supervisor.Recovering -> "recovering"
            | Supervisor.Quarantined -> "quarantined"
            | Supervisor.Stopped -> "stopped");
-      let bl = Netdev.backlog_stats dev in
+      let bl =
+        let nm = Netdev.metrics dev in
+        { Netdev.bl_offered = Sud_obs.Metrics.get nm.Netdev.nm_bl_offered;
+          bl_queued = Sud_obs.Metrics.gauge_value nm.Netdev.nm_bl_queued;
+          bl_dropped = Sud_obs.Metrics.get nm.Netdev.nm_bl_dropped;
+          bl_replayed = Sud_obs.Metrics.get nm.Netdev.nm_bl_replayed }
+      in
       if bl.Netdev.bl_offered <> bl.Netdev.bl_queued + bl.Netdev.bl_dropped + bl.Netdev.bl_replayed
       then
         violate ctx "backlog accounting broken: offered %d <> queued %d + dropped %d + replayed %d"

@@ -199,7 +199,7 @@ let peer_to_peer ~acs =
         evidence =
           Printf.sprintf "victim RAL0 %s (p2p transactions delivered: %d)"
             (if untouched then "untouched" else "OVERWRITTEN")
-            (Pci_topology.p2p_delivered w.k.Kernel.topo) })
+            (Sud_obs.Metrics.get (Pci_topology.metrics w.k.Kernel.topo).Pci_topology.pm_p2p) })
 
 (* ---- 4. requester-ID spoofing ---- *)
 
@@ -282,7 +282,7 @@ let interrupt_storm () =
               done)
          : Fiber.t);
       settle w 50;
-      let delivered = Irq.total_delivered w.k.Kernel.irq in
+      let delivered = Sud_obs.Metrics.get (Irq.metrics w.k.Kernel.irq).Irq.qm_delivered in
       { attack = "interrupt storm (driver never acks)";
         config = "SUD, MSI masking";
         contained = !progress = 100 && delivered < 50 && Safe_pci.msi_masks w.sp > 0;
@@ -324,7 +324,7 @@ let msi_dma_storm ~iommu =
         Net_medium.send w.medium port f
       done;
       settle w 20;
-      let delivered = Irq.total_delivered w.k.Kernel.irq in
+      let delivered = Sud_obs.Metrics.get (Irq.metrics w.k.Kernel.irq).Irq.qm_delivered in
       let cfg_name, contained, note =
         match iommu with
         | Iommu.Intel_vtd { interrupt_remapping = false } ->
@@ -335,9 +335,12 @@ let msi_dma_storm ~iommu =
               delivered (Safe_pci.livelock_warnings w.sp) )
         | Iommu.Intel_vtd { interrupt_remapping = true } ->
           ( "VT-d with interrupt remapping",
-            Pci_topology.msi_blocked_by_ir w.k.Kernel.topo > 0 && delivered < 10,
+            Sud_obs.Metrics.get (Pci_topology.metrics w.k.Kernel.topo).Pci_topology.pm_ir_blocked
+            > 0
+            && delivered < 10,
             Printf.sprintf "%d forged messages blocked by the remap table, %d delivered"
-              (Pci_topology.msi_blocked_by_ir w.k.Kernel.topo)
+              (Sud_obs.Metrics.get
+                 (Pci_topology.metrics w.k.Kernel.topo).Pci_topology.pm_ir_blocked)
               delivered )
         | Iommu.Amd_vi ->
           ( "AMD IOMMU (MSI window unmapped on storm)",
@@ -767,7 +770,9 @@ let downcall_flood () =
               done)
          : Fiber.t);
       settle w 50;
-      let downcalls = Uchan.downcalls_sent (Driver_host.chan s) in
+      let downcalls =
+        Sud_obs.Metrics.get (Uchan.metrics (Driver_host.chan s)).Uchan.um_down
+      in
       { attack = "downcall flood (uchan spam)";
         config = "SUD uchan + schedulable kernel worker";
         contained = !progress = 100 && downcalls > 1000;

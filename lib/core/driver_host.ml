@@ -23,6 +23,10 @@ let find_device k (drv : Driver_api.net_driver) =
 
 let start_net_at k sp ?hang_timeout_ns ?adopt_netdev ?(unregister_on_exit = true)
     ~uid ~defensive_copy ~name ~bdf (drv : Driver_api.net_driver) =
+  if Sud_obs.Trace.on () then
+    ignore
+      (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"driver" ~name:"start"
+         ~attrs:[ "driver", name; "bdf", Bus.string_of_bdf bdf ] ());
   Safe_pci.register_device sp bdf;
   Safe_pci.set_owner sp bdf ~uid;
   let proc = Process.spawn k.Kernel.procs ~name ~uid in
@@ -52,6 +56,10 @@ let start_net_at k sp ?hang_timeout_ns ?adopt_netdev ?(unregister_on_exit = true
        in
        let uml = Sud_uml.create k ~proc ~grant ~chan ~pool in
        Process.on_exit proc (fun () ->
+           if Sud_obs.Trace.on () then
+             ignore
+               (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"driver"
+                  ~name:"exit" ~attrs:[ "driver", name ] ());
            Uchan.close chan;
            (* A supervised device keeps its netdev across driver deaths;
               the supervisor owns (un)registration in that case. *)

@@ -9,7 +9,7 @@ type t = {
   mutable dev : Netdev.t option;
   ready : Sync.Waitq.t;
   mutable is_hung : bool;
-  mutable rx_bad_addr : int;
+  rx_bad : Sud_obs.Metrics.counter;
 }
 
 let model t = Cpu.cost_model t.k.Kernel.cpu
@@ -19,6 +19,10 @@ let klogf t lvl fmt = Klog.printk t.k.Kernel.klog lvl fmt
 let mark_hung t why =
   if not t.is_hung then begin
     t.is_hung <- true;
+    if Sud_obs.Trace.on () then
+      ignore
+        (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.recall "uchan.rpc.last") ~cat:"proxy"
+           ~name:"hung" ~attrs:[ "driver", t.name; "why", why ] ());
     klogf t Klog.Warn "sud-net(%s): driver appears hung (%s); kill and restart it" t.name why
   end
 
@@ -87,13 +91,13 @@ let handle_rx t m =
   | None -> ()
   | Some dev ->
     if len <= 0 || len > 9018 then begin
-      t.rx_bad_addr <- t.rx_bad_addr + 1;
+      Sud_obs.Metrics.incr t.rx_bad;
       klogf t Klog.Warn "sud-net(%s): netif_rx with bogus length %d" t.name len
     end
     else begin
       match Safe_pci.read_driver_mem t.grant ~iova ~len with
       | Error e ->
-        t.rx_bad_addr <- t.rx_bad_addr + 1;
+        Sud_obs.Metrics.incr t.rx_bad;
         klogf t Klog.Warn "sud-net(%s): netif_rx rejected: %s" t.name e
       | Ok data ->
         (* Defensive copy fused with checksum verification: one pass over
@@ -119,6 +123,10 @@ let handle_rx t m =
 
 let handle_register t m =
   if Bytes.length m.Msg.payload = 6 && t.dev = None then begin
+    if Sud_obs.Trace.on () then
+      ignore
+        (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"proxy" ~name:"register"
+           ~attrs:[ "driver", t.name ] ());
     let mac = Bytes.copy m.Msg.payload in
     let ops =
       { Netdev.ndo_open = (fun () -> do_open t ());
@@ -198,7 +206,9 @@ let create k ~chan ~grant ~pool ~name ?(defensive_copy = true) ?adopt () =
       dev = None;
       ready = Sync.Waitq.create ();
       is_hung = false;
-      rx_bad_addr = 0 }
+      rx_bad =
+        Sud_obs.Metrics.counter ~labels:[ "driver", name ] ~subsystem:"proxy"
+          ~name:"rx_validation_failures" () }
   in
   Uchan.set_downcall_handler chan (fun m -> handle_downcall t m);
   t
@@ -235,4 +245,4 @@ let unregister t =
     t.dev <- None
   | None -> ()
 
-let rx_validation_failures t = t.rx_bad_addr
+let rx_validation_failures t = Sud_obs.Metrics.get t.rx_bad

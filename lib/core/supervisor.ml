@@ -74,6 +74,14 @@ type t = {
   mutable base_storms : int;
   mutable base_faults : int;
   mutable last_dropped : int;
+  sm : metrics;
+}
+and metrics = {
+  sm_detections : Sud_obs.Metrics.counter;
+  sm_restarts : Sud_obs.Metrics.counter;
+  sm_quarantines : Sud_obs.Metrics.counter;
+  sm_detect_ns : Sud_obs.Metrics.histogram;   (* fault -> detection latency *)
+  sm_outage_ns : Sud_obs.Metrics.histogram;   (* detection -> restarted *)
 }
 
 let now t = Engine.now t.k.Kernel.eng
@@ -106,8 +114,9 @@ let install t s =
   t.cur <- Some s;
   t.gen <- t.gen + 1;
   let gen = t.gen in
-  t.base_malformed <- Uchan.malformed (Driver_host.chan s);
-  t.last_dropped <- Uchan.dropped (Driver_host.chan s);
+  let um = Uchan.metrics (Driver_host.chan s) in
+  t.base_malformed <- Sud_obs.Metrics.get um.Uchan.um_malformed;
+  t.last_dropped <- Sud_obs.Metrics.get um.Uchan.um_dropped;
   t.base_storms <- Safe_pci.grant_storms (Driver_host.grant s);
   t.base_faults <- count_faults t;
   Process.on_exit (Driver_host.proc s) (fun () ->
@@ -120,17 +129,19 @@ let health_check t =
   | None -> Some "no driver process"
   | Some s ->
     let chan = Driver_host.chan s in
+    let um = Uchan.metrics chan in
     if not (Process.is_alive (Driver_host.proc s)) then Some "driver process died"
     else if Uchan.is_closed chan then Some "uchan closed"
     else if count_faults t > t.base_faults then Some "DMA violation (IOMMU fault)"
     else if Safe_pci.grant_storms (Driver_host.grant s) > t.base_storms then
       Some "interrupt storm escalation"
-    else if Uchan.malformed chan > t.base_malformed then Some "malformed uchan message"
-    else if Uchan.dropped chan - t.last_dropped >= t.policy.flood_threshold then
-      Some "uchan ring flood"
+    else if Sud_obs.Metrics.get um.Uchan.um_malformed > t.base_malformed then
+      Some "malformed uchan message"
+    else if Sud_obs.Metrics.get um.Uchan.um_dropped - t.last_dropped >= t.policy.flood_threshold
+    then Some "uchan ring flood"
     else if Proxy_net.hung (Driver_host.proxy s) then Some "upcall hung"
     else begin
-      t.last_dropped <- Uchan.dropped chan;
+      t.last_dropped <- Sud_obs.Metrics.get um.Uchan.um_dropped;
       if not t.policy.heartbeat then None
       else
         (* The ping is answered inline by the driver's main upcall loop,
@@ -167,6 +178,7 @@ let unregister_netdev t =
 
 let quarantine t reason =
   t.state <- Quarantined;
+  Sud_obs.Metrics.incr t.sm.sm_quarantines;
   let dropped = Netdev.backlog_flush_drop t.netdev in
   Netdev.netif_carrier_off t.netdev;
   Netdev.set_up t.netdev false;
@@ -187,8 +199,26 @@ let start_generation t =
 let recover t reason =
   let detect_t = now t in
   t.detections <- t.detections + 1;
+  Sud_obs.Metrics.incr t.sm.sm_detections;
   t.last_reason <- Some reason;
   t.last_detect_latency <- detect_t - t.last_ok;
+  Sud_obs.Metrics.observe t.sm.sm_detect_ns t.last_detect_latency;
+  (* The detect span closes the causal loop: a DMA-violation detection is
+     parented to the IOMMU fault span that triggered it (which in turn
+     parents to the uchan RPC), so the JSONL trace reads
+     rpc -> fault -> detect -> kill -> restart. *)
+  let sp_detect =
+    if Sud_obs.Trace.on () then begin
+      let parent =
+        if String.length reason >= 3 && String.sub reason 0 3 = "DMA" then
+          Sud_obs.Trace.recall (Printf.sprintf "iommu.fault.last:%d" t.bdf)
+        else 0
+      in
+      Sud_obs.Trace.emit ~parent ~cat:"sup" ~name:"detect"
+        ~attrs:[ "driver", t.name; "reason", reason ] ()
+    end
+    else 0
+  in
   klogf t Klog.Warn "sud: supervisor(%s): detected fault (%s); recovering" t.name reason;
   emit t (Fault_detected reason);
   t.state <- Recovering;
@@ -207,15 +237,26 @@ let recover t reason =
   (match Safe_pci.reset_device t.sp t.bdf with
    | Ok () -> ()
    | Error e -> klogf t Klog.Warn "sud: supervisor(%s): reset failed: %s" t.name e);
+  let sp_kill =
+    if sp_detect <> 0 then
+      Sud_obs.Trace.emit ~parent:sp_detect ~cat:"sup" ~name:"kill"
+        ~attrs:[ "driver", t.name ] ()
+    else 0
+  in
   emit t Driver_killed;
   (* Recover: restart with exponential backoff under the restart budget. *)
   let rec attempt_start backoff_exp =
     let n = now t in
     let window_start = n - t.policy.restart_window_ns in
     t.restart_times <- List.filter (fun ts -> ts >= window_start) t.restart_times;
-    if List.length t.restart_times >= t.policy.max_restarts then
+    if List.length t.restart_times >= t.policy.max_restarts then begin
+      if sp_kill <> 0 then
+        ignore
+          (Sud_obs.Trace.emit ~parent:sp_kill ~cat:"sup" ~name:"quarantine"
+             ~attrs:[ "driver", t.name ] ());
       quarantine t (Printf.sprintf "restart budget exhausted (%d in window); last fault: %s"
                       (List.length t.restart_times) reason)
+    end
     else begin
       t.restart_times <- n :: t.restart_times;
       let delay =
@@ -229,6 +270,7 @@ let recover t reason =
       | Ok s ->
         install t s;
         t.restarts <- t.restarts + 1;
+        Sud_obs.Metrics.incr t.sm.sm_restarts;
         (if t.was_up then
            match Netstack.ifconfig_up t.k.Kernel.net t.netdev with
            | Ok () -> ()
@@ -239,6 +281,11 @@ let recover t reason =
         set_sysfs_state t "running";
         let outage = now t - detect_t in
         t.last_recovery <- outage;
+        Sud_obs.Metrics.observe t.sm.sm_outage_ns outage;
+        if sp_kill <> 0 then
+          ignore
+            (Sud_obs.Trace.emit ~parent:sp_kill ~dur_ns:outage ~cat:"sup" ~name:"restart"
+               ~attrs:[ "driver", t.name; "gen", string_of_int t.restarts ] ());
         t.last_ok <- now t;
         klogf t Klog.Info
           "sud: supervisor(%s): driver restarted (gen %d) after %d us outage, %d frames replayed"
@@ -297,7 +344,16 @@ let start k sp ?(policy = default_policy) ?(uid = 1000) ?(defensive_copy = true)
         base_malformed = 0;
         base_storms = 0;
         base_faults = 0;
-        last_dropped = 0 }
+        last_dropped = 0;
+        sm =
+          (let labels = [ "driver", name ] in
+           let c n = Sud_obs.Metrics.counter ~labels ~subsystem:"supervisor" ~name:n () in
+           let h n = Sud_obs.Metrics.histogram ~labels ~subsystem:"supervisor" ~name:n () in
+           { sm_detections = c "detections";
+             sm_restarts = c "restarts";
+             sm_quarantines = c "quarantines";
+             sm_detect_ns = h "detect_latency_ns";
+             sm_outage_ns = h "outage_ns" }) }
     in
     install t s;
     set_sysfs_state t "running";
@@ -329,6 +385,8 @@ let current t = t.cur
 let proc t = Option.map Driver_host.proc t.cur
 let chan t = Option.map Driver_host.chan t.cur
 let grant t = Option.map Driver_host.grant t.cur
+
+let metrics t = t.sm
 
 let stats t =
   { st_state = t.state;

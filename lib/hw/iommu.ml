@@ -25,17 +25,27 @@ type iotlb_entry = {
 
 type iotlb_stats = { hits : int; misses : int; evictions : int }
 
+type metrics = {
+  (* Translate sits on the DMA fast path (~9 ns/hit): the hit/miss tallies
+     stay plain mutable words on [t] and the registry reads them through
+     gauge callbacks, so instrumenting them costs the hot path nothing. *)
+  im_hits : Sud_obs.Metrics.gauge;
+  im_misses : Sud_obs.Metrics.gauge;
+  im_evictions : Sud_obs.Metrics.counter;
+  im_flushes : Sud_obs.Metrics.counter;
+  im_faults : Sud_obs.Metrics.counter;
+  im_ir_writes : Sud_obs.Metrics.counter;
+}
+
 type t = {
   mode : mode;
   domains : (Bus.bdf, domain) Hashtbl.t;
   iotlb : iotlb_entry option array; (* direct-mapped on (source, vpage) *)
-  mutable tlb_hits : int;
+  mutable tlb_hits : int;           (* hot words, exported as gauges *)
   mutable tlb_misses : int;
-  mutable tlb_evictions : int;
+  mutable m : metrics option;       (* set once in [create] *)
   mutable flt : Bus.fault list;     (* newest first *)
-  mutable flushes : int;
   ir_table : (Bus.bdf * int, unit) Hashtbl.t;
-  mutable ir_writes : int;
 }
 
 let dir_slots = 1024
@@ -43,21 +53,35 @@ let tbl_slots = 1024
 let iotlb_slots = 64
 
 let create ~mode () =
-  { mode;
-    domains = Hashtbl.create 8;
-    iotlb = Array.make iotlb_slots None;
-    tlb_hits = 0;
-    tlb_misses = 0;
-    tlb_evictions = 0;
-    flt = [];
-    flushes = 0;
-    ir_table = Hashtbl.create 8;
-    ir_writes = 0 }
+  let c name = Sud_obs.Metrics.counter ~subsystem:"iommu" ~name () in
+  let g name f = Sud_obs.Metrics.gauge ~subsystem:"iommu" ~name f in
+  let t =
+    { mode;
+      domains = Hashtbl.create 8;
+      iotlb = Array.make iotlb_slots None;
+      tlb_hits = 0;
+      tlb_misses = 0;
+      m = None;
+      flt = [];
+      ir_table = Hashtbl.create 8 }
+  in
+  (* The gauges close over [t], so the record is knotted after the fact. *)
+  t.m <-
+    Some
+      { im_hits = g "iotlb_hits" (fun () -> t.tlb_hits);
+        im_misses = g "iotlb_misses" (fun () -> t.tlb_misses);
+        im_evictions = c "iotlb_evictions";
+        im_flushes = c "iotlb_flushes";
+        im_faults = c "faults";
+        im_ir_writes = c "ir_updates" };
+  t
 
 let mode t = t.mode
+let metrics t = match t.m with Some m -> m | None -> assert false
 
 let iotlb_stats t =
-  { hits = t.tlb_hits; misses = t.tlb_misses; evictions = t.tlb_evictions }
+  { hits = t.tlb_hits; misses = t.tlb_misses;
+    evictions = Sud_obs.Metrics.get (metrics t).im_evictions }
 
 let iotlb_slot source vpage = (vpage lxor (source * 7919)) land (iotlb_slots - 1)
 
@@ -108,6 +132,13 @@ let check_range name iova len =
 
 let map _t d ~iova ~phys ~len ~writable =
   check_range "Iommu.map" iova len;
+  if Sud_obs.Trace.on () then
+    ignore
+      (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"iommu" ~name:"map"
+         ~attrs:
+           [ "bdf", Bus.string_of_bdf d.dom_source; "iova", Printf.sprintf "0x%x" iova;
+             "len", string_of_int len; "writable", string_of_bool writable ]
+         ());
   if not (Bus.is_page_aligned phys) then invalid_arg "Iommu.map: phys not page-aligned";
   let pages = len / Bus.page_size in
   for i = 0 to pages - 1 do
@@ -132,6 +163,13 @@ let map _t d ~iova ~phys ~len ~writable =
 
 let unmap t d ~iova ~len =
   check_range "Iommu.unmap" iova len;
+  if Sud_obs.Trace.on () then
+    ignore
+      (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"iommu" ~name:"unmap"
+         ~attrs:
+           [ "bdf", Bus.string_of_bdf d.dom_source; "iova", Printf.sprintf "0x%x" iova;
+             "len", string_of_int len ]
+         ());
   let pages = len / Bus.page_size in
   for i = 0 to pages - 1 do
     let va = iova + (i * Bus.page_size) in
@@ -145,10 +183,34 @@ let unmap t d ~iova ~len =
         d.entries <- d.entries - 1
       end
   done;
-  t.flushes <- t.flushes + 1
+  Sud_obs.Metrics.incr (metrics t).im_flushes
 
+(* The fault span is the causal pivot of the whole observability layer:
+   it parents to the ambient span (a handler running inside a uchan RPC)
+   or, for device DMA fired from engine callbacks, to the most recent
+   RPC issued on any channel — and it is remembered per-BDF so the
+   supervisor can parent its detect span to it. *)
 let record_fault t f =
   t.flt <- f :: t.flt;
+  Sud_obs.Metrics.incr (metrics t).im_faults;
+  if Sud_obs.Trace.on () then begin
+    match f with
+    | Bus.Iommu_fault { source; addr; dir } ->
+      let parent =
+        let c = Sud_obs.Trace.current () in
+        if c <> 0 then c else Sud_obs.Trace.recall "uchan.rpc.last"
+      in
+      let id =
+        Sud_obs.Trace.emit ~parent ~cat:"iommu" ~name:"fault"
+          ~attrs:
+            [ "bdf", Bus.string_of_bdf source; "addr", Printf.sprintf "0x%x" addr;
+              "dir", (match dir with Bus.Dma_read -> "read" | Bus.Dma_write -> "write") ]
+          ()
+      in
+      Sud_obs.Trace.remember (Printf.sprintf "iommu.fault.last:%d" source) id;
+      Sud_obs.Trace.remember "iommu.fault.last" id
+    | _ -> ()
+  end;
   `Fault f
 
 (* The two-level walk plus IOTLB fill, on a cache miss. *)
@@ -159,7 +221,7 @@ let walk_and_fill t d ~source ~addr ~dir =
     let i = iotlb_slot source vpage in
     (match t.iotlb.(i) with
      | Some e when not (e.e_source = source && e.e_vpage = vpage) ->
-       t.tlb_evictions <- t.tlb_evictions + 1
+       Sud_obs.Metrics.incr (metrics t).im_evictions
      | Some _ | None -> ());
     t.iotlb.(i) <- Some { e_source = source; e_vpage = vpage; e_ppage = pte.phys;
                           e_writable = pte.writable };
@@ -244,9 +306,9 @@ let mappings d =
 
 let iotlb_flush t d =
   iotlb_drop_source t ~source:d.dom_source;
-  t.flushes <- t.flushes + 1
+  Sud_obs.Metrics.incr (metrics t).im_flushes
 
-let iotlb_flushes t = t.flushes
+let iotlb_flushes t = Sud_obs.Metrics.get (metrics t).im_flushes
 
 let faults t = List.rev t.flt
 let clear_faults t = t.flt <- []
@@ -257,11 +319,11 @@ let ir_available t =
   | Amd_vi -> false
 
 let ir_allow t ~source ~vector =
-  t.ir_writes <- t.ir_writes + 1;
+  Sud_obs.Metrics.incr (metrics t).im_ir_writes;
   Hashtbl.replace t.ir_table (source, vector) ()
 
 let ir_block_source t ~source =
-  t.ir_writes <- t.ir_writes + 1;
+  Sud_obs.Metrics.incr (metrics t).im_ir_writes;
   let doomed =
     Hashtbl.fold (fun (s, v) () acc -> if s = source then (s, v) :: acc else acc) t.ir_table []
   in
@@ -271,4 +333,4 @@ let ir_check t ~source ~vector =
   if not (ir_available t) then true
   else Hashtbl.mem t.ir_table (source, vector)
 
-let ir_updates t = t.ir_writes
+let ir_updates t = Sud_obs.Metrics.get (metrics t).im_ir_writes

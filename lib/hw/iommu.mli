@@ -66,9 +66,31 @@ val translate_info :
 
 val iotlb_slots : int
 
+(** {1 Observability}
+
+    All IOMMU counters live in the {!Sud_obs.Metrics} registry under
+    subsystem ["iommu"]; the handles are exposed so callers read them
+    directly.  With tracing enabled, [map]/[unmap] emit spans and every
+    translation fault emits an ["iommu"/"fault"] span parented to the
+    uchan RPC that provoked it (ambient span, or the last issued RPC for
+    DMA fired from engine callbacks) and remembered under
+    ["iommu.fault.last:<bdf>"] for the supervisor to pick up. *)
+
+type metrics = {
+  im_hits : Sud_obs.Metrics.gauge;
+  im_misses : Sud_obs.Metrics.gauge;
+  im_evictions : Sud_obs.Metrics.counter;
+  im_flushes : Sud_obs.Metrics.counter;
+  im_faults : Sud_obs.Metrics.counter;
+  im_ir_writes : Sud_obs.Metrics.counter;
+}
+
+val metrics : t -> metrics
+
 type iotlb_stats = { hits : int; misses : int; evictions : int }
 
 val iotlb_stats : t -> iotlb_stats
+  [@@deprecated "read the Sud_obs registry handles via Iommu.metrics instead"]
 (** Cumulative hit/miss/conflict-eviction counters since creation. *)
 
 val mappings : domain -> (int * int * int * bool) list
@@ -78,7 +100,9 @@ val mappings : domain -> (int * int * int * bool) list
     want Figure 9's last row add it according to {!mode}. *)
 
 val iotlb_flush : t -> domain -> unit
+
 val iotlb_flushes : t -> int
+  [@@deprecated "read Metrics.get (Iommu.metrics t).im_flushes instead"]
 
 val faults : t -> Bus.fault list
 (** Accumulated translation faults, oldest first. *)
@@ -101,4 +125,5 @@ val ir_check : t -> source:Bus.bdf -> vector:int -> bool
     interrupt remapping is unavailable (the testbed's weakness). *)
 
 val ir_updates : t -> int
+  [@@deprecated "read Metrics.get (Iommu.metrics t).im_ir_writes instead"]
 (** Number of remap-table writes, for the ablation bench. *)

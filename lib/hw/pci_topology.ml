@@ -29,9 +29,12 @@ type t = {
   mutable msi_sink : (source:Bus.bdf -> vector:int -> unit) option;
   mutable dma_charge : ([ `Hit | `Walk | `Bypass ] -> unit) option;
   mutable flt : Bus.fault list;   (* newest first *)
-  mutable p2p_count : int;
-  mutable msi_count : int;
-  mutable ir_blocked : int;
+  pm : metrics;
+}
+and metrics = {
+  pm_p2p : Sud_obs.Metrics.counter;
+  pm_msi : Sud_obs.Metrics.counter;
+  pm_ir_blocked : Sud_obs.Metrics.counter;
 }
 
 (* MMIO windows are carved from high physical space, well above any RAM the
@@ -53,9 +56,11 @@ let create ~mem ~iommu ~ioports () =
     msi_sink = None;
     dma_charge = None;
     flt = [];
-    p2p_count = 0;
-    msi_count = 0;
-    ir_blocked = 0 }
+    pm =
+      (let c name = Sud_obs.Metrics.counter ~subsystem:"pci" ~name () in
+       { pm_p2p = c "p2p_delivered";
+         pm_msi = c "msi_delivered";
+         pm_ir_blocked = c "msi_blocked_by_ir" }) }
 
 let root_switch t = t.root
 
@@ -126,13 +131,13 @@ let mmio_write t ~addr ~size v =
 let deliver_msi t ~source ~data =
   let vector = data land 0xff in
   if Iommu.ir_check t.iommu ~source ~vector then begin
-    t.msi_count <- t.msi_count + 1;
+    Sud_obs.Metrics.incr t.pm.pm_msi;
     match t.msi_sink with
     | Some sink -> sink ~source ~vector
     | None -> ()
   end
   else begin
-    t.ir_blocked <- t.ir_blocked + 1;
+    Sud_obs.Metrics.incr t.pm.pm_ir_blocked;
     record_fault t (Bus.Ir_blocked { source; vector })
   end
 
@@ -180,7 +185,7 @@ let dma_common t ~source ~addr ~dir k_peer k_phys k_msi =
   | Some requester ->
     (match p2p_victim t requester addr with
      | Some (victim, bar, off) ->
-       t.p2p_count <- t.p2p_count + 1;
+       Sud_obs.Metrics.incr t.pm.pm_p2p;
        k_peer victim bar off
      | None ->
        (match translate_charged t ~source ~addr ~dir with
@@ -297,6 +302,7 @@ let io_region t bdf ~bar =
     List.find_map (fun (b, base, size) -> if b = bar then Some (base, size) else None) a.io_bars
 
 let routing_faults t = List.rev t.flt
-let p2p_delivered t = t.p2p_count
-let msi_delivered t = t.msi_count
-let msi_blocked_by_ir t = t.ir_blocked
+let metrics t = t.pm
+let p2p_delivered t = Sud_obs.Metrics.get t.pm.pm_p2p
+let msi_delivered t = Sud_obs.Metrics.get t.pm.pm_msi
+let msi_blocked_by_ir t = Sud_obs.Metrics.get t.pm.pm_ir_blocked

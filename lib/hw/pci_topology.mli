@@ -76,15 +76,30 @@ val bar_region : t -> Bus.bdf -> bar:int -> (int * int) option
 val io_region : t -> Bus.bdf -> bar:int -> (int * int) option
 (** Assigned [(port_base, len)] of an IO BAR. *)
 
-(** {1 Observability} *)
+(** {1 Observability}
+
+    Fabric counters live in the {!Sud_obs.Metrics} registry under
+    subsystem ["pci"]. *)
 
 val routing_faults : t -> Bus.fault list
 (** ACS blocks, source-validation rejections and master aborts recorded by
     the fabric (IOMMU faults are recorded by the IOMMU itself). *)
 
+type metrics = {
+  pm_p2p : Sud_obs.Metrics.counter;
+  pm_msi : Sud_obs.Metrics.counter;
+  pm_ir_blocked : Sud_obs.Metrics.counter;
+}
+
+val metrics : t -> metrics
+
 val p2p_delivered : t -> int
+  [@@deprecated "read Metrics.get (Pci_topology.metrics t).pm_p2p instead"]
 (** Count of peer-to-peer transactions that were delivered directly — each
     one is a successful attack in an unprotected configuration. *)
 
 val msi_delivered : t -> int
+  [@@deprecated "read Metrics.get (Pci_topology.metrics t).pm_msi instead"]
+
 val msi_blocked_by_ir : t -> int
+  [@@deprecated "read Metrics.get (Pci_topology.metrics t).pm_ir_blocked instead"]

@@ -9,19 +9,22 @@ type t = {
   klog : Klog.t;
   handlers : (int, entry) Hashtbl.t;
   mutable next_vector : int;
-  mutable spurious_count : int;
-  mutable delivered : int;
+  qm : metrics;
+}
+and metrics = {
+  qm_delivered : Sud_obs.Metrics.counter;
+  qm_spurious : Sud_obs.Metrics.counter;
 }
 
 let create eng cpu preempt klog =
+  let c name = Sud_obs.Metrics.counter ~subsystem:"irq" ~name () in
   { eng;
     cpu;
     preempt;
     klog;
     handlers = Hashtbl.create 16;
     next_vector = 32;
-    spurious_count = 0;
-    delivered = 0 }
+    qm = { qm_delivered = c "delivered"; qm_spurious = c "spurious" } }
 
 let alloc_vector t =
   let v = t.next_vector in
@@ -39,12 +42,17 @@ let request_irq t ~vector ~name fn =
 let free_irq t ~vector = Hashtbl.remove t.handlers vector
 
 let deliver t ~source ~vector =
-  t.delivered <- t.delivered + 1;
+  Sud_obs.Metrics.incr t.qm.qm_delivered;
+  if Sud_obs.Trace.on () then
+    ignore
+      (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"irq" ~name:"deliver"
+         ~attrs:[ "bdf", Bus.string_of_bdf source; "vector", string_of_int vector ]
+         ());
   let model = Cpu.cost_model t.cpu in
   Cpu.account t.cpu ~label:"kernel:irq" model.Cost_model.irq_deliver_ns;
   match Hashtbl.find_opt t.handlers vector with
   | None ->
-    t.spurious_count <- t.spurious_count + 1;
+    Sud_obs.Metrics.incr t.qm.qm_spurious;
     Klog.printk t.klog Klog.Warn "irq: spurious vector %d from %s" vector
       (Bus.string_of_bdf source)
   | Some entry ->
@@ -57,5 +65,6 @@ let deliver t ~source ~vector =
 let count t ~vector =
   match Hashtbl.find_opt t.handlers vector with Some e -> e.hits | None -> 0
 
-let spurious t = t.spurious_count
-let total_delivered t = t.delivered
+let metrics t = t.qm
+let spurious t = Sud_obs.Metrics.get t.qm.qm_spurious
+let total_delivered t = Sud_obs.Metrics.get t.qm.qm_delivered

@@ -24,5 +24,19 @@ val deliver : t -> source:Bus.bdf -> vector:int -> unit
     vectors are counted and logged as spurious. *)
 
 val count : t -> vector:int -> int
+
+type metrics = {
+  qm_delivered : Sud_obs.Metrics.counter;
+  qm_spurious : Sud_obs.Metrics.counter;
+}
+(** Delivery counters live in the {!Sud_obs.Metrics} registry under
+    subsystem ["irq"]; {!deliver} also emits an ["irq"/"deliver"] trace
+    span when tracing is enabled. *)
+
+val metrics : t -> metrics
+
 val spurious : t -> int
+  [@@deprecated "read Metrics.get (Irq.metrics t).qm_spurious instead"]
+
 val total_delivered : t -> int
+  [@@deprecated "read Metrics.get (Irq.metrics t).qm_delivered instead"]

@@ -39,6 +39,13 @@ let boot ?(cores = 2) ?(mem_size = 256 * 1024 * 1024)
       in
       if ns > 0 then Cpu.account cpu ~label:"hw:iommu" ns);
   if enable_acs then Pci_topology.enable_acs_everywhere topo;
+  (* Observability: spans are stamped with simulated time, and the
+     registry is browsable through sysfs like /sys/kernel/* files. *)
+  Sud_obs.Trace.set_clock (fun () -> Engine.now eng);
+  Sysfs.register_file sysfs ~path:"/sys/kernel/sud_metrics" ~read:(fun () ->
+      Sud_obs.Metrics.render_table (Sud_obs.Metrics.snapshot ()));
+  Sysfs.register_file sysfs ~path:"/sys/kernel/sud_metrics.json" ~read:(fun () ->
+      Sud_obs.Metrics.to_json (Sud_obs.Metrics.snapshot ()));
   Klog.printk klog Klog.Info "kernel: booted with %d cores, %d MiB RAM" cores
     (mem_size / 1024 / 1024);
   { eng; cpu; mem; iommu; ioports; topo; irq; preempt; net; sysfs; klog; procs }

@@ -42,13 +42,18 @@ type t = {
      vanish; bounded, with a drop counter once full. *)
   backlog : Skbuff.t Queue.t;
   mutable backlog_limit : int;
-  mutable n_bl_offered : int;
-  mutable n_bl_dropped : int;
-  mutable n_bl_replayed : int;
+  nm : metrics;
+}
+and metrics = {
+  nm_bl_offered : Sud_obs.Metrics.counter;
+  nm_bl_dropped : Sud_obs.Metrics.counter;
+  nm_bl_replayed : Sud_obs.Metrics.counter;
+  nm_bl_queued : Sud_obs.Metrics.gauge;
 }
 
 let create ~name ~mac ~ops =
   if Bytes.length mac <> 6 then invalid_arg "Netdev.create: MAC must be 6 bytes";
+  let backlog = Queue.create () in
   { dname = name;
     dmac = Bytes.copy mac;
     dops = ops;
@@ -59,11 +64,17 @@ let create ~name ~mac ~ops =
     txq = Sync.Waitq.create ();
     tx_lock = Sync.Mutex.create ();
     stack_rx = None;
-    backlog = Queue.create ();
+    backlog;
     backlog_limit = 0;
-    n_bl_offered = 0;
-    n_bl_dropped = 0;
-    n_bl_replayed = 0 }
+    nm =
+      (let labels = [ "dev", name ] in
+       let c n = Sud_obs.Metrics.counter ~labels ~subsystem:"netdev" ~name:n () in
+       { nm_bl_offered = c "backlog_offered";
+         nm_bl_dropped = c "backlog_dropped";
+         nm_bl_replayed = c "backlog_replayed";
+         nm_bl_queued =
+           Sud_obs.Metrics.gauge ~labels ~subsystem:"netdev" ~name:"backlog_queued"
+             (fun () -> Queue.length backlog) }) }
 
 let name t = t.dname
 let mac t = t.dmac
@@ -93,10 +104,10 @@ let tx_lock t = t.tx_lock
 
 let backlog_xmit t ~limit skb =
   t.backlog_limit <- limit;
-  t.n_bl_offered <- t.n_bl_offered + 1;
+  Sud_obs.Metrics.incr t.nm.nm_bl_offered;
   if Queue.length t.backlog < limit then Queue.push skb t.backlog
   else begin
-    t.n_bl_dropped <- t.n_bl_dropped + 1;
+    Sud_obs.Metrics.incr t.nm.nm_bl_dropped;
     t.dstats.tx_dropped <- t.dstats.tx_dropped + 1
   end;
   (* Always [Xmit_ok]: the frame was accepted (or accounted as dropped);
@@ -108,21 +119,23 @@ let backlog_take t =
   match Queue.take_opt t.backlog with
   | None -> None
   | Some skb ->
-    t.n_bl_replayed <- t.n_bl_replayed + 1;
+    Sud_obs.Metrics.incr t.nm.nm_bl_replayed;
     Some skb
 
 let backlog_flush_drop t =
   let n = Queue.length t.backlog in
   Queue.clear t.backlog;
-  t.n_bl_dropped <- t.n_bl_dropped + n;
+  Sud_obs.Metrics.add t.nm.nm_bl_dropped n;
   t.dstats.tx_dropped <- t.dstats.tx_dropped + n;
   n
 
+let metrics t = t.nm
+
 let backlog_stats t =
-  { bl_offered = t.n_bl_offered;
+  { bl_offered = Sud_obs.Metrics.get t.nm.nm_bl_offered;
     bl_queued = Queue.length t.backlog;
-    bl_dropped = t.n_bl_dropped;
-    bl_replayed = t.n_bl_replayed }
+    bl_dropped = Sud_obs.Metrics.get t.nm.nm_bl_dropped;
+    bl_replayed = Sud_obs.Metrics.get t.nm.nm_bl_replayed }
 
 let netif_rx t skb =
   match t.stack_rx with

@@ -86,7 +86,19 @@ val backlog_take : t -> Skbuff.t option
 val backlog_flush_drop : t -> int
 (** Drop everything still parked (quarantine path); returns the count. *)
 
+type metrics = {
+  nm_bl_offered : Sud_obs.Metrics.counter;
+  nm_bl_dropped : Sud_obs.Metrics.counter;
+  nm_bl_replayed : Sud_obs.Metrics.counter;
+  nm_bl_queued : Sud_obs.Metrics.gauge;   (** reads [Queue.length] live *)
+}
+(** Backlog accounting lives in the {!Sud_obs.Metrics} registry under
+    subsystem ["netdev"], labelled [("dev", name)]. *)
+
+val metrics : t -> metrics
+
 val backlog_stats : t -> backlog_stats
+  [@@deprecated "read the Sud_obs registry handles via Netdev.metrics instead"]
 
 val netif_rx : t -> Skbuff.t -> unit
 (** Hand a received frame to the stack (non-blocking; callable from atomic

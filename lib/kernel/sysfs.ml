@@ -7,9 +7,19 @@ type entry = {
   mutable attrs : (string * string) list;
 }
 
-type t = { mutable items : entry list }
+type t = {
+  mutable items : entry list;
+  mutable files : (string * (unit -> string)) list;  (* virtual read-only nodes *)
+}
 
-let create () = { items = [] }
+let create () = { items = []; files = [] }
+
+let register_file t ~path ~read =
+  t.files <- (path, read) :: List.remove_assoc path t.files
+
+let read_file t ~path = Option.map (fun read -> read ()) (List.assoc_opt path t.files)
+
+let files t = List.rev_map fst t.files
 
 let add_pci_device t ~bdf ~vendor ~device ~class_code =
   let path = Printf.sprintf "/sys/devices/pci0000:00/0000:%s" (Bus.string_of_bdf bdf) in

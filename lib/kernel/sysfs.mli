@@ -26,3 +26,16 @@ val match_ids : t -> ids:(int * int) list -> entry list
 
 val set_attr : entry -> string -> string -> unit
 val attr : entry -> string -> string option
+
+(** {1 Virtual files}
+
+    Read-only nodes whose contents are computed on every read — the shape
+    of /sys/kernel/* introspection files.  [Kernel.boot] registers
+    [/sys/kernel/sud_metrics] (human table) and
+    [/sys/kernel/sud_metrics.json] here. *)
+
+val register_file : t -> path:string -> read:(unit -> string) -> unit
+(** Re-registering a path replaces its reader. *)
+
+val read_file : t -> path:string -> string option
+val files : t -> string list

@@ -10,6 +10,15 @@ let reply_flag = 0x8000
 
 type waiter = { cell : (Msg.t, error) result option ref; wq : Sync.Waitq.t }
 
+type metrics = {
+  um_up : Sud_obs.Metrics.counter;
+  um_down : Sud_obs.Metrics.counter;
+  um_notify : Sud_obs.Metrics.counter;
+  um_dropped : Sud_obs.Metrics.counter;
+  um_malformed : Sud_obs.Metrics.counter;
+  um_rpc_ns : Sud_obs.Metrics.histogram;   (* sync RPC round-trip, ns *)
+}
+
 type t = {
   k : Kernel.t;
   label : string;
@@ -26,11 +35,7 @@ type t = {
   mutable batch : Msg.t list;            (* user-side async downcalls, newest first *)
   mutable batch_len : int;               (* |batch|, so uasend stays O(1) *)
   mutable handler : (Msg.t -> Msg.t option) option;
-  mutable n_up : int;
-  mutable n_down : int;
-  mutable n_notify : int;
-  mutable n_dropped : int;               (* async downcalls lost to a full u2k ring *)
-  mutable n_malformed : int;             (* undecodable u2k slots from the driver *)
+  um : metrics;
   (* Fault injection (lib/attacks): a wedged channel parks the driver's
      main loop; corrupt/drop counters garble or swallow the next driver
      replies at the transport, before the kernel worker sees them. *)
@@ -59,7 +64,7 @@ let wakeup_cost_since t ~since =
 
 let kick t wq =
   if Sync.Waitq.waiters wq > 0 then begin
-    t.n_notify <- t.n_notify + 1;
+    Sud_obs.Metrics.incr t.um.um_notify;
     notify_cost t;
     ignore (Sync.Waitq.signal wq : bool)
   end
@@ -91,7 +96,7 @@ let fail_all_waiters tbl err =
 let dispatch_u2k t decoded =
   match decoded with
   | Error e ->
-    t.n_malformed <- t.n_malformed + 1;
+    Sud_obs.Metrics.incr t.um.um_malformed;
     Klog.printk t.k.Kernel.klog Klog.Warn "uchan(%s): malformed message from driver: %s"
       t.label e
   | Ok m ->
@@ -106,7 +111,14 @@ let dispatch_u2k t decoded =
         Klog.printk t.k.Kernel.klog Klog.Warn "uchan(%s): downcall %d with no handler"
           t.label m.Msg.kind
       | Some h ->
-        let reply = h m in
+        (* Run the handler under the issuing RPC's span, so anything it
+           touches (IOMMU maps, netdev work) is causally attributed. *)
+        let parent =
+          if Sud_obs.Trace.on () && m.Msg.seq <> 0 then
+            Sud_obs.Trace.recall (Printf.sprintf "uchan.rpc.seq:%s:%d" t.label m.Msg.seq)
+          else 0
+        in
+        let reply = if parent <> 0 then Sud_obs.Trace.with_current parent (fun () -> h m) else h m in
         if m.Msg.seq <> 0 then begin
           (* Downcall results return directly into the buffer the driver
              passed to sud_send (paper §3.1), not as a separate message. *)
@@ -128,6 +140,10 @@ let worker_loop t () =
       match Ring.pop_inplace t.u2k Msg.unmarshal_view with
       | Some decoded ->
         msg_cost t;
+        if Sud_obs.Trace.on () then
+          ignore
+            (Sud_obs.Trace.emit ~cat:"uchan" ~name:"pop"
+               ~attrs:[ "chan", t.label; "dir", "u2k" ] ());
         dispatch_u2k t decoded;
         loop ()
       | None ->
@@ -157,11 +173,15 @@ let create k ?(slots = 256) ?hang_timeout_ns:(hto = hang_timeout_ns) ~driver_lab
       batch = [];
       batch_len = 0;
       handler = None;
-      n_up = 0;
-      n_down = 0;
-      n_notify = 0;
-      n_dropped = 0;
-      n_malformed = 0;
+      um =
+        (let labels = [ "chan", driver_label ] in
+         let c name = Sud_obs.Metrics.counter ~labels ~subsystem:"uchan" ~name () in
+         { um_up = c "upcalls";
+           um_down = c "downcalls";
+           um_notify = c "notifications";
+           um_dropped = c "dropped";
+           um_malformed = c "malformed";
+           um_rpc_ns = Sud_obs.Metrics.histogram ~labels ~subsystem:"uchan" ~name:"rpc_ns" () });
       wedged = false;
       corrupt_next = 0;
       drop_next = 0 }
@@ -191,18 +211,59 @@ let set_downcall_handler t h = t.handler <- Some h
 let push_k2u t m =
   msg_cost t;
   if push_flagged t.k2u m ~is_reply:false then begin
-    t.n_up <- t.n_up + 1;
+    Sud_obs.Metrics.incr t.um.um_up;
+    if Sud_obs.Trace.on () then
+      ignore
+        (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"uchan" ~name:"push"
+           ~attrs:[ "chan", t.label; "dir", "k2u" ] ());
     kick t t.u_waitq;
     true
   end
   else false
+
+let rpc_issue t ~dir ~seq ~kind =
+  if Sud_obs.Trace.on () then begin
+    let id =
+      Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"uchan" ~name:"rpc"
+        ~attrs:
+          [ "chan", t.label; "dir", dir; "kind", string_of_int kind;
+            "seq", string_of_int seq ]
+        ()
+    in
+    (* Correlation keys: the per-seq key lets the kernel worker run the
+       downcall handler under this span; the "last" key is the fallback
+       parent for faults raised from engine callbacks (device DMA). *)
+    Sud_obs.Trace.remember (Printf.sprintf "uchan.rpc.seq:%s:%d" t.label seq) id;
+    Sud_obs.Trace.remember "uchan.rpc.last" id;
+    id
+  end
+  else 0
+
+let rpc_finish t ~span ~t0 r =
+  let dur = Engine.now t.k.Kernel.eng - t0 in
+  Sud_obs.Metrics.observe t.um.um_rpc_ns dur;
+  if span <> 0 then
+    ignore
+      (Sud_obs.Trace.emit ~parent:span ~dur_ns:dur ~cat:"uchan" ~name:"rpc.complete"
+         ~attrs:
+           [ "chan", t.label;
+             "status",
+             (match r with
+              | Ok _ -> "ok"
+              | Error Hung -> "hung"
+              | Error Interrupted -> "interrupted"
+              | Error Closed -> "closed") ]
+         ());
+  r
 
 let send t m =
   if t.closed then Error Closed
   else begin
     let seq = fresh_seq t in
     let m = { m with Msg.seq } in
-    if not (push_k2u t m) then Error Hung
+    let t0 = Engine.now t.k.Kernel.eng in
+    let span = rpc_issue t ~dir:"k2u" ~seq ~kind:m.Msg.kind in
+    if not (push_k2u t m) then rpc_finish t ~span ~t0 (Error Hung)
     else begin
       let w = { cell = ref None; wq = Sync.Waitq.create () } in
       Hashtbl.replace t.k_pending seq w;
@@ -233,7 +294,7 @@ let send t m =
               | Fiber.Timeout -> await ()
           end
       in
-      await ()
+      rpc_finish t ~span ~t0 (await ())
     end
   end
 
@@ -277,7 +338,13 @@ let push_u2k_raw t m ~is_reply =
     true
   end
   else if push_flagged t.u2k m ~is_reply then begin
-    if not is_reply then t.n_down <- t.n_down + 1;
+    if not is_reply then begin
+      Sud_obs.Metrics.incr t.um.um_down;
+      if Sud_obs.Trace.on () then
+        ignore
+          (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"uchan" ~name:"push"
+             ~attrs:[ "chan", t.label; "dir", "u2k" ] ())
+    end;
     true
   end
   else false
@@ -294,7 +361,7 @@ let flush t =
            (* The kernel worker is live (it is trusted); a full u2k ring
               just means we outran it — drop oldest-first like a NIC, but
               count the loss so it shows up next to the send counters. *)
-           t.n_dropped <- t.n_dropped + 1)
+           Sud_obs.Metrics.incr t.um.um_dropped)
       (List.rev batch);
     kick t t.worker_waitq
 
@@ -320,7 +387,9 @@ let usend t m =
     flush t;
     let seq = fresh_seq t in
     let m = { m with Msg.seq } in
-    if not (push_u2k_raw t m ~is_reply:false) then Error Hung
+    let t0 = Engine.now t.k.Kernel.eng in
+    let span = rpc_issue t ~dir:"u2k" ~seq ~kind:m.Msg.kind in
+    if not (push_u2k_raw t m ~is_reply:false) then rpc_finish t ~span ~t0 (Error Hung)
     else begin
       kick t t.worker_waitq;
       let w = { cell = ref None; wq = Sync.Waitq.create () } in
@@ -341,7 +410,7 @@ let usend t m =
               await ()
           end
       in
-      await ()
+      rpc_finish t ~span ~t0 (await ())
     end
   end
 
@@ -361,6 +430,10 @@ let wait t =
       | Some decoded ->
         (match slept with Some since -> wakeup_cost_since t ~since | None -> ());
         msg_cost t;
+        if Sud_obs.Trace.on () then
+          ignore
+            (Sud_obs.Trace.emit ~cat:"uchan" ~name:"pop"
+               ~attrs:[ "chan", t.label; "dir", "k2u" ] ());
         ignore (Sync.Waitq.signal t.k_space : bool);
         (match decoded with
          | Error _ ->
@@ -396,11 +469,12 @@ let try_asend t m =
   if t.closed then false
   else push_k2u t { m with Msg.seq = 0 }
 
-let upcalls_sent t = t.n_up
-let downcalls_sent t = t.n_down
-let notifications t = t.n_notify
-let dropped t = t.n_dropped
-let malformed t = t.n_malformed
+let metrics t = t.um
+let upcalls_sent t = Sud_obs.Metrics.get t.um.um_up
+let downcalls_sent t = Sud_obs.Metrics.get t.um.um_down
+let notifications t = Sud_obs.Metrics.get t.um.um_notify
+let dropped t = Sud_obs.Metrics.get t.um.um_dropped
+let malformed t = Sud_obs.Metrics.get t.um.um_malformed
 let hang_timeout t = t.hang_timeout_ns
 
 (* ---- fault injection (lib/attacks) ---- *)

@@ -77,18 +77,48 @@ val hang_timeout_ns : int
 val hang_timeout : t -> int
 (** This channel's effective sync-upcall deadline. *)
 
+(** {1 Observability}
+
+    Per-channel counters and the sync-RPC latency histogram live in the
+    {!Sud_obs.Metrics} registry under subsystem ["uchan"], labelled
+    [("chan", driver_label)].  With tracing enabled, every sync RPC
+    emits an ["uchan"/"rpc"] span at issue (remembered under
+    ["uchan.rpc.last"] and a per-seq key) and an ["rpc.complete"] span
+    with the round-trip duration; ring pushes/pops emit
+    ["push"]/["pop"] spans; the kernel worker runs downcall handlers
+    under the issuing RPC's span so downstream work (IOMMU maps,
+    faults) is causally attributed. *)
+
+type metrics = {
+  um_up : Sud_obs.Metrics.counter;
+  um_down : Sud_obs.Metrics.counter;
+  um_notify : Sud_obs.Metrics.counter;
+  um_dropped : Sud_obs.Metrics.counter;
+  um_malformed : Sud_obs.Metrics.counter;
+  um_rpc_ns : Sud_obs.Metrics.histogram;
+}
+
+val metrics : t -> metrics
+
 val upcalls_sent : t -> int
+  [@@deprecated "read Metrics.get (Uchan.metrics t).um_up instead"]
+
 val downcalls_sent : t -> int
+  [@@deprecated "read Metrics.get (Uchan.metrics t).um_down instead"]
+
 val notifications : t -> int
+  [@@deprecated "read Metrics.get (Uchan.metrics t).um_notify instead"]
 (** Number of cross-address-space kicks — the measure of how well
     batching is working. *)
 
 val dropped : t -> int
+  [@@deprecated "read Metrics.get (Uchan.metrics t).um_dropped instead"]
 (** Batched asynchronous downcalls lost because the u2k ring was full at
     {!flush} time.  Nonzero means the driver outran the kernel worker;
     silent before, now visible next to the send counters. *)
 
 val malformed : t -> int
+  [@@deprecated "read Metrics.get (Uchan.metrics t).um_malformed instead"]
 (** Undecodable user→kernel slots discarded by the kernel worker.  The
     supervisor reads this: a growing count means the driver is writing
     garbage into its ring. *)

@@ -2,6 +2,16 @@
    PCI config space, IOMMU, IO ports, topology routing, devices. *)
 
 let mode_vtd = Iommu.Intel_vtd { interrupt_remapping = false }
+
+(* New-API reads of the IOMMU registry handles (the deprecated
+   Iommu.iotlb_stats/iotlb_flushes shims are exercised in test_obs.ml). *)
+let iotlb_stats io =
+  let m = Iommu.metrics io in
+  { Iommu.hits = Sud_obs.Metrics.gauge_value m.Iommu.im_hits;
+    misses = Sud_obs.Metrics.gauge_value m.Iommu.im_misses;
+    evictions = Sud_obs.Metrics.get m.Iommu.im_evictions }
+
+let iotlb_flushes io = Sud_obs.Metrics.get (Iommu.metrics io).Iommu.im_flushes
 let mode_vtd_ir = Iommu.Intel_vtd { interrupt_remapping = true }
 
 (* ---- phys_mem ---- *)
@@ -148,9 +158,9 @@ let test_iommu_unmap_flush () =
   let io = Iommu.create ~mode:mode_vtd () in
   let d = Iommu.attach io ~source:5 in
   Iommu.map io d ~iova:0x1000 ~phys:0x2000 ~len:4096 ~writable:true;
-  let flushes = Iommu.iotlb_flushes io in
+  let flushes = iotlb_flushes io in
   Iommu.unmap io d ~iova:0x1000 ~len:4096;
-  Alcotest.(check int) "unmap flushes the IOTLB" (flushes + 1) (Iommu.iotlb_flushes io);
+  Alcotest.(check int) "unmap flushes the IOTLB" (flushes + 1) (iotlb_flushes io);
   match Iommu.translate io ~source:5 ~addr:0x1000 ~dir:Bus.Dma_read with
   | `Fault _ -> ()
   | `Phys _ | `Msi -> Alcotest.fail "unmapped address must fault"
@@ -159,7 +169,7 @@ let test_iotlb_counters () =
   let io = Iommu.create ~mode:mode_vtd () in
   let d = Iommu.attach io ~source:5 in
   Iommu.map io d ~iova:0x10000 ~phys:0x20000 ~len:8192 ~writable:true;
-  let s0 = Iommu.iotlb_stats io in
+  let s0 = iotlb_stats io in
   Alcotest.(check (list int)) "cold cache" [ 0; 0 ] [ s0.Iommu.hits; s0.Iommu.misses ];
   (* Scripted pattern: miss, hit, miss (new page), hit, hit. *)
   List.iter
@@ -168,13 +178,13 @@ let test_iotlb_counters () =
        | `Phys _ -> ()
        | `Msi | `Fault _ -> Alcotest.fail "expected translation")
     [ 0x10123; 0x10456; 0x11000; 0x11abc; 0x10789 ];
-  let s1 = Iommu.iotlb_stats io in
+  let s1 = iotlb_stats io in
   Alcotest.(check (list int)) "2 walks, 3 hits" [ 3; 2 ] [ s1.Iommu.hits; s1.Iommu.misses ];
   (* A fault on an unmapped page pays a walk, not a hit. *)
   (match Iommu.translate io ~source:5 ~addr:0x40000 ~dir:Bus.Dma_read with
    | `Fault _ -> ()
    | `Phys _ | `Msi -> Alcotest.fail "expected fault");
-  let s2 = Iommu.iotlb_stats io in
+  let s2 = iotlb_stats io in
   Alcotest.(check (list int)) "fault counted as miss" [ 3; 3 ] [ s2.Iommu.hits; s2.Iommu.misses ]
 
 let test_iotlb_conflict_eviction () =
@@ -186,7 +196,7 @@ let test_iotlb_conflict_eviction () =
   Iommu.map io d ~iova:(0x100000 + stride) ~phys:0x300000 ~len:4096 ~writable:true;
   ignore (Iommu.translate io ~source:5 ~addr:0x100000 ~dir:Bus.Dma_read);
   ignore (Iommu.translate io ~source:5 ~addr:(0x100000 + stride) ~dir:Bus.Dma_read);
-  let s = Iommu.iotlb_stats io in
+  let s = iotlb_stats io in
   Alcotest.(check int) "conflict evicts" 1 s.Iommu.evictions;
   (* The evicted page still translates correctly (via a fresh walk). *)
   match Iommu.translate io ~source:5 ~addr:0x100123 ~dir:Bus.Dma_read with
@@ -232,10 +242,10 @@ let test_iotlb_flush_scrubs () =
   let d = Iommu.attach io ~source:5 in
   Iommu.map io d ~iova:0x10000 ~phys:0x20000 ~len:4096 ~writable:true;
   ignore (Iommu.translate io ~source:5 ~addr:0x10000 ~dir:Bus.Dma_read);
-  let s0 = Iommu.iotlb_stats io in
+  let s0 = iotlb_stats io in
   Iommu.iotlb_flush io d;
   ignore (Iommu.translate io ~source:5 ~addr:0x10000 ~dir:Bus.Dma_read);
-  let s1 = Iommu.iotlb_stats io in
+  let s1 = iotlb_stats io in
   Alcotest.(check int) "flush forces a re-walk" (s0.Iommu.misses + 1) s1.Iommu.misses;
   Alcotest.(check int) "no phantom hit" s0.Iommu.hits s1.Iommu.hits
 

@@ -119,7 +119,7 @@ let test_irq_dispatch () =
       Alcotest.(check int) "handler ran" 2 !hits;
       Alcotest.(check int) "per-vector count" 2 (Irq.count irq ~vector:v);
       Irq.deliver irq ~source:0 ~vector:(v + 1);
-      Alcotest.(check int) "spurious counted" 1 (Irq.spurious irq);
+      Alcotest.(check int) "spurious counted" 1 (Sud_obs.Metrics.get (Irq.metrics irq).Irq.qm_spurious);
       Alcotest.(check bool) "double request rejected" true
         (Result.is_error (Irq.request_irq irq ~vector:v ~name:"t2" (fun ~source:_ -> ()))))
 

@@ -1,0 +1,209 @@
+(* The observability layer: metrics registry semantics, trace-ring
+   accounting under random span storms, JSONL round-trips, causal chain
+   queries, the sysfs nodes, and the deprecated-shim equivalences. *)
+
+module M = Sud_obs.Metrics
+module T = Sud_obs.Trace
+
+(* ---- metrics registry ---- *)
+
+let test_counter_gauge_histogram () =
+  let reg = M.create_registry () in
+  let c = M.counter ~registry:reg ~subsystem:"t" ~name:"c" () in
+  M.incr c;
+  M.add c 4;
+  Alcotest.(check int) "counter" 5 (M.get c);
+  let cell = ref 17 in
+  let g = M.gauge ~registry:reg ~subsystem:"t" ~name:"g" (fun () -> !cell) in
+  Alcotest.(check int) "gauge" 17 (M.gauge_value g);
+  cell := 3;
+  Alcotest.(check int) "gauge follows" 3 (M.gauge_value g);
+  let h = M.histogram ~registry:reg ~subsystem:"t" ~name:"h" () in
+  List.iter (M.observe h) [ 1; 2; 3; 1000; 1_000_000 ];
+  Alcotest.(check int) "hist count" 5 (M.hist_count h);
+  Alcotest.(check int) "hist sum" 1_001_006 (M.hist_sum h);
+  let snap = M.snapshot ~registry:reg () in
+  Alcotest.(check int) "one subsystem" 1 (List.length snap);
+  Alcotest.(check int) "three samples" 3
+    (List.length (List.hd snap).M.g_samples);
+  (* keep the handles alive past the snapshot: the registry holds them
+     weakly on purpose *)
+  ignore (M.get c + M.gauge_value g + M.hist_count h : int)
+
+let test_replace_on_same_key () =
+  let reg = M.create_registry () in
+  let c1 = M.counter ~registry:reg ~subsystem:"t" ~name:"c" () in
+  M.add c1 7;
+  let c2 = M.counter ~registry:reg ~subsystem:"t" ~name:"c" () in
+  let snap = M.snapshot ~registry:reg () in
+  Alcotest.(check int) "still one sample" 1
+    (List.length (List.hd snap).M.g_samples);
+  (match (List.hd (List.hd snap).M.g_samples).M.s_value with
+   | M.Counter v -> Alcotest.(check int) "newest instance wins" 0 v
+   | _ -> Alcotest.fail "expected counter");
+  ignore (M.get c1 + M.get c2 : int)
+
+let test_registry_does_not_root_metrics () =
+  let reg = M.create_registry () in
+  let make () =
+    let c = M.counter ~registry:reg ~subsystem:"ephemeral" ~name:"c" () in
+    M.incr c
+  in
+  make ();
+  Gc.full_major ();
+  Gc.full_major ();
+  let snap = M.snapshot ~registry:reg () in
+  Alcotest.(check bool) "dead subsystem pruned" true
+    (not (List.exists (fun g -> g.M.g_subsystem = "ephemeral") snap))
+
+let hist_bucket_sum_test =
+  QCheck.Test.make ~name:"histogram: bucket sums = observation count" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 200) (int_bound 1_000_000))
+    (fun vs ->
+       let reg = M.create_registry () in
+       let h = M.histogram ~registry:reg ~subsystem:"t" ~name:"h" () in
+       List.iter (M.observe h) vs;
+       let bucket_total = Array.fold_left ( + ) 0 (M.hist_buckets h) in
+       bucket_total = List.length vs
+       && M.hist_count h = List.length vs
+       && M.hist_sum h = List.fold_left ( + ) 0 vs)
+
+(* ---- trace ring ---- *)
+
+let with_trace f =
+  T.set_capacity 256;
+  T.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      T.set_enabled false;
+      T.set_capacity 16384)
+    f
+
+let test_trace_disabled_is_free () =
+  T.set_enabled false;
+  T.reset ();
+  let id = T.emit ~cat:"t" ~name:"x" () in
+  Alcotest.(check int) "disabled emit returns 0" 0 id;
+  Alcotest.(check int) "nothing recorded" 0 (T.emitted ())
+
+let trace_accounting_test =
+  QCheck.Test.make ~name:"trace: emitted = retained + dropped under storms"
+    ~count:100
+    QCheck.(pair (int_range 1 500) (int_range 0 2000))
+    (fun (cap, n) ->
+       T.set_capacity cap;
+       T.set_enabled true;
+       Fun.protect ~finally:(fun () ->
+           T.set_enabled false;
+           T.set_capacity 16384)
+         (fun () ->
+            for i = 1 to n do
+              ignore (T.emit ~parent:(i / 2) ~cat:"storm" ~name:"s" () : int)
+            done;
+            T.emitted () = n
+            && T.emitted () = T.retained () + T.dropped ()
+            && T.retained () = min n cap
+            && List.length (T.spans ()) = T.retained ()
+            (* the retained window is the newest spans, ids ascending *)
+            && (match T.spans () with
+                | [] -> n = 0
+                | first :: _ as l ->
+                  first.T.sp_id = n - T.retained () + 1
+                  && (List.nth l (T.retained () - 1)).T.sp_id = n)))
+
+let test_jsonl_roundtrip () =
+  with_trace (fun () ->
+      let a = T.emit ~cat:"uchan" ~name:"rpc" ~attrs:[ ("seq", "1"); ("odd", "a\"b\\c\n") ] () in
+      let b = T.emit ~parent:a ~dur_ns:42 ~cat:"iommu" ~name:"fault" () in
+      ignore (T.emit ~parent:b ~cat:"sup" ~name:"detect" () : int);
+      let lines = String.split_on_char '\n' (String.trim (T.to_jsonl ())) in
+      Alcotest.(check int) "three lines" 3 (List.length lines);
+      let parsed = List.filter_map T.span_of_line lines in
+      Alcotest.(check int) "all parse" 3 (List.length parsed);
+      let orig = T.spans () in
+      List.iter2
+        (fun o p ->
+           Alcotest.(check int) "id" o.T.sp_id p.T.sp_id;
+           Alcotest.(check int) "parent" o.T.sp_parent p.T.sp_parent;
+           Alcotest.(check int) "dur" o.T.sp_dur p.T.sp_dur;
+           Alcotest.(check string) "cat" o.T.sp_cat p.T.sp_cat;
+           Alcotest.(check string) "name" o.T.sp_name p.T.sp_name;
+           Alcotest.(check bool) "attrs" true (o.T.sp_attrs = p.T.sp_attrs))
+        orig parsed)
+
+let test_chain_exists () =
+  with_trace (fun () ->
+      let rpc = T.emit ~cat:"uchan" ~name:"rpc" () in
+      let flt = T.emit ~parent:rpc ~cat:"iommu" ~name:"fault" () in
+      let det = T.emit ~parent:flt ~cat:"sup" ~name:"detect" () in
+      let kil = T.emit ~parent:det ~cat:"sup" ~name:"kill" () in
+      ignore (T.emit ~parent:kil ~cat:"sup" ~name:"restart" () : int);
+      (* an unrelated fault with no rpc parent must not satisfy the chain *)
+      ignore (T.emit ~cat:"iommu" ~name:"fault" () : int);
+      let spans = T.spans () in
+      Alcotest.(check bool) "full chain found" true
+        (T.chain_exists spans
+           [ ("uchan", "rpc"); ("iommu", "fault"); ("sup", "detect");
+             ("sup", "kill"); ("sup", "restart") ]);
+      Alcotest.(check bool) "absent link rejected" false
+        (T.chain_exists spans
+           [ ("uchan", "rpc"); ("iommu", "fault"); ("sup", "quarantine") ]))
+
+let test_remember_recall_current () =
+  with_trace (fun () ->
+      T.remember "k" 7;
+      Alcotest.(check int) "recall" 7 (T.recall "k");
+      Alcotest.(check int) "unknown key" 0 (T.recall "nope");
+      Alcotest.(check int) "no ambient current" 0 (T.current ());
+      let seen = T.with_current 9 (fun () -> T.current ()) in
+      Alcotest.(check int) "ambient inside" 9 seen;
+      Alcotest.(check int) "restored outside" 0 (T.current ()))
+
+(* ---- boundary instrumentation: spans from a real world ---- *)
+
+let test_sysfs_metrics_node () =
+  let eng = Engine.create () in
+  let k = Kernel.boot eng in
+  (match Sysfs.read_file k.Kernel.sysfs ~path:"/sys/kernel/sud_metrics" with
+   | Some _ -> ()
+   | None -> Alcotest.fail "sud_metrics node missing");
+  (match Sysfs.read_file k.Kernel.sysfs ~path:"/sys/kernel/sud_metrics.json" with
+   | Some body ->
+     Alcotest.(check bool) "json-shaped" true
+       (String.length body > 0 && body.[0] = '{')
+   | None -> Alcotest.fail "sud_metrics.json node missing");
+  Alcotest.(check (option string)) "unknown path" None
+    (Sysfs.read_file k.Kernel.sysfs ~path:"/sys/kernel/nope")
+
+(* ---- deprecated shims still agree with the registry ---- *)
+
+[@@@alert "-deprecated"]
+
+let test_shims_agree () =
+  let io = Iommu.create ~mode:(Iommu.Intel_vtd { interrupt_remapping = false }) () in
+  let d = Iommu.attach io ~source:3 in
+  Iommu.map io d ~iova:0x1000 ~phys:0x2000 ~len:4096 ~writable:true;
+  ignore (Iommu.translate io ~source:3 ~addr:0x1000 ~dir:Bus.Dma_read : [ `Fault of Bus.fault | `Msi | `Phys of int ]);
+  ignore (Iommu.translate io ~source:3 ~addr:0x1000 ~dir:Bus.Dma_read
+          : [ `Fault of Bus.fault | `Msi | `Phys of int ]);
+  let st = Iommu.iotlb_stats io in
+  let m = Iommu.metrics io in
+  Alcotest.(check int) "hits shim" (M.gauge_value m.Iommu.im_hits) st.Iommu.hits;
+  Alcotest.(check int) "misses shim" (M.gauge_value m.Iommu.im_misses) st.Iommu.misses;
+  Alcotest.(check int) "flush shim" (M.get m.Iommu.im_flushes) (Iommu.iotlb_flushes io);
+  Alcotest.(check int) "hits saw traffic" 1 st.Iommu.hits;
+  Alcotest.(check int) "misses saw traffic" 1 st.Iommu.misses
+
+let suite =
+  [ Alcotest.test_case "metrics: counter/gauge/histogram" `Quick
+      test_counter_gauge_histogram;
+    Alcotest.test_case "metrics: replace on same key" `Quick test_replace_on_same_key;
+    Alcotest.test_case "metrics: registry holds weakly" `Quick
+      test_registry_does_not_root_metrics;
+    Alcotest.test_case "trace: disabled emit is free" `Quick test_trace_disabled_is_free;
+    Alcotest.test_case "trace: jsonl round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "trace: chain_exists" `Quick test_chain_exists;
+    Alcotest.test_case "trace: remember/recall/current" `Quick
+      test_remember_recall_current;
+    Alcotest.test_case "sysfs: /sys/kernel/sud_metrics" `Quick test_sysfs_metrics_node;
+    Alcotest.test_case "deprecated shims agree with registry" `Quick test_shims_agree ]
+  @ List.map QCheck_alcotest.to_alcotest [ hist_bucket_sum_test; trace_accounting_test ]

@@ -123,8 +123,10 @@ let iotlb_invalidation_test =
             probe page)
          ops;
        (* Counter sanity: every translation either hit or missed. *)
-       let s = Iommu.iotlb_stats io in
-       !ok && s.Iommu.hits >= 0 && s.Iommu.misses > 0)
+       let m = Iommu.metrics io in
+       !ok
+       && Sud_obs.Metrics.gauge_value m.Iommu.im_hits >= 0
+       && Sud_obs.Metrics.gauge_value m.Iommu.im_misses > 0)
 
 (* Random config-space writes through the SUD filter never re-enable INTx
    and never move a BAR. *)

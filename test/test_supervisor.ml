@@ -102,7 +102,13 @@ let test_backlog_replayed () =
            : [ `Sent | `Dropped ])
       done;
       settle w 100;
-      let bl = Netdev.backlog_stats dev in
+      let bl =
+        let nm = Netdev.metrics dev in
+        { Netdev.bl_offered = Sud_obs.Metrics.get nm.Netdev.nm_bl_offered;
+          bl_queued = Sud_obs.Metrics.gauge_value nm.Netdev.nm_bl_queued;
+          bl_dropped = Sud_obs.Metrics.get nm.Netdev.nm_bl_dropped;
+          bl_replayed = Sud_obs.Metrics.get nm.Netdev.nm_bl_replayed }
+      in
       Alcotest.(check bool) "running again" true (Supervisor.state sv = Supervisor.Running);
       Alcotest.(check bool) "frames were parked" true (bl.Netdev.bl_offered >= 5);
       Alcotest.(check int) "backlog accounting exact" bl.Netdev.bl_offered
