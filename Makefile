@@ -1,11 +1,22 @@
-.PHONY: all build test bench bench-smoke soak trace-smoke clean
+.PHONY: all build lint-deprecated test bench bench-smoke bench-mq soak trace-smoke clean
 
 all: build
 
-build:
+build: lint-deprecated
 	dune build
 
-test:
+# The deprecated scalar datapath shims (single-vector IRQ setup, scalar
+# uchan sends, single-queue netdev flow control) exist only so external
+# trees migrate gradually; in-tree code must use the queue-aware API.
+# The compiler already enforces this for alert-clean code — this grep
+# backstops sources that locally silence alerts.
+lint-deprecated:
+	@! grep -rnE \
+	  'Uchan\.(send|asend|try_asend|usend|uasend)[^a-zA-Z_]|Irq\.(alloc_vector|request_irq|free_irq)[^a-zA-Z_]|Safe_pci\.(setup_irq|teardown_irq|mask_msi|unmask_msi)[^a-zA-Z_]|Netdev\.(netif_stop_queue|netif_wake_queue|backlog_xmit|backlog_take|queue_stopped)[^a-zA-Z_]' \
+	  lib bin bench test examples \
+	  || { echo 'lint-deprecated: deprecated scalar datapath shim used in-tree (use the ~queue API)'; exit 1; }
+
+test: lint-deprecated
 	dune runtest
 
 # Full evaluation: microbenches + Figure-8 netperf sweep, JSON baseline.
@@ -15,6 +26,12 @@ bench:
 # CI smoke: whole test suite plus a quick JSON bench (no Figure-8 sweep).
 bench-smoke:
 	dune runtest && dune exec bench/main.exe -- quick --json
+
+# Multiqueue sweep: aggregate UDP RX at 1/2/4/8 queues, writes
+# BENCH_4.json; exits nonzero unless 4 queues beat 1 queue by >= 2x
+# with traffic actually spread across RX queues.
+bench-mq:
+	dune exec bench/main.exe -- mq
 
 # Supervision soak: per-fault-class recovery latencies, then a fixed-seed
 # storm of ~200 faults under live traffic plus a forced crash loop.

@@ -223,12 +223,13 @@ let ablation_batching () =
     let eng = Engine.create () in
     let k = Kernel.boot eng in
     let chan = Uchan.create k ~driver_label:"bench" () in
-    Uchan.set_downcall_handler chan (fun _ -> None);
+    Uchan.set_downcall_handler chan (fun ~queue:_ _ -> None);
     let proc = Process.spawn k.Kernel.procs ~name:"drv" ~uid:1000 in
     ignore
       (Process.spawn_fiber proc ~name:"sender" (fun () ->
            for _ = 1 to 1000 do
-             Uchan.uasend chan (Msg.make ~kind:Proxy_proto.down_tx_done ());
+             Uchan.transfer chan ~from:`Driver Uchan.Batched
+               (Msg.make ~kind:Proxy_proto.down_tx_done ());
              if not batch then begin
                (* No batching: enter the kernel for every message and let
                   the worker drain and go back to sleep. *)
@@ -450,6 +451,78 @@ let run_soak () =
   in
   print_endline (if ok then "\nSOAK PASSED" else "\nSOAK FAILED");
   (r, ok)
+
+(* ---- netperf_mq: the multiqueue sweep (make bench-mq) ---- *)
+
+(* Sweeps the SUD e1000 over 1/2/4/8 MSI-X vectors under a fixed 8-flow
+   UDP load and writes BENCH_4.json.  The pass condition is the PR's
+   acceptance bar: aggregate throughput at 4 queues must be at least 2x
+   the 1-queue figure — the per-queue rings, vectors and service fibers
+   must actually parallelize the datapath, not just shard its naming. *)
+
+let mq_speedup_floor = 2.0
+
+let run_netperf_mq ~json =
+  banner "netperf_mq: aggregate UDP RX vs queue count (SUD driver, 8 flows, 8 cores)";
+  let points = Netperf.mq_sweep () in
+  Printf.printf "%-8s %14s %8s %10s   %s\n" "queues" "Kpackets/s" "CPU" "samples"
+    "per-RX-queue frames";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun p ->
+       Printf.printf "%-8d %14.1f %7.0f%% %10d   [%s]\n" p.Netperf.mq_queues
+         p.Netperf.mq_kpps p.Netperf.mq_cpu_pct p.Netperf.mq_samples
+         (String.concat "; " (List.map string_of_int p.Netperf.mq_rxq_frames)))
+    points;
+  let kpps_at n =
+    match List.find_opt (fun p -> p.Netperf.mq_queues = n) points with
+    | Some p -> p.Netperf.mq_kpps
+    | None -> nan
+  in
+  let speedup = kpps_at 4 /. kpps_at 1 in
+  let spread_ok =
+    (* With 4+ queues, RSS must actually spread the flows: no single RX
+       queue may have swallowed the whole load. *)
+    List.for_all
+      (fun p ->
+         p.Netperf.mq_queues < 4
+         || List.length (List.filter (fun n -> n > 0) p.Netperf.mq_rxq_frames) >= 2)
+      points
+  in
+  let pass = speedup >= mq_speedup_floor && spread_ok in
+  Printf.printf "\n4-queue speedup over 1 queue: %.2fx (floor %.1fx)   RSS spread: %s\n"
+    speedup mq_speedup_floor
+    (if spread_ok then "ok" else "DEGENERATE (one queue took everything)");
+  print_endline (if pass then "NETPERF_MQ PASSED" else "NETPERF_MQ FAILED");
+  if json then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b "  \"schema\": \"sud-bench/4\",\n";
+    Buffer.add_string b "  \"bench\": \"netperf_mq\",\n";
+    Buffer.add_string b
+      (Printf.sprintf "  \"flows\": %d,\n  \"units\": \"kpackets_per_sec\",\n" Netperf.mq_flows);
+    Buffer.add_string b "  \"points\": [\n";
+    let n = List.length points in
+    List.iteri
+      (fun i p ->
+         Buffer.add_string b
+           (Printf.sprintf
+              "    { \"queues\": %d, \"kpps\": %.1f, \"cpu_pct\": %.1f, \"samples\": %d, \"rxq_frames\": [%s] }%s\n"
+              p.Netperf.mq_queues p.Netperf.mq_kpps p.Netperf.mq_cpu_pct p.Netperf.mq_samples
+              (String.concat ", " (List.map string_of_int p.Netperf.mq_rxq_frames))
+              (if i < n - 1 then "," else "")))
+      points;
+    Buffer.add_string b "  ],\n";
+    Buffer.add_string b
+      (Printf.sprintf "  \"speedup_4q_over_1q\": %.3f,\n  \"speedup_floor\": %.1f,\n"
+         speedup mq_speedup_floor);
+    Buffer.add_string b (Printf.sprintf "  \"pass\": %b\n}\n" pass);
+    let oc = open_out "BENCH_4.json" in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    print_endline "wrote BENCH_4.json"
+  end;
+  pass
 
 (* ---- disabled-tracer overhead guard ---- *)
 
@@ -729,6 +802,10 @@ let () =
   if List.mem "micro" args then begin
     ignore (microbenches () : (string * string * float) list);
     exit 0
+  end;
+  if List.mem "mq" args then begin
+    let pass = run_netperf_mq ~json:true in
+    exit (if pass then 0 else 1)
   end;
   if List.mem "soak" args then begin
     ignore (recovery_latencies () : Fault_inject.recovery_sample list);

@@ -58,9 +58,10 @@ let driver ?(name = "mal-e1000") ~on_open () =
             let t = { env; pdev; cb; mmio; ring; buf } in
             Ok
               { Driver_api.ni_mac = Bytes.of_string "\x02\xBA\xD0\x00\x00\x01";
+                ni_tx_queues = 1;
                 ni_open = (fun () -> on_open t);
                 ni_stop = (fun () -> ());
-                ni_xmit = (fun _ -> `Ok);
+                ni_xmit = (fun ~queue:_ _ -> `Ok);
                 ni_ioctl = (fun ~cmd:_ ~arg:_ -> Error "nope") }
           | Error e, _ | _, Error e -> Error e))
   in

@@ -114,9 +114,9 @@ let dma_read_exfiltration ~sud =
                ()
            in
            let cb =
-             { Driver_api.nc_rx = (fun ~addr:_ ~len:_ -> ());
-               nc_tx_free = (fun ~token:_ -> ());
-               nc_tx_done = ignore;
+             { Driver_api.nc_rx = (fun ~queue:_ ~addr:_ ~len:_ -> ());
+               nc_tx_free = (fun ~queue:_ ~token:_ -> ());
+               nc_tx_done = (fun ~queue:_ -> ());
                nc_carrier = ignore }
            in
            (match drv.Driver_api.nd_probe env pdev cb with
@@ -389,7 +389,7 @@ let toctou ~defensive_copy =
           ~on_open:(fun t ->
               region := Some t.Mal_nic.buf;
               t.Mal_nic.buf.Driver_api.dma_write ~off:0 benign;
-              t.Mal_nic.cb.Driver_api.nc_rx
+              t.Mal_nic.cb.Driver_api.nc_rx ~queue:0
                 ~addr:t.Mal_nic.buf.Driver_api.dma_addr ~len:(Bytes.length benign);
               Ok ())
           ()
@@ -747,7 +747,7 @@ let downcall_flood () =
                   (* Saturate the u2k ring forever. *)
                   let rec flood () =
                     for _ = 1 to 64 do
-                      t.Mal_nic.cb.Driver_api.nc_tx_done ()
+                      t.Mal_nic.cb.Driver_api.nc_tx_done ~queue:0
                     done;
                     t.Mal_nic.env.Driver_api.env_msleep 1;
                     flood ()

@@ -45,8 +45,10 @@ type pcidev = {
   pd_alloc_dma : ?coherent:bool -> bytes:int -> unit -> (dma_region, string) result;
   pd_free_dma : dma_region -> unit;
   pd_request_irq : (unit -> unit) -> (unit, string) result;
+  pd_request_irqs : n:int -> (queue:int -> unit) -> (unit, string) result;
   pd_free_irq : unit -> unit;
-  pd_irq_ack : unit -> unit;
+  pd_irq_ack : ?queue:int -> unit -> unit;
+  pd_msix_vectors : unit -> int;
   pd_find_capability : int -> int option;
 }
 
@@ -67,17 +69,18 @@ type txbuf = {
 }
 
 type net_callbacks = {
-  nc_rx : addr:int -> len:int -> unit;
-  nc_tx_free : token:int -> unit;
-  nc_tx_done : unit -> unit;
+  nc_rx : queue:int -> addr:int -> len:int -> unit;
+  nc_tx_free : queue:int -> token:int -> unit;
+  nc_tx_done : queue:int -> unit;
   nc_carrier : bool -> unit;
 }
 
 type net_instance = {
   ni_mac : bytes;
+  ni_tx_queues : int;
   ni_open : unit -> (unit, string) result;
   ni_stop : unit -> unit;
-  ni_xmit : txbuf -> [ `Ok | `Busy ];
+  ni_xmit : queue:int -> txbuf -> [ `Ok | `Busy ];
   ni_ioctl : cmd:int -> arg:int -> (int, string) result;
 }
 

@@ -54,10 +54,23 @@ type pcidev = {
   pd_alloc_dma : ?coherent:bool -> bytes:int -> unit -> (dma_region, string) result;
   pd_free_dma : dma_region -> unit;
   pd_request_irq : (unit -> unit) -> (unit, string) result;
+      (** the [n = 1] instance of [pd_request_irqs]; kept for
+          single-queue drivers *)
+  pd_request_irqs : n:int -> (queue:int -> unit) -> (unit, string) result;
+      (** Allocate [n] MSI-X vectors (one per queue) and install one
+          handler over the block; the handler receives the queue index.
+          Fails when the device's MSI-X table is too small or the
+          environment can only deliver one vector. *)
   pd_free_irq : unit -> unit;
-  pd_irq_ack : unit -> unit;
-      (** Tell the environment interrupt processing finished (under SUD
-          this unmasks the MSI; in-kernel it is a no-op). *)
+  pd_irq_ack : ?queue:int -> unit -> unit;
+      (** Tell the environment interrupt processing finished on [queue]
+          (default [0]; under SUD this unmasks that vector, in-kernel it
+          is a no-op). *)
+  pd_msix_vectors : unit -> int;
+      (** How many distinct vectors this environment can deliver to the
+          driver: the device's MSI-X table size, further clamped under
+          SUD by the uchan queue count.  [1] when only MSI/INTx is
+          available. *)
   pd_find_capability : int -> int option;
 }
 
@@ -90,20 +103,28 @@ type txbuf = {
 }
 
 type net_callbacks = {
-  nc_rx : addr:int -> len:int -> unit;
+  nc_rx : queue:int -> addr:int -> len:int -> unit;
       (** netif_rx: [addr] must lie inside one of the driver's DMA
-          regions; the environment (proxy) validates and copies out *)
-  nc_tx_free : token:int -> unit;
-      (** the device finished transmitting this [txbuf] *)
-  nc_tx_done : unit -> unit;        (** netif_wake_queue *)
+          regions; the environment (proxy) validates and copies out.
+          [queue] is the RX queue the frame arrived on — under SUD it
+          selects the uchan ring the downcall rides.  Single-queue
+          drivers pass [~queue:0]. *)
+  nc_tx_free : queue:int -> token:int -> unit;
+      (** the device finished transmitting this [txbuf] on [queue] *)
+  nc_tx_done : queue:int -> unit;
+      (** netif_wake_subqueue on [queue] *)
   nc_carrier : bool -> unit;        (** netif_carrier_on/off *)
 }
 
 type net_instance = {
   ni_mac : bytes;
+  ni_tx_queues : int;
+      (** TX/RX queue pairs this instance operates (>= 1); the
+          environment sizes the netdev and uchan rings to match *)
   ni_open : unit -> (unit, string) result;
   ni_stop : unit -> unit;
-  ni_xmit : txbuf -> [ `Ok | `Busy ];
+  ni_xmit : queue:int -> txbuf -> [ `Ok | `Busy ];
+      (** enqueue on TX [queue] *)
   ni_ioctl : cmd:int -> arg:int -> (int, string) result;
 }
 

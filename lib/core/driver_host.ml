@@ -9,8 +9,10 @@ type started = {
   s_chan : Uchan.t;
   s_grant : Safe_pci.grant;
   s_proxy : Proxy_net.t;
+  s_class : Proxy_class.instance;
   s_uml : Sud_uml.t;
   s_netdev : Netdev.t;
+  s_queues : int;
 }
 
 let pool_bufs = 128
@@ -21,7 +23,7 @@ let find_device k (drv : Driver_api.net_driver) =
   | [] -> Error "no matching PCI device in sysfs"
   | e :: _ -> Ok e.Sysfs.bdf
 
-let start_net_at k sp ?hang_timeout_ns ?adopt_netdev ?(unregister_on_exit = true)
+let start_net_at k sp ?hang_timeout_ns ?queues ?adopt_netdev ?(unregister_on_exit = true)
     ~uid ~defensive_copy ~name ~bdf (drv : Driver_api.net_driver) =
   if Sud_obs.Trace.on () then
     ignore
@@ -50,7 +52,14 @@ let start_net_at k sp ?hang_timeout_ns ?adopt_netdev ?(unregister_on_exit = true
            ~write:(fun ~off ~data -> region.Driver_api.dma_write ~off data)
            ~base_addr:region.Driver_api.dma_addr ~count:pool_bufs ~buf_size:pool_buf_size
        in
-       let chan = Uchan.create k ?hang_timeout_ns ~driver_label:name () in
+       (* One uchan ring pair per deliverable vector: the device's MSI-X
+          table sizes the datapath unless the caller narrows it. *)
+       let queues =
+         match queues with
+         | Some q -> max 1 (min q Uchan.max_queues)
+         | None -> max 1 (min (Safe_pci.msix_vectors grant) Uchan.max_queues)
+       in
+       let chan = Uchan.create k ?hang_timeout_ns ~queues ~driver_label:name () in
        let proxy =
          Proxy_net.create k ~chan ~grant ~pool ~name ~defensive_copy ?adopt:adopt_netdev ()
        in
@@ -84,14 +93,16 @@ let start_net_at k sp ?hang_timeout_ns ?adopt_netdev ?(unregister_on_exit = true
               s_chan = chan;
               s_grant = grant;
               s_proxy = proxy;
+              s_class = Proxy_net.instance proxy;
               s_uml = uml;
-              s_netdev = dev }))
+              s_netdev = dev;
+              s_queues = queues }))
 
 let start_net k sp ?(uid = 1000) ?(defensive_copy = true) ?name ?bdf ?hang_timeout_ns
-    ?adopt_netdev ?unregister_on_exit drv =
+    ?queues ?adopt_netdev ?unregister_on_exit drv =
   let name = Option.value ~default:drv.Driver_api.nd_name name in
   let go bdf =
-    start_net_at k sp ?hang_timeout_ns ?adopt_netdev ?unregister_on_exit ~uid
+    start_net_at k sp ?hang_timeout_ns ?queues ?adopt_netdev ?unregister_on_exit ~uid
       ~defensive_copy ~name ~bdf drv
   in
   match bdf with
@@ -103,8 +114,10 @@ let netdev s = s.s_netdev
 let grant s = s.s_grant
 let chan s = s.s_chan
 let proxy s = s.s_proxy
+let class_of s = s.s_class
 let uml s = s.s_uml
 let bdf s = s.s_bdf
+let queues s = s.s_queues
 
 let kill s = Process.kill s.s_proc
 
@@ -113,7 +126,8 @@ let restart k sp s drv =
   (* Let teardown events (fiber kills, device reset) settle at the current
      instant before re-opening the device. *)
   ignore (Fiber.sleep k.Kernel.eng 1_000 : Fiber.wake);
-  start_net_at k sp ~uid:s.s_uid ~defensive_copy:s.s_defensive ~name:s.s_name ~bdf:s.s_bdf drv
+  start_net_at k sp ~queues:s.s_queues ~uid:s.s_uid ~defensive_copy:s.s_defensive
+    ~name:s.s_name ~bdf:s.s_bdf drv
 
 let set_memory_limit s ~bytes = Process.setrlimit_memory s.s_proc ~bytes:(Some bytes)
 
@@ -143,7 +157,8 @@ let open_with_pool k sp ~uid ~name ~bdf =
            ~write:(fun ~off ~data -> region.Driver_api.dma_write ~off data)
            ~base_addr:region.Driver_api.dma_addr ~count:pool_bufs ~buf_size:pool_buf_size
        in
-       let chan = Uchan.create k ~driver_label:name () in
+       let queues = max 1 (min (Safe_pci.msix_vectors grant) Uchan.max_queues) in
+       let chan = Uchan.create k ~queues ~driver_label:name () in
        Ok (proc, grant, pool, chan))
 
 let find_by_ids k ids what =

@@ -19,14 +19,18 @@ val start_net :
   ?name:string ->
   ?bdf:Bus.bdf ->
   ?hang_timeout_ns:int ->
+  ?queues:int ->
   ?adopt_netdev:Netdev.t ->
   ?unregister_on_exit:bool ->
   Driver_api.net_driver ->
   (started, string) result
 (** Defaults: [uid] 1000, defensive copy on, [name] the driver's name,
     device found by the driver's ID table.  [hang_timeout_ns] tunes the
-    uchan's sync-upcall deadline.  The supervisor passes [adopt_netdev]
-    (reuse a surviving netdev instead of registering a new one) and
+    uchan's sync-upcall deadline.  [queues] is the number of uchan ring
+    pairs (default: the device's MSI-X table size, capped at
+    {!Uchan.max_queues}) — the datapath width the driver sees through
+    [pd_msix_vectors].  The supervisor passes [adopt_netdev] (reuse a
+    surviving netdev instead of registering a new one) and
     [unregister_on_exit:false] (it owns the netdev's lifecycle; process
     death must not tear the interface down). *)
 
@@ -35,8 +39,16 @@ val netdev : started -> Netdev.t
 val grant : started -> Safe_pci.grant
 val chan : started -> Uchan.t
 val proxy : started -> Proxy_net.t
+
+val class_of : started -> Proxy_class.instance
+(** The proxy behind the class-independent supervision surface — what
+    the supervisor holds instead of a [Proxy_net.t]. *)
+
 val uml : started -> Sud_uml.t
 val bdf : started -> Bus.bdf
+
+val queues : started -> int
+(** Ring pairs on this driver's uchan. *)
 
 val kill : started -> unit
 (** kill -9: the process dies, the grant is revoked, the uchan closes,

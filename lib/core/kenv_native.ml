@@ -19,7 +19,7 @@ let pcidev (k : Kernel.t) bdf ~label =
     let m = Cpu.cost_model cpu in
     let charge ns = Driver_api.charge cpu ~label ns in
     let cfg = Device.cfg dev in
-    let vector = ref None in
+    let vectors = ref None in
     let cfg_read ~off ~size =
       charge m.Cost_model.pio_access_ns;
       Pci_topology.cfg_read topo bdf ~off ~size
@@ -92,27 +92,49 @@ let pcidev (k : Kernel.t) bdf ~label =
       Phys_mem.free_pages k.Kernel.mem ~addr:r.Driver_api.dma_addr
         ~pages:(r.Driver_api.dma_size / Bus.page_size)
     in
-    let request_irq handler =
-      match !vector with
+    let msix_vectors () =
+      match Pci_cfg.find_capability cfg Pci_cfg.msix_cap_id with
+      | None -> 1
+      | Some _ -> max 1 (Pci_cfg.msix_table_size cfg)
+    in
+    let request_irqs ~n handler =
+      match !vectors with
       | Some _ -> Error "irq already requested"
       | None ->
-        let v = Irq.alloc_vector k.Kernel.irq in
-        (match
-           Irq.request_irq k.Kernel.irq ~vector:v ~name:label (fun ~source:_ -> handler ())
-         with
-         | Error e -> Error e
-         | Ok () ->
-           vector := Some v;
-           Pci_cfg.msi_configure cfg ~address:Bus.msi_window_base ~data:v;
-           if Iommu.ir_available k.Kernel.iommu then
-             Iommu.ir_allow k.Kernel.iommu ~source:bdf ~vector:v;
-           Ok ())
+        if n < 1 then Error "request_irqs: need at least one vector"
+        else if n > 1 && msix_vectors () < n then
+          Error
+            (Printf.sprintf "request_irqs: device exposes %d MSI-X vectors, %d requested"
+               (msix_vectors ()) n)
+        else begin
+          let vs = Irq.alloc_vectors k.Kernel.irq ~n in
+          match
+            Irq.request_irqs k.Kernel.irq ~vectors:vs ~name:label
+              (fun ~queue ~source:_ -> handler ~queue)
+          with
+          | Error e -> Error e
+          | Ok () ->
+            vectors := Some vs;
+            if n > 1 then begin
+              Array.iteri
+                (fun qi v ->
+                   Pci_cfg.msix_configure cfg ~vector:qi ~address:Bus.msi_window_base ~data:v;
+                   Pci_cfg.msix_set_mask cfg ~vector:qi false)
+                vs;
+              Pci_cfg.msix_set_enabled cfg true
+            end
+            else Pci_cfg.msi_configure cfg ~address:Bus.msi_window_base ~data:vs.(0);
+            if Iommu.ir_available k.Kernel.iommu then
+              Array.iter (fun v -> Iommu.ir_allow k.Kernel.iommu ~source:bdf ~vector:v) vs;
+            Ok ()
+        end
     in
+    let request_irq handler = request_irqs ~n:1 (fun ~queue:_ -> handler ()) in
     let free_irq () =
-      match !vector with
-      | Some v ->
-        Irq.free_irq k.Kernel.irq ~vector:v;
-        vector := None
+      match !vectors with
+      | Some vs ->
+        Irq.free_irqs k.Kernel.irq ~vectors:vs;
+        vectors := None
       | None -> ()
     in
     Ok
@@ -127,6 +149,8 @@ let pcidev (k : Kernel.t) bdf ~label =
         pd_alloc_dma = alloc_dma;
         pd_free_dma = free_dma;
         pd_request_irq = request_irq;
+        pd_request_irqs = request_irqs;
         pd_free_irq = free_irq;
-        pd_irq_ack = (fun () -> ());
+        pd_irq_ack = (fun ?queue:_ () -> ());
+        pd_msix_vectors = msix_vectors;
         pd_find_capability = (fun id -> Pci_cfg.find_capability cfg id) }

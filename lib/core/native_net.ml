@@ -30,9 +30,11 @@ let attach ?name (k : Kernel.t) (drv : Driver_api.net_driver) bdf =
       let dev_ref : Netdev.t option ref = ref None in
       let callbacks =
         { Driver_api.nc_rx =
-            (fun ~addr ~len ->
+            (fun ~queue:_ ~addr ~len ->
                (* Trusted driver: addr is a physical address of its RX
-                  buffer; the skb wraps that data with no extra copy. *)
+                  buffer; the skb wraps that data with no extra copy.
+                  RX queue fan-out happens in the stack's RPS, so the
+                  queue index needs no plumbing here. *)
                Driver_api.charge k.Kernel.cpu ~label m.Cost_model.skb_alloc_ns;
                match !dev_ref with
                | None -> ()
@@ -40,10 +42,15 @@ let attach ?name (k : Kernel.t) (drv : Driver_api.net_driver) bdf =
                  let data = Phys_mem.read k.Kernel.mem ~addr ~len in
                  Netdev.netif_rx dev (Skbuff.of_bytes data));
           nc_tx_free =
-            (fun ~token ->
+            (fun ~queue:_ ~token ->
                if token >= 0 && token < arena_slots then Queue.push token arena.free);
           nc_tx_done =
-            (fun () -> match !dev_ref with Some dev -> Netdev.netif_wake_queue dev | None -> ());
+            (fun ~queue ->
+               match !dev_ref with
+               | Some dev when queue >= 0 && queue < Netdev.tx_queues dev ->
+                 Netdev.netif_wake_subqueue dev ~queue
+               | Some dev -> Netdev.netif_tx_wake_all_queues dev
+               | None -> ());
           nc_carrier =
             (fun up ->
                match !dev_ref with
@@ -57,7 +64,7 @@ let attach ?name (k : Kernel.t) (drv : Driver_api.net_driver) bdf =
           { Netdev.ndo_open = (fun () -> inst.Driver_api.ni_open ());
             ndo_stop = (fun () -> inst.Driver_api.ni_stop ());
             ndo_start_xmit =
-              (fun skb ->
+              (fun ~queue skb ->
                  let len = Skbuff.length skb in
                  if len > arena_slot_size then Netdev.Xmit_busy
                  else begin
@@ -69,7 +76,7 @@ let attach ?name (k : Kernel.t) (drv : Driver_api.net_driver) bdf =
                        (Cost_model.copy_cost m ~bytes:len);
                      Phys_mem.write k.Kernel.mem ~addr skb.Skbuff.data;
                      (match
-                        inst.Driver_api.ni_xmit
+                        inst.Driver_api.ni_xmit ~queue
                           { Driver_api.txb_addr = addr;
                             txb_len = len;
                             txb_token = slot;
@@ -85,6 +92,7 @@ let attach ?name (k : Kernel.t) (drv : Driver_api.net_driver) bdf =
         in
         let dev =
           Netdev.create ~name:devname ~mac:inst.Driver_api.ni_mac ~ops
+            ~tx_queues:(max 1 inst.Driver_api.ni_tx_queues) ()
         in
         dev_ref := Some dev;
         Netstack.register_netdev k.Kernel.net dev;

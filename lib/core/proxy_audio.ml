@@ -48,9 +48,9 @@ let create k ~chan ~grant ~pool ~name () =
       periods = 0;
       period_wait = Sync.Waitq.create () }
   in
-  Uchan.set_downcall_handler chan (fun m ->
+  Uchan.set_downcall_handler chan (fun ~queue:_ m ->
       if m.Msg.kind = Proxy_proto.down_irq_ack then begin
-        Safe_pci.irq_ack grant;
+        Safe_pci.irq_ack ~queue:(Msg.arg m 0) grant;
         None
       end
       else handle_downcall t m);
@@ -74,7 +74,7 @@ let wait_cond k waitq ~timeout_ns cond =
 let wait_ready t ~timeout_ns = wait_cond t.k t.ready_wait ~timeout_ns (fun () -> t.ready)
 
 let sync_call t kind args =
-  match Uchan.send t.chan (Msg.make ~kind ~args ()) with
+  match Uchan.transfer t.chan ~from:`Kernel Uchan.Sync (Msg.make ~kind ~args ()) with
   | Error Uchan.Hung -> Error "driver hung"
   | Error Uchan.Interrupted -> Error "interrupted"
   | Error Uchan.Closed -> Error "driver is gone"
@@ -91,7 +91,7 @@ let write t pcm =
     let n = min (Bytes.length pcm) buf.Bufpool.size in
     Bufpool.write t.pool buf ~off:0 (Bytes.sub pcm 0 n);
     (match
-       Uchan.asend t.chan
+       Uchan.transfer t.chan ~from:`Kernel Uchan.Async
          (Msg.make ~kind:Proxy_proto.up_audio_write ~args:[ buf.Bufpool.id; n ] ())
      with
      | Ok () -> n
@@ -109,3 +109,16 @@ let periods_elapsed t = t.periods
 let wait_period t ~timeout_ns =
   let before = t.periods in
   wait_cond t.k t.period_wait ~timeout_ns (fun () -> t.periods > before)
+
+let instance t =
+  Proxy_class.Instance
+    ( (module struct
+        type nonrec t = t
+
+        let class_name = "audio"
+        let chan t = t.chan
+        let hung _ = false
+        let degrade t = t.ready <- false
+        let revive _ = ()   (* the register downcall flips [ready] back *)
+      end),
+      t )

@@ -32,3 +32,6 @@ val get_volume : t -> (int, string) result
 val periods_elapsed : t -> int
 val wait_period : t -> timeout_ns:int -> bool
 (** Block until the next period-elapsed event (false on timeout). *)
+
+val instance : t -> Proxy_class.instance
+(** This proxy behind the class-independent supervision surface. *)

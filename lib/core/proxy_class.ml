@@ -1,0 +1,31 @@
+module type S = sig
+  type t
+
+  val class_name : string
+  val chan : t -> Uchan.t
+  val hung : t -> bool
+  val degrade : t -> unit
+  val revive : t -> unit
+end
+
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+let class_name (Instance ((module P), _)) = P.class_name
+let chan (Instance ((module P), x)) = P.chan x
+let hung (Instance ((module P), x)) = P.hung x
+let degrade (Instance ((module P), x)) = P.degrade x
+let revive (Instance ((module P), x)) = P.revive x
+
+(* The shared heartbeat: every SUD driver's queue-0 service loop answers
+   [up_ping] inline (any reply — even an error reply from a class that
+   does not know the opcode — proves the loop is alive), so one
+   implementation serves every proxy class. *)
+let heartbeat inst =
+  match
+    Uchan.transfer (chan inst) ~from:`Kernel Uchan.Sync
+      (Msg.make ~kind:Proxy_proto.up_ping ())
+  with
+  | Ok _ -> Ok ()
+  | Error Uchan.Hung -> Error "heartbeat missed"
+  | Error Uchan.Closed -> Error "uchan closed"
+  | Error Uchan.Interrupted -> Ok ()   (* non-fatal signal; not the driver's fault *)

@@ -1,0 +1,43 @@
+(** The shared proxy-class interface.
+
+    Every class proxy — Ethernet, wireless, audio, USB host — presents
+    the same small supervision surface: its uchan, a hung flag, and
+    degrade/revive hooks for driver death and recovery.  The supervisor
+    and driver host program against {!instance} instead of
+    pattern-matching on proxy kinds, so adding a device class never
+    touches the recovery machinery. *)
+
+module type S = sig
+  type t
+
+  val class_name : string
+  val chan : t -> Uchan.t
+
+  val hung : t -> bool
+  (** The proxy observed the driver failing to service upcalls. *)
+
+  val degrade : t -> unit
+  (** Detach from the kernel subsystem on driver death (e.g. the net
+      proxy unregisters its netdev) — the subsystem-specific part of
+      containment. *)
+
+  val revive : t -> unit
+  (** Undo {!degrade} after a successful restart.  Classes whose
+      registration downcall re-attaches on its own leave this a no-op. *)
+end
+
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+(** A proxy packed with its class module — one capability the supervisor
+    can hold for any device class. *)
+
+val class_name : instance -> string
+val chan : instance -> Uchan.t
+val hung : instance -> bool
+val degrade : instance -> unit
+val revive : instance -> unit
+
+val heartbeat : instance -> (unit, string) result
+(** Synchronous [up_ping] over the proxy's channel, bounded by the
+    channel's hang timeout.  Answered inline by the driver's queue-0
+    service loop, so success proves the control path is alive — the
+    class-independent health probe. *)

@@ -26,10 +26,19 @@ let mark_hung t why =
     klogf t Klog.Warn "sud-net(%s): driver appears hung (%s); kill and restart it" t.name why
   end
 
+(* Clamp a device queue onto a ring/TX queue the channel and netdev
+   actually have; a malicious driver naming a wild queue lands on 0. *)
+let uq t q = if q >= 0 && q < Uchan.num_queues t.chan then q else 0
+
+let dq t q =
+  match t.dev with
+  | Some dev when q >= 0 && q < Netdev.tx_queues dev -> q
+  | _ -> 0
+
 (* ---- netdev ops: kernel callbacks -> upcalls ---- *)
 
 let do_open t () =
-  match Uchan.send t.chan (Msg.make ~kind:Proxy_proto.up_net_open ()) with
+  match Uchan.transfer t.chan ~from:`Kernel Uchan.Sync (Msg.make ~kind:Proxy_proto.up_net_open ()) with
   | Ok r when Msg.arg r 0 = 0 -> Ok ()
   | Ok r -> Error (Bytes.to_string r.Msg.payload)
   | Error Uchan.Hung ->
@@ -39,13 +48,16 @@ let do_open t () =
   | Error Uchan.Closed -> Error "driver is gone"
 
 let do_stop t () =
-  match Uchan.send t.chan (Msg.make ~kind:Proxy_proto.up_net_stop ()) with
+  match Uchan.transfer t.chan ~from:`Kernel Uchan.Sync (Msg.make ~kind:Proxy_proto.up_net_stop ()) with
   | Ok _ -> ()
   | Error Uchan.Hung -> mark_hung t "stop upcall timed out"
   | Error (Uchan.Interrupted | Uchan.Closed) -> ()
 
 let do_ioctl t ~cmd ~arg =
-  match Uchan.send t.chan (Msg.make ~kind:Proxy_proto.up_net_ioctl ~args:[ cmd; arg ] ()) with
+  match
+    Uchan.transfer t.chan ~from:`Kernel Uchan.Sync
+      (Msg.make ~kind:Proxy_proto.up_net_ioctl ~args:[ cmd; arg ] ())
+  with
   | Ok r when Msg.arg r 0 = 0 -> Ok (Msg.arg r 1)
   | Ok r -> Error (Bytes.to_string r.Msg.payload)
   | Error Uchan.Hung ->
@@ -54,7 +66,7 @@ let do_ioctl t ~cmd ~arg =
   | Error Uchan.Interrupted -> Error "interrupted"
   | Error Uchan.Closed -> Error "driver is gone"
 
-let do_xmit t skb =
+let do_xmit t ~queue skb =
   match Bufpool.alloc t.pool with
   | None -> Netdev.Xmit_busy       (* all shared buffers in flight *)
   | Some buf ->
@@ -65,12 +77,14 @@ let do_xmit t skb =
     end
     else begin
       (* The single data copy on the TX path: skb -> shared buffer.  The
-         driver and the device then use the same bytes in place. *)
+         driver and the device then use the same bytes in place.  The
+         upcall rides the ring matching the TX queue, so queue q's
+         traffic wakes only the driver's queue-q service fiber. *)
       Driver_api.charge t.k.Kernel.cpu ~label:"kernel:sud"
         (Cost_model.copy_cost (model t) ~bytes:len);
       Bufpool.write t.pool buf ~off:0 skb.Skbuff.data;
       match
-        Uchan.asend t.chan
+        Uchan.transfer t.chan ~queue:(uq t queue) ~from:`Kernel Uchan.Async
           (Msg.make ~kind:Proxy_proto.up_net_xmit ~args:[ buf.Bufpool.id; len ] ())
       with
       | Ok () -> Netdev.Xmit_ok
@@ -128,10 +142,13 @@ let handle_register t m =
         (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"proxy" ~name:"register"
            ~attrs:[ "driver", t.name ] ());
     let mac = Bytes.copy m.Msg.payload in
+    (* The register downcall carries the driver's queue count; the netdev
+       gets that many TX queues, clamped by the rings the channel has. *)
+    let tx_queues = min (max 1 (Msg.arg m 0)) (Uchan.num_queues t.chan) in
     let ops =
       { Netdev.ndo_open = (fun () -> do_open t ());
         ndo_stop = (fun () -> do_stop t ());
-        ndo_start_xmit = (fun skb -> do_xmit t skb);
+        ndo_start_xmit = (fun ~queue skb -> do_xmit t ~queue skb);
         ndo_do_ioctl = (fun ~cmd ~arg -> do_ioctl t ~cmd ~arg) }
     in
     let dev =
@@ -146,7 +163,7 @@ let handle_register t m =
           Netstack.register_netdev t.k.Kernel.net dev;
         dev
       | None ->
-        let dev = Netdev.create ~name:t.name ~mac ~ops in
+        let dev = Netdev.create ~name:t.name ~mac ~ops ~tx_queues () in
         Netstack.register_netdev t.k.Kernel.net dev;
         dev
     in
@@ -156,7 +173,7 @@ let handle_register t m =
   end
   else Some (Msg.make ~kind:Proxy_proto.down_net_register ~args:[ 1 ] ())
 
-let handle_downcall t m =
+let handle_downcall t ~queue m =
   let kind = m.Msg.kind in
   if kind = Proxy_proto.down_net_register then handle_register t m
   else if kind = Proxy_proto.down_netif_rx then begin
@@ -166,12 +183,15 @@ let handle_downcall t m =
   else if kind = Proxy_proto.down_tx_free then begin
     Bufpool.free t.pool (Msg.arg m 0);
     (match t.dev with
-     | Some dev when Netdev.queue_stopped dev -> Netdev.netif_wake_queue dev
+     | Some dev when Netdev.subqueue_stopped dev ~queue:(dq t queue) ->
+       Netdev.netif_wake_subqueue dev ~queue:(dq t queue)
      | Some _ | None -> ());
     None
   end
   else if kind = Proxy_proto.down_tx_done then begin
-    (match t.dev with Some dev -> Netdev.netif_wake_queue dev | None -> ());
+    (match t.dev with
+     | Some dev -> Netdev.netif_wake_subqueue dev ~queue:(dq t queue)
+     | None -> ());
     None
   end
   else if kind = Proxy_proto.down_carrier then begin
@@ -181,7 +201,9 @@ let handle_downcall t m =
     None
   end
   else if kind = Proxy_proto.down_irq_ack then begin
-    Safe_pci.irq_ack t.grant;
+    (* arg 0 names the device queue whose vector to unmask; older
+       single-queue drivers send no args, and Msg.arg defaults to 0. *)
+    Safe_pci.irq_ack ~queue:(Msg.arg m 0) t.grant;
     None
   end
   else if kind = Proxy_proto.down_printk then begin
@@ -210,11 +232,15 @@ let create k ~chan ~grant ~pool ~name ?(defensive_copy = true) ?adopt () =
         Sud_obs.Metrics.counter ~labels:[ "driver", name ] ~subsystem:"proxy"
           ~name:"rx_validation_failures" () }
   in
-  Uchan.set_downcall_handler chan (fun m -> handle_downcall t m);
+  Uchan.set_downcall_handler chan (fun ~queue m -> handle_downcall t ~queue m);
   t
 
-let irq_sink t () =
-  if not (Uchan.try_asend t.chan (Msg.make ~kind:Proxy_proto.up_interrupt ())) then
+let irq_sink t ~queue =
+  if
+    not
+      (Uchan.transfer t.chan ~queue:(uq t queue) ~from:`Kernel Uchan.Nonblock
+         (Msg.make ~kind:Proxy_proto.up_interrupt ~args:[ queue ] ()))
+  then
     (* Ring saturated with unserviced interrupts: the masking machinery in
        Safe_pci is already throttling; nothing more to do here. *)
     ()
@@ -246,3 +272,19 @@ let unregister t =
   | None -> ()
 
 let rx_validation_failures t = Sud_obs.Metrics.get t.rx_bad
+
+let instance t =
+  Proxy_class.Instance
+    ( (module struct
+        type nonrec t = t
+
+        let class_name = "net"
+        let chan t = t.chan
+        let hung = hung
+        let degrade = unregister
+
+        (* Reattachment happens through the fresh driver's register
+           downcall (possibly adopting the surviving netdev). *)
+        let revive _ = ()
+      end),
+      t )

@@ -35,9 +35,11 @@ val create :
     with the stack only if it is absent — so a supervised device keeps
     one netdev identity across driver restarts. *)
 
-val irq_sink : t -> unit -> unit
-(** Pass to {!Safe_pci.setup_irq}: forwards device interrupts as
-    [up_interrupt] upcalls (non-blocking, interrupt-context safe). *)
+val irq_sink : t -> queue:int -> unit
+(** Pass to {!Safe_pci.setup_irqs}: forwards queue [queue]'s interrupt
+    as an [up_interrupt] upcall on the matching uchan ring
+    (non-blocking, interrupt-context safe), so one queue's interrupt
+    wakes only that queue's driver fiber. *)
 
 val netdev : t -> Netdev.t option
 
@@ -53,7 +55,10 @@ val unregister : t -> unit
 val rx_validation_failures : t -> int
 (** netif_rx downcalls whose address failed validation. *)
 
-val handle_downcall : t -> Msg.t -> Msg.t option
-(** The downcall dispatcher, exposed so class proxies that extend
-    Ethernet (the wireless proxy) can chain to it for the common
-    opcodes. *)
+val instance : t -> Proxy_class.instance
+(** This proxy behind the class-independent supervision surface. *)
+
+val handle_downcall : t -> queue:int -> Msg.t -> Msg.t option
+(** The downcall dispatcher ([queue] is the ring the message arrived
+    on), exposed so class proxies that extend Ethernet (the wireless
+    proxy) can chain to it for the common opcodes. *)

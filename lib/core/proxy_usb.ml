@@ -24,7 +24,7 @@ let create k ~chan ~grant ~pool ~name () =
       key_handler = None;
       keys = 0 }
   in
-  Uchan.set_downcall_handler chan (fun m ->
+  Uchan.set_downcall_handler chan (fun ~queue:_ m ->
       let kind = m.Msg.kind in
       if kind = Proxy_proto.down_blk_register then begin
         t.cap <- Some (Msg.arg m 0);
@@ -37,7 +37,7 @@ let create k ~chan ~grant ~pool ~name () =
         None
       end
       else if kind = Proxy_proto.down_irq_ack then begin
-        Safe_pci.irq_ack grant;
+        Safe_pci.irq_ack ~queue:(Msg.arg m 0) grant;
         None
       end
       else if kind = Proxy_proto.down_tx_free then begin
@@ -84,7 +84,7 @@ let read_chunk t ~lba ~count =
       r
     in
     (match
-       Uchan.send t.chan
+       Uchan.transfer t.chan ~from:`Kernel Uchan.Sync
          (Msg.make ~kind:Proxy_proto.up_blk_read ~args:[ lba; count; buf.Bufpool.id ] ())
      with
      | Error Uchan.Hung -> finish (Error "driver hung")
@@ -122,7 +122,7 @@ let write_chunk t ~lba data =
       r
     in
     (match
-       Uchan.send t.chan
+       Uchan.transfer t.chan ~from:`Kernel Uchan.Sync
          (Msg.make ~kind:Proxy_proto.up_blk_write ~args:[ lba; count; buf.Bufpool.id ] ())
      with
      | Error Uchan.Hung -> finish (Error "driver hung")
@@ -150,3 +150,16 @@ let write_blocks t ~lba data =
 
 let set_key_handler t h = t.key_handler <- Some h
 let keys_received t = t.keys
+
+let instance t =
+  Proxy_class.Instance
+    ( (module struct
+        type nonrec t = t
+
+        let class_name = "usb"
+        let chan t = t.chan
+        let hung _ = false
+        let degrade t = t.cap <- None
+        let revive _ = ()   (* the register downcall restores the capacity *)
+      end),
+      t )

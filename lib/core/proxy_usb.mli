@@ -34,3 +34,6 @@ val set_key_handler : t -> (int -> unit) -> unit
 (** Input events from a USB keyboard behind the same host controller. *)
 
 val keys_received : t -> int
+
+val instance : t -> Proxy_class.instance
+(** This proxy behind the class-independent supervision surface. *)

@@ -14,7 +14,7 @@ let decode_u16s payload =
   let n = Bytes.length payload / 2 in
   List.init n (fun i -> Bytes.get_uint16_le payload (2 * i))
 
-let handle_downcall t m =
+let handle_downcall t ~queue m =
   let kind = m.Msg.kind in
   if kind = Proxy_proto.down_wifi_rates then begin
     t.rates <- decode_u16s m.Msg.payload;
@@ -29,7 +29,7 @@ let handle_downcall t m =
     t.bss <- Some (Msg.arg m 0);
     None
   end
-  else Proxy_net.handle_downcall t.pnet m
+  else Proxy_net.handle_downcall t.pnet ~queue m
 
 let create k ~chan ~grant ~pool ~name ?defensive_copy () =
   let pnet = Proxy_net.create k ~chan ~grant ~pool ~name ?defensive_copy () in
@@ -37,7 +37,7 @@ let create k ~chan ~grant ~pool ~name ?defensive_copy () =
     { k; chan; pnet; rates = []; bss = None; scan_results = None; scan_wait = Sync.Waitq.create () }
   in
   (* Replace the net handler with the chained wireless one. *)
-  Uchan.set_downcall_handler chan (fun m -> handle_downcall t m);
+  Uchan.set_downcall_handler chan (fun ~queue m -> handle_downcall t ~queue m);
   t
 
 let net t = t.pnet
@@ -47,7 +47,7 @@ let wait_ready t ~timeout_ns = Proxy_net.wait_ready t.pnet ~timeout_ns
 
 let scan t =
   t.scan_results <- None;
-  match Uchan.send t.chan (Msg.make ~kind:Proxy_proto.up_wifi_scan ()) with
+  match Uchan.transfer t.chan ~from:`Kernel Uchan.Sync (Msg.make ~kind:Proxy_proto.up_wifi_scan ()) with
   | Error Uchan.Hung -> Error "driver hung"
   | Error Uchan.Interrupted -> Error "interrupted"
   | Error Uchan.Closed -> Error "driver is gone"
@@ -69,7 +69,10 @@ let scan t =
     await ()
 
 let associate t ~bssid =
-  match Uchan.send t.chan (Msg.make ~kind:Proxy_proto.up_wifi_assoc ~args:[ bssid ] ()) with
+  match
+    Uchan.transfer t.chan ~from:`Kernel Uchan.Sync
+      (Msg.make ~kind:Proxy_proto.up_wifi_assoc ~args:[ bssid ] ())
+  with
   | Error Uchan.Hung -> Error "driver hung"
   | Error Uchan.Interrupted -> Error "interrupted"
   | Error Uchan.Closed -> Error "driver is gone"
@@ -81,7 +84,21 @@ let bitrates t = t.rates
 let set_rate t idx =
   (* Queued asynchronously: callable while non-preemptable (§3.1.1). *)
   ignore
-    (Uchan.try_asend t.chan (Msg.make ~kind:Proxy_proto.up_wifi_set_rate ~args:[ idx ] ())
+    (Uchan.transfer t.chan ~from:`Kernel Uchan.Nonblock
+       (Msg.make ~kind:Proxy_proto.up_wifi_set_rate ~args:[ idx ] ())
      : bool)
 
 let current_bss t = t.bss
+
+let instance t =
+  Proxy_class.Instance
+    ( (module struct
+        type nonrec t = t
+
+        let class_name = "wifi"
+        let chan t = t.chan
+        let hung t = Proxy_net.hung t.pnet
+        let degrade t = Proxy_net.unregister t.pnet
+        let revive _ = ()
+      end),
+      t )

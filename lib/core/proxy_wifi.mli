@@ -20,7 +20,7 @@ val create :
   t
 
 val net : t -> Proxy_net.t
-val irq_sink : t -> unit -> unit
+val irq_sink : t -> queue:int -> unit
 val netdev : t -> Netdev.t option
 val wait_ready : t -> timeout_ns:int -> Netdev.t option
 
@@ -40,3 +40,6 @@ val set_rate : t -> int -> unit
 
 val current_bss : t -> int option
 (** Mirrored; updated by the driver's bss_changed downcalls. *)
+
+val instance : t -> Proxy_class.instance
+(** This proxy behind the class-independent supervision surface. *)

@@ -10,6 +10,18 @@ type reg_dev = {
   mutable rd_grant : grant option;
 }
 
+(* One entry per granted interrupt vector; index = queue.  Mask,
+   ack-pending and storm state are all per vector, so a storm on one RX
+   queue quarantines that vector without silencing its siblings. *)
+and vec_state = {
+  vs_queue : int;
+  vs_vector : int;
+  mutable vs_masked : bool;
+  mutable vs_awaiting_ack : bool;
+  mutable vs_storms : int;
+  mutable vs_quarantined : bool;
+}
+
 and grant = {
   g : t;
   g_bdf : Bus.bdf;
@@ -21,12 +33,10 @@ and grant = {
   mutable g_allocs : dma_alloc list;
   mutable g_io_grants : (int * int) list;   (* (base, len) in the IOPB *)
   g_iopb : Ioport.Iopb.t;
-  mutable g_vector : int option;
-  mutable g_sink : (unit -> unit) option;
-  mutable g_awaiting_ack : bool;
-  mutable g_masked : bool;
+  mutable g_vecs : vec_state array;         (* empty until setup_irqs *)
+  mutable g_msix : bool;                    (* vectors ride MSI-X, not legacy MSI *)
+  mutable g_sink : (queue:int -> unit) option;
   mutable g_amd_msi_mapped : bool;
-  mutable g_storms : int;          (* interrupt-while-masked escalations *)
 }
 
 and t = {
@@ -78,11 +88,11 @@ let release grant =
     (* Quiesce the device before revoking its mappings. *)
     Pci_topology.cfg_write t.k.Kernel.topo grant.g_bdf ~off:Pci_cfg.command ~size:2 0;
     (Device.ops grant.g_dev).Device.reset ();
-    (match grant.g_vector with
-     | Some v ->
-       Irq.free_irq t.k.Kernel.irq ~vector:v;
-       grant.g_vector <- None
-     | None -> ());
+    if Array.length grant.g_vecs > 0 then begin
+      Irq.free_irqs t.k.Kernel.irq
+        ~vectors:(Array.map (fun vs -> vs.vs_vector) grant.g_vecs);
+      grant.g_vecs <- [||]
+    end;
     List.iter
       (fun da ->
          Iommu.unmap t.k.Kernel.iommu grant.g_domain ~iova:da.da_iova
@@ -130,12 +140,10 @@ let open_device t bdf ~proc =
             g_allocs = [];
             g_io_grants = [];
             g_iopb = Ioport.Iopb.none ();
-            g_vector = None;
+            g_vecs = [||];
+            g_msix = false;
             g_sink = None;
-            g_awaiting_ack = false;
-            g_masked = false;
-            g_amd_msi_mapped = false;
-            g_storms = 0 }
+            g_amd_msi_mapped = false }
         in
         rd.rd_grant <- Some grant;
         Process.on_exit proc (fun () -> release grant);
@@ -155,7 +163,17 @@ let open_device t bdf ~proc =
 
 let grant_bdf g = g.g_bdf
 let grant_alive g = g.g_alive
-let grant_storms g = g.g_storms
+let grant_num_vectors g = Array.length g.g_vecs
+
+let vec_of g queue =
+  if queue < 0 || queue >= Array.length g.g_vecs then
+    invalid_arg (Printf.sprintf "Safe_pci: grant has no vector for queue %d" queue);
+  g.g_vecs.(queue)
+
+let grant_storms g = Array.fold_left (fun acc vs -> acc + vs.vs_storms) 0 g.g_vecs
+let grant_vector_storms g ~queue = (vec_of g queue).vs_storms
+let vector_masked g ~queue = (vec_of g queue).vs_masked
+let vector_quarantined g ~queue = (vec_of g queue).vs_quarantined
 
 (* Function-level reset of a registered device that no driver currently
    owns — the supervisor's recovery step between killing one driver
@@ -217,10 +235,13 @@ let cfg_write g ~off ~size v =
   end
   else if in_range Pci_cfg.bar0 24 then deny g "BAR"
   else begin
-    (* MSI capability and everything else is kernel-owned. *)
+    (* MSI/MSI-X capabilities and everything else are kernel-owned. *)
     match Pci_cfg.find_capability (Device.cfg g.g_dev) Pci_cfg.msi_cap_id with
     | Some cap when in_range cap 16 -> deny g "MSI capability"
-    | Some _ | None -> deny g (Printf.sprintf "offset 0x%x" off)
+    | Some _ | None ->
+      (match Pci_cfg.find_capability (Device.cfg g.g_dev) Pci_cfg.msix_cap_id with
+       | Some cap when in_range cap 4 -> deny g "MSI-X capability"
+       | Some _ | None -> deny g (Printf.sprintf "offset 0x%x" off))
   end
 
 let enable_device g =
@@ -231,6 +252,12 @@ let enable_device g =
 let find_capability g id =
   check_alive g;
   Pci_cfg.find_capability (Device.cfg g.g_dev) id
+
+let msix_vectors g =
+  check_alive g;
+  match Pci_cfg.find_capability (Device.cfg g.g_dev) Pci_cfg.msix_cap_id with
+  | None -> 1
+  | Some _ -> max 1 (Pci_cfg.msix_table_size (Device.cfg g.g_dev))
 
 (* ---- MMIO / IO ports ---- *)
 
@@ -356,29 +383,52 @@ let write_driver_mem g ~iova data =
 
 (* ---- interrupts ---- *)
 
-let mask_msi g =
-  if not g.g_masked then begin
-    g.g_masked <- true;
+(* Masking is per vector: legacy MSI has exactly one (the capability's
+   mask bit); MSI-X masks one table entry, leaving sibling queues hot. *)
+let set_vector_mask g vs masked =
+  Cpu.account g.g.k.Kernel.cpu ~label:"kernel:sud" (model g.g).Cost_model.msi_mask_ns;
+  if g.g_msix then Pci_cfg.msix_set_mask (Device.cfg g.g_dev) ~vector:vs.vs_queue masked
+  else Pci_cfg.msi_set_mask (Device.cfg g.g_dev) masked
+
+let mask_vector g ~queue =
+  let vs = vec_of g queue in
+  if not vs.vs_masked then begin
+    vs.vs_masked <- true;
     g.g.n_masks <- g.g.n_masks + 1;
-    Cpu.account g.g.k.Kernel.cpu ~label:"kernel:sud" (model g.g).Cost_model.msi_mask_ns;
-    Pci_cfg.msi_set_mask (Device.cfg g.g_dev) true
+    set_vector_mask g vs true
   end
 
-let unmask_msi g =
-  if g.g_masked then begin
-    g.g_masked <- false;
-    Cpu.account g.g.k.Kernel.cpu ~label:"kernel:sud" (model g.g).Cost_model.msi_mask_ns;
-    Pci_cfg.msi_set_mask (Device.cfg g.g_dev) false
+let unmask_vector g ~queue =
+  let vs = vec_of g queue in
+  if vs.vs_quarantined then ()     (* a quarantined vector stays silenced *)
+  else if vs.vs_masked then begin
+    vs.vs_masked <- false;
+    set_vector_mask g vs false
   end
 
 (* An interrupt that arrives while the vector is masked means something is
    writing the MSI window by raw DMA.  Escalate per available hardware
-   (paper §3.2.2 / §5.2). *)
-let escalate g =
+   (paper §3.2.2 / §5.2).  With MSI-X the blast radius is one vector: the
+   kernel-side mask (modelling a masked IRTE) quarantines that queue and
+   its siblings keep delivering; legacy MSI has no per-vector remap
+   granularity, so escalation silences the whole source. *)
+let escalate g vs =
   let t = g.g in
-  g.g_storms <- g.g_storms + 1;
+  vs.vs_storms <- vs.vs_storms + 1;
   let iommu = t.k.Kernel.iommu in
-  if Iommu.ir_available iommu then begin
+  if g.g_msix && Array.length g.g_vecs > 1 then begin
+    if not vs.vs_quarantined then begin
+      vs.vs_quarantined <- true;
+      vs.vs_masked <- true;
+      t.n_ir <- t.n_ir + 1;
+      Cpu.account t.k.Kernel.cpu ~label:"kernel:sud" (model t).Cost_model.irte_update_ns;
+      Irq.mask t.k.Kernel.irq ~vector:vs.vs_vector;
+      Pci_cfg.msix_set_mask (Device.cfg g.g_dev) ~vector:vs.vs_queue true;
+      klogf t Klog.Warn "sud: %s: interrupt storm on queue %d, vector quarantined (siblings live)"
+        (Bus.string_of_bdf g.g_bdf) vs.vs_queue
+    end
+  end
+  else if Iommu.ir_available iommu then begin
     t.n_ir <- t.n_ir + 1;
     Cpu.account t.k.Kernel.cpu ~label:"kernel:sud" (model t).Cost_model.irte_update_ns;
     Iommu.ir_block_source iommu ~source:g.g_bdf;
@@ -402,61 +452,100 @@ let escalate g =
         "sud: %s: interrupt storm and no interrupt remapping: system is vulnerable to livelock"
         (Bus.string_of_bdf g.g_bdf)
 
-let handle_irq g ~source =
+let handle_irq g ~queue ~source =
   ignore source;
-  if g.g_alive then begin
-    if g.g_masked then escalate g
+  if g.g_alive && queue < Array.length g.g_vecs then begin
+    let vs = g.g_vecs.(queue) in
+    if vs.vs_masked then escalate g vs
     else begin
       let t = g.g in
-      if g.g_awaiting_ack then
+      if vs.vs_awaiting_ack then
         (* Second interrupt before the driver finished the first: mask
            until the ack, preserving the driver's forward progress. *)
-        mask_msi g;
-      g.g_awaiting_ack <- true;
+        mask_vector g ~queue;
+      vs.vs_awaiting_ack <- true;
       (match g.g_sink with
        | Some sink ->
          t.n_fwd <- t.n_fwd + 1;
          Cpu.account t.k.Kernel.cpu ~label:"kernel:sud" (model t).Cost_model.irq_upcall_ns;
-         sink ()
+         sink ~queue
        | None -> ())
     end
   end
 
-let setup_irq g ~sink =
+let setup_irqs g ~n ~sink =
   check_alive g;
   let t = g.g in
-  if g.g_vector <> None then Error "irq already set up"
+  let cfg = Device.cfg g.g_dev in
+  if Array.length g.g_vecs > 0 then Error "irq already set up"
+  else if n < 1 then Error "setup_irqs: need at least one vector"
+  else if n > 1 && Pci_cfg.find_capability cfg Pci_cfg.msix_cap_id = None then
+    Error "device has no MSI-X capability; only one vector available"
+  else if n > 1 && n > Pci_cfg.msix_table_size cfg then
+    Error (Printf.sprintf "device MSI-X table has %d entries, %d requested"
+             (Pci_cfg.msix_table_size cfg) n)
   else begin
-    let vector = Irq.alloc_vector t.k.Kernel.irq in
+    let use_msix = n > 1 && Pci_cfg.find_capability cfg Pci_cfg.msix_cap_id <> None in
+    let vectors = Irq.alloc_vectors t.k.Kernel.irq ~n in
     match
-      Irq.request_irq t.k.Kernel.irq ~vector
+      Irq.request_irqs t.k.Kernel.irq ~vectors
         ~name:(Printf.sprintf "sud-%s" (Bus.string_of_bdf g.g_bdf))
-        (fun ~source -> handle_irq g ~source)
+        (fun ~queue ~source -> handle_irq g ~queue ~source)
     with
     | Error e -> Error e
     | Ok () ->
-      g.g_vector <- Some vector;
+      g.g_vecs <-
+        Array.mapi
+          (fun queue vs_vector ->
+             { vs_queue = queue; vs_vector; vs_masked = false; vs_awaiting_ack = false;
+               vs_storms = 0; vs_quarantined = false })
+          vectors;
+      g.g_msix <- use_msix;
       g.g_sink <- Some sink;
-      (* The kernel (not the driver) programs MSI address/data. *)
-      Pci_cfg.msi_configure (Device.cfg g.g_dev) ~address:Bus.msi_window_base ~data:vector;
+      (* The kernel (not the driver) programs MSI/MSI-X address and data,
+         and tells the remapper which (source, vector) pairs are legal. *)
+      if use_msix then begin
+        Array.iteri
+          (fun queue vector ->
+             Pci_cfg.msix_configure cfg ~vector:queue ~address:Bus.msi_window_base
+               ~data:vector)
+          vectors;
+        Pci_cfg.msix_set_enabled cfg true
+      end
+      else
+        Pci_cfg.msi_configure cfg ~address:Bus.msi_window_base ~data:vectors.(0);
       if Iommu.ir_available t.k.Kernel.iommu then
-        Iommu.ir_allow t.k.Kernel.iommu ~source:g.g_bdf ~vector;
+        Array.iter
+          (fun vector -> Iommu.ir_allow t.k.Kernel.iommu ~source:g.g_bdf ~vector)
+          vectors;
+      (* Spread queue-service load: queue i's handler runs on core i mod N. *)
+      Array.iter
+        (fun vector ->
+           Irq.set_affinity t.k.Kernel.irq ~vector
+             ~cpu:(Irq.default_affinity t.k.Kernel.irq vector))
+        vectors;
       Ok ()
   end
 
-let teardown_irq g =
-  match g.g_vector with
-  | None -> ()
-  | Some v ->
-    Irq.free_irq g.g.k.Kernel.irq ~vector:v;
-    g.g_vector <- None;
+let teardown_irqs g =
+  if Array.length g.g_vecs > 0 then begin
+    Irq.free_irqs g.g.k.Kernel.irq ~vectors:(Array.map (fun vs -> vs.vs_vector) g.g_vecs);
+    g.g_vecs <- [||];
     g.g_sink <- None
-
-let irq_ack g =
-  if g.g_alive then begin
-    g.g_awaiting_ack <- false;
-    unmask_msi g
   end
+
+let irq_ack ?(queue = 0) g =
+  if g.g_alive && queue < Array.length g.g_vecs then begin
+    (vec_of g queue).vs_awaiting_ack <- false;
+    unmask_vector g ~queue
+  end
+
+(* ---- deprecated scalar shims (the single-vector instances) ---- *)
+
+let setup_irq g ~sink = setup_irqs g ~n:1 ~sink:(fun ~queue:_ -> sink ())
+let teardown_irq g = teardown_irqs g
+let mask_msi g = mask_vector g ~queue:0
+let unmask_msi g = unmask_vector g ~queue:0
 
 (* ---- observability ---- *)
 

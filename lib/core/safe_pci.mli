@@ -51,8 +51,18 @@ val grant_alive : grant -> bool
 
 val grant_storms : grant -> int
 (** Interrupt-storm escalations attributed to this grant (interrupts
-    that kept arriving while the vector was masked).  The supervisor
-    polls this: growth means the device is being driven maliciously. *)
+    that kept arriving while a vector was masked), summed over all
+    vectors.  The supervisor polls this: growth means the device is
+    being driven maliciously. *)
+
+val grant_num_vectors : grant -> int
+val grant_vector_storms : grant -> queue:int -> int
+val vector_masked : grant -> queue:int -> bool
+
+val vector_quarantined : grant -> queue:int -> bool
+(** True once a storm on this vector escalated: the vector stays masked
+    (kernel-side and in the device's MSI-X table) until the grant is
+    torn down; sibling queues keep delivering. *)
 
 val reset_device : t -> Bus.bdf -> (unit, string) result
 (** Function-level reset of a registered device with {e no} outstanding
@@ -71,6 +81,10 @@ val alloc_dma : grant -> ?coherent:bool -> bytes:int -> unit -> (Driver_api.dma_
 val free_dma : grant -> Driver_api.dma_region -> unit
 val find_capability : grant -> int -> int option
 
+val msix_vectors : grant -> int
+(** Size of the device's MSI-X table ([1] when the device only has
+    MSI/INTx) — the ceiling {!setup_irqs} enforces on [n]. *)
+
 val read_driver_mem : grant -> iova:int -> len:int -> (bytes, string) result
 (** Read driver-owned DMA memory by the driver's own (IO virtual)
     address, validating that the whole range lies inside the grant's
@@ -79,13 +93,34 @@ val read_driver_mem : grant -> iova:int -> len:int -> (bytes, string) result
 
 val write_driver_mem : grant -> iova:int -> bytes -> (unit, string) result
 
+val setup_irqs : grant -> n:int -> sink:(queue:int -> unit) -> (unit, string) result
+(** Allocate [n] vectors (queue [i] rides vector [i]), program the
+    device's interrupt capability — legacy MSI when [n = 1], MSI-X
+    otherwise (fails if the device lacks the capability or its table is
+    too small) — whitelist each (source, vector) pair with the interrupt
+    remapper, spread vector affinity across cores, and forward queue
+    [q]'s interrupts as [sink ~queue:q]. *)
+
+val teardown_irqs : grant -> unit
+
+val irq_ack : ?queue:int -> grant -> unit
+(** The driver finished processing queue [queue] (default 0); unmask
+    that vector if we masked it.  Quarantined vectors stay silenced. *)
+
+val mask_vector : grant -> queue:int -> unit
+val unmask_vector : grant -> queue:int -> unit
+
 val setup_irq : grant -> sink:(unit -> unit) -> (unit, string) result
-(** Allocate a vector, program the device's MSI capability, and forward
-    interrupts to [sink]. *)
+  [@@deprecated "use Safe_pci.setup_irqs ~n:1"]
 
 val teardown_irq : grant -> unit
-val irq_ack : grant -> unit
-(** The driver finished processing; unmask if we masked. *)
+  [@@deprecated "use Safe_pci.teardown_irqs"]
+
+val mask_msi : grant -> unit
+  [@@deprecated "use Safe_pci.mask_vector ~queue:0"]
+
+val unmask_msi : grant -> unit
+  [@@deprecated "use Safe_pci.unmask_vector ~queue:0"]
 
 (** {1 Observability} *)
 

@@ -5,7 +5,7 @@ type t = {
   chan : Uchan.t;
   pool : Bufpool.t;
   label : string;
-  mutable irq_handler : (unit -> unit) option;
+  mutable irq_handler : (queue:int -> unit) option;
   work : (unit -> unit) Sync.Mailbox.t;
   mutable n_upcalls : int;
   mutable n_worker : int;
@@ -42,20 +42,36 @@ let create k ~proc ~grant ~chan ~pool =
   done;
   t
 
+(* Clamp a device queue index onto a uchan ring the channel actually has:
+   a single-ring channel carries every queue's traffic on ring 0. *)
+let uq t q = if q >= 0 && q < Uchan.num_queues t.chan then q else 0
+
 let env t =
   { Driver_api.env_jiffies = (fun () -> Engine.now t.k.Kernel.eng / 1_000_000);
     env_msleep = (fun ms -> ignore (Fiber.sleep t.k.Kernel.eng (ms * 1_000_000) : Fiber.wake));
-    env_udelay = (fun us -> Driver_api.charge t.k.Kernel.cpu ~label:t.label (us * 1_000));
     env_printk =
       (fun s ->
-         Uchan.uasend t.chan
+         Uchan.transfer t.chan ~from:`Driver Uchan.Batched
            (Msg.make ~kind:Proxy_proto.down_printk ~payload:(Bytes.of_string s) ()));
+    env_udelay = (fun us -> Driver_api.charge t.k.Kernel.cpu ~label:t.label (us * 1_000));
     env_spawn = (fun ~name fn -> ignore (Process.spawn_fiber t.proc ~name fn : Fiber.t));
     env_consume = (fun ns -> Driver_api.charge t.k.Kernel.cpu ~label:t.label ns) }
 
 let pcidev t =
   let g = t.grant in
   let bdf = Safe_pci.grant_bdf g in
+  let request_irqs ~n handler =
+    t.irq_handler <- Some handler;
+    (* The kernel owns MSI-X programming; each vector comes back to this
+       process as an up_interrupt on the matching uchan ring, so queue
+       q's interrupt wakes only queue q's service fiber. *)
+    let chan = t.chan in
+    Safe_pci.setup_irqs g ~n ~sink:(fun ~queue ->
+        ignore
+          (Uchan.transfer chan ~queue:(uq t queue) ~from:`Kernel Uchan.Nonblock
+             (Msg.make ~kind:Proxy_proto.up_interrupt ~args:[ queue ] ())
+           : bool))
+  in
   { Driver_api.pd_vendor = Safe_pci.cfg_read g ~off:Pci_cfg.vendor_id ~size:2;
     pd_device = Safe_pci.cfg_read g ~off:Pci_cfg.device_id ~size:2;
     pd_bdf = bdf;
@@ -66,20 +82,18 @@ let pcidev t =
     pd_io_bar = (fun bar -> Safe_pci.claim_io g ~bar);
     pd_alloc_dma = (fun ?coherent ~bytes () -> Safe_pci.alloc_dma g ?coherent ~bytes ());
     pd_free_dma = (fun r -> Safe_pci.free_dma g r);
-    pd_request_irq =
-      (fun handler ->
-         t.irq_handler <- Some handler;
-         (* The kernel owns MSI programming; interrupts come back to this
-            process as up_interrupt messages on our own channel. *)
-         let chan = t.chan in
-         Safe_pci.setup_irq g ~sink:(fun () ->
-             ignore (Uchan.try_asend chan (Msg.make ~kind:Proxy_proto.up_interrupt ()) : bool)));
+    pd_request_irq = (fun handler -> request_irqs ~n:1 (fun ~queue:_ -> handler ()));
+    pd_request_irqs = request_irqs;
     pd_free_irq =
       (fun () ->
          t.irq_handler <- None;
-         Safe_pci.teardown_irq g);
+         Safe_pci.teardown_irqs g);
     pd_irq_ack =
-      (fun () -> Uchan.uasend t.chan (Msg.make ~kind:Proxy_proto.down_irq_ack ()));
+      (fun ?(queue = 0) () ->
+         Uchan.transfer t.chan ~queue:(uq t queue) ~from:`Driver Uchan.Batched
+           (Msg.make ~kind:Proxy_proto.down_irq_ack ~args:[ queue ] ()));
+    pd_msix_vectors =
+      (fun () -> min (Safe_pci.msix_vectors g) (Uchan.num_queues t.chan));
     pd_find_capability = (fun id -> Safe_pci.find_capability g id) }
 
 (* ---- the net-driver glue: upcall dispatch + downcall callbacks ---- *)
@@ -92,48 +106,53 @@ let uml_packet_cost len = if len >= 256 then 500 else 1_400
 
 type net_state = {
   inst : Driver_api.net_instance;
-  mutable tx_backlog : Driver_api.txbuf list;   (* frames the ring refused, oldest last *)
+  tx_backlog : Driver_api.txbuf list array;
+      (* per TX queue: frames the ring refused, oldest last *)
 }
 
 let net_callbacks t st_ref =
   { Driver_api.nc_rx =
-      (fun ~addr ~len ->
-         (* skb wrapping + netif_rx downcall bookkeeping in SUD-UML *)
+      (fun ~queue ~addr ~len ->
+         (* skb wrapping + netif_rx downcall bookkeeping in SUD-UML.
+            Each RX queue batches onto its own ring: per-queue flush
+            buffers, never cross-queue contention. *)
          Driver_api.charge t.k.Kernel.cpu ~label:t.label (uml_packet_cost len);
-         Uchan.uasend t.chan
+         Uchan.transfer t.chan ~queue:(uq t queue) ~from:`Driver Uchan.Batched
            (Msg.make ~kind:Proxy_proto.down_netif_rx ~args:[ addr; len ] ()));
     nc_tx_free =
-      (fun ~token ->
-         Uchan.uasend t.chan (Msg.make ~kind:Proxy_proto.down_tx_free ~args:[ token ] ()));
+      (fun ~queue ~token ->
+         Uchan.transfer t.chan ~queue:(uq t queue) ~from:`Driver Uchan.Batched
+           (Msg.make ~kind:Proxy_proto.down_tx_free ~args:[ token ] ()));
     nc_tx_done =
-      (fun () ->
-         (* Retry frames the ring previously refused before telling the
-            kernel there is room again. *)
+      (fun ~queue ->
+         (* Retry frames this queue's ring previously refused before
+            telling the kernel there is room again. *)
          (match !st_ref with
-          | Some st ->
+          | Some st when queue >= 0 && queue < Array.length st.tx_backlog ->
             let rec drain () =
-              match st.tx_backlog with
+              match st.tx_backlog.(queue) with
               | [] -> ()
               | txb :: rest ->
-                (match st.inst.Driver_api.ni_xmit txb with
+                (match st.inst.Driver_api.ni_xmit ~queue txb with
                  | `Ok ->
-                   st.tx_backlog <- rest;
+                   st.tx_backlog.(queue) <- rest;
                    drain ()
                  | `Busy -> ())
             in
             drain ()
-          | None -> ());
-         Uchan.uasend t.chan (Msg.make ~kind:Proxy_proto.down_tx_done ()));
+          | Some _ | None -> ());
+         Uchan.transfer t.chan ~queue:(uq t queue) ~from:`Driver Uchan.Batched
+           (Msg.make ~kind:Proxy_proto.down_tx_done ()));
     nc_carrier =
       (fun up ->
-         Uchan.uasend t.chan
+         Uchan.transfer t.chan ~from:`Driver Uchan.Batched
            (Msg.make ~kind:Proxy_proto.down_carrier ~args:[ (if up then 1 else 0) ] ())) }
 
-let reply_ok t m ?(args = [ 0 ]) ?payload () =
-  Uchan.reply t.chan (Msg.make ~seq:m.Msg.seq ~kind:m.Msg.kind ~args ?payload ())
+let reply_ok t ?(queue = 0) m ?(args = [ 0 ]) ?payload () =
+  Uchan.reply ~queue t.chan (Msg.make ~seq:m.Msg.seq ~kind:m.Msg.kind ~args ?payload ())
 
-let reply_err t m e =
-  Uchan.reply t.chan
+let reply_err t ?(queue = 0) m e =
+  Uchan.reply ~queue t.chan
     (Msg.make ~seq:m.Msg.seq ~kind:m.Msg.kind ~args:[ 1 ] ~payload:(Bytes.of_string e) ())
 
 let to_worker t job =
@@ -142,13 +161,21 @@ let to_worker t job =
   | `Ok -> ()
   | `Interrupted -> ()
 
-let dispatch_net t st m =
+let handle_interrupt t ~queue =
+  (match t.irq_handler with Some h -> h ~queue | None -> ());
+  (* "The driver indicates that it has finished processing" — ack so the
+     kernel unmasks that vector (its siblings were never masked). *)
+  Uchan.transfer t.chan ~queue:(uq t queue) ~from:`Driver Uchan.Batched
+    (Msg.make ~kind:Proxy_proto.down_irq_ack ~args:[ queue ] ())
+
+let dispatch_net t st ~queue m =
   let kind = m.Msg.kind in
   if kind = Proxy_proto.up_net_xmit then begin
-    (* Must-not-block path: runs inline in the idle loop.  SUD-UML
-       constructs a socket buffer for every packet the kernel transmits
-       (paper 6, "Optimized drivers") -- that work is charged here. *)
+    (* Must-not-block path: runs inline in the queue's service loop.
+       SUD-UML constructs a socket buffer for every packet the kernel
+       transmits (paper 6, "Optimized drivers") -- charged here. *)
     let id = Msg.arg m 0 and len = Msg.arg m 1 in
+    let txq = if queue < Array.length st.tx_backlog then queue else 0 in
     Driver_api.charge t.k.Kernel.cpu ~label:t.label (uml_packet_cost len);
     match Bufpool.get t.pool id with
     | None -> ()      (* kernel is trusted; only possible after close *)
@@ -159,38 +186,58 @@ let dispatch_net t st m =
           txb_token = buf.Bufpool.id;
           txb_read = (fun () -> Bufpool.read t.pool buf ~off:0 ~len) }
       in
-      (match st.inst.Driver_api.ni_xmit txb with
+      (match st.inst.Driver_api.ni_xmit ~queue:txq txb with
        | `Ok -> ()
-       | `Busy -> st.tx_backlog <- st.tx_backlog @ [ txb ])
+       | `Busy -> st.tx_backlog.(txq) <- st.tx_backlog.(txq) @ [ txb ])
   end
-  else if kind = Proxy_proto.up_interrupt then begin
-    (match t.irq_handler with Some h -> h () | None -> ());
-    (* "The driver indicates that it has finished processing" — ack so the
-       kernel unmasks the vector. *)
-    Uchan.uasend t.chan (Msg.make ~kind:Proxy_proto.down_irq_ack ())
-  end
+  else if kind = Proxy_proto.up_interrupt then
+    handle_interrupt t ~queue:(Msg.arg m 0)
   else if kind = Proxy_proto.up_ping then
     (* Supervisor heartbeat: answered inline, so a reply proves the main
        upcall loop is alive, not merely a worker fiber. *)
-    reply_ok t m ()
+    reply_ok t ~queue m ()
   else if kind = Proxy_proto.up_net_open then
     to_worker t (fun () ->
         match st.inst.Driver_api.ni_open () with
-        | Ok () -> reply_ok t m ()
-        | Error e -> reply_err t m e)
+        | Ok () -> reply_ok t ~queue m ()
+        | Error e -> reply_err t ~queue m e)
   else if kind = Proxy_proto.up_net_stop then
     to_worker t (fun () ->
         st.inst.Driver_api.ni_stop ();
-        reply_ok t m ())
+        reply_ok t ~queue m ())
   else if kind = Proxy_proto.up_net_ioctl then
     to_worker t (fun () ->
         match st.inst.Driver_api.ni_ioctl ~cmd:(Msg.arg m 0) ~arg:(Msg.arg m 1) with
-        | Ok v -> reply_ok t m ~args:[ 0; v ] ()
-        | Error e -> reply_err t m e)
+        | Ok v -> reply_ok t ~queue m ~args:[ 0; v ] ()
+        | Error e -> reply_err t ~queue m e)
   else
     (* Unknown upcall: reply with an error if a reply is expected, so the
        kernel never blocks on us. *)
-    if m.Msg.seq <> 0 then reply_err t m "unsupported upcall"
+    if m.Msg.seq <> 0 then reply_err t ~queue m "unsupported upcall"
+
+(* One service loop per uchan ring.  Queue 0 runs in the caller's fiber
+   (it doubles as the control path); data queues get their own fibers,
+   so a busy ring never delays its siblings' interrupts or heartbeats. *)
+let serve_queues t dispatch =
+  let n = Uchan.num_queues t.chan in
+  let loop_on queue () =
+    let rec loop () =
+      match Uchan.wait ~queue t.chan with
+      | Ok m ->
+        t.n_upcalls <- t.n_upcalls + 1;
+        dispatch ~queue m;
+        loop ()
+      | Error Uchan.Interrupted -> loop ()   (* non-fatal signal *)
+      | Error (Uchan.Closed | Uchan.Hung) -> ()
+    in
+    loop ()
+  in
+  for q = 1 to n - 1 do
+    ignore
+      (Process.spawn_fiber t.proc ~name:(Printf.sprintf "uml-queue-%d" q) (loop_on q)
+       : Fiber.t)
+  done;
+  loop_on 0 ()
 
 let serve_net t (drv : Driver_api.net_driver) =
   let st_ref = ref None in
@@ -199,23 +246,15 @@ let serve_net t (drv : Driver_api.net_driver) =
   | Error e ->
     (env t).Driver_api.env_printk (Printf.sprintf "probe failed: %s" e)
   | Ok inst ->
-    let st = { inst; tx_backlog = [] } in
+    let nq = max 1 inst.Driver_api.ni_tx_queues in
+    let st = { inst; tx_backlog = Array.make nq [] } in
     st_ref := Some st;
     (match
-       Uchan.usend t.chan
-         (Msg.make ~kind:Proxy_proto.down_net_register ~payload:inst.Driver_api.ni_mac ())
+       Uchan.transfer t.chan ~from:`Driver Uchan.Sync
+         (Msg.make ~kind:Proxy_proto.down_net_register ~args:[ nq ]
+            ~payload:inst.Driver_api.ni_mac ())
      with
-     | Ok _ ->
-       let rec loop () =
-         match Uchan.wait t.chan with
-         | Ok m ->
-           t.n_upcalls <- t.n_upcalls + 1;
-           dispatch_net t st m;
-           loop ()
-         | Error Uchan.Interrupted -> loop ()   (* non-fatal signal *)
-         | Error (Uchan.Closed | Uchan.Hung) -> ()
-       in
-       loop ()
+     | Ok _ -> serve_queues t (dispatch_net t st)
      | Error _ -> ())
 
 let upcalls_handled t = t.n_upcalls
@@ -223,18 +262,18 @@ let worker_dispatches t = t.n_worker
 
 (* ---- wireless ---- *)
 
-let dispatch_wifi t (wi : Driver_api.wifi_instance) st m =
+let dispatch_wifi t (wi : Driver_api.wifi_instance) st ~queue m =
   let kind = m.Msg.kind in
   if kind = Proxy_proto.up_wifi_scan then
     to_worker t (fun () ->
         match wi.Driver_api.wi_scan () with
-        | Ok () -> reply_ok t m ()
-        | Error e -> reply_err t m e)
+        | Ok () -> reply_ok t ~queue m ()
+        | Error e -> reply_err t ~queue m e)
   else if kind = Proxy_proto.up_wifi_assoc then
     to_worker t (fun () ->
         match wi.Driver_api.wi_associate ~bssid:(Msg.arg m 0) with
-        | Ok () -> reply_ok t m ()
-        | Error e -> reply_err t m e)
+        | Ok () -> reply_ok t ~queue m ()
+        | Error e -> reply_err t ~queue m e)
   else if kind = Proxy_proto.up_wifi_set_rate then
     (* Asynchronous by design: queued from non-preemptable kernel context. *)
     ignore (wi.Driver_api.wi_set_rate (Msg.arg m 0) : (unit, string) result)
@@ -243,8 +282,8 @@ let dispatch_wifi t (wi : Driver_api.wifi_instance) st m =
         let rates = wi.Driver_api.wi_bitrates () in
         let payload = Bytes.create (2 * List.length rates) in
         List.iteri (fun i r -> Bytes.set_uint16_le payload (2 * i) r) rates;
-        reply_ok t m ~payload ())
-  else dispatch_net t st m
+        reply_ok t ~queue m ~payload ())
+  else dispatch_net t st ~queue m
 
 let serve_wifi t (drv : Driver_api.wifi_driver) =
   let st_ref = ref None in
@@ -255,45 +294,37 @@ let serve_wifi t (drv : Driver_api.wifi_driver) =
         (fun bssids ->
            let payload = Bytes.create (2 * List.length bssids) in
            List.iteri (fun i b -> Bytes.set_uint16_le payload (2 * i) b) bssids;
-           Uchan.uasend t.chan
+           Uchan.transfer t.chan ~from:`Driver Uchan.Batched
              (Msg.make ~kind:Proxy_proto.down_wifi_scan_done ~payload ()));
       wc_bss_changed =
         (fun bssid ->
-           Uchan.uasend t.chan
+           Uchan.transfer t.chan ~from:`Driver Uchan.Batched
              (Msg.make ~kind:Proxy_proto.down_wifi_bss_changed ~args:[ bssid ] ())) }
   in
   match drv.Driver_api.wd_probe (env t) (pcidev t) callbacks with
   | Error e -> (env t).Driver_api.env_printk (Printf.sprintf "probe failed: %s" e)
   | Ok wi ->
-    let st = { inst = wi.Driver_api.wi_net; tx_backlog = [] } in
+    let inst = wi.Driver_api.wi_net in
+    let nq = max 1 inst.Driver_api.ni_tx_queues in
+    let st = { inst; tx_backlog = Array.make nq [] } in
     st_ref := Some st;
     (* Mirror the static supported-rate set into the kernel (§3.1.1). *)
     let rates = wi.Driver_api.wi_bitrates () in
     let rates_payload = Bytes.create (2 * List.length rates) in
     List.iteri (fun i r -> Bytes.set_uint16_le rates_payload (2 * i) r) rates;
-    Uchan.uasend t.chan
+    Uchan.transfer t.chan ~from:`Driver Uchan.Batched
       (Msg.make ~kind:Proxy_proto.down_wifi_rates ~payload:rates_payload ());
     (match
-       Uchan.usend t.chan
-         (Msg.make ~kind:Proxy_proto.down_net_register
-            ~payload:wi.Driver_api.wi_net.Driver_api.ni_mac ())
+       Uchan.transfer t.chan ~from:`Driver Uchan.Sync
+         (Msg.make ~kind:Proxy_proto.down_net_register ~args:[ nq ]
+            ~payload:inst.Driver_api.ni_mac ())
      with
-     | Ok _ ->
-       let rec loop () =
-         match Uchan.wait t.chan with
-         | Ok m ->
-           t.n_upcalls <- t.n_upcalls + 1;
-           dispatch_wifi t wi st m;
-           loop ()
-         | Error Uchan.Interrupted -> loop ()
-         | Error (Uchan.Closed | Uchan.Hung) -> ()
-       in
-       loop ()
+     | Ok _ -> serve_queues t (dispatch_wifi t wi st)
      | Error _ -> ())
 
 (* ---- audio ---- *)
 
-let dispatch_audio t (au : Driver_api.audio_instance) m =
+let dispatch_audio t (au : Driver_api.audio_instance) ~queue m =
   let kind = m.Msg.kind in
   if kind = Proxy_proto.up_audio_write then begin
     (* Inline, must not block: pull PCM out of the shared buffer. *)
@@ -304,102 +335,96 @@ let dispatch_audio t (au : Driver_api.audio_instance) m =
       let pcm = Bufpool.read t.pool buf ~off:0 ~len in
       Driver_api.charge t.k.Kernel.cpu ~label:t.label 800;
       ignore (au.Driver_api.au_write pcm : int);
-      Uchan.uasend t.chan (Msg.make ~kind:Proxy_proto.down_tx_free ~args:[ id ] ())
+      Uchan.transfer t.chan ~from:`Driver Uchan.Batched
+        (Msg.make ~kind:Proxy_proto.down_tx_free ~args:[ id ] ())
   end
-  else if kind = Proxy_proto.up_interrupt then begin
-    (match t.irq_handler with Some h -> h () | None -> ());
-    Uchan.uasend t.chan (Msg.make ~kind:Proxy_proto.down_irq_ack ())
-  end
+  else if kind = Proxy_proto.up_interrupt then
+    handle_interrupt t ~queue:(Msg.arg m 0)
+  else if kind = Proxy_proto.up_ping then reply_ok t ~queue m ()
   else if kind = Proxy_proto.up_audio_start then
     to_worker t (fun () ->
         match au.Driver_api.au_start () with
-        | Ok () -> reply_ok t m ()
-        | Error e -> reply_err t m e)
+        | Ok () -> reply_ok t ~queue m ()
+        | Error e -> reply_err t ~queue m e)
   else if kind = Proxy_proto.up_audio_stop then
     to_worker t (fun () ->
         au.Driver_api.au_stop ();
-        reply_ok t m ())
+        reply_ok t ~queue m ())
   else if kind = Proxy_proto.up_audio_set_vol then
     to_worker t (fun () ->
         match au.Driver_api.au_set_volume (Msg.arg m 0) with
-        | Ok () -> reply_ok t m ()
-        | Error e -> reply_err t m e)
+        | Ok () -> reply_ok t ~queue m ()
+        | Error e -> reply_err t ~queue m e)
   else if kind = Proxy_proto.up_audio_get_vol then
     to_worker t (fun () ->
         match au.Driver_api.au_get_volume () with
-        | Ok v -> reply_ok t m ~args:[ 0; v ] ()
-        | Error e -> reply_err t m e)
-  else if m.Msg.seq <> 0 then reply_err t m "unsupported upcall"
+        | Ok v -> reply_ok t ~queue m ~args:[ 0; v ] ()
+        | Error e -> reply_err t ~queue m e)
+  else if m.Msg.seq <> 0 then reply_err t ~queue m "unsupported upcall"
 
 let serve_audio t (drv : Driver_api.audio_driver) =
   let callbacks =
     { Driver_api.ac_period_elapsed =
-        (fun () -> Uchan.uasend t.chan (Msg.make ~kind:Proxy_proto.down_audio_period ())) }
+        (fun () ->
+           Uchan.transfer t.chan ~from:`Driver Uchan.Batched
+             (Msg.make ~kind:Proxy_proto.down_audio_period ())) }
   in
   match drv.Driver_api.ad_probe (env t) (pcidev t) callbacks with
   | Error e -> (env t).Driver_api.env_printk (Printf.sprintf "probe failed: %s" e)
   | Ok au ->
-    (match Uchan.usend t.chan (Msg.make ~kind:Proxy_proto.down_audio_register ()) with
-     | Ok _ ->
-       let rec loop () =
-         match Uchan.wait t.chan with
-         | Ok m ->
-           t.n_upcalls <- t.n_upcalls + 1;
-           dispatch_audio t au m;
-           loop ()
-         | Error Uchan.Interrupted -> loop ()
-         | Error (Uchan.Closed | Uchan.Hung) -> ()
-       in
-       loop ()
+    (match
+       Uchan.transfer t.chan ~from:`Driver Uchan.Sync
+         (Msg.make ~kind:Proxy_proto.down_audio_register ())
+     with
+     | Ok _ -> serve_queues t (dispatch_audio t au)
      | Error _ -> ())
 
 (* ---- USB host: block + input ---- *)
 
 let blk_block_size = 512
 
-let dispatch_usb t (blk : Driver_api.block_instance option) m =
+let dispatch_usb t (blk : Driver_api.block_instance option) ~queue m =
   let kind = m.Msg.kind in
   if kind = Proxy_proto.up_blk_read then
     to_worker t (fun () ->
         match blk with
-        | None -> reply_err t m "no storage device"
+        | None -> reply_err t ~queue m "no storage device"
         | Some b ->
           let lba = Msg.arg m 0 and count = Msg.arg m 1 and id = Msg.arg m 2 in
           (match Bufpool.get t.pool id with
-           | None -> reply_err t m "bad buffer"
+           | None -> reply_err t ~queue m "bad buffer"
            | Some buf when count * blk_block_size > buf.Bufpool.size ->
-             reply_err t m "request too large"
+             reply_err t ~queue m "request too large"
            | Some buf ->
              (match b.Driver_api.bl_read ~lba ~count with
-              | Error e -> reply_err t m e
+              | Error e -> reply_err t ~queue m e
               | Ok data ->
                 Bufpool.write t.pool buf ~off:0 data;
-                reply_ok t m ())))
+                reply_ok t ~queue m ())))
   else if kind = Proxy_proto.up_blk_write then
     to_worker t (fun () ->
         match blk with
-        | None -> reply_err t m "no storage device"
+        | None -> reply_err t ~queue m "no storage device"
         | Some b ->
           let lba = Msg.arg m 0 and count = Msg.arg m 1 and id = Msg.arg m 2 in
           (match Bufpool.get t.pool id with
-           | None -> reply_err t m "bad buffer"
+           | None -> reply_err t ~queue m "bad buffer"
            | Some buf when count * blk_block_size > buf.Bufpool.size ->
-             reply_err t m "request too large"
+             reply_err t ~queue m "request too large"
            | Some buf ->
              let data = Bufpool.read t.pool buf ~off:0 ~len:(count * blk_block_size) in
              (match b.Driver_api.bl_write ~lba data with
-              | Error e -> reply_err t m e
-              | Ok () -> reply_ok t m ())))
+              | Error e -> reply_err t ~queue m e
+              | Ok () -> reply_ok t ~queue m ())))
   else if kind = Proxy_proto.up_blk_capacity then
     to_worker t (fun () ->
         match blk with
-        | None -> reply_err t m "no storage device"
-        | Some b -> reply_ok t m ~args:[ 0; b.Driver_api.bl_capacity () ] ())
-  else if kind = Proxy_proto.up_interrupt then begin
-    (match t.irq_handler with Some h -> h () | None -> ());
-    Uchan.uasend t.chan (Msg.make ~kind:Proxy_proto.down_irq_ack ())
-  end
-  else if m.Msg.seq <> 0 then reply_err t m "unsupported upcall"
+        | None -> reply_err t ~queue m "no storage device"
+        | Some b -> reply_ok t ~queue m ~args:[ 0; b.Driver_api.bl_capacity () ] ())
+  else if kind = Proxy_proto.up_interrupt then
+    handle_interrupt t ~queue:(Msg.arg m 0)
+  else if kind = Proxy_proto.up_ping then reply_ok t ~queue m ()
+  else if m.Msg.seq <> 0 then reply_err t ~queue m "unsupported upcall"
 
 let serve_usb t ~bind_storage ~bind_keyboard (drv : Driver_api.usb_host_driver) =
   match drv.Driver_api.ud_probe (env t) (pcidev t) with
@@ -416,7 +441,7 @@ let serve_usb t ~bind_storage ~bind_keyboard (drv : Driver_api.usb_host_driver) 
               | Ok b ->
                 blk := Some b;
                 ignore
-                  (Uchan.usend t.chan
+                  (Uchan.transfer t.chan ~from:`Driver Uchan.Sync
                      (Msg.make ~kind:Proxy_proto.down_blk_register
                         ~args:[ b.Driver_api.bl_capacity () ] ())
                    : (Msg.t, Uchan.error) result)
@@ -427,16 +452,8 @@ let serve_usb t ~bind_storage ~bind_keyboard (drv : Driver_api.usb_host_driver) 
               bind_keyboard (env t) ud
                 { Driver_api.ic_key =
                     (fun key ->
-                       Uchan.uasend t.chan
+                       Uchan.transfer t.chan ~from:`Driver Uchan.Batched
                          (Msg.make ~kind:Proxy_proto.down_input_key ~args:[ key ] ())) })
          handles);
-    let rec loop () =
-      match Uchan.wait t.chan with
-      | Ok m ->
-        t.n_upcalls <- t.n_upcalls + 1;
-        dispatch_usb t !blk m;
-        loop ()
-      | Error Uchan.Interrupted -> loop ()
-      | Error (Uchan.Closed | Uchan.Hung) -> ()
-    in
-    loop ()
+    serve_queues t (fun ~queue m ->
+        dispatch_usb t !blk ~queue m)

@@ -139,37 +139,46 @@ let health_check t =
       Some "malformed uchan message"
     else if Sud_obs.Metrics.get um.Uchan.um_dropped - t.last_dropped >= t.policy.flood_threshold
     then Some "uchan ring flood"
-    else if Proxy_net.hung (Driver_host.proxy s) then Some "upcall hung"
+    else if Proxy_class.hung (Driver_host.class_of s) then Some "upcall hung"
     else begin
       t.last_dropped <- Sud_obs.Metrics.get um.Uchan.um_dropped;
       if not t.policy.heartbeat then None
       else
-        (* The ping is answered inline by the driver's main upcall loop,
-           bounded by the channel's hang timeout — the heartbeat deadline. *)
-        match Uchan.send chan (Msg.make ~kind:Proxy_proto.up_ping ()) with
-        | Ok _ -> None
-        | Error Uchan.Hung -> Some "heartbeat missed"
-        | Error Uchan.Closed -> Some "uchan closed"
-        | Error Uchan.Interrupted -> None
+        (* The ping is answered inline by the driver's queue-0 service
+           loop, bounded by the channel's hang timeout — the heartbeat
+           deadline.  Class-independent: one probe for every proxy. *)
+        match Proxy_class.heartbeat (Driver_host.class_of s) with
+        | Ok () -> None
+        | Error why -> Some why
     end
 
 (* During recovery the netdev degrades instead of vanishing: frames land
-   in the bounded backlog and replay once the fresh driver registers. *)
+   in the bounded per-queue backlog and replay once the fresh driver
+   registers. *)
 let backlog_ops t =
   { Netdev.ndo_open = (fun () -> Ok ());
     ndo_stop = (fun () -> ());
-    ndo_start_xmit = (fun skb -> Netdev.backlog_xmit t.netdev ~limit:t.policy.backlog_limit skb);
+    ndo_start_xmit =
+      (fun ~queue skb -> Netdev.backlog_push t.netdev ~queue ~limit:t.policy.backlog_limit skb);
     ndo_do_ioctl = (fun ~cmd:_ ~arg:_ -> Error "device recovering") }
 
+(* Replay queue by queue, each in FIFO order.  dev_xmit re-selects the
+   queue with the same RSS hash that parked the frame, so a flow's
+   packets replay onto their original queue in their original order. *)
 let replay_backlog t =
-  let rec go n =
-    match Netdev.backlog_take t.netdev with
-    | None -> n
-    | Some skb ->
-      ignore (Netstack.dev_xmit t.k.Kernel.net t.netdev skb : [ `Sent | `Dropped ]);
-      go (n + 1)
-  in
-  go 0
+  let n = ref 0 in
+  for q = 0 to Netdev.tx_queues t.netdev - 1 do
+    let rec go () =
+      match Netdev.backlog_pop t.netdev ~queue:q with
+      | None -> ()
+      | Some skb ->
+        ignore (Netstack.dev_xmit t.k.Kernel.net t.netdev skb : [ `Sent | `Dropped ]);
+        incr n;
+        go ()
+    in
+    go ()
+  done;
+  !n
 
 let unregister_netdev t =
   match Netstack.find_netdev t.k.Kernel.net (Netdev.name t.netdev) with
@@ -227,8 +236,8 @@ let recover t reason =
   t.was_up <- Netdev.is_up t.netdev;
   Netdev.netif_carrier_off t.netdev;
   Netdev.set_ops t.netdev (backlog_ops t);
-  (* Senders parked on the stopped queue must fall through to the backlog. *)
-  Netdev.netif_wake_queue t.netdev;
+  (* Senders parked on any stopped queue must fall through to the backlog. *)
+  Netdev.netif_tx_wake_all_queues t.netdev;
   (match t.cur with
    | Some s ->
      Process.kill (Driver_host.proc s);     (* grant revoked via exit hooks *)

@@ -4,11 +4,10 @@ let tx_ring_size = 256          (* 256 * 16B = one page of descriptors *)
 let rx_ring_size = 512          (* two pages, as in Figure 9 *)
 let rx_buf_size = 2048
 
-type state = {
-  env : Driver_api.env;
-  pdev : Driver_api.pcidev;
-  cb : Driver_api.net_callbacks;
-  mmio : Driver_api.mmio;
+(* One TX/RX ring pair.  Queue [qi]'s registers live at the queue-0
+   offset plus [qi * R.queue_stride]. *)
+type queue = {
+  qi : int;
   tx_ring : Driver_api.dma_region;
   rx_ring : Driver_api.dma_region;
   rx_bufs : Driver_api.dma_region;
@@ -16,12 +15,24 @@ type state = {
   mutable tx_tail : int;
   mutable tx_clean : int;
   mutable rx_next : int;
+}
+
+type state = {
+  env : Driver_api.env;
+  pdev : Driver_api.pcidev;
+  cb : Driver_api.net_callbacks;
+  mmio : Driver_api.mmio;
+  qs : queue array;
+  msix : bool;                         (* per-queue vectors; legacy ICR unused *)
   mutable opened : bool;
   mutable irq_seen : bool;             (* for the open-time interrupt self test *)
 }
 
 let r32 st off = st.mmio.Driver_api.mmio_read ~off ~size:4
 let w32 st off v = st.mmio.Driver_api.mmio_write ~off ~size:4 v
+
+(* Ring register of queue [q]. *)
+let qr q base = base + (q.qi * R.queue_stride)
 
 let read_eeprom st addr =
   w32 st R.eerd ((addr lsl 8) lor R.eerd_start);
@@ -46,117 +57,143 @@ let read_mac st =
   mac
 
 (* Legacy descriptor accessors *)
-let write_tx_desc st slot ~addr ~len ~cmd =
+let write_tx_desc q slot ~addr ~len ~cmd =
   let off = slot * R.desc_size in
-  Driver_api.dma_set64 st.tx_ring ~off (Int64.of_int addr);
+  Driver_api.dma_set64 q.tx_ring ~off (Int64.of_int addr);
   let meta = Bytes.make 8 '\000' in
   Bytes.set_uint16_le meta 0 len;
   Bytes.set meta 3 (Char.chr cmd);
   Bytes.set meta 4 '\000';              (* status *)
-  st.tx_ring.Driver_api.dma_write ~off:(off + 8) meta
+  q.tx_ring.Driver_api.dma_write ~off:(off + 8) meta
 
-let tx_desc_done st slot =
+let tx_desc_done q slot =
   let off = (slot * R.desc_size) + 12 in
-  let b = st.tx_ring.Driver_api.dma_read ~off ~len:1 in
+  let b = q.tx_ring.Driver_api.dma_read ~off ~len:1 in
   Char.code (Bytes.get b 0) land R.txd_sta_dd <> 0
 
-let setup_rx_desc st slot =
+let setup_rx_desc q slot =
   let off = slot * R.desc_size in
-  let buf_addr = st.rx_bufs.Driver_api.dma_addr + (slot * rx_buf_size) in
-  Driver_api.dma_set64 st.rx_ring ~off (Int64.of_int buf_addr);
-  st.rx_ring.Driver_api.dma_write ~off:(off + 8) (Bytes.make 8 '\000')
+  let buf_addr = q.rx_bufs.Driver_api.dma_addr + (slot * rx_buf_size) in
+  Driver_api.dma_set64 q.rx_ring ~off (Int64.of_int buf_addr);
+  q.rx_ring.Driver_api.dma_write ~off:(off + 8) (Bytes.make 8 '\000')
 
-let rx_desc_status st slot =
+let rx_desc_status q slot =
   let off = (slot * R.desc_size) + 12 in
-  Char.code (Bytes.get (st.rx_ring.Driver_api.dma_read ~off ~len:1) 0)
+  Char.code (Bytes.get (q.rx_ring.Driver_api.dma_read ~off ~len:1) 0)
 
-let rx_desc_len st slot =
+let rx_desc_len q slot =
   let off = (slot * R.desc_size) + 8 in
-  Bytes.get_uint16_le (st.rx_ring.Driver_api.dma_read ~off ~len:2) 0
+  Bytes.get_uint16_le (q.rx_ring.Driver_api.dma_read ~off ~len:2) 0
 
 (* ---- interrupt handler (the driver's top half) ---- *)
 
-let clean_tx st =
+let clean_tx st q =
   let cleaned = ref false in
-  while st.tx_clean <> st.tx_tail && tx_desc_done st st.tx_clean do
-    st.cb.Driver_api.nc_tx_free ~token:st.tokens.(st.tx_clean);
-    st.tokens.(st.tx_clean) <- -1;
-    st.tx_clean <- (st.tx_clean + 1) mod tx_ring_size;
+  while q.tx_clean <> q.tx_tail && tx_desc_done q q.tx_clean do
+    st.cb.Driver_api.nc_tx_free ~queue:q.qi ~token:q.tokens.(q.tx_clean);
+    q.tokens.(q.tx_clean) <- -1;
+    q.tx_clean <- (q.tx_clean + 1) mod tx_ring_size;
     cleaned := true
   done;
-  if !cleaned then st.cb.Driver_api.nc_tx_done ()
+  if !cleaned then st.cb.Driver_api.nc_tx_done ~queue:q.qi
 
-let rx_poll st =
+let rx_poll st q =
   let budget = ref 64 in
   let progress = ref true in
   let last = ref (-1) in
   while !progress && !budget > 0 do
-    let status = rx_desc_status st st.rx_next in
+    let status = rx_desc_status q q.rx_next in
     if status land R.rxd_sta_dd <> 0 then begin
-      let len = rx_desc_len st st.rx_next in
-      let addr = st.rx_bufs.Driver_api.dma_addr + (st.rx_next * rx_buf_size) in
+      let len = rx_desc_len q q.rx_next in
+      let addr = q.rx_bufs.Driver_api.dma_addr + (q.rx_next * rx_buf_size) in
       st.env.Driver_api.env_consume 300;
-      st.cb.Driver_api.nc_rx ~addr ~len;
-      setup_rx_desc st st.rx_next;
-      last := st.rx_next;
-      st.rx_next <- (st.rx_next + 1) mod rx_ring_size;
+      st.cb.Driver_api.nc_rx ~queue:q.qi ~addr ~len;
+      setup_rx_desc q q.rx_next;
+      last := q.rx_next;
+      q.rx_next <- (q.rx_next + 1) mod rx_ring_size;
       decr budget
     end
     else progress := false
   done;
   (* Hand the recycled descriptors back in one tail write per batch. *)
-  if !last >= 0 then w32 st R.rdt !last
+  if !last >= 0 then w32 st (qr q R.rdt) !last
 
-let irq_handler st () =
+(* In MSI-X mode each queue signals its own vector, so vector [q] means
+   "queue [q] has work" — no ICR demux, exactly the igb/e1000e MSI-X
+   top half.  In legacy MSI mode the single vector demuxes via ICR. *)
+let irq_handler st ~queue =
   st.irq_seen <- true;
-  let icr = r32 st R.icr in
-  if icr land R.int_txdw <> 0 then clean_tx st;
-  if icr land R.int_rxt0 <> 0 then rx_poll st;
-  if icr land R.int_lsc <> 0 then
-    st.cb.Driver_api.nc_carrier (r32 st R.status land R.status_lu <> 0);
-  st.pdev.Driver_api.pd_irq_ack ()
+  if st.msix then begin
+    let q = st.qs.(if queue >= 0 && queue < Array.length st.qs then queue else 0) in
+    clean_tx st q;
+    rx_poll st q;
+    st.pdev.Driver_api.pd_irq_ack ~queue:q.qi ()
+  end
+  else begin
+    let icr = r32 st R.icr in
+    if icr land R.int_txdw <> 0 then clean_tx st st.qs.(0);
+    if icr land R.int_rxt0 <> 0 then rx_poll st st.qs.(0);
+    if icr land R.int_lsc <> 0 then
+      st.cb.Driver_api.nc_carrier (r32 st R.status land R.status_lu <> 0);
+    st.pdev.Driver_api.pd_irq_ack ~queue:0 ()
+  end
 
 (* ---- net_instance callbacks ---- *)
+
+let program_queue st q =
+  w32 st (qr q R.tdbal) (q.tx_ring.Driver_api.dma_addr land 0xFFFFFFFF);
+  w32 st (qr q R.tdbah) (q.tx_ring.Driver_api.dma_addr lsr 32);
+  w32 st (qr q R.tdlen) (tx_ring_size * R.desc_size);
+  w32 st (qr q R.tdh) 0;
+  w32 st (qr q R.tdt) 0;
+  q.tx_tail <- 0;
+  q.tx_clean <- 0;
+  for i = 0 to rx_ring_size - 1 do setup_rx_desc q i done;
+  w32 st (qr q R.rdbal) (q.rx_ring.Driver_api.dma_addr land 0xFFFFFFFF);
+  w32 st (qr q R.rdbah) (q.rx_ring.Driver_api.dma_addr lsr 32);
+  w32 st (qr q R.rdlen) (rx_ring_size * R.desc_size);
+  w32 st (qr q R.rdh) 0;
+  w32 st (qr q R.rdt) (rx_ring_size - 1);
+  q.rx_next <- 0
 
 let do_open st () =
   if st.opened then Ok ()
   else begin
-    match st.pdev.Driver_api.pd_request_irq (fun () -> irq_handler st ()) with
-    | Error e -> Error ("request_irq: " ^ e)
+    let nq = Array.length st.qs in
+    match st.pdev.Driver_api.pd_request_irqs ~n:nq (fun ~queue -> irq_handler st ~queue) with
+    | Error e -> Error ("request_irqs: " ^ e)
     | Ok () ->
-      (* Program the rings. *)
-      w32 st R.tdbal (st.tx_ring.Driver_api.dma_addr land 0xFFFFFFFF);
-      w32 st R.tdbah (st.tx_ring.Driver_api.dma_addr lsr 32);
-      w32 st R.tdlen (tx_ring_size * R.desc_size);
-      w32 st R.tdh 0;
-      w32 st R.tdt 0;
-      st.tx_tail <- 0;
-      st.tx_clean <- 0;
-      for i = 0 to rx_ring_size - 1 do setup_rx_desc st i done;
-      w32 st R.rdbal (st.rx_ring.Driver_api.dma_addr land 0xFFFFFFFF);
-      w32 st R.rdbah (st.rx_ring.Driver_api.dma_addr lsr 32);
-      w32 st R.rdlen (rx_ring_size * R.desc_size);
-      w32 st R.rdh 0;
-      w32 st R.rdt (rx_ring_size - 1);
-      st.rx_next <- 0;
+      Array.iter (program_queue st) st.qs;
+      (* Spread incoming flows over all RX rings. *)
+      if nq > 1 then w32 st R.mrqc nq;
       (* Interrupt moderation, as the real driver's default ITR: ~50 us
          between interrupts (196 * 256 ns). *)
       w32 st R.itr 196;
       w32 st R.ims (R.int_txdw lor R.int_rxt0 lor R.int_lsc);
-      (* Like the real e1000e (paper §4.2): verify the interrupt path by
-         raising one and sleeping — which only works if something keeps
-         dispatching interrupts while we block. *)
-      st.irq_seen <- false;
-      w32 st R.ics R.int_txdw;
-      let rec wait_irq tries =
-        if st.irq_seen then Ok ()
-        else if tries = 0 then Error "interrupt self-test failed"
+      let self_test () =
+        if st.msix then Ok ()
+        (* ICS raises a legacy-MSI interrupt; with MSI-X enabled the
+           device never signals that path, so the test only applies to
+           single-vector mode — as in e1000e, whose test_msi falls away
+           once MSI-X vectors are up. *)
         else begin
-          st.env.Driver_api.env_msleep 1;
-          wait_irq (tries - 1)
+          (* Like the real e1000e (paper §4.2): verify the interrupt path
+             by raising one and sleeping — which only works if something
+             keeps dispatching interrupts while we block. *)
+          st.irq_seen <- false;
+          w32 st R.ics R.int_txdw;
+          let rec wait_irq tries =
+            if st.irq_seen then Ok ()
+            else if tries = 0 then Error "interrupt self-test failed"
+            else begin
+              st.env.Driver_api.env_msleep 1;
+              wait_irq (tries - 1)
+            end
+          in
+          wait_irq 10
         end
       in
-      (match wait_irq 10 with
+      (match self_test () with
        | Error e ->
          st.pdev.Driver_api.pd_free_irq ();
          Error e
@@ -177,16 +214,17 @@ let do_stop st () =
     st.opened <- false
   end
 
-let do_xmit st (txb : Driver_api.txbuf) =
-  let next = (st.tx_tail + 1) mod tx_ring_size in
-  if next = st.tx_clean then `Busy     (* ring full *)
+let do_xmit st ~queue (txb : Driver_api.txbuf) =
+  let q = st.qs.(if queue >= 0 && queue < Array.length st.qs then queue else 0) in
+  let next = (q.tx_tail + 1) mod tx_ring_size in
+  if next = q.tx_clean then `Busy     (* ring full *)
   else begin
     st.env.Driver_api.env_consume 350;
-    write_tx_desc st st.tx_tail ~addr:txb.Driver_api.txb_addr ~len:txb.Driver_api.txb_len
+    write_tx_desc q q.tx_tail ~addr:txb.Driver_api.txb_addr ~len:txb.Driver_api.txb_len
       ~cmd:(R.txd_cmd_eop lor R.txd_cmd_rs);
-    st.tokens.(st.tx_tail) <- txb.Driver_api.txb_token;
-    st.tx_tail <- next;
-    w32 st R.tdt st.tx_tail;
+    q.tokens.(q.tx_tail) <- txb.Driver_api.txb_token;
+    q.tx_tail <- next;
+    w32 st (qr q R.tdt) q.tx_tail;
     `Ok
   end
 
@@ -209,41 +247,41 @@ let probe env pdev cb =
          | Ok r -> r
          | Error e -> failwith (what ^ ": " ^ e)
        in
+       (* One ring pair per deliverable MSI-X vector, capped by the
+          hardware's queue register file. *)
+       let nq = max 1 (min (pdev.Driver_api.pd_msix_vectors ()) R.max_queues) in
        (match
-          (* Allocation order matches Figure 9: TX ring, RX ring, buffers. *)
-          let tx_ring = alloc "tx ring" (tx_ring_size * R.desc_size) in
-          let rx_ring = alloc "rx ring" (rx_ring_size * R.desc_size) in
-          let rx_bufs = alloc "rx buffers" (rx_ring_size * rx_buf_size) in
-          (tx_ring, rx_ring, rx_bufs)
+          Array.init nq (fun qi ->
+              (* Allocation order matches Figure 9: TX ring, RX ring,
+                 buffers — repeated per queue. *)
+              let tx_ring = alloc "tx ring" (tx_ring_size * R.desc_size) in
+              let rx_ring = alloc "rx ring" (rx_ring_size * R.desc_size) in
+              let rx_bufs = alloc "rx buffers" (rx_ring_size * rx_buf_size) in
+              { qi;
+                tx_ring;
+                rx_ring;
+                rx_bufs;
+                tokens = Array.make tx_ring_size (-1);
+                tx_tail = 0;
+                tx_clean = 0;
+                rx_next = 0 })
         with
         | exception Failure e -> Error e
-        | tx_ring, rx_ring, rx_bufs ->
-          let st =
-            { env;
-              pdev;
-              cb;
-              mmio;
-              tx_ring;
-              rx_ring;
-              rx_bufs;
-              tokens = Array.make tx_ring_size (-1);
-              tx_tail = 0;
-              tx_clean = 0;
-              rx_next = 0;
-              opened = false;
-              irq_seen = false }
-          in
+        | qs ->
+          let st = { env; pdev; cb; mmio; qs; msix = nq > 1; opened = false; irq_seen = false } in
           let mac = read_mac st in
           env.Driver_api.env_printk
-            (Printf.sprintf "e1000: MAC %02x:%02x:%02x:%02x:%02x:%02x"
+            (Printf.sprintf "e1000: MAC %02x:%02x:%02x:%02x:%02x:%02x, %d queue%s"
                (Char.code (Bytes.get mac 0)) (Char.code (Bytes.get mac 1))
                (Char.code (Bytes.get mac 2)) (Char.code (Bytes.get mac 3))
-               (Char.code (Bytes.get mac 4)) (Char.code (Bytes.get mac 5)));
+               (Char.code (Bytes.get mac 4)) (Char.code (Bytes.get mac 5))
+               nq (if nq = 1 then "" else "s"));
           Ok
             { Driver_api.ni_mac = mac;
+              ni_tx_queues = nq;
               ni_open = (fun () -> do_open st ());
               ni_stop = (fun () -> do_stop st ());
-              ni_xmit = (fun txb -> do_xmit st txb);
+              ni_xmit = (fun ~queue txb -> do_xmit st ~queue txb);
               ni_ioctl = (fun ~cmd ~arg -> do_ioctl st ~cmd ~arg) }))
 
 let driver =

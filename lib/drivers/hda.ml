@@ -55,7 +55,7 @@ let write_bdl st =
 let do_start st () =
   if st.running then Ok ()
   else
-    match st.pdev.Driver_api.pd_request_irq (fun () -> irq_handler st ()) with
+    match st.pdev.Driver_api.pd_request_irqs ~n:1 (fun ~queue:_ -> irq_handler st ()) with
     | Error e -> Error e
     | Ok () ->
       w32 st R.gctl R.gctl_crst;

@@ -75,11 +75,11 @@ let clean_tx st =
     st.tx_clean <> st.tx_tail
     && Driver_api.dma_get32 st.tx_ring ~off:((st.tx_clean * desc) + 12) = 1
   do
-    st.cb.Driver_api.wc_net.Driver_api.nc_tx_free ~token:st.tokens.(st.tx_clean);
+    st.cb.Driver_api.wc_net.Driver_api.nc_tx_free ~queue:0 ~token:st.tokens.(st.tx_clean);
     st.tx_clean <- (st.tx_clean + 1) mod tx_ring_size;
     cleaned := true
   done;
-  if !cleaned then st.cb.Driver_api.wc_net.Driver_api.nc_tx_done ()
+  if !cleaned then st.cb.Driver_api.wc_net.Driver_api.nc_tx_done ~queue:0
 
 let rx_poll st =
   let continue_ = ref true in
@@ -89,7 +89,7 @@ let rx_poll st =
       let len = Driver_api.dma_get32 st.rx_ring ~off:(off + 8) in
       let addr = st.rx_bufs.Driver_api.dma_addr + (st.rx_next * rx_buf_size) in
       st.env.Driver_api.env_consume 400;
-      st.cb.Driver_api.wc_net.Driver_api.nc_rx ~addr ~len;
+      st.cb.Driver_api.wc_net.Driver_api.nc_rx ~queue:0 ~addr ~len;
       setup_rx_desc st st.rx_next;
       w32 st R.rxt st.rx_next;
       st.rx_next <- (st.rx_next + 1) mod rx_ring_size
@@ -107,7 +107,7 @@ let irq_handler st () =
 let do_open st () =
   if st.opened then Ok ()
   else
-    match st.pdev.Driver_api.pd_request_irq (fun () -> irq_handler st ()) with
+    match st.pdev.Driver_api.pd_request_irqs ~n:1 (fun ~queue:_ -> irq_handler st ()) with
     | Error e -> Error e
     | Ok () ->
       (* Load firmware, then bring the MAC up. *)
@@ -196,9 +196,10 @@ let probe env pdev cb =
           in
           let net =
             { Driver_api.ni_mac = mac_of_bdf pdev;
+              ni_tx_queues = 1;
               ni_open = (fun () -> do_open st ());
               ni_stop = (fun () -> do_stop st ());
-              ni_xmit = (fun txb -> do_xmit st txb);
+              ni_xmit = (fun ~queue:_ txb -> do_xmit st txb);
               ni_ioctl = (fun ~cmd:_ ~arg:_ -> Error "unsupported ioctl") }
           in
           Ok

@@ -56,7 +56,7 @@ let rec rx_drain st =
       (* Stage in the bounce region so the environment can take it by bus
          address, like any other driver. *)
       st.bounce.Driver_api.dma_write ~off:0 frame;
-      st.cb.Driver_api.nc_rx ~addr:st.bounce.Driver_api.dma_addr ~len;
+      st.cb.Driver_api.nc_rx ~queue:0 ~addr:st.bounce.Driver_api.dma_addr ~len;
       st.next_pkt <- next;
       outb st R.bnry (if next = rx_start then rx_stop - 1 else next - 1);
       rx_drain st
@@ -74,14 +74,14 @@ let irq_handler st () =
   if isr land R.isr_prx <> 0 then rx_drain st;
   if isr land R.isr_ptx <> 0 then begin
     st.tx_in_flight <- false;
-    st.cb.Driver_api.nc_tx_done ()
+    st.cb.Driver_api.nc_tx_done ~queue:0
   end;
   st.pdev.Driver_api.pd_irq_ack ()
 
 let do_open st () =
   if st.opened then Ok ()
   else
-    match st.pdev.Driver_api.pd_request_irq (fun () -> irq_handler st ()) with
+    match st.pdev.Driver_api.pd_request_irqs ~n:1 (fun ~queue:_ -> irq_handler st ()) with
     | Error e -> Error e
     | Ok () ->
       outb st R.cr R.cr_stp;
@@ -120,7 +120,7 @@ let do_xmit st (txb : Driver_api.txbuf) =
     outb st R.tbcr1 (Bytes.length frame lsr 8);
     outb st R.cr (R.cr_sta lor R.cr_txp);
     st.tx_in_flight <- true;
-    st.cb.Driver_api.nc_tx_free ~token:txb.Driver_api.txb_token;
+    st.cb.Driver_api.nc_tx_free ~queue:0 ~token:txb.Driver_api.txb_token;
     `Ok
   end
 
@@ -153,9 +153,10 @@ let probe env pdev cb =
           let mac = read_prom_mac st in
           Ok
             { Driver_api.ni_mac = mac;
+              ni_tx_queues = 1;
               ni_open = (fun () -> do_open st ());
               ni_stop = (fun () -> do_stop st ());
-              ni_xmit = (fun txb -> do_xmit st txb);
+              ni_xmit = (fun ~queue:_ txb -> do_xmit st txb);
               ni_ioctl = (fun ~cmd ~arg -> do_ioctl st ~cmd ~arg) }))
 
 let driver =

@@ -66,11 +66,25 @@ let dma_write t ~addr ~data =
     if not (mastering t) then Error (Bus.Bus_abort { addr })
     else h.dma_write ~source:(source t) ~addr ~data
 
+let send_message t ~addr ~data =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int data);
+  dma_write t ~addr ~data:b
+
 let raise_msi t =
-  if Pci_cfg.msi_enabled t.dcfg && not (Pci_cfg.msi_masked t.dcfg) then begin
-    let data = Pci_cfg.msi_data t.dcfg in
-    let b = Bytes.create 4 in
-    Bytes.set_int32_le b 0 (Int32.of_int data);
-    dma_write t ~addr:(Pci_cfg.msi_address t.dcfg) ~data:b
-  end
+  if Pci_cfg.msi_enabled t.dcfg && not (Pci_cfg.msi_masked t.dcfg) then
+    send_message t ~addr:(Pci_cfg.msi_address t.dcfg) ~data:(Pci_cfg.msi_data t.dcfg)
   else Ok ()
+
+let raise_msix t ~vector =
+  if not (Pci_cfg.msix_enabled t.dcfg) || Pci_cfg.msix_func_masked t.dcfg then Ok ()
+  else if Pci_cfg.msix_masked t.dcfg ~vector then begin
+    (* Suppressed by the per-vector mask bit: latch pending, as the
+       spec's pending-bit array does, so software can see the storm it
+       is sitting on. *)
+    Pci_cfg.msix_set_pending t.dcfg ~vector true;
+    Ok ()
+  end
+  else
+    send_message t ~addr:(Pci_cfg.msix_address t.dcfg ~vector)
+      ~data:(Pci_cfg.msix_data t.dcfg ~vector)

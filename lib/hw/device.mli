@@ -52,6 +52,12 @@ val raise_msi : t -> (unit, Bus.fault) result
     is disabled or masked in the capability — that mask is the kernel's
     cheap storm defence. *)
 
+val raise_msix : t -> vector:int -> (unit, Bus.fault) result
+(** Emit one MSI-X table entry's message.  A message suppressed by the
+    per-vector mask bit sets that entry's pending bit instead of going
+    out on the bus, so masking one storming vector never silences its
+    siblings. *)
+
 val no_io : ops
 (** Placeholder ops for devices built in two steps (state first, ops
     after); every operation raises [Failure]. *)

@@ -21,6 +21,12 @@ module Regs = struct
   let rdt = 0x2818
   let ral0 = 0x5400
   let rah0 = 0x5404
+  let mrqc = 0x5818
+
+  (* Queue [q]'s ring registers live at the queue-0 offset plus
+     [q * queue_stride], e.g. RDT for queue 2 is [rdt + 0x200]. *)
+  let queue_stride = 0x100
+  let max_queues = 8
 
   let ctrl_rst = 1 lsl 26
   let status_lu = 1 lsl 1
@@ -43,10 +49,26 @@ end
 
 open Regs
 
+type ring = {
+  mutable ba : int;
+  mutable len : int;
+  mutable head : int;
+  mutable tail : int;
+}
+
+let fresh_ring () = { ba = 0; len = 0; head = 0; tail = 0 }
+
+let ring_reset r =
+  r.ba <- 0;
+  r.len <- 0;
+  r.head <- 0;
+  r.tail <- 0
+
 type t = {
   eng : Engine.t;
   dev : Device.t;
   eeprom : int array;            (* 64 16-bit words; 0..2 hold the MAC *)
+  queues : int;                  (* ring pairs / MSI-X vectors advertised *)
   mutable regs_ctrl : int;
   mutable regs_eerd : int;
   mutable regs_itr : int;        (* inter-interrupt gap in 256ns units *)
@@ -56,26 +78,23 @@ type t = {
   mutable regs_ims : int;
   mutable regs_rctl : int;
   mutable regs_tctl : int;
-  mutable regs_tdba : int;
-  mutable regs_tdlen : int;
-  mutable regs_tdh : int;
-  mutable regs_tdt : int;
-  mutable regs_rdba : int;
-  mutable regs_rdlen : int;
-  mutable regs_rdh : int;
-  mutable regs_rdt : int;
+  mutable regs_mrqc : int;       (* active RSS queues; <= 1 disables RSS *)
+  txr : ring array;
+  rxr : ring array;
+  tx_busy : bool array;          (* a TX processing pass is scheduled, per queue *)
+  partial_tx : bytes list array; (* fragments until EOP, per queue *)
   mutable ral : int;
   mutable rah : int;
   mutable link_up : bool;
-  mutable tx_busy : bool;        (* a TX processing pass is scheduled *)
   port : Net_medium.port;
   medium : Net_medium.t;
-  mutable partial_tx : bytes list;  (* fragments until EOP *)
   mutable n_tx : int;
   mutable n_rx : int;
   mutable n_drop : int;
   mutable n_dma_fault : int;
   mutable n_msi : int;
+  n_vec : int array;             (* per-vector MSI-X messages, storm accounting *)
+  n_rxq : int array;             (* frames landed per RX queue *)
 }
 
 let per_desc_delay = 250 (* ns of device-side processing per descriptor *)
@@ -113,6 +132,18 @@ let rec raise_irq t cause =
     end
   end
 
+(* Per-queue completion: in MSI-X mode queue [q] signals its own vector
+   (counted per vector, so a storm is attributable); otherwise fall back
+   to the legacy coalesced ICR path. *)
+let raise_queue_irq t q cause =
+  if Pci_cfg.msix_enabled (Device.cfg t.dev) then begin
+    t.n_vec.(q) <- t.n_vec.(q) + 1;
+    match Device.raise_msix t.dev ~vector:q with
+    | Ok () -> ()
+    | Error _ -> t.n_dma_fault <- t.n_dma_fault + 1
+  end
+  else raise_irq t cause
+
 let dma_read t addr len =
   match Device.dma_read t.dev ~addr ~len with
   | Ok b -> Some b
@@ -127,29 +158,29 @@ let dma_write t addr data =
     t.n_dma_fault <- t.n_dma_fault + 1;
     false
 
-let tx_ring_slots t = if t.regs_tdlen = 0 then 0 else t.regs_tdlen / desc_size
-let rx_ring_slots t = if t.regs_rdlen = 0 then 0 else t.regs_rdlen / desc_size
+let ring_slots r = if r.len = 0 then 0 else r.len / desc_size
 
-(* Process TX descriptors [tdh, tdt); device-paced. *)
-let rec process_tx t =
-  if t.regs_tctl land tctl_en = 0 || tx_ring_slots t = 0 || t.regs_tdh = t.regs_tdt then
-    t.tx_busy <- false
+(* Process TX descriptors [head, tail) of one queue; device-paced. *)
+let rec process_tx t q =
+  let r = t.txr.(q) in
+  if t.regs_tctl land tctl_en = 0 || ring_slots r = 0 || r.head = r.tail then
+    t.tx_busy.(q) <- false
   else begin
-    let slot = t.regs_tdh in
-    let daddr = t.regs_tdba + (slot * desc_size) in
+    let slot = r.head in
+    let daddr = r.ba + (slot * desc_size) in
     (match dma_read t daddr desc_size with
-     | None -> t.tx_busy <- false
+     | None -> t.tx_busy.(q) <- false
      | Some desc ->
        let buf_addr = Int64.to_int (Bytes.get_int64_le desc 0) in
        let buf_len = Bytes.get_uint16_le desc 8 in
        let cmd = Char.code (Bytes.get desc 11) in
        (match if buf_len = 0 then Some Bytes.empty else dma_read t buf_addr buf_len with
-        | None -> t.tx_busy <- false
+        | None -> t.tx_busy.(q) <- false
         | Some payload ->
-          t.partial_tx <- payload :: t.partial_tx;
+          t.partial_tx.(q) <- payload :: t.partial_tx.(q);
           if cmd land txd_cmd_eop <> 0 then begin
-            let frame = Bytes.concat Bytes.empty (List.rev t.partial_tx) in
-            t.partial_tx <- [];
+            let frame = Bytes.concat Bytes.empty (List.rev t.partial_tx.(q)) in
+            t.partial_tx.(q) <- [];
             t.n_tx <- t.n_tx + 1;
             Net_medium.send t.medium t.port frame
           end;
@@ -157,31 +188,40 @@ let rec process_tx t =
             Bytes.set desc 12 (Char.chr txd_sta_dd);
             ignore (dma_write t daddr desc : bool)
           end;
-          t.regs_tdh <- (slot + 1) mod tx_ring_slots t;
-          if t.regs_tdh = t.regs_tdt then begin
-            t.tx_busy <- false;
-            raise_irq t int_txdw
+          r.head <- (slot + 1) mod ring_slots r;
+          if r.head = r.tail then begin
+            t.tx_busy.(q) <- false;
+            raise_queue_irq t q int_txdw
           end
           else
             ignore
-              (Engine.schedule_after t.eng per_desc_delay (fun () -> process_tx t)
+              (Engine.schedule_after t.eng per_desc_delay (fun () -> process_tx t q)
                : Engine.handle)))
   end
 
-let kick_tx t =
-  if (not t.tx_busy) && t.regs_tctl land tctl_en <> 0 then begin
-    t.tx_busy <- true;
+let kick_tx t q =
+  if (not t.tx_busy.(q)) && t.regs_tctl land tctl_en <> 0 then begin
+    t.tx_busy.(q) <- true;
     ignore
-      (Engine.schedule_after t.eng per_desc_delay (fun () -> process_tx t)
+      (Engine.schedule_after t.eng per_desc_delay (fun () -> process_tx t q)
        : Engine.handle)
   end
 
+(* How many RX queues the incoming-frame dispatcher spreads over. *)
+let active_rx_queues t =
+  if t.regs_mrqc <= 1 then 1 else min t.regs_mrqc t.queues
+
 let receive t frame =
-  if t.regs_rctl land rctl_en = 0 || rx_ring_slots t = 0 || t.regs_rdh = t.regs_rdt then
+  let q =
+    let nq = active_rx_queues t in
+    if nq <= 1 then 0 else Rss.queue_for ~queues:nq frame
+  in
+  let r = t.rxr.(q) in
+  if t.regs_rctl land rctl_en = 0 || ring_slots r = 0 || r.head = r.tail then
     t.n_drop <- t.n_drop + 1
   else begin
-    let slot = t.regs_rdh in
-    let daddr = t.regs_rdba + (slot * desc_size) in
+    let slot = r.head in
+    let daddr = r.ba + (slot * desc_size) in
     match dma_read t daddr desc_size with
     | None -> ()
     | Some desc ->
@@ -190,9 +230,10 @@ let receive t frame =
         Bytes.set_uint16_le desc 8 (Bytes.length frame);
         Bytes.set desc 12 (Char.chr (rxd_sta_dd lor rxd_sta_eop));
         if dma_write t daddr desc then begin
-          t.regs_rdh <- (slot + 1) mod rx_ring_slots t;
+          r.head <- (slot + 1) mod ring_slots r;
           t.n_rx <- t.n_rx + 1;
-          raise_irq t int_rxt0
+          t.n_rxq.(q) <- t.n_rxq.(q) + 1;
+          raise_queue_irq t q int_rxt0
         end
       end
   end
@@ -207,15 +248,11 @@ let reset t =
   t.regs_ims <- 0;
   t.regs_rctl <- 0;
   t.regs_tctl <- 0;
-  t.regs_tdba <- 0;
-  t.regs_tdlen <- 0;
-  t.regs_tdh <- 0;
-  t.regs_tdt <- 0;
-  t.regs_rdba <- 0;
-  t.regs_rdlen <- 0;
-  t.regs_rdh <- 0;
-  t.regs_rdt <- 0;
-  t.partial_tx <- [];
+  t.regs_mrqc <- 0;
+  Array.iter ring_reset t.txr;
+  Array.iter ring_reset t.rxr;
+  Array.fill t.tx_busy 0 (Array.length t.tx_busy) false;
+  Array.fill t.partial_tx 0 (Array.length t.partial_tx) [];
   let mac = mac_of_eeprom t.eeprom in
   t.ral <-
     Char.code (Bytes.get mac 0)
@@ -223,6 +260,19 @@ let reset t =
     lor (Char.code (Bytes.get mac 2) lsl 16)
     lor (Char.code (Bytes.get mac 3) lsl 24);
   t.rah <- Char.code (Bytes.get mac 4) lor (Char.code (Bytes.get mac 5) lsl 8) lor 0x80000000
+
+(* Decompose a ring-register offset: queue index from the stride, base
+   register from the remainder.  Returns [None] for non-ring offsets. *)
+let ring_reg t off =
+  let decode base =
+    let d = off - base in
+    if d >= 0 && d < max_queues * queue_stride && d mod queue_stride < 0x20 then begin
+      let q = d / queue_stride and reg = base + (d mod queue_stride) in
+      if q < t.queues then Some (q, reg) else None
+    end
+    else None
+  in
+  match decode rdbal with Some _ as r -> r | None -> decode tdbal
 
 (* Register read without side effects (used for sub-word accesses and for
    peers reaching the register file by P2P DMA). *)
@@ -235,19 +285,24 @@ let peek t off =
   else if off = ims then t.regs_ims
   else if off = rctl then t.regs_rctl
   else if off = tctl then t.regs_tctl
-  else if off = tdbal then t.regs_tdba land 0xFFFFFFFF
-  else if off = tdbah then t.regs_tdba lsr 32
-  else if off = tdlen then t.regs_tdlen
-  else if off = tdh then t.regs_tdh
-  else if off = tdt then t.regs_tdt
-  else if off = rdbal then t.regs_rdba land 0xFFFFFFFF
-  else if off = rdbah then t.regs_rdba lsr 32
-  else if off = rdlen then t.regs_rdlen
-  else if off = rdh then t.regs_rdh
-  else if off = rdt then t.regs_rdt
+  else if off = mrqc then t.regs_mrqc
   else if off = ral0 then t.ral
   else if off = rah0 then t.rah
-  else 0
+  else
+    match ring_reg t off with
+    | None -> 0
+    | Some (q, reg) ->
+      if reg = tdbal then t.txr.(q).ba land 0xFFFFFFFF
+      else if reg = tdbah then t.txr.(q).ba lsr 32
+      else if reg = tdlen then t.txr.(q).len
+      else if reg = tdh then t.txr.(q).head
+      else if reg = tdt then t.txr.(q).tail
+      else if reg = rdbal then t.rxr.(q).ba land 0xFFFFFFFF
+      else if reg = rdbah then t.rxr.(q).ba lsr 32
+      else if reg = rdlen then t.rxr.(q).len
+      else if reg = rdh then t.rxr.(q).head
+      else if reg = rdt then t.rxr.(q).tail
+      else 0
 
 let read32 t off =
   if off = icr then begin
@@ -275,23 +330,28 @@ let write32 t off v =
   else if off = rctl then t.regs_rctl <- v
   else if off = tctl then begin
     t.regs_tctl <- v;
-    kick_tx t
+    for q = 0 to t.queues - 1 do kick_tx t q done
   end
-  else if off = tdbal then t.regs_tdba <- t.regs_tdba land lnot 0xFFFFFFFF lor v
-  else if off = tdbah then t.regs_tdba <- t.regs_tdba land 0xFFFFFFFF lor (v lsl 32)
-  else if off = tdlen then t.regs_tdlen <- v
-  else if off = tdh then t.regs_tdh <- v
-  else if off = tdt then begin
-    t.regs_tdt <- v;
-    kick_tx t
-  end
-  else if off = rdbal then t.regs_rdba <- t.regs_rdba land lnot 0xFFFFFFFF lor v
-  else if off = rdbah then t.regs_rdba <- t.regs_rdba land 0xFFFFFFFF lor (v lsl 32)
-  else if off = rdlen then t.regs_rdlen <- v
-  else if off = rdh then t.regs_rdh <- v
-  else if off = rdt then t.regs_rdt <- v
+  else if off = mrqc then t.regs_mrqc <- min v t.queues
   else if off = ral0 then t.ral <- v
   else if off = rah0 then t.rah <- v
+  else
+    match ring_reg t off with
+    | None -> ()
+    | Some (q, reg) ->
+      if reg = tdbal then t.txr.(q).ba <- t.txr.(q).ba land lnot 0xFFFFFFFF lor v
+      else if reg = tdbah then t.txr.(q).ba <- t.txr.(q).ba land 0xFFFFFFFF lor (v lsl 32)
+      else if reg = tdlen then t.txr.(q).len <- v
+      else if reg = tdh then t.txr.(q).head <- v
+      else if reg = tdt then begin
+        t.txr.(q).tail <- v;
+        kick_tx t q
+      end
+      else if reg = rdbal then t.rxr.(q).ba <- t.rxr.(q).ba land lnot 0xFFFFFFFF lor v
+      else if reg = rdbah then t.rxr.(q).ba <- t.rxr.(q).ba land 0xFFFFFFFF lor (v lsl 32)
+      else if reg = rdlen then t.rxr.(q).len <- v
+      else if reg = rdh then t.rxr.(q).head <- v
+      else if reg = rdt then t.rxr.(q).tail <- v
 
 let sub_access off size =
   let word = off land lnot 3 and shift = (off land 3) * 8 in
@@ -316,14 +376,17 @@ let mmio_write t ~bar ~off ~size v =
     end
   end
 
-let create eng ~mac ~medium () =
+let create eng ~mac ~medium ?(queues = 1) () =
   if Bytes.length mac <> 6 then invalid_arg "E1000_dev.create: MAC must be 6 bytes";
+  if queues < 1 || queues > max_queues then
+    invalid_arg "E1000_dev.create: queues must be 1..8";
   let cfg =
     Pci_cfg.create ~vendor:0x8086 ~device:0x10D3 ~class_code:0x020000
       ~bars:[| Some (Pci_cfg.Mem { size = 0x20000 }) |]
       ()
   in
   Pci_cfg.add_msi_capability cfg;
+  Pci_cfg.add_msix_capability cfg ~vectors:queues;
   let eeprom = Array.make 64 0 in
   for i = 0 to 2 do
     eeprom.(i) <-
@@ -338,6 +401,7 @@ let create eng ~mac ~medium () =
        { eng;
          dev;
          eeprom;
+         queues;
          regs_ctrl = 0;
          regs_eerd = 0;
          regs_itr = 0;
@@ -347,26 +411,23 @@ let create eng ~mac ~medium () =
          regs_ims = 0;
          regs_rctl = 0;
          regs_tctl = 0;
-         regs_tdba = 0;
-         regs_tdlen = 0;
-         regs_tdh = 0;
-         regs_tdt = 0;
-         regs_rdba = 0;
-         regs_rdlen = 0;
-         regs_rdh = 0;
-         regs_rdt = 0;
+         regs_mrqc = 0;
+         txr = Array.init queues (fun _ -> fresh_ring ());
+         rxr = Array.init queues (fun _ -> fresh_ring ());
+         tx_busy = Array.make queues false;
+         partial_tx = Array.make queues [];
          ral = 0;
          rah = 0;
          link_up = true;
-         tx_busy = false;
          port;
          medium;
-         partial_tx = [];
          n_tx = 0;
          n_rx = 0;
          n_drop = 0;
          n_dma_fault = 0;
-         n_msi = 0 })
+         n_msi = 0;
+         n_vec = Array.make queues 0;
+         n_rxq = Array.make queues 0 })
   in
   let t = Lazy.force t in
   reset t;
@@ -380,8 +441,11 @@ let create eng ~mac ~medium () =
 
 let device t = t.dev
 let mac t = mac_of_eeprom t.eeprom
+let queues t = t.queues
 let tx_frames t = t.n_tx
 let rx_frames t = t.n_rx
 let rx_dropped t = t.n_drop
 let dma_faults t = t.n_dma_fault
-let msi_raised t = t.n_msi
+let msi_raised t = t.n_msi + Array.fold_left ( + ) 0 t.n_vec
+let msix_raised t ~vector = t.n_vec.(vector)
+let rx_queue_frames t ~queue = t.n_rxq.(queue)

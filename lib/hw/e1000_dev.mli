@@ -9,7 +9,15 @@
 
     The register subset (offsets in BAR 0) follows the 8254x datasheet's
     legacy layout: CTRL, STATUS, EERD, ICR/ICS/IMS/IMC, RCTL/TCTL,
-    TDBAL..TDT, RDBAL..RDT, RAL/RAH. *)
+    TDBAL..TDT, RDBAL..RDT, RAL/RAH.
+
+    {b Multiqueue}: the device can be created with up to
+    {!Regs.max_queues} TX/RX ring pairs.  Queue [q]'s ring registers sit
+    at the queue-0 offset plus [q * Regs.queue_stride]; MRQC programs
+    how many RX queues the {!Rss} flow hash spreads incoming frames
+    over.  With MSI-X enabled, queue [q] signals vector [q] (counted
+    per vector, so a storm is attributable to one queue); otherwise all
+    causes coalesce onto the legacy ITR-moderated MSI path. *)
 
 module Regs : sig
   val ctrl : int
@@ -38,6 +46,14 @@ module Regs : sig
   val ral0 : int
   val rah0 : int
 
+  val mrqc : int
+  (** RSS control: number of active RX queues ([<= 1] disables RSS). *)
+
+  val queue_stride : int
+  (** Offset between consecutive queues' ring registers (0x100). *)
+
+  val max_queues : int
+
   val ctrl_rst : int
   val status_lu : int
   val eerd_start : int
@@ -63,12 +79,15 @@ end
 
 type t
 
-val create : Engine.t -> mac:bytes -> medium:Net_medium.t -> unit -> t
+val create : Engine.t -> mac:bytes -> medium:Net_medium.t -> ?queues:int -> unit -> t
 (** [mac] is 6 bytes, stored in the device EEPROM.  The device attaches a
-    station to [medium] immediately (link comes up). *)
+    station to [medium] immediately (link comes up).  [queues] (default
+    1, max {!Regs.max_queues}) is the number of TX/RX ring pairs and
+    MSI-X table entries the device advertises. *)
 
 val device : t -> Device.t
 val mac : t -> bytes
+val queues : t -> int
 
 (** Observability for tests and benches *)
 
@@ -83,3 +102,10 @@ val dma_faults : t -> int
     (IOMMU fault, ACS block, master abort). *)
 
 val msi_raised : t -> int
+(** Total interrupt messages raised, legacy MSI and MSI-X combined. *)
+
+val msix_raised : t -> vector:int -> int
+(** Messages raised on one MSI-X vector — the per-queue storm ledger. *)
+
+val rx_queue_frames : t -> queue:int -> int
+(** Frames the RSS dispatcher landed in one RX queue. *)

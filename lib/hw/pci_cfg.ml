@@ -1,10 +1,23 @@
 type bar_kind = Mem of { size : int } | Io of { size : int }
 
+(* One MSI-X table entry: message address/data plus the per-vector mask
+   and pending bits.  The table lives beside the register file rather
+   than inside a BAR — the layout (16 bytes per entry) is modeled, the
+   backing store is not. *)
+type msix_entry = {
+  mutable mx_addr : int;
+  mutable mx_data : int;
+  mutable mx_masked : bool;
+  mutable mx_pending : bool;
+}
+
 type t = {
   space : bytes;                 (* 256-byte register file *)
   bars : bar_kind option array;
   sizing : bool array;           (* BAR is in sizing mode (all-1s written) *)
   mutable msi_off : int;         (* 0 = no MSI capability *)
+  mutable msix_off : int;        (* 0 = no MSI-X capability *)
+  mutable msix_table : msix_entry array;
 }
 
 let vendor_id = 0x00
@@ -27,7 +40,15 @@ let cmd_bus_master = 0x0004
 let cmd_intx_disable = 0x0400
 
 let msi_cap_id = 0x05
+let msix_cap_id = 0x11
 let status_cap_list = 0x10
+
+(* MSI-X message control (cap +2): bits 0-10 = table size - 1,
+   bit 14 = function mask, bit 15 = MSI-X enable. *)
+let msix_ctrl = 2
+let msix_ctrl_enable = 0x8000
+let msix_ctrl_func_mask = 0x4000
+let msix_max_vectors = 32
 
 (* MSI capability layout (32-bit with per-vector masking):
    +0 cap id, +1 next ptr, +2 message control, +4 address, +8 data,
@@ -79,7 +100,14 @@ let create ~vendor ~device ?(class_code = 0x020000) ?(revision = 1) ~bars () =
     bars;
   let full = Array.make 6 None in
   Array.blit bars 0 full 0 (Array.length bars);
-  let t = { space = Bytes.make 256 '\000'; bars = full; sizing = Array.make 6 false; msi_off = 0 } in
+  let t =
+    { space = Bytes.make 256 '\000';
+      bars = full;
+      sizing = Array.make 6 false;
+      msi_off = 0;
+      msix_off = 0;
+      msix_table = [||] }
+  in
   raw_write t vendor_id 2 vendor;
   raw_write t device_id 2 device;
   raw_write8 t 0x08 revision;
@@ -144,16 +172,36 @@ let write t ~off ~size v =
     end
   | None -> raw_write t off size v
 
+(* Prepend a capability header at [off], linking to the current list head,
+   and make it the new head. *)
+let link_capability t ~off ~id =
+  let head = if raw_read t status 2 land status_cap_list <> 0 then raw_read8 t cap_ptr else 0 in
+  raw_write8 t cap_ptr off;
+  raw_write t status 2 (raw_read t status 2 lor status_cap_list);
+  raw_write8 t off id;
+  raw_write8 t (off + 1) head
+
 let add_msi_capability t =
   if t.msi_off <> 0 then invalid_arg "Pci_cfg.add_msi_capability: already present";
   (* Place the capability at 0x50, a conventional spot. *)
   let off = 0x50 in
-  raw_write8 t cap_ptr off;
-  raw_write t status 2 (raw_read t status 2 lor status_cap_list);
-  raw_write8 t off msi_cap_id;
-  raw_write8 t (off + 1) 0;            (* end of list *)
+  link_capability t ~off ~id:msi_cap_id;
   raw_write t (off + msi_ctrl) 2 0x0100;  (* per-vector masking capable *)
   t.msi_off <- off
+
+let add_msix_capability t ~vectors =
+  if t.msix_off <> 0 then invalid_arg "Pci_cfg.add_msix_capability: already present";
+  if vectors <= 0 || vectors > msix_max_vectors then
+    invalid_arg "Pci_cfg.add_msix_capability: vector count out of range";
+  let off = 0x60 in
+  link_capability t ~off ~id:msix_cap_id;
+  raw_write t (off + msix_ctrl) 2 (vectors - 1);   (* table size, enable clear *)
+  (* Per spec, every vector comes up masked; the kernel unmasks as it
+     programs each entry. *)
+  t.msix_table <-
+    Array.init vectors (fun _ ->
+        { mx_addr = 0; mx_data = 0; mx_masked = true; mx_pending = false });
+  t.msix_off <- off
 
 let find_capability t id =
   if raw_read t status 2 land status_cap_list = 0 then None
@@ -184,5 +232,46 @@ let msi_set_mask t masked =
   if t.msi_off = 0 then invalid_arg "Pci_cfg.msi_set_mask: no MSI capability";
   let cur = msi_field t msi_mask_off 4 in
   raw_write t (t.msi_off + msi_mask_off) 4 (if masked then cur lor 1 else cur land lnot 1)
+
+(* ---- MSI-X ---- *)
+
+let msix_table_size t = Array.length t.msix_table
+
+let msix_entry t ~vector what =
+  if vector < 0 || vector >= Array.length t.msix_table then
+    invalid_arg (Printf.sprintf "Pci_cfg.%s: no MSI-X vector %d" what vector);
+  t.msix_table.(vector)
+
+let msix_enabled t =
+  t.msix_off <> 0 && raw_read t (t.msix_off + msix_ctrl) 2 land msix_ctrl_enable <> 0
+
+let msix_set_enabled t on =
+  if t.msix_off = 0 then invalid_arg "Pci_cfg.msix_set_enabled: no MSI-X capability";
+  let cur = raw_read t (t.msix_off + msix_ctrl) 2 in
+  raw_write t (t.msix_off + msix_ctrl) 2
+    (if on then cur lor msix_ctrl_enable else cur land lnot msix_ctrl_enable)
+
+let msix_func_masked t =
+  t.msix_off <> 0 && raw_read t (t.msix_off + msix_ctrl) 2 land msix_ctrl_func_mask <> 0
+
+let msix_configure t ~vector ~address ~data =
+  let e = msix_entry t ~vector "msix_configure" in
+  e.mx_addr <- address;
+  e.mx_data <- data;
+  e.mx_masked <- false
+
+let msix_address t ~vector = (msix_entry t ~vector "msix_address").mx_addr
+let msix_data t ~vector = (msix_entry t ~vector "msix_data").mx_data
+
+let msix_set_mask t ~vector masked =
+  let e = msix_entry t ~vector "msix_set_mask" in
+  e.mx_masked <- masked;
+  if not masked then e.mx_pending <- false
+
+let msix_masked t ~vector = (msix_entry t ~vector "msix_masked").mx_masked
+let msix_pending t ~vector = (msix_entry t ~vector "msix_pending").mx_pending
+
+let msix_set_pending t ~vector p =
+  (msix_entry t ~vector "msix_set_pending").mx_pending <- p
 
 let snapshot t = Bytes.copy t.space

@@ -89,6 +89,48 @@ val msi_configure : t -> address:int -> data:int -> unit
 
 val msi_set_mask : t -> bool -> unit
 
+(** {1 MSI-X capability}
+
+    A vector table of up to {!msix_max_vectors} entries, each with its
+    own message address/data, mask bit and pending bit (16 bytes per
+    entry in the modeled layout).  Entries come up masked; the kernel
+    unmasks each as it programs it.  The message-control word lives in
+    config space (bits 0–10 table size − 1, bit 14 function mask,
+    bit 15 enable); the table itself is held beside the register
+    file. *)
+
+val msix_cap_id : int
+val msix_max_vectors : int
+
+val add_msix_capability : t -> vectors:int -> unit
+(** Append an MSI-X capability advertising [vectors] table entries
+    (1..{!msix_max_vectors}). *)
+
+val msix_table_size : t -> int
+(** Number of table entries; 0 when the capability is absent. *)
+
+val msix_enabled : t -> bool
+val msix_set_enabled : t -> bool -> unit
+val msix_func_masked : t -> bool
+
+val msix_configure : t -> vector:int -> address:int -> data:int -> unit
+(** Program one table entry and clear its mask bit. *)
+
+val msix_address : t -> vector:int -> int
+val msix_data : t -> vector:int -> int
+
+val msix_set_mask : t -> vector:int -> bool -> unit
+(** Set/clear one entry's mask bit.  Unmasking clears the pending bit
+    (the device re-raises if the condition persists). *)
+
+val msix_masked : t -> vector:int -> bool
+
+val msix_pending : t -> vector:int -> bool
+(** Whether a message was suppressed by the mask bit since the last
+    unmask — the spec's pending-bit array. *)
+
+val msix_set_pending : t -> vector:int -> bool -> unit
+
 (** {1 Snapshots} *)
 
 val snapshot : t -> bytes

@@ -1,0 +1,26 @@
+(* Flow bytes: both MACs, the ethertype, and the first 5 payload bytes —
+   for the sim netstack's wire format that is the protocol byte plus the
+   16-bit source and destination ports, so one flow (src, dst, sport,
+   dport) always hashes to the same value no matter what it carries. *)
+let flow_span = 19
+
+(* FNV-1a, folded to 31 bits so the result is a nonnegative OCaml int. *)
+let hash_frame frame =
+  let n = min (Bytes.length frame) flow_span in
+  let h = ref 0x811c9dc5 in
+  for i = 0 to n - 1 do
+    h := (!h lxor Char.code (Bytes.get frame i)) * 0x01000193 land 0x7FFFFFFF
+  done;
+  !h
+
+(* FNV-1a's low bit is a parity function of the input bytes (the odd-prime
+   multiply preserves parity), so reducing the raw hash mod a small queue
+   count strands correlated flows on same-parity queues.  Per the FNV
+   authors' recommendation, xor-fold the high half into the low half
+   before reducing. *)
+let queue_for ~queues frame =
+  if queues <= 1 then 0
+  else begin
+    let h = hash_frame frame in
+    ((h lsr 16) lxor (h land 0xFFFF)) mod queues
+  end

@@ -1,6 +1,12 @@
 type handler = source:Bus.bdf -> unit
 
-type entry = { hname : string; fn : handler; mutable hits : int }
+type entry = {
+  hname : string;
+  fn : handler;
+  mutable hits : int;
+  mutable masked : bool;
+  mutable affinity : int;          (* sim CPU this vector is steered to *)
+}
 
 type t = {
   eng : Engine.t;
@@ -8,12 +14,15 @@ type t = {
   preempt : Preempt.t;
   klog : Klog.t;
   handlers : (int, entry) Hashtbl.t;
+  freed : (int, unit) Hashtbl.t;   (* vectors that were live once and then freed *)
+  spurious_bdf : (Bus.bdf, Sud_obs.Metrics.counter) Hashtbl.t;
   mutable next_vector : int;
   qm : metrics;
 }
 and metrics = {
   qm_delivered : Sud_obs.Metrics.counter;
   qm_spurious : Sud_obs.Metrics.counter;
+  qm_masked_dropped : Sud_obs.Metrics.counter;
 }
 
 let create eng cpu preempt klog =
@@ -23,23 +32,91 @@ let create eng cpu preempt klog =
     preempt;
     klog;
     handlers = Hashtbl.create 16;
+    freed = Hashtbl.create 16;
+    spurious_bdf = Hashtbl.create 4;
     next_vector = 32;
-    qm = { qm_delivered = c "delivered"; qm_spurious = c "spurious" } }
+    qm =
+      { qm_delivered = c "delivered";
+        qm_spurious = c "spurious";
+        qm_masked_dropped = c "masked_dropped" } }
 
-let alloc_vector t =
-  let v = t.next_vector in
-  t.next_vector <- t.next_vector + 1;
-  v
+let alloc_vectors t ~n =
+  if n <= 0 then invalid_arg "Irq.alloc_vectors: n must be positive";
+  let base = t.next_vector in
+  t.next_vector <- t.next_vector + n;
+  Array.init n (fun i -> base + i)
+
+let alloc_vector t = (alloc_vectors t ~n:1).(0)
+
+(* Default affinity spreads vectors round-robin over the sim CPUs, like
+   the usual MSI-X ± irqbalance steady state. *)
+let default_affinity t vector = vector mod Cpu.cores t.cpu
+
+let request_irqs t ~vectors ~name fn =
+  match Array.to_list vectors |> List.find_opt (Hashtbl.mem t.handlers) with
+  | Some v -> Error (Printf.sprintf "vector %d already requested" v)
+  | None ->
+    Array.iteri
+      (fun queue v ->
+         Hashtbl.add t.handlers v
+           { hname = name;
+             fn = (fun ~source -> fn ~queue ~source);
+             hits = 0;
+             masked = false;
+             affinity = default_affinity t v };
+         Hashtbl.remove t.freed v)
+      vectors;
+    Ok ()
 
 let request_irq t ~vector ~name fn =
-  if Hashtbl.mem t.handlers vector then
-    Error (Printf.sprintf "vector %d already requested" vector)
-  else begin
-    Hashtbl.add t.handlers vector { hname = name; fn; hits = 0 };
-    Ok ()
-  end
+  request_irqs t ~vectors:[| vector |] ~name (fun ~queue:_ ~source -> fn ~source)
 
-let free_irq t ~vector = Hashtbl.remove t.handlers vector
+let free_irqs t ~vectors =
+  Array.iter
+    (fun v ->
+       if Hashtbl.mem t.handlers v then begin
+         Hashtbl.remove t.handlers v;
+         Hashtbl.replace t.freed v ()
+       end)
+    vectors
+
+let free_irq t ~vector = free_irqs t ~vectors:[| vector |]
+
+let with_entry t ~vector what f =
+  match Hashtbl.find_opt t.handlers vector with
+  | Some e -> f e
+  | None -> invalid_arg (Printf.sprintf "Irq.%s: vector %d not requested" what vector)
+
+let set_affinity t ~vector ~cpu =
+  if cpu < 0 || cpu >= Cpu.cores t.cpu then
+    invalid_arg (Printf.sprintf "Irq.set_affinity: no such cpu %d" cpu);
+  with_entry t ~vector "set_affinity" (fun e -> e.affinity <- cpu)
+
+let affinity t ~vector =
+  match Hashtbl.find_opt t.handlers vector with
+  | Some e -> Some e.affinity
+  | None -> None
+
+let mask t ~vector = with_entry t ~vector "mask" (fun e -> e.masked <- true)
+let unmask t ~vector = with_entry t ~vector "unmask" (fun e -> e.masked <- false)
+
+let masked t ~vector =
+  match Hashtbl.find_opt t.handlers vector with Some e -> e.masked | None -> false
+
+let spurious_after_free_counter t source =
+  match Hashtbl.find_opt t.spurious_bdf source with
+  | Some c -> c
+  | None ->
+    let c =
+      Sud_obs.Metrics.counter
+        ~labels:[ "bdf", Bus.string_of_bdf source ]
+        ~subsystem:"irq" ~name:"spurious_after_free" ()
+    in
+    Hashtbl.replace t.spurious_bdf source c;
+    c
+
+let spurious_after_free t ~source =
+  Sud_obs.Metrics.get (spurious_after_free_counter t source)
 
 let deliver t ~source ~vector =
   Sud_obs.Metrics.incr t.qm.qm_delivered;
@@ -49,13 +126,25 @@ let deliver t ~source ~vector =
          ~attrs:[ "bdf", Bus.string_of_bdf source; "vector", string_of_int vector ]
          ());
   let model = Cpu.cost_model t.cpu in
-  Cpu.account t.cpu ~label:"kernel:irq" model.Cost_model.irq_deliver_ns;
   match Hashtbl.find_opt t.handlers vector with
   | None ->
     Sud_obs.Metrics.incr t.qm.qm_spurious;
+    (* A flood on a vector that was freed is the signature of a device
+       still raising interrupts after release — make it visible to the
+       storm detector per offending device, not just in the log. *)
+    if Hashtbl.mem t.freed vector then
+      Sud_obs.Metrics.incr (spurious_after_free_counter t source);
     Klog.printk t.klog Klog.Warn "irq: spurious vector %d from %s" vector
       (Bus.string_of_bdf source)
+  | Some entry when entry.masked ->
+    (* Masked at the interrupt controller: the message dies here without
+       touching the handler or its siblings. *)
+    Sud_obs.Metrics.incr t.qm.qm_masked_dropped
   | Some entry ->
+    (* Delivery cost lands on the vector's affine CPU's ledger. *)
+    Cpu.account t.cpu
+      ~label:(Printf.sprintf "kernel:irq:cpu%d" entry.affinity)
+      model.Cost_model.irq_deliver_ns;
     entry.hits <- entry.hits + 1;
     (* Top halves run atomically: blocking inside one is a bug the
        preemption tracker will catch. *)

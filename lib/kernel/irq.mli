@@ -1,33 +1,88 @@
 (** Kernel interrupt layer.
 
-    MSI messages that survive the fabric and interrupt-remapping checks
-    land in {!deliver} (installed as the topology's MSI sink).  Handlers
-    run in event context with the preemption context marked atomic, like
-    real top halves.  Per-vector counters feed the storm detector in SUD's
-    safe-PCI module. *)
+    MSI/MSI-X messages that survive the fabric and interrupt-remapping
+    checks land in {!deliver} (installed as the topology's MSI sink).
+    Handlers run in event context with the preemption context marked
+    atomic, like real top halves.
+
+    The native shape of the API is the multi-vector one: a device class
+    allocates a contiguous block with {!alloc_vectors} and installs one
+    handler over the block with {!request_irqs}, receiving the queue
+    index alongside the requester BDF.  Each vector carries its own
+    CPU affinity (delivery cost is booked to that CPU's ledger) and its
+    own mask bit, so quarantining a storming vector never silences its
+    siblings.  The old scalar calls survive as deprecated [n = 1]
+    shims. *)
 
 type t
 
 val create :
   Engine.t -> Cpu.t -> Preempt.t -> Klog.t -> t
 
-val alloc_vector : t -> int
-(** Allocate an unused vector (>= 32, x86 style). *)
-
 type handler = source:Bus.bdf -> unit
 
+val alloc_vectors : t -> n:int -> int array
+(** Allocate a contiguous block of [n] unused vectors (>= 32, x86
+    style).  Raises [Invalid_argument] when [n <= 0]. *)
+
+val alloc_vector : t -> int
+  [@@deprecated "use alloc_vectors ~n:1 — the scalar call is the one-queue instance"]
+
+val request_irqs :
+  t -> vectors:int array -> name:string ->
+  (queue:int -> source:Bus.bdf -> unit) -> (unit, string) result
+(** Install one handler across a vector block; the handler receives the
+    index of the vector within [vectors] as [queue].  All-or-nothing:
+    fails without side effects if any vector is already requested.
+    Each vector starts unmasked with round-robin default affinity
+    ([vector mod cores]). *)
+
 val request_irq : t -> vector:int -> name:string -> handler -> (unit, string) result
+  [@@deprecated "use request_irqs ~vectors:[|v|] — the scalar call is the one-queue instance"]
+
+val free_irqs : t -> vectors:int array -> unit
+(** Remove handlers; the vectors are remembered as freed so late
+    deliveries count as post-free spurious per offending BDF. *)
+
 val free_irq : t -> vector:int -> unit
+  [@@deprecated "use free_irqs ~vectors:[|v|]"]
+
+(** {1 Per-vector steering} *)
+
+val set_affinity : t -> vector:int -> cpu:int -> unit
+(** Pin a vector's delivery accounting to a sim CPU.  Raises
+    [Invalid_argument] on an unrequested vector or out-of-range cpu. *)
+
+val default_affinity : t -> int -> int
+(** [vector mod cores]: the round-robin spread [request_irqs] starts
+    from before any explicit {!set_affinity}. *)
+
+val affinity : t -> vector:int -> int option
+
+val mask : t -> vector:int -> unit
+(** Drop deliveries on this vector (counted in [qm_masked_dropped])
+    until {!unmask} — the kernel-side quarantine of a storming queue.
+    Sibling vectors are unaffected. *)
+
+val unmask : t -> vector:int -> unit
+val masked : t -> vector:int -> bool
 
 val deliver : t -> source:Bus.bdf -> vector:int -> unit
-(** Charge interrupt-delivery CPU cost and invoke the handler.  Unhandled
-    vectors are counted and logged as spurious. *)
+(** Charge interrupt-delivery CPU cost to the vector's affine CPU and
+    invoke the handler.  Unhandled vectors are counted and logged as
+    spurious; spurious deliveries on a {e freed} vector additionally
+    bump a per-BDF ["irq"/"spurious_after_free"] counter so the storm
+    detector sees post-free floods.  Masked vectors drop silently. *)
 
 val count : t -> vector:int -> int
+
+val spurious_after_free : t -> source:Bus.bdf -> int
+(** Current value of the per-BDF post-free spurious counter. *)
 
 type metrics = {
   qm_delivered : Sud_obs.Metrics.counter;
   qm_spurious : Sud_obs.Metrics.counter;
+  qm_masked_dropped : Sud_obs.Metrics.counter;
 }
 (** Delivery counters live in the {!Sud_obs.Metrics} registry under
     subsystem ["irq"]; {!deliver} also emits an ["irq"/"deliver"] trace

@@ -3,7 +3,7 @@ type xmit_result = Xmit_ok | Xmit_busy
 type ops = {
   ndo_open : unit -> (unit, string) result;
   ndo_stop : unit -> unit;
-  ndo_start_xmit : Skbuff.t -> xmit_result;
+  ndo_start_xmit : queue:int -> Skbuff.t -> xmit_result;
   ndo_do_ioctl : cmd:int -> arg:int -> (int, string) result;
 }
 
@@ -26,6 +26,18 @@ type backlog_stats = {
   bl_replayed : int;
 }
 
+(* Per-TX-queue state: flow control, the HARD_TX_LOCK, and the recovery
+   backlog are all per queue, so queues never serialize on each other. *)
+type txq = {
+  tq_waitq : Sync.Waitq.t;
+  tq_lock : Sync.Mutex.t;
+  mutable tq_stopped : bool;
+  tq_backlog : Skbuff.t Queue.t;
+  tqm_offered : Sud_obs.Metrics.counter;
+  tqm_dropped : Sud_obs.Metrics.counter;
+  tqm_replayed : Sud_obs.Metrics.counter;
+}
+
 type t = {
   dname : string;
   mutable dmac : bytes;
@@ -33,14 +45,8 @@ type t = {
   dstats : stats;
   mutable up : bool;
   mutable carrier_on : bool;
-  mutable stopped : bool;
-  txq : Sync.Waitq.t;
-  tx_lock : Sync.Mutex.t;
+  txqs : txq array;
   mutable stack_rx : (Skbuff.t -> unit) option;
-  (* Recovery backlog: while the owning driver is being restarted the
-     supervisor parks outbound frames here instead of letting the netdev
-     vanish; bounded, with a drop counter once full. *)
-  backlog : Skbuff.t Queue.t;
   mutable backlog_limit : int;
   nm : metrics;
 }
@@ -51,20 +57,29 @@ and metrics = {
   nm_bl_queued : Sud_obs.Metrics.gauge;
 }
 
-let create ~name ~mac ~ops =
+let create ~name ~mac ~ops ?(tx_queues = 1) () =
   if Bytes.length mac <> 6 then invalid_arg "Netdev.create: MAC must be 6 bytes";
-  let backlog = Queue.create () in
+  if tx_queues < 1 then invalid_arg "Netdev.create: need at least one TX queue";
+  let txqs =
+    Array.init tx_queues (fun qi ->
+        let labels = [ "dev", name; "queue", string_of_int qi ] in
+        let c n = Sud_obs.Metrics.counter ~labels ~subsystem:"netdev" ~name:n () in
+        { tq_waitq = Sync.Waitq.create ();
+          tq_lock = Sync.Mutex.create ();
+          tq_stopped = false;
+          tq_backlog = Queue.create ();
+          tqm_offered = c "queue_backlog_offered";
+          tqm_dropped = c "queue_backlog_dropped";
+          tqm_replayed = c "queue_backlog_replayed" })
+  in
   { dname = name;
     dmac = Bytes.copy mac;
     dops = ops;
     dstats = { tx_packets = 0; tx_bytes = 0; rx_packets = 0; rx_bytes = 0; tx_dropped = 0; rx_dropped = 0 };
     up = false;
     carrier_on = false;
-    stopped = false;
-    txq = Sync.Waitq.create ();
-    tx_lock = Sync.Mutex.create ();
+    txqs;
     stack_rx = None;
-    backlog;
     backlog_limit = 0;
     nm =
       (let labels = [ "dev", name ] in
@@ -74,7 +89,8 @@ let create ~name ~mac ~ops =
          nm_bl_replayed = c "backlog_replayed";
          nm_bl_queued =
            Sud_obs.Metrics.gauge ~labels ~subsystem:"netdev" ~name:"backlog_queued"
-             (fun () -> Queue.length backlog) }) }
+             (fun () ->
+                Array.fold_left (fun acc q -> acc + Queue.length q.tq_backlog) 0 txqs) }) }
 
 let name t = t.dname
 let mac t = t.dmac
@@ -90,24 +106,52 @@ let carrier t = t.carrier_on
 let netif_carrier_on t = t.carrier_on <- true
 let netif_carrier_off t = t.carrier_on <- false
 
-let queue_stopped t = t.stopped
-let netif_stop_queue t = t.stopped <- true
+let tx_queues t = Array.length t.txqs
 
-let netif_wake_queue t =
-  t.stopped <- false;
-  ignore (Sync.Waitq.broadcast t.txq : int)
+let txq_of t queue =
+  if queue < 0 || queue >= Array.length t.txqs then
+    invalid_arg
+      (Printf.sprintf "Netdev(%s): no TX queue %d (device has %d)" t.dname queue
+         (Array.length t.txqs));
+  t.txqs.(queue)
 
-let tx_waitq t = t.txq
-let tx_lock t = t.tx_lock
+(* RSS on the egress side: the same flow hash the device uses for RX, so
+   one flow stays on one queue end to end and keeps its packet order. *)
+let select_queue t skb =
+  Rss.queue_for ~queues:(Array.length t.txqs) skb.Skbuff.data
 
-(* ---- recovery backlog ---- *)
+let subqueue_stopped t ~queue = (txq_of t queue).tq_stopped
+let netif_stop_subqueue t ~queue = (txq_of t queue).tq_stopped <- true
 
-let backlog_xmit t ~limit skb =
+let netif_wake_subqueue t ~queue =
+  let q = txq_of t queue in
+  q.tq_stopped <- false;
+  ignore (Sync.Waitq.broadcast q.tq_waitq : int)
+
+let netif_tx_stop_all_queues t =
+  Array.iter (fun q -> q.tq_stopped <- true) t.txqs
+
+let netif_tx_wake_all_queues t =
+  Array.iter
+    (fun q ->
+       q.tq_stopped <- false;
+       ignore (Sync.Waitq.broadcast q.tq_waitq : int))
+    t.txqs
+
+let tx_subqueue_waitq t ~queue = (txq_of t queue).tq_waitq
+let tx_subqueue_lock t ~queue = (txq_of t queue).tq_lock
+
+(* ---- recovery backlog (per queue) ---- *)
+
+let backlog_push t ~queue ~limit skb =
+  let q = txq_of t queue in
   t.backlog_limit <- limit;
   Sud_obs.Metrics.incr t.nm.nm_bl_offered;
-  if Queue.length t.backlog < limit then Queue.push skb t.backlog
+  Sud_obs.Metrics.incr q.tqm_offered;
+  if Queue.length q.tq_backlog < limit then Queue.push skb q.tq_backlog
   else begin
     Sud_obs.Metrics.incr t.nm.nm_bl_dropped;
+    Sud_obs.Metrics.incr q.tqm_dropped;
     t.dstats.tx_dropped <- t.dstats.tx_dropped + 1
   end;
   (* Always [Xmit_ok]: the frame was accepted (or accounted as dropped);
@@ -115,16 +159,25 @@ let backlog_xmit t ~limit skb =
      until the fresh driver arrives. *)
   Xmit_ok
 
-let backlog_take t =
-  match Queue.take_opt t.backlog with
+let backlog_pop t ~queue =
+  let q = txq_of t queue in
+  match Queue.take_opt q.tq_backlog with
   | None -> None
   | Some skb ->
     Sud_obs.Metrics.incr t.nm.nm_bl_replayed;
+    Sud_obs.Metrics.incr q.tqm_replayed;
     Some skb
 
 let backlog_flush_drop t =
-  let n = Queue.length t.backlog in
-  Queue.clear t.backlog;
+  let n =
+    Array.fold_left
+      (fun acc q ->
+         let n = Queue.length q.tq_backlog in
+         Queue.clear q.tq_backlog;
+         Sud_obs.Metrics.add q.tqm_dropped n;
+         acc + n)
+      0 t.txqs
+  in
   Sud_obs.Metrics.add t.nm.nm_bl_dropped n;
   t.dstats.tx_dropped <- t.dstats.tx_dropped + n;
   n
@@ -133,7 +186,7 @@ let metrics t = t.nm
 
 let backlog_stats t =
   { bl_offered = Sud_obs.Metrics.get t.nm.nm_bl_offered;
-    bl_queued = Queue.length t.backlog;
+    bl_queued = Array.fold_left (fun acc q -> acc + Queue.length q.tq_backlog) 0 t.txqs;
     bl_dropped = Sud_obs.Metrics.get t.nm.nm_bl_dropped;
     bl_replayed = Sud_obs.Metrics.get t.nm.nm_bl_replayed }
 
@@ -143,3 +196,13 @@ let netif_rx t skb =
   | None -> t.dstats.rx_dropped <- t.dstats.rx_dropped + 1
 
 let set_stack_rx t rx = t.stack_rx <- Some rx
+
+(* ---- deprecated scalar shims (the queue-0 instances) ---- *)
+
+let queue_stopped t = subqueue_stopped t ~queue:0
+let netif_stop_queue t = netif_stop_subqueue t ~queue:0
+let netif_wake_queue t = netif_wake_subqueue t ~queue:0
+let tx_waitq t = tx_subqueue_waitq t ~queue:0
+let tx_lock t = tx_subqueue_lock t ~queue:0
+let backlog_xmit t ~limit skb = backlog_push t ~queue:0 ~limit skb
+let backlog_take t = backlog_pop t ~queue:0

@@ -3,15 +3,21 @@
     A driver (in-kernel or a SUD proxy standing in for a user-space one)
     registers a [Netdev.t] carrying its callbacks; the stack calls
     [ndo_start_xmit] to send and the driver calls {!netif_rx} to deliver.
-    TX flow control mirrors Linux: the driver stops the queue when its
-    ring is full and wakes it from the TX-completion interrupt. *)
+    TX flow control mirrors Linux: the driver stops a queue when its
+    ring is full and wakes it from the TX-completion interrupt.
+
+    {b Multiqueue}: a device carries [tx_queues] independent TX queues
+    (flow control, HARD_TX_LOCK and recovery backlog are all per queue);
+    {!select_queue} applies the same {!Rss} flow hash the device model
+    uses on RX, so a flow stays on one queue end to end and keeps its
+    packet order. *)
 
 type xmit_result = Xmit_ok | Xmit_busy
 
 type ops = {
   ndo_open : unit -> (unit, string) result;
   ndo_stop : unit -> unit;
-  ndo_start_xmit : Skbuff.t -> xmit_result;
+  ndo_start_xmit : queue:int -> Skbuff.t -> xmit_result;
   ndo_do_ioctl : cmd:int -> arg:int -> (int, string) result;
 }
 
@@ -31,7 +37,8 @@ type stats = {
 
 type t
 
-val create : name:string -> mac:bytes -> ops:ops -> t
+val create : name:string -> mac:bytes -> ops:ops -> ?tx_queues:int -> unit -> t
+(** [tx_queues] defaults to 1. *)
 
 val name : t -> string
 val mac : t -> bytes
@@ -52,22 +59,36 @@ val carrier : t -> bool
 val netif_carrier_on : t -> unit
 val netif_carrier_off : t -> unit
 
-val queue_stopped : t -> bool
-val netif_stop_queue : t -> unit
-val netif_wake_queue : t -> unit
-val tx_waitq : t -> Sync.Waitq.t
-(** Fibers blocked on a stopped queue; woken by {!netif_wake_queue}. *)
+(** {1 Per-queue TX flow control} *)
 
-val tx_lock : t -> Sync.Mutex.t
-(** The HARD_TX_LOCK: serializes [ndo_start_xmit] — driver transmit paths
-    are not reentrant. *)
+val tx_queues : t -> int
+
+val select_queue : t -> Skbuff.t -> int
+(** The egress RSS hash: stable per flow, [0] on single-queue devices. *)
+
+val subqueue_stopped : t -> queue:int -> bool
+val netif_stop_subqueue : t -> queue:int -> unit
+val netif_wake_subqueue : t -> queue:int -> unit
+val netif_tx_stop_all_queues : t -> unit
+val netif_tx_wake_all_queues : t -> unit
+
+val tx_subqueue_waitq : t -> queue:int -> Sync.Waitq.t
+(** Fibers blocked on that stopped queue; woken by
+    {!netif_wake_subqueue}. *)
+
+val tx_subqueue_lock : t -> queue:int -> Sync.Mutex.t
+(** The per-queue HARD_TX_LOCK: serializes [ndo_start_xmit] on one queue
+    — driver transmit paths are not reentrant per queue, but distinct
+    queues run concurrently. *)
 
 (** {1 Recovery backlog}
 
     While a supervised driver is down, its netdev degrades instead of
-    vanishing: outbound frames are parked in a bounded FIFO and replayed
-    to the fresh driver.  Invariant: [offered = queued + dropped +
-    replayed] at all times. *)
+    vanishing: outbound frames are parked in a bounded per-queue FIFO
+    and replayed to the fresh driver in per-queue order — combined with
+    RSS queue selection that preserves per-flow packet order.
+    Invariant: [offered = queued + dropped + replayed] at all times,
+    both per queue and summed. *)
 
 type backlog_stats = {
   bl_offered : int;   (** frames handed to the backlog since creation *)
@@ -76,24 +97,29 @@ type backlog_stats = {
   bl_replayed : int;  (** handed back for retransmission after recovery *)
 }
 
-val backlog_xmit : t -> limit:int -> Skbuff.t -> xmit_result
-(** Park one frame (dropping and counting it if [limit] frames are
-    already queued).  Always returns [Xmit_ok]. *)
+val backlog_push : t -> queue:int -> limit:int -> Skbuff.t -> xmit_result
+(** Park one frame on [queue]'s backlog (dropping and counting it if
+    [limit] frames are already queued there).  Always returns
+    [Xmit_ok]. *)
 
-val backlog_take : t -> Skbuff.t option
-(** Pop the oldest parked frame for replay, counting it as replayed. *)
+val backlog_pop : t -> queue:int -> Skbuff.t option
+(** Pop [queue]'s oldest parked frame for replay, counting it as
+    replayed. *)
 
 val backlog_flush_drop : t -> int
-(** Drop everything still parked (quarantine path); returns the count. *)
+(** Drop everything still parked on every queue (quarantine path);
+    returns the count. *)
 
 type metrics = {
   nm_bl_offered : Sud_obs.Metrics.counter;
   nm_bl_dropped : Sud_obs.Metrics.counter;
   nm_bl_replayed : Sud_obs.Metrics.counter;
-  nm_bl_queued : Sud_obs.Metrics.gauge;   (** reads [Queue.length] live *)
+  nm_bl_queued : Sud_obs.Metrics.gauge;   (** reads live queue lengths *)
 }
 (** Backlog accounting lives in the {!Sud_obs.Metrics} registry under
-    subsystem ["netdev"], labelled [("dev", name)]. *)
+    subsystem ["netdev"]: device-level counters labelled [("dev", name)]
+    (this record), plus per-queue [queue_backlog_*] counters additionally
+    labelled [("queue", i)]. *)
 
 val metrics : t -> metrics
 
@@ -107,3 +133,26 @@ val netif_rx : t -> Skbuff.t -> unit
 
 val set_stack_rx : t -> (Skbuff.t -> unit) -> unit
 (** Installed by the net stack at registration. *)
+
+(** {1 Deprecated scalar shims (the queue-0 instances)} *)
+
+val queue_stopped : t -> bool
+  [@@deprecated "use Netdev.subqueue_stopped ~queue:0"]
+
+val netif_stop_queue : t -> unit
+  [@@deprecated "use Netdev.netif_stop_subqueue ~queue:0"]
+
+val netif_wake_queue : t -> unit
+  [@@deprecated "use Netdev.netif_wake_subqueue ~queue:0 (or netif_tx_wake_all_queues)"]
+
+val tx_waitq : t -> Sync.Waitq.t
+  [@@deprecated "use Netdev.tx_subqueue_waitq ~queue:0"]
+
+val tx_lock : t -> Sync.Mutex.t
+  [@@deprecated "use Netdev.tx_subqueue_lock ~queue:0"]
+
+val backlog_xmit : t -> limit:int -> Skbuff.t -> xmit_result
+  [@@deprecated "use Netdev.backlog_push ~queue:0"]
+
+val backlog_take : t -> Skbuff.t option
+  [@@deprecated "use Netdev.backlog_pop ~queue:0"]

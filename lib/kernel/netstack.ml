@@ -54,7 +54,10 @@ type t = {
   klog : Klog.t;
   procs : Process.table;
   mutable devs : Netdev.t list;
-  backlog : (Netdev.t * Skbuff.t) Sync.Mailbox.t;
+  (* One softirq backlog + service fiber per sim CPU (RPS): frames are
+     steered by the RSS flow hash, so one flow's frames stay in order on
+     one backlog while distinct flows spread over the cores. *)
+  backlogs : (Netdev.t * Skbuff.t) Sync.Mailbox.t array;
   udp_socks : (string * int, udp_socket) Hashtbl.t;
   streams : (string * int, stream) Hashtbl.t;
   mutable firewall : (Skbuff.t -> verdict) option;
@@ -106,13 +109,18 @@ let dev_xmit t dev skb =
     stats.Netdev.tx_dropped <- stats.Netdev.tx_dropped + 1;
     `Dropped
   in
+  (* RSS on egress: the flow hash picks the queue, so one flow's frames
+     stay ordered on one queue while flows spread over the queues. *)
+  let queue = Netdev.select_queue dev skb in
   let rec go ~retries ~slept =
-    if Netdev.queue_stopped dev then begin
+    if Netdev.subqueue_stopped dev ~queue then begin
       Preempt.assert_may_sleep t.preempt "dev_xmit";
       if retries >= tx_retry_limit then drop ()
       else begin
         let since = Engine.now t.eng in
-        match Sync.Waitq.wait_timeout t.eng (Netdev.tx_waitq dev) 10_000_000 with
+        match
+          Sync.Waitq.wait_timeout t.eng (Netdev.tx_subqueue_waitq dev ~queue) 10_000_000
+        with
         | Fiber.Interrupted -> drop ()
         | Fiber.Normal ->
           go ~retries:(retries + 1)
@@ -122,10 +130,11 @@ let dev_xmit t dev skb =
     end
     else begin
       let stats = Netdev.stats dev in
-      (* HARD_TX_LOCK: the driver's transmit path is not reentrant. *)
+      (* HARD_TX_LOCK, per queue: one queue's transmit path is not
+         reentrant, but sibling queues transmit concurrently. *)
       let r =
-        Sync.Mutex.with_lock (Netdev.tx_lock dev) (fun () ->
-            (Netdev.ops dev).Netdev.ndo_start_xmit skb)
+        Sync.Mutex.with_lock (Netdev.tx_subqueue_lock dev ~queue) (fun () ->
+            (Netdev.ops dev).Netdev.ndo_start_xmit ~queue skb)
       in
       match r with
       | Netdev.Xmit_ok ->
@@ -136,7 +145,7 @@ let dev_xmit t dev skb =
       | Netdev.Xmit_busy ->
         if retries >= tx_retry_limit then drop ()
         else begin
-          Netdev.netif_stop_queue dev;
+          Netdev.netif_stop_subqueue dev ~queue;
           go ~retries:(retries + 1) ~slept
         end
     end
@@ -318,7 +327,9 @@ let create eng cpu preempt klog procs =
       klog;
       procs;
       devs = [];
-      backlog = Sync.Mailbox.create ~capacity:backlog_capacity;
+      backlogs =
+        Array.init (Cpu.cores cpu) (fun _ ->
+            Sync.Mailbox.create ~capacity:backlog_capacity);
       udp_socks = Hashtbl.create 16;
       streams = Hashtbl.create 16;
       firewall = None;
@@ -328,17 +339,20 @@ let create eng cpu preempt klog procs =
       tx_drops = 0 }
   in
   let kernel = Process.kernel_process procs in
-  ignore
-    (Process.spawn_fiber kernel ~name:"net-softirq" (fun () ->
-         let rec loop () =
-           match Sync.Mailbox.recv t.backlog with
-           | `Interrupted -> loop ()
-           | `Ok (dev, skb) ->
-             process_frame t dev skb;
-             loop ()
-         in
-         loop ())
-     : Fiber.t);
+  Array.iteri
+    (fun i backlog ->
+       ignore
+         (Process.spawn_fiber kernel ~name:(Printf.sprintf "net-softirq:%d" i) (fun () ->
+              let rec loop () =
+                match Sync.Mailbox.recv backlog with
+                | `Interrupted -> loop ()
+                | `Ok (dev, skb) ->
+                  process_frame t dev skb;
+                  loop ()
+              in
+              loop ())
+          : Fiber.t))
+    t.backlogs;
   t
 
 let register_netdev t dev =
@@ -346,7 +360,8 @@ let register_netdev t dev =
     invalid_arg ("Netstack.register_netdev: duplicate " ^ Netdev.name dev);
   t.devs <- dev :: t.devs;
   Netdev.set_stack_rx dev (fun skb ->
-      if not (Sync.Mailbox.try_send t.backlog (dev, skb)) then begin
+      let cpu = Rss.queue_for ~queues:(Array.length t.backlogs) skb.Skbuff.data in
+      if not (Sync.Mailbox.try_send t.backlogs.(cpu) (dev, skb)) then begin
         t.bl_drops <- t.bl_drops + 1;
         let stats = Netdev.stats dev in
         stats.Netdev.rx_dropped <- stats.Netdev.rx_dropped + 1

@@ -15,6 +15,7 @@ type rig = {
   peer : Kernel.t;
   dev_dut : Netdev.t;
   dev_peer : Netdev.t;
+  nic_dut : E1000_dev.t;
   started : Driver_host.started option;
 }
 
@@ -30,12 +31,13 @@ let fail_on_error what = function
   | Ok v -> v
   | Error e -> failwith (what ^ ": " ^ e)
 
-let make_rig ?cost_model ?(defensive_copy = true) ?iommu_mode mode =
+let make_rig ?cost_model ?(defensive_copy = true) ?iommu_mode ?(queues = 1) ?(dut_cores = 2)
+    ?(peer_cores = 4) mode =
   let eng = Engine.create () in
-  let dut = Kernel.boot ?cost_model ?iommu_mode ~cores:2 eng in
-  let peer = Kernel.boot ?cost_model ~cores:4 eng in
+  let dut = Kernel.boot ?cost_model ?iommu_mode ~cores:dut_cores eng in
+  let peer = Kernel.boot ?cost_model ~cores:peer_cores eng in
   let medium = Net_medium.create eng () in
-  let nic_dut = E1000_dev.create eng ~mac:mac_dut ~medium () in
+  let nic_dut = E1000_dev.create eng ~mac:mac_dut ~medium ~queues () in
   let nic_peer = E1000_dev.create eng ~mac:mac_peer ~medium () in
   let bdf_dut = Kernel.attach_pci dut (E1000_dev.device nic_dut) in
   let bdf_peer = Kernel.attach_pci peer (E1000_dev.device nic_peer) in
@@ -64,7 +66,7 @@ let make_rig ?cost_model ?(defensive_copy = true) ?iommu_mode mode =
              (Driver_host.netdev s, Some s)
          in
          fail_on_error "dut up" (Netstack.ifconfig_up dut.Kernel.net dev_dut);
-         rig := Some { eng; dut; peer; dev_dut; dev_peer; started })
+         rig := Some { eng; dut; peer; dev_dut; dev_peer; nic_dut; started })
      : Fiber.t);
   Engine.run ~max_time:1_000_000_000 eng;
   match !rig with
@@ -270,6 +272,77 @@ let udp_rr ?rig mode =
      : Fiber.t);
   let rate, cpu, samples = measure rig ~counter:(fun () -> !transactions) in
   { throughput = rate; units = "Tx/sec"; cpu_pct = cpu *. 100.0; samples }
+
+(* ---- netperf_mq: the multiqueue sweep ---- *)
+
+(* Aggregate UDP receive across [mq_flows] concurrent flows (distinct port
+   pairs, so RSS spreads them), with the DUT's e1000 brought up SUD-style
+   on 1..8 MSI-X vectors.  The DUT gets 8 cores so the core count never
+   caps the sweep: what scales is the number of parallel channels through
+   the driver process — per-vector interrupts, per-queue uchan rings,
+   per-queue service fibers. *)
+
+type mq_point = {
+  mq_queues : int;
+  mq_kpps : float;
+  mq_cpu_pct : float;
+  mq_samples : int;
+  mq_rxq_frames : int list;   (* device-side frames landed per RX queue *)
+}
+
+let mq_flows = 8
+
+(* Destination ports chosen so the 8 flows shard perfectly under
+   [Rss.queue_for]: one flow per queue at 8 queues, two per queue at 4,
+   four per queue at 2.  Naive consecutive ports leave queues idle and
+   understate the multiqueue win. *)
+let mq_dports = [| 7; 9; 10; 11; 13; 14; 23; 33 |]
+
+let udp_multi_rx ~queues =
+  let rig = make_rig ~queues ~dut_cores:8 ~peer_cores:16 Sud_driver in
+  let received = ref 0 in
+  for i = 0 to mq_flows - 1 do
+    let port = mq_dports.(i) in
+    ignore
+      (Process.spawn_fiber (Process.kernel_process rig.dut.Kernel.procs)
+         ~name:(Printf.sprintf "mq-sink-%d" i) (fun () ->
+             let sock = Netstack.udp_bind rig.dut.Kernel.net rig.dev_dut ~port in
+             let rec drain () =
+               match Netstack.udp_recv rig.dut.Kernel.net sock with
+               | Some _ ->
+                 incr received;
+                 drain ()
+               | None -> ()
+             in
+             drain ())
+       : Fiber.t);
+    ignore
+      (Process.spawn_fiber (Process.kernel_process rig.peer.Kernel.procs)
+         ~name:(Printf.sprintf "mq-source-%d" i) (fun () ->
+             let sock =
+               Netstack.udp_bind rig.peer.Kernel.net rig.dev_peer ~port:(9093 + port)
+             in
+             let payload = Bytes.make msg_size 'm' in
+             let rec pump () =
+               ignore
+                 (Netstack.udp_sendto rig.peer.Kernel.net sock ~dst:mac_dut ~dst_port:port
+                    payload
+                  : [ `Sent | `Dropped ]);
+               pump ()
+             in
+             pump ())
+       : Fiber.t)
+  done;
+  let rate, cpu, samples = measure rig ~counter:(fun () -> !received) in
+  { mq_queues = queues;
+    mq_kpps = rate /. 1e3;
+    mq_cpu_pct = cpu *. 100.0;
+    mq_samples = samples;
+    mq_rxq_frames =
+      List.init queues (fun q -> E1000_dev.rx_queue_frames rig.nic_dut ~queue:q) }
+
+let mq_sweep ?(queue_counts = [ 1; 2; 4; 8 ]) () =
+  List.map (fun queues -> udp_multi_rx ~queues) queue_counts
 
 type row = { test : string; driver : string; value : string; cpu : string }
 

@@ -28,6 +28,7 @@ type rig = {
   peer : Kernel.t;
   dev_dut : Netdev.t;
   dev_peer : Netdev.t;
+  nic_dut : E1000_dev.t;
   started : Driver_host.started option;   (** present in SUD mode *)
 }
 
@@ -35,11 +36,16 @@ val make_rig :
   ?cost_model:Cost_model.t ->
   ?defensive_copy:bool ->
   ?iommu_mode:Iommu.mode ->
+  ?queues:int ->
+  ?dut_cores:int ->
+  ?peer_cores:int ->
   mode ->
   rig
 (** Boots both machines, attaches NICs to a shared gigabit medium, brings
     both interfaces up.  Runs the engine internally until setup completes;
-    call the benchmarks on the returned rig from outside any fiber. *)
+    call the benchmarks on the returned rig from outside any fiber.
+    [queues] (default 1) sizes the DUT NIC's MSI-X table and hence the
+    whole multiqueue datapath. *)
 
 val tcp_stream : ?rig:rig -> mode -> result
 (** Bulk stream from peer to DUT (receive throughput), Mbit/s. *)
@@ -52,6 +58,26 @@ val udp_stream_rx : ?rig:rig -> mode -> result
 
 val udp_rr : ?rig:rig -> mode -> result
 (** 64-byte ping-pong; transactions/s, client on the peer. *)
+
+(** {1 Multiqueue sweep (netperf_mq)} *)
+
+type mq_point = {
+  mq_queues : int;
+  mq_kpps : float;          (** aggregate Kpackets/s across all flows *)
+  mq_cpu_pct : float;
+  mq_samples : int;
+  mq_rxq_frames : int list; (** device-side frames landed per RX queue *)
+}
+
+val mq_flows : int
+(** Concurrent UDP flows offered during the sweep (8). *)
+
+val udp_multi_rx : queues:int -> mq_point
+(** Aggregate receive throughput with the SUD e1000 on [queues] MSI-X
+    vectors / uchan ring pairs, 8 cores on the DUT. *)
+
+val mq_sweep : ?queue_counts:int list -> unit -> mq_point list
+(** [udp_multi_rx] at each queue count (default 1/2/4/8). *)
 
 type row = { test : string; driver : string; value : string; cpu : string }
 

@@ -3,6 +3,7 @@ type error = Hung | Interrupted | Closed
 let hang_timeout_ns = 50_000_000      (* 50 ms before a sync upcall is declared hung *)
 let full_grace_ns = 2_000_000         (* grace period on a full async ring *)
 let batch_limit = 64
+let max_queues = 16
 
 (* Replies travel on the same rings as requests, distinguished by a high
    bit in the marshalled kind. *)
@@ -19,22 +20,34 @@ type metrics = {
   um_rpc_ns : Sud_obs.Metrics.histogram;   (* sync RPC round-trip, ns *)
 }
 
+(* Per-queue slice of the channel: one ring pair, its waitqs, and the
+   driver-side async batch.  Each queue is serviced by its own kernel
+   worker fiber and (for data queues) its own driver fiber, so batches
+   are effectively per-CPU — two queues never contend on a ring. *)
+type qstate = {
+  qi : int;
+  k2u : Ring.t;
+  u2k : Ring.t;
+  u_waitq : Sync.Waitq.t;                (* driver sleeping in [wait] on this queue *)
+  worker_waitq : Sync.Waitq.t;           (* kernel downcall worker sleeping *)
+  k_space : Sync.Waitq.t;                (* kernel waiting for k2u space *)
+  mutable batch : Msg.t list;            (* user-side async downcalls, newest first *)
+  mutable batch_len : int;               (* |batch|, so batched sends stay O(1) *)
+  q_up : Sud_obs.Metrics.counter;        (* per-queue labelled counters *)
+  q_down : Sud_obs.Metrics.counter;
+  q_dropped : Sud_obs.Metrics.counter;
+}
+
 type t = {
   k : Kernel.t;
   label : string;
-  k2u : Ring.t;
-  u2k : Ring.t;
+  qs : qstate array;
   hang_timeout_ns : int;                 (* per-channel sync-upcall deadline *)
   mutable closed : bool;
   mutable next_seq : int;
   k_pending : (int, waiter) Hashtbl.t;   (* kernel sync upcalls awaiting replies *)
   u_pending : (int, waiter) Hashtbl.t;   (* user sync downcalls awaiting replies *)
-  u_waitq : Sync.Waitq.t;                (* driver sleeping in [wait] *)
-  worker_waitq : Sync.Waitq.t;           (* kernel downcall worker sleeping *)
-  k_space : Sync.Waitq.t;                (* kernel waiting for k2u space *)
-  mutable batch : Msg.t list;            (* user-side async downcalls, newest first *)
-  mutable batch_len : int;               (* |batch|, so uasend stays O(1) *)
-  mutable handler : (Msg.t -> Msg.t option) option;
+  mutable handler : (queue:int -> Msg.t -> Msg.t option) option;
   um : metrics;
   (* Fault injection (lib/attacks): a wedged channel parks the driver's
      main loop; corrupt/drop counters garble or swallow the next driver
@@ -73,6 +86,15 @@ let fresh_seq t =
   t.next_seq <- t.next_seq + 1;
   t.next_seq
 
+let num_queues t = Array.length t.qs
+
+let qstate_of t queue =
+  if queue < 0 || queue >= Array.length t.qs then
+    invalid_arg
+      (Printf.sprintf "Uchan(%s): no queue %d (channel has %d)" t.label queue
+         (Array.length t.qs));
+  t.qs.(queue)
+
 (* Marshal straight into the ring slot — no per-message 128-byte buffer. *)
 let push_flagged ring m ~is_reply =
   let m = if is_reply then { m with Msg.kind = m.Msg.kind lor reply_flag } else m in
@@ -91,9 +113,9 @@ let fail_all_waiters tbl err =
   let seqs = Hashtbl.fold (fun s _ acc -> s :: acc) tbl [] in
   List.iter (fun s -> ignore (complete_waiter tbl s (Error err) : bool)) seqs
 
-(* ---- kernel-side worker: drains u2k, dispatching replies and downcalls ---- *)
+(* ---- kernel-side workers: drain u2k, dispatching replies and downcalls ---- *)
 
-let dispatch_u2k t decoded =
+let dispatch_u2k t q decoded =
   match decoded with
   | Error e ->
     Sud_obs.Metrics.incr t.um.um_malformed;
@@ -118,7 +140,11 @@ let dispatch_u2k t decoded =
             Sud_obs.Trace.recall (Printf.sprintf "uchan.rpc.seq:%s:%d" t.label m.Msg.seq)
           else 0
         in
-        let reply = if parent <> 0 then Sud_obs.Trace.with_current parent (fun () -> h m) else h m in
+        let reply =
+          if parent <> 0 then
+            Sud_obs.Trace.with_current parent (fun () -> h ~queue:q.qi m)
+          else h ~queue:q.qi m
+        in
         if m.Msg.seq <> 0 then begin
           (* Downcall results return directly into the buffer the driver
              passed to sud_send (paper §3.1), not as a separate message. *)
@@ -134,21 +160,21 @@ let dispatch_u2k t decoded =
         end
     end
 
-let worker_loop t () =
+let worker_loop t q () =
   let rec loop () =
     if not t.closed then begin
-      match Ring.pop_inplace t.u2k Msg.unmarshal_view with
+      match Ring.pop_inplace q.u2k Msg.unmarshal_view with
       | Some decoded ->
         msg_cost t;
         if Sud_obs.Trace.on () then
           ignore
             (Sud_obs.Trace.emit ~cat:"uchan" ~name:"pop"
-               ~attrs:[ "chan", t.label; "dir", "u2k" ] ());
-        dispatch_u2k t decoded;
+               ~attrs:[ "chan", t.label; "dir", "u2k"; "queue", string_of_int q.qi ] ());
+        dispatch_u2k t q decoded;
         loop ()
       | None ->
         let since = Engine.now t.k.Kernel.eng in
-        (match Sync.Waitq.wait t.worker_waitq with
+        (match Sync.Waitq.wait q.worker_waitq with
          | Fiber.Interrupted | Fiber.Normal | Fiber.Timeout ->
            if not t.closed then wakeup_cost_since t ~since;
            loop ())
@@ -156,26 +182,39 @@ let worker_loop t () =
   in
   loop ()
 
-let create k ?(slots = 256) ?hang_timeout_ns:(hto = hang_timeout_ns) ~driver_label () =
+let create k ?(slots = 256) ?hang_timeout_ns:(hto = hang_timeout_ns) ?(queues = 1)
+    ~driver_label () =
+  if queues < 1 || queues > max_queues then
+    invalid_arg "Uchan.create: queues out of range";
+  let labels = [ "chan", driver_label ] in
+  let qs =
+    Array.init queues (fun qi ->
+        let qlabels = labels @ [ "queue", string_of_int qi ] in
+        let qc name = Sud_obs.Metrics.counter ~labels:qlabels ~subsystem:"uchan" ~name () in
+        { qi;
+          k2u = Ring.create ~slots;
+          u2k = Ring.create ~slots;
+          u_waitq = Sync.Waitq.create ();
+          worker_waitq = Sync.Waitq.create ();
+          k_space = Sync.Waitq.create ();
+          batch = [];
+          batch_len = 0;
+          q_up = qc "queue_upcalls";
+          q_down = qc "queue_downcalls";
+          q_dropped = qc "queue_dropped" })
+  in
   let t =
     { k;
       label = driver_label;
-      k2u = Ring.create ~slots;
-      u2k = Ring.create ~slots;
+      qs;
       hang_timeout_ns = hto;
       closed = false;
       next_seq = 0;
       k_pending = Hashtbl.create 16;
       u_pending = Hashtbl.create 16;
-      u_waitq = Sync.Waitq.create ();
-      worker_waitq = Sync.Waitq.create ();
-      k_space = Sync.Waitq.create ();
-      batch = [];
-      batch_len = 0;
       handler = None;
       um =
-        (let labels = [ "chan", driver_label ] in
-         let c name = Sud_obs.Metrics.counter ~labels ~subsystem:"uchan" ~name () in
+        (let c name = Sud_obs.Metrics.counter ~labels ~subsystem:"uchan" ~name () in
          { um_up = c "upcalls";
            um_down = c "downcalls";
            um_notify = c "notifications";
@@ -186,10 +225,14 @@ let create k ?(slots = 256) ?hang_timeout_ns:(hto = hang_timeout_ns) ~driver_lab
       corrupt_next = 0;
       drop_next = 0 }
   in
-  ignore
-    (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
-       ~name:("uchan-worker:" ^ driver_label) (worker_loop t)
-     : Fiber.t);
+  Array.iter
+    (fun q ->
+       ignore
+         (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
+            ~name:(Printf.sprintf "uchan-worker:%s:q%d" driver_label q.qi)
+            (worker_loop t q)
+          : Fiber.t))
+    t.qs;
   t
 
 let close t =
@@ -197,9 +240,12 @@ let close t =
     t.closed <- true;
     fail_all_waiters t.k_pending Closed;
     fail_all_waiters t.u_pending Closed;
-    ignore (Sync.Waitq.broadcast t.u_waitq : int);
-    ignore (Sync.Waitq.broadcast t.worker_waitq : int);
-    ignore (Sync.Waitq.broadcast t.k_space : int)
+    Array.iter
+      (fun q ->
+         ignore (Sync.Waitq.broadcast q.u_waitq : int);
+         ignore (Sync.Waitq.broadcast q.worker_waitq : int);
+         ignore (Sync.Waitq.broadcast q.k_space : int))
+      t.qs
   end
 
 let is_closed t = t.closed
@@ -208,26 +254,27 @@ let set_downcall_handler t h = t.handler <- Some h
 
 (* ---- kernel side ---- *)
 
-let push_k2u t m =
+let push_k2u t q m =
   msg_cost t;
-  if push_flagged t.k2u m ~is_reply:false then begin
+  if push_flagged q.k2u m ~is_reply:false then begin
     Sud_obs.Metrics.incr t.um.um_up;
+    Sud_obs.Metrics.incr q.q_up;
     if Sud_obs.Trace.on () then
       ignore
         (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"uchan" ~name:"push"
-           ~attrs:[ "chan", t.label; "dir", "k2u" ] ());
-    kick t t.u_waitq;
+           ~attrs:[ "chan", t.label; "dir", "k2u"; "queue", string_of_int q.qi ] ());
+    kick t q.u_waitq;
     true
   end
   else false
 
-let rpc_issue t ~dir ~seq ~kind =
+let rpc_issue t ~queue ~dir ~seq ~kind =
   if Sud_obs.Trace.on () then begin
     let id =
       Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"uchan" ~name:"rpc"
         ~attrs:
           [ "chan", t.label; "dir", dir; "kind", string_of_int kind;
-            "seq", string_of_int seq ]
+            "seq", string_of_int seq; "queue", string_of_int queue ]
         ()
     in
     (* Correlation keys: the per-seq key lets the kernel worker run the
@@ -256,14 +303,14 @@ let rpc_finish t ~span ~t0 r =
          ());
   r
 
-let send t m =
+let ksend_sync t q m =
   if t.closed then Error Closed
   else begin
     let seq = fresh_seq t in
     let m = { m with Msg.seq } in
     let t0 = Engine.now t.k.Kernel.eng in
-    let span = rpc_issue t ~dir:"k2u" ~seq ~kind:m.Msg.kind in
-    if not (push_k2u t m) then rpc_finish t ~span ~t0 (Error Hung)
+    let span = rpc_issue t ~queue:q.qi ~dir:"k2u" ~seq ~kind:m.Msg.kind in
+    if not (push_k2u t q m) then rpc_finish t ~span ~t0 (Error Hung)
     else begin
       let w = { cell = ref None; wq = Sync.Waitq.create () } in
       Hashtbl.replace t.k_pending seq w;
@@ -298,18 +345,18 @@ let send t m =
     end
   end
 
-let asend t m =
+let ksend_async t q m =
   if t.closed then Error Closed
   else begin
     let m = { m with Msg.seq = 0 } in
     let deadline = Engine.now t.k.Kernel.eng + full_grace_ns in
     let rec attempt () =
-      if push_k2u t m then Ok ()
+      if push_k2u t q m then Ok ()
       else if t.closed then Error Closed
       else if Engine.now t.k.Kernel.eng >= deadline then Error Hung
       else
         match
-          Sync.Waitq.wait_timeout t.k.Kernel.eng t.k_space
+          Sync.Waitq.wait_timeout t.k.Kernel.eng q.k_space
             (deadline - Engine.now t.k.Kernel.eng)
         with
         | Fiber.Interrupted -> Error Interrupted
@@ -318,9 +365,16 @@ let asend t m =
     attempt ()
   end
 
+(* Non-blocking async upcall for interrupt context: a full ring just
+   drops the kick (the interrupt is edge-triggered and SUD masks until
+   the driver acks anyway). *)
+let ksend_nonblock t q m =
+  if t.closed then false
+  else push_k2u t q { m with Msg.seq = 0 }
+
 (* ---- user (driver) side ---- *)
 
-let push_u2k_raw t m ~is_reply =
+let push_u2k_raw t q m ~is_reply =
   msg_cost t;
   if is_reply && t.drop_next > 0 then begin
     (* Injected fault: the reply evaporates in transit.  The driver
@@ -333,65 +387,74 @@ let push_u2k_raw t m ~is_reply =
        kernel worker's unmarshal rejects it (arg count out of range). *)
     t.corrupt_next <- t.corrupt_next - 1;
     ignore
-      (Ring.push_inplace t.u2k (fun slot -> Bytes.fill slot 0 (Bytes.length slot) '\xff')
+      (Ring.push_inplace q.u2k (fun slot -> Bytes.fill slot 0 (Bytes.length slot) '\xff')
        : bool);
     true
   end
-  else if push_flagged t.u2k m ~is_reply then begin
+  else if push_flagged q.u2k m ~is_reply then begin
     if not is_reply then begin
       Sud_obs.Metrics.incr t.um.um_down;
+      Sud_obs.Metrics.incr q.q_down;
       if Sud_obs.Trace.on () then
         ignore
           (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"uchan" ~name:"push"
-             ~attrs:[ "chan", t.label; "dir", "u2k" ] ())
+             ~attrs:[ "chan", t.label; "dir", "u2k"; "queue", string_of_int q.qi ] ())
     end;
     true
   end
   else false
 
-let flush t =
-  match t.batch with
+let flush_queue t q =
+  match q.batch with
   | [] -> ()
   | batch ->
-    t.batch <- [];
-    t.batch_len <- 0;
+    q.batch <- [];
+    q.batch_len <- 0;
     List.iter
       (fun m ->
-         if not (push_u2k_raw t m ~is_reply:false) then
+         if not (push_u2k_raw t q m ~is_reply:false) then begin
            (* The kernel worker is live (it is trusted); a full u2k ring
               just means we outran it — drop oldest-first like a NIC, but
               count the loss so it shows up next to the send counters. *)
-           Sud_obs.Metrics.incr t.um.um_dropped)
+           Sud_obs.Metrics.incr t.um.um_dropped;
+           Sud_obs.Metrics.incr q.q_dropped
+         end)
       (List.rev batch);
-    kick t t.worker_waitq
+    kick t q.worker_waitq
 
-let uasend t m =
+let flush ?queue t =
+  match queue with
+  | Some qi -> flush_queue t (qstate_of t qi)
+  | None -> Array.iter (fun q -> flush_queue t q) t.qs
+
+let dsend_batched t q m =
   if not t.closed then begin
-    t.batch <- { m with Msg.seq = 0 } :: t.batch;
-    t.batch_len <- t.batch_len + 1;
+    q.batch <- { m with Msg.seq = 0 } :: q.batch;
+    q.batch_len <- q.batch_len + 1;
     (* Batching waits for the driver's next entry into the kernel — but a
        main loop already parked inside sud_wait counts as being there, so
        ship the batch now rather than stranding it. *)
-    if t.batch_len >= batch_limit || Sync.Waitq.waiters t.u_waitq > 0 then flush t
+    if q.batch_len >= batch_limit || Sync.Waitq.waiters q.u_waitq > 0 then flush_queue t q
   end
 
-let reply t m =
+let reply ?(queue = 0) t m =
+  let q = qstate_of t queue in
   if not t.closed then begin
-    flush t;   (* preserve ordering of async downcalls vs. this reply *)
-    if push_u2k_raw t m ~is_reply:true then kick t t.worker_waitq
+    flush_queue t q;   (* preserve ordering of async downcalls vs. this reply *)
+    if push_u2k_raw t q m ~is_reply:true then kick t q.worker_waitq
   end
 
-let usend t m =
+let dsend_sync t q m =
   if t.closed then Error Closed
   else begin
-    flush t;
+    flush_queue t q;
     let seq = fresh_seq t in
     let m = { m with Msg.seq } in
     let t0 = Engine.now t.k.Kernel.eng in
-    let span = rpc_issue t ~dir:"u2k" ~seq ~kind:m.Msg.kind in
-    if not (push_u2k_raw t m ~is_reply:false) then rpc_finish t ~span ~t0 (Error Hung)
+    let span = rpc_issue t ~queue:q.qi ~dir:"u2k" ~seq ~kind:m.Msg.kind in
+    if not (push_u2k_raw t q m ~is_reply:false) then rpc_finish t ~span ~t0 (Error Hung)
     else begin
-      kick t t.worker_waitq;
+      kick t q.worker_waitq;
       let w = { cell = ref None; wq = Sync.Waitq.create () } in
       Hashtbl.replace t.u_pending seq w;
       let rec await () =
@@ -414,27 +477,91 @@ let usend t m =
     end
   end
 
-let wait t =
+let dsend_async t q m =
+  if t.closed then Error Closed
+  else begin
+    flush_queue t q;
+    let m = { m with Msg.seq = 0 } in
+    let deadline = Engine.now t.k.Kernel.eng + full_grace_ns in
+    let rec attempt () =
+      if push_u2k_raw t q m ~is_reply:false then begin
+        kick t q.worker_waitq;
+        Ok ()
+      end
+      else if t.closed then Error Closed
+      else if Engine.now t.k.Kernel.eng >= deadline then Error Hung
+      else begin
+        (* No space waitq on this side: the trusted kernel worker drains
+           continuously, so a short device-style backoff suffices. *)
+        ignore (Fiber.sleep t.k.Kernel.eng 10_000 : Fiber.wake);
+        attempt ()
+      end
+    in
+    attempt ()
+  end
+
+let dsend_nonblock t q m =
+  if t.closed then false
+  else if push_u2k_raw t q { m with Msg.seq = 0 } ~is_reply:false then begin
+    kick t q.worker_waitq;
+    true
+  end
+  else false
+
+(* ---- the unified send interface ----
+
+   One entry point for the eight (side × mode) combinations the old API
+   spelled as send/asend/try_asend/usend/uasend.  The mode GADT makes
+   the return type follow the mode, so callers keep precise results
+   without five near-identical functions. *)
+
+type _ mode =
+  | Sync : (Msg.t, error) result mode
+  | Async : (unit, error) result mode
+  | Batched : unit mode
+  | Nonblock : bool mode
+
+let transfer : type r. t -> ?queue:int -> from:[ `Kernel | `Driver ] -> r mode -> Msg.t -> r =
+ fun t ?(queue = 0) ~from mode m ->
+  let q = qstate_of t queue in
+  match from, mode with
+  | `Kernel, Sync -> ksend_sync t q m
+  | `Kernel, Async -> ksend_async t q m
+  | `Kernel, Batched ->
+    (* The kernel side has no batching (it is not the side that pays a
+       syscall per kick): fire best-effort and account the loss. *)
+    if not (ksend_nonblock t q m) && not t.closed then begin
+      Sud_obs.Metrics.incr t.um.um_dropped;
+      Sud_obs.Metrics.incr q.q_dropped
+    end
+  | `Kernel, Nonblock -> ksend_nonblock t q m
+  | `Driver, Sync -> dsend_sync t q m
+  | `Driver, Async -> dsend_async t q m
+  | `Driver, Batched -> dsend_batched t q m
+  | `Driver, Nonblock -> dsend_nonblock t q m
+
+let wait ?(queue = 0) t =
+  let q = qstate_of t queue in
   let rec loop ~slept =
     if t.closed then Error Closed
     else if t.wedged then begin
       (* Injected fault: the driver main loop is wedged — it neither
          services the ring nor flushes batches until the wedge lifts or
          the process is killed out from under it. *)
-      ignore (Sync.Waitq.wait_timeout t.k.Kernel.eng t.u_waitq 1_000_000 : Fiber.wake);
+      ignore (Sync.Waitq.wait_timeout t.k.Kernel.eng q.u_waitq 1_000_000 : Fiber.wake);
       loop ~slept
     end
     else begin
-      flush t;
-      match Ring.pop_inplace t.k2u Msg.unmarshal_view with
+      flush_queue t q;
+      match Ring.pop_inplace q.k2u Msg.unmarshal_view with
       | Some decoded ->
         (match slept with Some since -> wakeup_cost_since t ~since | None -> ());
         msg_cost t;
         if Sud_obs.Trace.on () then
           ignore
             (Sud_obs.Trace.emit ~cat:"uchan" ~name:"pop"
-               ~attrs:[ "chan", t.label; "dir", "k2u" ] ());
-        ignore (Sync.Waitq.signal t.k_space : bool);
+               ~attrs:[ "chan", t.label; "dir", "k2u"; "queue", string_of_int q.qi ] ());
+        ignore (Sync.Waitq.signal q.k_space : bool);
         (match decoded with
          | Error _ ->
            (* Only the trusted kernel writes k2u; treat corruption as fatal. *)
@@ -451,10 +578,10 @@ let wait t =
         (* The cost charge suspends the fiber; a message may have arrived in
            the meantime and its kick found nobody waiting — re-check before
            parking, or the wakeup is lost. *)
-        if not (Ring.is_empty t.k2u) then loop ~slept:None
+        if not (Ring.is_empty q.k2u) then loop ~slept:None
         else begin
           let since = Engine.now t.k.Kernel.eng in
-          match Sync.Waitq.wait t.u_waitq with
+          match Sync.Waitq.wait q.u_waitq with
           | Fiber.Interrupted -> Error Interrupted
           | Fiber.Normal | Fiber.Timeout -> loop ~slept:(Some since)
         end
@@ -462,12 +589,35 @@ let wait t =
   in
   loop ~slept:None
 
-(* Non-blocking async upcall for interrupt context: a full ring just
-   drops the kick (the interrupt is edge-triggered and SUD masks until
-   the driver acks anyway). *)
-let try_asend t m =
-  if t.closed then false
-  else push_k2u t { m with Msg.seq = 0 }
+(* ---- deprecated scalar shims (the ~queue:0 instances) ---- *)
+
+let send t m = transfer t ~from:`Kernel Sync m
+let asend t m = transfer t ~from:`Kernel Async m
+let try_asend t m = transfer t ~from:`Kernel Nonblock m
+let usend t m = transfer t ~from:`Driver Sync m
+let uasend t m = transfer t ~from:`Driver Batched m
+
+(* ---- queue handles ---- *)
+
+module Queue = struct
+  type chan = t
+  type t = { q_chan : chan; q_index : int }
+
+  let get chan index =
+    ignore (qstate_of chan index : qstate);
+    { q_chan = chan; q_index = index }
+
+  let all chan = Array.to_list (Array.init (num_queues chan) (get chan))
+  let index q = q.q_index
+  let chan q = q.q_chan
+
+  let transfer : type r. t -> from:[ `Kernel | `Driver ] -> r mode -> Msg.t -> r =
+   fun q ~from mode m -> transfer q.q_chan ~queue:q.q_index ~from mode m
+
+  let wait q = wait ~queue:q.q_index q.q_chan
+  let reply q m = reply ~queue:q.q_index q.q_chan m
+  let flush q = flush ~queue:q.q_index q.q_chan
+end
 
 let metrics t = t.um
 let upcalls_sent t = Sud_obs.Metrics.get t.um.um_up
@@ -477,6 +627,10 @@ let dropped t = Sud_obs.Metrics.get t.um.um_dropped
 let malformed t = Sud_obs.Metrics.get t.um.um_malformed
 let hang_timeout t = t.hang_timeout_ns
 
+let queue_upcalls t ~queue = Sud_obs.Metrics.get (qstate_of t queue).q_up
+let queue_downcalls t ~queue = Sud_obs.Metrics.get (qstate_of t queue).q_down
+let queue_dropped t ~queue = Sud_obs.Metrics.get (qstate_of t queue).q_dropped
+
 (* ---- fault injection (lib/attacks) ---- *)
 
 let wedge t =
@@ -485,7 +639,7 @@ let wedge t =
 let unwedge t =
   if t.wedged then begin
     t.wedged <- false;
-    ignore (Sync.Waitq.broadcast t.u_waitq : int)
+    Array.iter (fun q -> ignore (Sync.Waitq.broadcast q.u_waitq : int)) t.qs
   end
 
 let is_wedged t = t.wedged

@@ -1,13 +1,19 @@
 (** User channels: the kernel↔driver RPC transport (paper §3.1, Figure 3).
 
-    Two shared-memory rings (kernel→user, user→kernel) carry marshalled
-    {!Msg.t}s.  Synchronous sends are correlated by sequence number and
-    are {e interruptible} on the kernel side, so a hung driver leaves an
-    abortable wait, never a wedged kernel thread.  Asynchronous user-side
-    sends are batched: they sit in a local pending list until the driver
-    next enters the kernel ([wait]/[send]), so a burst of downcalls costs
-    one notification — the optimization that lets TCP_STREAM match
-    in-kernel throughput.
+    A channel carries [queues] independent ring pairs (kernel→user,
+    user→kernel) of marshalled {!Msg.t}s — queue 0 is the control path
+    every channel has; data queues 1..n-1 give a multiqueue device one
+    lock-free lane per hardware queue.  Each queue has its own kernel
+    worker fiber and its own driver-side async batch, so two queues
+    never contend: batches are effectively per-CPU flush buffers.
+
+    Synchronous sends are correlated by sequence number and are
+    {e interruptible} on the kernel side, so a hung driver leaves an
+    abortable wait, never a wedged kernel thread.  Asynchronous
+    driver-side sends are batched: they sit in the queue's pending list
+    until the driver next enters the kernel ([wait]/sync send on that
+    queue), so a burst of downcalls costs one notification — the
+    optimization that lets TCP_STREAM match in-kernel throughput.
 
     CPU costs (marshalling per message, notification per kick, wakeup
     after sleeping) are charged to the calling fiber through the kernel's
@@ -18,55 +24,121 @@ type t
 type error = Hung | Interrupted | Closed
 
 val create :
-  Kernel.t -> ?slots:int -> ?hang_timeout_ns:int -> driver_label:string -> unit -> t
+  Kernel.t ->
+  ?slots:int ->
+  ?hang_timeout_ns:int ->
+  ?queues:int ->
+  driver_label:string ->
+  unit ->
+  t
 (** [slots] per ring (default 256, power of two).  [hang_timeout_ns]
     bounds every synchronous upcall on this channel (default
     {!hang_timeout_ns}); the supervisor shrinks it to tighten hang
-    detection latency. *)
+    detection latency.  [queues] (default 1, max {!max_queues}) is the
+    number of ring pairs. *)
 
 val close : t -> unit
 (** Tear the channel down (driver death): all blocked senders and waiters
-    return [Error Closed]. *)
+    on every queue return [Error Closed]. *)
 
 val is_closed : t -> bool
 
-(** {1 Kernel side} *)
+val num_queues : t -> int
 
-val send : t -> Msg.t -> (Msg.t, error) result
-(** Synchronous upcall: blocks until the driver replies.  Interruptible
-    (Ctrl-C ⇒ [Error Interrupted]); gives up after the channel's hang
-    timeout without a reply ([Error Hung]). *)
+val max_queues : int
 
-val asend : t -> Msg.t -> (unit, error) result
-(** Asynchronous upcall.  If the ring stays full past a short grace
-    period the driver is presumed hung. *)
+(** {1 The unified send interface}
 
-val try_asend : t -> Msg.t -> bool
-(** Non-blocking asynchronous upcall, safe from interrupt context; false
-    when the ring is full or the channel closed. *)
+    One entry point for every way a message crosses the channel.  The
+    mode GADT ties the return type to the delivery discipline:
 
-val set_downcall_handler : t -> (Msg.t -> Msg.t option) -> unit
+    - [Sync]: block until the peer replies; [Error Hung] after the
+      channel's hang timeout (kernel side) and interruptible on both
+      sides.
+    - [Async]: enqueue without waiting for a reply; if the ring stays
+      full past a short grace period the peer is presumed hung.
+    - [Batched]: driver side, sit in the queue's local batch until the
+      driver next enters the kernel on that queue, so a burst costs one
+      notification.  On the kernel side (which pays no syscall per
+      kick) this degrades to fire-and-forget that counts drops.
+    - [Nonblock]: never block, safe from interrupt context; [false]
+      when the ring is full or the channel closed. *)
+
+type _ mode =
+  | Sync : (Msg.t, error) result mode
+  | Async : (unit, error) result mode
+  | Batched : unit mode
+  | Nonblock : bool mode
+
+val transfer : t -> ?queue:int -> from:[ `Kernel | `Driver ] -> 'r mode -> Msg.t -> 'r
+(** [transfer t ~queue ~from mode m] sends [m] on ring pair [queue]
+    (default 0) in the direction implied by [from], with [mode]'s
+    blocking discipline.  Raises [Invalid_argument] on a bad queue
+    index. *)
+
+val set_downcall_handler : t -> (queue:int -> Msg.t -> Msg.t option) -> unit
 (** Kernel-side service for driver downcalls; return [Some reply] for
-    synchronous downcalls.  Runs in a dedicated kernel fiber. *)
+    synchronous downcalls.  Runs in the receiving queue's dedicated
+    kernel worker fiber, with [~queue] naming that queue. *)
 
 (** {1 User (driver) side} *)
 
-val wait : t -> (Msg.t, error) result
-(** [sud_wait]: deliver the next kernel→user message; flushes batched
-    asynchronous downcalls before sleeping. *)
+val wait : ?queue:int -> t -> (Msg.t, error) result
+(** [sud_wait]: deliver the next kernel→user message on [queue] (default
+    0); flushes that queue's batched asynchronous downcalls before
+    sleeping.  A multiqueue driver runs one fiber per queue, each parked
+    here on its own queue. *)
 
-val reply : t -> Msg.t -> unit
-(** Reply to a synchronous upcall ([Msg.seq] must echo the request). *)
+val reply : ?queue:int -> t -> Msg.t -> unit
+(** Reply to a synchronous upcall ([Msg.seq] must echo the request), on
+    the queue it arrived on. *)
+
+val flush : ?queue:int -> t -> unit
+(** Force the async batch out (normally implicit in [wait]/sync sends).
+    Without [?queue], flushes every queue's batch. *)
+
+(** {1 Queue handles}
+
+    A first-class handle on one (channel, queue) pair, so per-queue
+    fibers and per-queue supervision state can be passed one capability
+    instead of a channel plus a loose index. *)
+
+module Queue : sig
+  type chan = t
+  type t
+
+  val get : chan -> int -> t
+  (** Raises [Invalid_argument] if the index is out of range. *)
+
+  val all : chan -> t list
+  val index : t -> int
+  val chan : t -> chan
+  val transfer : t -> from:[ `Kernel | `Driver ] -> 'r mode -> Msg.t -> 'r
+  val wait : t -> (Msg.t, error) result
+  val reply : t -> Msg.t -> unit
+  val flush : t -> unit
+end
+
+(** {1 Deprecated scalar shims}
+
+    The pre-multiqueue names, re-expressed as the [~queue:0] instance of
+    {!transfer}.  In-repo callers must use {!transfer} (the build lints
+    for these). *)
+
+val send : t -> Msg.t -> (Msg.t, error) result
+  [@@deprecated "use Uchan.transfer ~from:`Kernel Sync"]
+
+val asend : t -> Msg.t -> (unit, error) result
+  [@@deprecated "use Uchan.transfer ~from:`Kernel Async"]
+
+val try_asend : t -> Msg.t -> bool
+  [@@deprecated "use Uchan.transfer ~from:`Kernel Nonblock"]
 
 val usend : t -> Msg.t -> (Msg.t, error) result
-(** Synchronous downcall (flushes the async batch first to preserve
-    ordering). *)
+  [@@deprecated "use Uchan.transfer ~from:`Driver Sync"]
 
 val uasend : t -> Msg.t -> unit
-(** Batched asynchronous downcall. *)
-
-val flush : t -> unit
-(** Force the async batch out (normally implicit in [wait]/[usend]). *)
+  [@@deprecated "use Uchan.transfer ~from:`Driver Batched"]
 
 (** {1 Introspection} *)
 
@@ -81,13 +153,15 @@ val hang_timeout : t -> int
 
     Per-channel counters and the sync-RPC latency histogram live in the
     {!Sud_obs.Metrics} registry under subsystem ["uchan"], labelled
-    [("chan", driver_label)].  With tracing enabled, every sync RPC
-    emits an ["uchan"/"rpc"] span at issue (remembered under
-    ["uchan.rpc.last"] and a per-seq key) and an ["rpc.complete"] span
-    with the round-trip duration; ring pushes/pops emit
-    ["push"]/["pop"] spans; the kernel worker runs downcall handlers
-    under the issuing RPC's span so downstream work (IOMMU maps,
-    faults) is causally attributed. *)
+    [("chan", driver_label)]; per-queue traffic counters
+    ([queue_upcalls]/[queue_downcalls]/[queue_dropped]) additionally
+    carry [("queue", i)].  With tracing enabled, every sync RPC emits an
+    ["uchan"/"rpc"] span at issue (remembered under ["uchan.rpc.last"]
+    and a per-seq key) and an ["rpc.complete"] span with the round-trip
+    duration; ring pushes/pops emit ["push"]/["pop"] spans carrying the
+    queue index; the kernel worker runs downcall handlers under the
+    issuing RPC's span so downstream work (IOMMU maps, faults) is
+    causally attributed. *)
 
 type metrics = {
   um_up : Sud_obs.Metrics.counter;
@@ -99,6 +173,12 @@ type metrics = {
 }
 
 val metrics : t -> metrics
+
+val queue_upcalls : t -> queue:int -> int
+val queue_downcalls : t -> queue:int -> int
+
+val queue_dropped : t -> queue:int -> int
+(** Per-queue share of {!metrics}'s [um_dropped]. *)
 
 val upcalls_sent : t -> int
   [@@deprecated "read Metrics.get (Uchan.metrics t).um_up instead"]

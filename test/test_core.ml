@@ -120,7 +120,7 @@ let test_dma_region_lifecycle () =
 let test_irq_mask_and_ack () =
   with_grant (fun w _proc g ->
       let upcalls = ref 0 in
-      ok_or_fail "setup_irq" (Safe_pci.setup_irq g ~sink:(fun () -> incr upcalls));
+      ok_or_fail "setup_irq" (Safe_pci.setup_irqs g ~n:1 ~sink:(fun ~queue:_ -> incr upcalls));
       let cfg = Device.cfg (E1000_dev.device w.nic) in
       Alcotest.(check bool) "MSI programmed by the kernel" true (Pci_cfg.msi_enabled cfg);
       let vector = Pci_cfg.msi_data cfg land 0xff in
@@ -137,14 +137,14 @@ let test_irq_mask_and_ack () =
       Safe_pci.irq_ack g;
       Alcotest.(check bool) "unmasked after ack" false (Pci_cfg.msi_masked cfg);
       Alcotest.(check bool) "double irq setup rejected" true
-        (Result.is_error (Safe_pci.setup_irq g ~sink:ignore)))
+        (Result.is_error (Safe_pci.setup_irqs g ~n:1 ~sink:(fun ~queue:_ -> ()))))
 
 let test_release_revokes_everything () =
   with_grant (fun w proc g ->
       ok_or_fail "enable" (Safe_pci.enable_device g);
       let r = ok_or_fail "alloc" (Safe_pci.alloc_dma g ~bytes:4096 ()) in
       let mmio = ok_or_fail "map" (Safe_pci.map_mmio g ~bar:0) in
-      ok_or_fail "irq" (Safe_pci.setup_irq g ~sink:ignore);
+      ok_or_fail "irq" (Safe_pci.setup_irqs g ~n:1 ~sink:(fun ~queue:_ -> ()));
       let pages_before = Phys_mem.allocated_pages w.k.Kernel.mem in
       (* Killing the process revokes via the exit hook. *)
       Process.kill proc;
@@ -305,11 +305,76 @@ let test_xmit_from_atomic_context () =
            f)
       in
       let r =
-        Preempt.with_atomic k.Kernel.preempt (fun () -> (Netdev.ops dev).Netdev.ndo_start_xmit skb)
+        Preempt.with_atomic k.Kernel.preempt (fun () ->
+            (Netdev.ops dev).Netdev.ndo_start_xmit ~queue:0 skb)
       in
       Alcotest.(check bool) "xmit accepted while atomic" true (r = Netdev.Xmit_ok);
       ignore (Fiber.sleep k.Kernel.eng 10_000_000 : Fiber.wake);
       Alcotest.(check bool) "frame hit the wire" true (E1000_dev.tx_frames duo.nic_a >= 1))
+
+(* The multiqueue storm bar: a storm on one MSI-X vector must quarantine
+   only that vector.  Siblings keep delivering before, during and after
+   the escalation, and an ack cannot resurrect the quarantined queue. *)
+let test_msix_storm_sibling_queues () =
+  run_in_kernel
+    (fun k ->
+       let medium = Net_medium.create k.Kernel.eng () in
+       let nic = E1000_dev.create k.Kernel.eng ~mac:mac_a ~medium ~queues:4 () in
+       let bdf = Kernel.attach_pci k (E1000_dev.device nic) in
+       let sp = Safe_pci.init k in
+       { k; sp; nic; bdf })
+    (fun k w ->
+       Safe_pci.register_device w.sp w.bdf;
+       Safe_pci.set_owner w.sp w.bdf ~uid:1000;
+       let proc = Process.spawn k.Kernel.procs ~name:"drv" ~uid:1000 in
+       let g = ok_or_fail "open" (Safe_pci.open_device w.sp w.bdf ~proc) in
+       let hits = Array.make 4 0 in
+       ok_or_fail "setup_irqs"
+         (Safe_pci.setup_irqs g ~n:4 ~sink:(fun ~queue -> hits.(queue) <- hits.(queue) + 1));
+       let cfg = Device.cfg (E1000_dev.device w.nic) in
+       Alcotest.(check bool) "MSI-X enabled" true (Pci_cfg.msix_enabled cfg);
+       let vec q = Pci_cfg.msix_data cfg ~vector:q land 0xff in
+       let deliver q = Irq.deliver w.k.Kernel.irq ~source:w.bdf ~vector:(vec q) in
+       (* Normal traffic on every queue. *)
+       for q = 0 to 3 do
+         deliver q;
+         Safe_pci.irq_ack ~queue:q g
+       done;
+       Alcotest.(check (list int)) "one upcall per queue" [ 1; 1; 1; 1 ]
+         (Array.to_list hits);
+       (* Storm queue 2: second interrupt before the ack masks the vector,
+          a third while masked is only possible via raw MSI-window DMA and
+          escalates to quarantine. *)
+       deliver 2;
+       deliver 2;
+       Alcotest.(check bool) "vector 2 masked" true (Safe_pci.vector_masked g ~queue:2);
+       deliver 2;
+       Alcotest.(check bool) "vector 2 quarantined" true
+         (Safe_pci.vector_quarantined g ~queue:2);
+       Alcotest.(check bool) "storm attributed to queue 2" true
+         (Safe_pci.grant_vector_storms g ~queue:2 >= 1);
+       let before = (hits.(0), hits.(1), hits.(3)) in
+       (* Siblings are untouched: unmasked, and still delivering. *)
+       for q = 0 to 3 do
+         if q <> 2 then begin
+           Alcotest.(check bool)
+             (Printf.sprintf "sibling %d not masked" q)
+             false (Safe_pci.vector_masked g ~queue:q);
+           deliver q;
+           Safe_pci.irq_ack ~queue:q g
+         end
+       done;
+       Alcotest.(check (triple int int int)) "siblings kept delivering"
+         (let a, b, c = before in (a + 1, b + 1, c + 1))
+         (hits.(0), hits.(1), hits.(3));
+       (* The quarantined vector stays dead: acks don't unmask it and
+          further interrupts never reach the driver. *)
+       let q2 = hits.(2) in
+       Safe_pci.irq_ack ~queue:2 g;
+       Alcotest.(check bool) "ack cannot unquarantine" true
+         (Safe_pci.vector_masked g ~queue:2);
+       deliver 2;
+       Alcotest.(check int) "no upcall from quarantined queue" q2 hits.(2))
 
 let suite =
   [ Alcotest.test_case "safe_pci: ownership + exclusivity" `Quick test_ownership;
@@ -318,6 +383,8 @@ let suite =
     Alcotest.test_case "safe_pci: MMIO bounds" `Quick test_mmio_bounds;
     Alcotest.test_case "safe_pci: DMA region lifecycle" `Quick test_dma_region_lifecycle;
     Alcotest.test_case "safe_pci: IRQ mask/ack" `Quick test_irq_mask_and_ack;
+    Alcotest.test_case "safe_pci: MSI-X storm quarantines one vector" `Quick
+      test_msix_storm_sibling_queues;
     Alcotest.test_case "safe_pci: release revokes all" `Quick test_release_revokes_everything;
     Alcotest.test_case "safe_pci: iova != phys" `Quick test_iova_space_distinct_from_phys;
     Alcotest.test_case "kenv_native: direct access" `Quick test_kenv_native_direct;

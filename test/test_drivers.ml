@@ -4,9 +4,9 @@
 open Helpers
 
 let null_net_callbacks =
-  { Driver_api.nc_rx = (fun ~addr:_ ~len:_ -> ());
-    nc_tx_free = (fun ~token:_ -> ());
-    nc_tx_done = ignore;
+  { Driver_api.nc_rx = (fun ~queue:_ ~addr:_ ~len:_ -> ());
+    nc_tx_free = (fun ~queue:_ ~token:_ -> ());
+    nc_tx_done = (fun ~queue:_ -> ());
     nc_carrier = ignore }
 
 (* Probe the e1000 driver natively with our own callbacks. *)
@@ -33,7 +33,7 @@ let test_e1000_ring_full () =
       ignore
         (Engine.schedule_now k.Kernel.eng (fun () ->
              while not !busy do
-               match inst.Driver_api.ni_xmit (mk_txbuf k buf 64) with
+               match inst.Driver_api.ni_xmit ~queue:0 (mk_txbuf k buf 64) with
                | `Ok -> incr sent
                | `Busy -> busy := true
              done)
@@ -165,9 +165,9 @@ let test_proxy_rejects_bogus_rx_addr () =
         Mal_nic.driver
           ~on_open:(fun t ->
               (* netif_rx with an address outside every DMA region. *)
-              t.Mal_nic.cb.Driver_api.nc_rx ~addr:0xDEAD0000 ~len:64;
+              t.Mal_nic.cb.Driver_api.nc_rx ~queue:0 ~addr:0xDEAD0000 ~len:64;
               (* and one with an insane length *)
-              t.Mal_nic.cb.Driver_api.nc_rx ~addr:t.Mal_nic.buf.Driver_api.dma_addr
+              t.Mal_nic.cb.Driver_api.nc_rx ~queue:0 ~addr:t.Mal_nic.buf.Driver_api.dma_addr
                 ~len:1_000_000;
               Ok ())
           ()
@@ -191,9 +191,10 @@ let test_proxy_marks_hung_on_ioctl () =
             (fun env _pdev _cb ->
                Ok
                  { Driver_api.ni_mac = Bytes.make 6 '\x02';
+                   ni_tx_queues = 1;
                    ni_open = (fun () -> Ok ());
                    ni_stop = ignore;
-                   ni_xmit = (fun _ -> `Ok);
+                   ni_xmit = (fun ~queue:_ _ -> `Ok);
                    ni_ioctl =
                      (fun ~cmd:_ ~arg:_ ->
                         let rec forever () =

@@ -109,9 +109,11 @@ let test_spinlock () =
 let test_irq_dispatch () =
   with_kernel (fun _ k ->
       let irq = k.Kernel.irq in
-      let v = Irq.alloc_vector irq in
+      let v = (Irq.alloc_vectors irq ~n:1).(0) in
       let hits = ref 0 in
-      (match Irq.request_irq irq ~vector:v ~name:"t" (fun ~source:_ -> incr hits) with
+      (match
+         Irq.request_irqs irq ~vectors:[| v |] ~name:"t" (fun ~queue:_ ~source:_ -> incr hits)
+       with
        | Ok () -> ()
        | Error e -> Alcotest.fail e);
       Irq.deliver irq ~source:0 ~vector:v;
@@ -121,14 +123,15 @@ let test_irq_dispatch () =
       Irq.deliver irq ~source:0 ~vector:(v + 1);
       Alcotest.(check int) "spurious counted" 1 (Sud_obs.Metrics.get (Irq.metrics irq).Irq.qm_spurious);
       Alcotest.(check bool) "double request rejected" true
-        (Result.is_error (Irq.request_irq irq ~vector:v ~name:"t2" (fun ~source:_ -> ()))))
+        (Result.is_error
+           (Irq.request_irqs irq ~vectors:[| v |] ~name:"t2" (fun ~queue:_ ~source:_ -> ()))))
 
 let test_irq_handler_atomic () =
   with_kernel (fun _ k ->
-      let v = Irq.alloc_vector k.Kernel.irq in
+      let v = (Irq.alloc_vectors k.Kernel.irq ~n:1).(0) in
       let was_atomic = ref false in
       (match
-         Irq.request_irq k.Kernel.irq ~vector:v ~name:"t" (fun ~source:_ ->
+         Irq.request_irqs k.Kernel.irq ~vectors:[| v |] ~name:"t" (fun ~queue:_ ~source:_ ->
              was_atomic := Preempt.in_atomic k.Kernel.preempt)
        with
        | Ok () -> ()
@@ -162,22 +165,22 @@ let test_skb_copy_clears_sharing () =
 let null_ops =
   { Netdev.ndo_open = (fun () -> Ok ());
     ndo_stop = ignore;
-    ndo_start_xmit = (fun _ -> Netdev.Xmit_ok);
+    ndo_start_xmit = (fun ~queue:_ _ -> Netdev.Xmit_ok);
     ndo_do_ioctl = (fun ~cmd:_ ~arg:_ -> Ok 0) }
 
 let test_netdev_state () =
-  let d = Netdev.create ~name:"eth9" ~mac:(Bytes.make 6 '\x02') ~ops:null_ops in
+  let d = Netdev.create ~name:"eth9" ~mac:(Bytes.make 6 '\x02') ~ops:null_ops () in
   Alcotest.(check bool) "down initially" false (Netdev.is_up d);
   Alcotest.(check bool) "no carrier" false (Netdev.carrier d);
   Netdev.netif_carrier_on d;
   Alcotest.(check bool) "carrier on" true (Netdev.carrier d);
-  Netdev.netif_stop_queue d;
-  Alcotest.(check bool) "stopped" true (Netdev.queue_stopped d);
-  Netdev.netif_wake_queue d;
-  Alcotest.(check bool) "woken" false (Netdev.queue_stopped d)
+  Netdev.netif_stop_subqueue d ~queue:0;
+  Alcotest.(check bool) "stopped" true (Netdev.subqueue_stopped d ~queue:0);
+  Netdev.netif_wake_subqueue d ~queue:0;
+  Alcotest.(check bool) "woken" false (Netdev.subqueue_stopped d ~queue:0)
 
 let test_netdev_rx_before_registration () =
-  let d = Netdev.create ~name:"eth9" ~mac:(Bytes.make 6 '\x02') ~ops:null_ops in
+  let d = Netdev.create ~name:"eth9" ~mac:(Bytes.make 6 '\x02') ~ops:null_ops () in
   Netdev.netif_rx d (Skbuff.of_bytes (Bytes.make 64 'x'));
   Alcotest.(check int) "dropped, not crashed" 1 (Netdev.stats d).Netdev.rx_dropped
 

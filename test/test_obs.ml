@@ -174,6 +174,48 @@ let test_sysfs_metrics_node () =
   Alcotest.(check (option string)) "unknown path" None
     (Sysfs.read_file k.Kernel.sysfs ~path:"/sys/kernel/nope")
 
+(* The admin-facing contract behind `sudctl metrics`: with a multiqueue
+   SUD driver running, the sysfs registry dump carries per-queue labels
+   for every queue — uchan ring counters and netdev backlog counters
+   alike — so operators can see which queue a storm or a backlog burst
+   hit. *)
+let test_metrics_per_queue_labels () =
+  let eng = Engine.create () in
+  let k = Kernel.boot eng in
+  let medium = Net_medium.create eng () in
+  let nic =
+    E1000_dev.create eng ~mac:(Skbuff.Mac.of_string "52:54:00:00:00:0a") ~medium ~queues:4 ()
+  in
+  let bdf = Kernel.attach_pci k (E1000_dev.device nic) in
+  let body = ref "" in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"main" (fun () ->
+         let sp = Safe_pci.init k in
+         (match Driver_host.start_net k sp ~bdf ~name:"eth0" E1000.driver with
+          | Ok _ -> ()
+          | Error e -> failwith e);
+         match Sysfs.read_file k.Kernel.sysfs ~path:"/sys/kernel/sud_metrics" with
+         | Some b -> body := b
+         | None -> failwith "sud_metrics node missing")
+     : Fiber.t);
+  Engine.run ~max_time:2_000_000_000 eng;
+  let contains needle =
+    let n = String.length needle and hs = !body in
+    let rec go i =
+      i + n <= String.length hs && (String.sub hs i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+       Alcotest.(check bool) (needle ^ " present") true (contains needle))
+    [ "queue_upcalls{chan=eth0,queue=0}";
+      "queue_upcalls{chan=eth0,queue=3}";
+      "queue_downcalls{chan=eth0,queue=3}";
+      "queue_dropped{chan=eth0,queue=3}";
+      "queue_backlog_offered{dev=eth0,queue=3}";
+      "queue_backlog_replayed{dev=eth0,queue=3}" ]
+
 (* ---- deprecated shims still agree with the registry ---- *)
 
 [@@@alert "-deprecated"]
@@ -205,5 +247,7 @@ let suite =
     Alcotest.test_case "trace: remember/recall/current" `Quick
       test_remember_recall_current;
     Alcotest.test_case "sysfs: /sys/kernel/sud_metrics" `Quick test_sysfs_metrics_node;
+    Alcotest.test_case "sudctl metrics: per-queue labels" `Quick
+      test_metrics_per_queue_labels;
     Alcotest.test_case "deprecated shims agree with registry" `Quick test_shims_agree ]
   @ List.map QCheck_alcotest.to_alcotest [ hist_bucket_sum_test; trace_accounting_test ]

@@ -251,10 +251,98 @@ let test_e1000_subword_mmio () =
       in
       Alcotest.(check int) "sub-word access consistent" dword by_bytes)
 
+(* RSS sharding is only sound if the queue is a pure, stable function of
+   the flow-identifying bytes: the device picks the RX queue from the wire
+   frame while the kernel picks the TX queue from the skb, and per-flow
+   order across a driver restart relies on both picking the same queue
+   every time. *)
+let rss_stability_test =
+  let gen =
+    QCheck.Gen.(
+      let* flow = string_size (return Rss.flow_span) in
+      let* tail_a = string_size (int_range 0 64) in
+      let* tail_b = string_size (int_range 0 64) in
+      let* queues = int_range 1 8 in
+      return (flow, tail_a, tail_b, queues))
+  in
+  QCheck.Test.make ~name:"RSS: queue is a stable function of the flow bytes" ~count:500
+    (QCheck.make gen)
+    (fun (flow, ta, tb, queues) ->
+       let fa = Bytes.of_string (flow ^ ta) and fb = Bytes.of_string (flow ^ tb) in
+       let qa = Rss.queue_for ~queues fa in
+       qa = Rss.queue_for ~queues fa
+       && qa = Rss.queue_for ~queues fb   (* bytes past the span don't steer *)
+       && qa >= 0 && qa < queues)
+
+(* Per-queue backlog replay preserves per-flow packet order: frames parked
+   while a driver is being restarted come back out in the order each flow
+   sent them, because a flow always hashes to one queue and each queue's
+   backlog is FIFO.  This is the invariant that lets the supervisor replay
+   queues one at a time without reordering anybody's stream. *)
+let backlog_replay_order_test =
+  let n_flows = 4 in
+  let mk_frame ~flow ~seq =
+    let b = Bytes.make (Rss.flow_span + 2) '\x00' in
+    Bytes.set_uint16_be b 15 (1000 + flow);      (* sport *)
+    Bytes.set_uint16_be b 17 (7 * (flow + 1));   (* dport *)
+    Bytes.set_uint16_be b Rss.flow_span seq;
+    b
+  in
+  let gen =
+    QCheck.Gen.(
+      let* frames = list_size (int_range 1 100) (int_bound (n_flows - 1)) in
+      let* queues = int_range 1 8 in
+      return (frames, queues))
+  in
+  QCheck.Test.make ~name:"backlog replay preserves per-flow order" ~count:200
+    (QCheck.make gen)
+    (fun (flows, queues) ->
+       let ops =
+         { Netdev.ndo_open = (fun () -> Ok ());
+           ndo_stop = ignore;
+           ndo_start_xmit = (fun ~queue:_ _ -> Netdev.Xmit_ok);
+           ndo_do_ioctl = (fun ~cmd:_ ~arg:_ -> Ok 0) }
+       in
+       let dev =
+         Netdev.create ~name:"ethp" ~mac:(Bytes.make 6 '\x02') ~ops ~tx_queues:queues ()
+       in
+       (* Offer: per-flow ascending sequence numbers, queue chosen by RSS
+          exactly as Netstack.dev_xmit would. *)
+       let next_seq = Array.make n_flows 0 in
+       let offered = Array.make n_flows [] in
+       List.iter
+         (fun flow ->
+            let seq = next_seq.(flow) in
+            next_seq.(flow) <- seq + 1;
+            offered.(flow) <- seq :: offered.(flow);
+            let data = mk_frame ~flow ~seq in
+            let queue = Rss.queue_for ~queues data in
+            match Netdev.backlog_push dev ~queue ~limit:1000 (Skbuff.of_bytes data) with
+            | Netdev.Xmit_ok -> ()
+            | Netdev.Xmit_busy -> failwith "unexpected backlog overflow")
+         flows;
+       (* Replay the way Supervisor.replay_backlog does: drain queue 0
+          fully, then queue 1, ... *)
+       let replayed = Array.make n_flows [] in
+       for q = 0 to queues - 1 do
+         let rec go () =
+           match Netdev.backlog_pop dev ~queue:q with
+           | None -> ()
+           | Some skb ->
+             let flow = Bytes.get_uint16_be skb.Skbuff.data 15 - 1000 in
+             let seq = Bytes.get_uint16_be skb.Skbuff.data Rss.flow_span in
+             replayed.(flow) <- seq :: replayed.(flow);
+             go ()
+         in
+         go ()
+       done;
+       Array.for_all2 (fun a b -> a = b) offered replayed)
+
 let suite =
   [ Alcotest.test_case "determinism: identical runs" `Quick test_determinism;
     Alcotest.test_case "spinlock: contention = deadlock report" `Quick
       test_spinlock_contention_detected;
     Alcotest.test_case "e1000: sub-word MMIO" `Quick test_e1000_subword_mmio ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ iommu_model_test; iotlb_invalidation_test; cfg_filter_invariant; stream_integrity ]
+      [ iommu_model_test; iotlb_invalidation_test; cfg_filter_invariant; stream_integrity;
+        rss_stability_test; backlog_replay_order_test ]

@@ -128,7 +128,7 @@ let test_uchan_sync_upcall () =
              serve ())
          : Fiber.t);
       in_fiber eng k (fun () ->
-          match Uchan.send chan (Msg.make ~kind:4 ~args:[ 21 ] ()) with
+          match Uchan.transfer chan ~from:`Kernel Uchan.Sync (Msg.make ~kind:4 ~args:[ 21 ] ()) with
           | Ok r -> Alcotest.(check int) "doubled" 42 (Msg.arg r 0)
           | Error _ -> Alcotest.fail "sync send failed"))
 
@@ -139,7 +139,7 @@ let test_uchan_hang_detection () =
          timeout, not block forever. *)
       in_fiber eng k (fun () ->
           let t0 = Engine.now eng in
-          (match Uchan.send chan (Msg.make ~kind:1 ()) with
+          (match Uchan.transfer chan ~from:`Kernel Uchan.Sync (Msg.make ~kind:1 ()) with
            | Error Uchan.Hung -> ()
            | Ok _ | Error _ -> Alcotest.fail "expected Hung");
           Alcotest.(check bool) "took about the hang timeout" true
@@ -153,7 +153,7 @@ let test_uchan_interruptible () =
       let caller =
         Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"ifconfig"
           (fun () ->
-             result := Some (Uchan.send chan (Msg.make ~kind:1 ()));
+             result := Some (Uchan.transfer chan ~from:`Kernel Uchan.Sync (Msg.make ~kind:1 ()));
              finished_at := Engine.now eng)
       in
       (* Ctrl-C after 1ms, well before the hang timeout. *)
@@ -173,20 +173,20 @@ let test_uchan_close_unblocks () =
       let result = ref None in
       ignore
         (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"caller"
-           (fun () -> result := Some (Uchan.send chan (Msg.make ~kind:1 ())))
+           (fun () -> result := Some (Uchan.transfer chan ~from:`Kernel Uchan.Sync (Msg.make ~kind:1 ())))
          : Fiber.t);
       ignore (Engine.schedule_after eng 1_000 (fun () -> Uchan.close chan) : Engine.handle);
       Engine.run ~max_time:20_000_000 eng;
       Alcotest.(check bool) "failed with Closed" true (!result = Some (Error Uchan.Closed));
       Alcotest.(check bool) "is_closed" true (Uchan.is_closed chan);
       Alcotest.(check bool) "send after close" true
-        (Uchan.send chan (Msg.make ~kind:1 ()) = Error Uchan.Closed))
+        (Uchan.transfer chan ~from:`Kernel Uchan.Sync (Msg.make ~kind:1 ()) = Error Uchan.Closed))
 
 let test_uchan_downcall () =
   with_kernel (fun eng k ->
       let chan = Uchan.create k ~driver_label:"d" () in
       let asyncs = ref [] in
-      Uchan.set_downcall_handler chan (fun m ->
+      Uchan.set_downcall_handler chan (fun ~queue:_ m ->
           if m.Msg.seq = 0 then begin
             asyncs := m.Msg.kind :: !asyncs;
             None
@@ -196,9 +196,9 @@ let test_uchan_downcall () =
       let sync_result = ref None in
       ignore
         (Process.spawn_fiber proc (fun () ->
-             Uchan.uasend chan (Msg.make ~kind:101 ());
-             Uchan.uasend chan (Msg.make ~kind:102 ());
-             sync_result := Some (Uchan.usend chan (Msg.make ~kind:103 ())))
+             Uchan.transfer chan ~from:`Driver Uchan.Batched (Msg.make ~kind:101 ());
+             Uchan.transfer chan ~from:`Driver Uchan.Batched (Msg.make ~kind:102 ());
+             sync_result := Some (Uchan.transfer chan ~from:`Driver Uchan.Sync (Msg.make ~kind:103 ())))
          : Fiber.t);
       Engine.run ~max_time:100_000_000 eng;
       (match !sync_result with
@@ -215,7 +215,7 @@ let test_uchan_try_asend_full () =
       (* Nobody drains: the ring fills and try_asend turns false instead of
          blocking (interrupt context requirement). *)
       let sent = ref 0 in
-      while Uchan.try_asend chan (Msg.make ~kind:5 ()) do incr sent done;
+      while Uchan.transfer chan ~from:`Kernel Uchan.Nonblock (Msg.make ~kind:5 ()) do incr sent done;
       Alcotest.(check int) "bounded by ring size" 4 !sent)
 
 (* ---- property tests ---- *)
