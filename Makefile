@@ -1,4 +1,4 @@
-.PHONY: all build lint-deprecated test bench bench-smoke bench-mq soak trace-smoke clean
+.PHONY: all build lint-deprecated test bench bench-smoke bench-mq bench-batch soak trace-smoke clean
 
 all: build
 
@@ -15,6 +15,15 @@ lint-deprecated:
 	  'Uchan\.(send|asend|try_asend|usend|uasend)[^a-zA-Z_]|Irq\.(alloc_vector|request_irq|free_irq)[^a-zA-Z_]|Safe_pci\.(setup_irq|teardown_irq|mask_msi|unmask_msi)[^a-zA-Z_]|Netdev\.(netif_stop_queue|netif_wake_queue|backlog_xmit|backlog_take|queue_stopped)[^a-zA-Z_]' \
 	  lib bin bench test examples \
 	  || { echo 'lint-deprecated: deprecated scalar datapath shim used in-tree (use the ~queue API)'; exit 1; }
+	@# Batched-datapath backstop: the proxy net datapath must never fall
+	@# back to per-frame sends — data messages ride the queue-aware
+	@# Async/Batched paths so bursts coalesce into scatter-gather batch
+	@# slots, one notification per batch.  A Sync transfer of a datapath
+	@# kind would reintroduce a blocking round-trip per frame.
+	@! grep -nE \
+	  'Uchan\.(usend|uasend)[^a-zA-Z_]|Uchan\.Sync \(Msg\.make ~kind:Proxy_proto\.(up_net_xmit|up_interrupt|down_netif_rx|down_tx_free)' \
+	  lib/core/proxy_net.ml lib/core/sud_uml.ml \
+	  || { echo 'lint-deprecated: per-frame send on the proxy net datapath (use ~queue Async/Batched)'; exit 1; }
 
 test: lint-deprecated
 	dune runtest
@@ -32,6 +41,14 @@ bench-smoke:
 # with traffic actually spread across RX queues.
 bench-mq:
 	dune exec bench/main.exe -- mq
+
+# Batched-datapath sweep in smoke mode: fused copy+checksum micro plus
+# the four corner (queues, batch) points, checked against the scaling
+# gates (fused ratio, 8q speedup over BENCH_4, irqs/frame, single-frame
+# latency); exits nonzero on any gate.  The checked-in BENCH_5.json is
+# the full 1/4/8-queue x 1/8/32-batch grid from `batch` without smoke.
+bench-batch:
+	dune exec bench/main.exe -- batch smoke
 
 # Supervision soak: per-fault-class recovery latencies, then a fixed-seed
 # storm of ~200 faults under live traffic plus a forced crash loop.

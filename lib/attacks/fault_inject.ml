@@ -3,9 +3,9 @@
    detect → contain → recover loop hundreds of times under live traffic
    while checking the containment invariants at every driver death. *)
 
-type fault = Crash | Hang | Corrupt_reply | Drop_reply | Dma_violation
+type fault = Crash | Hang | Corrupt_reply | Drop_reply | Dma_violation | Corrupt_batch
 
-let all_faults = [ Crash; Hang; Corrupt_reply; Drop_reply; Dma_violation ]
+let all_faults = [ Crash; Hang; Corrupt_reply; Drop_reply; Dma_violation; Corrupt_batch ]
 
 let fault_name = function
   | Crash -> "crash"
@@ -13,6 +13,14 @@ let fault_name = function
   | Corrupt_reply -> "corrupt_reply"
   | Drop_reply -> "drop_reply"
   | Dma_violation -> "dma_violation"
+  | Corrupt_batch -> "corrupt_batch"
+
+(* A corrupt batch frame is contained in place — the kernel drops that one
+   frame and delivers its siblings; nothing escalates to a restart, so
+   there is no recovery latency to measure for it. *)
+let lethal = function
+  | Crash | Hang | Corrupt_reply | Drop_reply | Dma_violation -> true
+  | Corrupt_batch -> false
 
 type injection = { at_ns : int; fault : fault }
 type plan = injection list
@@ -76,6 +84,16 @@ let inject ~sv ?dma_violate fault =
          f ();
          true
        | None -> false)
+    | Corrupt_batch ->
+      (* Garble one frame inside the next multi-frame downcall batch the
+         driver flushes.  The kernel must drop exactly that frame
+         (um_malformed_frames ticks) and deliver its siblings —
+         containment without a restart. *)
+      (match Supervisor.chan sv with
+       | Some chan when not (Uchan.is_closed chan) ->
+         Uchan.inject_corrupt_batch_frames chan 1;
+         true
+       | Some _ | None -> false)
 
 (* Walk a plan in order, sleeping to each injection instant (relative to
    the fiber's start).  After injecting, wait for the supervisor to come
@@ -227,21 +245,24 @@ type traffic = {
   mutable tr_stop : bool;
 }
 
-let start_traffic w dev ~gap_ns =
+let start_traffic ?(burst = 1) w dev ~gap_ns =
   let tr = { tr_offered = 0; tr_sent = 0; tr_dropped = 0; tr_stop = false } in
   let sock = Netstack.udp_bind w.k.Kernel.net dev ~port:7000 in
   ignore
     (Process.spawn_fiber (Process.kernel_process w.k.Kernel.procs) ~name:"traffic" (fun () ->
          let payload = Bytes.make 128 'x' in
+         let send () =
+           tr.tr_offered <- tr.tr_offered + 1;
+           match
+             Netstack.udp_sendto w.k.Kernel.net sock ~dst:Skbuff.Mac.broadcast
+               ~dst_port:7000 payload
+           with
+           | `Sent -> tr.tr_sent <- tr.tr_sent + 1
+           | `Dropped -> tr.tr_dropped <- tr.tr_dropped + 1
+         in
          let rec loop () =
            if not tr.tr_stop then begin
-             tr.tr_offered <- tr.tr_offered + 1;
-             (match
-                Netstack.udp_sendto w.k.Kernel.net sock ~dst:Skbuff.Mac.broadcast
-                  ~dst_port:7000 payload
-              with
-              | `Sent -> tr.tr_sent <- tr.tr_sent + 1
-              | `Dropped -> tr.tr_dropped <- tr.tr_dropped + 1);
+             for _ = 1 to burst do send () done;
              ignore (Fiber.sleep w.eng gap_ns : Fiber.wake);
              loop ()
            end
@@ -275,6 +296,7 @@ type soak_report = {
   sr_wire_frames : int;
   sr_backlog : Netdev.backlog_stats;
   sr_max_outage_ns : int;
+  sr_malformed : int;
   sr_violations : string list;
 }
 
@@ -298,17 +320,34 @@ let soak ?(seed = 42L) ?(n_faults = 200) ?(duration_ms = 4_000) () =
       in
       let ctx = install_invariants w sv ~secret_addr in
       let max_outage = ref 0 in
+      (* um_malformed lives on the uchan, and every driver generation gets a
+         fresh uchan: fold the dying generation's count in at detection time
+         (its chan is still current), and the final generation's at the end. *)
+      let malformed = ref 0 in
+      let chan_malformed () =
+        match Supervisor.chan sv with
+        | Some c when not (Uchan.is_closed c) ->
+          let um = Uchan.metrics c in
+          Sud_obs.Metrics.get um.Uchan.um_malformed
+          + Sud_obs.Metrics.get um.Uchan.um_malformed_frames
+        | Some _ | None -> 0
+      in
       Supervisor.on_event sv (function
           | Supervisor.Driver_restarted { outage_ns; _ } ->
             if outage_ns > !max_outage then max_outage := outage_ns;
             if outage_ns > outage_bound_ns then
               violate ctx "recovery outage %d ms exceeds bound" (outage_ns / 1_000_000)
+          | Supervisor.Fault_detected _ -> malformed := !malformed + chan_malformed ()
           | _ -> ());
       let dev = Supervisor.netdev sv in
       (match Netstack.ifconfig_up w.k.Kernel.net dev with
        | Ok () -> ()
        | Error e -> failwith ("soak: ifconfig up: " ^ e));
-      let tr = start_traffic w dev ~gap_ns:200_000 in
+      (* Bursts of 4 at the same average rate as before: back-to-back sends
+         are what makes the driver's tx_free downcalls coalesce into
+         multi-frame batch slots, so Corrupt_batch injections have an
+         actual batch to garble. *)
+      let tr = start_traffic ~burst:4 w dev ~gap_ns:800_000 in
       let plan = random_plan ~seed ~duration_ns:(duration_ms * 1_000_000) ~n:n_faults () in
       let stats = run_plan w.k ~sv ~dma_violate:(dma_violate w) plan in
       (* Let the plan run out, then let the last recovery settle. *)
@@ -344,6 +383,14 @@ let soak ?(seed = 42L) ?(n_faults = 200) ?(duration_ms = 4_000) () =
           bl.Netdev.bl_offered bl.Netdev.bl_queued bl.Netdev.bl_dropped bl.Netdev.bl_replayed;
       if ctx.iv_deaths <> st.Supervisor.st_detections then
         violate ctx "detections %d but deaths %d" st.Supervisor.st_detections ctx.iv_deaths;
+      let malformed_total = !malformed + chan_malformed () in
+      let applied cls =
+        Option.value ~default:0 (Hashtbl.find_opt stats.inj_by_class cls)
+      in
+      if applied "corrupt_batch" + applied "corrupt_reply" > 0 && malformed_total = 0 then
+        violate ctx
+          "corruptions applied (%d batch, %d reply) but no slot was ever counted malformed"
+          (applied "corrupt_batch") (applied "corrupt_reply");
       { sr_seed = seed;
         sr_planned = n_faults;
         sr_applied = stats.inj_applied;
@@ -359,6 +406,7 @@ let soak ?(seed = 42L) ?(n_faults = 200) ?(duration_ms = 4_000) () =
         sr_wire_frames = !(w.wire);
         sr_backlog = bl;
         sr_max_outage_ns = !max_outage;
+        sr_malformed = malformed_total;
         sr_violations = List.rev ctx.iv_violations })
 
 (* ---- single-fault recovery latency, for the bench harness ---- *)

@@ -17,11 +17,21 @@
     - [Drop_reply] — the next upcall reply evaporates; the sender hits
       the hang deadline;
     - [Dma_violation] — device-level DMA to an unmapped address; the
-      IOMMU faults and attributes it to the device's BDF. *)
-type fault = Crash | Hang | Corrupt_reply | Drop_reply | Dma_violation
+      IOMMU faults and attributes it to the device's BDF;
+    - [Corrupt_batch] — one frame inside the driver's next multi-frame
+      downcall batch is garbled in place; the kernel worker drops exactly
+      that frame ([um_malformed_frames] ticks) and delivers its siblings.  The
+      only fault class that must {e not} escalate to a restart. *)
+type fault = Crash | Hang | Corrupt_reply | Drop_reply | Dma_violation | Corrupt_batch
 
 val all_faults : fault list
 val fault_name : fault -> string
+
+val lethal : fault -> bool
+(** Whether this class ends in a driver death and restart.  [false] only
+    for [Corrupt_batch], which is contained frame-by-frame — use it to
+    filter classes before {!measure_recovery}, which needs a recovery to
+    observe. *)
 
 (** {1 Plan DSL} *)
 
@@ -75,6 +85,10 @@ type soak_report = {
   sr_wire_frames : int;  (** frames observed on the medium *)
   sr_backlog : Netdev.backlog_stats;
   sr_max_outage_ns : int;  (** worst detection → traffic-restored latency *)
+  sr_malformed : int;
+      (** malformed uchan slots plus corrupt batch frames dropped, summed
+          across every driver generation (each generation has fresh
+          counters) *)
   sr_violations : string list;  (** invariant failures; must be [] *)
 }
 
@@ -82,14 +96,17 @@ val outage_bound_ns : int
 (** Any single recovery outage above this is reported as a violation. *)
 
 val soak : ?seed:int64 -> ?n_faults:int -> ?duration_ms:int -> unit -> soak_report
-(** Run a supervised honest E1000 with continuous UDP traffic while a
-    seeded plan (default 200 faults over 4 s of simulated time) fires
+(** Run a supervised honest E1000 with continuous UDP traffic (bursts of
+    4, so tx_free downcalls coalesce into multi-frame batch slots) while
+    a seeded plan (default 200 faults over 4 s of simulated time) fires
     every fault class at it.  At every driver death the harness asserts:
     the kernel secret page is untouched, the dead generation's grant is
     revoked, the device's IOMMU domain is detached, and no previously
     mapped iova still answers from the IOTLB.  At the end: supervisor
     [Running], backlog accounting exact
-    ([offered = queued + dropped + replayed]), every outage bounded. *)
+    ([offered = queued + dropped + replayed]), every outage bounded, and
+    — when any corruption was injected — at least one slot counted
+    malformed over the run. *)
 
 (** {1 Per-class recovery latency (bench)} *)
 

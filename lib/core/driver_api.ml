@@ -55,7 +55,9 @@ type pcidev = {
 type env = {
   env_jiffies : unit -> int;
   env_msleep : int -> unit;
+  env_usleep : int -> unit;
   env_udelay : int -> unit;
+  env_may_sleep : unit -> bool;
   env_printk : string -> unit;
   env_spawn : name:string -> (unit -> unit) -> unit;
   env_consume : int -> unit;

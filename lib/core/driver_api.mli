@@ -77,7 +77,13 @@ type pcidev = {
 type env = {
   env_jiffies : unit -> int;        (** milliseconds since boot *)
   env_msleep : int -> unit;         (** sleep (fiber) for ms *)
+  env_usleep : int -> unit;         (** sleep (fiber) for us — usleep_range *)
   env_udelay : int -> unit;         (** busy-wait: charges CPU for us *)
+  env_may_sleep : unit -> bool;
+      (** [in_atomic()] guard: false inside a native top half, always true
+          for a SUD driver — its handlers run in process context, the
+          paper's reason user-space drivers may block where in-kernel
+          interrupt handlers cannot *)
   env_printk : string -> unit;
   env_spawn : name:string -> (unit -> unit) -> unit;
       (** a kernel-thread-like worker in the driver's context *)

@@ -4,6 +4,8 @@ let env (k : Kernel.t) ~label =
   { Driver_api.env_jiffies = (fun () -> Engine.now k.Kernel.eng / 1_000_000);
     env_msleep =
       (fun ms -> ignore (Fiber.sleep k.Kernel.eng (ms * 1_000_000) : Fiber.wake));
+    env_usleep = (fun us -> ignore (Fiber.sleep k.Kernel.eng (us * 1_000) : Fiber.wake));
+    env_may_sleep = (fun () -> not (Preempt.in_atomic k.Kernel.preempt));
     env_udelay = (fun us -> Driver_api.charge cpu ~label (us * 1_000));
     env_printk = (fun s -> Klog.printk k.Kernel.klog Klog.Info "%s: %s" label s);
     env_spawn =

@@ -55,6 +55,20 @@ val unregister : t -> unit
 val rx_validation_failures : t -> int
 (** netif_rx downcalls whose address failed validation. *)
 
+val rx_checksum_failures : t -> int
+(** Frames the fused defensive-copy+checksum pass rejected (bad
+    transport checksum in the private copy) — dropped at the proxy,
+    never delivered to the stack. *)
+
+val rx_pool_counters : t -> int * int
+(** (hits, fresh): defensive-copy buffers served from the recycle pool
+    vs freshly allocated.  Under steady load hits dominate. *)
+
+val frames_per_poll : t -> Sud_obs.Metrics.histogram
+(** Log2 histogram of frames delivered per interrupt-ack on any queue —
+    the NAPI coalescing factor (1 = no coalescing; higher buckets mean
+    one upcall covered a batch of frames). *)
+
 val instance : t -> Proxy_class.instance
 (** This proxy behind the class-independent supervision surface. *)
 

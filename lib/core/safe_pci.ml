@@ -20,6 +20,7 @@ and vec_state = {
   mutable vs_awaiting_ack : bool;
   mutable vs_storms : int;
   mutable vs_quarantined : bool;
+  vs_delivered : Sud_obs.Metrics.counter;   (* per-queue IRQ upcalls forwarded *)
 }
 
 and grant = {
@@ -171,6 +172,9 @@ let vec_of g queue =
   g.g_vecs.(queue)
 
 let grant_storms g = Array.fold_left (fun acc vs -> acc + vs.vs_storms) 0 g.g_vecs
+
+let grant_irqs_delivered g =
+  Array.fold_left (fun acc vs -> acc + Sud_obs.Metrics.get vs.vs_delivered) 0 g.g_vecs
 let grant_vector_storms g ~queue = (vec_of g queue).vs_storms
 let vector_masked g ~queue = (vec_of g queue).vs_masked
 let vector_quarantined g ~queue = (vec_of g queue).vs_quarantined
@@ -373,6 +377,20 @@ let read_driver_mem g ~iova ~len =
   | Some phys -> Ok (Phys_mem.read g.g.k.Kernel.mem ~addr:phys ~len)
   | None -> Error (Printf.sprintf "address 0x%x+%d outside driver's DMA regions" iova len)
 
+(* Allocation-free variant for the fast RX path: the proxy recycles its
+   defensive-copy destination buffers, so the bytes land in a pooled
+   buffer instead of a fresh one per frame. *)
+let read_driver_mem_into g ~iova ~len ~dst ~dst_off =
+  check_alive g;
+  if len < 0 || dst_off < 0 || dst_off + len > Bytes.length dst then
+    Error "read_driver_mem_into: destination out of range"
+  else
+    match lookup_iova g ~iova ~len with
+    | Some phys ->
+      Phys_mem.blit_out g.g.k.Kernel.mem ~addr:phys ~dst ~dst_off ~len;
+      Ok ()
+    | None -> Error (Printf.sprintf "address 0x%x+%d outside driver's DMA regions" iova len)
+
 let write_driver_mem g ~iova data =
   check_alive g;
   match lookup_iova g ~iova ~len:(Bytes.length data) with
@@ -456,17 +474,25 @@ let handle_irq g ~queue ~source =
   ignore source;
   if g.g_alive && queue < Array.length g.g_vecs then begin
     let vs = g.g_vecs.(queue) in
-    if vs.vs_masked then escalate g vs
+    if vs.vs_masked then
+      (* The device itself cannot deliver through a masked vector
+         (MSI-X latches the PBA bit, legacy MSI is suppressed at the
+         capability) — an interrupt arriving here while masked means
+         something is writing the MSI window by raw DMA.  Escalate. *)
+      escalate g vs
     else begin
       let t = g.g in
-      if vs.vs_awaiting_ack then
-        (* Second interrupt before the driver finished the first: mask
-           until the ack, preserving the driver's forward progress. *)
-        mask_vector g ~queue;
+      (* NAPI-style coalescing: mask the vector for the duration of the
+         driver's poll.  Device-side raises in the window latch in the
+         MSI-X pending-bit array at zero CPU cost and are replayed by
+         [irq_ack], so under load one upcall covers a whole batch of
+         frames while an idle link still gets an immediate upcall. *)
+      mask_vector g ~queue;
       vs.vs_awaiting_ack <- true;
       (match g.g_sink with
        | Some sink ->
          t.n_fwd <- t.n_fwd + 1;
+         Sud_obs.Metrics.incr vs.vs_delivered;
          Cpu.account t.k.Kernel.cpu ~label:"kernel:sud" (model t).Cost_model.irq_upcall_ns;
          sink ~queue
        | None -> ())
@@ -498,7 +524,12 @@ let setup_irqs g ~n ~sink =
         Array.mapi
           (fun queue vs_vector ->
              { vs_queue = queue; vs_vector; vs_masked = false; vs_awaiting_ack = false;
-               vs_storms = 0; vs_quarantined = false })
+               vs_storms = 0; vs_quarantined = false;
+               vs_delivered =
+                 Sud_obs.Metrics.counter
+                   ~labels:
+                     [ "dev", Bus.string_of_bdf g.g_bdf; "queue", string_of_int queue ]
+                   ~subsystem:"safe_pci" ~name:"irqs_delivered" () })
           vectors;
       g.g_msix <- use_msix;
       g.g_sink <- Some sink;
@@ -513,7 +544,15 @@ let setup_irqs g ~n ~sink =
         Pci_cfg.msix_set_enabled cfg true
       end
       else
-        Pci_cfg.msi_configure cfg ~address:Bus.msi_window_base ~data:vectors.(0);
+        begin
+          Pci_cfg.msi_configure cfg ~address:Bus.msi_window_base ~data:vectors.(0);
+          (* The mask register survives function-level reset; a previous
+             generation dying mid-poll leaves its NAPI mask set, which
+             would silently swallow this generation's interrupts (legacy
+             MSI has no pending latch).  Start from a known-unmasked
+             state, as msi_capability_init does. *)
+          Pci_cfg.msi_set_mask cfg false
+        end;
       if Iommu.ir_available t.k.Kernel.iommu then
         Array.iter
           (fun vector -> Iommu.ir_allow t.k.Kernel.iommu ~source:g.g_bdf ~vector)
@@ -536,8 +575,20 @@ let teardown_irqs g =
 
 let irq_ack ?(queue = 0) g =
   if g.g_alive && queue < Array.length g.g_vecs then begin
-    (vec_of g queue).vs_awaiting_ack <- false;
-    unmask_vector g ~queue
+    let vs = vec_of g queue in
+    vs.vs_awaiting_ack <- false;
+    (* Interrupts the device raised during the poll window latched in
+       the MSI-X pending-bit array; unmasking clears that bit with no
+       re-delivery, so read it first and replay after the unmask.  A
+       quarantined vector stays silent.  Legacy MSI has no pending
+       latch — the driver's post-ack re-poll covers that edge. *)
+    let replay =
+      g.g_msix && vs.vs_masked && not vs.vs_quarantined
+      && Pci_cfg.msix_pending (Device.cfg g.g_dev) ~vector:queue
+    in
+    unmask_vector g ~queue;
+    if replay then
+      ignore (Device.raise_msix g.g_dev ~vector:queue : (unit, Bus.fault) result)
   end
 
 (* ---- deprecated scalar shims (the single-vector instances) ---- *)

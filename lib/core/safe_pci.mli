@@ -17,12 +17,15 @@
       mapped into the device's IOMMU domain at driver-visible IO virtual
       addresses (allocated upward from 0x42430000, as in Figure 9);
     - {b Interrupts}: the kernel owns the MSI capability.  Interrupts are
-      forwarded to a sink (the proxy's upcall path); a second interrupt
-      before the driver acks masks the vector, and interrupts that keep
-      arriving while masked (DMA writes to the MSI window) escalate to
-      interrupt remapping (Intel) or unmapping the MSI window (AMD) — or
-      are logged as a livelock vulnerability on the paper's testbed
-      configuration. *)
+      forwarded to a sink (the proxy's upcall path) and the vector is
+      masked for the duration of the driver's poll, NAPI-style: device
+      raises in the window latch in the MSI-X pending-bit array and are
+      replayed when the driver acks, so under load one upcall covers a
+      batch of frames.  Interrupts arriving {e while masked} cannot come
+      from the device (it latches instead) — they are DMA writes to the
+      MSI window, and escalate to interrupt remapping (Intel) or
+      unmapping the MSI window (AMD) — or are logged as a livelock
+      vulnerability on the paper's testbed configuration. *)
 
 type t
 type grant
@@ -56,6 +59,13 @@ val grant_storms : grant -> int
     being driven maliciously. *)
 
 val grant_num_vectors : grant -> int
+
+val grant_irqs_delivered : grant -> int
+(** Interrupt upcalls actually forwarded to the driver across this
+    grant's vectors (masked-window arrivals latch instead).  Divided by
+    frames received it gives the NAPI coalescing ratio the batch bench
+    gates on. *)
+
 val grant_vector_storms : grant -> queue:int -> int
 val vector_masked : grant -> queue:int -> bool
 
@@ -91,6 +101,11 @@ val read_driver_mem : grant -> iova:int -> len:int -> (bytes, string) result
     mappings — how the proxy pulls packet data out of shared memory
     without trusting the address the driver sent. *)
 
+val read_driver_mem_into :
+  grant -> iova:int -> len:int -> dst:bytes -> dst_off:int -> (unit, string) result
+(** Like {!read_driver_mem} but copying into a caller-supplied (pooled)
+    buffer, so the per-frame defensive copy allocates nothing. *)
+
 val write_driver_mem : grant -> iova:int -> bytes -> (unit, string) result
 
 val setup_irqs : grant -> n:int -> sink:(queue:int -> unit) -> (unit, string) result
@@ -104,8 +119,11 @@ val setup_irqs : grant -> n:int -> sink:(queue:int -> unit) -> (unit, string) re
 val teardown_irqs : grant -> unit
 
 val irq_ack : ?queue:int -> grant -> unit
-(** The driver finished processing queue [queue] (default 0); unmask
-    that vector if we masked it.  Quarantined vectors stay silenced. *)
+(** The driver finished its poll of queue [queue] (default 0): unmask
+    the vector and replay any interrupt that latched in the MSI-X
+    pending-bit array during the poll window (unmasking clears the PBA
+    bit with no re-delivery, so the replay is explicit).  Quarantined
+    vectors stay silenced. *)
 
 val mask_vector : grant -> queue:int -> unit
 val unmask_vector : grant -> queue:int -> unit

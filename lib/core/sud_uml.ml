@@ -49,6 +49,10 @@ let uq t q = if q >= 0 && q < Uchan.num_queues t.chan then q else 0
 let env t =
   { Driver_api.env_jiffies = (fun () -> Engine.now t.k.Kernel.eng / 1_000_000);
     env_msleep = (fun ms -> ignore (Fiber.sleep t.k.Kernel.eng (ms * 1_000_000) : Fiber.wake));
+    env_usleep = (fun us -> ignore (Fiber.sleep t.k.Kernel.eng (us * 1_000) : Fiber.wake));
+    (* Everything in a SUD driver — interrupt upcalls included — runs in
+       the driver process's schedulable context (paper §3.2). *)
+    env_may_sleep = (fun () -> true);
     env_printk =
       (fun s ->
          Uchan.transfer t.chan ~from:`Driver Uchan.Batched
@@ -98,11 +102,17 @@ let pcidev t =
 
 (* ---- the net-driver glue: upcall dispatch + downcall callbacks ---- *)
 
-(* Per-packet SUD-UML bookkeeping (socket-buffer construction, address
-   arithmetic, batching).  Large packets amortize the fixed costs over
-   batched deliveries (paper 5.1: TCP_STREAM batches "many large packets
-   to the kernel in one downcall"), so they charge less per packet. *)
-let uml_packet_cost len = if len >= 256 then 500 else 1_400
+(* Per-packet SUD-UML bookkeeping.  The RX fast path hands the proxy an
+   (address, length) pair — descriptor decode and address arithmetic,
+   a few hundred ns — and small packets pay a premium for the per-packet
+   fraction of ring housekeeping that large packets amortize (paper 5.1:
+   TCP_STREAM batches "many large packets to the kernel in one
+   downcall").  The rest of the old per-packet figure was message
+   construction and notification for the boundary crossing, and that no
+   longer belongs here: the uchan charges marshalling and doorbell per
+   *batch slot*, so frame aggregation amortizes it across the frames
+   sharing a slot instead of paying it once per packet. *)
+let uml_packet_cost len = if len >= 256 then 250 else 450
 
 type net_state = {
   inst : Driver_api.net_instance;

@@ -97,8 +97,10 @@ let clean_tx st q =
   done;
   if !cleaned then st.cb.Driver_api.nc_tx_done ~queue:q.qi
 
+let napi_budget = 64
+
 let rx_poll st q =
-  let budget = ref 64 in
+  let budget = ref napi_budget in
   let progress = ref true in
   let last = ref (-1) in
   while !progress && !budget > 0 do
@@ -116,26 +118,62 @@ let rx_poll st q =
     else progress := false
   done;
   (* Hand the recycled descriptors back in one tail write per batch. *)
-  if !last >= 0 then w32 st (qr q R.rdt) !last
+  if !last >= 0 then w32 st (qr q R.rdt) !last;
+  napi_budget - !budget
+
+let rx_work_pending q = rx_desc_status q q.rx_next land R.rxd_sta_dd <> 0
+let tx_work_pending q = q.tx_clean <> q.tx_tail && tx_desc_done q q.tx_clean
+
+(* Interrupt moderation: a round that drains a real burst yet comes up
+   short of budget means frames arrive slower than we can poll.  Real
+   e1000 hardware rate-limits interrupt delivery with the ITR register;
+   the NAPI-mode equivalent is to stay in poll mode (vector still
+   masked) and sleep briefly before draining again — the RX ring
+   absorbs the hold-off.  This also lets uchan frame aggregation fill
+   toward its batch limit instead of flushing a few frames per ack.
+   Rounds below [itr_burst_frames] look like request/response traffic,
+   where the hold-off would be pure added latency, so we ack at once.
+   Only a schedulable poll context may hold off: a SUD driver always is
+   (its upcalls run in process context), a native top half never. *)
+let itr_holdoff_us = 64
+let itr_burst_frames = 4
+
+(* The NAPI bottom half: the vector is masked for the whole poll (the
+   kernel masked it before forwarding), so we drain in budget-sized
+   rounds and only ack — unmasking the vector — once a round comes up
+   short.  Events arriving mid-poll raise no interrupt: MSI-X latches
+   them in the pending-bit array and the ack replays them, but legacy
+   MSI has no latch, so after acking we re-check the rings ourselves
+   and go around again if anything slipped into the window. *)
+let napi_poll st q =
+  let rec rounds () =
+    clean_tx st q;
+    let n = rx_poll st q in
+    if n >= napi_budget then rounds ()
+    else if n >= itr_burst_frames && st.env.Driver_api.env_may_sleep () then begin
+      st.env.Driver_api.env_usleep itr_holdoff_us;
+      rounds ()
+    end
+    else begin
+      st.pdev.Driver_api.pd_irq_ack ~queue:q.qi ();
+      if rx_work_pending q || tx_work_pending q then rounds ()
+    end
+  in
+  rounds ()
 
 (* In MSI-X mode each queue signals its own vector, so vector [q] means
    "queue [q] has work" — no ICR demux, exactly the igb/e1000e MSI-X
    top half.  In legacy MSI mode the single vector demuxes via ICR. *)
 let irq_handler st ~queue =
   st.irq_seen <- true;
-  if st.msix then begin
-    let q = st.qs.(if queue >= 0 && queue < Array.length st.qs then queue else 0) in
-    clean_tx st q;
-    rx_poll st q;
-    st.pdev.Driver_api.pd_irq_ack ~queue:q.qi ()
-  end
+  if st.msix then
+    napi_poll st st.qs.(if queue >= 0 && queue < Array.length st.qs then queue else 0)
   else begin
     let icr = r32 st R.icr in
-    if icr land R.int_txdw <> 0 then clean_tx st st.qs.(0);
-    if icr land R.int_rxt0 <> 0 then rx_poll st st.qs.(0);
     if icr land R.int_lsc <> 0 then
       st.cb.Driver_api.nc_carrier (r32 st R.status land R.status_lu <> 0);
-    st.pdev.Driver_api.pd_irq_ack ~queue:0 ()
+    ignore (icr : int);
+    napi_poll st st.qs.(0)
   end
 
 (* ---- net_instance callbacks ---- *)

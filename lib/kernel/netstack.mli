@@ -57,6 +57,14 @@ val firewall_drops : t -> int
 val backlog_drops : t -> int
 val csum_drops : t -> int
 
+val frame_checksum_ok : bytes -> bool
+(** Transport checksum verification as a pure function over frame bytes.
+    The SUD proxy runs this over its private defensive copy (the fused
+    copy+checksum pass, paper §3.1.2) and sets [csum_verified], so the
+    verdict is TOCTOU-safe and the stack does not checksum twice.  Frames
+    too short for a checksummed transport header pass here — the
+    per-protocol length checks at delivery reject them. *)
+
 (** {1 UDP} *)
 
 type udp_socket

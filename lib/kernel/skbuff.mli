@@ -15,6 +15,10 @@ type t = {
       (** models data living in driver-shared memory: the stack re-reads
           through this at delivery time, after the firewall verdict.  A
           proxy doing the defensive copy leaves it [None]. *)
+  mutable recycle : (unit -> unit) option;
+      (** owner's end-of-life hook: the stack calls {!recycle} once the
+          skb is fully processed (delivered or dropped), letting a proxy
+          return the pooled defensive-copy buffer to its free list. *)
 }
 
 val of_bytes : bytes -> t
@@ -25,10 +29,30 @@ val copy : t -> t
 
 val length : t -> int
 
+val recycle : t -> unit
+(** Run and clear the [recycle] hook (at most once; no-op when unset).
+    Called by the stack when the skb's bytes are dead: after
+    [process_frame] returns, or when the frame is dropped before
+    reaching it. *)
+
 val checksum : bytes -> int
 (** 16-bit internet checksum over the whole buffer. *)
 
 val checksum_sub : bytes -> off:int -> len:int -> int
+(** Byte-pair reference implementation — the oracle the property tests
+    compare the fast paths against. *)
+
+val checksum_sub_words : bytes -> off:int -> len:int -> int
+(** Word-at-a-time fold, bit-identical to {!checksum_sub} (RFC 1071
+    §2(B): the ones'-complement sum is byte-order independent, so it
+    accumulates little-endian 16-bit loads and swaps once at the end). *)
+
+val copy_and_checksum : src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> int
+(** Fused defensive-copy + checksum (paper §3.1.2): blit [len] bytes of
+    the untrusted [src] into the private [dst], then fold the internet
+    checksum over the {e copy} and return it.  The verdict is computed
+    on the copied bytes, so a driver mutating [src] afterwards (TOCTOU)
+    can change neither the delivered bytes nor the verdict. *)
 
 module Mac : sig
   val broadcast : bytes

@@ -37,15 +37,19 @@ val make_rig :
   ?defensive_copy:bool ->
   ?iommu_mode:Iommu.mode ->
   ?queues:int ->
+  ?peer_queues:int ->
   ?dut_cores:int ->
   ?peer_cores:int ->
+  ?rate_bps:int ->
   mode ->
   rig
 (** Boots both machines, attaches NICs to a shared gigabit medium, brings
     both interfaces up.  Runs the engine internally until setup completes;
     call the benchmarks on the returned rig from outside any fiber.
     [queues] (default 1) sizes the DUT NIC's MSI-X table and hence the
-    whole multiqueue datapath. *)
+    whole multiqueue datapath; [peer_queues] (default 1) likewise for the
+    peer — raise it when the offered load must exceed what a single
+    HARD_TX_LOCK'd transmit queue can push (~1.6 Mpps). *)
 
 val tcp_stream : ?rig:rig -> mode -> result
 (** Bulk stream from peer to DUT (receive throughput), Mbit/s. *)
@@ -78,6 +82,38 @@ val udp_multi_rx : queues:int -> mq_point
 
 val mq_sweep : ?queue_counts:int list -> unit -> mq_point list
 (** [udp_multi_rx] at each queue count (default 1/2/4/8). *)
+
+(** {1 Batch sweep (netperf_batch)} *)
+
+type batch_point = {
+  bp_queues : int;
+  bp_batch : int;           (** uchan batch limit applied to the DUT *)
+  bp_kpps : float;          (** aggregate Kpackets/s across all flows *)
+  bp_cpu_pct : float;
+  bp_samples : int;
+  bp_frames : int;          (** datagrams delivered over the whole run *)
+  bp_irqs : int;            (** interrupt upcalls forwarded over the run *)
+  bp_cpu_ns_per_frame : float;
+      (** DUT CPU busy-ns per delivered datagram over the whole run
+          (boot and warmup included — noise at these frame counts).
+          The per-frame-cost number the batched datapath exists to
+          shrink. *)
+}
+
+val batch_rate_bps : int
+(** Link speed of the batch sweep (10 Gb/s): at 1 Gb/s the 64-byte flood
+    is line-rate-bound at ~1.126 Mpps — BENCH_4's 4q/8q plateau — so the
+    per-frame CPU costs the batched datapath removes would be invisible. *)
+
+val udp_batch_rx : queues:int -> batch:int -> batch_point
+(** [udp_multi_rx] on a {!batch_rate_bps} medium with the DUT uchan's
+    frame-aggregation threshold set to [batch] (1 reproduces the
+    per-frame wire traffic), additionally counting IRQ upcalls so
+    [bp_irqs / bp_frames] gives the NAPI coalescing ratio. *)
+
+val batch_sweep : ?points:(int * int) list -> unit -> batch_point list
+(** [udp_batch_rx] at each (queues, batch) point
+    (default (1,1)/(1,32)/(8,1)/(8,32)). *)
 
 type row = { test : string; driver : string; value : string; cpu : string }
 

@@ -17,9 +17,11 @@ type t = {
   msi_mask_ns : int;
   irte_update_ns : int;
   skb_alloc_ns : int;
+  softirq_entry_ns : int;
   netstack_rx_ns : int;
   netstack_tx_ns : int;
   driver_work_ns : int;
+  fused_epsilon_ns : int;
 }
 
 let default =
@@ -41,12 +43,21 @@ let default =
     msi_mask_ns = 600;
     irte_update_ns = 1_800;
     skb_alloc_ns = 300;
-    netstack_rx_ns = 1_800;
+    softirq_entry_ns = 1_000;
+    netstack_rx_ns = 800;
     netstack_tx_ns = 1_200;
-    driver_work_ns = 350 }
+    driver_work_ns = 350;
+    fused_epsilon_ns = 40 }
 
 let scaled per_kb bytes =
   if bytes <= 0 then 0 else max 1 ((bytes * per_kb) / 1024)
 
 let copy_cost t ~bytes = scaled t.copy_ns_per_kb bytes
 let checksum_cost t ~bytes = scaled t.checksum_ns_per_kb bytes
+
+(* The fused defensive-copy + checksum pass touches the bytes once: the
+   stores of the copy and the adds of the checksum overlap in the same
+   sweep, so it costs the slower of the two passes plus a small fixed
+   epsilon, not their sum. *)
+let fused_copy_checksum_cost t ~bytes =
+  max (copy_cost t ~bytes) (checksum_cost t ~bytes) + t.fused_epsilon_ns

@@ -25,9 +25,11 @@ type t = {
   msi_mask_ns : int;          (** toggling the MSI mask bit via PCI config *)
   irte_update_ns : int;       (** rewriting an interrupt-remapping entry *)
   skb_alloc_ns : int;         (** allocating an sk_buff *)
+  softirq_entry_ns : int;     (** entering softirq context, paid once per burst *)
   netstack_rx_ns : int;       (** per-packet protocol receive processing *)
   netstack_tx_ns : int;       (** per-packet protocol transmit processing *)
   driver_work_ns : int;       (** per-packet device-driver bookkeeping *)
+  fused_epsilon_ns : int;     (** fixed overhead of the fused copy+checksum sweep *)
 }
 
 val default : t
@@ -36,3 +38,9 @@ val copy_cost : t -> bytes:int -> int
 (** CPU cost of copying [bytes]; at least 1 ns for a non-empty copy. *)
 
 val checksum_cost : t -> bytes:int -> int
+
+val fused_copy_checksum_cost : t -> bytes:int -> int
+(** CPU cost of the single-pass defensive-copy + checksum sweep:
+    [max (copy, checksum) + fused_epsilon_ns].  The two passes touch the
+    same bytes, so fusing them costs the slower pass plus a fixed
+    epsilon rather than their sum. *)

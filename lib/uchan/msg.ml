@@ -62,3 +62,89 @@ let unmarshal b =
   if Bytes.length b <> slot_size then Error "bad slot size" else unmarshal_view b
 
 let arg t i = if i >= 0 && i < Array.length t.args then t.args.(i) else 0
+
+(* ---- scatter-gather batch slots ----
+
+   N small same-kind messages packed into one ring slot, so a burst of
+   per-frame downcalls (netif_rx, tx_free, ...) pays one marshal + one
+   message charge instead of N.  A batch slot is distinguished from a
+   scalar slot by a magic byte in the nargs position (offset 10): the
+   magic is far above [max_args], so the scalar unmarshaller can never
+   confuse one for the other, and [Msg.make] can never produce it.
+
+   Layout: kind(2,u16le)@0 count(1)@2 zeros@3..9 magic(1)@10 zero@11,
+   then [count] 8-byte entries: a0(4,u32le) a1(2,u16le) chk(2,u16le).
+   The per-entry checksum lets the kernel drop exactly the entries a
+   malicious driver garbled while still delivering their siblings. *)
+module Batch = struct
+  let magic = 0xB7
+  let entry_size = 8
+  let hdr_size = 12
+  let max_frames = (slot_size - hdr_size) / entry_size
+
+  (* Not a plain XOR fold: an all-0xFF (or all-zero) garbled entry must
+     fail the check, so mix in an asymmetric constant. *)
+  let chk a0 a1 = (a0 + a1 + 0xA5) land 0xFFFF
+
+  (* A message is batchable when it is asynchronous, carries no payload
+     or shared buffer, and its (at most two) arguments fit the compact
+     u32/u16 entry encoding. *)
+  let fits m =
+    m.seq = 0 && m.buf = -1
+    && Bytes.length m.payload = 0
+    && Array.length m.args <= 2
+    && m.kind >= 0 && m.kind < 0x8000
+    && (let a0 = arg m 0 and a1 = arg m 1 in
+        a0 >= 0 && a0 <= 0xFFFF_FFFF && a1 >= 0 && a1 <= 0xFFFF)
+
+  let is_batch b = Bytes.length b >= slot_size && Char.code (Bytes.get b 10) = magic
+
+  let marshal_into ~kind entries b =
+    let n = Array.length entries in
+    if n = 0 || n > max_frames then invalid_arg "Msg.Batch.marshal_into: bad frame count";
+    if Bytes.length b < slot_size then invalid_arg "Msg.Batch.marshal_into: slot too small";
+    Bytes.set_uint16_le b 0 (kind land 0xFFFF);
+    Bytes.set b 2 (Char.chr n);
+    Bytes.fill b 3 7 '\000';
+    Bytes.set b 10 (Char.chr magic);
+    Bytes.set b 11 '\000';
+    Array.iteri
+      (fun i (a0, a1) ->
+         if a0 < 0 || a0 > 0xFFFF_FFFF || a1 < 0 || a1 > 0xFFFF then
+           invalid_arg "Msg.Batch.marshal_into: entry out of range";
+         let off = hdr_size + (entry_size * i) in
+         Bytes.set_int32_le b off (Int32.of_int a0);
+         Bytes.set_uint16_le b (off + 4) a1;
+         Bytes.set_uint16_le b (off + 6) (chk a0 a1))
+      entries
+
+  (* Garble entry [i] in a marshalled batch slot (fault injection): the
+     per-entry checksum no longer matches, so the kernel-side decode
+     rejects exactly this frame. *)
+  let corrupt_entry b i =
+    let off = hdr_size + (entry_size * i) in
+    if off + entry_size <= Bytes.length b then Bytes.fill b off entry_size '\xff'
+
+  (* Defensive decode of a borrowed batch slot.  The count byte and each
+     entry checksum come from the untrusted driver: a wild count is a
+     malformed slot, a bad entry checksum drops just that entry. *)
+  let unmarshal_view b =
+    if Bytes.length b < slot_size then Error "bad slot size"
+    else if Char.code (Bytes.get b 10) <> magic then Error "not a batch slot"
+    else begin
+      let n = Char.code (Bytes.get b 2) in
+      if n = 0 || n > max_frames then Error "bad batch count"
+      else begin
+        let kind = Bytes.get_uint16_le b 0 in
+        let entries =
+          List.init n (fun i ->
+              let off = hdr_size + (entry_size * i) in
+              let a0 = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF in
+              let a1 = Bytes.get_uint16_le b (off + 4) in
+              let stored = Bytes.get_uint16_le b (off + 6) in
+              if stored = chk a0 a1 then Ok (a0, a1) else Error "bad entry checksum")
+        in
+        Ok (kind, entries)
+      end
+    end
+end

@@ -44,3 +44,40 @@ val unmarshal_view : bytes -> (t, string) result
 
 val arg : t -> int -> int
 (** [arg t i] with a 0 default for missing arguments. *)
+
+(** Scatter-gather batch slots: N small same-kind asynchronous messages
+    packed into one ring slot, so a burst of per-frame downcalls pays
+    one marshal and one message charge instead of N.  Batch slots are
+    distinguished from scalar slots by a magic byte in the nargs
+    position, which the scalar unmarshaller always rejects.  Each
+    compact entry carries two arguments (u32/u16) and a per-entry
+    checksum so the kernel can drop exactly the entries a malicious
+    driver garbled while still delivering their siblings. *)
+module Batch : sig
+  val max_frames : int
+  (** Frames per slot with the 8-byte entry encoding (14 for 128-byte
+      slots). *)
+
+  val fits : t -> bool
+  (** A message is batchable when it is asynchronous ([seq = 0]),
+      carries no payload or shared buffer, and its (at most two)
+      arguments fit the u32/u16 entry encoding. *)
+
+  val is_batch : bytes -> bool
+  (** Cheap discriminator for a borrowed ring slot. *)
+
+  val marshal_into : kind:int -> (int * int) array -> bytes -> unit
+  (** [marshal_into ~kind entries slot] packs [entries] (each an
+      [(a0, a1)] argument pair) into [slot].  Raises [Invalid_argument]
+      on an empty or oversized batch or an out-of-range argument. *)
+
+  val corrupt_entry : bytes -> int -> unit
+  (** Fault injection: garble entry [i] of a marshalled batch slot so
+      its checksum no longer verifies. *)
+
+  val unmarshal_view : bytes -> (int * (int * int, string) result list, string) result
+  (** Defensive decode of a borrowed slot: returns the shared kind and
+      one result per entry — [Error] for entries whose checksum fails
+      (the siblings still decode).  The slot-level [Error] cases are a
+      non-batch slot or a wild count byte. *)
+end

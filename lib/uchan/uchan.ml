@@ -2,7 +2,7 @@ type error = Hung | Interrupted | Closed
 
 let hang_timeout_ns = 50_000_000      (* 50 ms before a sync upcall is declared hung *)
 let full_grace_ns = 2_000_000         (* grace period on a full async ring *)
-let batch_limit = 64
+let default_batch_limit = 64
 let max_queues = 16
 
 (* Replies travel on the same rings as requests, distinguished by a high
@@ -17,6 +17,7 @@ type metrics = {
   um_notify : Sud_obs.Metrics.counter;
   um_dropped : Sud_obs.Metrics.counter;
   um_malformed : Sud_obs.Metrics.counter;
+  um_malformed_frames : Sud_obs.Metrics.counter;
   um_rpc_ns : Sud_obs.Metrics.histogram;   (* sync RPC round-trip, ns *)
 }
 
@@ -55,6 +56,12 @@ type t = {
   mutable wedged : bool;
   mutable corrupt_next : int;
   mutable drop_next : int;
+  mutable corrupt_batch_next : int;
+  (* Driver-side batch accumulation threshold: how many async downcalls
+     pile up on a queue before the batch ships without waiting for the
+     driver's next kernel entry.  1 disables aggregation (every send
+     flushes immediately — the pre-batching behaviour). *)
+  mutable batch_limit : int;
 }
 
 let model t = Cpu.cost_model t.k.Kernel.cpu
@@ -160,17 +167,56 @@ let dispatch_u2k t q decoded =
         end
     end
 
+(* A u2k slot is either one scalar message or a scatter-gather batch of
+   same-kind async downcalls (discriminated by a magic byte the scalar
+   format can never produce).  Decoded inside [Ring.pop_inplace] while
+   the slot is still borrowed. *)
+type u2k_slot =
+  | U2k_scalar of (Msg.t, string) result
+  | U2k_batch of (int * (int * int, string) result list, string) result
+
+let read_u2k_slot slot =
+  if Msg.Batch.is_batch slot then U2k_batch (Msg.Batch.unmarshal_view slot)
+  else U2k_scalar (Msg.unmarshal_view slot)
+
+(* Unpack a batch slot and dispatch each surviving entry as if it had
+   arrived as a scalar async downcall.  Entries whose per-entry checksum
+   fails are exactly the frames a malicious driver garbled: they count
+   as malformed and are dropped, their siblings still deliver. *)
+let dispatch_u2k_batch t q decoded =
+  match decoded with
+  | Error e ->
+    Sud_obs.Metrics.incr t.um.um_malformed;
+    Klog.printk t.k.Kernel.klog Klog.Warn "uchan(%s): malformed batch from driver: %s"
+      t.label e
+  | Ok (kind, entries) ->
+    List.iter
+      (fun entry ->
+         match entry with
+         | Error e ->
+           (* A single garbled entry is frame-level noise, not the
+              slot-level protocol violation [um_malformed] records: it
+              gets its own counter so supervision policy can kill on the
+              former while merely counting the latter. *)
+           Sud_obs.Metrics.incr t.um.um_malformed_frames;
+           Klog.printk t.k.Kernel.klog Klog.Warn
+             "uchan(%s): dropping corrupt frame in batch: %s" t.label e
+         | Ok (a0, a1) -> dispatch_u2k t q (Ok (Msg.make ~kind ~args:[ a0; a1 ] ())))
+      entries
+
 let worker_loop t q () =
   let rec loop () =
     if not t.closed then begin
-      match Ring.pop_inplace q.u2k Msg.unmarshal_view with
+      match Ring.pop_inplace q.u2k read_u2k_slot with
       | Some decoded ->
         msg_cost t;
         if Sud_obs.Trace.on () then
           ignore
             (Sud_obs.Trace.emit ~cat:"uchan" ~name:"pop"
                ~attrs:[ "chan", t.label; "dir", "u2k"; "queue", string_of_int q.qi ] ());
-        dispatch_u2k t q decoded;
+        (match decoded with
+         | U2k_scalar d -> dispatch_u2k t q d
+         | U2k_batch d -> dispatch_u2k_batch t q d);
         loop ()
       | None ->
         let since = Engine.now t.k.Kernel.eng in
@@ -220,10 +266,13 @@ let create k ?(slots = 256) ?hang_timeout_ns:(hto = hang_timeout_ns) ?(queues = 
            um_notify = c "notifications";
            um_dropped = c "dropped";
            um_malformed = c "malformed";
+           um_malformed_frames = c "malformed_frames";
            um_rpc_ns = Sud_obs.Metrics.histogram ~labels ~subsystem:"uchan" ~name:"rpc_ns" () });
       wedged = false;
       corrupt_next = 0;
-      drop_next = 0 }
+      drop_next = 0;
+      corrupt_batch_next = 0;
+      batch_limit = default_batch_limit }
   in
   Array.iter
     (fun q ->
@@ -404,22 +453,89 @@ let push_u2k_raw t q m ~is_reply =
   end
   else false
 
+(* Push one marshalled batch slot carrying [ms] (send order, all the
+   same kind, each satisfying [Msg.Batch.fits]).  One message charge
+   covers the whole slot — this is where batching amortizes the
+   per-frame boundary cost. *)
+let push_u2k_batch t q ~kind ms =
+  msg_cost t;
+  let entries = Array.of_list (List.map (fun m -> (Msg.arg m 0, Msg.arg m 1)) ms) in
+  let n = Array.length entries in
+  let corrupt =
+    if t.corrupt_batch_next > 0 then begin
+      t.corrupt_batch_next <- t.corrupt_batch_next - 1;
+      true
+    end
+    else false
+  in
+  if
+    Ring.push_inplace q.u2k (fun slot ->
+        Msg.Batch.marshal_into ~kind entries slot;
+        (* Injected fault: garble the last frame of the batch after
+           marshalling, as a driver scribbling on the shared ring would. *)
+        if corrupt then Msg.Batch.corrupt_entry slot (n - 1))
+  then begin
+    Sud_obs.Metrics.add t.um.um_down n;
+    Sud_obs.Metrics.add q.q_down n;
+    if Sud_obs.Trace.on () then
+      ignore
+        (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"uchan"
+           ~name:"push.batch"
+           ~attrs:
+             [ "chan", t.label; "dir", "u2k"; "queue", string_of_int q.qi;
+               "frames", string_of_int n ] ());
+    true
+  end
+  else false
+
 let flush_queue t q =
   match q.batch with
   | [] -> ()
   | batch ->
     q.batch <- [];
     q.batch_len <- 0;
-    List.iter
-      (fun m ->
-         if not (push_u2k_raw t q m ~is_reply:false) then begin
-           (* The kernel worker is live (it is trusted); a full u2k ring
-              just means we outran it — drop oldest-first like a NIC, but
-              count the loss so it shows up next to the send counters. *)
-           Sud_obs.Metrics.incr t.um.um_dropped;
-           Sud_obs.Metrics.incr q.q_dropped
-         end)
-      (List.rev batch);
+    let drop n =
+      (* The kernel worker is live (it is trusted); a full u2k ring
+         just means we outran it — drop oldest-first like a NIC, but
+         count the loss so it shows up next to the send counters. *)
+      Sud_obs.Metrics.add t.um.um_dropped n;
+      Sud_obs.Metrics.add q.q_dropped n
+    in
+    let send_scalar m =
+      if not (push_u2k_raw t q m ~is_reply:false) then drop 1
+    in
+    (* Ship an accumulated run.  Singletons go out as scalar slots (no
+       batch framing overhead, and batch_limit = 1 exactly reproduces
+       the pre-batching wire traffic). *)
+    let ship_run run_rev nrun =
+      match run_rev with
+      | [] -> ()
+      | [ m ] -> send_scalar m
+      | _ ->
+        let run = List.rev run_rev in
+        let kind = (List.hd run).Msg.kind in
+        if not (push_u2k_batch t q ~kind run) then drop nrun
+    in
+    (* Coalesce consecutive same-kind batchable messages into batch
+       slots (one marshal + one message charge per slot); anything else
+       goes out as a scalar slot.  Send order is preserved throughout. *)
+    let rec go run_rev nrun ms =
+      match ms with
+      | [] -> ship_run run_rev nrun
+      | m :: rest when Msg.Batch.fits m ->
+        (match run_rev with
+         | p :: _ when p.Msg.kind = m.Msg.kind && nrun < Msg.Batch.max_frames ->
+           go (m :: run_rev) (nrun + 1) rest
+         | [] -> go [ m ] 1 rest
+         | _ ->
+           ship_run run_rev nrun;
+           go [ m ] 1 rest)
+      | m :: rest ->
+        ship_run run_rev nrun;
+        send_scalar m;
+        go [] 0 rest
+    in
+    go [] 0 (List.rev batch);
     kick t q.worker_waitq
 
 let flush ?queue t =
@@ -434,7 +550,7 @@ let dsend_batched t q m =
     (* Batching waits for the driver's next entry into the kernel — but a
        main loop already parked inside sud_wait counts as being there, so
        ship the batch now rather than stranding it. *)
-    if q.batch_len >= batch_limit || Sync.Waitq.waiters q.u_waitq > 0 then flush_queue t q
+    if q.batch_len >= t.batch_limit || Sync.Waitq.waiters q.u_waitq > 0 then flush_queue t q
   end
 
 let reply ?(queue = 0) t m =
@@ -645,3 +761,9 @@ let unwedge t =
 let is_wedged t = t.wedged
 let inject_corrupt_replies t n = t.corrupt_next <- t.corrupt_next + n
 let inject_drop_replies t n = t.drop_next <- t.drop_next + n
+let inject_corrupt_batch_frames t n = t.corrupt_batch_next <- t.corrupt_batch_next + n
+
+(* ---- batch tuning ---- *)
+
+let set_batch_limit t n = t.batch_limit <- max 1 n
+let batch_limit t = t.batch_limit

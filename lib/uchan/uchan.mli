@@ -58,9 +58,13 @@ val max_queues : int
     - [Async]: enqueue without waiting for a reply; if the ring stays
       full past a short grace period the peer is presumed hung.
     - [Batched]: driver side, sit in the queue's local batch until the
-      driver next enters the kernel on that queue, so a burst costs one
-      notification.  On the kernel side (which pays no syscall per
-      kick) this degrades to fire-and-forget that counts drops.
+      driver next enters the kernel on that queue (or {!batch_limit}
+      messages pile up), so a burst costs one notification.  At flush,
+      consecutive same-kind batchable messages ({!Msg.Batch.fits}) are
+      coalesced into scatter-gather batch slots — one marshal and one
+      per-message charge per slot of up to {!Msg.Batch.max_frames}
+      frames, not per frame.  On the kernel side (which pays no syscall
+      per kick) this degrades to fire-and-forget that counts drops.
     - [Nonblock]: never block, safe from interrupt context; [false]
       when the ring is full or the channel closed. *)
 
@@ -96,6 +100,24 @@ val reply : ?queue:int -> t -> Msg.t -> unit
 val flush : ?queue:int -> t -> unit
 (** Force the async batch out (normally implicit in [wait]/sync sends).
     Without [?queue], flushes every queue's batch. *)
+
+(** {1 Batch tuning} *)
+
+val set_batch_limit : t -> int -> unit
+(** Set the per-queue accumulation threshold for [Batched] driver sends
+    (clamped to at least 1; default {!default_batch_limit}).  1 flushes
+    on every send — the pre-batching wire behaviour — while larger
+    values let bursts coalesce into scatter-gather slots.  Flushing
+    stays load-adaptive: a driver entering the kernel (or one already
+    parked in [wait]) ships whatever has accumulated immediately, so a
+    lone frame at idle never waits for the batch to fill. *)
+
+val batch_limit : t -> int
+(** This channel's effective [Batched] accumulation threshold. *)
+
+val default_batch_limit : int
+(** Default accumulation threshold (64), used when {!set_batch_limit}
+    was never called. *)
 
 (** {1 Queue handles}
 
@@ -169,6 +191,13 @@ type metrics = {
   um_notify : Sud_obs.Metrics.counter;
   um_dropped : Sud_obs.Metrics.counter;
   um_malformed : Sud_obs.Metrics.counter;
+      (** undecodable u2k slots — scalar messages and whole batch slots.
+          A slot-level protocol violation: the supervisor kills on it. *)
+  um_malformed_frames : Sud_obs.Metrics.counter;
+      (** single entries inside an otherwise-valid batch slot whose
+          per-entry checksum failed: exactly that frame is dropped, its
+          siblings deliver, and supervision only counts it — frame-level
+          noise, not a protocol violation *)
   um_rpc_ns : Sud_obs.Metrics.histogram;
 }
 
@@ -225,3 +254,9 @@ val inject_corrupt_replies : t -> int -> unit
 val inject_drop_replies : t -> int -> unit
 (** Swallow the next [n] driver replies in transit; the waiting sender
     times out [Hung]. *)
+
+val inject_corrupt_batch_frames : t -> int -> unit
+(** Garble one frame inside each of the next [n] scatter-gather batch
+    slots the driver flushes: that frame's per-entry checksum fails, the
+    kernel worker counts it in {!malformed} and drops it, and the
+    sibling frames in the batch still deliver. *)

@@ -124,20 +124,76 @@ let test_irq_mask_and_ack () =
       let cfg = Device.cfg (E1000_dev.device w.nic) in
       Alcotest.(check bool) "MSI programmed by the kernel" true (Pci_cfg.msi_enabled cfg);
       let vector = Pci_cfg.msi_data cfg land 0xff in
-      (* First interrupt: forwarded, not masked. *)
+      (* First interrupt: forwarded and the vector masked for the poll
+         window (NAPI-style: the device cannot deliver again until the
+         driver acks). *)
       Irq.deliver w.k.Kernel.irq ~source:w.bdf ~vector;
       Alcotest.(check int) "forwarded" 1 !upcalls;
-      Alcotest.(check bool) "not masked yet" false (Pci_cfg.msi_masked cfg);
-      (* Second before ack: masked (paper 3.2.2). *)
-      Irq.deliver w.k.Kernel.irq ~source:w.bdf ~vector;
-      Alcotest.(check int) "still forwarded" 2 !upcalls;
-      Alcotest.(check bool) "now masked" true (Pci_cfg.msi_masked cfg);
+      Alcotest.(check bool) "masked for the poll" true (Pci_cfg.msi_masked cfg);
       Alcotest.(check bool) "mask counted" true (Safe_pci.msi_masks w.sp >= 1);
-      (* Ack unmasks. *)
+      (* A device-side raise in the window is suppressed by the MSI mask
+         bit — no upcall and no escalation. *)
+      (match Device.raise_msi (E1000_dev.device w.nic) with
+       | Ok () -> ()
+       | Error _ -> Alcotest.fail "masked raise must not fault");
+      Alcotest.(check int) "suppressed while masked" 1 !upcalls;
+      Alcotest.(check int) "no storm from the device" 0 (Safe_pci.grant_storms g);
+      (* Ack ends the poll: unmasked, and the next interrupt is
+         forwarded (and masks again). *)
       Safe_pci.irq_ack g;
       Alcotest.(check bool) "unmasked after ack" false (Pci_cfg.msi_masked cfg);
+      Irq.deliver w.k.Kernel.irq ~source:w.bdf ~vector;
+      Alcotest.(check int) "forwarded again" 2 !upcalls;
+      Alcotest.(check bool) "masked again" true (Pci_cfg.msi_masked cfg);
+      Safe_pci.irq_ack g;
       Alcotest.(check bool) "double irq setup rejected" true
         (Result.is_error (Safe_pci.setup_irqs g ~n:1 ~sink:(fun ~queue:_ -> ()))))
+
+(* NAPI pending replay: an MSI-X raise during the poll window latches in
+   the pending-bit array and must be re-delivered at ack time — frames
+   that arrive mid-poll cannot strand until unrelated traffic. *)
+let test_msix_pending_replay () =
+  run_in_kernel
+    (fun k ->
+       let medium = Net_medium.create k.Kernel.eng () in
+       let nic = E1000_dev.create k.Kernel.eng ~mac:mac_a ~medium ~queues:4 () in
+       let bdf = Kernel.attach_pci k (E1000_dev.device nic) in
+       let sp = Safe_pci.init k in
+       { k; sp; nic; bdf })
+    (fun k w ->
+       Safe_pci.register_device w.sp w.bdf;
+       Safe_pci.set_owner w.sp w.bdf ~uid:1000;
+       let proc = Process.spawn k.Kernel.procs ~name:"drv" ~uid:1000 in
+       let g = ok_or_fail "open" (Safe_pci.open_device w.sp w.bdf ~proc) in
+       ok_or_fail "enable" (Safe_pci.enable_device g);
+       let hits = Array.make 4 0 in
+       ok_or_fail "setup_irqs"
+         (Safe_pci.setup_irqs g ~n:4 ~sink:(fun ~queue -> hits.(queue) <- hits.(queue) + 1));
+       let cfg = Device.cfg (E1000_dev.device w.nic) in
+       let dev = E1000_dev.device w.nic in
+       (* Queue 1 interrupts; the vector masks for the poll. *)
+       (match Device.raise_msix dev ~vector:1 with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "raise faulted");
+       Alcotest.(check int) "first delivery forwarded" 1 hits.(1);
+       Alcotest.(check bool) "masked for the poll" true (Safe_pci.vector_masked g ~queue:1);
+       (* Device raises again mid-poll: latched, not delivered. *)
+       (match Device.raise_msix dev ~vector:1 with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "masked raise faulted");
+       Alcotest.(check int) "latched, not forwarded" 1 hits.(1);
+       Alcotest.(check bool) "pending bit set" true (Pci_cfg.msix_pending cfg ~vector:1);
+       Alcotest.(check int) "no storm from a latched raise" 0 (Safe_pci.grant_storms g);
+       (* Ack replays the latched interrupt: a fresh upcall, masked again. *)
+       Safe_pci.irq_ack ~queue:1 g;
+       Alcotest.(check int) "pending replayed at ack" 2 hits.(1);
+       Alcotest.(check bool) "replay re-masks" true (Safe_pci.vector_masked g ~queue:1);
+       Alcotest.(check bool) "pending cleared" false (Pci_cfg.msix_pending cfg ~vector:1);
+       (* Idle ack: nothing pending, vector simply unmasks. *)
+       Safe_pci.irq_ack ~queue:1 g;
+       Alcotest.(check int) "no spurious replay" 2 hits.(1);
+       Alcotest.(check bool) "unmasked when idle" false (Safe_pci.vector_masked g ~queue:1);
+       ignore k)
 
 let test_release_revokes_everything () =
   with_grant (fun w proc g ->
@@ -383,6 +439,8 @@ let suite =
     Alcotest.test_case "safe_pci: MMIO bounds" `Quick test_mmio_bounds;
     Alcotest.test_case "safe_pci: DMA region lifecycle" `Quick test_dma_region_lifecycle;
     Alcotest.test_case "safe_pci: IRQ mask/ack" `Quick test_irq_mask_and_ack;
+    Alcotest.test_case "safe_pci: MSI-X pending replay at ack" `Quick
+      test_msix_pending_replay;
     Alcotest.test_case "safe_pci: MSI-X storm quarantines one vector" `Quick
       test_msix_storm_sibling_queues;
     Alcotest.test_case "safe_pci: release revokes all" `Quick test_release_revokes_everything;

@@ -341,7 +341,42 @@ let qcheck_cases =
                | Some (d, _) -> Bytes.to_string d
                | None -> "")
          in
-         delivered = payload) ]
+         delivered = payload);
+    (* The word-at-a-time checksum is a pure speedup: differentially test
+       it against the byte-pair oracle over random buffers and ranges. *)
+    QCheck.Test.make ~name:"checksum_sub_words = checksum_sub (oracle)" ~count:500
+      QCheck.(triple (string_of_size Gen.(int_range 0 300)) small_nat small_nat)
+      (fun (s, a, b) ->
+         let buf = Bytes.of_string s in
+         let n = Bytes.length buf in
+         let off = if n = 0 then 0 else a mod (n + 1) in
+         let len = min b (n - off) in
+         Skbuff.checksum_sub_words buf ~off ~len = Skbuff.checksum_sub buf ~off ~len);
+    (* The fused pass must be observationally identical to the two-pass
+       copy-then-checksum it replaces, and the fusion must not reopen the
+       TOCTOU window: mutating src after the call changes neither the
+       copied bytes nor the returned verdict. *)
+    QCheck.Test.make ~name:"copy_and_checksum = blit;checksum and is TOCTOU-safe"
+      ~count:300
+      QCheck.(triple (string_of_size Gen.(int_range 1 300)) small_nat small_nat)
+      (fun (s, a, flip) ->
+         let n = String.length s in
+         let src = Bytes.of_string s in
+         let src_off = a mod n in
+         let len = n - src_off in
+         let dst_off = 3 in
+         let dst = Bytes.make (dst_off + len) '\xAA' in
+         let verdict = Skbuff.copy_and_checksum ~src ~src_off ~dst ~dst_off ~len in
+         let two_pass_dst = Bytes.make (dst_off + len) '\xAA' in
+         Bytes.blit src src_off two_pass_dst dst_off len;
+         let two_pass = Skbuff.checksum_sub two_pass_dst ~off:dst_off ~len in
+         let copied_before = Bytes.copy dst in
+         (* TOCTOU: the driver scribbles on src after the fused call. *)
+         let i = flip mod n in
+         Bytes.set src i (Char.chr (Char.code (Bytes.get src i) lxor 0xFF));
+         verdict = two_pass
+         && Bytes.equal dst copied_before
+         && Skbuff.checksum_sub dst ~off:dst_off ~len = verdict) ]
 
 let suite =
   [ Alcotest.test_case "klog: printk + matching" `Quick test_klog;

@@ -7,7 +7,13 @@
 
 let mac = Skbuff.Mac.of_string "52:54:00:77:88:99"
 
-type world = { eng : Engine.t; k : Kernel.t; sp : Safe_pci.t; bdf : Bus.bdf }
+type world = {
+  eng : Engine.t;
+  k : Kernel.t;
+  sp : Safe_pci.t;
+  bdf : Bus.bdf;
+  medium : Net_medium.t;
+}
 
 let make_world () =
   let eng = Engine.create () in
@@ -16,7 +22,7 @@ let make_world () =
   let nic = E1000_dev.create eng ~mac ~medium () in
   let bdf = Kernel.attach_pci k (E1000_dev.device nic) in
   let sp = Safe_pci.init k in
-  { eng; k; sp; bdf }
+  { eng; k; sp; bdf; medium }
 
 let in_world w main =
   let result = ref None in
@@ -116,6 +122,117 @@ let test_backlog_replayed () =
       Alcotest.(check bool) "parked frames replayed" true (bl.Netdev.bl_replayed >= 5);
       Supervisor.stop sv)
 
+(* A Corrupt_batch injection garbles one frame inside the driver's next
+   multi-frame downcall batch.  Containment is in place: that frame is
+   dropped and counted malformed, its siblings deliver, and — unlike every
+   other fault class — nothing escalates to a restart. *)
+let test_batch_corrupt_no_restart () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let sv = start_supervised w in
+      let dev = Supervisor.netdev sv in
+      (match Netstack.ifconfig_up w.k.Kernel.net dev with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail ("ifconfig up: " ^ e));
+      let sock = Netstack.udp_bind w.k.Kernel.net dev ~port:9000 in
+      let payload = Bytes.make 64 'c' in
+      let malformed () =
+        match Supervisor.chan sv with
+        | Some c -> Sud_obs.Metrics.get (Uchan.metrics c).Uchan.um_malformed_frames
+        | None -> 0
+      in
+      Alcotest.(check bool) "injection armed" true
+        (Fault_inject.inject ~sv Fault_inject.Corrupt_batch);
+      Alcotest.(check bool) "corrupt_batch is the non-lethal class" false
+        (Fault_inject.lethal Fault_inject.Corrupt_batch);
+      (* A wire burst parks several frames in the NIC RX ring before the
+         driver's poll runs, so its nc_rx downcalls coalesce into one
+         multi-frame batch slot; pump until the armed corruption lands on
+         one.  (TX completions in this quiet world free one token at a
+         time — too sparse to ever form a batch.) *)
+      let peer = Net_medium.attach w.medium ~name:"peer" ~rx:ignore in
+      let wire_frame =
+        let b = Bytes.make 64 '\x00' in
+        Bytes.blit mac 0 b 0 6;
+        Bytes.blit (Skbuff.Mac.of_string "52:54:00:00:00:01") 0 b 6 6;
+        b
+      in
+      let rec pump rounds =
+        if malformed () = 0 && rounds > 0 then begin
+          for _ = 1 to 8 do Net_medium.send w.medium peer wire_frame done;
+          settle w 5;
+          pump (rounds - 1)
+        end
+      in
+      pump 50;
+      Alcotest.(check int) "one frame dropped as malformed" 1 (malformed ());
+      settle w 50;
+      Alcotest.(check bool) "still running" true (Supervisor.state sv = Supervisor.Running);
+      Alcotest.(check int) "no restart" 0 (Supervisor.stats sv).Supervisor.st_restarts;
+      Alcotest.(check int) "no detection" 0 (Supervisor.stats sv).Supervisor.st_detections;
+      (* The dropped tx_free cost one pooled buffer, not the datapath:
+         frames offered after the corruption still reach the device. *)
+      let tx_before = (Netdev.stats dev).Netdev.tx_packets in
+      for _ = 1 to 4 do
+        ignore
+          (Netstack.udp_sendto w.k.Kernel.net sock ~dst:Skbuff.Mac.broadcast ~dst_port:9000
+             payload
+           : [ `Sent | `Dropped ])
+      done;
+      settle w 20;
+      Alcotest.(check bool) "tx still flows" true
+        ((Netdev.stats dev).Netdev.tx_packets >= tx_before + 4);
+      Supervisor.stop sv)
+
+(* A crash with a partially-acked batch in flight: whatever the dead
+   generation had accepted but not acked dies with it (the paper's
+   stance — the network retransmits), and every frame offered from the
+   crash until recovery parks in the per-queue backlog and is replayed,
+   with the accounting identity intact. *)
+let test_mid_batch_crash_tail_replayed () =
+  let w = make_world () in
+  let policy =
+    { fast_policy with Supervisor.backoff_initial_ns = 20_000_000; backoff_max_ns = 40_000_000 }
+  in
+  in_world w (fun () ->
+      let sv = start_supervised ~policy w in
+      let dev = Supervisor.netdev sv in
+      (match Netstack.ifconfig_up w.k.Kernel.net dev with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail ("ifconfig up: " ^ e));
+      let sock = Netstack.udp_bind w.k.Kernel.net dev ~port:9000 in
+      let payload = Bytes.make 64 'm' in
+      let send n =
+        for _ = 1 to n do
+          ignore
+            (Netstack.udp_sendto w.k.Kernel.net sock ~dst:Skbuff.Mac.broadcast ~dst_port:9000
+               payload
+             : [ `Sent | `Dropped ])
+        done
+      in
+      (* Head of the burst goes to the live driver's batch path... *)
+      send 4;
+      (* ...and the crash lands before any of it is acked. *)
+      (match Supervisor.proc sv with Some p -> Process.kill p | None -> Alcotest.fail "no proc");
+      settle w 2;
+      Alcotest.(check bool) "recovering" true (Supervisor.state sv = Supervisor.Recovering);
+      (* The tail of the burst arrives mid-outage: per-queue backlog. *)
+      send 4;
+      settle w 100;
+      let bl =
+        let nm = Netdev.metrics dev in
+        { Netdev.bl_offered = Sud_obs.Metrics.get nm.Netdev.nm_bl_offered;
+          bl_queued = Sud_obs.Metrics.gauge_value nm.Netdev.nm_bl_queued;
+          bl_dropped = Sud_obs.Metrics.get nm.Netdev.nm_bl_dropped;
+          bl_replayed = Sud_obs.Metrics.get nm.Netdev.nm_bl_replayed }
+      in
+      Alcotest.(check bool) "running again" true (Supervisor.state sv = Supervisor.Running);
+      Alcotest.(check bool) "tail was parked" true (bl.Netdev.bl_offered >= 4);
+      Alcotest.(check int) "backlog accounting exact" bl.Netdev.bl_offered
+        (bl.Netdev.bl_queued + bl.Netdev.bl_dropped + bl.Netdev.bl_replayed);
+      Alcotest.(check bool) "tail replayed" true (bl.Netdev.bl_replayed >= 4);
+      Supervisor.stop sv)
+
 let test_hang_heartbeat () =
   let s = Fault_inject.measure_recovery Fault_inject.Hang in
   Alcotest.(check bool) "hang detected" true (s.Fault_inject.rs_detect_ns > 0);
@@ -148,6 +265,41 @@ let plan_determinism_test =
            (List.filteri (fun i _ -> i < 49) p1)
            (List.tl p1))
 
+(* Restart replay leg of the ordering property: the per-queue backlog the
+   supervisor replays through is strictly FIFO per queue, for arbitrary
+   interleavings of parked frames — so a flow (which always hashes to the
+   same queue) comes back on the wire in its original order. *)
+let backlog_replay_order_property =
+  QCheck.Test.make ~name:"restart replay preserves per-queue FIFO order" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 80) (int_range 0 3)))
+    (fun queues ->
+       let ops =
+         { Netdev.ndo_open = (fun () -> Ok ());
+           ndo_stop = ignore;
+           ndo_start_xmit = (fun ~queue:_ _ -> Netdev.Xmit_ok);
+           ndo_do_ioctl = (fun ~cmd:_ ~arg:_ -> Error "n/a") }
+       in
+       let dev = Netdev.create ~name:"bl0" ~mac:(Bytes.make 6 '\x02') ~ops ~tx_queues:4 () in
+       let parked = Array.make 4 [] in
+       List.iteri
+         (fun i q ->
+            let skb = Skbuff.of_bytes (Bytes.make 8 (Char.chr (i land 0xFF))) in
+            (match Netdev.backlog_push dev ~queue:q ~limit:128 skb with
+             | Netdev.Xmit_ok -> ()
+             | Netdev.Xmit_busy -> ());
+            parked.(q) <- i land 0xFF :: parked.(q))
+         queues;
+       let ok = ref true in
+       for q = 0 to 3 do
+         let rec drain acc =
+           match Netdev.backlog_pop dev ~queue:q with
+           | None -> List.rev acc
+           | Some skb -> drain (Char.code (Bytes.get skb.Skbuff.data 0) :: acc)
+         in
+         if drain [] <> List.rev parked.(q) then ok := false
+       done;
+       !ok)
+
 (* Satellite property: N seeded fault cycles under traffic leave no
    containment residue.  [Fault_inject.soak] asserts at every driver death
    that the kernel secret page is untouched, the dead grant is revoked, the
@@ -172,7 +324,12 @@ let suite =
   [ Alcotest.test_case "supervised driver starts running" `Quick test_starts_running;
     Alcotest.test_case "kill -9 → autonomous restart" `Quick test_kill_auto_restart;
     Alcotest.test_case "outage backlog parked and replayed" `Quick test_backlog_replayed;
+    Alcotest.test_case "corrupt batch frame: contained, no restart" `Quick
+      test_batch_corrupt_no_restart;
+    Alcotest.test_case "mid-batch crash: un-acked tail replayed" `Quick
+      test_mid_batch_crash_tail_replayed;
     Alcotest.test_case "wedged main loop caught by heartbeat" `Quick test_hang_heartbeat;
     Alcotest.test_case "crash loop exhausts budget → quarantine" `Quick
       test_crash_loop_quarantine ]
-  @ List.map QCheck_alcotest.to_alcotest [ plan_determinism_test; fault_cycle_property ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ plan_determinism_test; backlog_replay_order_property; fault_cycle_property ]

@@ -209,6 +209,45 @@ let test_uchan_downcall () =
       Alcotest.(check (list int)) "batched asyncs arrived in order" [ 101; 102 ]
         (List.rev !asyncs))
 
+(* Fault containment inside a batch slot: garbling one frame must drop
+   exactly that frame (um_malformed ticks once), deliver its siblings in
+   order, and leave the channel fully usable. *)
+let test_uchan_batch_corrupt_frame () =
+  with_kernel (fun eng k ->
+      let chan = Uchan.create k ~driver_label:"d" () in
+      Uchan.set_batch_limit chan 8;
+      let got = ref [] in
+      Uchan.set_downcall_handler chan (fun ~queue:_ m ->
+          if m.Msg.seq = 0 then begin
+            got := Msg.arg m 0 :: !got;
+            None
+          end
+          else Some (Msg.make ~kind:m.Msg.kind ~args:[ 7 ] ()));
+      let proc = Process.spawn k.Kernel.procs ~name:"drv" ~uid:1000 in
+      let after = ref None in
+      ignore
+        (Process.spawn_fiber proc (fun () ->
+             for i = 1 to 5 do
+               Uchan.transfer chan ~from:`Driver Uchan.Batched
+                 (Msg.make ~kind:31 ~args:[ i; 0 ] ())
+             done;
+             (* Arm before the flush: the run of 5 goes out as one batch
+                slot with its last frame garbled on the ring. *)
+             Uchan.inject_corrupt_batch_frames chan 1;
+             Uchan.flush chan;
+             after := Some (Uchan.transfer chan ~from:`Driver Uchan.Sync (Msg.make ~kind:32 ())))
+         : Fiber.t);
+      Engine.run ~max_time:100_000_000 eng;
+      Alcotest.(check (list int)) "siblings delivered in order" [ 1; 2; 3; 4 ]
+        (List.rev !got);
+      Alcotest.(check int) "exactly one frame counted malformed" 1
+        (Sud_obs.Metrics.get (Uchan.metrics chan).Uchan.um_malformed_frames);
+      Alcotest.(check int) "not a slot-level protocol violation" 0
+        (Sud_obs.Metrics.get (Uchan.metrics chan).Uchan.um_malformed);
+      (match !after with
+       | Some (Ok r) -> Alcotest.(check int) "channel still serves syncs" 7 (Msg.arg r 0)
+       | _ -> Alcotest.fail "sync downcall after corruption failed"))
+
 let test_uchan_try_asend_full () =
   with_kernel (fun _ k ->
       let chan = Uchan.create k ~slots:4 ~driver_label:"d" () in
@@ -263,7 +302,81 @@ let qcheck_cases =
                    | Error _ -> ok := false)
                 | Some _, None | None, Some _ -> ok := false)
            ops;
-         !ok && Ring.length r = Queue.length model) ]
+         !ok && Ring.length r = Queue.length model);
+    (* Batch container: a marshalled slot round-trips every entry, and a
+       garbled entry fails exactly its own per-entry checksum — the
+       containment unit the kernel-side decode relies on. *)
+    QCheck.Test.make ~name:"batch slot roundtrip; corruption stays per-entry" ~count:300
+      QCheck.(
+        make
+          Gen.(
+            let* kind = int_range 0 0x7FFF in
+            let* n = int_range 1 Msg.Batch.max_frames in
+            let* entries =
+              list_repeat n (pair (int_range 0 0xFFFF_FFFF) (int_range 0 0xFFFF))
+            in
+            let* corrupt = int_range (-1) (n - 1) in
+            return (kind, Array.of_list entries, corrupt)))
+      (fun (kind, entries, corrupt) ->
+         let slot = Bytes.create Msg.slot_size in
+         Msg.Batch.marshal_into ~kind entries slot;
+         if corrupt >= 0 then Msg.Batch.corrupt_entry slot corrupt;
+         Msg.Batch.is_batch slot
+         && (match Msg.Batch.unmarshal_view slot with
+             | Error _ -> false
+             | Ok (kind', decoded) ->
+               kind' = kind
+               && List.length decoded = Array.length entries
+               && List.for_all2
+                    (fun i d ->
+                       if i = corrupt then Result.is_error d
+                       else d = Ok entries.(i))
+                    (List.init (Array.length entries) Fun.id)
+                    decoded));
+    (* Per-flow ordering survives every batching boundary: arbitrary flow
+       interleavings, arbitrary accumulation thresholds, kind changes
+       splitting coalescing runs, and the final sync-forced flush. *)
+    QCheck.Test.make ~name:"batched downcalls preserve per-flow order" ~count:40
+      QCheck.(make Gen.(pair (int_range 1 8) (list_size (int_range 1 60) (int_range 0 3))))
+      (fun (limit, flows) ->
+         with_kernel (fun eng k ->
+             let chan = Uchan.create k ~driver_label:"d" () in
+             Uchan.set_batch_limit chan limit;
+             let got = Hashtbl.create 4 in
+             let push tbl flow v =
+               Hashtbl.replace tbl flow
+                 (v :: (try Hashtbl.find tbl flow with Not_found -> []))
+             in
+             Uchan.set_downcall_handler chan (fun ~queue:_ m ->
+                 if m.Msg.seq = 0 then begin
+                   push got (m.Msg.kind - 10) (Msg.arg m 0);
+                   None
+                 end
+                 else Some (Msg.make ~kind:m.Msg.kind ()));
+             let sent = Hashtbl.create 4 in
+             let finished = ref false in
+             let proc = Process.spawn k.Kernel.procs ~name:"drv" ~uid:1000 in
+             ignore
+               (Process.spawn_fiber proc (fun () ->
+                    List.iteri
+                      (fun i flow ->
+                         push sent flow i;
+                         Uchan.transfer chan ~from:`Driver Uchan.Batched
+                           (Msg.make ~kind:(10 + flow) ~args:[ i; 0 ] ()))
+                      flows;
+                    (match
+                       Uchan.transfer chan ~from:`Driver Uchan.Sync (Msg.make ~kind:9 ())
+                     with
+                     | Ok _ -> finished := true
+                     | Error _ -> ()))
+                : Fiber.t);
+             Engine.run ~max_time:1_000_000_000 eng;
+             !finished
+             && List.for_all
+                  (fun f ->
+                     (try Hashtbl.find got f with Not_found -> [])
+                     = (try Hashtbl.find sent f with Not_found -> []))
+                  [ 0; 1; 2; 3 ])) ]
 
 let suite =
   [ Alcotest.test_case "msg: roundtrip" `Quick test_msg_roundtrip;
@@ -278,5 +391,7 @@ let suite =
     Alcotest.test_case "uchan: interruptible (Ctrl-C)" `Quick test_uchan_interruptible;
     Alcotest.test_case "uchan: close unblocks" `Quick test_uchan_close_unblocks;
     Alcotest.test_case "uchan: downcalls + batching order" `Quick test_uchan_downcall;
+    Alcotest.test_case "uchan: corrupt batch frame contained" `Quick
+      test_uchan_batch_corrupt_frame;
     Alcotest.test_case "uchan: try_asend bounded" `Quick test_uchan_try_asend_full ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_cases
