@@ -1,4 +1,4 @@
-.PHONY: all build lint-deprecated test bench bench-smoke bench-mq bench-batch soak trace-smoke clean
+.PHONY: all build lint-deprecated test bench bench-smoke bench-mq bench-batch soak fuzz-smoke trace-smoke clean
 
 all: build
 
@@ -15,6 +15,21 @@ lint-deprecated:
 	  'Uchan\.(send|asend|try_asend|usend|uasend)[^a-zA-Z_]|Irq\.(alloc_vector|request_irq|free_irq)[^a-zA-Z_]|Safe_pci\.(setup_irq|teardown_irq|mask_msi|unmask_msi)[^a-zA-Z_]|Netdev\.(netif_stop_queue|netif_wake_queue|backlog_xmit|backlog_take|queue_stopped)[^a-zA-Z_]' \
 	  lib bin bench test examples \
 	  || { echo 'lint-deprecated: deprecated scalar datapath shim used in-tree (use the ~queue API)'; exit 1; }
+	@# The deprecated scalar Uchan counter accessors are gone; stragglers
+	@# must read the queue-aware metrics record (Uchan.metrics) instead.
+	@! grep -rnE \
+	  'Uchan\.(upcalls_sent|downcalls_sent|notifications|dropped|malformed)[^a-zA-Z_]' \
+	  lib bin bench test examples \
+	  || { echo 'lint-deprecated: removed scalar Uchan accessor referenced (use Uchan.metrics)'; exit 1; }
+	@# Protocol-conformance backstop: every driver->kernel slot must be
+	@# adjudicated by the Conformance validator before anything acts on
+	@# it, so raw Msg.unmarshal_view belongs only to the uchan library
+	@# (dispatch + validator).  The Ring micro-bench in bench/ measures
+	@# the bare unmarshal cost and is deliberately out of scope, as are
+	@# the wire-format round-trip tests.
+	@! { grep -rnE 'Msg\.(Batch\.)?unmarshal_view' lib bin examples \
+	  | grep -vE '^lib/uchan/(msg|uchan|conformance)\.(ml|mli)'; } | grep -q . \
+	  || { echo 'lint-deprecated: Msg.unmarshal_view outside lib/uchan (ingress must go through Conformance)'; exit 1; }
 	@# Batched-datapath backstop: the proxy net datapath must never fall
 	@# back to per-frame sends — data messages ride the queue-aware
 	@# Async/Batched paths so bursts coalesce into scatter-gather batch
@@ -55,6 +70,15 @@ bench-batch:
 # Exits nonzero if any containment invariant breaks.
 soak:
 	dune exec bench/main.exe -- soak
+	dune exec bench/main.exe -- fuzz
+
+# Adversarial-interface smoke: the fixed-seed 600-mutation Byzantine
+# protocol campaign (every class applied and detected, containment
+# invariants held, protocol crash loop quarantined) plus the
+# conformance-overhead gate vs BENCH_5; writes BENCH_6.json and exits
+# nonzero on any failure.
+fuzz-smoke:
+	dune exec bench/main.exe -- fuzz
 
 # Observability smoke: run a traced DMA-violation recovery and require the
 # exported JSONL to contain the full uchan rpc -> iommu fault -> supervisor

@@ -17,7 +17,7 @@
    DESIGN.md "The fast path", "Driver supervision" and "Observability".
 
    The soak run enables tracing (64k-span ring), exports
-   soak_trace.jsonl, and fails unless the trace contains a complete
+   traces/soak_trace.jsonl, and fails unless the trace contains a complete
    uchan rpc -> iommu fault -> supervisor detect -> kill -> restart
    causal chain. *)
 
@@ -418,7 +418,8 @@ let run_soak () =
      Printf.printf "INVARIANT VIOLATIONS (%d):\n" (List.length vs);
      List.iter (fun v -> print_endline ("  " ^ v)) vs);
   Sud_obs.Trace.set_enabled false;
-  let trace_path = "soak_trace.jsonl" in
+  if not (Sys.file_exists "traces") then Sys.mkdir "traces" 0o755;
+  let trace_path = "traces/soak_trace.jsonl" in
   let n_spans = Sud_obs.Trace.write_jsonl ~path:trace_path in
   let spans = Sud_obs.Trace.spans () in
   let parsed =
@@ -683,6 +684,147 @@ let run_netperf_batch ?(smoke = false) () =
   end;
   pass
 
+(* ---- proto_fuzz: the live Byzantine fuzz campaign (make fuzz-smoke) ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+
+(* The adversarial-interface gate: a seeded 600-mutation campaign across
+   every protocol-mutation class must leave zero containment-invariant
+   violations with every class detected at least once, a pure protocol
+   crash-looper must end in quarantine, and the always-on conformance
+   validator must cost at most 5% of the BENCH_5 8q/batch=32 throughput
+   point.  Writes BENCH_6.json. *)
+
+let fuzz_seed = 0xB12A7L
+let fuzz_mutations = 600
+let fuzz_overhead_floor = 0.95
+let fuzz_baseline_path = "BENCH_5.json"
+
+(* Pull the kpps of one (queues, batch) point out of BENCH_5.json. *)
+let bench5_kpps ~queues ~batch =
+  try
+    let ic = open_in fuzz_baseline_path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let pat = Printf.sprintf "\"queues\": %d, \"batch\": %d, \"kpps\": " queues batch in
+    let rec find i =
+      if i + String.length pat > String.length s then None
+      else if String.sub s i (String.length pat) = pat then Some (i + String.length pat)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some j ->
+      let k = ref j in
+      while
+        !k < String.length s
+        && (match s.[!k] with '0' .. '9' | '.' -> true | _ -> false)
+      do
+        incr k
+      done;
+      float_of_string_opt (String.sub s j (!k - j))
+  with Sys_error _ -> None
+
+let run_fuzz () =
+  banner
+    (Printf.sprintf "proto_fuzz: live Byzantine mutation campaign (seed 0x%LX, %d mutations)"
+       fuzz_seed fuzz_mutations);
+  let r = Proto_fuzz.campaign ~seed:fuzz_seed ~n_mutations:fuzz_mutations () in
+  Printf.printf "mutations planned/applied/skipped: %d / %d / %d\n" r.Proto_fuzz.fz_planned
+    r.Proto_fuzz.fz_applied r.Proto_fuzz.fz_skipped;
+  Printf.printf "%-20s %10s %10s\n" "class" "applied" "detected";
+  print_endline (String.make 42 '-');
+  List.iter2
+    (fun (cls, applied) (_, detected) ->
+       Printf.printf "%-20s %10d %10d\n" cls applied detected)
+    r.Proto_fuzz.fz_by_class r.Proto_fuzz.fz_detected;
+  Printf.printf "supervisor: %d detections, %d restarts, %d deaths checked\n"
+    r.Proto_fuzz.fz_detections r.Proto_fuzz.fz_restarts r.Proto_fuzz.fz_deaths;
+  (match r.Proto_fuzz.fz_violations with
+   | [] -> print_endline "invariants: all held"
+   | vs ->
+     Printf.printf "INVARIANT VIOLATIONS (%d):\n" (List.length vs);
+     List.iter (fun v -> print_endline ("  " ^ v)) vs);
+  let q = Proto_fuzz.quarantine_campaign ~max_restarts:3 () in
+  Printf.printf "protocol crash loop: %d restarts then quarantined=%b\n"
+    q.Proto_fuzz.pq_restarts q.Proto_fuzz.pq_quarantined;
+  List.iter (fun v -> print_endline ("  quarantine violation: " ^ v))
+    q.Proto_fuzz.pq_violations;
+  (* The validator runs on every u2k slot of every benchmark, so the
+     hottest BENCH_5 point re-measured here carries its full cost. *)
+  banner "conformance overhead: udp_batch_rx 8q/batch=32 vs BENCH_5";
+  let p = Netperf.udp_batch_rx ~queues:8 ~batch:32 in
+  let base = match bench5_kpps ~queues:8 ~batch:32 with Some v -> v | None -> 3213.5 in
+  let ratio = p.Netperf.bp_kpps /. base in
+  let overhead_ok = ratio >= fuzz_overhead_floor in
+  Printf.printf "8q batch=32: %.1f kpps vs baseline %.1f kpps = %.3fx (floor %.2fx)  %s\n"
+    p.Netperf.bp_kpps base ratio fuzz_overhead_floor (if overhead_ok then "ok" else "FAIL");
+  let coverage_ok =
+    r.Proto_fuzz.fz_applied >= 500
+    && List.for_all (fun (_, n) -> n > 0) r.Proto_fuzz.fz_detected
+  in
+  let pass =
+    r.Proto_fuzz.fz_violations = []
+    && r.Proto_fuzz.fz_state = Supervisor.Running
+    && coverage_ok
+    && q.Proto_fuzz.pq_quarantined
+    && q.Proto_fuzz.pq_violations = []
+    && overhead_ok
+  in
+  print_endline (if pass then "PROTO_FUZZ PASSED" else "PROTO_FUZZ FAILED");
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"sud-bench/6\",\n";
+  Buffer.add_string b "  \"bench\": \"proto_fuzz\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": \"0x%LX\",\n" r.Proto_fuzz.fz_seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"planned\": %d,\n  \"applied\": %d,\n  \"skipped\": %d,\n"
+       r.Proto_fuzz.fz_planned r.Proto_fuzz.fz_applied r.Proto_fuzz.fz_skipped);
+  Buffer.add_string b "  \"classes\": [\n";
+  let n = List.length r.Proto_fuzz.fz_by_class in
+  List.iteri
+    (fun i ((cls, applied), (_, detected)) ->
+       Buffer.add_string b
+         (Printf.sprintf "    { \"class\": \"%s\", \"applied\": %d, \"detected\": %d }%s\n"
+            (json_escape cls) applied detected (if i < n - 1 then "," else "")))
+    (List.combine r.Proto_fuzz.fz_by_class r.Proto_fuzz.fz_detected);
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"detections\": %d,\n  \"restarts\": %d,\n  \"deaths\": %d,\n"
+       r.Proto_fuzz.fz_detections r.Proto_fuzz.fz_restarts r.Proto_fuzz.fz_deaths);
+  Buffer.add_string b
+    (Printf.sprintf "  \"violations\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun v -> Printf.sprintf "\"%s\"" (json_escape v))
+             r.Proto_fuzz.fz_violations)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"quarantine\": { \"restarts\": %d, \"quarantined\": %b },\n"
+       q.Proto_fuzz.pq_restarts q.Proto_fuzz.pq_quarantined);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"overhead\": { \"queues\": 8, \"batch\": 32, \"kpps\": %.1f, \"baseline\": \"%s\", \"baseline_kpps\": %.1f, \"ratio\": %.3f, \"floor\": %.2f },\n"
+       p.Netperf.bp_kpps fuzz_baseline_path base ratio fuzz_overhead_floor);
+  Buffer.add_string b (Printf.sprintf "  \"pass\": %b\n}\n" pass);
+  let oc = open_out "BENCH_6.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  print_endline "wrote BENCH_6.json";
+  pass
+
 (* ---- disabled-tracer overhead guard ---- *)
 
 (* The compile-out-cheap claim, enforced: with tracing disabled (the
@@ -868,19 +1010,6 @@ let trace_overhead_guard micro =
 
 (* ---- machine-readable baseline (BENCH_*.json) ---- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string b "\\\""
-       | '\\' -> Buffer.add_string b "\\\\"
-       | '\n' -> Buffer.add_string b "\\n"
-       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let write_bench_json ~path ~mode ~micro ~figure8_rows ~recovery ~guard ~guard_pass ~guard_drift =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n";
@@ -968,6 +1097,10 @@ let () =
   end;
   if List.mem "batch" args then begin
     let pass = run_netperf_batch ~smoke:(quick || List.mem "smoke" args) () in
+    exit (if pass then 0 else 1)
+  end;
+  if List.mem "fuzz" args then begin
+    let pass = run_fuzz () in
     exit (if pass then 0 else 1)
   end;
   if List.mem "soak" args then begin

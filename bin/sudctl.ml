@@ -168,6 +168,8 @@ let run_trace_smoke out =
   Sud_obs.Trace.set_enabled true;
   let r = Fault_inject.(measure_recovery Dma_violation) in
   Sud_obs.Trace.set_enabled false;
+  let dir = Filename.dirname out in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let n = Sud_obs.Trace.write_jsonl ~path:out in
   let spans =
     let ic = open_in out in
@@ -236,7 +238,7 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Dump the machine-readable registry snapshot.")
 
 let out_arg =
-  Arg.(value & opt string "trace_smoke.jsonl" & info [ "out" ] ~docv:"FILE"
+  Arg.(value & opt string "traces/trace_smoke.jsonl" & info [ "out" ] ~docv:"FILE"
          ~doc:"Where to write the exported span JSONL.")
 
 let metrics_cmd =

@@ -109,8 +109,22 @@ let run_plan k ~sv ?dma_violate ?(stats = new_injector_stats ()) plan =
             (fun { at_ns; fault } ->
                let dt = t0 + at_ns - Engine.now eng in
                if dt > 0 then ignore (Fiber.sleep eng dt : Fiber.wake);
+               (* "Running" alone is not enough: between a driver death
+                  and the supervisor's next tick the state still reads
+                  Running while the target is already gone, and a fault
+                  landing in that window would find nothing to sabotage.
+                  Wait for a generation that is actually alive. *)
+               let target_live () =
+                 match Supervisor.state sv with
+                 | Supervisor.Running ->
+                   (match Supervisor.proc sv with
+                    | Some p -> Process.is_alive p
+                    | None -> false)
+                 | Supervisor.Recovering -> false
+                 | _ -> true (* quarantined: no recovery coming; let inject skip *)
+               in
                let rec wait_running budget =
-                 if budget > 0 && Supervisor.state sv = Supervisor.Recovering then begin
+                 if budget > 0 && not (target_live ()) then begin
                    ignore (Fiber.sleep eng 1_000_000 : Fiber.wake);
                    wait_running (budget - 1)
                  end
@@ -187,6 +201,9 @@ type invariant_ctx = {
 
 let violate ctx fmt =
   Printf.ksprintf (fun s -> ctx.iv_violations <- s :: ctx.iv_violations) fmt
+
+let invariant_violations ctx = List.rev ctx.iv_violations
+let invariant_deaths ctx = ctx.iv_deaths
 
 let install_invariants w sv ~secret_addr =
   let ctx =

@@ -67,6 +67,69 @@ val run_plan :
     to [Running] so every fault lands on a live driver.  Returns the
     (live-updating) stats record immediately. *)
 
+(** {1 Soak harness}
+
+    The world, traffic generator and containment-invariant checker the
+    soak runs in, exported so other adversarial campaigns
+    ({!Proto_fuzz}) run under identical conditions. *)
+
+type world = {
+  eng : Engine.t;
+  k : Kernel.t;
+  sp : Safe_pci.t;
+  medium : Net_medium.t;
+  nic : E1000_dev.t;
+  bdf : Bus.bdf;
+  wire : int ref;  (** frames observed on the medium *)
+}
+
+val make_world : unit -> world
+(** A booted kernel, one emulated E1000 on a snooped medium, safe-PCI
+    initialised. *)
+
+val in_world : ?max_ms:int -> world -> (unit -> 'a) -> 'a
+(** Run [main] in a kernel fiber and drive the engine until it returns
+    (at most [max_ms] simulated milliseconds, default 30 s). *)
+
+val secret : string
+(** The canary written to a kernel page; containment means no driver
+    death may ever have touched it. *)
+
+val soak_policy : max_restarts:int -> Supervisor.policy
+(** Fast supervision (1 ms tick, 10 ms hang timeout, sub-ms backoff) so
+    multi-hundred-fault campaigns converge in bounded simulated time. *)
+
+type invariant_ctx
+
+val install_invariants : world -> Supervisor.t -> secret_addr:int -> invariant_ctx
+(** Hook the supervisor's event stream: at every driver death assert the
+    kernel secret is intact, the dead generation's grant is revoked, its
+    IOMMU domain detached, and no previously-mapped iova still answers
+    from the IOTLB. *)
+
+val invariant_violations : invariant_ctx -> string list
+(** Failures recorded so far, oldest first; must be [[]]. *)
+
+val invariant_deaths : invariant_ctx -> int
+
+type traffic = {
+  mutable tr_offered : int;
+  mutable tr_sent : int;
+  mutable tr_dropped : int;
+  mutable tr_stop : bool;
+}
+
+val start_traffic : ?burst:int -> world -> Netdev.t -> gap_ns:int -> traffic
+(** Continuous UDP broadcast traffic through the netdev ([burst] sends
+    every [gap_ns], default burst 1); set [tr_stop] to end it. *)
+
+val dma_violate : world -> unit -> unit
+(** Device-level DMA to an address the driver never mapped — the IOMMU
+    must fault and attribute it to the device's BDF. *)
+
+val honest_factory : attempt:int -> Driver_api.net_driver
+(** The honest E1000 driver, every generation. *)
+
 (** {1 Soak} *)
 
 type soak_report = {

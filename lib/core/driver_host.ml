@@ -13,6 +13,8 @@ type started = {
   s_uml : Sud_uml.t;
   s_netdev : Netdev.t;
   s_queues : int;
+  s_quota : Quota.t option;
+  s_epoch : int;
 }
 
 let pool_bufs = 128
@@ -24,7 +26,7 @@ let find_device k (drv : Driver_api.net_driver) =
   | e :: _ -> Ok e.Sysfs.bdf
 
 let start_net_at k sp ?hang_timeout_ns ?queues ?adopt_netdev ?(unregister_on_exit = true)
-    ~uid ~defensive_copy ~name ~bdf (drv : Driver_api.net_driver) =
+    ?quota ?(epoch = 0) ~uid ~defensive_copy ~name ~bdf (drv : Driver_api.net_driver) =
   if Sud_obs.Trace.on () then
     ignore
       (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"driver" ~name:"start"
@@ -32,7 +34,7 @@ let start_net_at k sp ?hang_timeout_ns ?queues ?adopt_netdev ?(unregister_on_exi
   Safe_pci.register_device sp bdf;
   Safe_pci.set_owner sp bdf ~uid;
   let proc = Process.spawn k.Kernel.procs ~name ~uid in
-  match Safe_pci.open_device sp bdf ~proc with
+  match Safe_pci.open_device sp ?quota bdf ~proc with
   | Error e ->
     Process.kill proc;
     Error ("open device: " ^ e)
@@ -59,7 +61,36 @@ let start_net_at k sp ?hang_timeout_ns ?queues ?adopt_netdev ?(unregister_on_exi
          | Some q -> max 1 (min q Uchan.max_queues)
          | None -> max 1 (min (Safe_pci.msix_vectors grant) Uchan.max_queues)
        in
-       let chan = Uchan.create k ?hang_timeout_ns ~queues ~driver_label:name () in
+       (* Quota negotiation: clamp the queue count until the ring
+          footprint fits the driver's uchan budget, then charge exactly
+          the negotiated footprint (released again on driver exit, so a
+          restart generation re-charges from a clean ledger). *)
+       let slots = 256 in
+       let queues, ring_charge =
+         match quota with
+         | None -> queues, 0
+         | Some q ->
+           let queues = Quota.negotiate_queues q ~slots ~queues in
+           queues, Quota.ring_bytes ~slots ~queues
+       in
+       (match
+          match quota with
+          | Some q -> Quota.charge_uchan q ~bytes:ring_charge
+          | None -> Ok ()
+        with
+        | Error e ->
+          Process.kill proc;
+          Error ("uchan rings: " ^ e)
+        | Ok () ->
+       let chan =
+         Uchan.create k ?hang_timeout_ns ~slots ~queues ~epoch
+           ~profile:Proxy_proto.conformance_profile ~driver_label:name ()
+       in
+       (match quota with
+        | None -> ()
+        | Some q ->
+          Uchan.set_notify_hook chan (Some (fun ~queue -> Quota.note_notify q ~queue));
+          Process.on_exit proc (fun () -> Quota.release_uchan q ~bytes:ring_charge));
        let proxy =
          Proxy_net.create k ~chan ~grant ~pool ~name ~defensive_copy ?adopt:adopt_netdev ()
        in
@@ -96,14 +127,16 @@ let start_net_at k sp ?hang_timeout_ns ?queues ?adopt_netdev ?(unregister_on_exi
               s_class = Proxy_net.instance proxy;
               s_uml = uml;
               s_netdev = dev;
-              s_queues = queues }))
+              s_queues = queues;
+              s_quota = quota;
+              s_epoch = epoch })))
 
 let start_net k sp ?(uid = 1000) ?(defensive_copy = true) ?name ?bdf ?hang_timeout_ns
-    ?queues ?adopt_netdev ?unregister_on_exit drv =
+    ?queues ?adopt_netdev ?unregister_on_exit ?quota ?epoch drv =
   let name = Option.value ~default:drv.Driver_api.nd_name name in
   let go bdf =
-    start_net_at k sp ?hang_timeout_ns ?queues ?adopt_netdev ?unregister_on_exit ~uid
-      ~defensive_copy ~name ~bdf drv
+    start_net_at k sp ?hang_timeout_ns ?queues ?adopt_netdev ?unregister_on_exit ?quota
+      ?epoch ~uid ~defensive_copy ~name ~bdf drv
   in
   match bdf with
   | Some bdf -> go bdf
@@ -118,6 +151,8 @@ let class_of s = s.s_class
 let uml s = s.s_uml
 let bdf s = s.s_bdf
 let queues s = s.s_queues
+let quota s = s.s_quota
+let epoch s = s.s_epoch
 
 let kill s = Process.kill s.s_proc
 
@@ -126,8 +161,12 @@ let restart k sp s drv =
   (* Let teardown events (fiber kills, device reset) settle at the current
      instant before re-opening the device. *)
   ignore (Fiber.sleep k.Kernel.eng 1_000 : Fiber.wake);
-  start_net_at k sp ~queues:s.s_queues ~uid:s.s_uid ~defensive_copy:s.s_defensive
-    ~name:s.s_name ~bdf:s.s_bdf drv
+  (* The quota survives the restart; the epoch does not — the new
+     generation's channel stamps (and accepts only) epoch+1, so frames
+     replayed from the dead generation adjudicate as [Bad_epoch]. *)
+  start_net_at k sp ~queues:s.s_queues ?quota:s.s_quota
+    ~epoch:((s.s_epoch + 1) land Msg.max_epoch) ~uid:s.s_uid
+    ~defensive_copy:s.s_defensive ~name:s.s_name ~bdf:s.s_bdf drv
 
 let set_memory_limit s ~bytes = Process.setrlimit_memory s.s_proc ~bytes:(Some bytes)
 
@@ -158,7 +197,10 @@ let open_with_pool k sp ~uid ~name ~bdf =
            ~base_addr:region.Driver_api.dma_addr ~count:pool_bufs ~buf_size:pool_buf_size
        in
        let queues = max 1 (min (Safe_pci.msix_vectors grant) Uchan.max_queues) in
-       let chan = Uchan.create k ~queues ~driver_label:name () in
+       let chan =
+         Uchan.create k ~queues ~profile:Proxy_proto.conformance_profile
+           ~driver_label:name ()
+       in
        Ok (proc, grant, pool, chan))
 
 let find_by_ids k ids what =

@@ -22,6 +22,8 @@ val start_net :
   ?queues:int ->
   ?adopt_netdev:Netdev.t ->
   ?unregister_on_exit:bool ->
+  ?quota:Quota.t ->
+  ?epoch:int ->
   Driver_api.net_driver ->
   (started, string) result
 (** Defaults: [uid] 1000, defensive copy on, [name] the driver's name,
@@ -32,7 +34,18 @@ val start_net :
     [pd_msix_vectors].  The supervisor passes [adopt_netdev] (reuse a
     surviving netdev instead of registering a new one) and
     [unregister_on_exit:false] (it owns the netdev's lifecycle; process
-    death must not tear the interface down). *)
+    death must not tear the interface down).
+
+    With [quota], the driver's whole footprint is charged to the ledger:
+    the device grant and its DMA mappings (via {!Safe_pci.open_device}),
+    the uchan ring memory (the queue count is first {e negotiated} down
+    until the footprint fits the remaining budget), and every
+    driver-side notification kick draws a token
+    ({!Quota.note_notify}).  [epoch] (default 0) is the uchan generation
+    stamp: the channel stamps it into every outgoing header and its
+    conformance validator rejects ingress frames carrying any other —
+    {!restart} starts the replacement at [epoch + 1], so frames replayed
+    from a dead generation adjudicate as stale. *)
 
 val proc : started -> Process.t
 val netdev : started -> Netdev.t
@@ -49,6 +62,11 @@ val bdf : started -> Bus.bdf
 
 val queues : started -> int
 (** Ring pairs on this driver's uchan. *)
+
+val quota : started -> Quota.t option
+val epoch : started -> int
+(** The uchan generation stamp this instance marshals into (and demands
+    of) every message header. *)
 
 val kill : started -> unit
 (** kill -9: the process dies, the grant is revoked, the uchan closes,

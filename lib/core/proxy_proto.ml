@@ -47,6 +47,22 @@ let down_wifi_rates = 115       (* async; payload = supported rates, one u16 eac
 let down_audio_register = 116   (* sync *)
 let down_printk = 120           (* async; payload = message *)
 
+(* Kind vocabulary for the uchan conformance DFA, covering the
+   driver->kernel (downcall) direction the kernel adjudicates.  The
+   registration syncs gate the data plane; notification-ish downcalls a
+   driver legitimately sends while still probing (printk, carrier, irq
+   acks, wifi rate tables) are Control — serve_wifi, for one, ships its
+   rate table before the registration handshake.  Anything outside the
+   vocabulary is out of protocol. *)
+let classify_downcall = function
+  | 100 | 113 | 116 -> Conformance.Register
+  | 101 | 102 | 103 -> Conformance.Data
+  | 104 | 105 | 110 | 111 | 112 | 114 | 115 | 120 -> Conformance.Control
+  | _ -> Conformance.Unknown
+
+let conformance_profile =
+  { Conformance.p_name = "proxy"; p_classify = classify_downcall }
+
 let name_of = function
   | 1 -> "net_open" | 2 -> "net_stop" | 3 -> "net_xmit" | 4 -> "net_ioctl"
   | 5 -> "interrupt" | 6 -> "ping"

@@ -38,6 +38,9 @@ and grant = {
   mutable g_msix : bool;                    (* vectors ride MSI-X, not legacy MSI *)
   mutable g_sink : (queue:int -> unit) option;
   mutable g_amd_msi_mapped : bool;
+  g_quota : Quota.t option;      (* per-driver ledger; charged for this
+                                    grant, its DMA mappings and IRQ-kick
+                                    tokens when present *)
 }
 
 and t = {
@@ -98,9 +101,14 @@ let release grant =
       (fun da ->
          Iommu.unmap t.k.Kernel.iommu grant.g_domain ~iova:da.da_iova
            ~len:(da.da_pages * Bus.page_size);
-         Phys_mem.free_pages t.k.Kernel.mem ~addr:da.da_phys ~pages:da.da_pages)
+         Phys_mem.free_pages t.k.Kernel.mem ~addr:da.da_phys ~pages:da.da_pages;
+         match grant.g_quota with
+         | Some q ->
+           Quota.release_dma q ~bytes:(da.da_pages * Bus.page_size) ~pages:da.da_pages
+         | None -> ())
       grant.g_allocs;
     grant.g_allocs <- [];
+    (match grant.g_quota with Some q -> Quota.release_grant q | None -> ());
     List.iter
       (fun (base, len) -> Ioport.Iopb.revoke grant.g_iopb ~base ~len)
       grant.g_io_grants;
@@ -113,7 +121,7 @@ let release grant =
       (Bus.string_of_bdf grant.g_bdf) (Process.name grant.g_proc)
   end
 
-let open_device t bdf ~proc =
+let open_device t ?quota bdf ~proc =
   match Hashtbl.find_opt t.devices bdf with
   | None -> Error "device not registered with SUD"
   | Some rd ->
@@ -124,6 +132,9 @@ let open_device t bdf ~proc =
       match Pci_topology.find_device t.k.Kernel.topo bdf with
       | None -> Error "no such PCI device"
       | Some dev ->
+        match (match quota with None -> Ok () | Some q -> Quota.charge_grant q) with
+        | Error e -> Error e
+        | Ok () ->
         (* Start from a clean device: reset, decoding off, INTx disabled
            (SUD never allows legacy interrupts, §3.2.2). *)
         (Device.ops dev).Device.reset ();
@@ -144,7 +155,8 @@ let open_device t bdf ~proc =
             g_vecs = [||];
             g_msix = false;
             g_sink = None;
-            g_amd_msi_mapped = false }
+            g_amd_msi_mapped = false;
+            g_quota = quota }
         in
         rd.rd_grant <- Some grant;
         Process.on_exit proc (fun () -> release grant);
@@ -164,6 +176,7 @@ let open_device t bdf ~proc =
 
 let grant_bdf g = g.g_bdf
 let grant_alive g = g.g_alive
+let grant_quota g = g.g_quota
 let grant_num_vectors g = Array.length g.g_vecs
 
 let vec_of g queue =
@@ -322,6 +335,17 @@ let alloc_dma g ?(coherent = true) ~bytes () =
     match Process.charge_memory g.g_proc ~bytes:(pages * Bus.page_size) with
     | exception Process.Rlimit_exceeded m -> Error m
     | () ->
+      match
+        (match g.g_quota with
+         | None -> Ok ()
+         | Some q -> Quota.charge_dma q ~bytes:(pages * Bus.page_size) ~pages)
+      with
+      | Error e ->
+        (* Ledger full: undo the rlimit charge and deny the mapping —
+           backpressure, not kernel allocation. *)
+        Process.uncharge_memory g.g_proc ~bytes:(pages * Bus.page_size);
+        Error e
+      | Ok () ->
       let phys = Phys_mem.alloc_pages g.g.k.Kernel.mem ~pages in
       let iova = g.g_next_iova in
       g.g_next_iova <- iova + (pages * Bus.page_size);
@@ -357,7 +381,11 @@ let free_dma g region =
       Iommu.unmap g.g.k.Kernel.iommu g.g_domain ~iova:da.da_iova
         ~len:(da.da_pages * Bus.page_size);
       Phys_mem.free_pages g.g.k.Kernel.mem ~addr:da.da_phys ~pages:da.da_pages;
-      Process.uncharge_memory g.g_proc ~bytes:(da.da_pages * Bus.page_size)
+      Process.uncharge_memory g.g_proc ~bytes:(da.da_pages * Bus.page_size);
+      (match g.g_quota with
+       | Some q ->
+         Quota.release_dma q ~bytes:(da.da_pages * Bus.page_size) ~pages:da.da_pages
+       | None -> ())
   end
 
 let lookup_iova g ~iova ~len =
@@ -491,10 +519,22 @@ let handle_irq g ~queue ~source =
       vs.vs_awaiting_ack <- true;
       (match g.g_sink with
        | Some sink ->
-         t.n_fwd <- t.n_fwd + 1;
-         Sud_obs.Metrics.incr vs.vs_delivered;
-         Cpu.account t.k.Kernel.cpu ~label:"kernel:sud" (model t).Cost_model.irq_upcall_ns;
-         sink ~queue
+         (* Rate limiting at the forwarding boundary: a dry per-queue
+            token bucket absorbs an interrupt flood here — the vector is
+            already masked and the pending bit latches, so [irq_ack]'s
+            replay keeps a legitimate device live while a screaming one
+            stops costing upcalls.  The drop is counted on the ledger. *)
+         let permitted =
+           match g.g_quota with
+           | Some q -> Quota.take_irq_token q ~queue
+           | None -> true
+         in
+         if permitted then begin
+           t.n_fwd <- t.n_fwd + 1;
+           Sud_obs.Metrics.incr vs.vs_delivered;
+           Cpu.account t.k.Kernel.cpu ~label:"kernel:sud" (model t).Cost_model.irq_upcall_ns;
+           sink ~queue
+         end
        | None -> ())
     end
   end

@@ -39,10 +39,17 @@ val set_owner : t -> Bus.bdf -> uid:int -> unit
 val device_files : t -> Bus.bdf -> string list
 (** Paths as in Figure 6; empty if unregistered. *)
 
-val open_device : t -> Bus.bdf -> proc:Process.t -> (grant, string) result
+val open_device : t -> ?quota:Quota.t -> Bus.bdf -> proc:Process.t -> (grant, string) result
 (** Checks UID ownership, resets the device, disables legacy INTx,
     creates a fresh IOMMU domain, and registers cleanup with the process
-    so death revokes everything. *)
+    so death revokes everything.  With [quota], the grant is charged to
+    the driver's ledger (and can be denied); its DMA mappings charge
+    bytes + IO-page-table pages, and IRQ forwarding draws per-queue
+    kick tokens (a dry bucket drops the upcall — the masked vector's
+    pending bit latches and the ack-time replay keeps the device
+    live). *)
+
+val grant_quota : grant -> Quota.t option
 
 val release : grant -> unit
 (** Revoke the grant: unmap DMA, revoke IO ports, mask MSI, free the

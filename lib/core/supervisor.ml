@@ -16,6 +16,8 @@ type policy = {
   restart_window_ns : int;
   backlog_limit : int;
   flood_threshold : int;
+  quota_limits : Quota.limits;
+  overflow_threshold : int;
 }
 
 let default_policy =
@@ -27,7 +29,9 @@ let default_policy =
     max_restarts = 5;
     restart_window_ns = 2_000_000_000;
     backlog_limit = 256;
-    flood_threshold = 512 }
+    flood_threshold = 512;
+    quota_limits = Quota.default_limits;
+    overflow_threshold = 512 }
 
 type state = Running | Recovering | Quarantined | Stopped
 
@@ -74,6 +78,9 @@ type t = {
   mutable base_storms : int;
   mutable base_faults : int;
   mutable last_dropped : int;
+  mutable base_proto : int;
+  mutable last_overflow : int;
+  quota : Quota.t;
   sm : metrics;
 }
 and metrics = {
@@ -119,6 +126,10 @@ let install t s =
   t.last_dropped <- Sud_obs.Metrics.get um.Uchan.um_dropped;
   t.base_storms <- Safe_pci.grant_storms (Driver_host.grant s);
   t.base_faults <- count_faults t;
+  (* The channel is recreated each generation, so its conformance counts
+     restart from zero; the quota (and its overflow counter) survives. *)
+  t.base_proto <- Uchan.proto_violations (Driver_host.chan s);
+  t.last_overflow <- Quota.notify_overflows t.quota;
   Process.on_exit (Driver_host.proc s) (fun () ->
       if t.gen = gen && t.state = Running then
         ignore (Sync.Waitq.signal t.kickq : bool))
@@ -137,11 +148,16 @@ let health_check t =
       Some "interrupt storm escalation"
     else if Sud_obs.Metrics.get um.Uchan.um_malformed > t.base_malformed then
       Some "malformed uchan message"
+    else if Uchan.proto_violations chan > t.base_proto then
+      Some "uchan protocol violation"
     else if Sud_obs.Metrics.get um.Uchan.um_dropped - t.last_dropped >= t.policy.flood_threshold
     then Some "uchan ring flood"
+    else if Quota.notify_overflows t.quota - t.last_overflow >= t.policy.overflow_threshold
+    then Some "notification flood (quota overflow)"
     else if Proxy_class.hung (Driver_host.class_of s) then Some "upcall hung"
     else begin
       t.last_dropped <- Sud_obs.Metrics.get um.Uchan.um_dropped;
+      t.last_overflow <- Quota.notify_overflows t.quota;
       if not t.policy.heartbeat then None
       else
         (* The ping is answered inline by the driver's queue-0 service
@@ -200,9 +216,12 @@ let quarantine t reason =
 
 let start_generation t =
   let attempt = t.restarts + 1 in
+  (* The quota survives the restart (a crash-looper cannot launder its
+     footprint by dying); the epoch tracks the generation, so the new
+     channel rejects frames replayed from the dead one. *)
   Driver_host.start_net t.k t.sp ~uid:t.uid ~defensive_copy:t.defensive ~name:t.name
     ~bdf:t.bdf ~hang_timeout_ns:t.policy.hang_timeout_ns ~adopt_netdev:t.netdev
-    ~unregister_on_exit:false
+    ~unregister_on_exit:false ~quota:t.quota ~epoch:(t.gen land Msg.max_epoch)
     (t.factory ~attempt)
 
 let recover t reason =
@@ -321,9 +340,11 @@ let start k sp ?(policy = default_policy) ?(uid = 1000) ?(defensive_copy = true)
     ~bdf factory =
   let drv = factory ~attempt:0 in
   let name = Option.value ~default:drv.Driver_api.nd_name name in
+  let quota = Quota.create k.Kernel.eng ~limits:policy.quota_limits ~name () in
   match
     Driver_host.start_net k sp ~uid ~defensive_copy ~name ~bdf
-      ~hang_timeout_ns:policy.hang_timeout_ns ~unregister_on_exit:false drv
+      ~hang_timeout_ns:policy.hang_timeout_ns ~unregister_on_exit:false ~quota ~epoch:0
+      drv
   with
   | Error e -> Error e
   | Ok s ->
@@ -354,6 +375,9 @@ let start k sp ?(policy = default_policy) ?(uid = 1000) ?(defensive_copy = true)
         base_storms = 0;
         base_faults = 0;
         last_dropped = 0;
+        base_proto = 0;
+        last_overflow = 0;
+        quota;
         sm =
           (let labels = [ "driver", name ] in
            let c n = Sud_obs.Metrics.counter ~labels ~subsystem:"supervisor" ~name:n () in
@@ -394,6 +418,7 @@ let current t = t.cur
 let proc t = Option.map Driver_host.proc t.cur
 let chan t = Option.map Driver_host.chan t.cur
 let grant t = Option.map Driver_host.grant t.cur
+let quota t = t.quota
 
 let metrics t = t.sm
 

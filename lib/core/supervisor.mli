@@ -8,6 +8,11 @@
 
     - driver process death (also kicked immediately via an exit hook),
     - uchan closed, malformed user→kernel slots, downcall-ring floods,
+    - uchan protocol violations adjudicated by {!Conformance} (wrong
+      epoch, forged completions, out-of-order sequences, kinds illegal
+      in the DFA state),
+    - sustained notification-kick overflow on the driver's {!Quota}
+      token bucket,
     - upcalls timing out ([Proxy_net.hung], heartbeat below),
     - IOMMU faults attributed to the device's BDF,
     - interrupt-storm escalations counted by the grant —
@@ -40,12 +45,18 @@ type policy = {
   backlog_limit : int;  (** frames buffered while recovering *)
   flood_threshold : int;
       (** dropped async downcalls per tick treated as a ring flood *)
+  quota_limits : Quota.limits;
+      (** the resource ledger handed to every driver generation *)
+  overflow_threshold : int;
+      (** notification-kick token-bucket overflows per tick treated as a
+          doorbell flood *)
 }
 
 val default_policy : policy
 (** 5 ms tick, heartbeat on, 20 ms hang timeout, 2 ms initial backoff
     capped at 200 ms, 5 restarts per 2 s window, 256-frame backlog,
-    flood at 512 drops/tick. *)
+    flood at 512 drops/tick, {!Quota.default_limits}, overflow at 512
+    per tick. *)
 
 type state = Running | Recovering | Quarantined | Stopped
 
@@ -102,6 +113,10 @@ val current : t -> Driver_host.started option
 val proc : t -> Process.t option
 val chan : t -> Uchan.t option
 val grant : t -> Safe_pci.grant option
+
+val quota : t -> Quota.t
+(** The driver's resource ledger — one per supervised device, shared by
+    every generation (restarting does not launder the footprint). *)
 
 val on_event : t -> (event -> unit) -> unit
 (** Subscribe to lifecycle events (delivered synchronously, in

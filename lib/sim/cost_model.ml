@@ -3,6 +3,7 @@ type t = {
   context_switch_ns : int;
   wakeup_ns : int;
   uchan_msg_ns : int;
+  uchan_validate_ns : int;
   uchan_notify_ns : int;
   copy_ns_per_kb : int;
   checksum_ns_per_kb : int;
@@ -29,6 +30,7 @@ let default =
     context_switch_ns = 900;
     wakeup_ns = 4_000;
     uchan_msg_ns = 120;
+    uchan_validate_ns = 12;
     uchan_notify_ns = 350;
     copy_ns_per_kb = 240;
     checksum_ns_per_kb = 180;

@@ -11,6 +11,8 @@ type t = {
   context_switch_ns : int;    (** address-space switch *)
   wakeup_ns : int;            (** waking a sleeping process (paper: ~4 us) *)
   uchan_msg_ns : int;         (** marshal + ring slot handling, per message *)
+  uchan_validate_ns : int;    (** protocol-conformance adjudication per u2k slot
+                                  (epoch + seq + reply matching + kind DFA) *)
   uchan_notify_ns : int;      (** kicking the uchan file descriptor *)
   copy_ns_per_kb : int;       (** memcpy *)
   checksum_ns_per_kb : int;   (** internet checksum (and the fused copy+csum) *)

@@ -1,6 +1,7 @@
 type t = {
   kind : int;
   seq : int;
+  epoch : int;
   args : int array;
   payload : bytes;
   buf : int;
@@ -8,15 +9,21 @@ type t = {
 
 let slot_size = 128
 let max_args = 6
+let max_epoch = 0xFFFF
 
-(* kind(2) seq(4) buf(4) nargs(1) plen(1) args(8*6) = 60 bytes of header *)
-let header = 60
+(* kind(2) seq(4) buf(4) nargs(1) plen(1) epoch(2) args(8*6) = 62 bytes of
+   header.  The epoch is the channel generation stamp: the kernel side
+   rejects slots whose epoch does not match the live channel's, so frames
+   replayed from a dead driver generation are detected at ingress instead
+   of being confused for fresh traffic. *)
+let header = 62
 let max_payload = slot_size - header
 
-let make ?(seq = 0) ?(args = []) ?(payload = Bytes.empty) ?(buf = -1) ~kind () =
+let make ?(seq = 0) ?(epoch = 0) ?(args = []) ?(payload = Bytes.empty) ?(buf = -1) ~kind () =
   if List.length args > max_args then invalid_arg "Msg.make: too many args";
   if Bytes.length payload > max_payload then invalid_arg "Msg.make: payload too large";
-  { kind; seq; args = Array.of_list args; payload; buf }
+  if epoch < 0 || epoch > max_epoch then invalid_arg "Msg.make: epoch out of range";
+  { kind; seq; epoch; args = Array.of_list args; payload; buf }
 
 (* Marshal into a caller-supplied slot (e.g. a ring slot borrowed via
    {!Ring.push_inplace}) without allocating.  Only the bytes the format
@@ -31,7 +38,8 @@ let marshal_into t b =
   Bytes.set_int32_le b 6 (Int32.of_int t.buf);
   Bytes.set b 10 (Char.chr (Array.length t.args));
   Bytes.set b 11 (Char.chr (Bytes.length t.payload));
-  Array.iteri (fun i v -> Bytes.set_int64_le b (12 + (8 * i)) (Int64.of_int v)) t.args;
+  Bytes.set_uint16_le b 12 (t.epoch land max_epoch);
+  Array.iteri (fun i v -> Bytes.set_int64_le b (14 + (8 * i)) (Int64.of_int v)) t.args;
   Bytes.blit t.payload 0 b header (Bytes.length t.payload)
 
 let marshal t =
@@ -54,7 +62,8 @@ let unmarshal_view b =
         { kind = Bytes.get_uint16_le b 0;
           seq = Int32.to_int (Bytes.get_int32_le b 2);
           buf = Int32.to_int (Bytes.get_int32_le b 6);
-          args = Array.init nargs (fun i -> Int64.to_int (Bytes.get_int64_le b (12 + (8 * i))));
+          epoch = Bytes.get_uint16_le b 12;
+          args = Array.init nargs (fun i -> Int64.to_int (Bytes.get_int64_le b (14 + (8 * i))));
           payload = (if plen = 0 then Bytes.empty else Bytes.sub b header plen) }
   end
 
@@ -72,8 +81,9 @@ let arg t i = if i >= 0 && i < Array.length t.args then t.args.(i) else 0
    magic is far above [max_args], so the scalar unmarshaller can never
    confuse one for the other, and [Msg.make] can never produce it.
 
-   Layout: kind(2,u16le)@0 count(1)@2 zeros@3..9 magic(1)@10 zero@11,
-   then [count] 8-byte entries: a0(4,u32le) a1(2,u16le) chk(2,u16le).
+   Layout: kind(2,u16le)@0 count(1)@2 epoch(2,u16le)@3 zeros@5..9
+   magic(1)@10 zero@11, then [count] 8-byte entries:
+   a0(4,u32le) a1(2,u16le) chk(2,u16le).
    The per-entry checksum lets the kernel drop exactly the entries a
    malicious driver garbled while still delivering their siblings. *)
 module Batch = struct
@@ -99,13 +109,15 @@ module Batch = struct
 
   let is_batch b = Bytes.length b >= slot_size && Char.code (Bytes.get b 10) = magic
 
-  let marshal_into ~kind entries b =
+  let marshal_into ?(epoch = 0) ~kind entries b =
     let n = Array.length entries in
     if n = 0 || n > max_frames then invalid_arg "Msg.Batch.marshal_into: bad frame count";
     if Bytes.length b < slot_size then invalid_arg "Msg.Batch.marshal_into: slot too small";
+    if epoch < 0 || epoch > max_epoch then invalid_arg "Msg.Batch.marshal_into: epoch out of range";
     Bytes.set_uint16_le b 0 (kind land 0xFFFF);
     Bytes.set b 2 (Char.chr n);
-    Bytes.fill b 3 7 '\000';
+    Bytes.set_uint16_le b 3 epoch;
+    Bytes.fill b 5 5 '\000';
     Bytes.set b 10 (Char.chr magic);
     Bytes.set b 11 '\000';
     Array.iteri
@@ -136,6 +148,7 @@ module Batch = struct
       if n = 0 || n > max_frames then Error "bad batch count"
       else begin
         let kind = Bytes.get_uint16_le b 0 in
+        let epoch = Bytes.get_uint16_le b 3 in
         let entries =
           List.init n (fun i ->
               let off = hdr_size + (entry_size * i) in
@@ -144,7 +157,7 @@ module Batch = struct
               let stored = Bytes.get_uint16_le b (off + 6) in
               if stored = chk a0 a1 then Ok (a0, a1) else Error "bad entry checksum")
         in
-        Ok (kind, entries)
+        Ok (kind, epoch, entries)
       end
     end
 end

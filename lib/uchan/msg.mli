@@ -1,15 +1,16 @@
 (** Uchan messages ([msg_t] in the paper).
 
     A message carries an opcode, a correlation sequence number (0 for
-    asynchronous messages), up to {!max_args} integer arguments, an
-    optional small inline payload and an optional shared-buffer
-    reference.  Messages are marshalled into fixed {!slot_size}-byte ring
-    slots — bulk data never travels inline; it goes through shared
-    buffers ({!Bufpool}). *)
+    asynchronous messages), a channel-generation epoch, up to {!max_args}
+    integer arguments, an optional small inline payload and an optional
+    shared-buffer reference.  Messages are marshalled into fixed
+    {!slot_size}-byte ring slots — bulk data never travels inline; it
+    goes through shared buffers ({!Bufpool}). *)
 
 type t = {
   kind : int;             (** RPC opcode, proxy-class specific *)
   seq : int;              (** correlation id; 0 = asynchronous *)
+  epoch : int;            (** channel generation stamp (u16); see {!Conformance} *)
   args : int array;       (** at most {!max_args} entries *)
   payload : bytes;        (** inline payload, at most {!max_payload} *)
   buf : int;              (** shared buffer id, or -1 *)
@@ -19,7 +20,13 @@ val slot_size : int
 val max_args : int
 val max_payload : int
 
-val make : ?seq:int -> ?args:int list -> ?payload:bytes -> ?buf:int -> kind:int -> unit -> t
+val max_epoch : int
+(** Epochs are 16-bit on the wire; generation numbers wrap modulo
+    [max_epoch + 1]. *)
+
+val make :
+  ?seq:int -> ?epoch:int -> ?args:int list -> ?payload:bytes -> ?buf:int ->
+  kind:int -> unit -> t
 
 val marshal : t -> bytes
 (** Raises [Invalid_argument] if the message exceeds the slot format. *)
@@ -66,18 +73,19 @@ module Batch : sig
   val is_batch : bytes -> bool
   (** Cheap discriminator for a borrowed ring slot. *)
 
-  val marshal_into : kind:int -> (int * int) array -> bytes -> unit
-  (** [marshal_into ~kind entries slot] packs [entries] (each an
-      [(a0, a1)] argument pair) into [slot].  Raises [Invalid_argument]
-      on an empty or oversized batch or an out-of-range argument. *)
+  val marshal_into : ?epoch:int -> kind:int -> (int * int) array -> bytes -> unit
+  (** [marshal_into ?epoch ~kind entries slot] packs [entries] (each an
+      [(a0, a1)] argument pair) into [slot], stamping the channel
+      [epoch] (default 0).  Raises [Invalid_argument] on an empty or
+      oversized batch or an out-of-range argument. *)
 
   val corrupt_entry : bytes -> int -> unit
   (** Fault injection: garble entry [i] of a marshalled batch slot so
       its checksum no longer verifies. *)
 
-  val unmarshal_view : bytes -> (int * (int * int, string) result list, string) result
-  (** Defensive decode of a borrowed slot: returns the shared kind and
-      one result per entry — [Error] for entries whose checksum fails
-      (the siblings still decode).  The slot-level [Error] cases are a
-      non-batch slot or a wild count byte. *)
+  val unmarshal_view : bytes -> (int * int * (int * int, string) result list, string) result
+  (** Defensive decode of a borrowed slot: returns the shared kind, the
+      stamped epoch, and one result per entry — [Error] for entries
+      whose checksum fails (the siblings still decode).  The slot-level
+      [Error] cases are a non-batch slot or a wild count byte. *)
 end

@@ -50,13 +50,26 @@ type t = {
   u_pending : (int, waiter) Hashtbl.t;   (* user sync downcalls awaiting replies *)
   mutable handler : (queue:int -> Msg.t -> Msg.t option) option;
   um : metrics;
+  (* Protocol conformance: every driver->kernel slot is stamped with the
+     channel's generation epoch on marshal and adjudicated at ingress by
+     the kernel worker (see {!Conformance}). *)
+  epoch : int;
+  conf : Conformance.t;
   (* Fault injection (lib/attacks): a wedged channel parks the driver's
      main loop; corrupt/drop counters garble or swallow the next driver
-     replies at the transport, before the kernel worker sees them. *)
+     replies at the transport, before the kernel worker sees them.  The
+     mutator and raw injector are the live-fuzzer hooks: the former
+     scribbles on each marshalled u2k slot while it is still borrowed
+     (a driver corrupting traffic in flight), the latter forges whole
+     slots the driver never sent. *)
   mutable wedged : bool;
   mutable corrupt_next : int;
   mutable drop_next : int;
   mutable corrupt_batch_next : int;
+  mutable u2k_mutator : (queue:int -> bytes -> unit) option;
+  (* Observer called before each driver-side worker kick — the quota
+     layer hangs its notification token bucket here. *)
+  mutable notify_hook : (queue:int -> unit) option;
   (* Driver-side batch accumulation threshold: how many async downcalls
      pile up on a queue before the batch ships without waiting for the
      driver's next kernel entry.  1 disables aggregation (every send
@@ -73,6 +86,7 @@ let consume_cur t ns =
   | exception Failure _ -> Cpu.account t.k.Kernel.cpu ~label ns
 
 let msg_cost t = consume_cur t (model t).Cost_model.uchan_msg_ns
+let validate_cost t = consume_cur t (model t).Cost_model.uchan_validate_ns
 let notify_cost t = consume_cur t (model t).Cost_model.uchan_notify_ns
 let syscall_cost t = consume_cur t (model t).Cost_model.syscall_ns
 
@@ -102,10 +116,14 @@ let qstate_of t queue =
          (Array.length t.qs));
   t.qs.(queue)
 
-(* Marshal straight into the ring slot — no per-message 128-byte buffer. *)
-let push_flagged ring m ~is_reply =
+(* Marshal straight into the ring slot — no per-message 128-byte buffer.
+   [mutate] (fuzzer hook) runs on the marshalled bytes while the slot is
+   still borrowed, exactly as a malicious driver racing the ring would. *)
+let push_flagged ?mutate ring m ~is_reply =
   let m = if is_reply then { m with Msg.kind = m.Msg.kind lor reply_flag } else m in
-  Ring.push_inplace ring (Msg.marshal_into m)
+  Ring.push_inplace ring (fun slot ->
+      Msg.marshal_into m slot;
+      match mutate with Some f -> f slot | None -> ())
 
 let complete_waiter tbl seq result =
   match Hashtbl.find_opt tbl seq with
@@ -129,7 +147,28 @@ let dispatch_u2k t q decoded =
     Klog.printk t.k.Kernel.klog Klog.Warn "uchan(%s): malformed message from driver: %s"
       t.label e
   | Ok m ->
-    if m.Msg.kind land reply_flag <> 0 then begin
+    (* Protocol adjudication: a well-formed slot must also be in
+       protocol — live epoch, monotone seq, completion matching, kind
+       legal in the channel's DFA state.  Violations are counted per
+       class and the message is dropped on the floor; the supervisor
+       escalates from the counters. *)
+    let is_reply = m.Msg.kind land reply_flag <> 0 in
+    let verdict =
+      Conformance.check_ingress t.conf ~epoch:m.Msg.epoch ~is_reply ~seq:m.Msg.seq
+        ~kind:(m.Msg.kind land lnot reply_flag)
+        ~pending:(fun s -> Hashtbl.mem t.k_pending s)
+        ~issued_hi:t.next_seq
+    in
+    match verdict with
+    | Conformance.Violation v ->
+      Klog.printk t.k.Kernel.klog
+        (if Conformance.escalates v then Klog.Warn else Klog.Debug)
+        "uchan(%s): protocol violation (%s) kind %d seq %d epoch %d dropped" t.label
+        (Conformance.class_name v)
+        (m.Msg.kind land lnot reply_flag)
+        m.Msg.seq m.Msg.epoch
+    | Conformance.Pass ->
+    if is_reply then begin
       let m = { m with Msg.kind = m.Msg.kind land lnot reply_flag } in
       if not (complete_waiter t.k_pending m.Msg.seq (Ok m)) then
         Klog.printk t.k.Kernel.klog Klog.Debug "uchan(%s): stale reply seq %d" t.label m.Msg.seq
@@ -173,7 +212,7 @@ let dispatch_u2k t q decoded =
    the slot is still borrowed. *)
 type u2k_slot =
   | U2k_scalar of (Msg.t, string) result
-  | U2k_batch of (int * (int * int, string) result list, string) result
+  | U2k_batch of (int * int * (int * int, string) result list, string) result
 
 let read_u2k_slot slot =
   if Msg.Batch.is_batch slot then U2k_batch (Msg.Batch.unmarshal_view slot)
@@ -189,7 +228,7 @@ let dispatch_u2k_batch t q decoded =
     Sud_obs.Metrics.incr t.um.um_malformed;
     Klog.printk t.k.Kernel.klog Klog.Warn "uchan(%s): malformed batch from driver: %s"
       t.label e
-  | Ok (kind, entries) ->
+  | Ok (kind, epoch, entries) ->
     List.iter
       (fun entry ->
          match entry with
@@ -201,7 +240,8 @@ let dispatch_u2k_batch t q decoded =
            Sud_obs.Metrics.incr t.um.um_malformed_frames;
            Klog.printk t.k.Kernel.klog Klog.Warn
              "uchan(%s): dropping corrupt frame in batch: %s" t.label e
-         | Ok (a0, a1) -> dispatch_u2k t q (Ok (Msg.make ~kind ~args:[ a0; a1 ] ())))
+         | Ok (a0, a1) ->
+           dispatch_u2k t q (Ok (Msg.make ~kind ~epoch ~args:[ a0; a1 ] ())))
       entries
 
 let worker_loop t q () =
@@ -210,6 +250,7 @@ let worker_loop t q () =
       match Ring.pop_inplace q.u2k read_u2k_slot with
       | Some decoded ->
         msg_cost t;
+        validate_cost t;
         if Sud_obs.Trace.on () then
           ignore
             (Sud_obs.Trace.emit ~cat:"uchan" ~name:"pop"
@@ -229,9 +270,10 @@ let worker_loop t q () =
   loop ()
 
 let create k ?(slots = 256) ?hang_timeout_ns:(hto = hang_timeout_ns) ?(queues = 1)
-    ~driver_label () =
+    ?(epoch = 0) ?profile ~driver_label () =
   if queues < 1 || queues > max_queues then
     invalid_arg "Uchan.create: queues out of range";
+  let epoch = epoch land Msg.max_epoch in
   let labels = [ "chan", driver_label ] in
   let qs =
     Array.init queues (fun qi ->
@@ -268,10 +310,14 @@ let create k ?(slots = 256) ?hang_timeout_ns:(hto = hang_timeout_ns) ?(queues = 
            um_malformed = c "malformed";
            um_malformed_frames = c "malformed_frames";
            um_rpc_ns = Sud_obs.Metrics.histogram ~labels ~subsystem:"uchan" ~name:"rpc_ns" () });
+      epoch;
+      conf = Conformance.create ?profile ~label:driver_label ~epoch ();
       wedged = false;
       corrupt_next = 0;
       drop_next = 0;
       corrupt_batch_next = 0;
+      u2k_mutator = None;
+      notify_hook = None;
       batch_limit = default_batch_limit }
   in
   Array.iter
@@ -305,6 +351,7 @@ let set_downcall_handler t h = t.handler <- Some h
 
 let push_k2u t q m =
   msg_cost t;
+  let m = { m with Msg.epoch = t.epoch } in
   if push_flagged q.k2u m ~is_reply:false then begin
     Sud_obs.Metrics.incr t.um.um_up;
     Sud_obs.Metrics.incr q.q_up;
@@ -423,8 +470,24 @@ let ksend_nonblock t q m =
 
 (* ---- user (driver) side ---- *)
 
+(* Driver-side worker kick, with the quota layer's notification token
+   bucket observing every kick (sustained floods are counted there and
+   escalated by the supervisor; the kick itself always lands — starving
+   the trusted worker would just wedge the ring). *)
+let kick_worker t q =
+  (match t.notify_hook with Some f -> f ~queue:q.qi | None -> ());
+  kick t q.worker_waitq
+
+let u2k_mutate t q =
+  match t.u2k_mutator with
+  | None -> None
+  | Some f -> Some (fun slot -> f ~queue:q.qi slot)
+
 let push_u2k_raw t q m ~is_reply =
   msg_cost t;
+  (* Stamp the live generation epoch into every marshalled header: the
+     kernel-side adjudicator rejects anything else. *)
+  let m = { m with Msg.epoch = t.epoch } in
   if is_reply && t.drop_next > 0 then begin
     (* Injected fault: the reply evaporates in transit.  The driver
        believes it answered; the kernel's sync send times out Hung. *)
@@ -440,7 +503,7 @@ let push_u2k_raw t q m ~is_reply =
        : bool);
     true
   end
-  else if push_flagged q.u2k m ~is_reply then begin
+  else if push_flagged ?mutate:(u2k_mutate t q) q.u2k m ~is_reply then begin
     if not is_reply then begin
       Sud_obs.Metrics.incr t.um.um_down;
       Sud_obs.Metrics.incr q.q_down;
@@ -470,10 +533,11 @@ let push_u2k_batch t q ~kind ms =
   in
   if
     Ring.push_inplace q.u2k (fun slot ->
-        Msg.Batch.marshal_into ~kind entries slot;
+        Msg.Batch.marshal_into ~epoch:t.epoch ~kind entries slot;
         (* Injected fault: garble the last frame of the batch after
            marshalling, as a driver scribbling on the shared ring would. *)
-        if corrupt then Msg.Batch.corrupt_entry slot (n - 1))
+        if corrupt then Msg.Batch.corrupt_entry slot (n - 1);
+        match u2k_mutate t q with Some f -> f slot | None -> ())
   then begin
     Sud_obs.Metrics.add t.um.um_down n;
     Sud_obs.Metrics.add q.q_down n;
@@ -536,7 +600,7 @@ let flush_queue t q =
         go [] 0 rest
     in
     go [] 0 (List.rev batch);
-    kick t q.worker_waitq
+    kick_worker t q
 
 let flush ?queue t =
   match queue with
@@ -557,7 +621,7 @@ let reply ?(queue = 0) t m =
   let q = qstate_of t queue in
   if not t.closed then begin
     flush_queue t q;   (* preserve ordering of async downcalls vs. this reply *)
-    if push_u2k_raw t q m ~is_reply:true then kick t q.worker_waitq
+    if push_u2k_raw t q m ~is_reply:true then kick_worker t q
   end
 
 let dsend_sync t q m =
@@ -570,7 +634,7 @@ let dsend_sync t q m =
     let span = rpc_issue t ~queue:q.qi ~dir:"u2k" ~seq ~kind:m.Msg.kind in
     if not (push_u2k_raw t q m ~is_reply:false) then rpc_finish t ~span ~t0 (Error Hung)
     else begin
-      kick t q.worker_waitq;
+      kick_worker t q;
       let w = { cell = ref None; wq = Sync.Waitq.create () } in
       Hashtbl.replace t.u_pending seq w;
       let rec await () =
@@ -601,7 +665,7 @@ let dsend_async t q m =
     let deadline = Engine.now t.k.Kernel.eng + full_grace_ns in
     let rec attempt () =
       if push_u2k_raw t q m ~is_reply:false then begin
-        kick t q.worker_waitq;
+        kick_worker t q;
         Ok ()
       end
       else if t.closed then Error Closed
@@ -619,7 +683,7 @@ let dsend_async t q m =
 let dsend_nonblock t q m =
   if t.closed then false
   else if push_u2k_raw t q { m with Msg.seq = 0 } ~is_reply:false then begin
-    kick t q.worker_waitq;
+    kick_worker t q;
     true
   end
   else false
@@ -736,12 +800,10 @@ module Queue = struct
 end
 
 let metrics t = t.um
-let upcalls_sent t = Sud_obs.Metrics.get t.um.um_up
-let downcalls_sent t = Sud_obs.Metrics.get t.um.um_down
-let notifications t = Sud_obs.Metrics.get t.um.um_notify
-let dropped t = Sud_obs.Metrics.get t.um.um_dropped
-let malformed t = Sud_obs.Metrics.get t.um.um_malformed
 let hang_timeout t = t.hang_timeout_ns
+let epoch t = t.epoch
+let conformance t = t.conf
+let proto_violations t = Conformance.violations t.conf
 
 let queue_upcalls t ~queue = Sud_obs.Metrics.get (qstate_of t queue).q_up
 let queue_downcalls t ~queue = Sud_obs.Metrics.get (qstate_of t queue).q_down
@@ -762,6 +824,33 @@ let is_wedged t = t.wedged
 let inject_corrupt_replies t n = t.corrupt_next <- t.corrupt_next + n
 let inject_drop_replies t n = t.drop_next <- t.drop_next + n
 let inject_corrupt_batch_frames t n = t.corrupt_batch_next <- t.corrupt_batch_next + n
+
+(* Live-fuzzer hooks (lib/attacks/proto_fuzz): mutate marshalled u2k
+   slots in flight, or forge whole slots the driver never sent. *)
+let set_u2k_mutator t f = t.u2k_mutator <- f
+
+let inject_raw ?(queue = 0) t writer =
+  let q = qstate_of t queue in
+  if t.closed then false
+  else begin
+    let pushed = Ring.push_inplace q.u2k writer in
+    if pushed then kick_worker t q;
+    pushed
+  end
+
+(* A doorbell flood: ring the worker's notification [n] times with no
+   slots behind the kicks.  Each kick passes through the notify hook, so
+   the quota layer's token bucket sees (and counts) the storm; the
+   worker just finds the ring empty and goes back to sleep. *)
+let notify_storm ?(queue = 0) t n =
+  let q = qstate_of t queue in
+  if not t.closed then
+    for _ = 1 to n do
+      kick_worker t q
+    done
+
+(* Quota layer: observe driver-side worker kicks (notification bucket). *)
+let set_notify_hook t f = t.notify_hook <- f
 
 (* ---- batch tuning ---- *)
 

@@ -28,6 +28,8 @@ val create :
   ?slots:int ->
   ?hang_timeout_ns:int ->
   ?queues:int ->
+  ?epoch:int ->
+  ?profile:Conformance.profile ->
   driver_label:string ->
   unit ->
   t
@@ -35,7 +37,12 @@ val create :
     bounds every synchronous upcall on this channel (default
     {!hang_timeout_ns}); the supervisor shrinks it to tighten hang
     detection latency.  [queues] (default 1, max {!max_queues}) is the
-    number of ring pairs. *)
+    number of ring pairs.  [epoch] (default 0, masked to
+    {!Msg.max_epoch}) is the generation stamp marshalled into every
+    header — the supervisor passes its generation number, so frames
+    replayed from a dead generation fail conformance.  [profile] is the
+    proxy-class kind vocabulary for the conformance DFA (default
+    {!Conformance.permissive}). *)
 
 val close : t -> unit
 (** Tear the channel down (driver death): all blocked senders and waiters
@@ -209,28 +216,31 @@ val queue_downcalls : t -> queue:int -> int
 val queue_dropped : t -> queue:int -> int
 (** Per-queue share of {!metrics}'s [um_dropped]. *)
 
-val upcalls_sent : t -> int
-  [@@deprecated "read Metrics.get (Uchan.metrics t).um_up instead"]
+(** {1 Protocol conformance}
 
-val downcalls_sent : t -> int
-  [@@deprecated "read Metrics.get (Uchan.metrics t).um_down instead"]
+    Every driver→kernel slot is adjudicated by a per-channel
+    {!Conformance} validator before the kernel worker acts on it:
+    generation epoch, sequence monotonicity, completion matching, and a
+    DFA over message kinds.  Violating messages are dropped and counted
+    (metrics under [uchan/proto_violation{chan,class}]); the supervisor
+    escalates new violations like grant storms. *)
 
-val notifications : t -> int
-  [@@deprecated "read Metrics.get (Uchan.metrics t).um_notify instead"]
-(** Number of cross-address-space kicks — the measure of how well
-    batching is working. *)
+val epoch : t -> int
+(** The generation stamp marshalled into this channel's headers. *)
 
-val dropped : t -> int
-  [@@deprecated "read Metrics.get (Uchan.metrics t).um_dropped instead"]
-(** Batched asynchronous downcalls lost because the u2k ring was full at
-    {!flush} time.  Nonzero means the driver outran the kernel worker;
-    silent before, now visible next to the send counters. *)
+val conformance : t -> Conformance.t
+(** The channel's validator (per-class counts, DFA state). *)
 
-val malformed : t -> int
-  [@@deprecated "read Metrics.get (Uchan.metrics t).um_malformed instead"]
-(** Undecodable user→kernel slots discarded by the kernel worker.  The
-    supervisor reads this: a growing count means the driver is writing
-    garbage into its ring. *)
+val proto_violations : t -> int
+(** Escalation-eligible violation total — what the supervisor baselines
+    per generation ({!Conformance.violations} of {!conformance}). *)
+
+val set_notify_hook : t -> (queue:int -> unit) option -> unit
+(** Observer called on every driver-side worker kick, before the
+    notification lands — the quota layer's per-queue token bucket.  The
+    kick itself is never suppressed (starving the trusted worker would
+    wedge the ring); sustained floods are counted by the hook's owner
+    and escalated by the supervisor. *)
 
 (** {1 Fault injection}
 
@@ -258,5 +268,24 @@ val inject_drop_replies : t -> int -> unit
 val inject_corrupt_batch_frames : t -> int -> unit
 (** Garble one frame inside each of the next [n] scatter-gather batch
     slots the driver flushes: that frame's per-entry checksum fails, the
-    kernel worker counts it in {!malformed} and drops it, and the
-    sibling frames in the batch still deliver. *)
+    kernel worker counts it in [um_malformed_frames] and drops it, and
+    the sibling frames in the batch still deliver. *)
+
+val set_u2k_mutator : t -> (queue:int -> bytes -> unit) option -> unit
+(** Live-fuzzer hook: run on every marshalled driver→kernel slot while
+    it is still borrowed from the ring, exactly as a malicious driver
+    racing the shared memory would.  The mutator sees scalar and batch
+    slots alike (discriminate with {!Msg.Batch.is_batch}). *)
+
+val inject_raw : ?queue:int -> t -> (bytes -> unit) -> bool
+(** Live-fuzzer hook: forge one raw u2k slot the driver never sent —
+    [writer] fills the borrowed {!Msg.slot_size}-byte slot — then kick
+    the kernel worker.  [false] if the ring was full or the channel
+    closed. *)
+
+val notify_storm : ?queue:int -> t -> int -> unit
+(** Live-fuzzer hook: ring the kernel worker's doorbell [n] times with
+    no slots behind the kicks — a malicious driver hammering the notify
+    syscall.  Every kick passes through the {!set_notify_hook} observer,
+    so the quota token bucket counts the storm; the worker itself just
+    finds an empty ring. *)

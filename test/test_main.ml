@@ -5,4 +5,5 @@ let () =
       ("kernel", Test_kernel.suite);
       ("uchan", Test_uchan.suite);
       ("core", Test_core.suite);
-      ("smoke", Test_smoke.suite); ("security", Test_security.suite); ("devices", Test_devices.suite); ("drivers", Test_drivers.suite); ("supervisor", Test_supervisor.suite); ("props", Test_props.suite); ("obs", Test_obs.suite) ]
+      ("smoke", Test_smoke.suite); ("security", Test_security.suite); ("devices", Test_devices.suite); ("drivers", Test_drivers.suite); ("supervisor", Test_supervisor.suite); ("props", Test_props.suite); ("obs", Test_obs.suite);
+      ("hardening", Test_hardening.suite) ]

@@ -324,8 +324,8 @@ let qcheck_cases =
          Msg.Batch.is_batch slot
          && (match Msg.Batch.unmarshal_view slot with
              | Error _ -> false
-             | Ok (kind', decoded) ->
-               kind' = kind
+             | Ok (kind', epoch', decoded) ->
+               kind' = kind && epoch' = 0
                && List.length decoded = Array.length entries
                && List.for_all2
                     (fun i d ->
