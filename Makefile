@@ -1,4 +1,4 @@
-.PHONY: all build lint-deprecated test bench bench-smoke bench-mq bench-batch soak fuzz-smoke trace-smoke clean
+.PHONY: all build lint-deprecated test bench bench-smoke bench-mq bench-batch bench-blk soak blk-smoke fuzz-smoke trace-smoke clean
 
 all: build
 
@@ -39,6 +39,18 @@ lint-deprecated:
 	  'Uchan\.(usend|uasend)[^a-zA-Z_]|Uchan\.Sync \(Msg\.make ~kind:Proxy_proto\.(up_net_xmit|up_interrupt|down_netif_rx|down_tx_free)' \
 	  lib/core/proxy_net.ml lib/core/sud_uml.ml \
 	  || { echo 'lint-deprecated: per-frame send on the proxy net datapath (use ~queue Async/Batched)'; exit 1; }
+	@# Unified-lifecycle backstop: quiesce/resume is the recovery surface;
+	@# degrade/revive is the terminal quarantine pair and belongs to the
+	@# supervision machinery in lib/core alone.  Anything else reaching
+	@# for it is bypassing the recovery state machine.
+	@! { grep -rnE 'Proxy_class\.(degrade|revive)[^a-zA-Z_]' lib bin bench test examples \
+	  | grep -vE '^lib/core/'; } | grep -q . \
+	  || { echo 'lint-deprecated: Proxy_class.degrade/revive outside lib/core (quarantine is supervisor-only; recovery uses quiesce/resume)'; exit 1; }
+	@# CLI regroup backstop: sudctl is noun-verb now; nothing in-tree may
+	@# still invoke the deprecated flat `trace-smoke` spelling (the alias
+	@# in bin/sudctl.ml exists only so external scripts migrate).
+	@! grep -rnE -e '-- trace[-]smoke' lib bin bench test examples Makefile \
+	  || { echo 'lint-deprecated: deprecated `sudctl trace-smoke` invocation (use `sudctl trace smoke`)'; exit 1; }
 
 test: lint-deprecated
 	dune runtest
@@ -66,11 +78,26 @@ bench-batch:
 	dune exec bench/main.exe -- batch smoke
 
 # Supervision soak: per-fault-class recovery latencies, then a fixed-seed
-# storm of ~200 faults under live traffic plus a forced crash loop.
-# Exits nonzero if any containment invariant breaks.
+# storm of ~200 faults under live traffic plus a forced crash loop, the
+# storage soak (200 injected storage faults under synchronous I/O with
+# the crash-consistency invariant checked at every recovery), and the
+# Byzantine protocol fuzz.  Exits nonzero if any containment invariant
+# breaks.
 soak:
 	dune exec bench/main.exe -- soak
+	dune exec bench/main.exe -- blk-soak
 	dune exec bench/main.exe -- fuzz
+
+# Quick storage-soak gate for CI: 40 storage faults, same invariants.
+blk-smoke:
+	dune exec bench/main.exe -- blk-soak smoke
+
+# Block datapath sweep: durable IOPS over queue depth x read mix on the
+# supervised NVMe, plus per-fault-class recovery latency; writes
+# BENCH_7.json and exits nonzero unless qd16 scales >= 2x over qd1 and
+# every storage fault class recovers inside the soak's outage bound.
+bench-blk:
+	dune exec bench/main.exe -- blkperf
 
 # Adversarial-interface smoke: the fixed-seed 600-mutation Byzantine
 # protocol campaign (every class applied and detected, containment
@@ -84,7 +111,7 @@ fuzz-smoke:
 # exported JSONL to contain the full uchan rpc -> iommu fault -> supervisor
 # detect -> kill -> restart causal chain.
 trace-smoke:
-	dune exec bin/sudctl.exe -- trace-smoke
+	dune exec bin/sudctl.exe -- trace smoke
 
 clean:
 	dune clean

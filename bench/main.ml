@@ -21,6 +21,25 @@
    uchan rpc -> iommu fault -> supervisor detect -> kill -> restart
    causal chain. *)
 
+(* Every baseline is emitted and re-read through the versioned
+   Bench_schema document type — no ad-hoc printf JSON, no substring
+   scrapers. *)
+module J = Bench_schema
+
+let ( >>= ) = Option.bind
+
+(* Per-fault-class recovery samples render the same way in BENCH_3 and
+   BENCH_7. *)
+let recovery_rows recovery =
+  J.List
+    (List.map
+       (fun s ->
+          J.Obj
+            [ ("fault", J.Str s.Fault_inject.rs_fault);
+              ("detect_ns", J.Int s.Fault_inject.rs_detect_ns);
+              ("outage_ns", J.Int s.Fault_inject.rs_outage_ns) ])
+       recovery)
+
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
 
@@ -457,6 +476,274 @@ let run_soak () =
   print_endline (if ok then "\nSOAK PASSED" else "\nSOAK FAILED");
   (r, ok)
 
+(* ---- sud-blk crash-consistency soak (make blk-smoke / make soak) ---- *)
+
+let blk_soak_seed = 0xB10CL
+
+let run_blk_soak ?(n_faults = 200) () =
+  banner
+    (Printf.sprintf "sud-blk soak: %d storage faults under synchronous I/O (seed 0x%LX)"
+       n_faults blk_soak_seed);
+  let r = Fault_inject.blk_soak ~seed:blk_soak_seed ~n_faults ~duration_ms:6_000 () in
+  Printf.printf "faults planned/applied/skipped: %d / %d / %d\n" r.Fault_inject.bsr_planned
+    r.Fault_inject.bsr_applied r.Fault_inject.bsr_skipped;
+  List.iter
+    (fun (cls, n) -> Printf.printf "  %-20s %d\n" cls n)
+    r.Fault_inject.bsr_by_class;
+  Printf.printf "detections: %d   restarts: %d   deaths checked: %d\n"
+    r.Fault_inject.bsr_detections r.Fault_inject.bsr_restarts r.Fault_inject.bsr_deaths;
+  Printf.printf
+    "workload: %d writes acked, %d reads, %d fsyncs, %d media sweeps, %d I/O errors\n"
+    r.Fault_inject.bsr_writes r.Fault_inject.bsr_reads r.Fault_inject.bsr_fsyncs
+    r.Fault_inject.bsr_verifies r.Fault_inject.bsr_io_errors;
+  Printf.printf "worst outage: %d us\n" (r.Fault_inject.bsr_max_outage_ns / 1_000);
+  List.iter
+    (fun (reason, n) -> Printf.printf "  detected %-40s %d\n" reason n)
+    r.Fault_inject.bsr_by_reason;
+  Printf.printf "after final fsync: retained %d, in flight %d\n"
+    r.Fault_inject.bsr_retained_end r.Fault_inject.bsr_inflight_end;
+  (match r.Fault_inject.bsr_violations with
+   | [] -> print_endline "crash-consistency invariant: held at every check"
+   | vs ->
+     Printf.printf "INVARIANT VIOLATIONS (%d):\n" (List.length vs);
+     List.iter (fun v -> print_endline ("  " ^ v)) vs);
+  let ok =
+    r.Fault_inject.bsr_violations = []
+    && r.Fault_inject.bsr_state = Supervisor.Running
+    && r.Fault_inject.bsr_applied >= n_faults
+    && r.Fault_inject.bsr_detections > 0
+    && r.Fault_inject.bsr_retained_end = 0
+    && r.Fault_inject.bsr_inflight_end = 0
+    && r.Fault_inject.bsr_io_errors = 0
+  in
+  print_endline (if ok then "\nBLK SOAK PASSED" else "\nBLK SOAK FAILED");
+  (r, ok)
+
+(* ---- blkperf: the sud-blk datapath sweep (make bench-blk) ---- *)
+
+(* Durable IOPS through the whole stack — page cache, request queue,
+   proxy, uchan, untrusted NVMe driver, emulated device — across queue
+   depth (concurrent synchronous workers) and read mix.  Writes are
+   FUA (write-through) so every op pays the full submit->DMA->IRQ->
+   completion round trip; reads land outside the written set so the
+   cache cannot answer them.  Gates: depth must actually buy
+   parallelism (qd16 over qd1 at the mixed point), and every storage
+   fault class must recover inside the soak's outage bound.  Writes
+   BENCH_7.json. *)
+
+let blkperf_depths = [ 1; 4; 16 ]
+let blkperf_mixes = [ 0; 50; 100 ]                (* % of ops that are reads *)
+let blkperf_write_pages = 512                     (* write working set, 4 KiB pages *)
+let blkperf_read_region = 8192                    (* private cold-read pages per worker *)
+let blkperf_window_ms = 40                        (* measured window (simulated) *)
+let blkperf_warmup_ms = 5
+let blkperf_scaling_floor = 2.0
+let blkperf_outage_bound_ms = 500
+let blkperf_io_timeout_ns = 5_000_000_000
+
+type blkperf_point = {
+  bpp_depth : int;
+  bpp_read_pct : int;
+  bpp_kiops : float;
+  bpp_reads : int;
+  bpp_writes : int;
+  bpp_io_errors : int;
+  bpp_lat_us : float;       (* mean per-op latency seen by one worker *)
+}
+
+let blkperf_point ~depth ~read_pct =
+  (* The media is sparse, so a big device is free — big enough that no
+     worker ever re-reads a page within the window, keeping every read
+     a cold miss that crosses the proxy to the device (the unbounded
+     page cache would otherwise answer re-reads in zero simulated
+     time and the mix would measure memcpy). *)
+  let capacity =
+    (blkperf_write_pages + ((depth + 1) * blkperf_read_region)) * Blkdev.page_sectors
+  in
+  let w = Fault_inject.make_blk_world ~capacity () in
+  (* The measurement is over well inside 2 s of simulated time; without
+     the bound the engine would keep servicing watchdog ticks for the
+     default two sim-minutes per point. *)
+  Fault_inject.in_blk_world ~max_ms:2_000 w (fun () ->
+      let k = w.Fault_inject.bw_k in
+      let eng = w.Fault_inject.bw_eng in
+      let sv =
+        match
+          Supervisor.start_blk k w.Fault_inject.bw_sp ~bdf:w.Fault_inject.bw_bdf
+            Fault_inject.honest_blk_factory
+        with
+        | Ok sv -> sv
+        | Error e -> failwith ("blkperf: supervised start failed: " ^ e)
+      in
+      let bd =
+        match Supervisor.blkdev sv with
+        | Some bd -> bd
+        | None -> failwith "blkperf: no blkdev after start"
+      in
+      let reads = ref 0 and writes = ref 0 and errors = ref 0 in
+      let measuring = ref false and stop = ref false in
+      let running = ref depth in
+      for i = 0 to depth - 1 do
+        ignore
+          (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
+             ~name:(Printf.sprintf "blkperf-%d" i)
+             (fun () ->
+                (* Writes scatter over a shared hot set (LCG); reads walk
+                   a private region sequentially so no page is ever read
+                   twice — every read misses the cache and pays the full
+                   datapath. *)
+                let st = ref ((0x5DEECE66D * (i + 1)) + read_pct) in
+                let rand bound =
+                  st := ((!st * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+                  (!st lsr 16) mod bound
+                in
+                let rbase = blkperf_write_pages + ((i + 1) * blkperf_read_region) in
+                let rnext = ref 0 in
+                let data = Bytes.make Blkdev.page_size (Char.chr (0x40 + i)) in
+                while not !stop do
+                  let r =
+                    if rand 100 < read_pct then begin
+                      incr reads;
+                      let page = rbase + (!rnext mod blkperf_read_region) in
+                      incr rnext;
+                      match
+                        Blkdev.read bd ~timeout_ns:blkperf_io_timeout_ns
+                          ~lba:(page * Blkdev.page_sectors)
+                          ~sectors:Blkdev.page_sectors ()
+                      with
+                      | Ok _ -> Ok ()
+                      | Error e -> Error e
+                    end
+                    else begin
+                      incr writes;
+                      Blkdev.write_fua bd ~timeout_ns:blkperf_io_timeout_ns
+                        ~lba:(rand blkperf_write_pages * Blkdev.page_sectors) data ()
+                    end
+                  in
+                  (match r with
+                   | Ok () -> ()
+                   | Error _ -> incr errors);
+                  if not !measuring then begin
+                    (* Ops issued during warmup don't count. *)
+                    reads := 0;
+                    writes := 0
+                  end;
+                  (* Think time: guarantees the loop advances simulated
+                     time even if an op is ever satisfied for free. *)
+                  ignore (Fiber.sleep eng 200 : Fiber.wake)
+                done;
+                decr running)
+           : Fiber.t)
+      done;
+      ignore (Fiber.sleep eng (blkperf_warmup_ms * 1_000_000) : Fiber.wake);
+      reads := 0;
+      writes := 0;
+      errors := 0;
+      measuring := true;
+      let t0 = Engine.now eng in
+      ignore (Fiber.sleep eng (blkperf_window_ms * 1_000_000) : Fiber.wake);
+      let ops = !reads + !writes in
+      let window_ns = Engine.now eng - t0 in
+      stop := true;
+      let rec join budget =
+        if budget > 0 && !running > 0 then begin
+          ignore (Fiber.sleep eng 1_000_000 : Fiber.wake);
+          join (budget - 1)
+        end
+      in
+      join 1_000;
+      { bpp_depth = depth;
+        bpp_read_pct = read_pct;
+        bpp_kiops = float_of_int ops /. (float_of_int window_ns /. 1e9) /. 1e3;
+        bpp_reads = !reads;
+        bpp_writes = !writes;
+        bpp_io_errors = !errors;
+        bpp_lat_us =
+          (if ops = 0 then nan
+           else float_of_int depth *. float_of_int window_ns /. float_of_int ops /. 1e3) })
+
+let run_blkperf () =
+  banner "blkperf: durable IOPS vs queue depth and read mix (supervised NVMe)";
+  let points =
+    List.concat_map
+      (fun depth ->
+         List.map (fun read_pct -> blkperf_point ~depth ~read_pct) blkperf_mixes)
+      blkperf_depths
+  in
+  Printf.printf "%-8s %-10s %12s %10s %10s %10s %12s\n" "depth" "read%" "kIOPS" "reads"
+    "writes" "io_errs" "lat (us/op)";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun p ->
+       Printf.printf "%-8d %-10d %12.1f %10d %10d %10d %12.1f\n" p.bpp_depth
+         p.bpp_read_pct p.bpp_kiops p.bpp_reads p.bpp_writes p.bpp_io_errors p.bpp_lat_us)
+    points;
+  let kiops depth read_pct =
+    match
+      List.find_opt (fun p -> p.bpp_depth = depth && p.bpp_read_pct = read_pct) points
+    with
+    | Some p -> p.bpp_kiops
+    | None -> nan
+  in
+  let scaling = kiops 16 50 /. kiops 1 50 in
+  let errors = List.fold_left (fun acc p -> acc + p.bpp_io_errors) 0 points in
+  banner "blkperf: single-fault recovery latency per storage fault class";
+  Printf.printf "%-24s %14s %14s\n" "Fault" "detect (us)" "outage (us)";
+  print_endline (String.make 54 '-');
+  let recovery =
+    List.map
+      (fun fault ->
+         let s = Fault_inject.measure_blk_recovery fault in
+         Printf.printf "%-24s %14d %14d\n" s.Fault_inject.rs_fault
+           (s.Fault_inject.rs_detect_ns / 1_000)
+           (s.Fault_inject.rs_outage_ns / 1_000);
+         s)
+      Fault_inject.all_blk_faults
+  in
+  let worst_outage =
+    List.fold_left (fun acc s -> max acc s.Fault_inject.rs_outage_ns) 0 recovery
+  in
+  let scaling_ok = scaling >= blkperf_scaling_floor in
+  let outage_ok = worst_outage <= blkperf_outage_bound_ms * 1_000_000 in
+  let pass = scaling_ok && outage_ok && errors = 0 in
+  Printf.printf "\nqd16 over qd1 at 50%% reads: %.2fx (floor %.1fx)  %s\n" scaling
+    blkperf_scaling_floor (if scaling_ok then "ok" else "FAIL");
+  Printf.printf "worst recovery outage: %d us (bound %d ms)  %s\n" (worst_outage / 1_000)
+    blkperf_outage_bound_ms (if outage_ok then "ok" else "FAIL");
+  Printf.printf "I/O errors across the sweep: %d  %s\n" errors
+    (if errors = 0 then "ok" else "FAIL");
+  print_endline (if pass then "BLKPERF PASSED" else "BLKPERF FAILED");
+  let doc =
+    J.Obj
+      [ J.schema 7;
+        ("bench", J.Str "blkperf");
+        ("units", J.Str "kiops");
+        ("write_pages", J.Int blkperf_write_pages);
+        ("read_region_pages", J.Int blkperf_read_region);
+        ("window_ms", J.Int blkperf_window_ms);
+        ( "points",
+          J.List
+            (List.map
+               (fun p ->
+                  J.Obj
+                    [ ("depth", J.Int p.bpp_depth);
+                      ("read_pct", J.Int p.bpp_read_pct);
+                      ("kiops", J.fnum ~dp:1 p.bpp_kiops);
+                      ("reads", J.Int p.bpp_reads);
+                      ("writes", J.Int p.bpp_writes);
+                      ("io_errors", J.Int p.bpp_io_errors);
+                      ("lat_us", J.fnum ~dp:1 p.bpp_lat_us) ])
+               points) );
+        ("scaling_qd16_over_qd1_mixed", J.fnum scaling);
+        ("scaling_floor", J.fnum ~dp:1 blkperf_scaling_floor);
+        ("recovery", recovery_rows recovery);
+        ("outage_bound_ms", J.Int blkperf_outage_bound_ms);
+        ("pass", J.Bool pass) ]
+  in
+  J.write ~path:"BENCH_7.json" doc;
+  print_endline "wrote BENCH_7.json";
+  pass
+
 (* ---- netperf_mq: the multiqueue sweep (make bench-mq) ---- *)
 
 (* Sweeps the SUD e1000 over 1/2/4/8 MSI-X vectors under a fixed 8-flow
@@ -500,31 +787,29 @@ let run_netperf_mq ~json =
     (if spread_ok then "ok" else "DEGENERATE (one queue took everything)");
   print_endline (if pass then "NETPERF_MQ PASSED" else "NETPERF_MQ FAILED");
   if json then begin
-    let b = Buffer.create 1024 in
-    Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"sud-bench/4\",\n";
-    Buffer.add_string b "  \"bench\": \"netperf_mq\",\n";
-    Buffer.add_string b
-      (Printf.sprintf "  \"flows\": %d,\n  \"units\": \"kpackets_per_sec\",\n" Netperf.mq_flows);
-    Buffer.add_string b "  \"points\": [\n";
-    let n = List.length points in
-    List.iteri
-      (fun i p ->
-         Buffer.add_string b
-           (Printf.sprintf
-              "    { \"queues\": %d, \"kpps\": %.1f, \"cpu_pct\": %.1f, \"samples\": %d, \"rxq_frames\": [%s] }%s\n"
-              p.Netperf.mq_queues p.Netperf.mq_kpps p.Netperf.mq_cpu_pct p.Netperf.mq_samples
-              (String.concat ", " (List.map string_of_int p.Netperf.mq_rxq_frames))
-              (if i < n - 1 then "," else "")))
-      points;
-    Buffer.add_string b "  ],\n";
-    Buffer.add_string b
-      (Printf.sprintf "  \"speedup_4q_over_1q\": %.3f,\n  \"speedup_floor\": %.1f,\n"
-         speedup mq_speedup_floor);
-    Buffer.add_string b (Printf.sprintf "  \"pass\": %b\n}\n" pass);
-    let oc = open_out "BENCH_4.json" in
-    output_string oc (Buffer.contents b);
-    close_out oc;
+    let doc =
+      J.Obj
+        [ J.schema 4;
+          ("bench", J.Str "netperf_mq");
+          ("flows", J.Int Netperf.mq_flows);
+          ("units", J.Str "kpackets_per_sec");
+          ( "points",
+            J.List
+              (List.map
+                 (fun p ->
+                    J.Obj
+                      [ ("queues", J.Int p.Netperf.mq_queues);
+                        ("kpps", J.fnum ~dp:1 p.Netperf.mq_kpps);
+                        ("cpu_pct", J.fnum ~dp:1 p.Netperf.mq_cpu_pct);
+                        ("samples", J.Int p.Netperf.mq_samples);
+                        ( "rxq_frames",
+                          J.List (List.map (fun f -> J.Int f) p.Netperf.mq_rxq_frames) ) ])
+                 points) );
+          ("speedup_4q_over_1q", J.fnum speedup);
+          ("speedup_floor", J.fnum ~dp:1 mq_speedup_floor);
+          ("pass", J.Bool pass) ]
+    in
+    J.write ~path:"BENCH_4.json" doc;
     print_endline "wrote BENCH_4.json"
   end;
   pass
@@ -547,29 +832,13 @@ let fused_ratio_ceiling = 0.70
 
 (* Pull the kpps of one queue-count point out of BENCH_4.json. *)
 let bench4_kpps queues =
-  try
-    let ic = open_in batch_baseline_path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    let pat = Printf.sprintf "\"queues\": %d, \"kpps\": " queues in
-    let rec find i =
-      if i + String.length pat > String.length s then None
-      else if String.sub s i (String.length pat) = pat then Some (i + String.length pat)
-      else find (i + 1)
-    in
-    match find 0 with
-    | None -> None
-    | Some j ->
-      let k = ref j in
-      while
-        !k < String.length s
-        && (match s.[!k] with '0' .. '9' | '.' -> true | _ -> false)
-      do
-        incr k
-      done;
-      float_of_string_opt (String.sub s j (!k - j))
-  with Sys_error _ -> None
+  match J.of_file batch_baseline_path with
+  | Error _ -> None
+  | Ok doc ->
+    J.member doc "points" >>= J.as_list
+    >>= fun pts ->
+    J.find_point pts [ ("queues", J.Int queues) ]
+    >>= fun p -> J.member p "kpps" >>= J.as_float
 
 let run_netperf_batch ?(smoke = false) () =
   banner "netperf_batch: frame aggregation + NAPI coalescing (SUD driver, 8 flows)";
@@ -631,74 +900,55 @@ let run_netperf_batch ?(smoke = false) () =
   Printf.printf "1q batch=1 vs BENCH_4 1q (%.1f kpps): %.2fx (floor %.2fx)  %s\n" base_1q
     single batch_single_frame_floor (if single_ok then "ok" else "FAIL");
   print_endline (if pass then "NETPERF_BATCH PASSED" else "NETPERF_BATCH FAILED");
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"sud-bench/5\",\n";
-  Buffer.add_string b "  \"bench\": \"netperf_batch\",\n";
-  Buffer.add_string b
-    (Printf.sprintf "  \"flows\": %d,\n  \"units\": \"kpackets_per_sec\",\n" Netperf.mq_flows);
-  Buffer.add_string b "  \"micro\": {\n";
-  Buffer.add_string b
-    (Printf.sprintf "    \"copy_then_checksum_1448B_ns\": %d,\n" two_pass);
-  Buffer.add_string b
-    (Printf.sprintf "    \"copy_and_checksum_1448B_ns\": %d,\n" fused);
-  Buffer.add_string b
-    (Printf.sprintf "    \"fused_ratio\": %.3f,\n    \"fused_ratio_ceiling\": %.2f\n"
-       fused_ratio fused_ratio_ceiling);
-  Buffer.add_string b "  },\n";
-  Buffer.add_string b "  \"points\": [\n";
-  let n = List.length points in
-  List.iteri
-    (fun i p ->
-       Buffer.add_string b
-         (Printf.sprintf
-            "    { \"queues\": %d, \"batch\": %d, \"kpps\": %.1f, \"cpu_pct\": %.1f, \"samples\": %d, \"frames\": %d, \"irqs\": %d, \"irqs_per_frame\": %.3f, \"cpu_ns_per_frame\": %.0f }%s\n"
-            p.Netperf.bp_queues p.Netperf.bp_batch p.Netperf.bp_kpps p.Netperf.bp_cpu_pct
-            p.Netperf.bp_samples p.Netperf.bp_frames p.Netperf.bp_irqs
-            (float_of_int p.Netperf.bp_irqs /. float_of_int (max 1 p.Netperf.bp_frames))
-            p.Netperf.bp_cpu_ns_per_frame
-            (if i < n - 1 then "," else "")))
-    points;
-  Buffer.add_string b "  ],\n";
-  Buffer.add_string b
-    (Printf.sprintf
-       "  \"baseline\": \"%s\",\n  \"baseline_kpps_1q\": %.1f,\n  \"baseline_kpps_4q\": %.1f,\n"
-       batch_baseline_path base_1q base_4q);
-  Buffer.add_string b
-    (Printf.sprintf "  \"speedup_8q_b32_over_4q\": %.3f,\n  \"speedup_floor\": %.1f,\n"
-       speedup batch_speedup_floor);
-  Buffer.add_string b
-    (Printf.sprintf "  \"irqs_per_frame_8q_b32\": %.3f,\n  \"irq_ceiling\": %.1f,\n"
-       ipf batch_irq_ceiling);
-  Buffer.add_string b
-    (Printf.sprintf
-       "  \"single_frame_ratio_1q_b1\": %.3f,\n  \"single_frame_floor\": %.2f,\n"
-       single batch_single_frame_floor);
-  Buffer.add_string b (Printf.sprintf "  \"pass\": %b\n}\n" pass);
   if smoke then print_endline "(smoke mode: corner points only, BENCH_5.json left untouched)"
   else begin
-    let oc = open_out "BENCH_5.json" in
-    output_string oc (Buffer.contents b);
-    close_out oc;
+    let doc =
+      J.Obj
+        [ J.schema 5;
+          ("bench", J.Str "netperf_batch");
+          ("flows", J.Int Netperf.mq_flows);
+          ("units", J.Str "kpackets_per_sec");
+          ( "micro",
+            J.Obj
+              [ ("copy_then_checksum_1448B_ns", J.Int two_pass);
+                ("copy_and_checksum_1448B_ns", J.Int fused);
+                ("fused_ratio", J.fnum fused_ratio);
+                ("fused_ratio_ceiling", J.fnum ~dp:2 fused_ratio_ceiling) ] );
+          ( "points",
+            J.List
+              (List.map
+                 (fun p ->
+                    J.Obj
+                      [ ("queues", J.Int p.Netperf.bp_queues);
+                        ("batch", J.Int p.Netperf.bp_batch);
+                        ("kpps", J.fnum ~dp:1 p.Netperf.bp_kpps);
+                        ("cpu_pct", J.fnum ~dp:1 p.Netperf.bp_cpu_pct);
+                        ("samples", J.Int p.Netperf.bp_samples);
+                        ("frames", J.Int p.Netperf.bp_frames);
+                        ("irqs", J.Int p.Netperf.bp_irqs);
+                        ( "irqs_per_frame",
+                          J.fnum
+                            (float_of_int p.Netperf.bp_irqs
+                             /. float_of_int (max 1 p.Netperf.bp_frames)) );
+                        ("cpu_ns_per_frame", J.fnum ~dp:0 p.Netperf.bp_cpu_ns_per_frame) ])
+                 points) );
+          ("baseline", J.Str batch_baseline_path);
+          ("baseline_kpps_1q", J.fnum ~dp:1 base_1q);
+          ("baseline_kpps_4q", J.fnum ~dp:1 base_4q);
+          ("speedup_8q_b32_over_4q", J.fnum speedup);
+          ("speedup_floor", J.fnum ~dp:1 batch_speedup_floor);
+          ("irqs_per_frame_8q_b32", J.fnum ipf);
+          ("irq_ceiling", J.fnum ~dp:1 batch_irq_ceiling);
+          ("single_frame_ratio_1q_b1", J.fnum single);
+          ("single_frame_floor", J.fnum ~dp:2 batch_single_frame_floor);
+          ("pass", J.Bool pass) ]
+    in
+    J.write ~path:"BENCH_5.json" doc;
     print_endline "wrote BENCH_5.json"
   end;
   pass
 
 (* ---- proto_fuzz: the live Byzantine fuzz campaign (make fuzz-smoke) ---- *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string b "\\\""
-       | '\\' -> Buffer.add_string b "\\\\"
-       | '\n' -> Buffer.add_string b "\\n"
-       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 
 (* The adversarial-interface gate: a seeded 600-mutation campaign across
    every protocol-mutation class must leave zero containment-invariant
@@ -714,29 +964,13 @@ let fuzz_baseline_path = "BENCH_5.json"
 
 (* Pull the kpps of one (queues, batch) point out of BENCH_5.json. *)
 let bench5_kpps ~queues ~batch =
-  try
-    let ic = open_in fuzz_baseline_path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    let pat = Printf.sprintf "\"queues\": %d, \"batch\": %d, \"kpps\": " queues batch in
-    let rec find i =
-      if i + String.length pat > String.length s then None
-      else if String.sub s i (String.length pat) = pat then Some (i + String.length pat)
-      else find (i + 1)
-    in
-    match find 0 with
-    | None -> None
-    | Some j ->
-      let k = ref j in
-      while
-        !k < String.length s
-        && (match s.[!k] with '0' .. '9' | '.' -> true | _ -> false)
-      do
-        incr k
-      done;
-      float_of_string_opt (String.sub s j (!k - j))
-  with Sys_error _ -> None
+  match J.of_file fuzz_baseline_path with
+  | Error _ -> None
+  | Ok doc ->
+    J.member doc "points" >>= J.as_list
+    >>= fun pts ->
+    J.find_point pts [ ("queues", J.Int queues); ("batch", J.Int batch) ]
+    >>= fun p -> J.member p "kpps" >>= J.as_float
 
 let run_fuzz () =
   banner
@@ -785,43 +1019,43 @@ let run_fuzz () =
     && overhead_ok
   in
   print_endline (if pass then "PROTO_FUZZ PASSED" else "PROTO_FUZZ FAILED");
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"sud-bench/6\",\n";
-  Buffer.add_string b "  \"bench\": \"proto_fuzz\",\n";
-  Buffer.add_string b (Printf.sprintf "  \"seed\": \"0x%LX\",\n" r.Proto_fuzz.fz_seed);
-  Buffer.add_string b
-    (Printf.sprintf "  \"planned\": %d,\n  \"applied\": %d,\n  \"skipped\": %d,\n"
-       r.Proto_fuzz.fz_planned r.Proto_fuzz.fz_applied r.Proto_fuzz.fz_skipped);
-  Buffer.add_string b "  \"classes\": [\n";
-  let n = List.length r.Proto_fuzz.fz_by_class in
-  List.iteri
-    (fun i ((cls, applied), (_, detected)) ->
-       Buffer.add_string b
-         (Printf.sprintf "    { \"class\": \"%s\", \"applied\": %d, \"detected\": %d }%s\n"
-            (json_escape cls) applied detected (if i < n - 1 then "," else "")))
-    (List.combine r.Proto_fuzz.fz_by_class r.Proto_fuzz.fz_detected);
-  Buffer.add_string b "  ],\n";
-  Buffer.add_string b
-    (Printf.sprintf "  \"detections\": %d,\n  \"restarts\": %d,\n  \"deaths\": %d,\n"
-       r.Proto_fuzz.fz_detections r.Proto_fuzz.fz_restarts r.Proto_fuzz.fz_deaths);
-  Buffer.add_string b
-    (Printf.sprintf "  \"violations\": [%s],\n"
-       (String.concat ", "
-          (List.map (fun v -> Printf.sprintf "\"%s\"" (json_escape v))
-             r.Proto_fuzz.fz_violations)));
-  Buffer.add_string b
-    (Printf.sprintf
-       "  \"quarantine\": { \"restarts\": %d, \"quarantined\": %b },\n"
-       q.Proto_fuzz.pq_restarts q.Proto_fuzz.pq_quarantined);
-  Buffer.add_string b
-    (Printf.sprintf
-       "  \"overhead\": { \"queues\": 8, \"batch\": 32, \"kpps\": %.1f, \"baseline\": \"%s\", \"baseline_kpps\": %.1f, \"ratio\": %.3f, \"floor\": %.2f },\n"
-       p.Netperf.bp_kpps fuzz_baseline_path base ratio fuzz_overhead_floor);
-  Buffer.add_string b (Printf.sprintf "  \"pass\": %b\n}\n" pass);
-  let oc = open_out "BENCH_6.json" in
-  output_string oc (Buffer.contents b);
-  close_out oc;
+  let doc =
+    J.Obj
+      [ J.schema 6;
+        ("bench", J.Str "proto_fuzz");
+        ("seed", J.Str (Printf.sprintf "0x%LX" r.Proto_fuzz.fz_seed));
+        ("planned", J.Int r.Proto_fuzz.fz_planned);
+        ("applied", J.Int r.Proto_fuzz.fz_applied);
+        ("skipped", J.Int r.Proto_fuzz.fz_skipped);
+        ( "classes",
+          J.List
+            (List.map
+               (fun ((cls, applied), (_, detected)) ->
+                  J.Obj
+                    [ ("class", J.Str cls);
+                      ("applied", J.Int applied);
+                      ("detected", J.Int detected) ])
+               (List.combine r.Proto_fuzz.fz_by_class r.Proto_fuzz.fz_detected)) );
+        ("detections", J.Int r.Proto_fuzz.fz_detections);
+        ("restarts", J.Int r.Proto_fuzz.fz_restarts);
+        ("deaths", J.Int r.Proto_fuzz.fz_deaths);
+        ("violations", J.List (List.map (fun v -> J.Str v) r.Proto_fuzz.fz_violations));
+        ( "quarantine",
+          J.Obj
+            [ ("restarts", J.Int q.Proto_fuzz.pq_restarts);
+              ("quarantined", J.Bool q.Proto_fuzz.pq_quarantined) ] );
+        ( "overhead",
+          J.Obj
+            [ ("queues", J.Int 8);
+              ("batch", J.Int 32);
+              ("kpps", J.fnum ~dp:1 p.Netperf.bp_kpps);
+              ("baseline", J.Str fuzz_baseline_path);
+              ("baseline_kpps", J.fnum ~dp:1 base);
+              ("ratio", J.fnum ratio);
+              ("floor", J.fnum ~dp:2 fuzz_overhead_floor) ] );
+        ("pass", J.Bool pass) ]
+  in
+  J.write ~path:"BENCH_6.json" doc;
   print_endline "wrote BENCH_6.json";
   pass
 
@@ -850,40 +1084,12 @@ let guard_control = "ring_push_pop_copying"
 let guard_threshold = 1.05
 let guard_baseline_path = "BENCH_2.json"
 
-(* Pull "<key>": { ... "ns_per_op": <float> } out of a BENCH_*.json. *)
+(* Pull the micro-bench ns/op of one key out of a BENCH_*.json
+   ([None] when the key is absent or its estimate was null). *)
 let baseline_ns path key =
-  try
-    let ic = open_in path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    let pat = Printf.sprintf "\"%s\": { \"name\"" key in
-    let rec find i =
-      if i + String.length pat > String.length s then None
-      else if String.sub s i (String.length pat) = pat then Some i
-      else find (i + 1)
-    in
-    match find 0 with
-    | None -> None
-    | Some i ->
-      let tag = "\"ns_per_op\": " in
-      let rec find2 j =
-        if j + String.length tag > String.length s then None
-        else if String.sub s j (String.length tag) = tag then Some (j + String.length tag)
-        else find2 (j + 1)
-      in
-      (match find2 i with
-       | None -> None
-       | Some j ->
-         let k = ref j in
-         while
-           !k < String.length s
-           && (match s.[!k] with '0' .. '9' | '.' | '-' -> true | _ -> false)
-         do
-           incr k
-         done;
-         float_of_string_opt (String.sub s j (!k - j)))
-  with Sys_error _ -> None
+  match J.of_file path with
+  | Error _ -> None
+  | Ok doc -> J.path doc [ "micro"; key; "ns_per_op" ] >>= J.as_float
 
 (* One shared environment for all retries: rebuilding the cases per call
    would leave a trail of dead 16 MB phys_mem arenas, and on this box the
@@ -1011,76 +1217,58 @@ let trace_overhead_guard micro =
 (* ---- machine-readable baseline (BENCH_*.json) ---- *)
 
 let write_bench_json ~path ~mode ~micro ~figure8_rows ~recovery ~guard ~guard_pass ~guard_drift =
-  let b = Buffer.create 2048 in
-  Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"sud-bench/3\",\n";
-  Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
-  Buffer.add_string b "  \"units\": \"ns_per_op\",\n";
-  Buffer.add_string b "  \"micro\": {\n";
-  let n = List.length micro in
-  List.iteri
-    (fun i (key, name, ns) ->
-       Buffer.add_string b
-         (Printf.sprintf "    \"%s\": { \"name\": \"%s\", \"ns_per_op\": %s }%s\n"
-            (json_escape key) (json_escape name)
-            (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
-            (if i < n - 1 then "," else "")))
-    micro;
-  Buffer.add_string b "  },\n";
-  Buffer.add_string b "  \"figure8\": [\n";
-  let nr = List.length figure8_rows in
-  List.iteri
-    (fun i r ->
-       Buffer.add_string b
-         (Printf.sprintf
-            "    { \"test\": \"%s\", \"driver\": \"%s\", \"value\": \"%s\", \"cpu\": \"%s\" }%s\n"
-            (json_escape r.Netperf.test) (json_escape r.Netperf.driver)
-            (json_escape r.Netperf.value) (json_escape r.Netperf.cpu)
-            (if i < nr - 1 then "," else "")))
-    figure8_rows;
-  Buffer.add_string b "  ],\n";
-  Buffer.add_string b "  \"trace_overhead\": {\n";
-  Buffer.add_string b
-    (Printf.sprintf "    \"baseline\": \"%s\",\n    \"threshold\": %.2f,\n"
-       guard_baseline_path guard_threshold);
-  Buffer.add_string b
-    (Printf.sprintf "    \"control\": \"%s\",\n    \"control_drift\": %.3f,\n"
-       (json_escape guard_control) guard_drift);
-  Buffer.add_string b "    \"guard\": [\n";
-  let ng = List.length guard in
-  List.iteri
-    (fun i g ->
-       let fnum v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
-       Buffer.add_string b
-         (Printf.sprintf
-            "      { \"key\": \"%s\", \"baseline_ns\": %s, \"measured_ns\": %s, \"ratio\": %s, \"ratio_normalized\": %s, \"pass\": %b }%s\n"
-            (json_escape g.gk_key) (fnum g.gk_base) (fnum g.gk_ns) (fnum g.gk_ratio)
-            (fnum g.gk_norm) g.gk_pass
-            (if i < ng - 1 then "," else "")))
-    guard;
-  Buffer.add_string b "    ],\n";
-  Buffer.add_string b (Printf.sprintf "    \"pass\": %b\n" guard_pass);
-  Buffer.add_string b "  },\n";
-  Buffer.add_string b "  \"metrics\": ";
-  Buffer.add_string b
-    (String.trim (Sud_obs.Metrics.to_json (Sud_obs.Metrics.snapshot ())));
-  Buffer.add_string b ",\n";
-  Buffer.add_string b "  \"recovery\": [\n";
-  let nrec = List.length recovery in
-  List.iteri
-    (fun i s ->
-       Buffer.add_string b
-         (Printf.sprintf
-            "    { \"fault\": \"%s\", \"detect_ns\": %d, \"outage_ns\": %d }%s\n"
-            (json_escape s.Fault_inject.rs_fault) s.Fault_inject.rs_detect_ns
-            s.Fault_inject.rs_outage_ns
-            (if i < nrec - 1 then "," else "")))
-    recovery;
-  Buffer.add_string b "  ]\n";
-  Buffer.add_string b "}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents b);
-  close_out oc;
+  (* The metrics snapshot is already JSON (Sud_obs renders it); parsing
+     it back into the document keeps the baseline one well-formed tree
+     instead of a string splice. *)
+  let metrics =
+    match J.of_string (Sud_obs.Metrics.to_json (Sud_obs.Metrics.snapshot ())) with
+    | Ok v -> v
+    | Error e -> failwith ("bench: metrics snapshot is not valid JSON: " ^ e)
+  in
+  let doc =
+    J.Obj
+      [ J.schema 3;
+        ("mode", J.Str mode);
+        ("units", J.Str "ns_per_op");
+        ( "micro",
+          J.Obj
+            (List.map
+               (fun (key, name, ns) ->
+                  (key, J.Obj [ ("name", J.Str name); ("ns_per_op", J.fnum ~dp:1 ns) ]))
+               micro) );
+        ( "figure8",
+          J.List
+            (List.map
+               (fun r ->
+                  J.Obj
+                    [ ("test", J.Str r.Netperf.test);
+                      ("driver", J.Str r.Netperf.driver);
+                      ("value", J.Str r.Netperf.value);
+                      ("cpu", J.Str r.Netperf.cpu) ])
+               figure8_rows) );
+        ( "trace_overhead",
+          J.Obj
+            [ ("baseline", J.Str guard_baseline_path);
+              ("threshold", J.fnum ~dp:2 guard_threshold);
+              ("control", J.Str guard_control);
+              ("control_drift", J.fnum guard_drift);
+              ( "guard",
+                J.List
+                  (List.map
+                     (fun g ->
+                        J.Obj
+                          [ ("key", J.Str g.gk_key);
+                            ("baseline_ns", J.fnum g.gk_base);
+                            ("measured_ns", J.fnum g.gk_ns);
+                            ("ratio", J.fnum g.gk_ratio);
+                            ("ratio_normalized", J.fnum g.gk_norm);
+                            ("pass", J.Bool g.gk_pass) ])
+                     guard) );
+              ("pass", J.Bool guard_pass) ] );
+        ("metrics", metrics);
+        ("recovery", recovery_rows recovery) ]
+  in
+  J.write ~path doc;
   Printf.printf "\nwrote %s\n" path
 
 let () =
@@ -1107,6 +1295,15 @@ let () =
     ignore (recovery_latencies () : Fault_inject.recovery_sample list);
     let _, ok = run_soak () in
     exit (if ok then 0 else 1)
+  end;
+  if List.mem "blk-soak" args then begin
+    let n_faults = if List.mem "smoke" args then 40 else 200 in
+    let _, ok = run_blk_soak ~n_faults () in
+    exit (if ok then 0 else 1)
+  end;
+  if List.mem "blkperf" args then begin
+    let pass = run_blkperf () in
+    exit (if pass then 0 else 1)
   end;
   figure5 ();
   figure6 ();

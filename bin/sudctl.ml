@@ -1,13 +1,23 @@
 (* sudctl — command-line front end to the SUD reproduction.
 
+   Commands are noun-verb: the noun names the subsystem, the verb the
+   operation.  Anything that can fail lives in the Ctl library so the
+   test suite drives the same code paths; this file only parses
+   arguments and formats output.
+
      sudctl security [--attack NAME]    run attack scenarios
      sudctl netperf [--test NAME]       run Figure 8 benchmarks
      sudctl mappings                    print Figure 9
      sudctl files                       print Figure 6
      sudctl protocol                    print Figure 7
      sudctl metrics [--json]            run a workload, dump /sys/kernel/sud_metrics
-     sudctl trace-smoke [--out FILE]    traced DMA-violation recovery, verify the
-                                        causal span chain in the JSONL export *)
+     sudctl blk status                  boot a supervised NVMe, probe it, print
+                                        the whole-stack status snapshot
+     sudctl trace smoke [--out FILE]    traced DMA-violation recovery, verify the
+                                        causal span chain in the JSONL export
+
+   [sudctl trace-smoke] survives as a deprecated spelling of
+   [sudctl trace smoke]. *)
 
 open Cmdliner
 
@@ -157,48 +167,34 @@ let run_metrics json =
      : Fiber.t);
   Engine.run ~max_time:2_000_000_000 eng
 
-(* The observability layer's end-to-end check: trace one injected DMA
-   violation through detection and recovery, export the span ring, and
-   verify the causal chain survives a round-trip through JSONL. *)
+(* The observability layer's end-to-end check; the work is
+   Ctl.trace_smoke, this just formats the report. *)
 let run_trace_smoke out =
-  (* Size the ring for the whole run: the interesting spans happen in the
-     first couple of simulated milliseconds and must survive the seconds
-     of post-recovery traffic that follow. *)
-  Sud_obs.Trace.set_capacity (1 lsl 19);
-  Sud_obs.Trace.set_enabled true;
-  let r = Fault_inject.(measure_recovery Dma_violation) in
-  Sud_obs.Trace.set_enabled false;
-  let dir = Filename.dirname out in
-  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let n = Sud_obs.Trace.write_jsonl ~path:out in
-  let spans =
-    let ic = open_in out in
-    let acc = ref [] in
-    (try
-       while true do
-         match Sud_obs.Trace.span_of_line (input_line ic) with
-         | Some sp -> acc := sp :: !acc
-         | None -> failwith "trace-smoke: unparseable JSONL line"
-       done
-     with End_of_file -> ());
-    close_in ic;
-    List.rev !acc
-  in
-  Printf.printf "fault %s: detected in %d us, outage %d us
-" r.Fault_inject.rs_fault
-    (r.Fault_inject.rs_detect_ns / 1000) (r.Fault_inject.rs_outage_ns / 1000);
-  Printf.printf "%d spans exported to %s, %d parsed back
-" n out (List.length spans);
-  let chain =
-    [ ("uchan", "rpc"); ("iommu", "fault"); ("sup", "detect"); ("sup", "kill");
-      ("sup", "restart") ]
-  in
-  let ok = List.length spans = n && Sud_obs.Trace.chain_exists spans chain in
-  Printf.printf "causal chain %s: %s
-"
-    (String.concat " -> " (List.map (fun (c, nm) -> c ^ "/" ^ nm) chain))
-    (if ok then "found" else "MISSING");
-  if not ok then exit 1
+  let r = Ctl.trace_smoke ~out in
+  Printf.printf "fault %s: detected in %d us, outage %d us\n" r.Ctl.ts_fault
+    r.Ctl.ts_detect_us r.Ctl.ts_outage_us;
+  Printf.printf "%d spans exported to %s, %d parsed back\n" r.Ctl.ts_exported
+    r.Ctl.ts_out r.Ctl.ts_parsed;
+  Printf.printf "causal chain %s: %s\n"
+    (String.concat " -> " (List.map (fun (c, nm) -> c ^ "/" ^ nm) r.Ctl.ts_chain))
+    (if r.Ctl.ts_chain_found then "found" else "MISSING");
+  if not r.Ctl.ts_chain_found then exit 1
+
+(* Whole-stack storage snapshot: supervisor, proxy, block layer, device. *)
+let run_blk_status () =
+  let s = Ctl.blk_status () in
+  Printf.printf "%s: %d sectors, supervisor %s (%d restarts, %d detections)\n"
+    s.Ctl.bs_name s.Ctl.bs_capacity_sectors s.Ctl.bs_state s.Ctl.bs_restarts
+    s.Ctl.bs_detections;
+  Printf.printf "proxy: %d in flight, %d retained for replay\n" s.Ctl.bs_inflight
+    s.Ctl.bs_retained;
+  Printf.printf "cache: %d hits, %d misses, %d merges, %d flush barriers\n"
+    s.Ctl.bs_cache_hits s.Ctl.bs_cache_misses s.Ctl.bs_merges s.Ctl.bs_flush_barriers;
+  Printf.printf "device: %s\n" s.Ctl.bs_qp_summary;
+  Printf.printf "%s\n" s.Ctl.bs_inflight_summary;
+  Printf.printf "probe: %d writes ok, %d reads ok, %d io errors\n" s.Ctl.bs_writes_ok
+    s.Ctl.bs_reads_ok s.Ctl.bs_io_errors;
+  if s.Ctl.bs_io_errors > 0 || s.Ctl.bs_state <> "running" then exit 1
 
 let run_protocol () =
   Printf.printf "%-22s %-10s %s\n" "Call" "Direction" "Description";
@@ -245,11 +241,31 @@ let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc:"Run a workload and read /sys/kernel/sud_metrics")
     Term.(const run_metrics $ json_arg)
 
-let trace_smoke_cmd =
+let blk_cmd =
+  Cmd.group (Cmd.info "blk" ~doc:"Storage (sud-blk) administration")
+    [ Cmd.v
+        (Cmd.info "status"
+           ~doc:"Boot a supervised NVMe, probe it, print the stack-wide status")
+        Term.(const run_blk_status $ const ()) ]
+
+let trace_cmd =
+  Cmd.group (Cmd.info "trace" ~doc:"Causal-trace operations")
+    [ Cmd.v
+        (Cmd.info "smoke"
+           ~doc:"Trace an injected DMA violation end to end and verify the span chain")
+        Term.(const run_trace_smoke $ out_arg) ]
+
+(* Deprecated flat spelling of `trace smoke`, kept so existing scripts
+   migrate gradually. *)
+let trace_smoke_alias_cmd =
   Cmd.v
-    (Cmd.info "trace-smoke"
-       ~doc:"Trace an injected DMA violation end to end and verify the span chain")
-    Term.(const run_trace_smoke $ out_arg)
+    (Cmd.info "trace-smoke" ~docs:Manpage.s_none
+       ~doc:"Deprecated alias for $(b,sudctl trace smoke)")
+    Term.(
+      const (fun out ->
+          prerr_endline "sudctl: trace-smoke is deprecated; use `sudctl trace smoke`";
+          run_trace_smoke out)
+      $ out_arg)
 
 let () =
   let info = Cmd.info "sudctl" ~version:"1.0" ~doc:"Drive the SUD reproduction" in
@@ -257,4 +273,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ security_cmd; netperf_cmd; mappings_cmd; files_cmd; protocol_cmd;
-            metrics_cmd; trace_smoke_cmd ]))
+            metrics_cmd; blk_cmd; trace_cmd; trace_smoke_alias_cmd ]))

@@ -192,7 +192,8 @@ let soak_policy ~max_restarts =
    the checks run at Driver_killed (process dead, grant revoked, device
    reset). *)
 type invariant_ctx = {
-  iv_w : world;
+  iv_k : Kernel.t;
+  iv_bdf : Bus.bdf;
   iv_secret_addr : int;
   mutable iv_snapshot : (Safe_pci.grant * int list) option;  (* grant, mapped iovas *)
   mutable iv_violations : string list;
@@ -205,9 +206,16 @@ let violate ctx fmt =
 let invariant_violations ctx = List.rev ctx.iv_violations
 let invariant_deaths ctx = ctx.iv_deaths
 
-let install_invariants w sv ~secret_addr =
+(* Class-independent: the same containment contract holds whether the
+   supervised device is a NIC or an NVMe. *)
+let install_invariants_for ~k ~bdf sv ~secret_addr =
   let ctx =
-    { iv_w = w; iv_secret_addr = secret_addr; iv_snapshot = None; iv_violations = []; iv_deaths = 0 }
+    { iv_k = k;
+      iv_bdf = bdf;
+      iv_secret_addr = secret_addr;
+      iv_snapshot = None;
+      iv_violations = [];
+      iv_deaths = 0 }
   in
   Supervisor.on_event sv (function
       | Supervisor.Fault_detected _ ->
@@ -223,10 +231,10 @@ let install_invariants w sv ~secret_addr =
          | None -> ctx.iv_snapshot <- None)
       | Supervisor.Driver_killed ->
         ctx.iv_deaths <- ctx.iv_deaths + 1;
-        let iommu = w.k.Kernel.iommu in
+        let iommu = k.Kernel.iommu in
         (* Kernel memory is untouched by anything the dying driver did. *)
         let now =
-          Phys_mem.read w.k.Kernel.mem ~addr:ctx.iv_secret_addr ~len:(String.length secret)
+          Phys_mem.read k.Kernel.mem ~addr:ctx.iv_secret_addr ~len:(String.length secret)
         in
         if Bytes.to_string now <> secret then
           violate ctx "death %d: kernel secret page corrupted" ctx.iv_deaths;
@@ -237,7 +245,7 @@ let install_invariants w sv ~secret_addr =
          | Some (g, iovas) ->
            if Safe_pci.grant_alive g then
              violate ctx "death %d: grant still alive after driver death" ctx.iv_deaths;
-           if Iommu.domain_of iommu ~source:w.bdf <> None then
+           if Iommu.domain_of iommu ~source:bdf <> None then
              violate ctx "death %d: IOMMU domain still attached" ctx.iv_deaths;
            (* No stale IOTLB entry: probing any previously-mapped iova must
               not answer from the cache.  (With the domain detached the
@@ -245,7 +253,7 @@ let install_invariants w sv ~secret_addr =
               the stale-translation containment hole.) *)
            List.iter
              (fun iova ->
-                match Iommu.translate_info iommu ~source:w.bdf ~addr:iova ~dir:Bus.Dma_read with
+                match Iommu.translate_info iommu ~source:bdf ~addr:iova ~dir:Bus.Dma_read with
                 | _, `Hit ->
                   violate ctx "death %d: stale IOTLB entry for iova 0x%x" ctx.iv_deaths iova
                 | _, (`Walk | `Bypass) -> ())
@@ -253,6 +261,9 @@ let install_invariants w sv ~secret_addr =
            ctx.iv_snapshot <- None)
       | Supervisor.Driver_restarted _ | Supervisor.Driver_quarantined _ -> ());
   ctx
+
+let install_invariants w sv ~secret_addr =
+  install_invariants_for ~k:w.k ~bdf:w.bdf sv ~secret_addr
 
 (* Continuous netperf-style UDP traffic through the supervised netdev. *)
 type traffic = {
@@ -530,3 +541,456 @@ let crash_loop ?(max_restarts = 3) () =
         qr_quarantined = Supervisor.state sv = Supervisor.Quarantined;
         qr_netdev_removed = Netstack.find_netdev w.k.Kernel.net (Netdev.name dev) = None;
         qr_sysfs_state = sysfs_state })
+
+(* ---- sud-blk: storage fault classes and the crash-consistency soak ---- *)
+
+type blk_fault =
+  | Bcrash                 (* kill -9 the block driver *)
+  | Bhang                  (* wedge its upcall loop *)
+  | Corrupt_completion     (* device flips bits in the next CQE's command id *)
+  | Drop_completion        (* the next completion evaporates *)
+  | Drop_flush             (* the next flush neither persists nor acks *)
+  | Crash_mid_barrier      (* kill the driver while a flush is in flight *)
+
+let all_blk_faults =
+  [ Bcrash; Bhang; Corrupt_completion; Drop_completion; Drop_flush; Crash_mid_barrier ]
+
+let blk_fault_name = function
+  | Bcrash -> "crash"
+  | Bhang -> "hang"
+  | Corrupt_completion -> "corrupt_completion"
+  | Drop_completion -> "drop_completion"
+  | Drop_flush -> "drop_flush"
+  | Crash_mid_barrier -> "crash_mid_barrier"
+
+type blk_injection = { bat_ns : int; bfault : blk_fault }
+type blk_plan = blk_injection list
+
+let random_blk_plan ~seed ~duration_ns ~n ?(faults = all_blk_faults) () =
+  if n < 0 || duration_ns <= 0 then invalid_arg "Fault_inject.random_blk_plan";
+  let rng = Rng.create ~seed in
+  let arr = Array.of_list faults in
+  List.init n (fun _ ->
+      { bat_ns = Rng.int rng duration_ns; bfault = arr.(Rng.int rng (Array.length arr)) })
+  |> List.sort (fun a b -> compare a.bat_ns b.bat_ns)
+
+type blk_world = {
+  bw_eng : Engine.t;
+  bw_k : Kernel.t;
+  bw_sp : Safe_pci.t;
+  bw_nvme : Nvme_dev.t;
+  bw_bdf : Bus.bdf;
+}
+
+let make_blk_world ?capacity () =
+  let eng = Engine.create () in
+  let k = Kernel.boot eng in
+  let nvme = Nvme_dev.create eng ?capacity () in
+  let bdf = Kernel.attach_pci k (Nvme_dev.device nvme) in
+  let sp = Safe_pci.init k in
+  { bw_eng = eng; bw_k = k; bw_sp = sp; bw_nvme = nvme; bw_bdf = bdf }
+
+let in_blk_world ?(max_ms = 120_000) w main =
+  let result = ref None in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process w.bw_k.Kernel.procs) ~name:"blk-soak"
+       (fun () -> result := Some (main ()))
+     : Fiber.t);
+  Engine.run ~max_time:(Engine.now w.bw_eng + (max_ms * 1_000_000)) w.bw_eng;
+  match !result with Some r -> r | None -> failwith "blk soak did not complete"
+
+let honest_blk_factory ~attempt:_ = Nvme.driver
+
+(* Apply one storage fault.  The device-level classes (corrupt/drop
+   completion, drop flush) arm a one-shot hook on the emulated NVMe that
+   fires on the next matching command — the continuous workload
+   guarantees one arrives.  None of them produce a direct detection
+   signal; they escalate through the proxy's per-request timeout, so
+   every class here ends in a supervised recovery.  Must run in a fiber
+   (Crash_mid_barrier sleeps, stalking a flush). *)
+let blk_inject ~eng ~sv ~nvme fault =
+  if Supervisor.state sv <> Supervisor.Running then false
+  else
+    match fault with
+    | Bcrash ->
+      (match Supervisor.proc sv with
+       | Some p when Process.is_alive p ->
+         Process.kill p;
+         true
+       | Some _ | None -> false)
+    | Bhang ->
+      (match Supervisor.chan sv with
+       | Some chan when not (Uchan.is_closed chan) ->
+         Uchan.wedge chan;
+         true
+       | Some _ | None -> false)
+    | Corrupt_completion ->
+      Nvme_dev.inject_corrupt_completion nvme ~mask:0x15;
+      true
+    | Drop_completion ->
+      Nvme_dev.inject_drop_completion nvme;
+      true
+    | Drop_flush ->
+      Nvme_dev.inject_drop_flush nvme;
+      true
+    | Crash_mid_barrier ->
+      (match Supervisor.current_blk sv with
+       | None -> false
+       | Some s ->
+         let proxy = Driver_host.blk_proxy s in
+         (* Wait (bounded) for a flush barrier to be on the wire, then
+            kill: the nastiest instant for durability bookkeeping.  If
+            none shows up the kill still lands — it degrades to Bcrash. *)
+         let rec stalk budget =
+           if budget > 0 && not (Proxy_blk.inflight_flush proxy) then begin
+             ignore (Fiber.sleep eng 100_000 : Fiber.wake);
+             stalk (budget - 1)
+           end
+         in
+         stalk 200;
+         (match Supervisor.proc sv with
+          | Some p when Process.is_alive p ->
+            Process.kill p;
+            true
+          | Some _ | None -> false))
+
+(* Walk a blk plan; same live-target discipline as the net runner. *)
+let run_blk_plan k ~sv ~nvme ?(stats = new_injector_stats ()) plan =
+  let eng = k.Kernel.eng in
+  let t0 = Engine.now eng in
+  ignore
+    (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"blk-fault-injector"
+       (fun () ->
+          List.iter
+            (fun { bat_ns; bfault } ->
+               let dt = t0 + bat_ns - Engine.now eng in
+               if dt > 0 then ignore (Fiber.sleep eng dt : Fiber.wake);
+               let target_live () =
+                 match Supervisor.state sv with
+                 | Supervisor.Running ->
+                   (match Supervisor.proc sv with
+                    | Some p -> Process.is_alive p
+                    | None -> false)
+                 | Supervisor.Recovering -> false
+                 | _ -> true
+               in
+               let rec wait_running budget =
+                 if budget > 0 && not (target_live ()) then begin
+                   ignore (Fiber.sleep eng 1_000_000 : Fiber.wake);
+                   wait_running (budget - 1)
+                 end
+               in
+               wait_running 1_000;
+               if blk_inject ~eng ~sv ~nvme bfault then begin
+                 stats.inj_applied <- stats.inj_applied + 1;
+                 let n = blk_fault_name bfault in
+                 Hashtbl.replace stats.inj_by_class n
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt stats.inj_by_class n))
+               end
+               else stats.inj_skipped <- stats.inj_skipped + 1)
+            plan)
+     : Fiber.t);
+  stats
+
+let blk_by_class st =
+  List.map
+    (fun f ->
+       ( blk_fault_name f,
+         Option.value ~default:0 (Hashtbl.find_opt st.inj_by_class (blk_fault_name f)) ))
+    all_blk_faults
+
+(* ---- the crash-consistency oracle ----
+
+   One synchronous workload fiber writes patterned full pages.  Because
+   Blkdev.write blocks until the cache accepts (and the queue acks) the
+   page, the fiber's [last_acked] array is, at every instant it runs,
+   exactly the set of acknowledged writes.  Media may only be compared
+   against it at one kind of instant: immediately after an [fsync]
+   returns Ok, when everything acknowledged is durable by contract and
+   nothing newer has been issued (single writer).  Every supervised
+   restart forces such a check, so "no acked write lost, no unacked
+   write visible" is asserted at every recovery. *)
+
+type blk_load = {
+  mutable wl_writes : int;
+  mutable wl_reads : int;
+  mutable wl_fsyncs : int;
+  mutable wl_verifies : int;
+  mutable wl_io_errors : int;
+  mutable wl_check_pending : bool;   (* set on Driver_restarted *)
+  mutable wl_stop : bool;
+  mutable wl_done : bool;
+}
+
+let io_timeout_ns = 5_000_000_000
+
+let blk_soak_pages = 64
+
+type blk_soak_report = {
+  bsr_seed : int64;
+  bsr_planned : int;
+  bsr_applied : int;
+  bsr_skipped : int;
+  bsr_by_class : (string * int) list;
+  bsr_detections : int;
+  bsr_restarts : int;
+  bsr_deaths : int;
+  bsr_state : Supervisor.state;
+  bsr_writes : int;
+  bsr_reads : int;
+  bsr_fsyncs : int;
+  bsr_verifies : int;
+  bsr_io_errors : int;
+  bsr_max_outage_ns : int;
+  bsr_retained_end : int;
+  bsr_inflight_end : int;
+  bsr_by_reason : (string * int) list;
+  bsr_violations : string list;
+}
+
+let blk_soak ?(seed = 43L) ?(n_faults = 200) ?(duration_ms = 6_000) () =
+  let w = make_blk_world () in
+  in_blk_world w (fun () ->
+      let k = w.bw_k in
+      let secret_addr = Phys_mem.alloc_pages k.Kernel.mem ~pages:1 in
+      Phys_mem.write k.Kernel.mem ~addr:secret_addr (Bytes.of_string secret);
+      let sv =
+        match
+          Supervisor.start_blk k w.bw_sp ~policy:(soak_policy ~max_restarts:max_int)
+            ~bdf:w.bw_bdf honest_blk_factory
+        with
+        | Ok sv -> sv
+        | Error e -> failwith ("blk_soak: supervised start failed: " ^ e)
+      in
+      let ctx = install_invariants_for ~k ~bdf:w.bw_bdf sv ~secret_addr in
+      let bd =
+        match Supervisor.blkdev sv with
+        | Some bd -> bd
+        | None -> failwith "blk_soak: no blkdev after start"
+      in
+      let load =
+        { wl_writes = 0; wl_reads = 0; wl_fsyncs = 0; wl_verifies = 0; wl_io_errors = 0;
+          wl_check_pending = false; wl_stop = false; wl_done = false }
+      in
+      let max_outage = ref 0 in
+      let reasons = Hashtbl.create 8 in
+      Supervisor.on_event sv (function
+          | Supervisor.Driver_restarted { outage_ns; _ } ->
+            if outage_ns > !max_outage then max_outage := outage_ns;
+            if outage_ns > outage_bound_ns then
+              violate ctx "recovery outage %d ms exceeds bound" (outage_ns / 1_000_000);
+            load.wl_check_pending <- true
+          | Supervisor.Fault_detected reason ->
+            Hashtbl.replace reasons reason
+              (1 + Option.value ~default:0 (Hashtbl.find_opt reasons reason))
+          | _ -> ());
+      (* Per-page ground truth: the last write this fiber saw acked. *)
+      let last_acked = Array.make blk_soak_pages None in
+      let pattern page gen =
+        Bytes.init Blkdev.page_size (fun i ->
+            Char.chr ((page * 131 + gen * 31 + i) land 0xff))
+      in
+      let verify_media why =
+        load.wl_verifies <- load.wl_verifies + 1;
+        Array.iteri
+          (fun page data ->
+             match data with
+             | None -> ()
+             | Some data ->
+               let lba0 = page * Blkdev.page_sectors in
+               for s = 0 to Blkdev.page_sectors - 1 do
+                 let expect =
+                   Bytes.sub data (s * Blkdev.sector_size) Blkdev.sector_size
+                 in
+                 match Nvme_dev.media_sector w.bw_nvme ~lba:(lba0 + s) with
+                 | None ->
+                   violate ctx "%s: acked write to sector %d lost (never on media)"
+                     why (lba0 + s)
+                 | Some got ->
+                   if not (Bytes.equal got expect) then
+                     violate ctx "%s: media mismatch at sector %d" why (lba0 + s)
+               done)
+          last_acked
+      in
+      let fsync_and_verify why =
+        match Blkdev.fsync bd ~timeout_ns:io_timeout_ns () with
+        | Ok () ->
+          load.wl_fsyncs <- load.wl_fsyncs + 1;
+          verify_media why
+        | Error e ->
+          load.wl_io_errors <- load.wl_io_errors + 1;
+          violate ctx "%s: fsync failed: %s" why e
+      in
+      let rng = Rng.create ~seed:(Int64.add seed 1L) in
+      ignore
+        (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"blk-load"
+           (fun () ->
+              let gen = ref 0 in
+              while not load.wl_stop do
+                if load.wl_check_pending then begin
+                  load.wl_check_pending <- false;
+                  fsync_and_verify "post-recovery check"
+                end;
+                incr gen;
+                let page = Rng.int rng blk_soak_pages in
+                let data = pattern page !gen in
+                (match
+                   Blkdev.write bd ~timeout_ns:io_timeout_ns
+                     ~lba:(page * Blkdev.page_sectors) data ()
+                 with
+                 | Ok () ->
+                   load.wl_writes <- load.wl_writes + 1;
+                   last_acked.(page) <- Some data
+                 | Error e ->
+                   load.wl_io_errors <- load.wl_io_errors + 1;
+                   violate ctx "write to page %d failed: %s" page e);
+                (* Read-back: the cache must agree with the last ack. *)
+                if !gen mod 4 = 0 then begin
+                  let rp = Rng.int rng blk_soak_pages in
+                  match last_acked.(rp) with
+                  | None -> ()
+                  | Some expect ->
+                    (match
+                       Blkdev.read bd ~timeout_ns:io_timeout_ns
+                         ~lba:(rp * Blkdev.page_sectors) ~sectors:Blkdev.page_sectors ()
+                     with
+                     | Ok got ->
+                       load.wl_reads <- load.wl_reads + 1;
+                       if not (Bytes.equal got expect) then
+                         violate ctx "read of page %d disagrees with last acked write" rp
+                     | Error e ->
+                       load.wl_io_errors <- load.wl_io_errors + 1;
+                       violate ctx "read of page %d failed: %s" rp e)
+                end;
+                if !gen mod 6 = 0 then fsync_and_verify "periodic check";
+                ignore (Fiber.sleep w.bw_eng 50_000 : Fiber.wake)
+              done;
+              load.wl_done <- true)
+         : Fiber.t);
+      let plan =
+        random_blk_plan ~seed ~duration_ns:(duration_ms * 1_000_000) ~n:n_faults ()
+      in
+      let stats = run_blk_plan k ~sv ~nvme:w.bw_nvme plan in
+      ignore (Fiber.sleep w.bw_eng ((duration_ms + 200) * 1_000_000) : Fiber.wake);
+      let rec drain budget =
+        if budget > 0 && Supervisor.state sv = Supervisor.Recovering then begin
+          ignore (Fiber.sleep w.bw_eng 10_000_000 : Fiber.wake);
+          drain (budget - 1)
+        end
+      in
+      drain 200;
+      load.wl_stop <- true;
+      let rec join budget =
+        if budget > 0 && not load.wl_done then begin
+          ignore (Fiber.sleep w.bw_eng 10_000_000 : Fiber.wake);
+          join (budget - 1)
+        end
+      in
+      join 1_000;
+      (* The end-of-soak barrier: everything acked must be durable and
+         the proxy's retention fully drained. *)
+      fsync_and_verify "final check";
+      let retained, inflight =
+        match Supervisor.current_blk sv with
+        | Some s ->
+          let p = Driver_host.blk_proxy s in
+          (Proxy_blk.retained p, Proxy_blk.inflight p)
+        | None -> (-1, -1)
+      in
+      if retained <> 0 then
+        violate ctx "final fsync left %d writes retained (flush did not cover)" retained;
+      if inflight <> 0 then begin
+        violate ctx "%d requests still in flight after final fsync" inflight;
+        match Supervisor.current_blk sv with
+        | Some s -> violate ctx "stuck:\n%s" (Proxy_blk.inflight_summary (Driver_host.blk_proxy s))
+        | None -> ()
+      end;
+      let st = Supervisor.stats sv in
+      if Supervisor.state sv <> Supervisor.Running then
+        violate ctx "blk soak ended with supervisor not Running";
+      if ctx.iv_deaths <> st.Supervisor.st_detections then
+        violate ctx "detections %d but deaths %d" st.Supervisor.st_detections ctx.iv_deaths;
+      { bsr_seed = seed;
+        bsr_planned = n_faults;
+        bsr_applied = stats.inj_applied;
+        bsr_skipped = stats.inj_skipped;
+        bsr_by_class = blk_by_class stats;
+        bsr_detections = st.Supervisor.st_detections;
+        bsr_restarts = st.Supervisor.st_restarts;
+        bsr_deaths = ctx.iv_deaths;
+        bsr_state = Supervisor.state sv;
+        bsr_writes = load.wl_writes;
+        bsr_reads = load.wl_reads;
+        bsr_fsyncs = load.wl_fsyncs;
+        bsr_verifies = load.wl_verifies;
+        bsr_io_errors = load.wl_io_errors;
+        bsr_max_outage_ns = !max_outage;
+        bsr_retained_end = retained;
+        bsr_inflight_end = inflight;
+        bsr_by_reason =
+          Hashtbl.fold (fun r n acc -> (r, n) :: acc) reasons []
+          |> List.sort (fun (_, a) (_, b) -> compare b a);
+        bsr_violations = List.rev ctx.iv_violations })
+
+(* ---- single-fault blk recovery latency, for the bench harness ---- *)
+
+let measure_blk_recovery ?seed:_ fault =
+  let w = make_blk_world () in
+  (* Injection at 5 ms, recovery waited on for at most ~2 s: a 10 s
+     sim bound keeps the engine from idling through the default two
+     sim-minutes of watchdog ticks after the sample is taken. *)
+  in_blk_world ~max_ms:10_000 w (fun () ->
+      let k = w.bw_k in
+      let sv =
+        match
+          Supervisor.start_blk k w.bw_sp ~policy:(soak_policy ~max_restarts:10)
+            ~bdf:w.bw_bdf honest_blk_factory
+        with
+        | Ok sv -> sv
+        | Error e -> failwith ("measure_blk_recovery: " ^ e)
+      in
+      let bd = Option.get (Supervisor.blkdev sv) in
+      let stop = ref false in
+      ignore
+        (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"blk-load"
+           (fun () ->
+              let gen = ref 0 in
+              while not !stop do
+                incr gen;
+                let page = !gen mod 8 in
+                let data = Bytes.make Blkdev.page_size (Char.chr (!gen land 0xff)) in
+                ignore
+                  (Blkdev.write bd ~timeout_ns:io_timeout_ns
+                     ~lba:(page * Blkdev.page_sectors) data ()
+                   : (unit, string) result);
+                if !gen mod 4 = 0 then
+                  ignore (Blkdev.fsync bd ~timeout_ns:io_timeout_ns () : (unit, string) result);
+                ignore (Fiber.sleep w.bw_eng 50_000 : Fiber.wake)
+              done)
+         : Fiber.t);
+      let restored = ref None in
+      Supervisor.on_event sv (function
+          | Supervisor.Driver_restarted { outage_ns; _ } when !restored = None ->
+            restored := Some outage_ns
+          | _ -> ());
+      ignore (Fiber.sleep w.bw_eng 5_000_000 : Fiber.wake);
+      if not (blk_inject ~eng:w.bw_eng ~sv ~nvme:w.bw_nvme fault) then
+        failwith ("measure_blk_recovery: injection not applied: " ^ blk_fault_name fault);
+      let rec wait budget =
+        match !restored with
+        | Some _ -> ()
+        | None when budget = 0 -> ()
+        | None ->
+          ignore (Fiber.sleep w.bw_eng 1_000_000 : Fiber.wake);
+          wait (budget - 1)
+      in
+      wait 2_000;
+      stop := true;
+      let st = Supervisor.stats sv in
+      match !restored with
+      | None ->
+        failwith ("measure_blk_recovery: no recovery observed for " ^ blk_fault_name fault)
+      | Some outage ->
+        { rs_fault = "blk_" ^ blk_fault_name fault;
+          rs_detect_ns = st.Supervisor.st_last_detect_latency_ns;
+          rs_outage_ns = outage })

@@ -196,3 +196,113 @@ val crash_loop : ?max_restarts:int -> unit -> quarantine_report
 (** Kill every fresh driver generation until the restart budget
     (default 3 per window) is exhausted: the supervisor must quarantine
     the device — netdev unregistered, sysfs state ["quarantined"]. *)
+
+(** {1 sud-blk: storage faults and the crash-consistency soak}
+
+    The block soak replaces "traffic keeps flowing" with a stronger
+    oracle: {e no acknowledged write is ever lost, and no write is
+    observable that was never acknowledged}.  A single synchronous
+    workload fiber keeps a per-page [last_acked] ground truth; because
+    {!Blkdev.write} blocks until the ack, the array is exact whenever
+    the fiber runs, and media is compared against it immediately after
+    every successful [fsync] — the one instant the durability contract
+    pins everything down.  Every supervised restart forces such a
+    check, so the invariant is asserted at every recovery. *)
+
+(** Storage fault classes.  The device-level ones (corrupt/drop
+    completion, drop flush) arm one-shot hooks on the emulated NVMe;
+    none of them produce a direct detection signal, so all escalate
+    through the proxy's per-request timeout into a full recovery —
+    every class is lethal.  [Crash_mid_barrier] stalks an in-flight
+    flush and kills the driver at that instant. *)
+type blk_fault =
+  | Bcrash
+  | Bhang
+  | Corrupt_completion
+  | Drop_completion
+  | Drop_flush
+  | Crash_mid_barrier
+
+val all_blk_faults : blk_fault list
+val blk_fault_name : blk_fault -> string
+
+type blk_injection = { bat_ns : int; bfault : blk_fault }
+type blk_plan = blk_injection list
+
+val random_blk_plan :
+  seed:int64 -> duration_ns:int -> n:int -> ?faults:blk_fault list -> unit -> blk_plan
+
+type blk_world = {
+  bw_eng : Engine.t;
+  bw_k : Kernel.t;
+  bw_sp : Safe_pci.t;
+  bw_nvme : Nvme_dev.t;
+  bw_bdf : Bus.bdf;
+}
+
+val make_blk_world : ?capacity:int -> unit -> blk_world
+(** A booted kernel with one emulated NVMe ([capacity] in 512-byte
+    sectors — the media is sparse, so large devices are free),
+    safe-PCI initialised. *)
+
+val in_blk_world : ?max_ms:int -> blk_world -> (unit -> 'a) -> 'a
+
+val honest_blk_factory : attempt:int -> Driver_api.blk_driver
+(** The honest NVMe driver, every generation. *)
+
+val blk_inject :
+  eng:Engine.t -> sv:Supervisor.t -> nvme:Nvme_dev.t -> blk_fault -> bool
+(** Apply one storage fault now.  Must run in a fiber
+    ([Crash_mid_barrier] sleeps while stalking a flush). *)
+
+val run_blk_plan :
+  Kernel.t ->
+  sv:Supervisor.t ->
+  nvme:Nvme_dev.t ->
+  ?stats:injector_stats ->
+  blk_plan ->
+  injector_stats
+
+val install_invariants_for :
+  k:Kernel.t -> bdf:Bus.bdf -> Supervisor.t -> secret_addr:int -> invariant_ctx
+(** The class-independent form of {!install_invariants}: the same
+    containment contract, whether the supervised device is a NIC or an
+    NVMe. *)
+
+type blk_soak_report = {
+  bsr_seed : int64;
+  bsr_planned : int;
+  bsr_applied : int;
+  bsr_skipped : int;
+  bsr_by_class : (string * int) list;
+  bsr_detections : int;
+  bsr_restarts : int;
+  bsr_deaths : int;
+  bsr_state : Supervisor.state;  (** must be [Running] at the end *)
+  bsr_writes : int;  (** acknowledged page writes *)
+  bsr_reads : int;
+  bsr_fsyncs : int;
+  bsr_verifies : int;  (** full media-vs-last-acked sweeps performed *)
+  bsr_io_errors : int;
+  bsr_max_outage_ns : int;
+  bsr_retained_end : int;  (** unflushed retention after the final fsync; must be 0 *)
+  bsr_inflight_end : int;  (** in-flight requests after the final fsync; must be 0 *)
+  bsr_by_reason : (string * int) list;
+      (** supervisor detection reasons, most frequent first *)
+  bsr_violations : string list;  (** must be [] *)
+}
+
+val blk_soak :
+  ?seed:int64 -> ?n_faults:int -> ?duration_ms:int -> unit -> blk_soak_report
+(** Run a supervised honest NVMe driver under a continuous synchronous
+    write/read/fsync workload while a seeded plan (default 200 storage
+    faults over 6 s of simulated time) fires every class at it.  At
+    every driver death the containment invariants hold; after every
+    recovery and every periodic fsync, media equals the last
+    acknowledged write for every page; at the end a final fsync must
+    leave zero retained and zero in-flight requests. *)
+
+val measure_blk_recovery : ?seed:int64 -> blk_fault -> recovery_sample
+(** Inject exactly one storage fault into a freshly supervised NVMe
+    under workload and report the observed recovery latencies
+    ([rs_fault] is prefixed ["blk_"]). *)

@@ -134,6 +134,32 @@ type block_instance = {
   bl_write : lba:int -> bytes -> (unit, string) result;
 }
 
+(* ---- sud-blk: asynchronous multiqueue block drivers (NVMe-style) ---- *)
+
+type blk_callbacks = {
+  bc_complete : queue:int -> tag:int -> status:int -> unit;
+      (** Completion for a previously accepted submission.  [tag] echoes
+          the submit's idempotency tag; [status] 0 = success. *)
+}
+
+type blkdev_instance = {
+  bi_capacity : int;             (* 512-byte sectors *)
+  bi_queues : int;               (* hardware queue pairs the driver set up *)
+  bi_submit :
+    queue:int -> tag:int -> op:int -> lba:int -> count:int -> addr:int ->
+    [ `Ok | `Busy ];
+      (** Queue one request.  [op] is a [Proxy_proto.blk_op_*] value
+          (possibly OR'd with [blk_op_fua]); [addr] is the shared-buffer
+          DMA address, meaningless for flushes.  [`Busy] means the
+          submission queue is full — resubmit after a completion. *)
+}
+
+type blk_driver = {
+  bd_name : string;
+  bd_ids : (int * int) list;
+  bd_probe : env -> pcidev -> blk_callbacks -> (blkdev_instance, string) result;
+}
+
 type input_callbacks = { ic_key : int -> unit }
 
 type usb_dev_handle = {

@@ -182,6 +182,39 @@ type block_instance = {
   bl_write : lba:int -> bytes -> (unit, string) result;
 }
 
+(** {2 sud-blk: asynchronous multiqueue block drivers}
+
+    Unlike the synchronous [block_instance] surface USB mass storage
+    uses, an NVMe-style driver owns hardware queue pairs and completes
+    requests out of band.  Requests are identified by the {e idempotency
+    tag} the block proxy assigns — monotonically increasing per device
+    and preserved across driver restarts, so a replayed request carries
+    the same identity and cannot double-apply. *)
+
+type blk_callbacks = {
+  bc_complete : queue:int -> tag:int -> status:int -> unit;
+      (** completion for a previously accepted submission; [status] 0 =
+          success *)
+}
+
+type blkdev_instance = {
+  bi_capacity : int;                (** in 512-byte sectors *)
+  bi_queues : int;                  (** hardware queue pairs set up *)
+  bi_submit :
+    queue:int -> tag:int -> op:int -> lba:int -> count:int -> addr:int ->
+    [ `Ok | `Busy ];
+      (** queue one request; [op] is a [Proxy_proto.blk_op_*] value
+          (writes may carry the [blk_op_fua] flag bit), [addr] the
+          shared-buffer bus address (unused for flushes).  [`Busy] =
+          submission queue full, resubmit after a completion. *)
+}
+
+type blk_driver = {
+  bd_name : string;
+  bd_ids : (int * int) list;
+  bd_probe : env -> pcidev -> blk_callbacks -> (blkdev_instance, string) result;
+}
+
 type input_callbacks = { ic_key : int -> unit }
 
 type usb_dev_handle = {

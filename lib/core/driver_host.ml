@@ -306,3 +306,154 @@ let start_usb k sp ?(uid = 1000) ?name ?bdf ~bind_storage ~bind_keyboard
 let usb_proxy s = s.u_proxy
 let usb_proc s = s.u_proc
 let kill_usb s = Process.kill s.u_proc
+
+(* ---- sud-blk: asynchronous multiqueue block ---- *)
+
+type started_blk = {
+  b_k : Kernel.t;
+  b_sp : Safe_pci.t;
+  b_bdf : Bus.bdf;
+  b_uid : int;
+  b_name : string;
+  b_proc : Process.t;
+  b_chan : Uchan.t;
+  b_grant : Safe_pci.grant;
+  b_proxy : Proxy_blk.t;
+  b_class : Proxy_class.instance;
+  b_uml : Sud_uml.t;
+  b_blkdev : Blkdev.t;
+  b_queues : int;
+  b_quota : Quota.t option;
+  b_epoch : int;
+}
+
+(* Block buffers must hold a fully merged request (64 sectors); fewer,
+   bigger buffers than the net pool. *)
+let blk_pool_bufs = 64
+let blk_pool_buf_size = 32768
+
+let start_blk_at k sp ?hang_timeout_ns ?request_timeout_ns ?queues ?adopt ?quota
+    ?(epoch = 0) ~uid ~name ~bdf (drv : Driver_api.blk_driver) =
+  if Sud_obs.Trace.on () then
+    ignore
+      (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"driver" ~name:"start"
+         ~attrs:[ "driver", name; "bdf", Bus.string_of_bdf bdf; "class", "blk" ] ());
+  Safe_pci.register_device sp bdf;
+  Safe_pci.set_owner sp bdf ~uid;
+  let proc = Process.spawn k.Kernel.procs ~name ~uid in
+  match Safe_pci.open_device sp ?quota bdf ~proc with
+  | Error e ->
+    Process.kill proc;
+    Error ("open device: " ^ e)
+  | Ok grant ->
+    (match
+       Safe_pci.alloc_dma grant
+         ~bytes:(Bufpool.region_size ~count:blk_pool_bufs ~buf_size:blk_pool_buf_size)
+         ()
+     with
+     | Error e ->
+       Process.kill proc;
+       Error ("shared pool: " ^ e)
+     | Ok region ->
+       let pool =
+         Bufpool.create
+           ~read:(fun ~off ~len -> region.Driver_api.dma_read ~off ~len)
+           ~write:(fun ~off ~data -> region.Driver_api.dma_write ~off data)
+           ~base_addr:region.Driver_api.dma_addr ~count:blk_pool_bufs
+           ~buf_size:blk_pool_buf_size
+       in
+       let queues =
+         match queues with
+         | Some q -> max 1 (min q Uchan.max_queues)
+         | None -> max 1 (min (Safe_pci.msix_vectors grant) Uchan.max_queues)
+       in
+       let slots = 256 in
+       let queues, ring_charge =
+         match quota with
+         | None -> queues, 0
+         | Some q ->
+           let queues = Quota.negotiate_queues q ~slots ~queues in
+           queues, Quota.ring_bytes ~slots ~queues
+       in
+       (match
+          match quota with
+          | Some q -> Quota.charge_uchan q ~bytes:ring_charge
+          | None -> Ok ()
+        with
+        | Error e ->
+          Process.kill proc;
+          Error ("uchan rings: " ^ e)
+        | Ok () ->
+          let chan =
+            Uchan.create k ?hang_timeout_ns ~slots ~queues ~epoch
+              ~profile:Proxy_proto.conformance_profile ~driver_label:name ()
+          in
+          (match quota with
+           | None -> ()
+           | Some q ->
+             Uchan.set_notify_hook chan (Some (fun ~queue -> Quota.note_notify q ~queue));
+             Process.on_exit proc (fun () -> Quota.release_uchan q ~bytes:ring_charge));
+          let proxy =
+            Proxy_blk.create k ~chan ~grant ~pool ~name ?request_timeout_ns ?adopt ()
+          in
+          let uml = Sud_uml.create k ~proc ~grant ~chan ~pool in
+          Process.on_exit proc (fun () ->
+              if Sud_obs.Trace.on () then
+                ignore
+                  (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"driver"
+                     ~name:"exit" ~attrs:[ "driver", name ] ());
+              Uchan.close chan;
+              (* The blkdev (cache, staging, retention in the persist
+                 record) survives the driver's death; new requests park
+                 in staging until a fresh generation resumes. *)
+              Proxy_blk.quiesce proxy);
+          ignore
+            (Process.spawn_fiber proc ~name:(name ^ "-main") (fun () ->
+                 Sud_uml.serve_blk uml drv)
+             : Fiber.t);
+          (match Proxy_blk.wait_ready proxy ~timeout_ns:100_000_000 with
+           | None ->
+             Process.kill proc;
+             Error "driver did not register a block device"
+           | Some bd ->
+             Ok
+               { b_k = k;
+                 b_sp = sp;
+                 b_bdf = bdf;
+                 b_uid = uid;
+                 b_name = name;
+                 b_proc = proc;
+                 b_chan = chan;
+                 b_grant = grant;
+                 b_proxy = proxy;
+                 b_class = Proxy_blk.instance proxy;
+                 b_uml = uml;
+                 b_blkdev = bd;
+                 b_queues = queues;
+                 b_quota = quota;
+                 b_epoch = epoch })))
+
+let start_blk k sp ?(uid = 1000) ?name ?bdf ?hang_timeout_ns ?request_timeout_ns ?queues
+    ?adopt ?quota ?epoch drv =
+  let name = Option.value ~default:drv.Driver_api.bd_name name in
+  let go bdf =
+    start_blk_at k sp ?hang_timeout_ns ?request_timeout_ns ?queues ?adopt ?quota ?epoch
+      ~uid ~name ~bdf drv
+  in
+  match bdf with
+  | Some bdf -> go bdf
+  | None ->
+    (match find_by_ids k drv.Driver_api.bd_ids name with Error e -> Error e | Ok bdf -> go bdf)
+
+let blk_proc s = s.b_proc
+let blk_chan s = s.b_chan
+let blk_grant s = s.b_grant
+let blk_proxy s = s.b_proxy
+let blk_class s = s.b_class
+let blk_uml s = s.b_uml
+let blk_bdf s = s.b_bdf
+let blk_blkdev s = s.b_blkdev
+let blk_queues s = s.b_queues
+let blk_quota s = s.b_quota
+let blk_epoch s = s.b_epoch
+let kill_blk s = Process.kill s.b_proc

@@ -132,3 +132,42 @@ val start_usb :
 val usb_proxy : started_usb -> Proxy_usb.t
 val usb_proc : started_usb -> Process.t
 val kill_usb : started_usb -> unit
+
+(** {1 sud-blk: asynchronous multiqueue block}
+
+    [start_blk] mirrors [start_net]'s full sequence — sysfs match,
+    chown, spawn, grant, shared pool (sized for fully merged 64-sector
+    requests), quota-negotiated uchan rings — and waits for the driver
+    to register its block device.  The supervisor passes [adopt] (the
+    {!Proxy_blk.persist} record carrying tags, in-flight table and
+    unflushed retention across generations) so recovery can replay. *)
+
+type started_blk
+
+val start_blk :
+  Kernel.t ->
+  Safe_pci.t ->
+  ?uid:int ->
+  ?name:string ->
+  ?bdf:Bus.bdf ->
+  ?hang_timeout_ns:int ->
+  ?request_timeout_ns:int ->
+  ?queues:int ->
+  ?adopt:Proxy_blk.persist ->
+  ?quota:Quota.t ->
+  ?epoch:int ->
+  Driver_api.blk_driver ->
+  (started_blk, string) result
+
+val blk_proc : started_blk -> Process.t
+val blk_chan : started_blk -> Uchan.t
+val blk_grant : started_blk -> Safe_pci.grant
+val blk_proxy : started_blk -> Proxy_blk.t
+val blk_class : started_blk -> Proxy_class.instance
+val blk_uml : started_blk -> Sud_uml.t
+val blk_bdf : started_blk -> Bus.bdf
+val blk_blkdev : started_blk -> Blkdev.t
+val blk_queues : started_blk -> int
+val blk_quota : started_blk -> Quota.t option
+val blk_epoch : started_blk -> int
+val kill_blk : started_blk -> unit

@@ -4,6 +4,7 @@ type t = {
   pool : Bufpool.t;
   name : string;
   mutable ready : bool;
+  mutable quiescing : bool;
   ready_wait : Sync.Waitq.t;
   mutable periods : int;
   period_wait : Sync.Waitq.t;
@@ -44,6 +45,7 @@ let create k ~chan ~grant ~pool ~name () =
       pool;
       name;
       ready = false;
+      quiescing = false;
       ready_wait = Sync.Waitq.create ();
       periods = 0;
       period_wait = Sync.Waitq.create () }
@@ -74,6 +76,8 @@ let wait_cond k waitq ~timeout_ns cond =
 let wait_ready t ~timeout_ns = wait_cond t.k t.ready_wait ~timeout_ns (fun () -> t.ready)
 
 let sync_call t kind args =
+  if t.quiescing then Error "driver quiesced"
+  else
   match Uchan.transfer t.chan ~from:`Kernel Uchan.Sync (Msg.make ~kind ~args ()) with
   | Error Uchan.Hung -> Error "driver hung"
   | Error Uchan.Interrupted -> Error "interrupted"
@@ -85,6 +89,8 @@ let start t = Result.map (fun _ -> ()) (sync_call t Proxy_proto.up_audio_start [
 let stop t = Result.map (fun _ -> ()) (sync_call t Proxy_proto.up_audio_stop [])
 
 let write t pcm =
+  if t.quiescing then 0
+  else
   match Bufpool.alloc t.pool with
   | None -> 0
   | Some buf ->
@@ -118,6 +124,8 @@ let instance t =
         let class_name = "audio"
         let chan t = t.chan
         let hung _ = false
+        let quiesce t = t.quiescing <- true
+        let resume t = t.quiescing <- false
         let degrade t = t.ready <- false
         let revive _ = ()   (* the register downcall flips [ready] back *)
       end),

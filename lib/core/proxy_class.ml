@@ -4,6 +4,8 @@ module type S = sig
   val class_name : string
   val chan : t -> Uchan.t
   val hung : t -> bool
+  val quiesce : t -> unit
+  val resume : t -> unit
   val degrade : t -> unit
   val revive : t -> unit
 end
@@ -13,6 +15,8 @@ type instance = Instance : (module S with type t = 'a) * 'a -> instance
 let class_name (Instance ((module P), _)) = P.class_name
 let chan (Instance ((module P), x)) = P.chan x
 let hung (Instance ((module P), x)) = P.hung x
+let quiesce (Instance ((module P), x)) = P.quiesce x
+let resume (Instance ((module P), x)) = P.resume x
 let degrade (Instance ((module P), x)) = P.degrade x
 let revive (Instance ((module P), x)) = P.revive x
 

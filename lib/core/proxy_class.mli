@@ -1,11 +1,24 @@
 (** The shared proxy-class interface.
 
-    Every class proxy — Ethernet, wireless, audio, USB host — presents
-    the same small supervision surface: its uchan, a hung flag, and
-    degrade/revive hooks for driver death and recovery.  The supervisor
-    and driver host program against {!instance} instead of
-    pattern-matching on proxy kinds, so adding a device class never
-    touches the recovery machinery. *)
+    Every class proxy — Ethernet, wireless, audio, USB host, block —
+    presents the same small supervision surface: its uchan, a hung
+    flag, and a lifecycle the supervisor drives through recovery:
+
+    {v
+      running --quiesce--> quiesced --(kill/restart)--> resume --> running
+         |                                                  |
+         +----------------degrade (terminal)----------------+
+    v}
+
+    [quiesce] stops the proxy admitting new work while preserving
+    everything in flight (the block proxy retains unacknowledged
+    requests for replay; the net proxy parks transmits in the backlog).
+    [resume] re-admits work against the restarted driver and replays
+    whatever quiesce retained.  [degrade]/[revive] remain the terminal
+    detach/re-attach pair used for quarantine, where no new generation
+    is coming.  The supervisor and driver host program against
+    {!instance} instead of pattern-matching on proxy kinds, so adding a
+    device class never touches the recovery machinery. *)
 
 module type S = sig
   type t
@@ -16,14 +29,23 @@ module type S = sig
   val hung : t -> bool
   (** The proxy observed the driver failing to service upcalls. *)
 
+  val quiesce : t -> unit
+  (** Stop admitting new work and retain in-flight work for replay —
+      called before the supervisor kills a faulty generation.  Must be
+      idempotent and must not block. *)
+
+  val resume : t -> unit
+  (** Re-admit work after a successful restart and replay whatever
+      {!quiesce} retained against the new generation.  Idempotent. *)
+
   val degrade : t -> unit
-  (** Detach from the kernel subsystem on driver death (e.g. the net
-      proxy unregisters its netdev) — the subsystem-specific part of
-      containment. *)
+  (** Terminal detach from the kernel subsystem (e.g. the net proxy
+      unregisters its netdev) — used for quarantine, when no further
+      generation will be started. *)
 
   val revive : t -> unit
-  (** Undo {!degrade} after a successful restart.  Classes whose
-      registration downcall re-attaches on its own leave this a no-op. *)
+  (** Undo {!degrade}.  Classes whose registration downcall re-attaches
+      on its own leave this a no-op. *)
 end
 
 type instance = Instance : (module S with type t = 'a) * 'a -> instance
@@ -33,6 +55,8 @@ type instance = Instance : (module S with type t = 'a) * 'a -> instance
 val class_name : instance -> string
 val chan : instance -> Uchan.t
 val hung : instance -> bool
+val quiesce : instance -> unit
+val resume : instance -> unit
 val degrade : instance -> unit
 val revive : instance -> unit
 

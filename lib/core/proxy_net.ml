@@ -9,6 +9,11 @@ type t = {
   mutable dev : Netdev.t option;
   ready : Sync.Waitq.t;
   mutable is_hung : bool;
+  (* Lifecycle gate: between quiesce and resume the proxy admits no new
+     upcalls, so nothing enters the channel of a generation about to be
+     killed.  Transmits bounce as Xmit_busy and land in the supervisor's
+     backlog for replay. *)
+  mutable quiescing : bool;
   rx_bad : Sud_obs.Metrics.counter;
   rx_csum_bad : Sud_obs.Metrics.counter;
   (* Defensive-copy buffer recycling: freed buffers keyed by size, so a
@@ -91,6 +96,8 @@ let do_stop t () =
   | Error (Uchan.Interrupted | Uchan.Closed) -> ()
 
 let do_ioctl t ~cmd ~arg =
+  if t.quiescing then Error "driver quiesced"
+  else
   match
     Uchan.transfer t.chan ~from:`Kernel Uchan.Sync
       (Msg.make ~kind:Proxy_proto.up_net_ioctl ~args:[ cmd; arg ] ())
@@ -104,6 +111,8 @@ let do_ioctl t ~cmd ~arg =
   | Error Uchan.Closed -> Error "driver is gone"
 
 let do_xmit t ~queue skb =
+  if t.quiescing then Netdev.Xmit_busy
+  else
   match Bufpool.alloc t.pool with
   | None -> Netdev.Xmit_busy       (* all shared buffers in flight *)
   | Some buf ->
@@ -291,6 +300,7 @@ let create k ~chan ~grant ~pool ~name ?(defensive_copy = true) ?adopt () =
       dev = None;
       ready = Sync.Waitq.create ();
       is_hung = false;
+      quiescing = false;
       rx_bad =
         Sud_obs.Metrics.counter ~labels:[ "driver", name ] ~subsystem:"proxy"
           ~name:"rx_validation_failures" ();
@@ -346,6 +356,9 @@ let wait_ready t ~timeout_ns =
 
 let hung t = t.is_hung
 
+let quiesce t = t.quiescing <- true
+let resume t = t.quiescing <- false
+
 let unregister t =
   match t.dev with
   | Some dev ->
@@ -366,6 +379,8 @@ let instance t =
         let class_name = "net"
         let chan t = t.chan
         let hung = hung
+        let quiesce = quiesce
+        let resume = resume
         let degrade = unregister
 
         (* Reattachment happens through the fresh driver's register

@@ -49,6 +49,14 @@ val wait_ready : t -> timeout_ns:int -> Netdev.t option
 val hung : t -> bool
 (** The proxy observed the driver failing to service upcalls. *)
 
+val quiesce : t -> unit
+(** Stop admitting new upcalls: transmits bounce as [Xmit_busy] (the
+    supervisor's backlog catches them), ioctls fail fast.  Called
+    before a faulty generation is killed. *)
+
+val resume : t -> unit
+(** Re-open the intake gate after a successful restart. *)
+
 val unregister : t -> unit
 (** Remove the netdev from the stack (driver death/restart). *)
 

@@ -29,6 +29,19 @@ let up_blk_read = 48         (* sync; args [lba; count; buf_id] *)
 let up_blk_write = 49        (* sync; args [lba; count; buf_id] *)
 let up_blk_capacity = 50     (* sync *)
 
+(* The sud-blk asynchronous submission path (NVMe-style queue pairs).
+   [tag] is the proxy's idempotency tag — monotonically increasing per
+   device, the identity a request keeps across driver restarts so
+   replay can re-issue it without double-applying.  The buffer id is
+   encoded +1 so 0 means "no shared buffer" (flush). *)
+let up_blk_submit = 52       (* async; args [tag; op; lba; count; buf_id+1] *)
+
+(* blk ops carried in up_blk_submit's [op] argument. *)
+let blk_op_read = 0
+let blk_op_write = 1
+let blk_op_flush = 2
+let blk_op_fua = 4           (* flag bit OR'd onto a write *)
+
 (* ---- downcalls ---- *)
 
 let down_net_register = 100  (* sync; payload = MAC *)
@@ -45,6 +58,8 @@ let down_blk_register = 113     (* sync; args [capacity] *)
 let down_input_key = 114        (* async; args [keycode] *)
 let down_wifi_rates = 115       (* async; payload = supported rates, one u16 each *)
 let down_audio_register = 116   (* sync *)
+let down_blkdev_register = 117  (* sync; args [capacity; nr_queues] — sud-blk *)
+let down_blk_complete = 118     (* async (Batched); args [tag; status] *)
 let down_printk = 120           (* async; payload = message *)
 
 (* Kind vocabulary for the uchan conformance DFA, covering the
@@ -55,8 +70,8 @@ let down_printk = 120           (* async; payload = message *)
    rate table before the registration handshake.  Anything outside the
    vocabulary is out of protocol. *)
 let classify_downcall = function
-  | 100 | 113 | 116 -> Conformance.Register
-  | 101 | 102 | 103 -> Conformance.Data
+  | 100 | 113 | 116 | 117 -> Conformance.Register
+  | 101 | 102 | 103 | 118 -> Conformance.Data
   | 104 | 105 | 110 | 111 | 112 | 114 | 115 | 120 -> Conformance.Control
   | _ -> Conformance.Unknown
 
@@ -70,11 +85,13 @@ let name_of = function
   | 32 -> "audio_start" | 33 -> "audio_stop" | 34 -> "audio_write"
   | 35 -> "audio_set_vol" | 36 -> "audio_get_vol"
   | 48 -> "blk_read" | 49 -> "blk_write" | 50 -> "blk_capacity"
+  | 52 -> "blk_submit"
   | 100 -> "net_register" | 101 -> "netif_rx" | 102 -> "tx_free" | 103 -> "tx_done"
   | 104 -> "carrier" | 105 -> "irq_ack"
   | 110 -> "wifi_scan_done" | 111 -> "wifi_bss_changed" | 112 -> "audio_period"
   | 113 -> "blk_register" | 114 -> "input_key" | 115 -> "wifi_rates"
-  | 116 -> "audio_register" | 120 -> "printk"
+  | 116 -> "audio_register" | 117 -> "blkdev_register" | 118 -> "blk_complete"
+  | 120 -> "printk"
   | n -> Printf.sprintf "op%d" n
 
 (** Figure 7's sample table: (name, direction, description). *)

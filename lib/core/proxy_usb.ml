@@ -6,6 +6,7 @@ type t = {
   pool : Bufpool.t;
   name : string;
   mutable cap : int option;
+  mutable quiescing : bool;
   blk_wait : Sync.Waitq.t;
   mutable key_handler : (int -> unit) option;
   mutable keys : int;
@@ -20,6 +21,7 @@ let create k ~chan ~grant ~pool ~name () =
       pool;
       name;
       cap = None;
+      quiescing = false;
       blk_wait = Sync.Waitq.create ();
       key_handler = None;
       keys = 0 }
@@ -76,6 +78,8 @@ let capacity t = t.cap
 let max_blocks_per_req t = Bufpool.buf_size t.pool / block_size
 
 let read_chunk t ~lba ~count =
+  if t.quiescing then Error "driver quiesced"
+  else
   match Bufpool.alloc t.pool with
   | None -> Error "no shared buffers"
   | Some buf ->
@@ -112,6 +116,8 @@ let read_blocks t ~lba ~count =
   end
 
 let write_chunk t ~lba data =
+  if t.quiescing then Error "driver quiesced"
+  else
   let count = Bytes.length data / block_size in
   match Bufpool.alloc t.pool with
   | None -> Error "no shared buffers"
@@ -159,6 +165,8 @@ let instance t =
         let class_name = "usb"
         let chan t = t.chan
         let hung _ = false
+        let quiesce t = t.quiescing <- true
+        let resume t = t.quiescing <- false
         let degrade t = t.cap <- None
         let revive _ = ()   (* the register downcall restores the capacity *)
       end),

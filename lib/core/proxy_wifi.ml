@@ -98,6 +98,8 @@ let instance t =
         let class_name = "wifi"
         let chan t = t.chan
         let hung t = Proxy_net.hung t.pnet
+        let quiesce t = Proxy_net.quiesce t.pnet
+        let resume t = Proxy_net.resume t.pnet
         let degrade t = Proxy_net.unregister t.pnet
         let revive _ = ()
       end),

@@ -389,6 +389,92 @@ let serve_audio t (drv : Driver_api.audio_driver) =
      | Ok _ -> serve_queues t (dispatch_audio t au)
      | Error _ -> ())
 
+(* ---- sud-blk: asynchronous NVMe-style block ---- *)
+
+type blk_state = {
+  binst : Driver_api.blkdev_instance;
+  (* Per uchan ring: submissions the hardware queue refused, oldest
+     first — retried in order when a completion frees a slot, so the
+     per-queue FIFO the recovery invariant leans on is preserved. *)
+  blk_pending : (int * int * int * int * int) Queue.t array;
+}
+
+let blk_try_submit st ~queue ~tag ~op ~lba ~count ~addr =
+  let q = if queue >= 0 && queue < Array.length st.blk_pending then queue else 0 in
+  if not (Queue.is_empty st.blk_pending.(q)) then
+    (* Order matters: nothing overtakes a parked submission. *)
+    Queue.add (tag, op, lba, count, addr) st.blk_pending.(q)
+  else
+    match st.binst.Driver_api.bi_submit ~queue:q ~tag ~op ~lba ~count ~addr with
+    | `Ok -> ()
+    | `Busy -> Queue.add (tag, op, lba, count, addr) st.blk_pending.(q)
+
+let blk_drain_pending st queue =
+  let q = if queue >= 0 && queue < Array.length st.blk_pending then queue else 0 in
+  let rec go () =
+    match Queue.peek_opt st.blk_pending.(q) with
+    | None -> ()
+    | Some (tag, op, lba, count, addr) ->
+      (match st.binst.Driver_api.bi_submit ~queue:q ~tag ~op ~lba ~count ~addr with
+       | `Ok ->
+         ignore (Queue.pop st.blk_pending.(q) : int * int * int * int * int);
+         go ()
+       | `Busy -> ())
+  in
+  go ()
+
+let blk_callbacks t st_ref =
+  { Driver_api.bc_complete =
+      (fun ~queue ~tag ~status ->
+         (* A completion frees a submission-queue slot: retry parked
+            requests before reporting, so replays drain promptly. *)
+         (match !st_ref with
+          | Some st -> blk_drain_pending st queue
+          | None -> ());
+         Uchan.transfer t.chan ~queue:(uq t queue) ~from:`Driver Uchan.Batched
+           (Msg.make ~kind:Proxy_proto.down_blk_complete ~args:[ tag; status ] ())) }
+
+let dispatch_blk t st ~queue m =
+  let kind = m.Msg.kind in
+  if kind = Proxy_proto.up_blk_submit then begin
+    (* Must-not-block path, inline in the ring's service fiber.  The
+       buffer id is encoded +1 on the wire (0 = no buffer — flush). *)
+    let tag = Msg.arg m 0 and op = Msg.arg m 1 and lba = Msg.arg m 2 in
+    let count = Msg.arg m 3 and buf1 = Msg.arg m 4 in
+    Driver_api.charge t.k.Kernel.cpu ~label:t.label 300;
+    let addr =
+      if buf1 = 0 then Some 0
+      else
+        match Bufpool.get t.pool (buf1 - 1) with
+        | Some buf -> Some buf.Bufpool.addr
+        | None -> None    (* kernel is trusted; only possible after close *)
+    in
+    match addr with
+    | None -> ()
+    | Some addr -> blk_try_submit st ~queue ~tag ~op ~lba ~count ~addr
+  end
+  else if kind = Proxy_proto.up_interrupt then
+    handle_interrupt t ~queue:(Msg.arg m 0)
+  else if kind = Proxy_proto.up_ping then reply_ok t ~queue m ()
+  else if m.Msg.seq <> 0 then reply_err t ~queue m "unsupported upcall"
+
+let serve_blk t (drv : Driver_api.blk_driver) =
+  let st_ref = ref None in
+  let callbacks = blk_callbacks t st_ref in
+  match drv.Driver_api.bd_probe (env t) (pcidev t) callbacks with
+  | Error e -> (env t).Driver_api.env_printk (Printf.sprintf "probe failed: %s" e)
+  | Ok binst ->
+    let nq = Uchan.num_queues t.chan in
+    let st = { binst; blk_pending = Array.init nq (fun _ -> Queue.create ()) } in
+    st_ref := Some st;
+    (match
+       Uchan.transfer t.chan ~from:`Driver Uchan.Sync
+         (Msg.make ~kind:Proxy_proto.down_blkdev_register
+            ~args:[ binst.Driver_api.bi_capacity; binst.Driver_api.bi_queues ] ())
+     with
+     | Ok _ -> serve_queues t (dispatch_blk t st)
+     | Error _ -> ())
+
 (* ---- USB host: block + input ---- *)
 
 let blk_block_size = 512

@@ -36,6 +36,13 @@ val serve_wifi : t -> Driver_api.wifi_driver -> unit
 
 val serve_audio : t -> Driver_api.audio_driver -> unit
 
+val serve_blk : t -> Driver_api.blk_driver -> unit
+(** Probe an asynchronous (NVMe-style) block driver, register the device
+    ([down_blkdev_register] carries capacity and queue count) and serve
+    the submission upcalls.  Submissions the hardware queue refuses park
+    in a per-ring FIFO retried on every completion, so ordering is
+    preserved end to end. *)
+
 val serve_usb :
   t ->
   bind_storage:(Driver_api.usb_dev_handle -> (Driver_api.block_instance, string) result) ->

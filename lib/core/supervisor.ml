@@ -2,9 +2,16 @@
    recover loop automatically instead of leaving kill/restart to the
    administrator (§4.1, §5.2).  One supervisor per supervised device; a
    kernel watchdog fiber polls the misbehavior signals and a heartbeat,
-   and on detection kills the driver, resets the device and restarts the
-   driver with exponential backoff under a restart budget.  Crash-looping
-   past the budget quarantines the device. *)
+   and on detection quiesces the proxy, kills the driver, resets the
+   device and restarts the driver with exponential backoff under a
+   restart budget.  Crash-looping past the budget quarantines the
+   device.
+
+   The supervisor is class-independent: detection and the kill/reset/
+   restart machinery run through the unified proxy lifecycle
+   ({!Proxy_class}: hung / heartbeat / quiesce / resume), with only the
+   containment of each class's kernel-facing object (netdev backlog,
+   blkdev staging) specialized per target. *)
 
 type policy = {
   tick_ns : int;
@@ -50,19 +57,56 @@ type stats = {
   st_last_recovery_ns : int;
 }
 
+(* The class-independent view of one driver generation. *)
+type gen = {
+  g_proc : Process.t;
+  g_chan : Uchan.t;
+  g_grant : Safe_pci.grant;
+  g_class : Proxy_class.instance;
+  g_net : Driver_host.started option;
+  g_blk : Driver_host.started_blk option;
+}
+
+let gen_of_net s =
+  { g_proc = Driver_host.proc s;
+    g_chan = Driver_host.chan s;
+    g_grant = Driver_host.grant s;
+    g_class = Driver_host.class_of s;
+    g_net = Some s;
+    g_blk = None }
+
+let gen_of_blk s =
+  { g_proc = Driver_host.blk_proc s;
+    g_chan = Driver_host.blk_chan s;
+    g_grant = Driver_host.blk_grant s;
+    g_class = Driver_host.blk_class s;
+    g_net = None;
+    g_blk = Some s }
+
+(* What the supervisor restarts, and the class-specific containment
+   state that survives generations. *)
+type target =
+  | Tgt_net of {
+      netdev : Netdev.t;
+      defensive : bool;
+      factory : attempt:int -> Driver_api.net_driver;
+    }
+  | Tgt_blk of {
+      persist : Proxy_blk.persist;
+      factory : attempt:int -> Driver_api.blk_driver;
+    }
+
 type t = {
   k : Kernel.t;
   sp : Safe_pci.t;
   bdf : Bus.bdf;
   name : string;
   uid : int;
-  defensive : bool;
   policy : policy;
-  factory : attempt:int -> Driver_api.net_driver;
-  netdev : Netdev.t;
+  target : target;
   kickq : Sync.Waitq.t;
   mutable state : state;
-  mutable cur : Driver_host.started option;
+  mutable cur : gen option;
   mutable listeners : (event -> unit) list;
   mutable restarts : int;
   mutable detections : int;
@@ -117,44 +161,45 @@ let count_faults t =
 (* Adopt a fresh driver generation: record it, rebase the signal
    baselines, and arm a death-kick so the watchdog reacts to process
    exit immediately rather than on the next tick. *)
-let install t s =
-  t.cur <- Some s;
+let install t g =
+  t.cur <- Some g;
   t.gen <- t.gen + 1;
   let gen = t.gen in
-  let um = Uchan.metrics (Driver_host.chan s) in
+  let um = Uchan.metrics g.g_chan in
   t.base_malformed <- Sud_obs.Metrics.get um.Uchan.um_malformed;
   t.last_dropped <- Sud_obs.Metrics.get um.Uchan.um_dropped;
-  t.base_storms <- Safe_pci.grant_storms (Driver_host.grant s);
+  t.base_storms <- Safe_pci.grant_storms g.g_grant;
   t.base_faults <- count_faults t;
   (* The channel is recreated each generation, so its conformance counts
      restart from zero; the quota (and its overflow counter) survives. *)
-  t.base_proto <- Uchan.proto_violations (Driver_host.chan s);
+  t.base_proto <- Uchan.proto_violations g.g_chan;
   t.last_overflow <- Quota.notify_overflows t.quota;
-  Process.on_exit (Driver_host.proc s) (fun () ->
+  Process.on_exit g.g_proc (fun () ->
       if t.gen = gen && t.state = Running then
         ignore (Sync.Waitq.signal t.kickq : bool))
 
-(* One pass over every misbehavior signal; [None] means healthy. *)
+(* One pass over every misbehavior signal; [None] means healthy.
+   Entirely class-independent: every probe goes through the generation
+   view or the proxy-class instance. *)
 let health_check t =
   match t.cur with
   | None -> Some "no driver process"
-  | Some s ->
-    let chan = Driver_host.chan s in
-    let um = Uchan.metrics chan in
-    if not (Process.is_alive (Driver_host.proc s)) then Some "driver process died"
-    else if Uchan.is_closed chan then Some "uchan closed"
+  | Some g ->
+    let um = Uchan.metrics g.g_chan in
+    if not (Process.is_alive g.g_proc) then Some "driver process died"
+    else if Uchan.is_closed g.g_chan then Some "uchan closed"
     else if count_faults t > t.base_faults then Some "DMA violation (IOMMU fault)"
-    else if Safe_pci.grant_storms (Driver_host.grant s) > t.base_storms then
+    else if Safe_pci.grant_storms g.g_grant > t.base_storms then
       Some "interrupt storm escalation"
     else if Sud_obs.Metrics.get um.Uchan.um_malformed > t.base_malformed then
       Some "malformed uchan message"
-    else if Uchan.proto_violations chan > t.base_proto then
+    else if Uchan.proto_violations g.g_chan > t.base_proto then
       Some "uchan protocol violation"
     else if Sud_obs.Metrics.get um.Uchan.um_dropped - t.last_dropped >= t.policy.flood_threshold
     then Some "uchan ring flood"
     else if Quota.notify_overflows t.quota - t.last_overflow >= t.policy.overflow_threshold
     then Some "notification flood (quota overflow)"
-    else if Proxy_class.hung (Driver_host.class_of s) then Some "upcall hung"
+    else if Proxy_class.hung g.g_class then Some "upcall hung"
     else begin
       t.last_dropped <- Sud_obs.Metrics.get um.Uchan.um_dropped;
       t.last_overflow <- Quota.notify_overflows t.quota;
@@ -163,7 +208,7 @@ let health_check t =
         (* The ping is answered inline by the driver's queue-0 service
            loop, bounded by the channel's hang timeout — the heartbeat
            deadline.  Class-independent: one probe for every proxy. *)
-        match Proxy_class.heartbeat (Driver_host.class_of s) with
+        match Proxy_class.heartbeat g.g_class with
         | Ok () -> None
         | Error why -> Some why
     end
@@ -171,24 +216,24 @@ let health_check t =
 (* During recovery the netdev degrades instead of vanishing: frames land
    in the bounded per-queue backlog and replay once the fresh driver
    registers. *)
-let backlog_ops t =
+let backlog_ops t netdev =
   { Netdev.ndo_open = (fun () -> Ok ());
     ndo_stop = (fun () -> ());
     ndo_start_xmit =
-      (fun ~queue skb -> Netdev.backlog_push t.netdev ~queue ~limit:t.policy.backlog_limit skb);
+      (fun ~queue skb -> Netdev.backlog_push netdev ~queue ~limit:t.policy.backlog_limit skb);
     ndo_do_ioctl = (fun ~cmd:_ ~arg:_ -> Error "device recovering") }
 
 (* Replay queue by queue, each in FIFO order.  dev_xmit re-selects the
    queue with the same RSS hash that parked the frame, so a flow's
    packets replay onto their original queue in their original order. *)
-let replay_backlog t =
+let replay_backlog t netdev =
   let n = ref 0 in
-  for q = 0 to Netdev.tx_queues t.netdev - 1 do
+  for q = 0 to Netdev.tx_queues netdev - 1 do
     let rec go () =
-      match Netdev.backlog_pop t.netdev ~queue:q with
+      match Netdev.backlog_pop netdev ~queue:q with
       | None -> ()
       | Some skb ->
-        ignore (Netstack.dev_xmit t.k.Kernel.net t.netdev skb : [ `Sent | `Dropped ]);
+        ignore (Netstack.dev_xmit t.k.Kernel.net netdev skb : [ `Sent | `Dropped ]);
         incr n;
         go ()
     in
@@ -196,22 +241,39 @@ let replay_backlog t =
   done;
   !n
 
-let unregister_netdev t =
-  match Netstack.find_netdev t.k.Kernel.net (Netdev.name t.netdev) with
-  | Some d when d == t.netdev -> Netstack.unregister_netdev t.k.Kernel.net t.netdev
+let unregister_netdev t netdev =
+  match Netstack.find_netdev t.k.Kernel.net (Netdev.name netdev) with
+  | Some d when d == netdev -> Netstack.unregister_netdev t.k.Kernel.net netdev
   | Some _ | None -> ()
 
 let quarantine t reason =
   t.state <- Quarantined;
   Sud_obs.Metrics.incr t.sm.sm_quarantines;
-  let dropped = Netdev.backlog_flush_drop t.netdev in
-  Netdev.netif_carrier_off t.netdev;
-  Netdev.set_up t.netdev false;
-  unregister_netdev t;
+  (match t.target with
+   | Tgt_net { netdev; _ } ->
+     let dropped = Netdev.backlog_flush_drop netdev in
+     Netdev.netif_carrier_off netdev;
+     Netdev.set_up netdev false;
+     unregister_netdev t netdev;
+     klogf t Klog.Err
+       "sud: supervisor(%s): quarantined after %d restarts (%s); netdev removed, %d backlogged frames dropped"
+       t.name t.restarts reason dropped
+   | Tgt_blk { persist; _ } ->
+     (* The blkdev stays registered (readable state for the operator) but
+        detached for good; retention is never dropped, so nothing
+        acknowledged is lost — it is just no longer served. *)
+     let parked =
+       match Proxy_blk.persist_blkdev persist with
+       | Some bd ->
+         if Blkdev.attached bd then Blkdev.detach bd;
+         Blkdev.staged_requests bd
+       | None -> 0
+     in
+     klogf t Klog.Err
+       "sud: supervisor(%s): quarantined after %d restarts (%s); blkdev detached, %d requests parked, %d writes retained"
+       t.name t.restarts reason parked
+       (Proxy_blk.persist_retained persist));
   set_sysfs_state t "quarantined";
-  klogf t Klog.Err
-    "sud: supervisor(%s): quarantined after %d restarts (%s); netdev removed, %d backlogged frames dropped"
-    t.name t.restarts reason dropped;
   emit t (Driver_quarantined reason)
 
 let start_generation t =
@@ -219,10 +281,24 @@ let start_generation t =
   (* The quota survives the restart (a crash-looper cannot launder its
      footprint by dying); the epoch tracks the generation, so the new
      channel rejects frames replayed from the dead one. *)
-  Driver_host.start_net t.k t.sp ~uid:t.uid ~defensive_copy:t.defensive ~name:t.name
-    ~bdf:t.bdf ~hang_timeout_ns:t.policy.hang_timeout_ns ~adopt_netdev:t.netdev
-    ~unregister_on_exit:false ~quota:t.quota ~epoch:(t.gen land Msg.max_epoch)
-    (t.factory ~attempt)
+  match t.target with
+  | Tgt_net { netdev; defensive; factory } ->
+    (match
+       Driver_host.start_net t.k t.sp ~uid:t.uid ~defensive_copy:defensive ~name:t.name
+         ~bdf:t.bdf ~hang_timeout_ns:t.policy.hang_timeout_ns ~adopt_netdev:netdev
+         ~unregister_on_exit:false ~quota:t.quota ~epoch:(t.gen land Msg.max_epoch)
+         (factory ~attempt)
+     with
+     | Error e -> Error e
+     | Ok s -> Ok (gen_of_net s))
+  | Tgt_blk { persist; factory } ->
+    (match
+       Driver_host.start_blk t.k t.sp ~uid:t.uid ~name:t.name ~bdf:t.bdf
+         ~hang_timeout_ns:t.policy.hang_timeout_ns ~adopt:persist ~quota:t.quota
+         ~epoch:(t.gen land Msg.max_epoch) (factory ~attempt)
+     with
+     | Error e -> Error e
+     | Ok s -> Ok (gen_of_blk s))
 
 let recover t reason =
   let detect_t = now t in
@@ -251,15 +327,24 @@ let recover t reason =
   emit t (Fault_detected reason);
   t.state <- Recovering;
   set_sysfs_state t "recovering";
-  (* Contain: degrade the netdev, kill the driver, reset the device. *)
-  t.was_up <- Netdev.is_up t.netdev;
-  Netdev.netif_carrier_off t.netdev;
-  Netdev.set_ops t.netdev (backlog_ops t);
-  (* Senders parked on any stopped queue must fall through to the backlog. *)
-  Netdev.netif_tx_wake_all_queues t.netdev;
+  (* Contain: quiesce the proxy (stop feeding the doomed generation),
+     degrade the class's kernel-facing object, kill the driver, reset
+     the device. *)
+  (match t.target with
+   | Tgt_net { netdev; _ } ->
+     t.was_up <- Netdev.is_up netdev;
+     Netdev.netif_carrier_off netdev;
+     Netdev.set_ops netdev (backlog_ops t netdev);
+     (* Senders parked on any stopped queue must fall through to the backlog. *)
+     Netdev.netif_tx_wake_all_queues netdev
+   | Tgt_blk _ ->
+     (* Quiesce below detaches the blkdev; requests park in its staging
+        queue and are dispatched after the replay, in order. *)
+     ());
   (match t.cur with
-   | Some s ->
-     Process.kill (Driver_host.proc s);     (* grant revoked via exit hooks *)
+   | Some g ->
+     Proxy_class.quiesce g.g_class;
+     Process.kill g.g_proc;            (* grant revoked via exit hooks *)
      t.cur <- None
    | None -> ());
   (match Safe_pci.reset_device t.sp t.bdf with
@@ -295,16 +380,26 @@ let recover t reason =
       | Error e ->
         klogf t Klog.Warn "sud: supervisor(%s): restart attempt failed: %s" t.name e;
         attempt_start (backoff_exp + 1)
-      | Ok s ->
-        install t s;
+      | Ok g ->
+        install t g;
         t.restarts <- t.restarts + 1;
         Sud_obs.Metrics.incr t.sm.sm_restarts;
-        (if t.was_up then
-           match Netstack.ifconfig_up t.k.Kernel.net t.netdev with
-           | Ok () -> ()
-           | Error e ->
-             klogf t Klog.Warn "sud: supervisor(%s): reopen failed: %s" t.name e);
-        let replayed = replay_backlog t in
+        (* Resume through the unified lifecycle: for blk this replays the
+           retention + in-flight sets and reattaches the blkdev; for net
+           it re-opens the admission gate (the netdev-level reopen and
+           backlog replay follow). *)
+        Proxy_class.resume g.g_class;
+        let replayed =
+          match t.target with
+          | Tgt_net { netdev; _ } ->
+            (if t.was_up then
+               match Netstack.ifconfig_up t.k.Kernel.net netdev with
+               | Ok () -> ()
+               | Error e ->
+                 klogf t Klog.Warn "sud: supervisor(%s): reopen failed: %s" t.name e);
+            replay_backlog t netdev
+          | Tgt_blk { persist; _ } -> Proxy_blk.persist_inflight persist
+        in
         t.state <- Running;
         set_sysfs_state t "running";
         let outage = now t - detect_t in
@@ -316,8 +411,9 @@ let recover t reason =
                ~attrs:[ "driver", t.name; "gen", string_of_int t.restarts ] ());
         t.last_ok <- now t;
         klogf t Klog.Info
-          "sud: supervisor(%s): driver restarted (gen %d) after %d us outage, %d frames replayed"
-          t.name t.restarts (outage / 1_000) replayed;
+          "sud: supervisor(%s): driver restarted (gen %d) after %d us outage, %d %s replayed"
+          t.name t.restarts (outage / 1_000) replayed
+          (match t.target with Tgt_net _ -> "frames" | Tgt_blk _ -> "requests");
         emit t (Driver_restarted { restarts = t.restarts; outage_ns = outage })
     end
   in
@@ -336,6 +432,53 @@ let rec watchdog t () =
      | Recovering | Quarantined | Stopped -> ());
     watchdog t ()
 
+let make t0_target k sp ~policy ~uid ~name ~bdf ~quota g =
+  let t =
+    { k;
+      sp;
+      bdf;
+      name;
+      uid;
+      policy;
+      target = t0_target;
+      kickq = Sync.Waitq.create ();
+      state = Running;
+      cur = None;
+      listeners = [];
+      restarts = 0;
+      detections = 0;
+      last_reason = None;
+      last_detect_latency = 0;
+      last_recovery = 0;
+      restart_times = [];
+      last_ok = Engine.now k.Kernel.eng;
+      gen = 0;
+      was_up = false;
+      base_malformed = 0;
+      base_storms = 0;
+      base_faults = 0;
+      last_dropped = 0;
+      base_proto = 0;
+      last_overflow = 0;
+      quota;
+      sm =
+        (let labels = [ "driver", name ] in
+         let c n = Sud_obs.Metrics.counter ~labels ~subsystem:"supervisor" ~name:n () in
+         let h n = Sud_obs.Metrics.histogram ~labels ~subsystem:"supervisor" ~name:n () in
+         { sm_detections = c "detections";
+           sm_restarts = c "restarts";
+           sm_quarantines = c "quarantines";
+           sm_detect_ns = h "detect_latency_ns";
+           sm_outage_ns = h "outage_ns" }) }
+  in
+  install t g;
+  set_sysfs_state t "running";
+  ignore
+    (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
+       ~name:("supervisor:" ^ name) (watchdog t)
+     : Fiber.t);
+  t
+
 let start k sp ?(policy = default_policy) ?(uid = 1000) ?(defensive_copy = true) ?name
     ~bdf factory =
   let drv = factory ~attempt:0 in
@@ -348,53 +491,24 @@ let start k sp ?(policy = default_policy) ?(uid = 1000) ?(defensive_copy = true)
   with
   | Error e -> Error e
   | Ok s ->
-    let t =
-      { k;
-        sp;
-        bdf;
-        name;
-        uid;
-        defensive = defensive_copy;
-        policy;
-        factory;
-        netdev = Driver_host.netdev s;
-        kickq = Sync.Waitq.create ();
-        state = Running;
-        cur = None;
-        listeners = [];
-        restarts = 0;
-        detections = 0;
-        last_reason = None;
-        last_detect_latency = 0;
-        last_recovery = 0;
-        restart_times = [];
-        last_ok = Engine.now k.Kernel.eng;
-        gen = 0;
-        was_up = false;
-        base_malformed = 0;
-        base_storms = 0;
-        base_faults = 0;
-        last_dropped = 0;
-        base_proto = 0;
-        last_overflow = 0;
-        quota;
-        sm =
-          (let labels = [ "driver", name ] in
-           let c n = Sud_obs.Metrics.counter ~labels ~subsystem:"supervisor" ~name:n () in
-           let h n = Sud_obs.Metrics.histogram ~labels ~subsystem:"supervisor" ~name:n () in
-           { sm_detections = c "detections";
-             sm_restarts = c "restarts";
-             sm_quarantines = c "quarantines";
-             sm_detect_ns = h "detect_latency_ns";
-             sm_outage_ns = h "outage_ns" }) }
+    let target =
+      Tgt_net { netdev = Driver_host.netdev s; defensive = defensive_copy; factory }
     in
-    install t s;
-    set_sysfs_state t "running";
-    ignore
-      (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
-         ~name:("supervisor:" ^ name) (watchdog t)
-       : Fiber.t);
-    Ok t
+    Ok (make target k sp ~policy ~uid ~name ~bdf ~quota (gen_of_net s))
+
+let start_blk k sp ?(policy = default_policy) ?(uid = 1000) ?name ~bdf factory =
+  let drv = factory ~attempt:0 in
+  let name = Option.value ~default:drv.Driver_api.bd_name name in
+  let quota = Quota.create k.Kernel.eng ~limits:policy.quota_limits ~name () in
+  let persist = Proxy_blk.persist_create () in
+  match
+    Driver_host.start_blk k sp ~uid ~name ~bdf ~hang_timeout_ns:policy.hang_timeout_ns
+      ~adopt:persist ~quota ~epoch:0 drv
+  with
+  | Error e -> Error e
+  | Ok s ->
+    let target = Tgt_blk { persist; factory } in
+    Ok (make target k sp ~policy ~uid ~name ~bdf ~quota (gen_of_blk s))
 
 let stop t =
   match t.state with
@@ -402,22 +516,40 @@ let stop t =
   | Running | Recovering ->
     t.state <- Stopped;
     (match t.cur with
-     | Some s ->
-       Process.kill (Driver_host.proc s);
+     | Some g ->
+       (* Quiesce-then-kill: an administrative stop goes through the same
+          lifecycle edge as a recovery, so in-flight state is retained
+          (blk) or backlogged (net) rather than torn mid-request. *)
+       Proxy_class.quiesce g.g_class;
+       Process.kill g.g_proc;
        t.cur <- None
      | None -> ());
-    unregister_netdev t;
+    (match t.target with
+     | Tgt_net { netdev; _ } -> unregister_netdev t netdev
+     | Tgt_blk _ -> ());
     set_sysfs_state t "stopped";
     ignore (Sync.Waitq.signal t.kickq : bool)
 
 let state t = t.state
-let netdev t = t.netdev
+
+let netdev t =
+  match t.target with
+  | Tgt_net { netdev; _ } -> netdev
+  | Tgt_blk _ -> invalid_arg "Supervisor.netdev: blk device"
+
+let blkdev t =
+  match t.target with
+  | Tgt_blk { persist; _ } -> Proxy_blk.persist_blkdev persist
+  | Tgt_net _ -> None
+
 let bdf t = t.bdf
 let name t = t.name
-let current t = t.cur
-let proc t = Option.map Driver_host.proc t.cur
-let chan t = Option.map Driver_host.chan t.cur
-let grant t = Option.map Driver_host.grant t.cur
+let current t = Option.bind t.cur (fun g -> g.g_net)
+let current_blk t = Option.bind t.cur (fun g -> g.g_blk)
+let proc t = Option.map (fun g -> g.g_proc) t.cur
+let chan t = Option.map (fun g -> g.g_chan) t.cur
+let grant t = Option.map (fun g -> g.g_grant) t.cur
+let class_of t = Option.map (fun g -> g.g_class) t.cur
 let quota t = t.quota
 
 let metrics t = t.sm

@@ -98,21 +98,48 @@ val start :
     supervisor a malicious driver first and an honest one after
     recovery.  Must be called from a fiber. *)
 
+val start_blk :
+  Kernel.t ->
+  Safe_pci.t ->
+  ?policy:policy ->
+  ?uid:int ->
+  ?name:string ->
+  bdf:Bus.bdf ->
+  (attempt:int -> Driver_api.blk_driver) ->
+  (t, string) result
+(** Supervise a sud-blk driver.  Detection is identical to the net case;
+    containment detaches the blkdev (requests park in its staging
+    queue), and recovery goes through {!Proxy_class.resume}, which
+    replays the retained and in-flight requests in tag order before the
+    staged ones — the crash-consistency story. *)
+
 val stop : t -> unit
-(** Administrative stop: kill the current driver, unregister the netdev,
-    end the watchdog.  No restart. *)
+(** Administrative stop: quiesce then kill the current driver,
+    unregister the netdev (net targets), end the watchdog.  No
+    restart. *)
 
 val state : t -> state
 val netdev : t -> Netdev.t
-(** The persistent netdev — same identity across driver generations. *)
+(** The persistent netdev — same identity across driver generations.
+    @raise Invalid_argument on a blk supervisor. *)
+
+val blkdev : t -> Blkdev.t option
+(** The persistent block device of a blk supervisor ([None] for net, or
+    before the first registration). *)
 
 val bdf : t -> Bus.bdf
 val name : t -> string
 
 val current : t -> Driver_host.started option
+(** The live generation of a net supervisor ([None] while recovering or
+    for blk targets). *)
+
+val current_blk : t -> Driver_host.started_blk option
 val proc : t -> Process.t option
 val chan : t -> Uchan.t option
 val grant : t -> Safe_pci.grant option
+val class_of : t -> Proxy_class.instance option
+(** The live generation's proxy behind the unified class API. *)
 
 val quota : t -> Quota.t
 (** The driver's resource ledger — one per supervised device, shared by

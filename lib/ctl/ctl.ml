@@ -1,0 +1,153 @@
+(* Administrative operations behind sudctl.  See ctl.mli. *)
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> failwith (what ^ ": " ^ e)
+
+let state_name = function
+  | Supervisor.Running -> "running"
+  | Supervisor.Recovering -> "recovering"
+  | Supervisor.Quarantined -> "quarantined"
+  | Supervisor.Stopped -> "stopped"
+
+(* sudctl blk status *)
+
+type blk_status = {
+  bs_name : string;
+  bs_capacity_sectors : int;
+  bs_state : string;
+  bs_restarts : int;
+  bs_detections : int;
+  bs_inflight : int;
+  bs_retained : int;
+  bs_cache_hits : int;
+  bs_cache_misses : int;
+  bs_merges : int;
+  bs_flush_barriers : int;
+  bs_qp_summary : string;
+  bs_inflight_summary : string;
+  bs_writes_ok : int;
+  bs_reads_ok : int;
+  bs_io_errors : int;
+}
+
+let probe_pages = 32
+
+let blk_status () =
+  let w = Fault_inject.make_blk_world () in
+  Fault_inject.in_blk_world ~max_ms:2_000 w (fun () ->
+      let sv =
+        ok "supervise nvme"
+          (Supervisor.start_blk w.Fault_inject.bw_k w.Fault_inject.bw_sp
+             ~policy:(Fault_inject.soak_policy ~max_restarts:10)
+             ~bdf:w.Fault_inject.bw_bdf Fault_inject.honest_blk_factory)
+      in
+      let eng = w.Fault_inject.bw_eng in
+      let deadline = Engine.now eng + 1_000_000_000 in
+      let rec blkdev () =
+        match Supervisor.blkdev sv with
+        | Some bd when Blkdev.capacity bd > 0 -> bd
+        | _ ->
+          if Engine.now eng > deadline then failwith "blk status: no block device registered";
+          ignore (Fiber.sleep eng 100_000 : Fiber.wake);
+          blkdev ()
+      in
+      let bd = blkdev () in
+      (* A short synchronous probe so every layer has something to
+         count: dirty a few pages, fsync them out, read them back, and
+         finish with one write-through. *)
+      let writes = ref 0 and reads = ref 0 and errors = ref 0 in
+      let page i = Bytes.make Blkdev.page_size (Char.chr (0x40 + (i land 0x1f))) in
+      for i = 0 to probe_pages - 1 do
+        match Blkdev.write bd ~lba:(i * Blkdev.page_sectors) (page i) () with
+        | Ok () -> incr writes
+        | Error _ -> incr errors
+      done;
+      (match Blkdev.fsync bd () with Ok () -> () | Error _ -> incr errors);
+      for i = 0 to probe_pages - 1 do
+        match Blkdev.read bd ~lba:(i * Blkdev.page_sectors) ~sectors:Blkdev.page_sectors () with
+        | Ok data when data = page i -> incr reads
+        | Ok _ | Error _ -> incr errors
+      done;
+      (match Blkdev.write_fua bd ~lba:0 (page 0) () with
+       | Ok () -> incr writes
+       | Error _ -> incr errors);
+      let st = Supervisor.stats sv in
+      let inflight, retained, inflight_summary =
+        match Supervisor.current_blk sv with
+        | Some s ->
+          let p = Driver_host.blk_proxy s in
+          (Proxy_blk.inflight p, Proxy_blk.retained p, Proxy_blk.inflight_summary p)
+        | None -> (0, 0, "(no live driver generation)")
+      in
+      let hits, misses, merges, barriers = Blkdev.metrics bd in
+      let r =
+        { bs_name = Blkdev.name bd;
+          bs_capacity_sectors = Blkdev.capacity bd;
+          bs_state = state_name st.Supervisor.st_state;
+          bs_restarts = st.Supervisor.st_restarts;
+          bs_detections = st.Supervisor.st_detections;
+          bs_inflight = inflight;
+          bs_retained = retained;
+          bs_cache_hits = hits;
+          bs_cache_misses = misses;
+          bs_merges = merges;
+          bs_flush_barriers = barriers;
+          bs_qp_summary = Nvme_dev.debug_qp_summary w.Fault_inject.bw_nvme;
+          bs_inflight_summary = inflight_summary;
+          bs_writes_ok = !writes;
+          bs_reads_ok = !reads;
+          bs_io_errors = !errors }
+      in
+      Supervisor.stop sv;
+      r)
+
+(* sudctl trace smoke *)
+
+type trace_report = {
+  ts_fault : string;
+  ts_detect_us : int;
+  ts_outage_us : int;
+  ts_exported : int;
+  ts_parsed : int;
+  ts_chain : (string * string) list;
+  ts_chain_found : bool;
+  ts_out : string;
+}
+
+let trace_chain =
+  [ ("uchan", "rpc"); ("iommu", "fault"); ("sup", "detect"); ("sup", "kill");
+    ("sup", "restart") ]
+
+let trace_smoke ~out =
+  (* Size the ring for the whole run: the interesting spans happen in the
+     first couple of simulated milliseconds and must survive the seconds
+     of post-recovery traffic that follow. *)
+  Sud_obs.Trace.set_capacity (1 lsl 19);
+  Sud_obs.Trace.set_enabled true;
+  let r = Fault_inject.(measure_recovery Dma_violation) in
+  Sud_obs.Trace.set_enabled false;
+  let dir = Filename.dirname out in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let n = Sud_obs.Trace.write_jsonl ~path:out in
+  let spans =
+    let ic = open_in out in
+    let acc = ref [] in
+    (try
+       while true do
+         match Sud_obs.Trace.span_of_line (input_line ic) with
+         | Some sp -> acc := sp :: !acc
+         | None -> failwith "trace smoke: unparseable JSONL line"
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !acc
+  in
+  { ts_fault = r.Fault_inject.rs_fault;
+    ts_detect_us = r.Fault_inject.rs_detect_ns / 1000;
+    ts_outage_us = r.Fault_inject.rs_outage_ns / 1000;
+    ts_exported = n;
+    ts_parsed = List.length spans;
+    ts_chain = trace_chain;
+    ts_chain_found = List.length spans = n && Sud_obs.Trace.chain_exists spans trace_chain;
+    ts_out = out }

@@ -1,0 +1,56 @@
+(** The administrative operations behind [sudctl], as a library.
+
+    [bin/sudctl.ml] is a thin Cmdliner shim over these so the tier-1
+    suite can drive the exact code paths an administrator does —
+    formatting stays in the binary, everything that can fail lives
+    here. *)
+
+(** {1 sudctl blk status} *)
+
+type blk_status = {
+  bs_name : string;  (** block device name *)
+  bs_capacity_sectors : int;
+  bs_state : string;  (** supervisor state: running/recovering/... *)
+  bs_restarts : int;
+  bs_detections : int;
+  bs_inflight : int;  (** proxy requests awaiting completion *)
+  bs_retained : int;  (** unflushed writes retained for replay *)
+  bs_cache_hits : int;
+  bs_cache_misses : int;
+  bs_merges : int;
+  bs_flush_barriers : int;
+  bs_qp_summary : string;  (** NVMe admin/IO queue-pair summary *)
+  bs_inflight_summary : string;  (** {!Proxy_blk.inflight_summary} *)
+  bs_writes_ok : int;  (** probe workload: acknowledged page writes *)
+  bs_reads_ok : int;
+  bs_io_errors : int;
+}
+
+val blk_status : unit -> blk_status
+(** Boot a kernel with one emulated NVMe, start the honest sud-blk
+    driver under supervision, push a short synchronous write/read/fsync
+    probe through the cache, and snapshot the whole stack — supervisor,
+    proxy, block layer, device — the way [sudctl blk status] reports
+    it.  Everything runs inside one simulated world; the probe must
+    complete with zero I/O errors for the snapshot to show a healthy
+    datapath. *)
+
+(** {1 sudctl trace smoke} *)
+
+type trace_report = {
+  ts_fault : string;
+  ts_detect_us : int;  (** last-healthy instant → detection *)
+  ts_outage_us : int;  (** detection → traffic restored *)
+  ts_exported : int;  (** spans written to the JSONL file *)
+  ts_parsed : int;  (** spans read back from it *)
+  ts_chain : (string * string) list;  (** (subsystem, name) causal chain *)
+  ts_chain_found : bool;
+  ts_out : string;  (** where the JSONL landed *)
+}
+
+val trace_smoke : out:string -> trace_report
+(** The observability end-to-end check: trace one injected DMA
+    violation through detection and recovery, export the span ring to
+    [out] as JSONL, parse it back, and verify the
+    uchan rpc → iommu fault → supervisor detect → kill → restart causal
+    chain survives the round-trip.  [ts_chain_found] is the gate. *)

@@ -1,0 +1,90 @@
+(** A simulated NVMe-style block controller.
+
+    Paired submission/completion queues in host memory (64-byte SQEs,
+    16-byte CQEs with a phase tag), per-queue doorbells, one MSI-X
+    vector per queue pair, and all data movement by DMA through the
+    IOMMU.
+
+    Durability model: writes land in a {e volatile} write cache; only a
+    flush command (or a write carrying the FUA flag) moves sectors to
+    media.  {!Device.ops.reset} — the supervisor's FLR stand-in — drops
+    the cache, so a driver crash genuinely loses unflushed data, which
+    is the window the sud-blk replay machinery must cover.
+
+    One-shot fault hooks model lying/buggy firmware for the soak
+    harness: a corrupted completion garbles the cid, a dropped
+    completion never posts, a dropped flush neither persists nor
+    acknowledges (the device never falsely claims durability — the
+    host escalates by timeout). *)
+
+module Regs : sig
+  val cap_mqes : int
+  val cap_nqs : int
+  val vs : int
+  val cc : int
+  val csts : int
+  val cap_lo : int
+  val cap_hi : int
+  val qcfg_base : int
+  val qcfg_stride : int
+  val sq_base_lo : int
+  val sq_base_hi : int
+  val sq_size : int
+  val cq_base_lo : int
+  val cq_base_hi : int
+  val cq_size : int
+  val db_base : int
+  val cc_en : int
+  val csts_rdy : int
+  val sqe_size : int
+  val cqe_size : int
+  val op_flush : int
+  val op_write : int
+  val op_read : int
+  val flags_fua : int
+  val max_queues : int
+  val mqes : int
+end
+
+val sector_size : int
+
+type t
+
+val create : Engine.t -> ?queues:int -> ?capacity:int -> unit -> t
+(** [queues] hardware queue pairs (1..8, default 4), [capacity] in
+    512-byte sectors (default 16384). *)
+
+val device : t -> Device.t
+val queues : t -> int
+val capacity : t -> int
+
+(** {2 Oracle accessors} — what the invariant checker compares against. *)
+
+val media_sector : t -> lba:int -> bytes option
+(** Durable contents of a sector ([None] = never persisted). *)
+
+val cached_sector : t -> lba:int -> bytes option
+(** Volatile write-cache contents (lost on reset). *)
+
+val dirty_cache_sectors : t -> int
+
+(** {2 One-shot fault hooks} *)
+
+val inject_corrupt_completion : t -> mask:int -> unit
+(** XOR the next completion's cid with [mask]. *)
+
+val inject_drop_completion : t -> unit
+val inject_drop_flush : t -> unit
+
+(** {2 Counters} *)
+
+val debug_qp_summary : t -> string
+val reads : t -> int
+val writes : t -> int
+val flushes : t -> int
+val fua_writes : t -> int
+val dma_faults : t -> int
+val irqs_raised : t -> int
+val dropped_completions : t -> int
+val corrupted_completions : t -> int
+val dropped_flushes : t -> int

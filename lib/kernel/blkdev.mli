@@ -1,0 +1,90 @@
+(** The kernel block layer for sud-blk devices.
+
+    A write-back page cache (4 KiB pages) over a plugged request queue
+    with C-LOOK sorting, contiguous-write merging and a bounded
+    dispatch window, feeding an attachable {e issuer} (the block proxy,
+    or a native driver).
+
+    Durability contract:
+    - {!write} dirties cache pages and is {e not} durable;
+    - {!fsync} returning [Ok] means every page dirtied before the call
+      is on media (writeback, drain, then a Flush barrier);
+    - {!write_fua} is write-through — durable when it returns.
+
+    While no issuer is attached (driver restarting) requests park in
+    the staging queue; {!attach} resumes dispatch, so callers above the
+    cache never observe the recovery window. *)
+
+val sector_size : int
+val page_sectors : int
+val page_size : int
+
+type op = Read | Write | Flush
+
+type request = {
+  rq_op : op;
+  rq_fua : bool;
+  rq_lba : int;                      (** first sector *)
+  rq_count : int;                    (** sectors *)
+  rq_data : bytes;                   (** [count*512]; filled by the issuer on Read *)
+  mutable rq_done : (status:int -> unit) option;
+}
+
+val complete : request -> status:int -> unit
+(** Fire the completion exactly once ([status] 0 = success); later calls
+    are ignored — a replayed request that was already acknowledged must
+    not double-fire. *)
+
+type t
+
+val create :
+  eng:Engine.t -> name:string -> ?queue_depth:int -> ?capacity:int -> unit -> t
+
+val name : t -> string
+val capacity : t -> int
+(** In 512-byte sectors; 0 until a driver registers. *)
+
+val set_capacity : t -> int -> unit
+
+val attach : t -> (request -> unit) -> unit
+(** Install the issuer and drain anything staged while detached. *)
+
+val detach : t -> unit
+val attached : t -> bool
+
+val submit_bio : t -> request -> unit
+(** Stage a raw request ("plugged"); {!unplug} sorts, merges and
+    dispatches.  Most callers want the cache operations below. *)
+
+val unplug : t -> unit
+
+(** {2 Cache operations} — fiber-blocking, with an IO timeout. *)
+
+val read :
+  t -> ?timeout_ns:int -> lba:int -> sectors:int -> unit -> (bytes, string) result
+
+val write : t -> ?timeout_ns:int -> lba:int -> bytes -> unit -> (unit, string) result
+
+val fsync : t -> ?timeout_ns:int -> unit -> (unit, string) result
+(** Write back the dirty set, wait, then a Flush barrier, wait. *)
+
+val write_fua : t -> ?timeout_ns:int -> lba:int -> bytes -> unit -> (unit, string) result
+
+(** {2 Introspection} *)
+
+val dirty_pages : t -> int
+val staged_requests : t -> int
+val outstanding_requests : t -> int
+
+val metrics : t -> int * int * int * int
+(** (cache_hits, cache_misses, merges, flush_barriers). *)
+
+(** {2 Registry} — the kernel's table of block devices. *)
+
+type registry
+
+val registry_create : unit -> registry
+val register : registry -> t -> unit
+val unregister : registry -> t -> unit
+val find : registry -> string -> t option
+val devices : registry -> t list

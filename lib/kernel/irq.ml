@@ -17,6 +17,7 @@ type t = {
   freed : (int, unit) Hashtbl.t;   (* vectors that were live once and then freed *)
   spurious_bdf : (Bus.bdf, Sud_obs.Metrics.counter) Hashtbl.t;
   mutable next_vector : int;
+  mutable free_pool : int list;    (* freed vectors awaiting reuse, ascending *)
   qm : metrics;
 }
 and metrics = {
@@ -35,16 +36,35 @@ let create eng cpu preempt klog =
     freed = Hashtbl.create 16;
     spurious_bdf = Hashtbl.create 4;
     next_vector = 32;
+    free_pool = [];
     qm =
       { qm_delivered = c "delivered";
         qm_spurious = c "spurious";
         qm_masked_dropped = c "masked_dropped" } }
 
+(* The deliverable vector space is the MSI message's data[7:0] — 256
+   vectors, the first 32 reserved, exactly x86's budget.  Numbers past
+   255 would be truncated by the bus at delivery time and alias whatever
+   old vector shares the low byte, so freed vectors MUST be recycled
+   (lowest-first, like the x86 vector matrix allocator) rather than the
+   space grown without bound. *)
+let max_vector = 256
+
 let alloc_vectors t ~n =
   if n <= 0 then invalid_arg "Irq.alloc_vectors: n must be positive";
-  let base = t.next_vector in
-  t.next_vector <- t.next_vector + n;
-  Array.init n (fun i -> base + i)
+  Array.init n (fun _ ->
+      match t.free_pool with
+      | v :: rest ->
+        t.free_pool <- rest;
+        v
+      | [] ->
+        if t.next_vector >= max_vector then
+          failwith "Irq.alloc_vectors: vector space exhausted"
+        else begin
+          let v = t.next_vector in
+          t.next_vector <- v + 1;
+          v
+        end)
 
 let alloc_vector t = (alloc_vectors t ~n:1).(0)
 
@@ -76,7 +96,8 @@ let free_irqs t ~vectors =
     (fun v ->
        if Hashtbl.mem t.handlers v then begin
          Hashtbl.remove t.handlers v;
-         Hashtbl.replace t.freed v ()
+         Hashtbl.replace t.freed v ();
+         t.free_pool <- List.merge compare [ v ] t.free_pool
        end)
     vectors
 

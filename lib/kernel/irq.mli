@@ -22,8 +22,11 @@ val create :
 type handler = source:Bus.bdf -> unit
 
 val alloc_vectors : t -> n:int -> int array
-(** Allocate a contiguous block of [n] unused vectors (>= 32, x86
-    style).  Raises [Invalid_argument] when [n <= 0]. *)
+(** Allocate [n] unused vectors from the bounded x86-style space
+    (32..255 — the MSI message carries the vector in data[7:0], so
+    larger numbers would alias at delivery).  Vectors released by
+    {!free_irqs} are recycled lowest-first.  Raises [Invalid_argument]
+    when [n <= 0] and [Failure] if the space is exhausted. *)
 
 val alloc_vector : t -> int
   [@@deprecated "use alloc_vectors ~n:1 — the scalar call is the one-queue instance"]

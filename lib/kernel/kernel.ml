@@ -8,6 +8,7 @@ type t = {
   irq : Irq.t;
   preempt : Preempt.t;
   net : Netstack.t;
+  blk : Blkdev.registry;
   sysfs : Sysfs.t;
   klog : Klog.t;
   procs : Process.table;
@@ -26,6 +27,7 @@ let boot ?(cores = 2) ?(mem_size = 256 * 1024 * 1024)
   let irq = Irq.create eng cpu preempt klog in
   let procs = Process.create_table eng in
   let net = Netstack.create eng cpu preempt klog procs in
+  let blk = Blkdev.registry_create () in
   let sysfs = Sysfs.create () in
   Pci_topology.set_msi_sink topo (fun ~source ~vector -> Irq.deliver irq ~source ~vector);
   (* DMA translation is device-side work: account it against utilization
@@ -48,7 +50,7 @@ let boot ?(cores = 2) ?(mem_size = 256 * 1024 * 1024)
       Sud_obs.Metrics.to_json (Sud_obs.Metrics.snapshot ()));
   Klog.printk klog Klog.Info "kernel: booted with %d cores, %d MiB RAM" cores
     (mem_size / 1024 / 1024);
-  { eng; cpu; mem; iommu; ioports; topo; irq; preempt; net; sysfs; klog; procs }
+  { eng; cpu; mem; iommu; ioports; topo; irq; preempt; net; blk; sysfs; klog; procs }
 
 let attach_pci t ?switch dev =
   let sw = match switch with Some s -> s | None -> Pci_topology.root_switch t.topo in

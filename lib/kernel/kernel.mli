@@ -15,6 +15,7 @@ type t = {
   irq : Irq.t;
   preempt : Preempt.t;
   net : Netstack.t;
+  blk : Blkdev.registry;
   sysfs : Sysfs.t;
   klog : Klog.t;
   procs : Process.table;

@@ -1,0 +1,21 @@
+(* sudctl's library layer: the `blk status` snapshot and the `trace
+   smoke` gate run through the exact code paths the CLI does, so tier-1
+   coverage extends to the administrator's tools. *)
+
+let test_blk_status () =
+  let s = Ctl.blk_status () in
+  Alcotest.(check string) "supervisor running" "running" s.Ctl.bs_state;
+  Alcotest.(check int) "no restarts" 0 s.Ctl.bs_restarts;
+  Alcotest.(check int) "no detections" 0 s.Ctl.bs_detections;
+  Alcotest.(check int) "no io errors" 0 s.Ctl.bs_io_errors;
+  Alcotest.(check int) "nothing in flight after the probe" 0 s.Ctl.bs_inflight;
+  Alcotest.(check int) "nothing retained after the probe" 0 s.Ctl.bs_retained;
+  Alcotest.(check string) "device name" "nvme" s.Ctl.bs_name;
+  Alcotest.(check bool) "capacity reported" true (s.Ctl.bs_capacity_sectors > 0);
+  Alcotest.(check bool) "probe wrote" true (s.Ctl.bs_writes_ok > 0);
+  Alcotest.(check bool) "probe read back" true (s.Ctl.bs_reads_ok > 0);
+  Alcotest.(check bool) "fsync raised a flush barrier" true (s.Ctl.bs_flush_barriers >= 1);
+  Alcotest.(check bool) "queue-pair summary present" true
+    (String.length s.Ctl.bs_qp_summary > 0)
+
+let suite = [ Alcotest.test_case "blk status snapshot is healthy" `Quick test_blk_status ]

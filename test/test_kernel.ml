@@ -126,6 +126,39 @@ let test_irq_dispatch () =
         (Result.is_error
            (Irq.request_irqs irq ~vectors:[| v |] ~name:"t2" (fun ~queue:_ ~source:_ -> ()))))
 
+let test_irq_vector_recycling () =
+  (* MSI carries the vector in data[7:0], so the allocator must recycle
+     freed vectors instead of growing past 255 — a driver supervised
+     through hundreds of restart generations would otherwise end up with
+     vectors that alias old freed ones after bus truncation (lost IRQs,
+     spurious-after-free storms). *)
+  with_kernel (fun _ k ->
+      let irq = k.Kernel.irq in
+      let first = Irq.alloc_vectors irq ~n:4 in
+      (match
+         Irq.request_irqs irq ~vectors:first ~name:"gen0" (fun ~queue:_ ~source:_ -> ())
+       with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail e);
+      Irq.free_irqs irq ~vectors:first;
+      for _gen = 1 to 500 do
+        let vs = Irq.alloc_vectors irq ~n:4 in
+        Array.iter
+          (fun v ->
+             if v >= 256 then
+               Alcotest.failf "vector %d escapes the 8-bit MSI data field" v)
+          vs;
+        (match
+           Irq.request_irqs irq ~vectors:vs ~name:"gen" (fun ~queue:_ ~source:_ -> ())
+         with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail e);
+        Irq.free_irqs irq ~vectors:vs
+      done;
+      (* Freed-then-recycled lowest-first: the original block comes back. *)
+      let again = Irq.alloc_vectors irq ~n:4 in
+      Alcotest.(check (array int)) "lowest vectors reused" first again)
+
 let test_irq_handler_atomic () =
   with_kernel (fun _ k ->
       let v = (Irq.alloc_vectors k.Kernel.irq ~n:1).(0) in
@@ -387,6 +420,8 @@ let suite =
     Alcotest.test_case "preempt: context tracking" `Quick test_preempt_tracking;
     Alcotest.test_case "preempt: spinlock" `Quick test_spinlock;
     Alcotest.test_case "irq: dispatch + counters" `Quick test_irq_dispatch;
+    Alcotest.test_case "irq: vector space is bounded and recycled" `Quick
+      test_irq_vector_recycling;
     Alcotest.test_case "irq: handlers are atomic" `Quick test_irq_handler_atomic;
     Alcotest.test_case "skbuff: checksum vector" `Quick test_checksum_known;
     Alcotest.test_case "skbuff: mac parse" `Quick test_mac_parse;
