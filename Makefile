@@ -1,4 +1,4 @@
-.PHONY: all build lint-deprecated test bench bench-smoke bench-mq bench-batch bench-blk soak blk-smoke fuzz-smoke trace-smoke clean
+.PHONY: all build lint-deprecated test bench bench-smoke bench-mq bench-batch bench-blk soak blk-smoke upgrade-smoke bench-upgrade fuzz-smoke trace-smoke clean
 
 all: build
 
@@ -46,6 +46,14 @@ lint-deprecated:
 	@! { grep -rnE 'Proxy_class\.(degrade|revive)[^a-zA-Z_]' lib bin bench test examples \
 	  | grep -vE '^lib/core/'; } | grep -q . \
 	  || { echo 'lint-deprecated: Proxy_class.degrade/revive outside lib/core (quarantine is supervisor-only; recovery uses quiesce/resume)'; exit 1; }
+	@# Class-indexed-lifecycle backstop: drivers launch through
+	@# Driver_host.launch with a class witness; the flat start/start_blk
+	@# spellings (and their per-class cousins) are deprecated aliases for
+	@# external trees only.  lib/core keeps them to implement the alias.
+	@! { grep -rnE 'Driver_host\.(start|start_net|start_blk|start_wifi|start_audio|start_usb)[^a-zA-Z_]' \
+	  lib bin bench test examples \
+	  | grep -vE '^lib/core/'; } | grep -q . \
+	  || { echo 'lint-deprecated: flat Driver_host.start* spelling in-tree (use Driver_host.launch with a class)'; exit 1; }
 	@# CLI regroup backstop: sudctl is noun-verb now; nothing in-tree may
 	@# still invoke the deprecated flat `trace-smoke` spelling (the alias
 	@# in bin/sudctl.ml exists only so external scripts migrate).
@@ -87,6 +95,20 @@ soak:
 	dune exec bench/main.exe -- soak
 	dune exec bench/main.exe -- blk-soak
 	dune exec bench/main.exe -- fuzz
+	dune exec bench/main.exe -- upgrade-soak
+
+# Warm-standby gate: 20 fixed-seed upgrade+fault interleavings (live
+# upgrades, forced failovers, poisoned standbys, crashes racing the
+# upgrade drain) under synchronous I/O; exits nonzero if any acked
+# write is lost or the supervisor fails to return to Running.
+upgrade-smoke:
+	dune exec bench/main.exe -- upgrade-soak
+
+# Warm-failover latency per storage fault class vs the BENCH_7 cold
+# baseline; writes BENCH_8.json and exits nonzero unless the crash
+# class fails over >= 2x faster than the cold restart it replaces.
+bench-upgrade:
+	dune exec bench/main.exe -- upgrade
 
 # Quick storage-soak gate for CI: 40 storage faults, same invariants.
 blk-smoke:

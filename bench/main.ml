@@ -158,7 +158,7 @@ let figure9 () =
   ignore
     (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"fig9" (fun () ->
          let sp = Safe_pci.init k in
-         match Driver_host.start_net k sp ~bdf E1000.driver with
+         match Driver_host.launch k sp ~bdf (Driver_host.net ()) E1000.driver with
          | Error e -> failwith e
          | Ok s ->
            ignore (Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s) : (unit, string) result);
@@ -744,6 +744,115 @@ let run_blkperf () =
   print_endline "wrote BENCH_7.json";
   pass
 
+(* ---- warm standby: the upgrade soak (make upgrade-smoke) ---- *)
+
+let upgrade_soak_seed = 0x5AFEL
+let upgrade_interleavings = 20
+
+let run_upgrade_soak () =
+  banner
+    (Printf.sprintf
+       "upgrade soak: %d upgrade+fault interleavings under synchronous I/O (seed 0x%LX)"
+       upgrade_interleavings upgrade_soak_seed);
+  let r =
+    Fault_inject.upgrade_soak ~seed:upgrade_soak_seed
+      ~interleavings:upgrade_interleavings ()
+  in
+  Printf.printf
+    "upgrades: %d   warm swaps: %d   cold restarts: %d   standbys poisoned: %d\n"
+    r.Fault_inject.usr_upgrades r.Fault_inject.usr_warm_swaps
+    r.Fault_inject.usr_cold_restarts r.Fault_inject.usr_poisoned;
+  Printf.printf "workload: %d writes acked, %d fsyncs, %d media sweeps, %d I/O errors\n"
+    r.Fault_inject.usr_writes r.Fault_inject.usr_fsyncs r.Fault_inject.usr_verifies
+    r.Fault_inject.usr_io_errors;
+  (match r.Fault_inject.usr_violations with
+   | [] -> print_endline "crash-consistency invariant: held across every interleaving"
+   | vs ->
+     Printf.printf "INVARIANT VIOLATIONS (%d):\n" (List.length vs);
+     List.iter (fun v -> print_endline ("  " ^ v)) vs);
+  let ok =
+    r.Fault_inject.usr_violations = []
+    && r.Fault_inject.usr_state = Supervisor.Running
+    && r.Fault_inject.usr_io_errors = 0
+    && r.Fault_inject.usr_upgrades > 0
+    && r.Fault_inject.usr_warm_swaps > 0
+  in
+  print_endline (if ok then "\nUPGRADE SOAK PASSED" else "\nUPGRADE SOAK FAILED");
+  (r, ok)
+
+(* ---- warm standby: per-class failover outage vs the cold baseline ---- *)
+
+(* Replays the BENCH_7 recovery sweep with the warm standby enabled and
+   gates on the headline claim: a crash-class failover served by a
+   pre-forked generation must complete in at most half the cold outage
+   recorded in BENCH_7.json.  Writes BENCH_8.json. *)
+
+let upgrade_speedup_floor = 2.0
+
+let cold_blk_outage name =
+  J.of_file "BENCH_7.json" |> Result.to_option
+  >>= fun doc ->
+  J.member doc "recovery"
+  >>= J.as_list
+  >>= fun rows ->
+  J.find_point rows [ ("fault", J.Str name) ]
+  >>= fun row -> J.member row "outage_ns" >>= J.as_int
+
+let run_upgrade_bench () =
+  banner "warm failover: per-class outage with a pre-forked standby (vs BENCH_7 cold)";
+  Printf.printf "%-24s %14s %14s %9s\n" "Fault" "warm (us)" "cold (us)" "speedup";
+  print_endline (String.make 64 '-');
+  let rows =
+    List.map
+      (fun fault ->
+         let s = Fault_inject.measure_warm_blk_recovery fault in
+         let cold = cold_blk_outage s.Fault_inject.rs_fault in
+         let speedup =
+           match cold with
+           | Some c -> float_of_int c /. float_of_int s.Fault_inject.rs_outage_ns
+           | None -> nan
+         in
+         Printf.printf "%-24s %14d %14s %8.1fx\n" s.Fault_inject.rs_fault
+           (s.Fault_inject.rs_outage_ns / 1_000)
+           (match cold with Some c -> string_of_int (c / 1_000) | None -> "?")
+           speedup;
+         (s, cold, speedup))
+      Fault_inject.all_blk_faults
+  in
+  let crash_speedup =
+    List.fold_left
+      (fun acc (s, _, sp) -> if s.Fault_inject.rs_fault = "blk_crash" then sp else acc)
+      nan rows
+  in
+  let pass = crash_speedup >= upgrade_speedup_floor in
+  Printf.printf "\ncrash-class warm failover: %.1fx faster than cold (floor %.1fx)  %s\n"
+    crash_speedup upgrade_speedup_floor (if pass then "ok" else "FAIL");
+  let doc =
+    J.Obj
+      [ J.schema 8;
+        ("bench", J.Str "warm_failover");
+        ("units", J.Str "ns");
+        ("cold_baseline", J.Str "BENCH_7.json");
+        ( "recovery",
+          J.List
+            (List.map
+               (fun (s, cold, speedup) ->
+                  J.Obj
+                    [ ("fault", J.Str s.Fault_inject.rs_fault);
+                      ("detect_ns", J.Int s.Fault_inject.rs_detect_ns);
+                      ("warm_outage_ns", J.Int s.Fault_inject.rs_outage_ns);
+                      ( "cold_outage_ns",
+                        match cold with Some c -> J.Int c | None -> J.Null );
+                      ("speedup", J.fnum ~dp:1 speedup) ])
+               rows) );
+        ("crash_speedup", J.fnum ~dp:1 crash_speedup);
+        ("speedup_floor", J.fnum ~dp:1 upgrade_speedup_floor);
+        ("pass", J.Bool pass) ]
+  in
+  J.write ~path:"BENCH_8.json" doc;
+  print_endline "wrote BENCH_8.json";
+  pass
+
 (* ---- netperf_mq: the multiqueue sweep (make bench-mq) ---- *)
 
 (* Sweeps the SUD e1000 over 1/2/4/8 MSI-X vectors under a fixed 8-flow
@@ -1303,6 +1412,14 @@ let () =
   end;
   if List.mem "blkperf" args then begin
     let pass = run_blkperf () in
+    exit (if pass then 0 else 1)
+  end;
+  if List.mem "upgrade-soak" args then begin
+    let _, ok = run_upgrade_soak () in
+    exit (if ok then 0 else 1)
+  end;
+  if List.mem "upgrade" args then begin
+    let pass = run_upgrade_bench () in
     exit (if pass then 0 else 1)
   end;
   figure5 ();

@@ -13,6 +13,10 @@
      sudctl metrics [--json]            run a workload, dump /sys/kernel/sud_metrics
      sudctl blk status                  boot a supervised NVMe, probe it, print
                                         the whole-stack status snapshot
+     sudctl driver list                 list supervised drivers and their standbys
+     sudctl driver status               one driver's generation machinery
+     sudctl driver upgrade              zero-loss live upgrade to the warm standby
+     sudctl driver failover             forced failover through the fault path
      sudctl trace smoke [--out FILE]    traced DMA-violation recovery, verify the
                                         causal span chain in the JSONL export
 
@@ -85,7 +89,7 @@ let run_mappings () =
   ignore
     (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"m" (fun () ->
          let sp = Safe_pci.init k in
-         match Driver_host.start_net k sp ~bdf E1000.driver with
+         match Driver_host.launch k sp ~bdf (Driver_host.net ()) E1000.driver with
          | Error e -> prerr_endline e
          | Ok s ->
            Printf.printf "%-12s %-12s %-10s %s\n" "IOVA" "Phys" "Size" "Writable";
@@ -122,7 +126,7 @@ let run_metrics json =
     (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"main" (fun () ->
          let sp = Safe_pci.init k in
          let started =
-           match Driver_host.start_net k sp ~bdf:bdf_a ~name:"eth0" E1000.driver with
+           match Driver_host.launch k sp ~bdf:bdf_a ~name:"eth0" (Driver_host.net ()) E1000.driver with
            | Ok s -> s
            | Error e -> failwith e
          in
@@ -196,6 +200,41 @@ let run_blk_status () =
     s.Ctl.bs_reads_ok s.Ctl.bs_io_errors;
   if s.Ctl.bs_io_errors > 0 || s.Ctl.bs_state <> "running" then exit 1
 
+let run_driver_list () =
+  let rows = Ctl.driver_list () in
+  Printf.printf "%-8s %-6s %-12s %-10s %9s %9s\n" "NAME" "CLASS" "STATE" "STANDBY"
+    "RESTARTS" "UPGRADES";
+  List.iter
+    (fun r ->
+       Printf.printf "%-8s %-6s %-12s %-10s %9d %9d\n" r.Ctl.dv_name r.Ctl.dv_class
+         r.Ctl.dv_state r.Ctl.dv_standby r.Ctl.dv_restarts r.Ctl.dv_upgrades)
+    rows;
+  if List.exists (fun r -> r.Ctl.dv_state <> "running") rows then exit 1
+
+let run_driver_status () =
+  let s = Ctl.driver_status () in
+  Printf.printf "%s (%s): supervisor %s, sud_state %S\n" s.Ctl.ds_name s.Ctl.ds_class
+    s.Ctl.ds_state s.Ctl.ds_sysfs_state;
+  Printf.printf "standby: %s (%d warmed, %d poisoned)\n" s.Ctl.ds_standby s.Ctl.ds_warmed
+    s.Ctl.ds_poisoned;
+  Printf.printf "restarts: %d (%d warm swaps)   upgrades: %d   detections: %d\n"
+    s.Ctl.ds_restarts s.Ctl.ds_warm_swaps s.Ctl.ds_upgrades s.Ctl.ds_detections;
+  if s.Ctl.ds_state <> "running" || s.Ctl.ds_standby <> "ready" then exit 1
+
+let print_swap s =
+  (match s.Ctl.sw_error with
+   | None -> Printf.printf "%s: done in %d us\n" s.Ctl.sw_op s.Ctl.sw_outage_us
+   | Some e -> Printf.printf "%s: FAILED: %s\n" s.Ctl.sw_op e);
+  Printf.printf "warm swaps: %d   upgrades: %d   state %s, sud_state %S\n"
+    s.Ctl.sw_warm_swaps s.Ctl.sw_upgrades s.Ctl.sw_state s.Ctl.sw_sysfs_state;
+  Printf.printf "probe: %d pre-swap pages intact, %d I/O errors\n" s.Ctl.sw_pages_intact
+    s.Ctl.sw_io_errors;
+  if not (s.Ctl.sw_ok && s.Ctl.sw_io_errors = 0 && s.Ctl.sw_state = "running") then
+    exit 1
+
+let run_driver_upgrade () = print_swap (Ctl.driver_upgrade ())
+let run_driver_failover () = print_swap (Ctl.driver_failover ())
+
 let run_protocol () =
   Printf.printf "%-22s %-10s %s\n" "Call" "Direction" "Description";
   List.iter
@@ -248,6 +287,24 @@ let blk_cmd =
            ~doc:"Boot a supervised NVMe, probe it, print the stack-wide status")
         Term.(const run_blk_status $ const ()) ]
 
+let driver_cmd =
+  Cmd.group (Cmd.info "driver" ~doc:"Driver generation lifecycle")
+    [ Cmd.v
+        (Cmd.info "list" ~doc:"List supervised drivers with their standby state")
+        Term.(const run_driver_list $ const ());
+      Cmd.v
+        (Cmd.info "status"
+           ~doc:"Show one driver's generation machinery: standby, swaps, upgrades")
+        Term.(const run_driver_status $ const ());
+      Cmd.v
+        (Cmd.info "upgrade"
+           ~doc:"Live-upgrade a supervised NVMe to its warm standby with zero loss")
+        Term.(const run_driver_upgrade $ const ());
+      Cmd.v
+        (Cmd.info "failover"
+           ~doc:"Force a failover through the real fault path (the fire drill)")
+        Term.(const run_driver_failover $ const ()) ]
+
 let trace_cmd =
   Cmd.group (Cmd.info "trace" ~doc:"Causal-trace operations")
     [ Cmd.v
@@ -273,4 +330,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ security_cmd; netperf_cmd; mappings_cmd; files_cmd; protocol_cmd;
-            metrics_cmd; blk_cmd; trace_cmd; trace_smoke_alias_cmd ]))
+            metrics_cmd; blk_cmd; driver_cmd; trace_cmd; trace_smoke_alias_cmd ]))

@@ -24,7 +24,7 @@ let () =
              ()
          in
          let s1 =
-           match Driver_host.start_net k sp ~bdf rogue with
+           match Driver_host.launch k sp (Driver_host.net ()) ~bdf rogue with
            | Ok s -> s
            | Error e -> failwith e
          in
@@ -40,7 +40,7 @@ let () =
          Printf.printf "[admin] process alive: %b; restarting with the stock e1000 driver\n"
            (Process.is_alive (Driver_host.proc s1));
          ignore (Fiber.sleep eng 1_000_000 : Fiber.wake);
-         (match Driver_host.start_net k sp ~bdf ~name:"eth0" E1000.driver with
+         (match Driver_host.launch k sp (Driver_host.net ()) ~bdf ~name:"eth0" E1000.driver with
           | Error e -> failwith ("restart: " ^ e)
           | Ok s2 ->
             (match Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s2) with

@@ -19,7 +19,7 @@ let () =
             SUD.  NIC B: the same driver code, trusted in-kernel. *)
          let sp = Safe_pci.init k in
          let started =
-           match Driver_host.start_net k sp ~bdf:bdf_a ~name:"eth0" E1000.driver with
+           match Driver_host.launch k sp (Driver_host.net ()) ~bdf:bdf_a ~name:"eth0" E1000.driver with
            | Ok s -> s
            | Error e -> failwith e
          in

@@ -13,7 +13,7 @@ let () =
     (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"player" (fun () ->
          let sp = Safe_pci.init k in
          let s =
-           match Driver_host.start_audio k sp ~bdf Hda.driver with
+           match Driver_host.launch k sp Driver_host.audio ~bdf Hda.driver with
            | Ok s -> s
            | Error e -> failwith e
          in

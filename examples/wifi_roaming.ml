@@ -22,7 +22,7 @@ let () =
     (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"main" (fun () ->
          let sp = Safe_pci.init k in
          let s =
-           match Driver_host.start_wifi k sp ~bdf Iwl.driver with
+           match Driver_host.launch k sp Driver_host.wifi ~bdf Iwl.driver with
            | Ok s -> s
            | Error e -> failwith e
          in

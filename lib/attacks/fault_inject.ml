@@ -185,7 +185,16 @@ let soak_policy ~max_restarts =
     backoff_max_ns = 10_000_000;
     max_restarts;
     restart_window_ns = 2_000_000_000;
-    backlog_limit = 128 }
+    backlog_limit = 128;
+    (* The soak and the fuzzer measure the *cold* recovery path — its
+       backoff, its backlog window, its per-class outage baselines
+       (BENCH_5/7).  Warm standby is exercised by its own harnesses
+       ([warm_policy], [upgrade_soak], sud-bench/8). *)
+    standby = false }
+
+(* The same aggressive watchdog with the warm standby on: lethal faults
+   swap to the pre-forked generation instead of cold-starting. *)
+let warm_policy ~max_restarts = { (soak_policy ~max_restarts) with Supervisor.standby = true }
 
 (* Containment invariants, checked at every driver death.  The snapshot
    is taken at Fault_detected (the dying generation is still current);
@@ -991,6 +1000,331 @@ let measure_blk_recovery ?seed:_ fault =
       | None ->
         failwith ("measure_blk_recovery: no recovery observed for " ^ blk_fault_name fault)
       | Some outage ->
+        { rs_fault = "blk_" ^ blk_fault_name fault;
+          rs_detect_ns = st.Supervisor.st_last_detect_latency_ns;
+          rs_outage_ns = outage })
+
+(* ---- warm standby: upgrades, poison, and the interleaving soak ---- *)
+
+type upgrade_fault = Upgrade_during_fault | Standby_poisoned
+
+let all_upgrade_faults = [ Upgrade_during_fault; Standby_poisoned ]
+
+let upgrade_fault_name = function
+  | Upgrade_during_fault -> "upgrade_during_fault"
+  | Standby_poisoned -> "standby_poisoned"
+
+let inject_standby_poison ~sv =
+  match Supervisor.standby_proc sv with
+  | Some p when Process.is_alive p ->
+    Process.kill p;
+    true
+  | Some _ | None -> false
+
+(* Bounded wait for the warm slot; the watchdog's [ensure] keeps
+   re-warming, so Ready is eventually reached unless quarantined. *)
+let wait_standby_ready ~eng sv ~budget_ms =
+  let rec loop budget =
+    if Supervisor.standby_status sv = Standby.Ready then true
+    else if budget = 0 then false
+    else begin
+      ignore (Fiber.sleep eng 1_000_000 : Fiber.wake);
+      loop (budget - 1)
+    end
+  in
+  loop budget_ms
+
+let wait_running ~eng sv ~budget_ms =
+  let rec loop budget =
+    if Supervisor.state sv = Supervisor.Running then true
+    else if budget = 0 then false
+    else begin
+      ignore (Fiber.sleep eng 1_000_000 : Fiber.wake);
+      loop (budget - 1)
+    end
+  in
+  loop budget_ms
+
+type upgrade_soak_report = {
+  usr_seed : int64;
+  usr_interleavings : int;
+  usr_upgrades : int;
+  usr_warm_swaps : int;
+  usr_cold_restarts : int;
+  usr_poisoned : int;
+  usr_writes : int;
+  usr_fsyncs : int;
+  usr_verifies : int;
+  usr_io_errors : int;
+  usr_state : Supervisor.state;
+  usr_violations : string list;
+}
+
+let upgrade_soak ?(seed = 47L) ?(interleavings = 20) () =
+  let w = make_blk_world () in
+  in_blk_world ~max_ms:180_000 w (fun () ->
+      let k = w.bw_k in
+      let eng = w.bw_eng in
+      let secret_addr = Phys_mem.alloc_pages k.Kernel.mem ~pages:1 in
+      Phys_mem.write k.Kernel.mem ~addr:secret_addr (Bytes.of_string secret);
+      let sv =
+        match
+          Supervisor.start_blk k w.bw_sp ~policy:(warm_policy ~max_restarts:max_int)
+            ~bdf:w.bw_bdf honest_blk_factory
+        with
+        | Ok sv -> sv
+        | Error e -> failwith ("upgrade_soak: supervised start failed: " ^ e)
+      in
+      let ctx = install_invariants_for ~k ~bdf:w.bw_bdf sv ~secret_addr in
+      let bd =
+        match Supervisor.blkdev sv with
+        | Some bd -> bd
+        | None -> failwith "upgrade_soak: no blkdev after start"
+      in
+      let load =
+        { wl_writes = 0; wl_reads = 0; wl_fsyncs = 0; wl_verifies = 0; wl_io_errors = 0;
+          wl_check_pending = false; wl_stop = false; wl_done = false }
+      in
+      Supervisor.on_event sv (function
+          | Supervisor.Driver_restarted _ -> load.wl_check_pending <- true
+          | _ -> ());
+      let last_acked = Array.make blk_soak_pages None in
+      let pattern page gen =
+        Bytes.init Blkdev.page_size (fun i ->
+            Char.chr ((page * 131 + gen * 31 + i) land 0xff))
+      in
+      let verify_media why =
+        load.wl_verifies <- load.wl_verifies + 1;
+        Array.iteri
+          (fun page data ->
+             match data with
+             | None -> ()
+             | Some data ->
+               let lba0 = page * Blkdev.page_sectors in
+               for s = 0 to Blkdev.page_sectors - 1 do
+                 let expect =
+                   Bytes.sub data (s * Blkdev.sector_size) Blkdev.sector_size
+                 in
+                 match Nvme_dev.media_sector w.bw_nvme ~lba:(lba0 + s) with
+                 | None ->
+                   violate ctx "%s: acked write to sector %d lost (never on media)"
+                     why (lba0 + s)
+                 | Some got ->
+                   if not (Bytes.equal got expect) then
+                     violate ctx "%s: media mismatch at sector %d" why (lba0 + s)
+               done)
+          last_acked
+      in
+      let fsync_and_verify why =
+        match Blkdev.fsync bd ~timeout_ns:io_timeout_ns () with
+        | Ok () ->
+          load.wl_fsyncs <- load.wl_fsyncs + 1;
+          verify_media why
+        | Error e ->
+          load.wl_io_errors <- load.wl_io_errors + 1;
+          violate ctx "%s: fsync failed: %s" why e
+      in
+      let rng = Rng.create ~seed in
+      ignore
+        (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"blk-load"
+           (fun () ->
+              let gen = ref 0 in
+              while not load.wl_stop do
+                if load.wl_check_pending then begin
+                  load.wl_check_pending <- false;
+                  fsync_and_verify "post-recovery check"
+                end;
+                incr gen;
+                let page = Rng.int rng blk_soak_pages in
+                let data = pattern page !gen in
+                (match
+                   Blkdev.write bd ~timeout_ns:io_timeout_ns
+                     ~lba:(page * Blkdev.page_sectors) data ()
+                 with
+                 | Ok () ->
+                   load.wl_writes <- load.wl_writes + 1;
+                   last_acked.(page) <- Some data
+                 | Error e ->
+                   load.wl_io_errors <- load.wl_io_errors + 1;
+                   violate ctx "write to page %d failed: %s" page e);
+                if !gen mod 6 = 0 then begin
+                  match Blkdev.fsync bd ~timeout_ns:io_timeout_ns () with
+                  | Ok () -> load.wl_fsyncs <- load.wl_fsyncs + 1
+                  | Error e ->
+                    load.wl_io_errors <- load.wl_io_errors + 1;
+                    violate ctx "periodic fsync failed: %s" e
+                end;
+                ignore (Fiber.sleep eng 50_000 : Fiber.wake)
+              done;
+              load.wl_done <- true)
+         : Fiber.t);
+      (* Let the first writes land and the first standby warm up. *)
+      ignore (Fiber.sleep eng 5_000_000 : Fiber.wake);
+      for i = 1 to interleavings do
+        (match Rng.int rng 6 with
+         | 0 ->
+           (* Plain live upgrade: zero-loss swap to the standby. *)
+           ignore (wait_standby_ready ~eng sv ~budget_ms:2_000 : bool);
+           (match Supervisor.upgrade sv with
+            | Ok () -> ()
+            | Error e -> violate ctx "interleaving %d: upgrade failed: %s" i e)
+         | 1 ->
+           (* Administrative failover: the fire drill through recover. *)
+           (match Supervisor.failover sv with
+            | Ok () -> ()
+            | Error e -> violate ctx "interleaving %d: failover failed: %s" i e)
+         | 2 ->
+           (* A lethal fault while the standby is warm: the swap path. *)
+           ignore (wait_standby_ready ~eng sv ~budget_ms:2_000 : bool);
+           ignore (blk_inject ~eng ~sv ~nvme:w.bw_nvme Bcrash : bool)
+         | 3 ->
+           (* A device-level fault that escalates through the request
+              timeout — recovery with retained-write replay. *)
+           let f =
+             match Rng.int rng 3 with
+             | 0 -> Corrupt_completion
+             | 1 -> Drop_completion
+             | _ -> Drop_flush
+           in
+           ignore (blk_inject ~eng ~sv ~nvme:w.bw_nvme f : bool)
+         | 4 ->
+           (* standby_poisoned: kill the parked generation, then upgrade.
+              The poisoned slot must be discarded and rebuilt, never
+              swapped in. *)
+           ignore (wait_standby_ready ~eng sv ~budget_ms:2_000 : bool);
+           let _, poisoned0 = Supervisor.standby_stats sv in
+           if inject_standby_poison ~sv then begin
+             (match Supervisor.upgrade sv with
+              | Ok () -> ()
+              | Error e ->
+                violate ctx "interleaving %d: upgrade after poison failed: %s" i e);
+             let _, poisoned1 = Supervisor.standby_stats sv in
+             if poisoned1 <= poisoned0 then
+               violate ctx
+                 "interleaving %d: poisoned standby was never detected as poisoned" i
+           end
+         | _ ->
+           (* upgrade_during_fault: a crash racing the upgrade drain.
+              Either order is a legal interleaving — the upgrade may
+              fail ("driver not running" or double failover), but acked
+              writes must survive regardless. *)
+           ignore (wait_standby_ready ~eng sv ~budget_ms:2_000 : bool);
+           let delay_ns = 200_000 + Rng.int rng 3_000_000 in
+           ignore
+             (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
+                ~name:"upgrade-crasher" (fun () ->
+                    ignore (Fiber.sleep eng delay_ns : Fiber.wake);
+                    ignore (blk_inject ~eng ~sv ~nvme:w.bw_nvme Bcrash : bool))
+              : Fiber.t);
+           ignore (Supervisor.upgrade sv : (unit, string) result));
+        if not (wait_running ~eng sv ~budget_ms:5_000) then
+          violate ctx "interleaving %d: supervisor not Running afterwards" i
+        else begin
+          (* The media sweep must not race the writer: hand the check to
+             the load fiber (the only mutator of [last_acked]), exactly
+             like the post-recovery checks. *)
+          load.wl_check_pending <- true;
+          let rec wait_check budget =
+            if budget > 0 && load.wl_check_pending then begin
+              ignore (Fiber.sleep eng 1_000_000 : Fiber.wake);
+              wait_check (budget - 1)
+            end
+          in
+          wait_check 2_000
+        end
+      done;
+      load.wl_stop <- true;
+      let rec join budget =
+        if budget > 0 && not load.wl_done then begin
+          ignore (Fiber.sleep eng 10_000_000 : Fiber.wake);
+          join (budget - 1)
+        end
+      in
+      join 1_000;
+      fsync_and_verify "final check";
+      let st = Supervisor.stats sv in
+      if Supervisor.state sv <> Supervisor.Running then
+        violate ctx "upgrade soak ended with supervisor not Running";
+      let _, poisoned = Supervisor.standby_stats sv in
+      { usr_seed = seed;
+        usr_interleavings = interleavings;
+        usr_upgrades = st.Supervisor.st_upgrades;
+        usr_warm_swaps = st.Supervisor.st_warm_swaps;
+        usr_cold_restarts = st.Supervisor.st_restarts - st.Supervisor.st_warm_swaps;
+        usr_poisoned = poisoned;
+        usr_writes = load.wl_writes;
+        usr_fsyncs = load.wl_fsyncs;
+        usr_verifies = load.wl_verifies;
+        usr_io_errors = load.wl_io_errors;
+        usr_state = Supervisor.state sv;
+        usr_violations = invariant_violations ctx })
+
+(* ---- per-class warm failover latency, for sud-bench/8 ---- *)
+
+let measure_warm_blk_recovery ?seed:_ fault =
+  let w = make_blk_world () in
+  in_blk_world ~max_ms:10_000 w (fun () ->
+      let k = w.bw_k in
+      let sv =
+        match
+          Supervisor.start_blk k w.bw_sp ~policy:(warm_policy ~max_restarts:10)
+            ~bdf:w.bw_bdf honest_blk_factory
+        with
+        | Ok sv -> sv
+        | Error e -> failwith ("measure_warm_blk_recovery: " ^ e)
+      in
+      let bd = Option.get (Supervisor.blkdev sv) in
+      let stop = ref false in
+      ignore
+        (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"blk-load"
+           (fun () ->
+              let gen = ref 0 in
+              while not !stop do
+                incr gen;
+                let page = !gen mod 8 in
+                let data = Bytes.make Blkdev.page_size (Char.chr (!gen land 0xff)) in
+                ignore
+                  (Blkdev.write bd ~timeout_ns:io_timeout_ns
+                     ~lba:(page * Blkdev.page_sectors) data ()
+                   : (unit, string) result);
+                if !gen mod 4 = 0 then
+                  ignore (Blkdev.fsync bd ~timeout_ns:io_timeout_ns () : (unit, string) result);
+                ignore (Fiber.sleep w.bw_eng 50_000 : Fiber.wake)
+              done)
+         : Fiber.t);
+      let restored = ref None in
+      Supervisor.on_event sv (function
+          | Supervisor.Driver_restarted { outage_ns; _ } when !restored = None ->
+            restored := Some outage_ns
+          | _ -> ());
+      ignore (Fiber.sleep w.bw_eng 5_000_000 : Fiber.wake);
+      (* The whole point is the warm path: never inject before the
+         standby is parked and Ready. *)
+      if not (wait_standby_ready ~eng:w.bw_eng sv ~budget_ms:2_000) then
+        failwith "measure_warm_blk_recovery: standby never became Ready";
+      if not (blk_inject ~eng:w.bw_eng ~sv ~nvme:w.bw_nvme fault) then
+        failwith
+          ("measure_warm_blk_recovery: injection not applied: " ^ blk_fault_name fault);
+      let rec wait budget =
+        match !restored with
+        | Some _ -> ()
+        | None when budget = 0 -> ()
+        | None ->
+          ignore (Fiber.sleep w.bw_eng 1_000_000 : Fiber.wake);
+          wait (budget - 1)
+      in
+      wait 2_000;
+      stop := true;
+      let st = Supervisor.stats sv in
+      match !restored with
+      | None ->
+        failwith
+          ("measure_warm_blk_recovery: no recovery observed for " ^ blk_fault_name fault)
+      | Some outage ->
+        if Supervisor.warm_swaps sv = 0 then
+          failwith
+            ("measure_warm_blk_recovery: recovery for " ^ blk_fault_name fault
+             ^ " took the cold path");
         { rs_fault = "blk_" ^ blk_fault_name fault;
           rs_detect_ns = st.Supervisor.st_last_detect_latency_ns;
           rs_outage_ns = outage })

@@ -97,7 +97,13 @@ val secret : string
 
 val soak_policy : max_restarts:int -> Supervisor.policy
 (** Fast supervision (1 ms tick, 10 ms hang timeout, sub-ms backoff) so
-    multi-hundred-fault campaigns converge in bounded simulated time. *)
+    multi-hundred-fault campaigns converge in bounded simulated time.
+    Warm standby OFF: the soak, the fuzzer and the recovery benches
+    measure the cold restart path. *)
+
+val warm_policy : max_restarts:int -> Supervisor.policy
+(** [soak_policy] with the warm standby enabled — lethal faults swap to
+    the pre-forked generation instead of cold-starting. *)
 
 type invariant_ctx
 
@@ -306,3 +312,58 @@ val measure_blk_recovery : ?seed:int64 -> blk_fault -> recovery_sample
 (** Inject exactly one storage fault into a freshly supervised NVMe
     under workload and report the observed recovery latencies
     ([rs_fault] is prefixed ["blk_"]). *)
+
+(** {1 Warm standby: upgrades, poison, and the interleaving soak}
+
+    The classes here target the generation-swap machinery itself rather
+    than the datapath, so they are deliberately {e not} part of
+    {!all_blk_faults}: neither produces the fault-detection /
+    [Driver_restarted] shape {!measure_blk_recovery} waits on. *)
+
+type upgrade_fault =
+  | Upgrade_during_fault  (** a lethal fault racing the upgrade drain *)
+  | Standby_poisoned
+      (** the parked generation is killed while warm; it must be
+          discarded and rebuilt, never swapped in *)
+
+val all_upgrade_faults : upgrade_fault list
+val upgrade_fault_name : upgrade_fault -> string
+
+val inject_standby_poison : sv:Supervisor.t -> bool
+(** Kill the parked standby generation's process, if one is warm.
+    Returns whether the poison was applied.  Detection happens at the
+    supervisor's next probe (watchdog tick, [ensure], or the take at
+    swap time) — never by installing the corpse. *)
+
+val wait_standby_ready : eng:Engine.t -> Supervisor.t -> budget_ms:int -> bool
+val wait_running : eng:Engine.t -> Supervisor.t -> budget_ms:int -> bool
+
+type upgrade_soak_report = {
+  usr_seed : int64;
+  usr_interleavings : int;
+  usr_upgrades : int;       (** live upgrades completed *)
+  usr_warm_swaps : int;     (** recoveries served by the warm standby *)
+  usr_cold_restarts : int;  (** recoveries that fell back to a cold start *)
+  usr_poisoned : int;       (** standby slots discarded as poisoned *)
+  usr_writes : int;
+  usr_fsyncs : int;
+  usr_verifies : int;
+  usr_io_errors : int;
+  usr_state : Supervisor.state;
+  usr_violations : string list;  (** must be [] *)
+}
+
+val upgrade_soak : ?seed:int64 -> ?interleavings:int -> unit -> upgrade_soak_report
+(** Run a warm-standby supervised NVMe under the crash-consistency
+    workload while a seeded schedule (default 20 interleavings)
+    mixes live upgrades, administrative failovers, lethal faults with a
+    warm slot, timeout-escalated device faults, poisoned standbys, and
+    crashes racing the upgrade drain.  After every interleaving the
+    supervisor must return to Running and media must equal the last
+    acknowledged write for every page. *)
+
+val measure_warm_blk_recovery : ?seed:int64 -> blk_fault -> recovery_sample
+(** {!measure_blk_recovery} with the warm standby enabled: waits for
+    the parked generation to be Ready before injecting, then requires
+    the recovery to have taken the warm-swap path (fails if it fell
+    back to a cold start). *)

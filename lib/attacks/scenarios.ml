@@ -68,7 +68,7 @@ let contains_substring hay needle =
 let leaked w = List.exists (fun f -> contains_substring f secret) !(w.snoop)
 
 let start_mal w ?(defensive_copy = true) drv =
-  match Driver_host.start_net w.k w.sp ~bdf:w.bdf ~defensive_copy drv with
+  match Driver_host.launch w.k w.sp ~bdf:w.bdf (Driver_host.net ~defensive_copy ()) drv with
   | Ok s -> s
   | Error e -> failwith ("malicious driver did not start: " ^ e)
 

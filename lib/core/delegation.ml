@@ -39,15 +39,16 @@ let scan_and_start k sp ?(base_uid = 2000) ~registry () =
            | Net d ->
              Result.map
                (fun s -> Started_net s)
-               (Driver_host.start_net k sp ~uid ~name ~bdf:dev.Sysfs.bdf d)
+               (Driver_host.launch k sp ~uid ~name ~bdf:dev.Sysfs.bdf
+                  (Driver_host.net ()) d)
            | Wifi d ->
              Result.map
                (fun s -> Started_wifi s)
-               (Driver_host.start_wifi k sp ~uid ~name ~bdf:dev.Sysfs.bdf d)
+               (Driver_host.launch k sp ~uid ~name ~bdf:dev.Sysfs.bdf Driver_host.wifi d)
            | Audio d ->
              Result.map
                (fun s -> Started_audio s)
-               (Driver_host.start_audio k sp ~uid ~name ~bdf:dev.Sysfs.bdf d)
+               (Driver_host.launch k sp ~uid ~name ~bdf:dev.Sysfs.bdf Driver_host.audio d)
          in
          Some (dev.Sysfs.bdf, name, result))
     (Sysfs.entries k.Kernel.sysfs)

@@ -457,3 +457,254 @@ let blk_queues s = s.b_queues
 let blk_quota s = s.b_quota
 let blk_epoch s = s.b_epoch
 let kill_blk s = Process.kill s.b_proc
+
+(* ---- the class-indexed lifecycle API ---- *)
+
+(* One entry point for every device class.  The GADT carries both the
+   driver type the class consumes and the handle it produces, so
+   [launch] is the only spelling callers need; the per-class [start_*]
+   functions above survive as deprecated aliases for external trees. *)
+type (_, _) cls =
+  | Net : {
+      defensive_copy : bool;
+      adopt_netdev : Netdev.t option;
+      unregister_on_exit : bool option;
+    }
+      -> (Driver_api.net_driver, started) cls
+  | Blk : {
+      adopt : Proxy_blk.persist option;
+      request_timeout_ns : int option;
+    }
+      -> (Driver_api.blk_driver, started_blk) cls
+  | Wifi : (Driver_api.wifi_driver, started_wifi) cls
+  | Audio : (Driver_api.audio_driver, started_audio) cls
+  | Usb : {
+      bind_storage : Driver_api.usb_dev_handle -> (Driver_api.block_instance, string) result;
+      bind_keyboard :
+        Driver_api.env -> Driver_api.usb_dev_handle -> Driver_api.input_callbacks -> unit;
+    }
+      -> (Driver_api.usb_host_driver, started_usb) cls
+
+let net ?(defensive_copy = true) ?adopt_netdev ?unregister_on_exit () =
+  Net { defensive_copy; adopt_netdev; unregister_on_exit }
+
+let blk ?adopt ?request_timeout_ns () = Blk { adopt; request_timeout_ns }
+let wifi = Wifi
+let audio = Audio
+let usb ~bind_storage ~bind_keyboard = Usb { bind_storage; bind_keyboard }
+
+let launch : type d r.
+  Kernel.t -> Safe_pci.t -> ?uid:int -> ?name:string -> ?bdf:Bus.bdf ->
+  ?hang_timeout_ns:int -> ?queues:int -> ?quota:Quota.t -> ?epoch:int ->
+  (d, r) cls -> d -> (r, string) result =
+  fun k sp ?uid ?name ?bdf ?hang_timeout_ns ?queues ?quota ?epoch cls drv ->
+  match cls with
+  | Net { defensive_copy; adopt_netdev; unregister_on_exit } ->
+    start_net k sp ?uid ~defensive_copy ?name ?bdf ?hang_timeout_ns ?queues
+      ?adopt_netdev ?unregister_on_exit ?quota ?epoch drv
+  | Blk { adopt; request_timeout_ns } ->
+    start_blk k sp ?uid ?name ?bdf ?hang_timeout_ns ?request_timeout_ns ?queues ?adopt
+      ?quota ?epoch drv
+  | Wifi -> start_wifi k sp ?uid ?name ?bdf drv
+  | Audio -> start_audio k sp ?uid ?name ?bdf drv
+  | Usb { bind_storage; bind_keyboard } ->
+    start_usb k sp ?uid ?name ?bdf ~bind_storage ~bind_keyboard drv
+
+(* ---- warm-standby generations ---- *)
+
+(* A pre-forked generation, parked before attach.  Only what does not
+   need the device is set up here: the process, the epoch-stamped uchan
+   rings, and their quota charge.  The device grant is exclusive per
+   BDF and opening it resets the device, so grant + DMA pool + proxy +
+   driver init are deferred to [activate_*] — which runs after the
+   dying generation's kill released its grant and the FLR left the
+   device in exactly the quiesced state a fresh driver expects. *)
+type warm = {
+  wm_k : Kernel.t;
+  wm_sp : Safe_pci.t;
+  wm_bdf : Bus.bdf;
+  wm_uid : int;
+  wm_name : string;
+  wm_proc : Process.t;
+  wm_chan : Uchan.t;
+  wm_queues : int;
+  wm_quota : Quota.t option;
+  wm_epoch : int;
+}
+
+let prefork k sp ?(uid = 1000) ?hang_timeout_ns ?(queues = 1) ?quota ?(epoch = 0) ~name
+    ~bdf () =
+  if Sud_obs.Trace.on () then
+    ignore
+      (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"driver" ~name:"prefork"
+         ~attrs:[ "driver", name; "bdf", Bus.string_of_bdf bdf ] ());
+  Safe_pci.register_device sp bdf;
+  Safe_pci.set_owner sp bdf ~uid;
+  let proc = Process.spawn k.Kernel.procs ~name ~uid in
+  let slots = 256 in
+  let queues = max 1 (min queues Uchan.max_queues) in
+  let queues, ring_charge =
+    match quota with
+    | None -> queues, 0
+    | Some q ->
+      let queues = Quota.negotiate_queues q ~slots ~queues in
+      queues, Quota.ring_bytes ~slots ~queues
+  in
+  match
+    match quota with Some q -> Quota.charge_uchan q ~bytes:ring_charge | None -> Ok ()
+  with
+  | Error e ->
+    Process.kill proc;
+    Error ("uchan rings: " ^ e)
+  | Ok () ->
+    let chan =
+      Uchan.create k ?hang_timeout_ns ~slots ~queues ~epoch
+        ~profile:Proxy_proto.conformance_profile ~driver_label:name ()
+    in
+    (match quota with
+     | None -> ()
+     | Some q ->
+       Uchan.set_notify_hook chan (Some (fun ~queue -> Quota.note_notify q ~queue));
+       Process.on_exit proc (fun () -> Quota.release_uchan q ~bytes:ring_charge));
+    Process.on_exit proc (fun () -> Uchan.close chan);
+    Ok
+      { wm_k = k;
+        wm_sp = sp;
+        wm_bdf = bdf;
+        wm_uid = uid;
+        wm_name = name;
+        wm_proc = proc;
+        wm_chan = chan;
+        wm_queues = queues;
+        wm_quota = quota;
+        wm_epoch = epoch }
+
+let warm_proc w = w.wm_proc
+let warm_chan w = w.wm_chan
+let warm_epoch w = w.wm_epoch
+let warm_queues w = w.wm_queues
+let discard_warm w = Process.kill w.wm_proc
+
+let activate_trace w =
+  if Sud_obs.Trace.on () then
+    ignore
+      (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"driver" ~name:"activate"
+         ~attrs:[ "driver", w.wm_name; "bdf", Bus.string_of_bdf w.wm_bdf ] ())
+
+let activate_net w ?(defensive_copy = true) ?(unregister_on_exit = false) ~adopt
+    (drv : Driver_api.net_driver) =
+  let k = w.wm_k and name = w.wm_name and proc = w.wm_proc and chan = w.wm_chan in
+  activate_trace w;
+  match Safe_pci.open_device w.wm_sp ?quota:w.wm_quota w.wm_bdf ~proc with
+  | Error e ->
+    Process.kill proc;
+    Error ("open device: " ^ e)
+  | Ok grant ->
+    (match
+       Safe_pci.alloc_dma grant
+         ~bytes:(Bufpool.region_size ~count:pool_bufs ~buf_size:pool_buf_size)
+         ()
+     with
+     | Error e ->
+       Process.kill proc;
+       Error ("shared pool: " ^ e)
+     | Ok region ->
+       let pool =
+         Bufpool.create
+           ~read:(fun ~off ~len -> region.Driver_api.dma_read ~off ~len)
+           ~write:(fun ~off ~data -> region.Driver_api.dma_write ~off data)
+           ~base_addr:region.Driver_api.dma_addr ~count:pool_bufs ~buf_size:pool_buf_size
+       in
+       let proxy =
+         Proxy_net.create k ~chan ~grant ~pool ~name ~defensive_copy ~parked:true ~adopt ()
+       in
+       let uml = Sud_uml.create k ~proc ~grant ~chan ~pool in
+       Process.on_exit proc (fun () ->
+           if unregister_on_exit then Proxy_net.unregister proxy);
+       ignore
+         (Process.spawn_fiber proc ~name:(name ^ "-main") (fun () ->
+              Sud_uml.serve_net uml drv)
+          : Fiber.t);
+       if Proxy_net.wait_registered proxy ~timeout_ns:100_000_000 then
+         Ok
+           { s_k = k;
+             s_sp = w.wm_sp;
+             s_bdf = w.wm_bdf;
+             s_uid = w.wm_uid;
+             s_name = name;
+             s_defensive = defensive_copy;
+             s_proc = proc;
+             s_chan = chan;
+             s_grant = grant;
+             s_proxy = proxy;
+             s_class = Proxy_net.instance proxy;
+             s_uml = uml;
+             s_netdev = adopt;
+             s_queues = w.wm_queues;
+             s_quota = w.wm_quota;
+             s_epoch = w.wm_epoch }
+       else begin
+         Process.kill proc;
+         Error "driver did not register a network device"
+       end)
+
+let activate_blk w ?request_timeout_ns ~adopt (drv : Driver_api.blk_driver) =
+  let k = w.wm_k and name = w.wm_name and proc = w.wm_proc and chan = w.wm_chan in
+  activate_trace w;
+  match Proxy_blk.persist_blkdev adopt with
+  | None ->
+    Process.kill proc;
+    Error "no surviving block device to adopt"
+  | Some bd ->
+    (match Safe_pci.open_device w.wm_sp ?quota:w.wm_quota w.wm_bdf ~proc with
+     | Error e ->
+       Process.kill proc;
+       Error ("open device: " ^ e)
+     | Ok grant ->
+       (match
+          Safe_pci.alloc_dma grant
+            ~bytes:(Bufpool.region_size ~count:blk_pool_bufs ~buf_size:blk_pool_buf_size)
+            ()
+        with
+        | Error e ->
+          Process.kill proc;
+          Error ("shared pool: " ^ e)
+        | Ok region ->
+          let pool =
+            Bufpool.create
+              ~read:(fun ~off ~len -> region.Driver_api.dma_read ~off ~len)
+              ~write:(fun ~off ~data -> region.Driver_api.dma_write ~off data)
+              ~base_addr:region.Driver_api.dma_addr ~count:blk_pool_bufs
+              ~buf_size:blk_pool_buf_size
+          in
+          let proxy =
+            Proxy_blk.create k ~chan ~grant ~pool ~name ?request_timeout_ns ~parked:true
+              ~adopt ()
+          in
+          let uml = Sud_uml.create k ~proc ~grant ~chan ~pool in
+          Process.on_exit proc (fun () -> Proxy_blk.quiesce proxy);
+          ignore
+            (Process.spawn_fiber proc ~name:(name ^ "-main") (fun () ->
+                 Sud_uml.serve_blk uml drv)
+             : Fiber.t);
+          if Proxy_blk.wait_registered proxy ~timeout_ns:100_000_000 then
+            Ok
+              { b_k = k;
+                b_sp = w.wm_sp;
+                b_bdf = w.wm_bdf;
+                b_uid = w.wm_uid;
+                b_name = name;
+                b_proc = proc;
+                b_chan = chan;
+                b_grant = grant;
+                b_proxy = proxy;
+                b_class = Proxy_blk.instance proxy;
+                b_uml = uml;
+                b_blkdev = bd;
+                b_queues = w.wm_queues;
+                b_quota = w.wm_quota;
+                b_epoch = w.wm_epoch }
+          else begin
+            Process.kill proc;
+            Error "driver did not register a block device"
+          end))

@@ -1,11 +1,13 @@
 (** Driver lifecycle management (paper §4.1): start an untrusted driver
     process for a device, kill it like any other process, restart it.
 
-    [start_net] performs the whole §4.1 sequence: find the matching PCI
-    device in sysfs, chown its sud files to the driver's UID, spawn the
-    driver process, open the device, set up the shared buffer pool and
-    uchan, start the kernel-side proxy and the SUD-UML dispatch loop, and
-    wait for the driver to register its network device.
+    {!launch} performs the whole §4.1 sequence for any device class:
+    find the matching PCI device in sysfs, chown its sud files to the
+    driver's UID, spawn the driver process, open the device, set up the
+    shared buffer pool and uchan, start the kernel-side proxy and the
+    SUD-UML dispatch loop, and wait for the driver to register with its
+    class subsystem.  The class-specific [start_*] spellings survive as
+    deprecated aliases for external trees.
 
     Must be called from a fiber. *)
 
@@ -26,6 +28,7 @@ val start_net :
   ?epoch:int ->
   Driver_api.net_driver ->
   (started, string) result
+  [@@deprecated "use Driver_host.launch with Driver_host.net"]
 (** Defaults: [uid] 1000, defensive copy on, [name] the driver's name,
     device found by the driver's ID table.  [hang_timeout_ns] tunes the
     uchan's sync-upcall deadline.  [queues] is the number of uchan ring
@@ -92,6 +95,7 @@ val start_wifi :
   ?bdf:Bus.bdf ->
   Driver_api.wifi_driver ->
   (started_wifi, string) result
+  [@@deprecated "use Driver_host.launch with Driver_host.wifi"]
 
 val wifi_proxy : started_wifi -> Proxy_wifi.t
 val wifi_netdev : started_wifi -> Netdev.t
@@ -108,6 +112,7 @@ val start_audio :
   ?bdf:Bus.bdf ->
   Driver_api.audio_driver ->
   (started_audio, string) result
+  [@@deprecated "use Driver_host.launch with Driver_host.audio"]
 
 val audio_proxy : started_audio -> Proxy_audio.t
 val audio_proc : started_audio -> Process.t
@@ -126,6 +131,7 @@ val start_usb :
     (Driver_api.env -> Driver_api.usb_dev_handle -> Driver_api.input_callbacks -> unit) ->
   Driver_api.usb_host_driver ->
   (started_usb, string) result
+  [@@deprecated "use Driver_host.launch with Driver_host.usb"]
 (** The USB host proxy: block and input surfaces appear as the driver
     process enumerates its bus; use {!Proxy_usb.wait_block}. *)
 
@@ -158,6 +164,7 @@ val start_blk :
   ?epoch:int ->
   Driver_api.blk_driver ->
   (started_blk, string) result
+  [@@deprecated "use Driver_host.launch with Driver_host.blk"]
 
 val blk_proc : started_blk -> Process.t
 val blk_chan : started_blk -> Uchan.t
@@ -171,3 +178,136 @@ val blk_queues : started_blk -> int
 val blk_quota : started_blk -> Quota.t option
 val blk_epoch : started_blk -> int
 val kill_blk : started_blk -> unit
+
+(** {1 The class-indexed lifecycle API}
+
+    One entry point over every device class.  The GADT index carries
+    both the driver type a class consumes and the handle it produces,
+    so [launch k sp (net ()) e1000] and [launch k sp (blk ()) nvme]
+    type-check against the right driver and yield the right handle —
+    net/blk/usb/wifi/audio share one spelling and one option surface. *)
+
+type (_, _) cls =
+  | Net : {
+      defensive_copy : bool;
+      adopt_netdev : Netdev.t option;
+      unregister_on_exit : bool option;
+    }
+      -> (Driver_api.net_driver, started) cls
+  | Blk : {
+      adopt : Proxy_blk.persist option;
+      request_timeout_ns : int option;
+    }
+      -> (Driver_api.blk_driver, started_blk) cls
+  | Wifi : (Driver_api.wifi_driver, started_wifi) cls
+  | Audio : (Driver_api.audio_driver, started_audio) cls
+  | Usb : {
+      bind_storage : Driver_api.usb_dev_handle -> (Driver_api.block_instance, string) result;
+      bind_keyboard :
+        Driver_api.env -> Driver_api.usb_dev_handle -> Driver_api.input_callbacks -> unit;
+    }
+      -> (Driver_api.usb_host_driver, started_usb) cls
+
+val net :
+  ?defensive_copy:bool ->
+  ?adopt_netdev:Netdev.t ->
+  ?unregister_on_exit:bool ->
+  unit ->
+  (Driver_api.net_driver, started) cls
+(** Class witness for Ethernet; options mirror the old [start_net]. *)
+
+val blk :
+  ?adopt:Proxy_blk.persist ->
+  ?request_timeout_ns:int ->
+  unit ->
+  (Driver_api.blk_driver, started_blk) cls
+
+val wifi : (Driver_api.wifi_driver, started_wifi) cls
+val audio : (Driver_api.audio_driver, started_audio) cls
+
+val usb :
+  bind_storage:(Driver_api.usb_dev_handle -> (Driver_api.block_instance, string) result) ->
+  bind_keyboard:
+    (Driver_api.env -> Driver_api.usb_dev_handle -> Driver_api.input_callbacks -> unit) ->
+  (Driver_api.usb_host_driver, started_usb) cls
+
+val launch :
+  Kernel.t ->
+  Safe_pci.t ->
+  ?uid:int ->
+  ?name:string ->
+  ?bdf:Bus.bdf ->
+  ?hang_timeout_ns:int ->
+  ?queues:int ->
+  ?quota:Quota.t ->
+  ?epoch:int ->
+  ('d, 'r) cls ->
+  'd ->
+  ('r, string) result
+(** Start an untrusted driver of any class.  The shared options mean
+    the same thing for every class ([queues]/[quota]/[epoch] are
+    accepted — and meaningful — only for the quota-negotiated net and
+    blk datapaths; the lighter classes ignore them). *)
+
+(** {1 Warm-standby generations}
+
+    A [warm] generation is pre-forked and parked before attach: the
+    process is spawned and its epoch-stamped uchan rings are allocated
+    and charged to the same per-driver {!Quota.t} ledger as the live
+    generation.  The device grant is exclusive per BDF {e and opening
+    it resets the device}, so everything device-facing — grant, DMA
+    pool, proxy, driver init — waits for [activate_*], which the
+    supervisor calls at swap time: the dead generation's kill has
+    released the grant and the FLR has left the device in exactly the
+    quiesced state a fresh driver expects to initialize against. *)
+
+type warm
+
+val prefork :
+  Kernel.t ->
+  Safe_pci.t ->
+  ?uid:int ->
+  ?hang_timeout_ns:int ->
+  ?queues:int ->
+  ?quota:Quota.t ->
+  ?epoch:int ->
+  name:string ->
+  bdf:Bus.bdf ->
+  unit ->
+  (warm, string) result
+(** Spawn and park a standby generation.  [queues] (default 1) should
+    be the live generation's negotiated width — without a grant the
+    standby cannot size itself from the MSI-X table. *)
+
+val warm_proc : warm -> Process.t
+val warm_chan : warm -> Uchan.t
+val warm_epoch : warm -> int
+val warm_queues : warm -> int
+
+val discard_warm : warm -> unit
+(** Kill the parked process; its exit hooks release the ring charge. *)
+
+val activate_net :
+  warm ->
+  ?defensive_copy:bool ->
+  ?unregister_on_exit:bool ->
+  adopt:Netdev.t ->
+  Driver_api.net_driver ->
+  (started, string) result
+(** Finish a parked generation against the freshly reset device: open
+    the grant, build the DMA pool, create the proxy {e parked} (the
+    driver's registration is recorded, not applied), serve the driver,
+    and wait for it to register.  On success the caller swaps the proxy
+    in with {!Proxy_class.adopt} and replays via [resume]; on error the
+    standby process has been killed (its grant released), so a cold
+    start can follow.  [unregister_on_exit] defaults to [false]: a
+    standby exists only under a supervisor, which owns the netdev. *)
+
+val activate_blk :
+  warm ->
+  ?request_timeout_ns:int ->
+  adopt:Proxy_blk.persist ->
+  Driver_api.blk_driver ->
+  (started_blk, string) result
+(** Blk counterpart of {!activate_net}: the parked proxy shares (but
+    does not touch) the surviving persist record until adopted. *)

@@ -69,13 +69,23 @@ type t = {
   grant : Safe_pci.grant;
   pool : Bufpool.t;
   name : string;
-  p : persist;
+  (* Mutable so a warm standby can adopt the surviving persist record at
+     swap time; everywhere else it is fixed at creation. *)
+  mutable p : persist;
   request_timeout_ns : int;
   ready : Sync.Waitq.t;
   mutable nqueues : int;             (* device queues; 0 until registered *)
   mutable capacity : int;
   mutable is_hung : bool;
   mutable quiescing : bool;
+  (* Warm-standby parking: a parked proxy may share the live generation's
+     persist record (so readiness probes and the eventual adoption see
+     it) but must treat it as read-only — registration is recorded, not
+     applied; completions are forged by definition (nothing was ever
+     submitted on this channel); quiesce must not detach the live
+     blkdev; and the live generation's in-flight ages are not this
+     proxy's hang signal. *)
+  mutable parked : bool;
   (* Submissions on the wire this generation (sent, not yet completed).
      A flush is held until this drains to zero: rings are per-LBA, so a
      flush racing an in-flight write on another ring could be processed
@@ -255,6 +265,12 @@ let oldest_inflight_tag t =
   Hashtbl.fold (fun tag _ acc -> min tag acc) t.p.p_inflight max_int
 
 let handle_complete t m =
+  if t.parked then
+    (* A parked standby never submitted anything: any completion it
+       sends can only be forged (possibly naming a live generation's
+       tag through the shared persist record). *)
+    Sud_obs.Metrics.incr t.m_stale
+  else
   let tag = Msg.arg m 0 and status = Msg.arg m 1 in
   match Hashtbl.find_opt t.p.p_inflight tag with
   | None ->
@@ -313,6 +329,15 @@ let attach_issuer t bd = Blkdev.attach bd (fun rq -> issue t rq)
 
 let handle_register t m =
   if t.nqueues > 0 then Some (Msg.make ~kind:Proxy_proto.down_blkdev_register ~args:[ 1 ] ())
+  else if t.parked then begin
+    (* Parked (warm-standby) registration: record the driver's geometry
+       and report ready, leaving persist record, blkdev and issuer with
+       the live generation until [adopt] swaps this proxy in. *)
+    t.capacity <- Msg.arg m 0;
+    t.nqueues <- max 1 (Msg.arg m 1);
+    ignore (Sync.Waitq.broadcast t.ready : int);
+    Some (Msg.make ~kind:Proxy_proto.down_blkdev_register ~args:[ 0 ] ())
+  end
   else begin
     let capacity = Msg.arg m 0 and nq = max 1 (Msg.arg m 1) in
     if Sud_obs.Trace.on () then
@@ -365,7 +390,7 @@ let handle_downcall t ~queue:_ m =
     None
   end
 
-let create k ~chan ~grant ~pool ~name ?(request_timeout_ns = 10_000_000) ?adopt () =
+let create k ~chan ~grant ~pool ~name ?(request_timeout_ns = 10_000_000) ?(parked = false) ?adopt () =
   let p = match adopt with Some p -> p | None -> persist_create () in
   let t =
     { k;
@@ -380,6 +405,7 @@ let create k ~chan ~grant ~pool ~name ?(request_timeout_ns = 10_000_000) ?adopt 
       capacity = 0;
       is_hung = false;
       quiescing = false;
+      parked;
       on_wire = 0;
       pending = Queue.create ();
       m_submits =
@@ -448,13 +474,28 @@ let wait_ready t ~timeout_ns =
   in
   loop ()
 
+let wait_registered t ~timeout_ns =
+  let deadline = Engine.now t.k.Kernel.eng + timeout_ns in
+  let rec loop () =
+    if t.nqueues > 0 then true
+    else
+      let left = deadline - Engine.now t.k.Kernel.eng in
+      if left <= 0 then false
+      else
+        match Sync.Waitq.wait_timeout t.k.Kernel.eng t.ready left with
+        | Fiber.Interrupted -> false
+        | Fiber.Normal | Fiber.Timeout -> loop ()
+  in
+  loop ()
+
 (* Hung when the sync path said so, or when the oldest in-flight request
    outlived the request timeout — the escalation path for dropped and
    corrupted completions and for dropped flushes, none of which produce
-   any other signal. *)
+   any other signal.  A parked standby shares the live generation's
+   persist record, whose in-flight ages say nothing about this proxy. *)
 let hung t =
   t.is_hung
-  || (not t.quiescing)
+  || (not t.quiescing) && (not t.parked)
      &&
      let now = Engine.now t.k.Kernel.eng in
      Hashtbl.fold
@@ -463,15 +504,20 @@ let hung t =
 
 let quiesce t =
   t.quiescing <- true;
-  match t.p.p_blkdev with
-  | Some bd -> if Blkdev.attached bd then Blkdev.detach bd
-  | None -> ()
+  (* A parked standby dying (or being discarded) must not detach the
+     blkdev the live generation is serving through the shared persist. *)
+  if not t.parked then
+    match t.p.p_blkdev with
+    | Some bd -> if Blkdev.attached bd then Blkdev.detach bd
+    | None -> ()
 
 (* Called on the NEW generation after a supervised restart: replay the
    retention and the in-flight set in tag order on the fresh channel,
    owe a trailing barrier, then reattach the device so staged requests
    follow the replay. *)
 let resume t =
+  if t.parked then ()   (* must be adopted before it may serve *)
+  else begin
   t.quiescing <- false;
   match t.p.p_blkdev with
   | None -> ()
@@ -496,10 +542,34 @@ let resume t =
         (if List.length all = 1 then "" else "s");
     attach_issuer t bd;
     maybe_replay_flush t
+  end
 
 let unregister t =
   quiesce t;
   t.quiescing <- false
+
+(* ---- handoff / adopt: the generation-swap contract ---- *)
+
+type Proxy_class.state += Blk_state of persist
+
+let handoff t = Blk_state t.p
+
+let adopt t st =
+  match st with
+  | Blk_state p ->
+    if t.parked then begin
+      t.p <- p;
+      (match p.p_blkdev with
+       | Some bd ->
+         (* The standby's recorded registration supplies the fresh
+            generation's geometry; the surviving blkdev (cache, staging
+            queue, waiting readers) keeps its identity. *)
+         if t.capacity > 0 then Blkdev.set_capacity bd t.capacity;
+         if Blkdev.find t.k.Kernel.blk t.name = None then Blkdev.register t.k.Kernel.blk bd
+       | None -> ());
+      t.parked <- false
+    end
+  | _ -> ()
 
 let instance t =
   Proxy_class.Instance
@@ -516,5 +586,7 @@ let instance t =
         (* Reattachment happens through resume after the fresh driver's
            register downcall. *)
         let revive _ = ()
+        let handoff = handoff
+        let adopt = adopt
       end),
       t )

@@ -38,19 +38,46 @@ val create :
   pool:Bufpool.t ->
   name:string ->
   ?request_timeout_ns:int ->
+  ?parked:bool ->
   ?adopt:persist ->
   unit ->
   t
 (** [request_timeout_ns] (default 10 ms) bounds how long a submitted
     request may stay uncompleted before {!hung} reports it — the
     escalation path for dropped/corrupted completions and dropped
-    flushes. *)
+    flushes.
+
+    With [~parked:true] (warm standby) the proxy may share the live
+    generation's [?adopt] persist record but treats it as read-only:
+    registration is recorded (geometry + ready broadcast) without
+    touching persist, blkdev or issuer; completions are counted as
+    forged; quiesce does not detach; {!resume} refuses to serve until
+    {!adopt} swaps the proxy in. *)
 
 val irq_sink : t -> queue:int -> unit
 (** Forward a device interrupt to the driver on the matching ring. *)
 
 val wait_ready : t -> timeout_ns:int -> Blkdev.t option
 (** Block until the driver registers its block device (or time out). *)
+
+val wait_registered : t -> timeout_ns:int -> bool
+(** Like {!wait_ready} but keyed on the registration downcall alone, so
+    it is also satisfied by a {e parked} registration (which leaves the
+    blkdev with the live generation) — the warm-standby readiness
+    probe. *)
+
+type Proxy_class.state += Blk_state of persist
+(** The blk class's handoff payload: the generation-independent persist
+    record (tags, in-flight table, retention, surviving blkdev). *)
+
+val handoff : t -> Proxy_class.state
+(** Snapshot the persist record ({!Blk_state}).  Idempotent. *)
+
+val adopt : t -> Proxy_class.state -> unit
+(** Install a handoff payload.  On a parked proxy this adopts the
+    persist record (applying the recorded geometry to the surviving
+    blkdev) and unparks it so {!resume} may replay and reattach.  On a
+    live proxy it is a no-op. *)
 
 val blkdev : t -> Blkdev.t option
 val persist : t -> persist

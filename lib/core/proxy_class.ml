@@ -1,3 +1,10 @@
+(* Class-specific handoff payloads are injected by each proxy module as
+   extension constructors, so this module stays independent of the
+   concrete proxies while the supervisor can still thread their state
+   through a swap without pattern-matching on classes. *)
+type state = ..
+type state += No_state
+
 module type S = sig
   type t
 
@@ -8,6 +15,8 @@ module type S = sig
   val resume : t -> unit
   val degrade : t -> unit
   val revive : t -> unit
+  val handoff : t -> state
+  val adopt : t -> state -> unit
 end
 
 type instance = Instance : (module S with type t = 'a) * 'a -> instance
@@ -19,6 +28,8 @@ let quiesce (Instance ((module P), x)) = P.quiesce x
 let resume (Instance ((module P), x)) = P.resume x
 let degrade (Instance ((module P), x)) = P.degrade x
 let revive (Instance ((module P), x)) = P.revive x
+let handoff (Instance ((module P), x)) = P.handoff x
+let adopt (Instance ((module P), x)) st = P.adopt x st
 
 (* The shared heartbeat: every SUD driver's queue-0 service loop answers
    [up_ping] inline (any reply — even an error reply from a class that

@@ -16,9 +16,22 @@
     [resume] re-admits work against the restarted driver and replays
     whatever quiesce retained.  [degrade]/[revive] remain the terminal
     detach/re-attach pair used for quarantine, where no new generation
-    is coming.  The supervisor and driver host program against
-    {!instance} instead of pattern-matching on proxy kinds, so adding a
-    device class never touches the recovery machinery. *)
+    is coming.  [handoff]/[adopt] carry the class's kernel-facing state
+    (surviving netdev, blk persist record, mirrored device attributes)
+    from a dying generation's proxy to its successor — the contract both
+    warm-standby swap and shadow recovery ride.  The supervisor and
+    driver host program against {!instance} instead of pattern-matching
+    on proxy kinds, so adding a device class never touches the recovery
+    machinery. *)
+
+type state = ..
+(** A class-opaque handoff payload.  Each proxy module extends this with
+    its own constructor ([Proxy_net.Net_state], [Proxy_blk.Blk_state],
+    ...), so the supervisor can hold and thread one without knowing the
+    class. *)
+
+type state += No_state
+(** For classes with no kernel-side state worth carrying. *)
 
 module type S = sig
   type t
@@ -46,6 +59,17 @@ module type S = sig
   val revive : t -> unit
   (** Undo {!degrade}.  Classes whose registration downcall re-attaches
       on its own leave this a no-op. *)
+
+  val handoff : t -> state
+  (** Snapshot the kernel-facing state this proxy guards (taken from the
+      dying generation after {!quiesce}, before the kill).  Must be
+      idempotent — taking it twice yields equivalent payloads — and must
+      not block. *)
+
+  val adopt : t -> state -> unit
+  (** Install a {!handoff} payload into this (new-generation) proxy.  A
+      proxy created parked does not serve its datapath until it adopts;
+      adopting a payload of the wrong class is a no-op. *)
 end
 
 type instance = Instance : (module S with type t = 'a) * 'a -> instance
@@ -59,6 +83,8 @@ val quiesce : instance -> unit
 val resume : instance -> unit
 val degrade : instance -> unit
 val revive : instance -> unit
+val handoff : instance -> state
+val adopt : instance -> state -> unit
 
 val heartbeat : instance -> (unit, string) result
 (** Synchronous [up_ping] over the proxy's channel, bounded by the

@@ -7,6 +7,12 @@ type t = {
   defensive_copy : bool;
   adopt : Netdev.t option;       (* surviving netdev from a prior driver generation *)
   mutable dev : Netdev.t option;
+  (* Warm-standby parking: a parked proxy lets its driver initialize and
+     register, but records the registration instead of touching the
+     netstack — the kernel-facing netdev stays with the live generation
+     until the supervisor swaps this proxy in via [adopt]. *)
+  mutable parked : bool;
+  mutable pending_attach : (bytes * int) option;   (* mac, tx_queues *)
   ready : Sync.Waitq.t;
   mutable is_hung : bool;
   (* Lifecycle gate: between quiesce and resume the proxy admits no new
@@ -196,8 +202,22 @@ let handle_rx t ~queue m =
         end
     end
 
+let make_ops t =
+  { Netdev.ndo_open = (fun () -> do_open t ());
+    ndo_stop = (fun () -> do_stop t ());
+    ndo_start_xmit = (fun ~queue skb -> do_xmit t ~queue skb);
+    ndo_do_ioctl = (fun ~cmd ~arg -> do_ioctl t ~cmd ~arg) }
+
 let handle_register t m =
-  if Bytes.length m.Msg.payload = 6 && t.dev = None then begin
+  if Bytes.length m.Msg.payload = 6 && t.parked && t.pending_attach = None then begin
+    (* Parked (warm-standby) registration: accept the driver's identity
+       so it can finish initializing, but leave the netstack alone — the
+       live generation still owns the netdev.  [adopt] applies this. *)
+    t.pending_attach <- Some (Bytes.copy m.Msg.payload, max 1 (Msg.arg m 0));
+    ignore (Sync.Waitq.broadcast t.ready : int);
+    Some (Msg.make ~kind:Proxy_proto.down_net_register ~args:[ 0 ] ())
+  end
+  else if Bytes.length m.Msg.payload = 6 && not t.parked && t.dev = None then begin
     if Sud_obs.Trace.on () then
       ignore
         (Sud_obs.Trace.emit ~parent:(Sud_obs.Trace.current ()) ~cat:"proxy" ~name:"register"
@@ -206,12 +226,7 @@ let handle_register t m =
     (* The register downcall carries the driver's queue count; the netdev
        gets that many TX queues, clamped by the rings the channel has. *)
     let tx_queues = min (max 1 (Msg.arg m 0)) (Uchan.num_queues t.chan) in
-    let ops =
-      { Netdev.ndo_open = (fun () -> do_open t ());
-        ndo_stop = (fun () -> do_stop t ());
-        ndo_start_xmit = (fun ~queue skb -> do_xmit t ~queue skb);
-        ndo_do_ioctl = (fun ~cmd ~arg -> do_ioctl t ~cmd ~arg) }
-    in
+    let ops = make_ops t in
     let dev =
       match t.adopt with
       | Some dev ->
@@ -287,7 +302,7 @@ let handle_downcall t ~queue m =
     None
   end
 
-let create k ~chan ~grant ~pool ~name ?(defensive_copy = true) ?adopt () =
+let create k ~chan ~grant ~pool ~name ?(defensive_copy = true) ?(parked = false) ?adopt () =
   let nq = Uchan.num_queues chan in
   let t =
     { k;
@@ -298,6 +313,8 @@ let create k ~chan ~grant ~pool ~name ?(defensive_copy = true) ?adopt () =
       defensive_copy;
       adopt;
       dev = None;
+      parked;
+      pending_attach = None;
       ready = Sync.Waitq.create ();
       is_hung = false;
       quiescing = false;
@@ -354,10 +371,28 @@ let wait_ready t ~timeout_ns =
   in
   loop ()
 
+let wait_registered t ~timeout_ns =
+  let deadline = Engine.now t.k.Kernel.eng + timeout_ns in
+  let registered () = t.dev <> None || t.pending_attach <> None in
+  let rec loop () =
+    if registered () then true
+    else
+      let left = deadline - Engine.now t.k.Kernel.eng in
+      if left <= 0 then false
+      else
+        match Sync.Waitq.wait_timeout t.k.Kernel.eng t.ready left with
+        | Fiber.Interrupted -> false
+        | Fiber.Normal | Fiber.Timeout -> loop ()
+  in
+  loop ()
+
 let hung t = t.is_hung
 
 let quiesce t = t.quiescing <- true
-let resume t = t.quiescing <- false
+
+(* A parked proxy must be adopted before it serves: unparking through
+   resume alone would attach a standby the supervisor never swapped in. *)
+let resume t = if not t.parked then t.quiescing <- false
 
 let unregister t =
   match t.dev with
@@ -365,6 +400,42 @@ let unregister t =
     Netstack.unregister_netdev t.k.Kernel.net dev;
     t.dev <- None
   | None -> ()
+
+(* ---- handoff / adopt: the generation-swap contract ---- *)
+
+type Proxy_class.state += Net_state of { dev : Netdev.t option; up : bool }
+
+let handoff t =
+  Net_state
+    { dev = t.dev;
+      up = (match t.dev with Some d -> Netdev.is_up d | None -> false) }
+
+let adopt t st =
+  match st with
+  | Net_state { dev; up = _ } ->
+    if t.parked then begin
+      (match t.pending_attach with
+       | Some (mac, _txq) ->
+         (* The surviving netdev keeps its identity (name, queue count,
+            backlog); the standby's recorded registration supplies the
+            fresh generation's MAC and ops. *)
+         let target = match dev with Some _ as d -> d | None -> t.adopt in
+         (match target with
+          | Some d ->
+            Netdev.set_mac d mac;
+            Netdev.set_ops d (make_ops t);
+            if Netstack.find_netdev t.k.Kernel.net (Netdev.name d) = None then
+              Netstack.register_netdev t.k.Kernel.net d;
+            t.dev <- Some d;
+            ignore (Sync.Waitq.broadcast t.ready : int)
+          | None ->
+            klogf t Klog.Warn
+              "sud-net(%s): adopt with no surviving netdev; awaiting fresh register" t.name)
+       | None -> ());
+      t.parked <- false;
+      t.pending_attach <- None
+    end
+  | _ -> ()
 
 let rx_validation_failures t = Sud_obs.Metrics.get t.rx_bad
 let rx_checksum_failures t = Sud_obs.Metrics.get t.rx_csum_bad
@@ -386,5 +457,7 @@ let instance t =
         (* Reattachment happens through the fresh driver's register
            downcall (possibly adopting the surviving netdev). *)
         let revive _ = ()
+        let handoff = handoff
+        let adopt = adopt
       end),
       t )

@@ -25,6 +25,7 @@ val create :
   pool:Bufpool.t ->
   name:string ->
   ?defensive_copy:bool ->
+  ?parked:bool ->
   ?adopt:Netdev.t ->
   unit ->
   t
@@ -33,7 +34,12 @@ val create :
     proxy does not create a fresh netdev at registration: it takes over
     the given one — swapping in its own ops and MAC, re-registering it
     with the stack only if it is absent — so a supervised device keeps
-    one netdev identity across driver restarts. *)
+    one netdev identity across driver restarts.
+
+    With [~parked:true] (warm standby) the registration downcall is
+    {e recorded} instead of applied: the driver initializes and reports
+    ready, but the netstack is untouched and the proxy serves no
+    datapath until {!adopt} swaps it in. *)
 
 val irq_sink : t -> queue:int -> unit
 (** Pass to {!Safe_pci.setup_irqs}: forwards queue [queue]'s interrupt
@@ -45,6 +51,24 @@ val netdev : t -> Netdev.t option
 
 val wait_ready : t -> timeout_ns:int -> Netdev.t option
 (** Block (fiber) until the driver has registered, or time out. *)
+
+val wait_registered : t -> timeout_ns:int -> bool
+(** Like {!wait_ready} but also satisfied by a {e parked} registration
+    (one recorded but not yet applied) — the warm-standby readiness
+    probe. *)
+
+type Proxy_class.state += Net_state of { dev : Netdev.t option; up : bool }
+(** The net class's handoff payload: the surviving kernel netdev (if
+    any) and its admin-up state at handoff time. *)
+
+val handoff : t -> Proxy_class.state
+(** Snapshot the kernel-facing state ({!Net_state}).  Idempotent. *)
+
+val adopt : t -> Proxy_class.state -> unit
+(** Install a handoff payload.  On a parked proxy this applies the
+    recorded registration to the surviving netdev (MAC and ops swap in;
+    identity, queues and backlog stay) and unparks the datapath.  On a
+    live proxy it is a no-op — registration already attached. *)
 
 val hung : t -> bool
 (** The proxy observed the driver failing to service upcalls. *)

@@ -22,11 +22,17 @@ let recover t =
   Klog.printk t.k.Kernel.klog Klog.Warn "shadow: restarting driver for %s (restart #%d)"
     (Bus.string_of_bdf (Driver_host.bdf t.cur))
     t.n_restarts;
+  (* Snapshot the dying generation's class state while its proxy is
+     still reachable; the fresh generation adopts it (a no-op for a
+     non-parked proxy today, but it keeps the shadow on the same
+     handoff/adopt edge the supervisor uses). *)
+  let handoff = Proxy_class.handoff (Driver_host.class_of t.cur) in
   match Driver_host.restart t.k t.sp t.cur t.drv with
   | Error e ->
     Klog.printk t.k.Kernel.klog Klog.Err "shadow: restart failed: %s" e
   | Ok fresh ->
     t.cur <- fresh;
+    Proxy_class.adopt (Driver_host.class_of fresh) handoff;
     (* Replay captured interface state. *)
     if t.want_up then
       match Netstack.ifconfig_up t.k.Kernel.net (Driver_host.netdev fresh) with

@@ -25,6 +25,7 @@ type policy = {
   flood_threshold : int;
   quota_limits : Quota.limits;
   overflow_threshold : int;
+  standby : bool;
 }
 
 let default_policy =
@@ -38,7 +39,8 @@ let default_policy =
     backlog_limit = 256;
     flood_threshold = 512;
     quota_limits = Quota.default_limits;
-    overflow_threshold = 512 }
+    overflow_threshold = 512;
+    standby = true }
 
 type state = Running | Recovering | Quarantined | Stopped
 
@@ -55,6 +57,8 @@ type stats = {
   st_last_reason : string option;
   st_last_detect_latency_ns : int;
   st_last_recovery_ns : int;
+  st_warm_swaps : int;
+  st_upgrades : int;
 }
 
 (* The class-independent view of one driver generation. *)
@@ -125,6 +129,11 @@ type t = {
   mutable base_proto : int;
   mutable last_overflow : int;
   quota : Quota.t;
+  (* Warm-standby generation: pre-forked and parked so a lethal fault
+     swaps instead of cold-starting.  None when policy.standby is off. *)
+  mutable sb : Driver_host.warm Standby.t option;
+  mutable warm_swaps : int;
+  mutable upgrades : int;
   sm : metrics;
 }
 and metrics = {
@@ -249,6 +258,8 @@ let unregister_netdev t netdev =
 let quarantine t reason =
   t.state <- Quarantined;
   Sud_obs.Metrics.incr t.sm.sm_quarantines;
+  (* No further generations will run; tear down the parked one too. *)
+  (match t.sb with Some sb -> Standby.disable sb | None -> ());
   (match t.target with
    | Tgt_net { netdev; _ } ->
      let dropped = Netdev.backlog_flush_drop netdev in
@@ -284,21 +295,100 @@ let start_generation t =
   match t.target with
   | Tgt_net { netdev; defensive; factory } ->
     (match
-       Driver_host.start_net t.k t.sp ~uid:t.uid ~defensive_copy:defensive ~name:t.name
-         ~bdf:t.bdf ~hang_timeout_ns:t.policy.hang_timeout_ns ~adopt_netdev:netdev
-         ~unregister_on_exit:false ~quota:t.quota ~epoch:(t.gen land Msg.max_epoch)
+       Driver_host.launch t.k t.sp ~uid:t.uid ~name:t.name ~bdf:t.bdf
+         ~hang_timeout_ns:t.policy.hang_timeout_ns ~quota:t.quota
+         ~epoch:(t.gen land Msg.max_epoch)
+         (Driver_host.net ~defensive_copy:defensive ~adopt_netdev:netdev
+            ~unregister_on_exit:false ())
          (factory ~attempt)
      with
      | Error e -> Error e
      | Ok s -> Ok (gen_of_net s))
   | Tgt_blk { persist; factory } ->
     (match
-       Driver_host.start_blk t.k t.sp ~uid:t.uid ~name:t.name ~bdf:t.bdf
-         ~hang_timeout_ns:t.policy.hang_timeout_ns ~adopt:persist ~quota:t.quota
-         ~epoch:(t.gen land Msg.max_epoch) (factory ~attempt)
+       Driver_host.launch t.k t.sp ~uid:t.uid ~name:t.name ~bdf:t.bdf
+         ~hang_timeout_ns:t.policy.hang_timeout_ns ~quota:t.quota
+         ~epoch:(t.gen land Msg.max_epoch)
+         (Driver_host.blk ~adopt:persist ())
+         (factory ~attempt)
      with
      | Error e -> Error e
      | Ok s -> Ok (gen_of_blk s))
+
+(* --- Warm-standby machinery -------------------------------------------- *)
+
+(* The class-agnostic snapshot of the live generation's kernel-facing
+   state, captured before the kill so the successor can adopt it.  When
+   the generation is already gone (process reaped before we got here)
+   the persistent target objects are the fallback truth. *)
+let capture_handoff t =
+  match t.cur with
+  | Some g -> Proxy_class.handoff g.g_class
+  | None ->
+    (match t.target with
+     | Tgt_net { netdev; _ } -> Proxy_net.Net_state { dev = Some netdev; up = t.was_up }
+     | Tgt_blk { persist; _ } -> Proxy_blk.Blk_state persist)
+
+(* Activate a parked generation against the persistent target: open the
+   grant (free once the dead generation is reaped), run driver init on
+   the freshly reset device, and wait for its register.  The returned
+   generation is still parked — the caller adopts the handoff state into
+   it before resuming. *)
+let activate_warm t w ~attempt =
+  match t.target with
+  | Tgt_net { netdev; defensive; factory } ->
+    (match
+       Driver_host.activate_net w ~defensive_copy:defensive ~unregister_on_exit:false
+         ~adopt:netdev (factory ~attempt)
+     with
+     | Error e -> Error e
+     | Ok s -> Ok (gen_of_net s))
+  | Tgt_blk { persist; factory } ->
+    (match Driver_host.activate_blk w ~adopt:persist (factory ~attempt) with
+     | Error e -> Error e
+     | Ok s -> Ok (gen_of_blk s))
+
+(* Claim the parked standby (if warm for this generation) and activate
+   it.  Any failure — no standby, poisoned at the swap instant, driver
+   init rejected on the reset device — falls back to the cold path. *)
+let take_warm t ~attempt =
+  match t.sb with
+  | None -> None
+  | Some sb ->
+    (match Standby.take sb ~tag:t.gen with
+     | None -> None
+     | Some w ->
+       (match activate_warm t w ~attempt with
+        | Ok g -> Some g
+        | Error e ->
+          klogf t Klog.Warn
+            "sud: supervisor(%s): warm activation failed (%s); falling back to cold restart"
+            t.name e;
+          None))
+
+(* Install a fresh generation and restore the datapath: adopt the
+   captured handoff state (a cold generation adopts too — its parked
+   flag is already clear, so this is a no-op for it), resume through the
+   unified lifecycle, reopen/replay the class's kernel-facing object,
+   and start warming the next standby.  Returns the replayed count. *)
+let swap_in t g ~handoff_state =
+  install t g;
+  Proxy_class.adopt g.g_class handoff_state;
+  Proxy_class.resume g.g_class;
+  let replayed =
+    match t.target with
+    | Tgt_net { netdev; _ } ->
+      (if t.was_up then
+         match Netstack.ifconfig_up t.k.Kernel.net netdev with
+         | Ok () -> ()
+         | Error e -> klogf t Klog.Warn "sud: supervisor(%s): reopen failed: %s" t.name e);
+      replay_backlog t netdev
+    | Tgt_blk { persist; _ } -> Proxy_blk.persist_inflight persist
+  in
+  t.state <- Running;
+  set_sysfs_state t "running";
+  (match t.sb with Some sb -> Standby.ensure sb ~tag:t.gen | None -> ());
+  replayed
 
 let recover t reason =
   let detect_t = now t in
@@ -341,6 +431,9 @@ let recover t reason =
      (* Quiesce below detaches the blkdev; requests park in its staging
         queue and are dispatched after the replay, in order. *)
      ());
+  (* Snapshot the class state while the dying generation's proxy is still
+     around: the successor (warm or cold) adopts it after activation. *)
+  let handoff_state = capture_handoff t in
   (match t.cur with
    | Some g ->
      Proxy_class.quiesce g.g_class;
@@ -357,67 +450,75 @@ let recover t reason =
     else 0
   in
   emit t Driver_killed;
-  (* Recover: restart with exponential backoff under the restart budget. *)
-  let rec attempt_start backoff_exp =
-    let n = now t in
-    let window_start = n - t.policy.restart_window_ns in
+  (* Shared bring-up tail for both the warm swap and the cold restart. *)
+  let finish g ~warm =
+    t.restarts <- t.restarts + 1;
+    Sud_obs.Metrics.incr t.sm.sm_restarts;
+    if warm then t.warm_swaps <- t.warm_swaps + 1;
+    let replayed = swap_in t g ~handoff_state in
+    let outage = now t - detect_t in
+    t.last_recovery <- outage;
+    Sud_obs.Metrics.observe t.sm.sm_outage_ns outage;
+    if sp_kill <> 0 then
+      ignore
+        (Sud_obs.Trace.emit ~parent:sp_kill ~dur_ns:outage ~cat:"sup"
+           ~name:(if warm then "swap" else "restart")
+           ~attrs:[ "driver", t.name; "gen", string_of_int t.restarts ] ());
+    t.last_ok <- now t;
+    klogf t Klog.Info
+      "sud: supervisor(%s): driver %s (gen %d) after %d us outage, %d %s replayed"
+      t.name
+      (if warm then "swapped to warm standby" else "restarted")
+      t.restarts (outage / 1_000) replayed
+      (match t.target with Tgt_net _ -> "frames" | Tgt_blk _ -> "requests");
+    emit t (Driver_restarted { restarts = t.restarts; outage_ns = outage })
+  in
+  let budget_left () =
+    let window_start = now t - t.policy.restart_window_ns in
     t.restart_times <- List.filter (fun ts -> ts >= window_start) t.restart_times;
-    if List.length t.restart_times >= t.policy.max_restarts then begin
-      if sp_kill <> 0 then
-        ignore
-          (Sud_obs.Trace.emit ~parent:sp_kill ~cat:"sup" ~name:"quarantine"
-             ~attrs:[ "driver", t.name ] ());
-      quarantine t (Printf.sprintf "restart budget exhausted (%d in window); last fault: %s"
-                      (List.length t.restart_times) reason)
-    end
-    else begin
-      t.restart_times <- n :: t.restart_times;
-      let delay =
-        min (t.policy.backoff_initial_ns * (1 lsl min backoff_exp 16)) t.policy.backoff_max_ns
-      in
-      ignore (Fiber.sleep t.k.Kernel.eng delay : Fiber.wake);
-      match start_generation t with
-      | Error e ->
-        klogf t Klog.Warn "sud: supervisor(%s): restart attempt failed: %s" t.name e;
-        attempt_start (backoff_exp + 1)
-      | Ok g ->
-        install t g;
-        t.restarts <- t.restarts + 1;
-        Sud_obs.Metrics.incr t.sm.sm_restarts;
-        (* Resume through the unified lifecycle: for blk this replays the
-           retention + in-flight sets and reattaches the blkdev; for net
-           it re-opens the admission gate (the netdev-level reopen and
-           backlog replay follow). *)
-        Proxy_class.resume g.g_class;
-        let replayed =
-          match t.target with
-          | Tgt_net { netdev; _ } ->
-            (if t.was_up then
-               match Netstack.ifconfig_up t.k.Kernel.net netdev with
-               | Ok () -> ()
-               | Error e ->
-                 klogf t Klog.Warn "sud: supervisor(%s): reopen failed: %s" t.name e);
-            replay_backlog t netdev
-          | Tgt_blk { persist; _ } -> Proxy_blk.persist_inflight persist
-        in
-        t.state <- Running;
-        set_sysfs_state t "running";
-        let outage = now t - detect_t in
-        t.last_recovery <- outage;
-        Sud_obs.Metrics.observe t.sm.sm_outage_ns outage;
+    List.length t.restart_times < t.policy.max_restarts
+  in
+  (* Warm path: swap the parked standby in with no backoff and no spawn.
+     The restart budget still applies — a crash-looper must not launder
+     its restarts through the standby. *)
+  let warmed =
+    budget_left ()
+    &&
+    match take_warm t ~attempt:(t.restarts + 1) with
+    | Some g ->
+      t.restart_times <- now t :: t.restart_times;
+      finish g ~warm:true;
+      true
+    | None -> false
+  in
+  if not warmed then begin
+    (* Cold path: restart with exponential backoff under the budget. *)
+    let rec attempt_start backoff_exp =
+      if not (budget_left ()) then begin
         if sp_kill <> 0 then
           ignore
-            (Sud_obs.Trace.emit ~parent:sp_kill ~dur_ns:outage ~cat:"sup" ~name:"restart"
-               ~attrs:[ "driver", t.name; "gen", string_of_int t.restarts ] ());
-        t.last_ok <- now t;
-        klogf t Klog.Info
-          "sud: supervisor(%s): driver restarted (gen %d) after %d us outage, %d %s replayed"
-          t.name t.restarts (outage / 1_000) replayed
-          (match t.target with Tgt_net _ -> "frames" | Tgt_blk _ -> "requests");
-        emit t (Driver_restarted { restarts = t.restarts; outage_ns = outage })
-    end
-  in
-  attempt_start 0
+            (Sud_obs.Trace.emit ~parent:sp_kill ~cat:"sup" ~name:"quarantine"
+               ~attrs:[ "driver", t.name ] ());
+        quarantine t
+          (Printf.sprintf "restart budget exhausted (%d in window); last fault: %s"
+             (List.length t.restart_times) reason)
+      end
+      else begin
+        t.restart_times <- now t :: t.restart_times;
+        let delay =
+          min (t.policy.backoff_initial_ns * (1 lsl min backoff_exp 16))
+            t.policy.backoff_max_ns
+        in
+        ignore (Fiber.sleep t.k.Kernel.eng delay : Fiber.wake);
+        match start_generation t with
+        | Error e ->
+          klogf t Klog.Warn "sud: supervisor(%s): restart attempt failed: %s" t.name e;
+          attempt_start (backoff_exp + 1)
+        | Ok g -> finish g ~warm:false
+      end
+    in
+    attempt_start 0
+  end
 
 let rec watchdog t () =
   match t.state with
@@ -427,10 +528,146 @@ let rec watchdog t () =
     (match t.state with
      | Running ->
        (match health_check t with
-        | None -> t.last_ok <- now t
+        | None ->
+          t.last_ok <- now t;
+          (* Converge the standby each healthy tick: a stale or poisoned
+             parked generation is discarded and a fresh one warmed. *)
+          (match t.sb with Some sb -> Standby.ensure sb ~tag:t.gen | None -> ())
         | Some reason -> recover t reason)
      | Recovering | Quarantined | Stopped -> ());
     watchdog t ()
+
+(* --- Live upgrade / forced failover ------------------------------------ *)
+
+(* Wait (bounded) for a warm standby to be parked Ready for the current
+   generation.  Returns false on timeout or when warming is disabled. *)
+let wait_standby_ready t ~timeout_ns =
+  match t.sb with
+  | None -> false
+  | Some sb ->
+    Standby.ensure sb ~tag:t.gen;
+    let deadline = now t + timeout_ns in
+    let rec poll () =
+      match Standby.status sb with
+      | Standby.Ready -> true
+      | Standby.Disabled -> false
+      | Standby.Idle | Standby.Warming ->
+        if now t >= deadline then false
+        else begin
+          ignore (Fiber.sleep t.k.Kernel.eng 1_000_000 : Fiber.wake);
+          poll ()
+        end
+    in
+    poll ()
+
+(* Live upgrade: quiesce the running generation, drain its in-flight
+   work to a barrier, hand the class state to the warm standby and
+   resume — the planned twin of the fault path, sharing swap_in.  Not a
+   detection: no fault counters move and no restart budget is consumed.
+   If the primary dies mid-drain (double failover) the swap proceeds —
+   the undrained in-flight set replays through resume, same as a crash.
+   A standby lost at the swap instant (poisoned) is never installed;
+   the upgrade falls back to a cold start of the new generation. *)
+let upgrade t =
+  match t.state with
+  | Quarantined -> Error "driver is quarantined"
+  | Stopped -> Error "supervisor is stopped"
+  | Recovering -> Error "driver is recovering"
+  | Running ->
+    if t.sb = None then Error "warm standby disabled by policy"
+    else if not (wait_standby_ready t ~timeout_ns:1_000_000_000) then
+      Error "no warm standby became ready"
+    else begin
+      let t0 = now t in
+      t.state <- Recovering;
+      set_sysfs_state t "upgrading";
+      klogf t Klog.Info "sud: supervisor(%s): live upgrade: draining generation %d" t.name
+        t.restarts;
+      (* Contain exactly like a recovery: stop feeding the old
+         generation, degrade the kernel-facing object. *)
+      (match t.target with
+       | Tgt_net { netdev; _ } ->
+         t.was_up <- Netdev.is_up netdev;
+         Netdev.netif_carrier_off netdev;
+         Netdev.set_ops netdev (backlog_ops t netdev);
+         Netdev.netif_tx_wake_all_queues netdev
+       | Tgt_blk _ -> ());
+      (match t.cur with
+       | Some g -> Proxy_class.quiesce g.g_class
+       | None -> ());
+      (* Drain in-flight block requests to a barrier so the handoff is
+         clean; escape if the primary dies under us or the drain stalls
+         (whatever remains replays in tag order on resume). *)
+      (match t.target with
+       | Tgt_blk { persist; _ } ->
+         let deadline = now t + 200_000_000 in
+         let rec drain () =
+           if Proxy_blk.persist_inflight persist > 0 && now t < deadline then
+             match t.cur with
+             | Some g when Process.is_alive g.g_proc ->
+               ignore (Fiber.sleep t.k.Kernel.eng 200_000 : Fiber.wake);
+               drain ()
+             | Some _ | None ->
+               klogf t Klog.Warn
+                 "sud: supervisor(%s): primary died during upgrade drain; double failover"
+                 t.name
+         in
+         drain ()
+       | Tgt_net _ -> ());
+      let handoff_state = capture_handoff t in
+      (match t.cur with
+       | Some g ->
+         Process.kill g.g_proc;
+         t.cur <- None
+       | None -> ());
+      (match Safe_pci.reset_device t.sp t.bdf with
+       | Ok () -> ()
+       | Error e -> klogf t Klog.Warn "sud: supervisor(%s): reset failed: %s" t.name e);
+      let attempt = t.restarts + t.upgrades + 1 in
+      let installed =
+        match take_warm t ~attempt with
+        | Some g ->
+          ignore (swap_in t g ~handoff_state : int);
+          true
+        | None ->
+          (* Standby evaporated between the readiness check and the swap
+             (e.g. poisoned while draining): cold-start the new
+             generation rather than leaving the device dead. *)
+          (match start_generation t with
+           | Ok g ->
+             ignore (swap_in t g ~handoff_state : int);
+             true
+           | Error e ->
+             klogf t Klog.Err "sud: supervisor(%s): upgrade failed cold too: %s" t.name e;
+             false)
+      in
+      if installed then begin
+        t.upgrades <- t.upgrades + 1;
+        t.last_ok <- now t;
+        klogf t Klog.Info "sud: supervisor(%s): live upgrade complete (gen %d, %d upgrades)"
+          t.name t.restarts t.upgrades;
+        emit t (Driver_restarted { restarts = t.restarts; outage_ns = now t - t0 });
+        Ok ()
+      end
+      else begin
+        quarantine t "upgrade failed: no standby and cold start failed";
+        Error "upgrade failed: no generation could be started"
+      end
+    end
+
+(* Operator-forced failover: exercise the exact fault path (detection,
+   kill, FLR, warm swap) on demand — the fire drill for the standby. *)
+let failover t =
+  match t.state with
+  | Quarantined -> Error "driver is quarantined"
+  | Stopped -> Error "supervisor is stopped"
+  | Recovering -> Error "driver is recovering"
+  | Running ->
+    recover t "administrative failover";
+    (match t.state with
+     | Running -> Ok ()
+     | Quarantined -> Error "failover exhausted the restart budget; quarantined"
+     | Recovering | Stopped -> Error "failover did not restore the driver")
 
 let make t0_target k sp ~policy ~uid ~name ~bdf ~quota g =
   let t =
@@ -461,6 +698,9 @@ let make t0_target k sp ~policy ~uid ~name ~bdf ~quota g =
       base_proto = 0;
       last_overflow = 0;
       quota;
+      sb = None;
+      warm_swaps = 0;
+      upgrades = 0;
       sm =
         (let labels = [ "driver", name ] in
          let c n = Sud_obs.Metrics.counter ~labels ~subsystem:"supervisor" ~name:n () in
@@ -471,8 +711,45 @@ let make t0_target k sp ~policy ~uid ~name ~bdf ~quota g =
            sm_detect_ns = h "detect_latency_ns";
            sm_outage_ns = h "outage_ns" }) }
   in
+  if policy.standby then begin
+    (* The standby generation: process forked, rings allocated and
+       charged to the same quota ledger, parked before attach.  The
+       grant/DMA pool/driver init are deferred to activation — the
+       device has one grant and a reset-on-open, so the parked twin
+       must not touch it while the primary owns it. *)
+    let warm ~tag =
+      (* Mirror the live generation's ring geometry: the swapped-in
+         driver must see the same queue count (and thus the same MSI-X
+         vector layout) the datapath negotiated. *)
+      let queues =
+        match t.cur with
+        | Some { g_net = Some s; _ } -> Driver_host.queues s
+        | Some { g_blk = Some s; _ } -> Driver_host.blk_queues s
+        | Some { g_net = None; g_blk = None; _ } | None -> 1
+      in
+      Driver_host.prefork t.k t.sp ~uid:t.uid ~name:t.name ~bdf:t.bdf
+        ~hang_timeout_ns:t.policy.hang_timeout_ns ~queues ~quota:t.quota
+        ~epoch:(tag land Msg.max_epoch) ()
+    in
+    let probe w =
+      let proc = Driver_host.warm_proc w in
+      let chan = Driver_host.warm_chan w in
+      if not (Process.is_alive proc) then Some "standby process died"
+      else if Uchan.is_closed chan then Some "standby uchan closed"
+      else if Uchan.proto_violations chan > 0 then Some "standby protocol violation"
+      else if
+        Sud_obs.Metrics.get (Uchan.metrics chan).Uchan.um_malformed > 0
+      then Some "standby sent malformed message"
+      else None
+    in
+    let sb = Standby.create k ~name ~warm ~probe ~discard:Driver_host.discard_warm () in
+    Standby.set_on_ready sb (fun () ->
+        if t.state = Running then set_sysfs_state t "standby_ready");
+    t.sb <- Some sb
+  end;
   install t g;
   set_sysfs_state t "running";
+  (match t.sb with Some sb -> Standby.ensure sb ~tag:t.gen | None -> ());
   ignore
     (Process.spawn_fiber (Process.kernel_process k.Kernel.procs)
        ~name:("supervisor:" ^ name) (watchdog t)
@@ -485,8 +762,9 @@ let start k sp ?(policy = default_policy) ?(uid = 1000) ?(defensive_copy = true)
   let name = Option.value ~default:drv.Driver_api.nd_name name in
   let quota = Quota.create k.Kernel.eng ~limits:policy.quota_limits ~name () in
   match
-    Driver_host.start_net k sp ~uid ~defensive_copy ~name ~bdf
-      ~hang_timeout_ns:policy.hang_timeout_ns ~unregister_on_exit:false ~quota ~epoch:0
+    Driver_host.launch k sp ~uid ~name ~bdf ~hang_timeout_ns:policy.hang_timeout_ns
+      ~quota ~epoch:0
+      (Driver_host.net ~defensive_copy ~unregister_on_exit:false ())
       drv
   with
   | Error e -> Error e
@@ -502,8 +780,10 @@ let start_blk k sp ?(policy = default_policy) ?(uid = 1000) ?name ~bdf factory =
   let quota = Quota.create k.Kernel.eng ~limits:policy.quota_limits ~name () in
   let persist = Proxy_blk.persist_create () in
   match
-    Driver_host.start_blk k sp ~uid ~name ~bdf ~hang_timeout_ns:policy.hang_timeout_ns
-      ~adopt:persist ~quota ~epoch:0 drv
+    Driver_host.launch k sp ~uid ~name ~bdf ~hang_timeout_ns:policy.hang_timeout_ns
+      ~quota ~epoch:0
+      (Driver_host.blk ~adopt:persist ())
+      drv
   with
   | Error e -> Error e
   | Ok s ->
@@ -515,6 +795,7 @@ let stop t =
   | Stopped | Quarantined -> ()
   | Running | Recovering ->
     t.state <- Stopped;
+    (match t.sb with Some sb -> Standby.disable sb | None -> ());
     (match t.cur with
      | Some g ->
        (* Quiesce-then-kill: an administrative stop goes through the same
@@ -552,6 +833,20 @@ let grant t = Option.map (fun g -> g.g_grant) t.cur
 let class_of t = Option.map (fun g -> g.g_class) t.cur
 let quota t = t.quota
 
+let standby_status t =
+  match t.sb with
+  | Some sb -> Standby.status sb
+  | None -> Standby.Disabled
+
+let standby_stats t =
+  match t.sb with
+  | Some sb -> Standby.stats sb
+  | None -> (0, 0)
+
+let standby_proc t = Option.map Driver_host.warm_proc (Option.bind t.sb Standby.peek)
+let warm_swaps t = t.warm_swaps
+let upgrades t = t.upgrades
+
 let metrics t = t.sm
 
 let stats t =
@@ -560,4 +855,6 @@ let stats t =
     st_detections = t.detections;
     st_last_reason = t.last_reason;
     st_last_detect_latency_ns = t.last_detect_latency;
-    st_last_recovery_ns = t.last_recovery }
+    st_last_recovery_ns = t.last_recovery;
+    st_warm_swaps = t.warm_swaps;
+    st_upgrades = t.upgrades }

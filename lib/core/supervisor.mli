@@ -50,13 +50,18 @@ type policy = {
   overflow_threshold : int;
       (** notification-kick token-bucket overflows per tick treated as a
           doorbell flood *)
+  standby : bool;
+      (** keep a warm standby generation parked (process forked, rings
+          allocated and charged to the same quota ledger) so a lethal
+          fault swaps instead of cold-starting, and {!upgrade} is
+          possible *)
 }
 
 val default_policy : policy
 (** 5 ms tick, heartbeat on, 20 ms hang timeout, 2 ms initial backoff
     capped at 200 ms, 5 restarts per 2 s window, 256-frame backlog,
     flood at 512 drops/tick, {!Quota.default_limits}, overflow at 512
-    per tick. *)
+    per tick, warm standby on. *)
 
 type state = Running | Recovering | Quarantined | Stopped
 
@@ -78,6 +83,8 @@ type stats = {
   st_last_detect_latency_ns : int;
       (** detection instant − last instant every check passed *)
   st_last_recovery_ns : int;  (** outage of the most recent recovery *)
+  st_warm_swaps : int;  (** recoveries served by the warm standby *)
+  st_upgrades : int;  (** completed live upgrades *)
 }
 
 type t
@@ -114,9 +121,29 @@ val start_blk :
     staged ones — the crash-consistency story. *)
 
 val stop : t -> unit
-(** Administrative stop: quiesce then kill the current driver,
-    unregister the netdev (net targets), end the watchdog.  No
-    restart. *)
+(** Administrative stop: quiesce then kill the current driver, discard
+    the warm standby, unregister the netdev (net targets), end the
+    watchdog.  No restart. *)
+
+val upgrade : t -> (unit, string) result
+(** Zero-loss live upgrade: wait (bounded) for a warm standby, quiesce
+    the running generation, drain its in-flight work to a barrier, hand
+    the class state (netdev identity / blk persist record) to the
+    standby, and resume.  No acked write is lost and no frame is
+    reordered within a flow across the swap.  Not a detection: fault
+    counters and the restart budget are untouched; the sysfs [sud_state]
+    reads ["upgrading"] for the duration.  If the primary dies mid-drain
+    the swap proceeds (double failover) and the undrained in-flight set
+    replays in tag order.  A standby found poisoned at the swap instant
+    is discarded — never installed — and the upgrade falls back to a
+    cold start of the new generation.  [Error] when not Running, when
+    warming is disabled by policy, or when no standby becomes ready. *)
+
+val failover : t -> (unit, string) result
+(** Operator-forced failover: run the exact fault path — detection
+    (reason ["administrative failover"]), kill, FLR, warm swap — on
+    demand.  The fire drill for the standby machinery.  Counts as a
+    detection and consumes restart budget, exactly like a real fault. *)
 
 val state : t -> state
 val netdev : t -> Netdev.t
@@ -143,7 +170,27 @@ val class_of : t -> Proxy_class.instance option
 
 val quota : t -> Quota.t
 (** The driver's resource ledger — one per supervised device, shared by
-    every generation (restarting does not launder the footprint). *)
+    every generation (restarting does not launder the footprint).  The
+    warm standby's rings are charged here too, so primary + standby must
+    fit the same limits. *)
+
+val standby_status : t -> Standby.status
+(** [Disabled] when the policy turned warming off (or after quarantine/
+    stop); otherwise the parked generation's state. *)
+
+val standby_stats : t -> int * int
+(** [(warmed, poisoned)]: generations parked Ready, and generations
+    discarded because they died or misbehaved while parked. *)
+
+val standby_proc : t -> Process.t option
+(** The parked standby's driver process, when Ready.  Fault injection
+    kills it through this to poison the standby. *)
+
+val warm_swaps : t -> int
+(** Recoveries that swapped the warm standby in instead of cold-starting. *)
+
+val upgrades : t -> int
+(** Completed live upgrades. *)
 
 val on_event : t -> (event -> unit) -> unit
 (** Subscribe to lifecycle events (delivered synchronously, in

@@ -151,3 +151,180 @@ let trace_smoke ~out =
     ts_chain = trace_chain;
     ts_chain_found = List.length spans = n && Sud_obs.Trace.chain_exists spans trace_chain;
     ts_out = out }
+
+(* sudctl driver {list,status,upgrade,failover} *)
+
+let standby_name st = Standby.status_name st
+
+type driver_row = {
+  dv_name : string;
+  dv_class : string;
+  dv_state : string;
+  dv_standby : string;
+  dv_restarts : int;
+  dv_upgrades : int;
+}
+
+let warm = Fault_inject.warm_policy ~max_restarts:10
+
+let row ~cls sv =
+  { dv_name = Supervisor.name sv;
+    dv_class = cls;
+    dv_state = state_name (Supervisor.state sv);
+    dv_standby = standby_name (Supervisor.standby_status sv);
+    dv_restarts = (Supervisor.stats sv).Supervisor.st_restarts;
+    dv_upgrades = Supervisor.upgrades sv }
+
+let driver_list () =
+  let w = Fault_inject.make_blk_world () in
+  Fault_inject.in_blk_world ~max_ms:5_000 w (fun () ->
+      let k = w.Fault_inject.bw_k in
+      let eng = w.Fault_inject.bw_eng in
+      (* One device of each class behind the same class-indexed launch
+         path: the listing is the API's sales pitch. *)
+      let medium = Net_medium.create eng () in
+      let nic =
+        E1000_dev.create eng ~mac:(Skbuff.Mac.of_string "52:54:00:00:00:01") ~medium ()
+      in
+      let nbdf = Kernel.attach_pci k (E1000_dev.device nic) in
+      let sv_net =
+        ok "supervise e1000"
+          (Supervisor.start k w.Fault_inject.bw_sp ~policy:warm ~bdf:nbdf
+             (fun ~attempt:_ -> E1000.driver))
+      in
+      let sv_blk =
+        ok "supervise nvme"
+          (Supervisor.start_blk k w.Fault_inject.bw_sp ~policy:warm
+             ~bdf:w.Fault_inject.bw_bdf Fault_inject.honest_blk_factory)
+      in
+      (* Give both watchdogs a tick so the standbys park. *)
+      ignore (Fault_inject.wait_standby_ready ~eng sv_net ~budget_ms:2_000 : bool);
+      ignore (Fault_inject.wait_standby_ready ~eng sv_blk ~budget_ms:2_000 : bool);
+      let rows = [ row ~cls:"net" sv_net; row ~cls:"blk" sv_blk ] in
+      Supervisor.stop sv_net;
+      Supervisor.stop sv_blk;
+      rows)
+
+type driver_status = {
+  ds_name : string;
+  ds_class : string;
+  ds_state : string;
+  ds_sysfs_state : string;
+  ds_standby : string;
+  ds_warmed : int;  (** standby generations parked Ready so far *)
+  ds_poisoned : int;  (** standbys discarded as poisoned *)
+  ds_restarts : int;
+  ds_warm_swaps : int;
+  ds_upgrades : int;
+  ds_detections : int;
+}
+
+let sysfs_state k bdf =
+  match Sysfs.find_bdf k.Kernel.sysfs bdf with
+  | Some e -> Option.value ~default:"" (Sysfs.attr e "sud_state")
+  | None -> ""
+
+let driver_status () =
+  let w = Fault_inject.make_blk_world () in
+  Fault_inject.in_blk_world ~max_ms:5_000 w (fun () ->
+      let k = w.Fault_inject.bw_k in
+      let sv =
+        ok "supervise nvme"
+          (Supervisor.start_blk k w.Fault_inject.bw_sp ~policy:warm
+             ~bdf:w.Fault_inject.bw_bdf Fault_inject.honest_blk_factory)
+      in
+      ignore
+        (Fault_inject.wait_standby_ready ~eng:w.Fault_inject.bw_eng sv ~budget_ms:2_000
+         : bool);
+      let st = Supervisor.stats sv in
+      let warmed, poisoned = Supervisor.standby_stats sv in
+      let r =
+        { ds_name = Supervisor.name sv;
+          ds_class = "blk";
+          ds_state = state_name st.Supervisor.st_state;
+          ds_sysfs_state = sysfs_state k w.Fault_inject.bw_bdf;
+          ds_standby = standby_name (Supervisor.standby_status sv);
+          ds_warmed = warmed;
+          ds_poisoned = poisoned;
+          ds_restarts = st.Supervisor.st_restarts;
+          ds_warm_swaps = st.Supervisor.st_warm_swaps;
+          ds_upgrades = st.Supervisor.st_upgrades;
+          ds_detections = st.Supervisor.st_detections }
+      in
+      Supervisor.stop sv;
+      r)
+
+type swap_report = {
+  sw_op : string;  (** ["upgrade"] or ["failover"] *)
+  sw_ok : bool;
+  sw_error : string option;
+  sw_outage_us : int;  (** from the op's [Driver_restarted] event *)
+  sw_warm_swaps : int;
+  sw_upgrades : int;
+  sw_pages_intact : int;  (** pre-swap fsynced pages that read back intact *)
+  sw_io_errors : int;
+  sw_state : string;
+  sw_sysfs_state : string;
+}
+
+(* Shared shape of `driver upgrade` and `driver failover`: dirty and
+   fsync a working set, swap generations, and prove the acked data and
+   the datapath both survived. *)
+let swap_probe ~op doit =
+  let w = Fault_inject.make_blk_world () in
+  Fault_inject.in_blk_world ~max_ms:10_000 w (fun () ->
+      let k = w.Fault_inject.bw_k in
+      let eng = w.Fault_inject.bw_eng in
+      let sv =
+        ok "supervise nvme"
+          (Supervisor.start_blk k w.Fault_inject.bw_sp ~policy:warm
+             ~bdf:w.Fault_inject.bw_bdf Fault_inject.honest_blk_factory)
+      in
+      let bd =
+        match Supervisor.blkdev sv with
+        | Some bd -> bd
+        | None -> failwith (op ^ ": no block device registered")
+      in
+      let errors = ref 0 in
+      let page i = Bytes.make Blkdev.page_size (Char.chr (0x40 + (i land 0x1f))) in
+      for i = 0 to probe_pages - 1 do
+        match Blkdev.write bd ~lba:(i * Blkdev.page_sectors) (page i) () with
+        | Ok () -> ()
+        | Error _ -> incr errors
+      done;
+      (match Blkdev.fsync bd () with Ok () -> () | Error _ -> incr errors);
+      ignore (Fault_inject.wait_standby_ready ~eng sv ~budget_ms:2_000 : bool);
+      let outage = ref 0 in
+      Supervisor.on_event sv (function
+          | Supervisor.Driver_restarted { outage_ns; _ } when !outage = 0 ->
+            outage := outage_ns
+          | _ -> ());
+      let result = doit sv in
+      ignore (Fault_inject.wait_running ~eng sv ~budget_ms:5_000 : bool);
+      let intact = ref 0 in
+      for i = 0 to probe_pages - 1 do
+        match Blkdev.read bd ~lba:(i * Blkdev.page_sectors) ~sectors:Blkdev.page_sectors () with
+        | Ok data when data = page i -> incr intact
+        | Ok _ | Error _ -> incr errors
+      done;
+      (match Blkdev.write_fua bd ~lba:0 (page 0) () with
+       | Ok () -> ()
+       | Error _ -> incr errors);
+      let st = Supervisor.stats sv in
+      let r =
+        { sw_op = op;
+          sw_ok = (match result with Ok () -> true | Error _ -> false);
+          sw_error = (match result with Ok () -> None | Error e -> Some e);
+          sw_outage_us = !outage / 1_000;
+          sw_warm_swaps = st.Supervisor.st_warm_swaps;
+          sw_upgrades = st.Supervisor.st_upgrades;
+          sw_pages_intact = !intact;
+          sw_io_errors = !errors;
+          sw_state = state_name st.Supervisor.st_state;
+          sw_sysfs_state = sysfs_state k w.Fault_inject.bw_bdf }
+      in
+      Supervisor.stop sv;
+      r)
+
+let driver_upgrade () = swap_probe ~op:"upgrade" Supervisor.upgrade
+let driver_failover () = swap_probe ~op:"failover" Supervisor.failover

@@ -54,3 +54,63 @@ val trace_smoke : out:string -> trace_report
     [out] as JSONL, parse it back, and verify the
     uchan rpc → iommu fault → supervisor detect → kill → restart causal
     chain survives the round-trip.  [ts_chain_found] is the gate. *)
+
+(** {1 sudctl driver} *)
+
+type driver_row = {
+  dv_name : string;
+  dv_class : string;  (** ["net"] or ["blk"] *)
+  dv_state : string;
+  dv_standby : string;  (** {!Standby.status_name} of the parked slot *)
+  dv_restarts : int;
+  dv_upgrades : int;
+}
+
+val driver_list : unit -> driver_row list
+(** Boot one world with a supervised e1000 and a supervised NVMe —
+    both behind the class-indexed {!Driver_host.launch} path, both with
+    a warm standby — wait for the standbys to park, and list them the
+    way [sudctl driver list] prints it. *)
+
+type driver_status = {
+  ds_name : string;
+  ds_class : string;
+  ds_state : string;
+  ds_sysfs_state : string;  (** the device's [sud_state] attribute *)
+  ds_standby : string;
+  ds_warmed : int;  (** standby generations parked Ready so far *)
+  ds_poisoned : int;  (** standbys discarded as poisoned *)
+  ds_restarts : int;
+  ds_warm_swaps : int;
+  ds_upgrades : int;
+  ds_detections : int;
+}
+
+val driver_status : unit -> driver_status
+(** Supervise an NVMe with the warm policy, wait for the standby to
+    park, and snapshot the generation machinery — including the sysfs
+    [sud_state], which must read ["standby_ready"] on a healthy idle
+    driver. *)
+
+type swap_report = {
+  sw_op : string;  (** ["upgrade"] or ["failover"] *)
+  sw_ok : bool;
+  sw_error : string option;
+  sw_outage_us : int;  (** from the op's [Driver_restarted] event *)
+  sw_warm_swaps : int;
+  sw_upgrades : int;
+  sw_pages_intact : int;  (** pre-swap fsynced pages that read back intact *)
+  sw_io_errors : int;
+  sw_state : string;
+  sw_sysfs_state : string;
+}
+
+val driver_upgrade : unit -> swap_report
+(** [sudctl driver upgrade]: dirty and fsync a working set, run
+    {!Supervisor.upgrade}, and prove zero loss — every pre-swap page
+    reads back intact and the datapath still serves writes. *)
+
+val driver_failover : unit -> swap_report
+(** [sudctl driver failover]: same probe around
+    {!Supervisor.failover} — the operator fire drill through the real
+    fault path; the swap must be served by the warm standby. *)

@@ -1,7 +1,7 @@
 (** The e1000 Gigabit Ethernet driver, written once against
     {!Driver_api} and runnable unmodified either in-kernel
     ({!Native_net.attach}) or as an untrusted SUD process
-    ({!Driver_host.start_net}) — the paper's e1000e.
+    ({!Driver_host.launch} with the net class) — the paper's e1000e.
 
     Faithful to the real driver where it matters to SUD:
     - descriptor rings and packet buffers allocated from DMA-capable

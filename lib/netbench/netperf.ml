@@ -60,8 +60,8 @@ let make_rig ?cost_model ?(defensive_copy = true) ?iommu_mode ?(queues = 1) ?(pe
              let sp = Safe_pci.init dut in
              let s =
                fail_on_error "dut sud start"
-                 (Driver_host.start_net dut sp ~bdf:bdf_dut ~name:"eth0" ~defensive_copy
-                    E1000.driver)
+                 (Driver_host.launch dut sp ~bdf:bdf_dut ~name:"eth0"
+                    (Driver_host.net ~defensive_copy ()) E1000.driver)
              in
              (Driver_host.netdev s, Some s)
          in

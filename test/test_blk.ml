@@ -34,7 +34,7 @@ let check_media_page nvme ~lba data what =
 (* Hosted driver registers; write -> cache, fsync -> media, read back. *)
 let test_smoke () =
   run_in_kernel setup_nvme (fun k w ->
-      let s = ok_or_fail "start_blk" (Driver_host.start_blk k w.sp ~bdf:w.bdf Nvme.driver) in
+      let s = ok_or_fail "start_blk" (Driver_host.launch k w.sp (Driver_host.blk ()) ~bdf:w.bdf Nvme.driver) in
       let bd = Driver_host.blk_blkdev s in
       Alcotest.(check int) "capacity" (Nvme_dev.capacity w.nvme) (Blkdev.capacity bd);
       Alcotest.(check bool) "registered in the kernel table" true
@@ -58,7 +58,7 @@ let test_smoke () =
 (* FUA write-through: durable without any flush. *)
 let test_fua () =
   run_in_kernel setup_nvme (fun k w ->
-      let s = ok_or_fail "start_blk" (Driver_host.start_blk k w.sp ~bdf:w.bdf Nvme.driver) in
+      let s = ok_or_fail "start_blk" (Driver_host.launch k w.sp (Driver_host.blk ()) ~bdf:w.bdf Nvme.driver) in
       let bd = Driver_host.blk_blkdev s in
       let data = page ~seed:7 in
       ok_or_fail "write_fua" (Blkdev.write_fua bd ~lba:16 data ());

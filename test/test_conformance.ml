@@ -31,14 +31,33 @@ let exercise what (inst : Proxy_class.instance) =
   Proxy_class.resume inst;
   Alcotest.(check bool) (what ^ ": not hung after quiesce/resume") false
     (Proxy_class.hung inst);
-  heartbeat_ok (what ^ " (after cycle)") inst
+  heartbeat_ok (what ^ " (after cycle)") inst;
+  (* Generation handoff is part of the same contract: capturing the
+     class state is read-only (calling it twice must not perturb the
+     instance), every class has state to hand off, and adopting a
+     captured state back after a quiesce must leave the instance
+     healthy — the per-class datapath probes that follow [exercise]
+     then prove it still serves. *)
+  let h1 = Proxy_class.handoff inst in
+  let h2 = Proxy_class.handoff inst in
+  Alcotest.(check bool) (what ^ ": handoff produces class state") false
+    (h1 == Proxy_class.No_state || h2 == Proxy_class.No_state);
+  Alcotest.(check bool) (what ^ ": not hung after double handoff") false
+    (Proxy_class.hung inst);
+  heartbeat_ok (what ^ " (after handoff)") inst;
+  Proxy_class.quiesce inst;
+  Proxy_class.adopt inst h2;
+  Proxy_class.resume inst;
+  Alcotest.(check bool) (what ^ ": not hung after adopt") false
+    (Proxy_class.hung inst);
+  heartbeat_ok (what ^ " (after adopt)") inst
 
 let test_net () =
   run_in_kernel setup_duo (fun k d ->
       let sp = Safe_pci.init k in
       let s =
         ok_or_fail "start e1000"
-          (Driver_host.start_net k sp ~bdf:d.bdf_a ~name:"eth0" E1000.driver)
+          (Driver_host.launch k sp (Driver_host.net ()) ~bdf:d.bdf_a ~name:"eth0" E1000.driver)
       in
       let inst = Driver_host.class_of s in
       Alcotest.(check string) "class" "net" (Proxy_class.class_name inst);
@@ -72,7 +91,7 @@ let test_wifi () =
        Kernel.attach_pci k (Wifi_dev.device wifi))
     (fun k bdf ->
        let sp = Safe_pci.init k in
-       let s = ok_or_fail "start iwl" (Driver_host.start_wifi k sp ~bdf Iwl.driver) in
+       let s = ok_or_fail "start iwl" (Driver_host.launch k sp Driver_host.wifi ~bdf Iwl.driver) in
        let inst = Proxy_wifi.instance (Driver_host.wifi_proxy s) in
        Alcotest.(check string) "class" "wifi" (Proxy_class.class_name inst);
        exercise "wifi" inst;
@@ -88,7 +107,7 @@ let test_audio () =
        Kernel.attach_pci k (Hda_dev.device hda))
     (fun k bdf ->
        let sp = Safe_pci.init k in
-       let s = ok_or_fail "start hda" (Driver_host.start_audio k sp ~bdf Hda.driver) in
+       let s = ok_or_fail "start hda" (Driver_host.launch k sp Driver_host.audio ~bdf Hda.driver) in
        let inst = Proxy_audio.instance (Driver_host.audio_proxy s) in
        Alcotest.(check string) "class" "audio" (Proxy_class.class_name inst);
        exercise "audio" inst;
@@ -107,8 +126,10 @@ let test_usb () =
        let sp = Safe_pci.init k in
        let s =
          ok_or_fail "start ehci"
-           (Driver_host.start_usb k sp ~bdf ~bind_storage:Ehci.bind_storage
-              ~bind_keyboard:Ehci.poll_keyboard Ehci.driver)
+           (Driver_host.launch k sp ~bdf
+              (Driver_host.usb ~bind_storage:Ehci.bind_storage
+                 ~bind_keyboard:Ehci.poll_keyboard)
+              Ehci.driver)
        in
        let proxy = Driver_host.usb_proxy s in
        (match Proxy_usb.wait_block proxy ~timeout_ns:2_000_000_000 with
@@ -130,7 +151,7 @@ let setup_nvme (k : Kernel.t) =
 
 let test_blk () =
   run_in_kernel setup_nvme (fun k (nvme, bdf, sp) ->
-      let s = ok_or_fail "start_blk" (Driver_host.start_blk k sp ~bdf Nvme.driver) in
+      let s = ok_or_fail "start_blk" (Driver_host.launch k sp (Driver_host.blk ()) ~bdf Nvme.driver) in
       let inst = Driver_host.blk_class s in
       Alcotest.(check string) "class" "blk" (Proxy_class.class_name inst);
       exercise "blk" inst;

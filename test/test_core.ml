@@ -253,7 +253,7 @@ let test_driver_restart_host () =
   run_in_kernel setup_duo (fun k duo ->
       let sp = Safe_pci.init k in
       let s1 =
-        ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
+        ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
       in
       ok_or_fail "up" (Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s1));
       let pid1 = Process.pid (Driver_host.proc s1) in
@@ -315,7 +315,7 @@ let test_shadow_recovery () =
   run_in_kernel setup_duo (fun k duo ->
       let sp = Safe_pci.init k in
       let s =
-        ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
+        ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
       in
       ok_or_fail "up" (Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s));
       let shadow = Shadow.watch k sp ~poll_ms:5 s E1000.driver in
@@ -350,7 +350,7 @@ let test_xmit_from_atomic_context () =
   run_in_kernel setup_duo (fun k duo ->
       let sp = Safe_pci.init k in
       let s =
-        ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
+        ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
       in
       let dev = Driver_host.netdev s in
       ok_or_fail "up" (Netstack.ifconfig_up k.Kernel.net dev);

@@ -15,7 +15,7 @@ let test_ne2k_sud () =
     (fun k (bdf_a, bdf_b) ->
        let sp = Safe_pci.init k in
        let started =
-         ok_or_fail "start ne2k" (Driver_host.start_net k sp ~bdf:bdf_a ~name:"eth0" Ne2k.driver)
+         ok_or_fail "start ne2k" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:bdf_a ~name:"eth0" Ne2k.driver)
        in
        let dev_a = Driver_host.netdev started in
        Alcotest.(check bytes) "PROM MAC" mac_a (Netdev.mac dev_a);
@@ -57,7 +57,7 @@ let test_wifi_sud () =
        (wifi, bdf))
     (fun k (wifi, bdf) ->
        let sp = Safe_pci.init k in
-       let s = ok_or_fail "start iwl" (Driver_host.start_wifi k sp ~bdf Iwl.driver) in
+       let s = ok_or_fail "start iwl" (Driver_host.launch k sp Driver_host.wifi ~bdf Iwl.driver) in
        let proxy = Driver_host.wifi_proxy s in
        ok_or_fail "up" (Netstack.ifconfig_up k.Kernel.net (Driver_host.wifi_netdev s));
        (* Mirrored state answers without an upcall, even in atomic context
@@ -88,7 +88,7 @@ let test_audio_sud () =
        (hda, bdf))
     (fun k (hda, bdf) ->
        let sp = Safe_pci.init k in
-       let s = ok_or_fail "start hda" (Driver_host.start_audio k sp ~bdf Hda.driver) in
+       let s = ok_or_fail "start hda" (Driver_host.launch k sp Driver_host.audio ~bdf Hda.driver) in
        let proxy = Driver_host.audio_proxy s in
        ok_or_fail "set volume" (Proxy_audio.set_volume proxy 42);
        Alcotest.(check int) "volume round trip" 42
@@ -132,8 +132,10 @@ let test_usb_storage_sud () =
        let sp = Safe_pci.init k in
        let s =
          ok_or_fail "start ehci"
-           (Driver_host.start_usb k sp ~bdf ~bind_storage:Ehci.bind_storage
-              ~bind_keyboard:Ehci.poll_keyboard Ehci.driver)
+           (Driver_host.launch k sp ~bdf
+              (Driver_host.usb ~bind_storage:Ehci.bind_storage
+                 ~bind_keyboard:Ehci.poll_keyboard)
+              Ehci.driver)
        in
        let proxy = Driver_host.usb_proxy s in
        let keys = ref [] in
@@ -172,8 +174,10 @@ let test_uhci_storage_sud () =
        let sp = Safe_pci.init k in
        let s =
          ok_or_fail "start uhci"
-           (Driver_host.start_usb k sp ~bdf ~bind_storage:Ehci.bind_storage
-              ~bind_keyboard:Ehci.poll_keyboard Uhci.driver)
+           (Driver_host.launch k sp ~bdf
+              (Driver_host.usb ~bind_storage:Ehci.bind_storage
+                 ~bind_keyboard:Ehci.poll_keyboard)
+              Uhci.driver)
        in
        let proxy = Driver_host.usb_proxy s in
        let keys = ref 0 in

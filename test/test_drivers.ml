@@ -86,7 +86,7 @@ let test_ne2k_many_packets () =
        (bdf_a, bdf_b))
     (fun k (bdf_a, bdf_b) ->
        let sp = Safe_pci.init k in
-       let s = ok_or_fail "start" (Driver_host.start_net k sp ~bdf:bdf_a ~name:"eth0" Ne2k.driver) in
+       let s = ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:bdf_a ~name:"eth0" Ne2k.driver) in
        let dev_a = Driver_host.netdev s in
        ok_or_fail "up" (Netstack.ifconfig_up k.Kernel.net dev_a);
        let dev_b = up_native ~name:"eth1" k bdf_b in
@@ -172,7 +172,7 @@ let test_proxy_rejects_bogus_rx_addr () =
               Ok ())
           ()
       in
-      let s = ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a drv) in
+      let s = ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a drv) in
       ignore (Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s) : (unit, string) result);
       ignore (Fiber.sleep k.Kernel.eng 10_000_000 : Fiber.wake);
       Alcotest.(check int) "both rejected" 2
@@ -203,7 +203,7 @@ let test_proxy_marks_hung_on_ioctl () =
                         in
                         forever ()) }) }
       in
-      let s = ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a drv) in
+      let s = ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a drv) in
       let dev = Driver_host.netdev s in
       ok_or_fail "open" (Netstack.ifconfig_up k.Kernel.net dev);
       (match Netstack.dev_ioctl k.Kernel.net dev ~cmd:1 ~arg:0 with
@@ -216,7 +216,7 @@ let test_proxy_marks_hung_on_ioctl () =
 let test_uml_worker_pool_used () =
   run_in_kernel setup_duo (fun k duo ->
       let sp = Safe_pci.init k in
-      let s = ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a E1000.driver) in
+      let s = ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a E1000.driver) in
       ok_or_fail "up" (Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s));
       (* open is a may-block callback: it must have gone to a worker. *)
       Alcotest.(check bool) "worker dispatches > 0" true
@@ -239,7 +239,7 @@ let test_wifi_data_path_sud () =
        (bdf_w, bdf_p))
     (fun k (bdf_w, bdf_p) ->
        let sp = Safe_pci.init k in
-       let s = ok_or_fail "start" (Driver_host.start_wifi k sp ~bdf:bdf_w Iwl.driver) in
+       let s = ok_or_fail "start" (Driver_host.launch k sp Driver_host.wifi ~bdf:bdf_w Iwl.driver) in
        let wdev = Driver_host.wifi_netdev s in
        ok_or_fail "up" (Netstack.ifconfig_up k.Kernel.net wdev);
        ok_or_fail "assoc" (Proxy_wifi.associate (Driver_host.wifi_proxy s) ~bssid:0x1A);

@@ -125,7 +125,7 @@ let test_quota_charges_driver_footprint () =
       let q = Quota.create k.Kernel.eng ~name:"eth0" () in
       let s =
         ok_or_fail "start"
-          (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" ~quota:q E1000.driver)
+          (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" ~quota:q E1000.driver)
       in
       Alcotest.(check int) "grant charged" 1 (Quota.grants q);
       Alcotest.(check bool) "dma charged" true (Quota.dma_bytes q > 0);
@@ -151,7 +151,7 @@ let test_quota_negotiates_queues_at_start () =
       let q = Quota.create k.Kernel.eng ~limits ~name:"eth0" () in
       let s =
         ok_or_fail "start"
-          (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" ~quota:q ~queues:4
+          (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" ~quota:q ~queues:4
              E1000.driver)
       in
       Alcotest.(check int) "queues negotiated down to budget" 1 (Driver_host.queues s);
@@ -166,7 +166,7 @@ let test_quota_denies_grant () =
           ~limits:{ Quota.default_limits with Quota.max_grants = 0 }
           ~name:"eth0" ()
       in
-      match Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" ~quota:q E1000.driver with
+      match Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" ~quota:q E1000.driver with
       | Ok _ -> Alcotest.fail "start should be denied by the grant quota"
       | Error _ -> Alcotest.(check bool) "denial counted" true (Quota.denials q > 0))
 
@@ -178,7 +178,7 @@ let test_epoch_across_restart () =
       let sp = Safe_pci.init k in
       let s =
         ok_or_fail "start"
-          (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
+          (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
       in
       Alcotest.(check int) "epoch 0" 0 (Driver_host.epoch s);
       Alcotest.(check int) "chan stamps epoch 0" 0 (Uchan.epoch (Driver_host.chan s));
@@ -222,7 +222,7 @@ let test_shadow_updown_replay () =
   run_in_kernel setup_duo (fun k duo ->
       let sp = Safe_pci.init k in
       let s =
-        ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
+        ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
       in
       let shadow = Shadow.watch k sp ~poll_ms:5 s E1000.driver in
       (* Generation 1 dies with the interface DOWN: the shadow must
@@ -280,7 +280,7 @@ let test_rlimit_across_restart_generation () =
   run_in_kernel setup_duo (fun k duo ->
       let sp = Safe_pci.init k in
       let s =
-        ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
+        ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
       in
       let p1 = Driver_host.proc s in
       let used_gen1 = Process.memory_used p1 in
@@ -319,7 +319,7 @@ let shadow_backlog_order_test =
            let sp = Safe_pci.init k in
            let s =
              ok_or_fail "start"
-               (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
+               (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
            in
            ok_or_fail "up" (Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s));
            let shadow = Shadow.watch k sp ~poll_ms:5 s E1000.driver in

@@ -10,4 +10,5 @@ let () =
       ("blk", Test_blk.suite);
       ("bench_schema", Test_bench_schema.suite);
       ("conformance", Test_conformance.suite);
-      ("ctl", Test_ctl.suite) ]
+      ("ctl", Test_ctl.suite);
+      ("standby", Test_standby.suite) ]

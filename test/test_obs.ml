@@ -191,7 +191,7 @@ let test_metrics_per_queue_labels () =
   ignore
     (Process.spawn_fiber (Process.kernel_process k.Kernel.procs) ~name:"main" (fun () ->
          let sp = Safe_pci.init k in
-         (match Driver_host.start_net k sp ~bdf ~name:"eth0" E1000.driver with
+         (match Driver_host.launch k sp (Driver_host.net ()) ~bdf ~name:"eth0" E1000.driver with
           | Ok _ -> ()
           | Error e -> failwith e);
          match Sysfs.read_file k.Kernel.sysfs ~path:"/sys/kernel/sud_metrics" with

@@ -201,7 +201,7 @@ let test_determinism () =
     run_in_kernel setup_duo (fun k duo ->
         let sp = Safe_pci.init k in
         let s =
-          ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
+          ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
         in
         ok_or_fail "up" (Netstack.ifconfig_up k.Kernel.net (Driver_host.netdev s));
         let dev_b = up_native ~name:"eth1" k duo.bdf_b in

@@ -29,7 +29,7 @@ let test_sud_udp () =
         let sp = Safe_pci.init k in
         let started =
           ok_or_fail "start sud driver"
-            (Driver_host.start_net k sp ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
+            (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a ~name:"eth0" E1000.driver)
         in
         let dev_a = Driver_host.netdev started in
         ok_or_fail "ifconfig up (sud)" (Netstack.ifconfig_up k.Kernel.net dev_a);
@@ -65,7 +65,7 @@ let test_sud_figure9_mappings () =
   run_in_kernel setup_duo (fun k duo ->
       let sp = Safe_pci.init k in
       let started =
-        ok_or_fail "start" (Driver_host.start_net k sp ~bdf:duo.bdf_a E1000.driver)
+        ok_or_fail "start" (Driver_host.launch k sp (Driver_host.net ()) ~bdf:duo.bdf_a E1000.driver)
       in
       let grant = Driver_host.grant started in
       let maps = Safe_pci.iommu_mappings grant in

@@ -87,7 +87,12 @@ let test_backlog_replayed () =
   let w = make_world () in
   (* Wide recovery window so the sends below land mid-outage. *)
   let policy =
-    { fast_policy with Supervisor.backoff_initial_ns = 20_000_000; backoff_max_ns = 40_000_000 }
+    { fast_policy with
+      Supervisor.backoff_initial_ns = 20_000_000;
+      backoff_max_ns = 40_000_000;
+      (* These tests probe the cold outage window (backlog parks during
+         backoff), so the warm standby must stay out of the way. *)
+      standby = false }
   in
   in_world w (fun () ->
       let sv = start_supervised ~policy w in
@@ -192,7 +197,12 @@ let test_batch_corrupt_no_restart () =
 let test_mid_batch_crash_tail_replayed () =
   let w = make_world () in
   let policy =
-    { fast_policy with Supervisor.backoff_initial_ns = 20_000_000; backoff_max_ns = 40_000_000 }
+    { fast_policy with
+      Supervisor.backoff_initial_ns = 20_000_000;
+      backoff_max_ns = 40_000_000;
+      (* These tests probe the cold outage window (backlog parks during
+         backoff), so the warm standby must stay out of the way. *)
+      standby = false }
   in
   in_world w (fun () ->
       let sv = start_supervised ~policy w in
