@@ -1,4 +1,4 @@
-.PHONY: all build lint-deprecated test bench bench-smoke bench-mq bench-batch bench-blk soak blk-smoke upgrade-smoke bench-upgrade fuzz-smoke trace-smoke clean
+.PHONY: all build lint-deprecated test bench bench-smoke bench-mq bench-batch bench-blk soak blk-smoke upgrade-smoke bench-upgrade fuzz-smoke check-smoke trace-smoke clean
 
 all: build
 
@@ -59,6 +59,13 @@ lint-deprecated:
 	@# in bin/sudctl.ml exists only so external scripts migrate).
 	@! grep -rnE -e '-- trace[-]smoke' lib bin bench test examples Makefile \
 	  || { echo 'lint-deprecated: deprecated `sudctl trace-smoke` invocation (use `sudctl trace smoke`)'; exit 1; }
+	@# Determinism backstop: stdlib Random is global mutable state the
+	@# sud-check recorder cannot capture, so schedules seeded through it
+	@# would not replay.  All randomness flows from the splitmix64 Rng in
+	@# lib/sim (sub-seeds via Rng.derive from one root seed).
+	@! { grep -rnE '(^|[^.A-Za-z_"])Random\.' lib bin bench test examples \
+	  | grep -vE '^lib/sim/rng\.(ml|mli)'; } | grep -q . \
+	  || { echo 'lint-deprecated: stdlib Random used outside lib/sim/rng.ml (use Rng / Rng.derive so runs record and replay)'; exit 1; }
 
 test: lint-deprecated
 	dune runtest
@@ -96,6 +103,7 @@ soak:
 	dune exec bench/main.exe -- blk-soak
 	dune exec bench/main.exe -- fuzz
 	dune exec bench/main.exe -- upgrade-soak
+	dune exec bench/main.exe -- check
 
 # Warm-standby gate: 20 fixed-seed upgrade+fault interleavings (live
 # upgrades, forced failovers, poisoned standbys, crashes racing the
@@ -128,6 +136,14 @@ bench-blk:
 # nonzero on any failure.
 fuzz-smoke:
 	dune exec bench/main.exe -- fuzz
+
+# sud-check smoke: random exploration must find and shrink every seeded
+# canary ordering bug (<= 25% of the original counterexample), recorded
+# schedules must replay with identical trace hashes across 3 consecutive
+# runs (including a supervised fault-domain soak), and the exploration
+# throughput is reported; writes BENCH_9.json, exits nonzero on any gate.
+check-smoke:
+	dune exec bench/main.exe -- check
 
 # Observability smoke: run a traced DMA-violation recovery and require the
 # exported JSONL to contain the full uchan rpc -> iommu fault -> supervisor

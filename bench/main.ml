@@ -28,6 +28,12 @@ module J = Bench_schema
 
 let ( >>= ) = Option.bind
 
+(* One root seed for every seeded bench harness: each entry point derives
+   its sub-seed by tag (satellite of sud-check), so a red run is
+   reproducible from the single root printed in the failure line. *)
+let bench_root = Fault_inject.default_root
+let bseed tag = Rng.derive ~root:bench_root tag
+
 (* Per-fault-class recovery samples render the same way in BENCH_3 and
    BENCH_7. *)
 let recovery_rows recovery =
@@ -397,7 +403,7 @@ let recovery_latencies () =
 
 (* ---- supervision soak: the crash-loop harness (make soak) ---- *)
 
-let soak_seed = 0x5EEDL
+let soak_seed = bseed "bench:soak"
 
 let soak_chain =
   [ ("uchan", "rpc"); ("iommu", "fault"); ("sup", "detect"); ("sup", "kill");
@@ -473,12 +479,14 @@ let run_soak () =
     && chain_ok
     && parsed = n_spans
   in
-  print_endline (if ok then "\nSOAK PASSED" else "\nSOAK FAILED");
+  print_endline
+    (if ok then "\nSOAK PASSED"
+     else Printf.sprintf "\nSOAK FAILED (root seed 0x%LX)" bench_root);
   (r, ok)
 
 (* ---- sud-blk crash-consistency soak (make blk-smoke / make soak) ---- *)
 
-let blk_soak_seed = 0xB10CL
+let blk_soak_seed = bseed "bench:blk-soak"
 
 let run_blk_soak ?(n_faults = 200) () =
   banner
@@ -516,7 +524,9 @@ let run_blk_soak ?(n_faults = 200) () =
     && r.Fault_inject.bsr_inflight_end = 0
     && r.Fault_inject.bsr_io_errors = 0
   in
-  print_endline (if ok then "\nBLK SOAK PASSED" else "\nBLK SOAK FAILED");
+  print_endline
+    (if ok then "\nBLK SOAK PASSED"
+     else Printf.sprintf "\nBLK SOAK FAILED (root seed 0x%LX)" bench_root);
   (r, ok)
 
 (* ---- blkperf: the sud-blk datapath sweep (make bench-blk) ---- *)
@@ -746,7 +756,7 @@ let run_blkperf () =
 
 (* ---- warm standby: the upgrade soak (make upgrade-smoke) ---- *)
 
-let upgrade_soak_seed = 0x5AFEL
+let upgrade_soak_seed = bseed "bench:upgrade-soak"
 let upgrade_interleavings = 20
 
 let run_upgrade_soak () =
@@ -777,7 +787,9 @@ let run_upgrade_soak () =
     && r.Fault_inject.usr_upgrades > 0
     && r.Fault_inject.usr_warm_swaps > 0
   in
-  print_endline (if ok then "\nUPGRADE SOAK PASSED" else "\nUPGRADE SOAK FAILED");
+  print_endline
+    (if ok then "\nUPGRADE SOAK PASSED"
+     else Printf.sprintf "\nUPGRADE SOAK FAILED (root seed 0x%LX)" bench_root);
   (r, ok)
 
 (* ---- warm standby: per-class failover outage vs the cold baseline ---- *)
@@ -1066,7 +1078,7 @@ let run_netperf_batch ?(smoke = false) () =
    validator must cost at most 5% of the BENCH_5 8q/batch=32 throughput
    point.  Writes BENCH_6.json. *)
 
-let fuzz_seed = 0xB12A7L
+let fuzz_seed = bseed "bench:fuzz"
 let fuzz_mutations = 600
 let fuzz_overhead_floor = 0.95
 let fuzz_baseline_path = "BENCH_5.json"
@@ -1127,7 +1139,9 @@ let run_fuzz () =
     && q.Proto_fuzz.pq_violations = []
     && overhead_ok
   in
-  print_endline (if pass then "PROTO_FUZZ PASSED" else "PROTO_FUZZ FAILED");
+  print_endline
+    (if pass then "PROTO_FUZZ PASSED"
+     else Printf.sprintf "PROTO_FUZZ FAILED (root seed 0x%LX)" bench_root);
   let doc =
     J.Obj
       [ J.schema 6;
@@ -1380,6 +1394,138 @@ let write_bench_json ~path ~mode ~micro ~figure8_rows ~recovery ~guard ~guard_pa
   J.write ~path doc;
   Printf.printf "\nwrote %s\n" path
 
+(* ---- sud-check: canary hunt, replay determinism, exploration
+   throughput (make check-smoke).  Writes BENCH_9.json. ---- *)
+
+let check_budget = 200
+let check_shrink_gate = 0.25
+let check_replay_times = 3
+let check_throughput_runs = 200
+
+let run_check () =
+  banner
+    (Printf.sprintf "sud-check: canary hunt + replay determinism (root seed 0x%LX)"
+       bench_root);
+  (* Every seeded canary must be found by random exploration within the
+     smoke budget and shrink to <= 25%% of the original counterexample. *)
+  Printf.printf "%-22s %5s %9s %8s %18s %6s\n" "canary" "run" "points" "time(s)"
+    "shrink" "pass";
+  print_endline (String.make 72 '-');
+  let canary_rows =
+    List.map
+      (fun (sc : Scenario.t) ->
+         let h = Check.hunt ~mode:`Random ~budget:check_budget sc ~root_seed:bench_root in
+         let ex = h.Check.hr_explore in
+         let run, shown_run =
+           match ex.Explore.ex_found with
+           | Some fd -> (fd.Explore.fd_run, string_of_int fd.Explore.fd_run)
+           | None -> (-1, "-")
+         in
+         let orig, mn, ratio, still =
+           match h.hr_shrink with
+           | Some sh ->
+             (sh.Check.sh_orig_events, sh.sh_min_events, sh.sh_ratio, sh.sh_still_fails)
+           | None -> (0, 0, 1.0, false)
+         in
+         let pass = run >= 0 && still && ratio <= check_shrink_gate in
+         Printf.printf "%-22s %5s %9d %8.2f %10d -> %3d %6s\n" sc.Scenario.sc_name
+           shown_run ex.ex_points ex.ex_elapsed_s orig mn (if pass then "ok" else "FAIL");
+         (sc.sc_name, run, ex.ex_points, ex.ex_elapsed_s, orig, mn, ratio, still, pass))
+      Scenario.canaries
+  in
+  (* Recorded schedules must replay with identical trace hashes across
+     three consecutive runs — for a canary and for a real fault-domain
+     soak run through the supervisor. *)
+  let replay_rows =
+    List.map
+      (fun name ->
+         let sc = Option.get (Check.find_scenario name) in
+         let spec =
+           Sched.Random { seed = bseed ("bench:check:replay:" ^ name); p_preempt = 30 }
+         in
+         Check.ensure_traces ();
+         let path = Printf.sprintf "traces/bench_check_%s.sched.jsonl" name in
+         ignore (Check.record ~path sc ~spec ~seed:(bseed ("bench:check:seed:" ^ name))
+                 : Scenario.outcome * Sched.file);
+         match Check.replay_file ~file:path ~times:check_replay_times with
+         | Error e ->
+           Printf.printf "replay %-22s ERROR %s\n" name e;
+           (name, false, false)
+         | Ok r ->
+           Printf.printf "replay %-22s x%d: trace %s, metrics %s\n" name r.Check.rp_times
+             (if r.rp_trace_ok then "bit-for-bit" else "DIVERGED")
+             (if r.rp_metrics_equal then "stable" else "UNSTABLE");
+           (name, r.rp_trace_ok, r.rp_metrics_equal))
+      [ "doorbell_vs_publish"; "mini-soak" ]
+  in
+  (* Exploration throughput: how many distinct random schedules of a
+     fiber-heavy scenario the engine retires per second. *)
+  let tp_sc = Option.get (Check.find_scenario "stale_wakeup") in
+  let tp_points = ref 0 in
+  let t0 = Sys.time () in
+  for i = 1 to check_throughput_runs do
+    let spec =
+      Sched.Random { seed = bseed (Printf.sprintf "bench:check:tp:%d" i); p_preempt = 50 }
+    in
+    let oc = tp_sc.Scenario.sc_run ~sched:spec ~seed:(bseed "bench:check:tp") in
+    tp_points := !tp_points + oc.Scenario.oc_points
+  done;
+  let tp_elapsed = Sys.time () -. t0 in
+  let per_s = float_of_int check_throughput_runs /. (max 1e-9 tp_elapsed) in
+  Printf.printf
+    "throughput: %d schedules of %s in %.2fs = %.0f schedules/s (%d choice points)\n"
+    check_throughput_runs tp_sc.Scenario.sc_name tp_elapsed per_s !tp_points;
+  let canaries_ok = List.for_all (fun (_, _, _, _, _, _, _, _, p) -> p) canary_rows in
+  let replay_ok = List.for_all (fun (_, t, m) -> t && m) replay_rows in
+  let pass = canaries_ok && replay_ok in
+  print_endline
+    (if pass then "CHECK PASSED"
+     else Printf.sprintf "CHECK FAILED (root seed 0x%LX)" bench_root);
+  let doc =
+    J.Obj
+      [ J.schema 9;
+        ("bench", J.Str "check");
+        ("root_seed", J.Str (Printf.sprintf "0x%LX" bench_root));
+        ("budget", J.Int check_budget);
+        ("shrink_gate", J.fnum ~dp:2 check_shrink_gate);
+        ( "canaries",
+          J.List
+            (List.map
+               (fun (name, run, points, dt, orig, mn, ratio, still, p) ->
+                  J.Obj
+                    [ ("name", J.Str name);
+                      ("found_run", J.Int run);
+                      ("points", J.Int points);
+                      ("time_to_find_s", J.fnum dt);
+                      ("shrink_orig", J.Int orig);
+                      ("shrink_min", J.Int mn);
+                      ("shrink_ratio", J.fnum ratio);
+                      ("still_fails", J.Bool still);
+                      ("pass", J.Bool p) ])
+               canary_rows) );
+        ( "replay",
+          J.List
+            (List.map
+               (fun (name, t, m) ->
+                  J.Obj
+                    [ ("scenario", J.Str name);
+                      ("times", J.Int check_replay_times);
+                      ("trace_bit_for_bit", J.Bool t);
+                      ("metrics_stable", J.Bool m) ])
+               replay_rows) );
+        ( "throughput",
+          J.Obj
+            [ ("scenario", J.Str tp_sc.Scenario.sc_name);
+              ("schedules", J.Int check_throughput_runs);
+              ("elapsed_s", J.fnum tp_elapsed);
+              ("schedules_per_s", J.fnum ~dp:1 per_s);
+              ("choice_points", J.Int !tp_points) ] );
+        ("pass", J.Bool pass) ]
+  in
+  J.write ~path:"BENCH_9.json" doc;
+  print_endline "wrote BENCH_9.json";
+  pass
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
@@ -1398,6 +1544,10 @@ let () =
   end;
   if List.mem "fuzz" args then begin
     let pass = run_fuzz () in
+    exit (if pass then 0 else 1)
+  end;
+  if List.mem "check" args then begin
+    let pass = run_check () in
     exit (if pass then 0 else 1)
   end;
   if List.mem "soak" args then begin

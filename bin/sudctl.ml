@@ -19,6 +19,10 @@
      sudctl driver failover             forced failover through the fault path
      sudctl trace smoke [--out FILE]    traced DMA-violation recovery, verify the
                                         causal span chain in the JSONL export
+     sudctl check list                  list sud-check scenarios and canaries
+     sudctl check explore SCENARIO      hunt for failing schedules, dump + shrink
+     sudctl check replay FILE           re-execute a recorded schedule bit-for-bit
+     sudctl check shrink FILE           ddmin a saved failing schedule
 
    [sudctl trace-smoke] survives as a deprecated spelling of
    [sudctl trace smoke]. *)
@@ -241,6 +245,62 @@ let run_protocol () =
     (fun (n, d, desc) -> Printf.printf "%-22s %-10s %s\n" n d desc)
     Proxy_proto.figure7_sample
 
+(* sudctl check {list,explore,replay,shrink} *)
+
+let run_check_list () =
+  Printf.printf "%-22s %-7s %s\n" "SCENARIO" "CANARY" "DESCRIPTION";
+  List.iter
+    (fun (name, descr, canary) ->
+       Printf.printf "%-22s %-7s %s\n" name (if canary then "yes" else "") descr)
+    (Ctl.check_scenarios ())
+
+let print_shrink (sh : Check.shrink_report) =
+  Printf.printf "shrink: %d -> %d decisions (ratio %.2f) in %d runs, %s\n"
+    sh.Check.sh_orig_events sh.sh_min_events sh.sh_ratio sh.sh_tests
+    (if sh.sh_still_fails then "still fails" else "NO LONGER FAILS");
+  Option.iter (Printf.printf "minimized repro: %s\n") sh.sh_out
+
+let run_check_explore scenario mode budget seed =
+  match Ctl.check_explore ~scenario ~mode ~budget ~root_seed:seed () with
+  | Error e -> prerr_endline ("sudctl check explore: " ^ e); exit 1
+  | Ok h ->
+    let ex = h.Check.hr_explore in
+    Printf.printf "%s: %s explore, root seed 0x%Lx, %d runs, %d choice points, %.2fs\n"
+      ex.Explore.ex_scenario ex.ex_mode seed ex.ex_runs ex.ex_points ex.ex_elapsed_s;
+    if not ex.ex_fifo_clean then begin
+      Printf.printf "FIFO baseline already fails — not a schedule bug\n";
+      exit 1
+    end;
+    (match ex.ex_found with
+     | None -> Printf.printf "no failing schedule found within the budget\n"
+     | Some fd ->
+       Printf.printf "found on run %d under %s:\n" fd.Explore.fd_run
+         (Sched.spec_label fd.fd_spec);
+       List.iter (Printf.printf "  violation: %s\n") fd.fd_outcome.Scenario.oc_failures;
+       Option.iter (Printf.printf "schedule dumped: %s\n") h.hr_orig_file;
+       Option.iter print_shrink h.hr_shrink)
+
+let run_check_replay file times =
+  match Ctl.check_replay ~file ~times () with
+  | Error e -> prerr_endline ("sudctl check replay: " ^ e); exit 1
+  | Ok r ->
+    Printf.printf "%s: scenario %s, %d reruns, recorded trace hash 0x%Lx\n" r.Check.rp_file
+      r.rp_scenario r.rp_times r.rp_expected_hash;
+    List.iteri (fun i h -> Printf.printf "  rerun %d: trace hash 0x%Lx\n" (i + 1) h)
+      r.rp_hashes;
+    Printf.printf "trace %s, metrics %s\n"
+      (if r.rp_trace_ok then "bit-for-bit" else "DIVERGED")
+      (if r.rp_metrics_equal then "stable" else "UNSTABLE");
+    if not r.rp_ok then exit 1
+
+let run_check_shrink file =
+  match Ctl.check_shrink ~file () with
+  | Error e -> prerr_endline ("sudctl check shrink: " ^ e); exit 1
+  | Ok sh ->
+    Printf.printf "%s:\n" sh.Check.sh_scenario;
+    print_shrink sh;
+    if not sh.sh_still_fails then exit 1
+
 let attack_arg =
   Arg.(value & opt (some string) None & info [ "attack" ] ~docv:"NAME"
          ~doc:"Run only attacks whose name contains $(docv).")
@@ -312,6 +372,53 @@ let trace_cmd =
            ~doc:"Trace an injected DMA violation end to end and verify the span chain")
         Term.(const run_trace_smoke $ out_arg) ]
 
+let scenario_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO"
+         ~doc:"Scenario name; see $(b,sudctl check list).")
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"A sud-sched/1 schedule file (JSONL).")
+
+let mode_arg =
+  Arg.(value & opt string "random" & info [ "mode" ] ~docv:"MODE"
+         ~doc:"Exploration mode: $(b,random) or $(b,bounded).")
+
+let budget_arg =
+  Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N"
+         ~doc:"Maximum schedules to try.")
+
+let times_arg =
+  Arg.(value & opt int 3 & info [ "times" ] ~docv:"N" ~doc:"Number of reruns.")
+
+let seed_conv =
+  Arg.conv
+    ( (fun s ->
+        match Int64.of_string_opt s with
+        | Some v -> Ok v
+        | None -> Error (`Msg (Printf.sprintf "%S is not an int64 seed" s))),
+      fun ppf v -> Format.fprintf ppf "0x%Lx" v )
+
+let seed_arg =
+  Arg.(value & opt seed_conv Fault_inject.default_root & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Root seed (accepts 0x-prefixed hex).")
+
+let check_cmd =
+  Cmd.group (Cmd.info "check" ~doc:"Schedule exploration, record/replay, shrinking")
+    [ Cmd.v
+        (Cmd.info "list" ~doc:"List sud-check scenarios (canaries carry seeded bugs)")
+        Term.(const run_check_list $ const ());
+      Cmd.v
+        (Cmd.info "explore"
+           ~doc:"Hunt for failing schedules; dump the first hit under traces/ and ddmin it")
+        Term.(const run_check_explore $ scenario_arg $ mode_arg $ budget_arg $ seed_arg);
+      Cmd.v
+        (Cmd.info "replay" ~doc:"Re-execute a recorded schedule and assert bit-for-bit replay")
+        Term.(const run_check_replay $ file_arg $ times_arg);
+      Cmd.v
+        (Cmd.info "shrink" ~doc:"Delta-debug a saved failing schedule to a minimal repro")
+        Term.(const run_check_shrink $ file_arg) ]
+
 (* Deprecated flat spelling of `trace smoke`, kept so existing scripts
    migrate gradually. *)
 let trace_smoke_alias_cmd =
@@ -330,4 +437,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ security_cmd; netperf_cmd; mappings_cmd; files_cmd; protocol_cmd;
-            metrics_cmd; blk_cmd; driver_cmd; trace_cmd; trace_smoke_alias_cmd ]))
+            metrics_cmd; blk_cmd; driver_cmd; trace_cmd; check_cmd;
+            trace_smoke_alias_cmd ]))

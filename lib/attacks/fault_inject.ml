@@ -315,6 +315,78 @@ let dma_violate w () =
 
 let honest_factory ~attempt:_ = E1000.driver
 
+(* ---- seed plumbing and schedule capture ---- *)
+
+(* Every harness default seed below derives from this one root, so a
+   single printed value reproduces the whole campaign; callers with
+   their own root (bench, sud-check) pass explicit ?seed instead. *)
+let default_root = 0x5D_D01_7E57L
+
+let dseed tag = Rng.derive ~root:default_root tag
+
+type sched_summary = {
+  ss_policy : string;
+  ss_points : int;
+  ss_decisions : Sched.decision list;
+  ss_steps : int;
+  ss_trace_hash : int64;
+  ss_metrics_hash : int64;
+  ss_divergence : string option;
+  ss_dump : string option;
+}
+
+(* Close out a (possibly recorded) run: fingerprint it, and if the run
+   violated an invariant, dump a replayable schedule file under traces/
+   so the failure is a repro, not an anecdote. *)
+let finish_sched ~scenario ~seed ~sched ~eng rec_ ~violations =
+  let spec = Option.value ~default:Sched.Fifo sched in
+  let points, divergence =
+    match rec_ with
+    | Some r -> (r.Sched.rec_points, r.Sched.rec_divergence)
+    | None -> (0, None)
+  in
+  let r =
+    match rec_ with
+    | Some r -> r
+    | None -> { Sched.rec_rev = []; rec_points = 0; rec_divergence = None }
+  in
+  let steps = Engine.steps eng in
+  let trace_hash = Engine.trace_hash eng in
+  let metrics_hash = Sud_obs.Metrics.snapshot_hash () in
+  let dump =
+    if violations = [] then None
+    else begin
+      (try if not (Sys.file_exists "traces") then Sys.mkdir "traces" 0o755
+       with Sys_error _ -> ());
+      let path = Printf.sprintf "traces/%s_0x%Lx.sched.jsonl" scenario seed in
+      match
+        Sched.save ~path
+          (Sched.file_of ~scenario ~seed ~spec ~trace_hash ~metrics_hash ~steps r)
+      with
+      | () -> Some path
+      | exception Sys_error _ -> None
+    end
+  in
+  { ss_policy = Sched.spec_label spec;
+    ss_points = points;
+    ss_decisions = Sched.decisions r;
+    ss_steps = steps;
+    ss_trace_hash = trace_hash;
+    ss_metrics_hash = metrics_hash;
+    ss_divergence = divergence;
+    ss_dump = dump }
+
+(* Placeholder filled in by [finish_sched] once the engine has drained. *)
+let pending_sched =
+  { ss_policy = "fifo";
+    ss_points = 0;
+    ss_decisions = [];
+    ss_steps = 0;
+    ss_trace_hash = 0L;
+    ss_metrics_hash = 0L;
+    ss_divergence = None;
+    ss_dump = None }
+
 (* ---- the soak itself ---- *)
 
 type soak_report = {
@@ -335,6 +407,7 @@ type soak_report = {
   sr_max_outage_ns : int;
   sr_malformed : int;
   sr_violations : string list;
+  sr_sched : sched_summary;
 }
 
 (* An outage longer than this (simulated time) means recovery is not
@@ -342,9 +415,12 @@ type soak_report = {
    and sub-ms backoff, healthy recoveries complete well under it. *)
 let outage_bound_ns = 500_000_000
 
-let soak ?(seed = 42L) ?(n_faults = 200) ?(duration_ms = 4_000) () =
+let soak ?sched ?seed ?(n_faults = 200) ?(duration_ms = 4_000) ?plan () =
+  let seed = match seed with Some s -> s | None -> dseed "soak" in
   let w = make_world () in
-  in_world w (fun () ->
+  let rec_ = Option.map (fun s -> Sched.install w.eng s) sched in
+  let report =
+    in_world w (fun () ->
       let secret_addr = Phys_mem.alloc_pages w.k.Kernel.mem ~pages:1 in
       Phys_mem.write w.k.Kernel.mem ~addr:secret_addr (Bytes.of_string secret);
       let sv =
@@ -385,7 +461,11 @@ let soak ?(seed = 42L) ?(n_faults = 200) ?(duration_ms = 4_000) () =
          multi-frame batch slots, so Corrupt_batch injections have an
          actual batch to garble. *)
       let tr = start_traffic ~burst:4 w dev ~gap_ns:800_000 in
-      let plan = random_plan ~seed ~duration_ns:(duration_ms * 1_000_000) ~n:n_faults () in
+      let plan =
+        match plan with
+        | Some p -> p
+        | None -> random_plan ~seed ~duration_ns:(duration_ms * 1_000_000) ~n:n_faults ()
+      in
       let stats = run_plan w.k ~sv ~dma_violate:(dma_violate w) plan in
       (* Let the plan run out, then let the last recovery settle. *)
       ignore (Fiber.sleep w.eng ((duration_ms + 200) * 1_000_000) : Fiber.wake);
@@ -429,7 +509,7 @@ let soak ?(seed = 42L) ?(n_faults = 200) ?(duration_ms = 4_000) () =
           "corruptions applied (%d batch, %d reply) but no slot was ever counted malformed"
           (applied "corrupt_batch") (applied "corrupt_reply");
       { sr_seed = seed;
-        sr_planned = n_faults;
+        sr_planned = List.length plan;
         sr_applied = stats.inj_applied;
         sr_skipped = stats.inj_skipped;
         sr_by_class = by_class stats;
@@ -444,7 +524,13 @@ let soak ?(seed = 42L) ?(n_faults = 200) ?(duration_ms = 4_000) () =
         sr_backlog = bl;
         sr_max_outage_ns = !max_outage;
         sr_malformed = malformed_total;
-        sr_violations = List.rev ctx.iv_violations })
+        sr_violations = List.rev ctx.iv_violations;
+        sr_sched = pending_sched })
+  in
+  { report with
+    sr_sched =
+      finish_sched ~scenario:"soak" ~seed ~sched ~eng:w.eng rec_
+        ~violations:report.sr_violations }
 
 (* ---- single-fault recovery latency, for the bench harness ---- *)
 
@@ -755,11 +841,15 @@ type blk_soak_report = {
   bsr_inflight_end : int;
   bsr_by_reason : (string * int) list;
   bsr_violations : string list;
+  bsr_sched : sched_summary;
 }
 
-let blk_soak ?(seed = 43L) ?(n_faults = 200) ?(duration_ms = 6_000) () =
+let blk_soak ?sched ?seed ?(n_faults = 200) ?(duration_ms = 6_000) ?plan () =
+  let seed = match seed with Some s -> s | None -> dseed "blk-soak" in
   let w = make_blk_world () in
-  in_blk_world w (fun () ->
+  let rec_ = Option.map (fun s -> Sched.install w.bw_eng s) sched in
+  let report =
+    in_blk_world w (fun () ->
       let k = w.bw_k in
       let secret_addr = Phys_mem.alloc_pages k.Kernel.mem ~pages:1 in
       Phys_mem.write k.Kernel.mem ~addr:secret_addr (Bytes.of_string secret);
@@ -877,7 +967,9 @@ let blk_soak ?(seed = 43L) ?(n_faults = 200) ?(duration_ms = 6_000) () =
               load.wl_done <- true)
          : Fiber.t);
       let plan =
-        random_blk_plan ~seed ~duration_ns:(duration_ms * 1_000_000) ~n:n_faults ()
+        match plan with
+        | Some p -> p
+        | None -> random_blk_plan ~seed ~duration_ns:(duration_ms * 1_000_000) ~n:n_faults ()
       in
       let stats = run_blk_plan k ~sv ~nvme:w.bw_nvme plan in
       ignore (Fiber.sleep w.bw_eng ((duration_ms + 200) * 1_000_000) : Fiber.wake);
@@ -920,7 +1012,7 @@ let blk_soak ?(seed = 43L) ?(n_faults = 200) ?(duration_ms = 6_000) () =
       if ctx.iv_deaths <> st.Supervisor.st_detections then
         violate ctx "detections %d but deaths %d" st.Supervisor.st_detections ctx.iv_deaths;
       { bsr_seed = seed;
-        bsr_planned = n_faults;
+        bsr_planned = List.length plan;
         bsr_applied = stats.inj_applied;
         bsr_skipped = stats.inj_skipped;
         bsr_by_class = blk_by_class stats;
@@ -938,8 +1030,17 @@ let blk_soak ?(seed = 43L) ?(n_faults = 200) ?(duration_ms = 6_000) () =
         bsr_inflight_end = inflight;
         bsr_by_reason =
           Hashtbl.fold (fun r n acc -> (r, n) :: acc) reasons []
-          |> List.sort (fun (_, a) (_, b) -> compare b a);
-        bsr_violations = List.rev ctx.iv_violations })
+          |> List.sort (fun (ra, a) (rb, b) ->
+                 (* count desc, then name: hash order must not pick the
+                    tie-break winner or reports differ across replays. *)
+                 match compare b a with 0 -> compare ra rb | c -> c);
+        bsr_violations = List.rev ctx.iv_violations;
+        bsr_sched = pending_sched })
+  in
+  { report with
+    bsr_sched =
+      finish_sched ~scenario:"blk-soak" ~seed ~sched ~eng:w.bw_eng rec_
+        ~violations:report.bsr_violations }
 
 (* ---- single-fault blk recovery latency, for the bench harness ---- *)
 
@@ -1058,11 +1159,15 @@ type upgrade_soak_report = {
   usr_io_errors : int;
   usr_state : Supervisor.state;
   usr_violations : string list;
+  usr_sched : sched_summary;
 }
 
-let upgrade_soak ?(seed = 47L) ?(interleavings = 20) () =
+let upgrade_soak ?sched ?seed ?(interleavings = 20) () =
+  let seed = match seed with Some s -> s | None -> dseed "upgrade-soak" in
   let w = make_blk_world () in
-  in_blk_world ~max_ms:180_000 w (fun () ->
+  let rec_ = Option.map (fun s -> Sched.install w.bw_eng s) sched in
+  let report =
+    in_blk_world ~max_ms:180_000 w (fun () ->
       let k = w.bw_k in
       let eng = w.bw_eng in
       let secret_addr = Phys_mem.alloc_pages k.Kernel.mem ~pages:1 in
@@ -1257,7 +1362,13 @@ let upgrade_soak ?(seed = 47L) ?(interleavings = 20) () =
         usr_verifies = load.wl_verifies;
         usr_io_errors = load.wl_io_errors;
         usr_state = Supervisor.state sv;
-        usr_violations = invariant_violations ctx })
+        usr_violations = invariant_violations ctx;
+        usr_sched = pending_sched })
+  in
+  { report with
+    usr_sched =
+      finish_sched ~scenario:"upgrade-soak" ~seed ~sched ~eng:w.bw_eng rec_
+        ~violations:report.usr_violations }
 
 (* ---- per-class warm failover latency, for sud-bench/8 ---- *)
 

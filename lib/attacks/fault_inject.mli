@@ -136,6 +136,46 @@ val dma_violate : world -> unit -> unit
 val honest_factory : attempt:int -> Driver_api.net_driver
 (** The honest E1000 driver, every generation. *)
 
+(** {1 Seed plumbing and schedule capture}
+
+    Every harness in this module defaults its seed to
+    [Rng.derive ~root:default_root tag], so one printed root value
+    reproduces every campaign; the soaks accept a {!Sched.spec} to run
+    under an explored or replayed schedule and always report the run's
+    schedule fingerprint.  Any invariant violation auto-dumps a
+    replayable [traces/<scenario>_0x<seed>.sched.jsonl]. *)
+
+val default_root : int64
+(** Root of every derived default seed below. *)
+
+val dseed : string -> int64
+(** [dseed tag = Rng.derive ~root:default_root tag]. *)
+
+type sched_summary = {
+  ss_policy : string;  (** {!Sched.spec_label} of the run's policy *)
+  ss_points : int;  (** same-instant choice points encountered *)
+  ss_decisions : Sched.decision list;  (** recorded picks, execution order *)
+  ss_steps : int;  (** engine events fired *)
+  ss_trace_hash : int64;  (** {!Engine.trace_hash} at the end of the run *)
+  ss_metrics_hash : int64;  (** {!Sud_obs.Metrics.snapshot_hash} ditto *)
+  ss_divergence : string option;  (** strict-replay mismatch, if any *)
+  ss_dump : string option;  (** schedule file written on violation *)
+}
+
+val pending_sched : sched_summary
+(** Placeholder value used while a report is being assembled mid-run. *)
+
+val finish_sched :
+  scenario:string ->
+  seed:int64 ->
+  sched:Sched.spec option ->
+  eng:Engine.t ->
+  Sched.recorder option ->
+  violations:string list ->
+  sched_summary
+(** Fingerprint a finished run and, when [violations] is non-empty, dump
+    the replayable schedule to [traces/].  Shared with {!Proto_fuzz}. *)
+
 (** {1 Soak} *)
 
 type soak_report = {
@@ -159,12 +199,20 @@ type soak_report = {
           across every driver generation (each generation has fresh
           counters) *)
   sr_violations : string list;  (** invariant failures; must be [] *)
+  sr_sched : sched_summary;
 }
 
 val outage_bound_ns : int
 (** Any single recovery outage above this is reported as a violation. *)
 
-val soak : ?seed:int64 -> ?n_faults:int -> ?duration_ms:int -> unit -> soak_report
+val soak :
+  ?sched:Sched.spec ->
+  ?seed:int64 ->
+  ?n_faults:int ->
+  ?duration_ms:int ->
+  ?plan:plan ->
+  unit ->
+  soak_report
 (** Run a supervised honest E1000 with continuous UDP traffic (bursts of
     4, so tx_free downcalls coalesce into multi-frame batch slots) while
     a seeded plan (default 200 faults over 4 s of simulated time) fires
@@ -296,10 +344,17 @@ type blk_soak_report = {
   bsr_by_reason : (string * int) list;
       (** supervisor detection reasons, most frequent first *)
   bsr_violations : string list;  (** must be [] *)
+  bsr_sched : sched_summary;
 }
 
 val blk_soak :
-  ?seed:int64 -> ?n_faults:int -> ?duration_ms:int -> unit -> blk_soak_report
+  ?sched:Sched.spec ->
+  ?seed:int64 ->
+  ?n_faults:int ->
+  ?duration_ms:int ->
+  ?plan:blk_plan ->
+  unit ->
+  blk_soak_report
 (** Run a supervised honest NVMe driver under a continuous synchronous
     write/read/fsync workload while a seeded plan (default 200 storage
     faults over 6 s of simulated time) fires every class at it.  At
@@ -351,9 +406,11 @@ type upgrade_soak_report = {
   usr_io_errors : int;
   usr_state : Supervisor.state;
   usr_violations : string list;  (** must be [] *)
+  usr_sched : sched_summary;
 }
 
-val upgrade_soak : ?seed:int64 -> ?interleavings:int -> unit -> upgrade_soak_report
+val upgrade_soak :
+  ?sched:Sched.spec -> ?seed:int64 -> ?interleavings:int -> unit -> upgrade_soak_report
 (** Run a warm-standby supervised NVMe under the crash-consistency
     workload while a seeded schedule (default 20 interleavings)
     mixes live upgrades, administrative failovers, lethal faults with a

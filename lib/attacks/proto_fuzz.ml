@@ -95,6 +95,7 @@ type fuzz_report = {
   fz_deaths : int;
   fz_state : Supervisor.state;
   fz_violations : string list;
+  fz_sched : Fault_inject.sched_summary;
 }
 
 let count tbl key =
@@ -134,9 +135,12 @@ let detected_count acc ~overflows = function
   | Completion_forge -> get acc.acc_conf "forged_completion"
   | Notify_flood -> overflows
 
-let campaign ?(seed = 1337L) ?(n_mutations = 600) ?(storm_kicks = 6_000) () =
+let campaign ?sched ?seed ?(n_mutations = 600) ?(storm_kicks = 6_000) () =
+  let seed = match seed with Some s -> s | None -> Fault_inject.dseed "fuzz" in
   let w = Fault_inject.make_world () in
-  Fault_inject.in_world ~max_ms:300_000 w (fun () ->
+  let rec_ = Option.map (fun s -> Sched.install w.Fault_inject.eng s) sched in
+  let report =
+    Fault_inject.in_world ~max_ms:300_000 w (fun () ->
       let open Fault_inject in
       let secret_addr = Phys_mem.alloc_pages w.k.Kernel.mem ~pages:1 in
       Phys_mem.write w.k.Kernel.mem ~addr:secret_addr (Bytes.of_string secret);
@@ -265,7 +269,13 @@ let campaign ?(seed = 1337L) ?(n_mutations = 600) ?(storm_kicks = 6_000) () =
         fz_restarts = st.Supervisor.st_restarts;
         fz_deaths = invariant_deaths ctx;
         fz_state = Supervisor.state sv;
-        fz_violations = invariant_violations ctx @ List.rev !extra })
+        fz_violations = invariant_violations ctx @ List.rev !extra;
+        fz_sched = Fault_inject.pending_sched })
+  in
+  { report with
+    fz_sched =
+      Fault_inject.finish_sched ~scenario:"fuzz" ~seed ~sched ~eng:w.Fault_inject.eng rec_
+        ~violations:report.fz_violations }
 
 (* ---- protocol-violation crash loop: the restart budget must quarantine ---- *)
 

@@ -42,10 +42,16 @@ type fuzz_report = {
   fz_deaths : int;
   fz_state : Supervisor.state;         (** must be [Running] *)
   fz_violations : string list;         (** must be [[]] *)
+  fz_sched : Fault_inject.sched_summary;
 }
 
 val campaign :
-  ?seed:int64 -> ?n_mutations:int -> ?storm_kicks:int -> unit -> fuzz_report
+  ?sched:Sched.spec ->
+  ?seed:int64 ->
+  ?n_mutations:int ->
+  ?storm_kicks:int ->
+  unit ->
+  fuzz_report
 (** Run a supervised honest E1000 under continuous burst traffic while
     applying [n_mutations] (default 600) mutations round-robin across
     every class, waiting for the supervisor to return to [Running]

@@ -1,0 +1,73 @@
+(* Delta debugging (Zeller's ddmin) over a failing configuration.  The
+   oracle [test xs] re-runs the scenario on subset [xs] and answers
+   "does it still fail?".  Permissive schedule replay makes every subset
+   a well-defined run: dropped decisions just degrade to FIFO at their
+   choice points. *)
+
+type stats = { mutable sh_tests : int }
+
+let split_chunks xs n =
+  let len = List.length xs in
+  let base = len / n and extra = len mod n in
+  let rec go i xs acc =
+    if i >= n then List.rev acc
+    else begin
+      let size = base + if i < extra then 1 else 0 in
+      let rec take k ys =
+        if k = 0 then ([], ys)
+        else
+          match ys with
+          | [] -> ([], [])
+          | y :: tl ->
+            let got, rest = take (k - 1) tl in
+            (y :: got, rest)
+      in
+      let chunk, rest = take size xs in
+      go (i + 1) rest (chunk :: acc)
+    end
+  in
+  go 0 xs []
+
+let complement_of chunks i =
+  List.concat (List.filteri (fun j _ -> j <> i) chunks)
+
+let rec ddmin_loop ~test ~stats xs n =
+  let len = List.length xs in
+  if len <= 1 || n > len then xs
+  else begin
+    let chunks = split_chunks xs n in
+    let try_sets sets =
+      List.find_opt (fun s -> stats.sh_tests <- stats.sh_tests + 1; test s) sets
+    in
+    match try_sets chunks with
+    | Some chunk -> ddmin_loop ~test ~stats chunk 2  (* reduce to a failing chunk *)
+    | None ->
+      (match try_sets (List.mapi (fun i _ -> complement_of chunks i) chunks) with
+       | Some comp -> ddmin_loop ~test ~stats comp (max 2 (n - 1))
+       | None -> if n < len then ddmin_loop ~test ~stats xs (min len (2 * n)) else xs)
+  end
+
+(* Final polish: ddmin can terminate 1-minimal per chunk boundary but
+   still carry a removable element; one singleton sweep is cheap. *)
+let singleton_pass ~test ~stats xs =
+  List.fold_left
+    (fun kept x ->
+       let without = List.filter (fun y -> y != x) kept in
+       if List.length without < List.length kept then begin
+         stats.sh_tests <- stats.sh_tests + 1;
+         if test without then without else kept
+       end
+       else kept)
+    xs xs
+
+let ddmin ~test xs =
+  let stats = { sh_tests = 0 } in
+  let min1 =
+    if xs = [] then []
+    else begin
+      stats.sh_tests <- stats.sh_tests + 1;
+      if not (test xs) then xs  (* not reproducible: refuse to "shrink" *)
+      else singleton_pass ~test ~stats (ddmin_loop ~test ~stats xs 2)
+    end
+  in
+  (min1, stats.sh_tests)

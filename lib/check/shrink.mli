@@ -1,0 +1,9 @@
+(** Delta-debugging minimization (Zeller's ddmin with a singleton
+    sweep). *)
+
+val ddmin : test:('a list -> bool) -> 'a list -> 'a list * int
+(** [ddmin ~test xs] assumes [test xs = true] ("still fails") and
+    returns a near-minimal failing subset plus the number of oracle
+    invocations.  If [xs] does not reproduce under [test] it is
+    returned unchanged — a shrinker must never replace a real repro
+    with a non-failing one. *)

@@ -328,3 +328,38 @@ let swap_probe ~op doit =
 
 let driver_upgrade () = swap_probe ~op:"upgrade" Supervisor.upgrade
 let driver_failover () = swap_probe ~op:"failover" Supervisor.failover
+
+(* sudctl check {explore,replay,shrink} *)
+
+let parse_mode = function
+  | "random" -> Ok `Random
+  | "bounded" -> Ok `Bounded
+  | m -> Error (Printf.sprintf "unknown mode %S (expected random or bounded)" m)
+
+let check_scenarios () =
+  List.map
+    (fun (sc : Scenario.t) -> (sc.Scenario.sc_name, sc.sc_descr, sc.sc_canary))
+    Check.scenarios
+
+let check_explore ~scenario ~mode ~budget ~root_seed () =
+  match parse_mode mode with
+  | Error e -> Error e
+  | Ok mode ->
+    (match Check.find_scenario scenario with
+     | None -> Error (Printf.sprintf "unknown scenario %S (try `sudctl check list`)" scenario)
+     | Some sc -> Ok (Check.hunt ~mode ~budget sc ~root_seed))
+
+let check_replay ~file ~times () = Check.replay_file ~file ~times
+
+let check_shrink ~file () =
+  match Sched.load file with
+  | Error e -> Error e
+  | Ok f ->
+    (match Check.find_scenario f.Sched.f_scenario with
+     | None -> Error (Printf.sprintf "%s: unknown scenario %S" file f.Sched.f_scenario)
+     | Some sc ->
+       let out = Filename.remove_extension (Filename.remove_extension file) ^ ".min.sched.jsonl" in
+       let sh, _ =
+         Check.shrink_counterexample ~save:out sc ~seed:f.f_seed f.f_decisions
+       in
+       Ok sh)

@@ -114,3 +114,25 @@ val driver_failover : unit -> swap_report
 (** [sudctl driver failover]: same probe around
     {!Supervisor.failover} — the operator fire drill through the real
     fault path; the swap must be served by the warm standby. *)
+
+(** {1 sudctl check — schedule exploration, replay, shrinking} *)
+
+val check_scenarios : unit -> (string * string * bool) list
+(** [(name, description, is_canary)] for every registered scenario. *)
+
+val check_explore :
+  scenario:string -> mode:string -> budget:int -> root_seed:int64 -> unit
+  -> (Check.hunt_report, string) result
+(** [sudctl check explore]: run {!Check.hunt} on a named scenario —
+    explore ([mode] is ["random"] or ["bounded"]), dump the first
+    failing schedule under [traces/] and ddmin it. *)
+
+val check_replay :
+  file:string -> times:int -> unit -> (Check.replay_report, string) result
+(** [sudctl check replay]: re-execute a recorded schedule file and
+    assert bit-for-bit reproduction (trace-hash equality). *)
+
+val check_shrink : file:string -> unit -> (Check.shrink_report, string) result
+(** [sudctl check shrink]: ddmin the decision list of a saved failing
+    schedule; the minimized repro lands next to it as
+    [<base>.min.sched.jsonl]. *)

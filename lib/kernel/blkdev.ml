@@ -361,6 +361,9 @@ let fsync t ?(timeout_ns = default_timeout_ns) () =
   let dirty =
     Hashtbl.fold (fun idx pg acc -> if pg.pg_dirty then (idx, pg, pg.pg_ver) :: acc else acc)
       t.cache []
+    (* Writeback in page order, not hash order: bio submission order is
+       visible to the device (and to schedule replay hashes). *)
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
   in
   let bios = List.map (fun (idx, pg, _) -> write_bio_of_page idx pg) dirty in
   match run_bios t ~timeout_ns bios with

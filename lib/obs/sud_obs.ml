@@ -224,6 +224,24 @@ module Metrics = struct
     Buffer.add_string b "\n}\n";
     Buffer.contents b
 
+  (* FNV-1a over the canonical JSON rendering: [snapshot] already sorts
+     groups and samples, so equal registries hash equal regardless of
+     registration order.  Used by sud-check to assert that a replayed
+     schedule reproduces the exact metrics end-state. *)
+  let snapshot_hash ?registry () =
+    (* A full major collection first: metrics are weakly registered, so
+       without it the hash would depend on whether a *previous* run's
+       dead subsystems happen to have been collected yet — GC timing,
+       not program behaviour. *)
+    Gc.full_major ();
+    let s = to_json (snapshot ?registry ()) in
+    let h = ref 0xCBF29CE484222325L in
+    String.iter
+      (fun c ->
+         h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+      s;
+    !h
+
   let render_table snap =
     let b = Buffer.create 1024 in
     List.iter

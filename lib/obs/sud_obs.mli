@@ -100,6 +100,13 @@ module Metrics : sig
 
   val to_json : snapshot -> string
   val render_table : snapshot -> string
+
+  val snapshot_hash : ?registry:registry -> unit -> int64
+  (** FNV-1a fingerprint of the canonical (sorted) JSON snapshot — equal
+      iff the registries' observable state is equal.  Runs a full major
+      collection first so only live subsystems contribute (weak entries
+      from torn-down worlds would otherwise leak GC timing into the
+      hash).  sud-check compares this across record and replay runs. *)
 end
 
 module Trace : sig

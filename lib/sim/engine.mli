@@ -38,3 +38,34 @@ val run : ?max_time:int -> ?max_events:int -> t -> unit
 
 val pending : t -> int
 (** Number of queued (uncancelled or cancelled-but-unreaped) events. *)
+
+(** {1 Scheduler policy hooks}
+
+    Events scheduled for the same instant form a {e ready set}; which of
+    them fires next is the only scheduling freedom the simulator has, and
+    every fiber preemption point (Sync/Waitq wakeups, uchan notify
+    delivery, timer expiry) is mediated by exactly such a choice.  By
+    default the engine picks the lowest sequence number — the historical
+    FIFO order.  A picker installed with {!set_picker} chooses instead;
+    {!Sched} wraps this into record/replay-able policies. *)
+
+val set_picker : t -> (step:int -> ready:int -> int) option -> unit
+(** [set_picker t (Some f)] routes every same-instant choice through
+    [f ~step ~ready], which must return an index in [\[0, ready)] into the
+    seq-ordered ready set (out-of-range picks clamp to 0 = FIFO).  [f] is
+    only consulted when [ready > 1].  [None] restores the FIFO fast
+    path. *)
+
+val set_observer :
+  t -> (step:int -> time:int -> ready:int -> pick:int -> unit) option -> unit
+(** Decision tap: called at every choice point ([ready > 1]) with the
+    engine step, simulated time, ready-set size and the picked index.
+    Only consulted when a picker is installed. *)
+
+val steps : t -> int
+(** Events fired so far (cancelled events are reaped, not counted). *)
+
+val trace_hash : t -> int64
+(** Streaming fingerprint of the fired [(time, seq)] event stream.  Two
+    runs have equal hashes iff they executed the same schedule; replay
+    asserts bit-for-bit re-execution by comparing this. *)

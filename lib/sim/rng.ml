@@ -30,6 +30,16 @@ let float t x =
 
 let bool t = Int64.logand (int64 t) 1L = 1L
 
+let derive ~root tag =
+  (* Fold the tag into the splitmix64 stream: every harness sub-seed is a
+     pure function of (root seed, tag string), so one printed root seed
+     reproduces the whole tree of derived streams. *)
+  let h = ref (mix (Int64.add root golden)) in
+  String.iter
+    (fun c -> h := mix (Int64.add (Int64.mul !h 0x100000001B3L) (Int64.of_int (Char.code c))))
+    tag;
+  !h
+
 let exponential t ~mean =
   let u = float t 1.0 in
   let u = if u <= 0.0 then 1e-12 else u in

@@ -23,5 +23,16 @@ val float : t -> float -> float
 
 val bool : t -> bool
 
+val derive : root:int64 -> string -> int64
+(** [derive ~root tag] deterministically maps one root seed and a textual
+    tag (e.g. ["soak"], ["fuzz"], ["explore:3"]) to an independent
+    sub-seed.  All soak/fuzz/bench entry points derive their seeds this
+    way from a single printed root, so any failure line names everything
+    needed to reproduce it. *)
+
+val mix : int64 -> int64
+(** The splitmix64 finalizer — a cheap 64-bit mixing function, exposed for
+    building streaming fingerprints (e.g. {!Engine.trace_hash}). *)
+
 val exponential : t -> mean:float -> float
 (** Exponentially distributed value with the given mean. *)

@@ -1,0 +1,207 @@
+(* Scheduler policies over Engine's same-instant choice points, plus the
+   recorder/replayer and the versioned schedule-file format.  Everything
+   here is stdlib-only so any layer (attacks soaks included) can dump a
+   replayable schedule on failure. *)
+
+type decision = { d_step : int; d_ready : int; d_pick : int }
+
+type spec =
+  | Fifo
+  | Random of { seed : int64; p_preempt : int }
+  | Replay of decision list
+
+type recorder = {
+  mutable rec_rev : decision list;
+  mutable rec_points : int;
+  mutable rec_divergence : string option;
+}
+
+let spec_label = function
+  | Fifo -> "fifo"
+  | Random _ -> "random"
+  | Replay _ -> "replay"
+
+let decisions r = List.rev r.rec_rev
+
+let install ?(strict = false) eng spec =
+  let r = { rec_rev = []; rec_points = 0; rec_divergence = None } in
+  let picker =
+    match spec with
+    | Fifo -> fun ~step:_ ~ready:_ -> 0
+    | Random { seed; p_preempt } ->
+      let rng = Rng.create ~seed in
+      fun ~step:_ ~ready ->
+        if Rng.int rng 100 < p_preempt then Rng.int rng ready else 0
+    | Replay ds when strict ->
+      (* Verification replay: every decision must line up exactly with the
+         choice point it was recorded at; the first mismatch is reported
+         and the rest of the run falls back to FIFO. *)
+      let rest = ref ds in
+      fun ~step ~ready ->
+        (match !rest with
+         | [] -> 0
+         | d :: tl ->
+           if d.d_step = step && d.d_ready = ready && d.d_pick < ready then begin
+             rest := tl;
+             d.d_pick
+           end else begin
+             if r.rec_divergence = None then
+               r.rec_divergence <-
+                 Some
+                   (Printf.sprintf
+                      "divergence at step %d (ready %d): recorded (step %d, ready %d, pick %d)"
+                      step ready d.d_step d.d_ready d.d_pick);
+             rest := tl;
+             0
+           end)
+    | Replay ds ->
+      (* Permissive replay, used by the shrinker: decisions are keyed by
+         engine step; anything missing or out of range degrades to FIFO so
+         every edited subset of a schedule is still a well-defined run. *)
+      let tbl = Hashtbl.create (List.length ds * 2 + 1) in
+      List.iter (fun d -> Hashtbl.replace tbl d.d_step d) ds;
+      fun ~step ~ready ->
+        (match Hashtbl.find_opt tbl step with
+         | None -> 0
+         | Some d -> if d.d_pick < ready then d.d_pick else d.d_pick mod ready)
+  in
+  Engine.set_picker eng (Some picker);
+  Engine.set_observer eng
+    (Some
+       (fun ~step ~time:_ ~ready ~pick ->
+          r.rec_points <- r.rec_points + 1;
+          r.rec_rev <- { d_step = step; d_ready = ready; d_pick = pick } :: r.rec_rev));
+  r
+
+(* ---- schedule files: versioned JSONL, one decision per line ---- *)
+
+let version = "sud-sched/1"
+
+type file = {
+  f_scenario : string;
+  f_seed : int64;  (* scenario seed (root of the run's derived streams) *)
+  f_policy : string;
+  f_policy_seed : int64;
+  f_p_preempt : int;
+  f_decisions : decision list;
+  f_points : int;
+  f_steps : int;
+  f_trace_hash : int64;
+  f_metrics_hash : int64;
+}
+
+let file_of ~scenario ~seed ~spec ~trace_hash ~metrics_hash ~steps r =
+  let policy_seed, p_preempt =
+    match spec with Random { seed; p_preempt } -> (seed, p_preempt) | _ -> (0L, 0)
+  in
+  { f_scenario = scenario;
+    f_seed = seed;
+    f_policy = spec_label spec;
+    f_policy_seed = policy_seed;
+    f_p_preempt = p_preempt;
+    f_decisions = decisions r;
+    f_points = r.rec_points;
+    f_steps = steps;
+    f_trace_hash = trace_hash;
+    f_metrics_hash = metrics_hash }
+
+let save ~path f =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"schedule\":\"%s\",\"scenario\":\"%s\",\"seed\":\"0x%Lx\",\"policy\":\"%s\",\"policy_seed\":\"0x%Lx\",\"p_preempt\":%d}\n"
+    version f.f_scenario f.f_seed f.f_policy f.f_policy_seed f.f_p_preempt;
+  List.iter
+    (fun d ->
+       Printf.fprintf oc "{\"step\":%d,\"ready\":%d,\"pick\":%d}\n" d.d_step d.d_ready
+         d.d_pick)
+    f.f_decisions;
+  Printf.fprintf oc
+    "{\"end\":true,\"points\":%d,\"steps\":%d,\"trace_hash\":\"0x%Lx\",\"metrics_hash\":\"0x%Lx\"}\n"
+    f.f_points f.f_steps f.f_trace_hash f.f_metrics_hash;
+  close_out oc
+
+(* Minimal field scanners for our own emissions above — not a general JSON
+   parser (Bench_schema lives higher in the stack and is not reachable
+   from here without a cycle). *)
+
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let str_field line key =
+  match find_sub line (Printf.sprintf "\"%s\":\"" key) with
+  | None -> None
+  | Some i ->
+    (match String.index_from_opt line i '"' with
+     | None -> None
+     | Some j -> Some (String.sub line i (j - i)))
+
+let int_field line key =
+  match find_sub line (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    let n = String.length line in
+    while !j < n && (match line.[!j] with '0' .. '9' | '-' -> true | _ -> false) do
+      incr j
+    done;
+    if !j = i then None else int_of_string_opt (String.sub line i (!j - i))
+
+let hex_field line key =
+  match str_field line key with None -> None | Some s -> Int64.of_string_opt s
+
+let load path =
+  if not (Sys.file_exists path) then Error (Printf.sprintf "%s: no such schedule" path)
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match List.rev !lines with
+    | [] -> Error (Printf.sprintf "%s: empty schedule file" path)
+    | header :: rest ->
+      (match str_field header "schedule" with
+       | Some v when v = version ->
+         let scenario = Option.value ~default:"?" (str_field header "scenario") in
+         let seed = Option.value ~default:0L (hex_field header "seed") in
+         let policy = Option.value ~default:"fifo" (str_field header "policy") in
+         let policy_seed = Option.value ~default:0L (hex_field header "policy_seed") in
+         let p_preempt = Option.value ~default:0 (int_field header "p_preempt") in
+         let ds = ref [] in
+         let footer = ref None in
+         List.iter
+           (fun line ->
+              if int_field line "end" <> None || find_sub line "\"end\":true" <> None
+              then footer := Some line
+              else
+                match
+                  (int_field line "step", int_field line "ready", int_field line "pick")
+                with
+                | Some s, Some r, Some p ->
+                  ds := { d_step = s; d_ready = r; d_pick = p } :: !ds
+                | _ -> ())
+           rest;
+         let foot = Option.value ~default:"" !footer in
+         Ok
+           { f_scenario = scenario;
+             f_seed = seed;
+             f_policy = policy;
+             f_policy_seed = policy_seed;
+             f_p_preempt = p_preempt;
+             f_decisions = List.rev !ds;
+             f_points = Option.value ~default:0 (int_field foot "points");
+             f_steps = Option.value ~default:0 (int_field foot "steps");
+             f_trace_hash = Option.value ~default:0L (hex_field foot "trace_hash");
+             f_metrics_hash = Option.value ~default:0L (hex_field foot "metrics_hash") }
+       | Some v -> Error (Printf.sprintf "%s: schedule version %s (want %s)" path v version)
+       | None -> Error (Printf.sprintf "%s: not a sud-sched file" path))
+  end

@@ -135,7 +135,10 @@ let complete_waiter tbl seq result =
     true
 
 let fail_all_waiters tbl err =
-  let seqs = Hashtbl.fold (fun s _ acc -> s :: acc) tbl [] in
+  (* Fail waiters in seq order: completion signals schedule wakeup events,
+     so hash-order traversal here would leak Hashtbl layout into the
+     engine's event order and destabilize schedule replay. *)
+  let seqs = List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) tbl []) in
   List.iter (fun s -> ignore (complete_waiter tbl s (Error err) : bool)) seqs
 
 (* ---- kernel-side workers: drain u2k, dispatching replies and downcalls ---- *)

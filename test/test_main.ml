@@ -11,4 +11,5 @@ let () =
       ("bench_schema", Test_bench_schema.suite);
       ("conformance", Test_conformance.suite);
       ("ctl", Test_ctl.suite);
-      ("standby", Test_standby.suite) ]
+      ("standby", Test_standby.suite);
+      ("check", Test_check.suite) ]
